@@ -1,0 +1,60 @@
+// §7 "Proof parallelization" ablation, using the library's verifiable
+// sharding (core/sharded.h): NetFlow records are partitioned by flow ID
+// under a split proof, shard chains prove on dedicated threads, and the
+// sharded auditor verifies the assembled round. Reports wall-clock vs shard
+// count for a 3000-record window.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/sharded.h"
+
+using namespace zkt;
+
+int main() {
+  constexpr u64 kRecords = 3000;
+  std::printf("=== proof parallelization: %llu records sharded by flow ID "
+              "(%u hardware threads) ===\n",
+              (unsigned long long)kRecords,
+              std::thread::hardware_concurrency());
+  std::printf("%7s | %12s | %9s | %12s | %10s\n", "shards", "wall ms",
+              "speedup", "sum cycles", "audit ms");
+  std::printf("--------+--------------+-----------+--------------+-----------\n");
+
+  double baseline_ms = 0;
+  for (u32 shard_count : {1u, 2u, 4u, 8u, 16u}) {
+    auto workload = bench::make_committed_workload(kRecords);
+    core::ShardedAggregationService service(*workload.board, shard_count);
+    auto round = service.aggregate(workload.batches);
+    if (!round.ok()) {
+      std::printf("sharded aggregation failed: %s\n",
+                  round.error().to_string().c_str());
+      return 1;
+    }
+
+    core::ShardedAuditor auditor(*workload.board, shard_count);
+    const auto audit_start = std::chrono::steady_clock::now();
+    if (auto accepted = auditor.accept_round(round.value()); !accepted.ok()) {
+      std::printf("audit failed: %s\n", accepted.to_string().c_str());
+      return 1;
+    }
+    const double audit_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - audit_start)
+                                .count();
+
+    if (shard_count == 1) baseline_ms = round.value().wall_ms;
+    std::printf("%7u | %12.1f | %8.2fx | %12llu | %10.2f\n", shard_count,
+                round.value().wall_ms, baseline_ms / round.value().wall_ms,
+                (unsigned long long)round.value().total_cycles, audit_ms);
+  }
+
+  std::printf("\nshape: speedup tracks the machine's core count (near-linear "
+              "until shards exceed cores — the multicore opportunity §7 "
+              "describes); splitting costs extra total cycles (the split "
+              "proofs + per-shard padding), the price of keeping sharded "
+              "aggregation verifiable. On a single-core machine wall-clock "
+              "stays flat; the sum-cycles column shows the parallelizable "
+              "work.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Sketch-path benchmarks: Count-Min update/estimate throughput, accuracy vs
+// width (the memory/accuracy dial a deployment turns), commitment cost for
+// sketch windows, and the prove/verify cost of a verifiable point estimate.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/sketch_query.h"
+#include "sim/workload.h"
+
+using namespace zkt;
+
+namespace {
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  netflow::CountMinSketch sketch(netflow::CountMinParams{
+      .width = static_cast<u32>(state.range(0)), .depth = 4, .seed = 1});
+  auto packets =
+      sim::zipf_workload(sim::ZipfWorkloadConfig{.flow_count = 4096}, 50'000);
+  u64 i = 0;
+  for (auto _ : state) {
+    sketch.update(packets[i++ % packets.size()].key, 1);
+  }
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(1024)->Arg(65536);
+
+void BM_CountMinEstimate(benchmark::State& state) {
+  netflow::CountMinSketch sketch(
+      netflow::CountMinParams{.width = 4096, .depth = 4, .seed = 1});
+  for (u64 f = 0; f < 1000; ++f) sketch.update(sim::synth_flow_key(f, 1), f);
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sketch.estimate(sim::synth_flow_key(i++ % 1000, 1)));
+  }
+}
+BENCHMARK(BM_CountMinEstimate);
+
+// Accuracy vs width: mean relative overestimate across a Zipf stream. Not a
+// timing benchmark — the counters are the result.
+void BM_CountMinAccuracy(benchmark::State& state) {
+  const u32 width = static_cast<u32>(state.range(0));
+  double rel_error_sum = 0;
+  u64 flows = 0;
+  for (auto _ : state) {
+    netflow::CountMinSketch sketch(
+        netflow::CountMinParams{.width = width, .depth = 4, .seed = 7});
+    std::map<netflow::FlowKey, u64> truth;
+    auto packets = sim::zipf_workload(
+        sim::ZipfWorkloadConfig{.seed = 7, .flow_count = 5000}, 100'000);
+    for (const auto& pkt : packets) {
+      sketch.update(pkt.key, 1);
+      ++truth[pkt.key];
+    }
+    rel_error_sum = 0;
+    flows = 0;
+    for (const auto& [key, count] : truth) {
+      const u64 est = sketch.estimate(key);
+      rel_error_sum += static_cast<double>(est - count) /
+                       static_cast<double>(count);
+      ++flows;
+    }
+    benchmark::DoNotOptimize(rel_error_sum);
+  }
+  state.counters["mean_rel_overestimate"] =
+      rel_error_sum / static_cast<double>(flows);
+  state.counters["distinct_flows"] = static_cast<double>(flows);
+}
+BENCHMARK(BM_CountMinAccuracy)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Iterations(1);
+
+void BM_SketchCommit(benchmark::State& state) {
+  netflow::CountMinSketch sketch(netflow::CountMinParams{
+      .width = static_cast<u32>(state.range(0)), .depth = 4, .seed = 1});
+  for (u64 f = 0; f < 1000; ++f) sketch.update(sim::synth_flow_key(f, 1), 1);
+  const auto key = crypto::schnorr_keygen_from_seed("sketch-bench");
+  for (auto _ : state) {
+    auto commitment = core::make_commitment_raw(
+        0, 1, sketch.hash(), sketch.total_updates(), key, 5000);
+    benchmark::DoNotOptimize(commitment);
+  }
+  state.counters["sketch_bytes"] =
+      static_cast<double>(sketch.canonical_bytes().size());
+}
+BENCHMARK(BM_SketchCommit)->Arg(1024)->Arg(16384);
+
+void BM_SketchQueryProve(benchmark::State& state) {
+  netflow::CountMinSketch sketch(netflow::CountMinParams{
+      .width = static_cast<u32>(state.range(0)), .depth = 4, .seed = 1});
+  for (u64 f = 0; f < 1000; ++f) sketch.update(sim::synth_flow_key(f, 1), 1);
+  const core::CommitmentRef ref{0, 1, sketch.hash(), sketch.total_updates()};
+  u64 cycles = 0;
+  for (auto _ : state) {
+    auto response = core::prove_sketch_query(ref, sketch,
+                                             sim::synth_flow_key(3, 1));
+    if (!response.ok()) state.SkipWithError("prove failed");
+    cycles = response.value().prove_info.cycles;
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["zkvm_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_SketchQueryProve)->Arg(1024)->Arg(16384)->Arg(65536);
+
+void BM_SketchQueryVerify(benchmark::State& state) {
+  netflow::CountMinSketch sketch(
+      netflow::CountMinParams{.width = 16384, .depth = 4, .seed = 1});
+  for (u64 f = 0; f < 1000; ++f) sketch.update(sim::synth_flow_key(f, 1), 1);
+  const core::CommitmentRef ref{0, 1, sketch.hash(), sketch.total_updates()};
+  core::CommitmentBoard board;
+  const auto key = crypto::schnorr_keygen_from_seed("sk-verify");
+  auto commitment = core::make_commitment_raw(0, 1, sketch.hash(),
+                                              sketch.total_updates(), key,
+                                              5000);
+  if (!board.publish(commitment.value()).ok()) {
+    state.SkipWithError("publish failed");
+    return;
+  }
+  auto response =
+      core::prove_sketch_query(ref, sketch, sim::synth_flow_key(3, 1));
+  if (!response.ok()) {
+    state.SkipWithError("prove failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto verified =
+        core::verify_sketch_query(response.value().receipt, board);
+    benchmark::DoNotOptimize(verified);
+  }
+}
+BENCHMARK(BM_SketchQueryVerify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,139 @@
+// Substrate microbenchmarks (supporting numbers for §6's setup): router
+// commitment cost per 5 s window, Schnorr sign/verify, store ingest, NetFlow
+// v9 encode/decode, and flow-cache metering throughput. These quantify the
+// claim that the commit-side of the system is lightweight — only proving is
+// expensive, and that runs off-path.
+#include <benchmark/benchmark.h>
+
+#include "core/zkt.h"
+#include "sim/workload.h"
+
+using namespace zkt;
+
+namespace {
+
+std::vector<netflow::FlowRecord> make_records(u64 n) {
+  std::vector<netflow::FlowRecord> records;
+  records.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    netflow::FlowRecord rec;
+    netflow::PacketObservation pkt;
+    pkt.key = sim::synth_flow_key(i, 7);
+    pkt.timestamp_ms = 1000 + i;
+    pkt.bytes = 900;
+    pkt.hop_count = 6;
+    pkt.rtt_us = 20'000;
+    rec.observe(pkt);
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+// Full router-side commitment for one window: serialize + hash + sign.
+void BM_WindowCommit(benchmark::State& state) {
+  netflow::RLogBatch batch;
+  batch.router_id = 1;
+  batch.window_id = 1;
+  batch.records = make_records(static_cast<u64>(state.range(0)));
+  const auto key = crypto::schnorr_keygen_from_seed("bench");
+  for (auto _ : state) {
+    auto commitment = core::make_commitment(batch, key, 5000);
+    benchmark::DoNotOptimize(commitment);
+  }
+  state.counters["records"] = static_cast<double>(batch.records.size());
+}
+BENCHMARK(BM_WindowCommit)->Arg(50)->Arg(500)->Arg(3000);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const auto key = crypto::schnorr_keygen_from_seed("bench-sign");
+  const auto msg = crypto::sha256(std::string_view("window"));
+  for (auto _ : state) {
+    auto sig = crypto::schnorr_sign(key, msg, {});
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const auto key = crypto::schnorr_keygen_from_seed("bench-verify");
+  const auto msg = crypto::sha256(std::string_view("window"));
+  const auto sig = crypto::schnorr_sign(key, msg, {}).value();
+  for (auto _ : state) {
+    auto ok = crypto::schnorr_verify(key.pk_view(), msg, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_StoreAppend(benchmark::State& state) {
+  store::LogStore store;
+  netflow::RLogBatch batch;
+  batch.router_id = 1;
+  batch.window_id = 1;
+  batch.records = make_records(50);
+  const Bytes payload = batch.canonical_bytes();
+  u64 k = 0;
+  for (auto _ : state) {
+    auto id = store.append(store::kTableRlogs, k++, 1, payload);
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          static_cast<i64>(payload.size()));
+}
+BENCHMARK(BM_StoreAppend);
+
+void BM_V9EncodeDecode(benchmark::State& state) {
+  const auto records = make_records(static_cast<u64>(state.range(0)));
+  for (auto _ : state) {
+    netflow::V9Exporter exporter(netflow::V9Config{.source_id = 1});
+    netflow::V9Collector collector;
+    size_t decoded = 0;
+    for (const auto& packet : exporter.export_records(records, 12'345)) {
+      auto got = collector.ingest(packet);
+      if (!got.ok()) state.SkipWithError("decode failed");
+      decoded += got.value().size();
+    }
+    if (decoded != records.size()) state.SkipWithError("lost records");
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(records.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_V9EncodeDecode)->Arg(50)->Arg(3000);
+
+void BM_FlowCacheObserve(benchmark::State& state) {
+  auto packets = sim::zipf_workload(
+      sim::ZipfWorkloadConfig{.flow_count = 4096}, 100'000);
+  netflow::FlowCache cache;
+  u64 i = 0;
+  for (auto _ : state) {
+    auto evicted = cache.observe(packets[i++ % packets.size()]);
+    benchmark::DoNotOptimize(evicted);
+  }
+  state.counters["packets/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlowCacheObserve);
+
+void BM_CommitmentBoardPublish(benchmark::State& state) {
+  const auto key = crypto::schnorr_keygen_from_seed("board-bench");
+  netflow::RLogBatch batch;
+  batch.router_id = 0;
+  batch.records = make_records(10);
+  core::CommitmentBoard board;
+  board.register_router(0, key.public_key);
+  u64 window = 0;
+  for (auto _ : state) {
+    batch.window_id = window++;
+    auto commitment = core::make_commitment(batch, key, window * 5000);
+    auto status = board.publish(commitment.value());
+    if (!status.ok()) state.SkipWithError("publish failed");
+  }
+}
+BENCHMARK(BM_CommitmentBoardPublish);
+
+}  // namespace
+
+BENCHMARK_MAIN();

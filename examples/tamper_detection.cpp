@@ -1,0 +1,133 @@
+// Tamper-detection walkthrough (Figure 3 / §5 of the paper): what happens
+// when a malicious service provider modifies telemetry after committing.
+//
+// Four attacks, each caught by a different layer:
+//   1. post-commitment RLog edit        -> in-guest hash check aborts proving
+//   2. equivocating commitment          -> bulletin board rejects
+//   3. forged commitment signature      -> signature verification rejects
+//   4. tampered receipt journal         -> auditor proof verification rejects
+#include <cstdio>
+
+#include "core/zkt.h"
+
+using namespace zkt;
+
+namespace {
+
+netflow::RLogBatch make_batch(u32 router, u64 window) {
+  netflow::RLogBatch batch;
+  batch.router_id = router;
+  batch.window_id = window;
+  netflow::FlowRecord rec;
+  for (int i = 0; i < 20; ++i) {
+    netflow::PacketObservation pkt;
+    pkt.key = {0x01010101, 0x09090909, 1234, 443, 6};
+    pkt.timestamp_ms = 1000 + i * 10;
+    pkt.bytes = 1000;
+    pkt.hop_count = 7;
+    pkt.rtt_us = 95'000;  // embarrassing: the operator is violating its SLA
+    rec.observe(pkt);
+  }
+  batch.records.push_back(rec);
+  return batch;
+}
+
+}  // namespace
+
+int main() {
+  core::CommitmentBoard board;
+  const auto key = crypto::schnorr_keygen_from_seed("tamper-router");
+  auto batch = make_batch(0, 1);
+  auto commitment = core::make_commitment(batch, key, 5000);
+  if (!commitment.ok() || !board.publish(commitment.value()).ok()) {
+    std::printf("setup failed\n");
+    return 1;
+  }
+  std::printf("router committed to its (high-RTT) telemetry: %s...\n\n",
+              commitment.value().rlog_hash.hex().substr(0, 16).c_str());
+
+  // --- Attack 1: rewrite history ------------------------------------------
+  std::printf("[1] provider rewrites RTT to look compliant, then aggregates\n");
+  {
+    auto doctored = batch;
+    doctored.records[0].rtt_sum_us /= 10;  // 95 ms -> 9.5 ms
+    core::AggregationService aggregation(board);
+    auto round = aggregation.aggregate({doctored});
+    const std::string outcome =
+        round.ok() ? "SUCCEEDED (BUG!)"
+                   : "FAILED as designed — " + round.error().to_string();
+    std::printf("    proof generation: %s\n", outcome.c_str());
+    if (round.ok()) return 1;
+  }
+
+  // --- Attack 2: equivocate ------------------------------------------------
+  std::printf("[2] provider publishes a second commitment for the window\n");
+  {
+    auto doctored = batch;
+    doctored.records[0].rtt_sum_us /= 10;
+    auto second = core::make_commitment(doctored, key, 5001);
+    auto published = board.publish(second.value());
+    const std::string outcome =
+        published.ok() ? "ACCEPTED (BUG!)"
+                       : "REJECTED — " + published.to_string();
+    std::printf("    board: %s\n", outcome.c_str());
+    if (published.ok()) return 1;
+  }
+
+  // --- Attack 3: forge another router's commitment --------------------------
+  std::printf("[3] provider forges a commitment for router 1 with its own key\n");
+  {
+    const auto router1_key = crypto::schnorr_keygen_from_seed("router-1-real");
+    board.register_router(1, router1_key.public_key);
+    auto fake_batch = make_batch(1, 1);
+    auto forged = core::make_commitment(fake_batch, key, 5002);  // wrong key
+    forged.value().router_pubkey = key.public_key;
+    auto published = board.publish(forged.value());
+    const std::string outcome =
+        published.ok() ? "ACCEPTED (BUG!)"
+                       : "REJECTED — " + published.to_string();
+    std::printf("    board: %s\n", outcome.c_str());
+    if (published.ok()) return 1;
+  }
+
+  // --- Attack 4: doctor the published result --------------------------------
+  std::printf("[4] provider doctors a query receipt's journal after proving\n");
+  {
+    core::AggregationService aggregation(board);
+    auto round = aggregation.aggregate({batch});
+    if (!round.ok()) {
+      std::printf("    honest aggregation unexpectedly failed\n");
+      return 1;
+    }
+    core::QueryService queries(aggregation);
+    core::Query q = core::Query::max(core::QField::rtt_avg_us);
+    auto resp = queries.run(q);
+    if (!resp.ok()) return 1;
+
+    core::Auditor auditor(board);
+    if (!auditor.accept_round(round.value().receipt).ok()) return 1;
+
+    zvm::Receipt doctored = resp.value().receipt;
+    auto journal = resp.value().journal;
+    journal.result.max = 9'500;  // pretend max avg-RTT is 9.5 ms
+    Writer w;
+    journal.write(w);
+    doctored.journal = std::move(w).take();
+
+    auto verified = auditor.verify_query(doctored, &q);
+    const std::string outcome =
+        verified.ok() ? "ACCEPTED (BUG!)"
+                      : "REJECTED — " + verified.error().to_string();
+    std::printf("    auditor: %s\n", outcome.c_str());
+    if (verified.ok()) return 1;
+
+    auto honest = auditor.verify_query(resp.value().receipt, &q);
+    if (honest.ok()) {
+      std::printf("    honest receipt verifies: max avg RTT = %.1f ms\n",
+                  static_cast<double>(honest.value().result.max) / 1000.0);
+    }
+  }
+
+  std::printf("\nall four tampering attempts were detected\n");
+  return 0;
+}

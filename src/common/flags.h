@@ -1,0 +1,72 @@
+// Tiny command-line flag parser for the zkt-* tools: supports
+// --name=value, --name value, bare --switch, and positional arguments.
+#pragma once
+
+#include <charconv>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace zkt {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.starts_with("--")) {
+        arg.remove_prefix(2);
+        const size_t eq = arg.find('=');
+        if (eq != std::string_view::npos) {
+          named_[std::string(arg.substr(0, eq))] =
+              std::string(arg.substr(eq + 1));
+        } else if (i + 1 < argc &&
+                   std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+          named_[std::string(arg)] = argv[++i];
+        } else {
+          named_[std::string(arg)] = "";  // bare switch
+        }
+      } else {
+        positional_.emplace_back(arg);
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return named_.count(name) > 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = named_.find(name);
+    return it == named_.end() ? fallback : it->second;
+  }
+
+  u64 get_u64(const std::string& name, u64 fallback) const {
+    auto it = named_.find(name);
+    if (it == named_.end() || it->second.empty()) return fallback;
+    u64 value = fallback;
+    const auto& s = it->second;
+    std::from_chars(s.data(), s.data() + s.size(), value);
+    return value;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    auto it = named_.find(name);
+    if (it == named_.end() || it->second.empty()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      return fallback;
+    }
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace zkt

@@ -1,0 +1,77 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace zkt {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::once_flag g_env_once;
+std::mutex g_write_mutex;
+
+LogLevel parse_level(const char* s) {
+  if (!s) return LogLevel::warn;
+  if (std::strcmp(s, "trace") == 0) return LogLevel::trace;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::debug;
+  if (std::strcmp(s, "info") == 0) return LogLevel::info;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::warn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::error;
+  if (std::strcmp(s, "off") == 0) return LogLevel::off;
+  return LogLevel::warn;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    if (const char* env = std::getenv("ZKT_LOG_LEVEL")) {
+      g_level.store(parse_level(env), std::memory_order_relaxed);
+    }
+  });
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  init_from_env();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void set_log_level(LogLevel level) {
+  init_from_env();
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void log_write(LogLevel level, const std::string& msg) {
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(
+                       system_clock::now().time_since_epoch())
+                       .count();
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::fprintf(stderr, "[%lld.%03lld] %-5s %s\n",
+               static_cast<long long>(now / 1000),
+               static_cast<long long>(now % 1000), level_tag(level),
+               msg.c_str());
+}
+
+}  // namespace detail
+
+}  // namespace zkt

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. Level is process-
+// global and settable via ZKT_LOG_LEVEL (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace zkt {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& msg);
+}
+
+/// Stream-style log statement: ZKT_LOG(info) << "aggregated " << n;
+#define ZKT_LOG(level_name)                                            \
+  for (bool _zkt_once = ::zkt::log_level() <= ::zkt::LogLevel::level_name; \
+       _zkt_once; _zkt_once = false)                                   \
+  ::zkt::detail::LogLine(::zkt::LogLevel::level_name)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace zkt

@@ -1,0 +1,26 @@
+#include "common/result.h"
+
+namespace zkt {
+
+const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::parse_error: return "parse_error";
+    case Errc::io_error: return "io_error";
+    case Errc::not_found: return "not_found";
+    case Errc::duplicate: return "duplicate";
+    case Errc::hash_mismatch: return "hash_mismatch";
+    case Errc::merkle_mismatch: return "merkle_mismatch";
+    case Errc::signature_invalid: return "signature_invalid";
+    case Errc::proof_invalid: return "proof_invalid";
+    case Errc::chain_broken: return "chain_broken";
+    case Errc::commitment_missing: return "commitment_missing";
+    case Errc::guest_abort: return "guest_abort";
+    case Errc::input_exhausted: return "input_exhausted";
+    case Errc::unsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+}  // namespace zkt

@@ -1,0 +1,130 @@
+// Lightweight Result<T> / Status types for recoverable errors.
+//
+// zktel distinguishes programming errors (assert/abort) from protocol and
+// verification failures, which are reported as values so callers can react
+// (e.g. a failed Merkle check during aggregation must abort the round with a
+// diagnosable reason, per Algorithm 1 of the paper).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zkt {
+
+enum class Errc {
+  ok = 0,
+  invalid_argument,
+  parse_error,
+  io_error,
+  not_found,
+  duplicate,
+  // Verification failures (tamper-evident paths).
+  hash_mismatch,
+  merkle_mismatch,
+  signature_invalid,
+  proof_invalid,
+  chain_broken,
+  commitment_missing,
+  // zkVM execution failures.
+  guest_abort,
+  input_exhausted,
+  unsupported,
+};
+
+/// Human-readable name for an error code.
+const char* errc_name(Errc c);
+
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+
+  std::string to_string() const {
+    std::string s = errc_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+inline Error make_error(Errc code, std::string message = {}) {
+  return Error{code, std::move(message)};
+}
+
+/// Result<T>: either a value or an Error. Minimal std::expected stand-in.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}              // NOLINT(implicit)
+  Result(Error err) : v_(std::move(err)) {}              // NOLINT(implicit)
+  Result(Errc code, std::string msg = {}) : v_(Error{code, std::move(msg)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(v_) : fallback;
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Status: Result with no payload.
+class Status {
+ public:
+  Status() = default;                                   // ok
+  Status(Error err) : err_(std::move(err)) {}           // NOLINT(implicit)
+  Status(Errc code, std::string msg = {}) : err_(Error{code, std::move(msg)}) {
+    if (code == Errc::ok) err_.reset();
+  }
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+
+  Errc code() const { return ok() ? Errc::ok : err_->code; }
+
+  std::string to_string() const { return ok() ? "ok" : err_->to_string(); }
+
+ private:
+  std::optional<Error> err_;
+};
+
+/// Propagate errors: evaluates expr (a Status or Result); on failure returns
+/// the error from the enclosing function.
+#define ZKT_TRY(expr)                            \
+  do {                                           \
+    auto _zkt_status = (expr);                   \
+    if (!_zkt_status.ok()) return _zkt_status.error(); \
+  } while (0)
+
+}  // namespace zkt

@@ -1,0 +1,141 @@
+// Deterministic PRNGs for simulation workloads (NOT for cryptography; the
+// crypto module has a ChaCha20 DRBG for that). Deterministic seeding keeps
+// benchmark workloads and property tests reproducible.
+#pragma once
+
+#include <cmath>
+
+#include "common/bytes.h"
+
+namespace zkt {
+
+/// SplitMix64: used to expand seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// xoshiro256** — fast, high-quality simulation PRNG.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  u64 uniform(u64 bound) {
+    // Rejection sampling to avoid modulo bias.
+    const u64 threshold = (0 - bound) % bound;
+    for (;;) {
+      u64 r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Exponential with given rate (for Poisson inter-arrival times).
+  double exponential(double rate) {
+    double u = uniform01();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -std::log(1.0 - u) / rate;
+  }
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, 12 terms).
+  double normal(double mean, double stddev) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform01();
+    return mean + (acc - 6.0) * stddev;
+  }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4];
+};
+
+/// Zipf-distributed ranks in [1, n] with parameter s — models heavy-tailed
+/// flow popularity, the standard traffic model for NetFlow workloads.
+class ZipfSampler {
+ public:
+  ZipfSampler(u64 n, double s, u64 seed);
+
+  u64 sample();
+  u64 n() const { return n_; }
+
+ private:
+  u64 n_;
+  double s_;
+  double h_integral_n_;
+  double h_integral_1_;
+  Xoshiro256 rng_;
+
+  double h_integral(double x) const;
+  double h(double x) const;
+  double h_integral_inverse(double x) const;
+};
+
+inline ZipfSampler::ZipfSampler(u64 n, double s, u64 seed)
+    : n_(n), s_(s), rng_(seed) {
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  h_integral_1_ = h_integral(1.5) - 1.0;
+}
+
+inline double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - s_) < 1e-12) return log_x;
+  return (std::exp((1.0 - s_) * log_x) - 1.0) / (1.0 - s_);
+}
+
+inline double ZipfSampler::h(double x) const {
+  return std::exp(-s_ * std::log(x));
+}
+
+inline double ZipfSampler::h_integral_inverse(double x) const {
+  if (std::abs(1.0 - s_) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - s_) + 1.0;
+  if (t < 0) t = 0;
+  return std::exp(std::log(t) / (1.0 - s_));
+}
+
+inline u64 ZipfSampler::sample() {
+  // Rejection-inversion sampling (Hörmann & Derflinger).
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng_.uniform01() * (h_integral_1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    u64 k = static_cast<u64>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= 1.0 - (h_integral(kd + 0.5) - h_integral(kd - 0.5)) ||
+        u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace zkt

@@ -1,0 +1,108 @@
+#include "core/auditor.h"
+
+namespace zkt::core {
+
+Result<AggJournal> Auditor::accept_round(const zvm::Receipt& receipt) {
+  ZKT_TRY(verifier_.verify(receipt, guest_images().aggregate));
+
+  auto journal = AggJournal::parse(receipt.journal);
+  if (!journal.ok()) return journal.error();
+  const AggJournal& j = journal.value();
+
+  // Chain continuity.
+  if (rounds_ == 0) {
+    if (j.has_prev) {
+      return Error{Errc::chain_broken, "first round claims a predecessor"};
+    }
+    if (j.prev_entry_count != 0 ||
+        j.prev_root != crypto::MerkleTree::empty_leaf()) {
+      return Error{Errc::chain_broken, "first round does not start empty"};
+    }
+  } else {
+    if (!j.has_prev) {
+      return Error{Errc::chain_broken, "non-genesis round without prev"};
+    }
+    if (j.prev_claim_digest != last_claim_digest_) {
+      return Error{Errc::chain_broken,
+                   "round does not chain onto the accepted claim"};
+    }
+    if (j.prev_root != current_root_ ||
+        j.prev_entry_count != current_entry_count_) {
+      return Error{Errc::chain_broken,
+                   "round does not extend the accepted state"};
+    }
+  }
+
+  // Every commitment consumed must have been published (and thus signed).
+  for (const auto& ref : j.commitments) {
+    auto published = board_->get(ref.router_id, ref.window_id);
+    if (!published.has_value()) {
+      return Error{Errc::commitment_missing,
+                   "round consumes an unpublished commitment (router " +
+                       std::to_string(ref.router_id) + ", window " +
+                       std::to_string(ref.window_id) + ")"};
+    }
+    if (published->rlog_hash != ref.rlog_hash ||
+        published->record_count != ref.record_count) {
+      return Error{Errc::hash_mismatch,
+                   "round consumes a commitment that differs from the board"};
+    }
+  }
+
+  last_claim_digest_ = receipt.claim.digest();
+  accepted_claims_.insert(last_claim_digest_.bytes);
+  current_root_ = j.new_root;
+  current_entry_count_ = j.new_entry_count;
+  ++rounds_;
+  return journal;
+}
+
+Status Auditor::adopt_summary(u64 rounds, const Digest32& final_claim_digest,
+                              const Digest32& final_root,
+                              u64 final_entry_count) {
+  if (rounds_ != 0) {
+    return Error{Errc::chain_broken,
+                 "cannot adopt a summary after accepting rounds"};
+  }
+  if (rounds == 0) {
+    return Error{Errc::invalid_argument, "summary covers no rounds"};
+  }
+  last_claim_digest_ = final_claim_digest;
+  accepted_claims_.insert(final_claim_digest.bytes);
+  current_root_ = final_root;
+  current_entry_count_ = final_entry_count;
+  rounds_ = rounds;
+  return {};
+}
+
+Result<QueryJournal> Auditor::verify_query(const zvm::Receipt& receipt,
+                                           const Query* expected_query) {
+  auto journal = QueryJournal::parse(receipt.journal);
+  if (!journal.ok()) return journal.error();
+  const QueryJournal& j = journal.value();
+
+  // The journal's claimed mode must match the image that actually ran.
+  const auto& images = guest_images();
+  const zvm::ImageID& expected_image = j.mode == QueryMode::complete
+                                           ? images.query
+                                           : images.query_selective;
+  ZKT_TRY(verifier_.verify(receipt, expected_image));
+
+  if (accepted_claims_.find(j.agg_claim_digest.bytes) ==
+      accepted_claims_.end()) {
+    return Error{Errc::chain_broken,
+                 "query targets an aggregation round we never accepted"};
+  }
+  if (expected_query != nullptr &&
+      j.query.digest() != expected_query->digest()) {
+    return Error{Errc::proof_invalid,
+                 "receipt proves a different query than requested"};
+  }
+  if (j.mode == QueryMode::complete && j.result.scanned != j.entry_count) {
+    return Error{Errc::proof_invalid,
+                 "complete query did not scan the full state"};
+  }
+  return journal;
+}
+
+}  // namespace zkt::core

@@ -1,0 +1,62 @@
+// Auditor: the client/regulator-side verifier (the "Verifier" box of
+// Figure 1). Holds no private data — only receipts, their public journals,
+// and the public commitment board.
+//
+// The auditor maintains the verified chain of aggregation rounds: each new
+// round's receipt must verify, chain onto the previous round (claim digest
+// and Merkle root continuity), and consume only commitments that routers
+// actually published (signatures checked by the board). Query receipts are
+// then verified against any accepted round.
+#pragma once
+
+#include <set>
+
+#include "core/commitment.h"
+#include "core/guests.h"
+#include "zvm/verifier.h"
+
+namespace zkt::core {
+
+class Auditor {
+ public:
+  explicit Auditor(const CommitmentBoard& board) : board_(&board) {}
+
+  /// Verify an aggregation receipt and append it to the trusted chain.
+  /// Returns the parsed journal on success.
+  Result<AggJournal> accept_round(const zvm::Receipt& receipt);
+
+  /// Adopt a chain head from a VERIFIED chain summary (see
+  /// core/chain_summary.h — the caller must have run verify_chain_summary
+  /// against this auditor's board first). Subsequent rounds chain onto the
+  /// summarized head, and queries targeting its final round verify. Only
+  /// allowed on a fresh auditor (no rounds accepted yet).
+  Status adopt_summary(u64 rounds, const Digest32& final_claim_digest,
+                       const Digest32& final_root, u64 final_entry_count);
+
+  /// Verify a query receipt (complete-scan or selective). It must target an
+  /// accepted aggregation round, carry the seal of the mode it claims, and
+  /// (if `expected_query` is given) prove exactly that query. Returns the
+  /// parsed journal — check `.mode` before treating COUNT-style results as
+  /// complete.
+  Result<QueryJournal> verify_query(const zvm::Receipt& receipt,
+                                    const Query* expected_query = nullptr);
+
+  u64 rounds_accepted() const { return rounds_; }
+  const Digest32& current_root() const { return current_root_; }
+  u64 current_entry_count() const { return current_entry_count_; }
+  /// Whether an aggregation receipt with this claim digest was accepted.
+  bool is_accepted_claim(const Digest32& claim_digest) const {
+    return accepted_claims_.count(claim_digest.bytes) > 0;
+  }
+
+ private:
+  const CommitmentBoard* board_;
+  zvm::Verifier verifier_;
+  u64 rounds_ = 0;
+  Digest32 last_claim_digest_;
+  Digest32 current_root_ = crypto::MerkleTree::empty_leaf();
+  u64 current_entry_count_ = 0;
+  std::set<std::array<u8, 32>> accepted_claims_;
+};
+
+}  // namespace zkt::core

@@ -1,0 +1,184 @@
+#include "core/chain_summary.h"
+
+#include "crypto/merkle.h"
+
+namespace zkt::core {
+
+namespace {
+
+using zvm::AluOp;
+using zvm::Env;
+
+Status chain_summary_guest(Env& env) {
+  auto n_rounds = env.read_u64();
+  if (!n_rounds.ok()) return n_rounds.error();
+  ZKT_TRY(env.assert_true(n_rounds.value() >= 1, "summary needs rounds"));
+  ZKT_TRY(env.assert_true(n_rounds.value() <= (1u << 20),
+                          "summary round count sane"));
+
+  ChainSummaryJournal out;
+  out.rounds = n_rounds.value();
+
+  Digest32 prev_claim;  // digest of round i-1's claim
+  Digest32 prev_root = crypto::MerkleTree::empty_leaf();
+  u64 prev_count = 0;
+
+  for (u64 i = 0; i < n_rounds.value(); ++i) {
+    // Reads one (claim, journal) pair, recomputes the claim digest with
+    // traced hashing, requires a verified receipt for it (assumption), and
+    // authenticates the journal — i.e. everything a round verifier does.
+    auto binding = detail::bind_aggregation(env);
+    if (!binding.ok()) return binding.error();
+    const AggJournal& j = binding.value().journal;
+
+    // Chain links, proven in-guest.
+    if (i == 0) {
+      ZKT_TRY(env.assert_true(!j.has_prev, "genesis must not chain"));
+      ZKT_TRY(env.assert_true(j.prev_entry_count == 0,
+                              "genesis starts empty"));
+      ZKT_TRY(env.assert_eq(j.prev_root, crypto::MerkleTree::empty_leaf(),
+                            "genesis root"));
+    } else {
+      ZKT_TRY(env.assert_true(j.has_prev, "non-genesis must chain"));
+      ZKT_TRY(env.assert_eq(j.prev_claim_digest, prev_claim,
+                            "claim chain link"));
+      ZKT_TRY(env.assert_eq(j.prev_root, prev_root, "root chain link"));
+      const u64 eq = env.alu(AluOp::eq, j.prev_entry_count, prev_count);
+      ZKT_TRY(env.assert_true(eq == 1, "entry count chain link"));
+    }
+
+    prev_claim = binding.value().claim_digest;
+    prev_root = j.new_root;
+    prev_count = j.new_entry_count;
+    for (const auto& ref : j.commitments) out.commitments.push_back(ref);
+  }
+  if (env.input_remaining() != 0) {
+    return Error{Errc::guest_abort, "trailing bytes in summary input"};
+  }
+
+  out.final_claim_digest = prev_claim;
+  out.final_root = prev_root;
+  out.final_entry_count = prev_count;
+
+  Writer jw;
+  out.write(jw);
+  env.commit_raw(jw.bytes());
+  return {};
+}
+
+}  // namespace
+
+void ChainSummaryJournal::write(Writer& w) const {
+  w.str("CHAIN1");
+  w.u64v(rounds);
+  w.fixed(final_claim_digest.bytes);
+  w.fixed(final_root.bytes);
+  w.u64v(final_entry_count);
+  w.varint(commitments.size());
+  for (const auto& c : commitments) {
+    w.u32v(c.router_id);
+    w.u64v(c.window_id);
+    w.fixed(c.rlog_hash.bytes);
+    w.u64v(c.record_count);
+  }
+}
+
+Result<ChainSummaryJournal> ChainSummaryJournal::parse(BytesView journal) {
+  Reader r(journal);
+  auto magic = r.str();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != "CHAIN1") {
+    return Error{Errc::parse_error, "bad chain summary magic"};
+  }
+  ChainSummaryJournal j;
+  auto rounds = r.u64v();
+  if (!rounds.ok()) return rounds.error();
+  j.rounds = rounds.value();
+  ZKT_TRY(r.fixed(j.final_claim_digest.bytes));
+  ZKT_TRY(r.fixed(j.final_root.bytes));
+  auto count = r.u64v();
+  if (!count.ok()) return count.error();
+  j.final_entry_count = count.value();
+  auto n = r.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() > (1u << 24)) {
+    return Error{Errc::parse_error, "too many summary commitments"};
+  }
+  j.commitments.resize(n.value());
+  for (auto& c : j.commitments) {
+    auto rid = r.u32v();
+    if (!rid.ok()) return rid.error();
+    c.router_id = rid.value();
+    auto wid = r.u64v();
+    if (!wid.ok()) return wid.error();
+    c.window_id = wid.value();
+    ZKT_TRY(r.fixed(c.rlog_hash.bytes));
+    auto rc = r.u64v();
+    if (!rc.ok()) return rc.error();
+    c.record_count = rc.value();
+  }
+  if (!r.done()) {
+    return Error{Errc::parse_error, "trailing summary journal bytes"};
+  }
+  return j;
+}
+
+zvm::ImageID chain_summary_image() {
+  static const zvm::ImageID id = zvm::ImageRegistry::instance().add(
+      "zkt.guest.chain_summary", 1, chain_summary_guest);
+  return id;
+}
+
+Result<ChainSummaryResponse> prove_chain_summary(
+    std::span<const zvm::Receipt> rounds, const zvm::ProveOptions& options) {
+  if (rounds.empty()) {
+    return Error{Errc::invalid_argument, "cannot summarize an empty chain"};
+  }
+  Writer input;
+  input.u64v(rounds.size());
+  for (const auto& receipt : rounds) {
+    receipt.claim.serialize(input);
+    input.blob(receipt.journal);
+  }
+
+  zvm::ProveOptions prove_options = options;
+  for (const auto& receipt : rounds) {
+    prove_options.assumptions.push_back(receipt);
+  }
+
+  zvm::Prover prover;
+  zvm::ProveInfo info;
+  auto receipt = prover.prove(chain_summary_image(), input.bytes(),
+                              prove_options, &info);
+  if (!receipt.ok()) return receipt.error();
+  auto journal = ChainSummaryJournal::parse(receipt.value().journal);
+  if (!journal.ok()) return journal.error();
+
+  ChainSummaryResponse response;
+  response.receipt = std::move(receipt.value());
+  response.journal = std::move(journal.value());
+  response.prove_info = info;
+  return response;
+}
+
+Result<ChainSummaryJournal> verify_chain_summary(
+    const zvm::Receipt& receipt, const CommitmentBoard& board) {
+  zvm::Verifier verifier;
+  ZKT_TRY(verifier.verify(receipt, chain_summary_image()));
+  auto journal = ChainSummaryJournal::parse(receipt.journal);
+  if (!journal.ok()) return journal.error();
+
+  for (const auto& ref : journal.value().commitments) {
+    auto published = board.get(ref.router_id, ref.window_id);
+    if (!published.has_value() || published->rlog_hash != ref.rlog_hash ||
+        published->record_count != ref.record_count) {
+      return Error{Errc::commitment_missing,
+                   "summary consumes a commitment not on the board (router " +
+                       std::to_string(ref.router_id) + ", window " +
+                       std::to_string(ref.window_id) + ")"};
+    }
+  }
+  return journal;
+}
+
+}  // namespace zkt::core

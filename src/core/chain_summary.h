@@ -1,0 +1,52 @@
+// Chain summaries: merge a whole chain of aggregation receipts into ONE
+// receipt — §7's "partial proofs can then be merged into a single final
+// proof", applied to the round chain.
+//
+// The summary guest verifies every round receipt (via the assumption
+// mechanism), re-checks the chain links (claim digests, Merkle-root and
+// entry-count continuity, genesis rules) inside the proven execution, and
+// publishes: the final state root/claim plus the full list of consumed
+// commitments. An auditor who was offline for the whole history verifies
+// one receipt and cross-checks the commitment list against the public
+// board — no round-by-round replay.
+#pragma once
+
+#include "core/auditor.h"
+#include "core/guests.h"
+#include "zvm/prover.h"
+
+namespace zkt::core {
+
+struct ChainSummaryJournal {
+  u64 rounds = 0;
+  Digest32 final_claim_digest;   ///< claim of the last round in the chain
+  Digest32 final_root;
+  u64 final_entry_count = 0;
+  /// Every commitment consumed across the chain, in consumption order.
+  std::vector<CommitmentRef> commitments;
+
+  void write(Writer& w) const;
+  static Result<ChainSummaryJournal> parse(BytesView journal);
+};
+
+zvm::ImageID chain_summary_image();
+
+struct ChainSummaryResponse {
+  zvm::Receipt receipt;
+  ChainSummaryJournal journal;
+  zvm::ProveInfo prove_info;
+};
+
+/// Prove a summary over `rounds` (the full chain from genesis, in order).
+Result<ChainSummaryResponse> prove_chain_summary(
+    std::span<const zvm::Receipt> rounds,
+    const zvm::ProveOptions& options = {});
+
+/// Verifier side: verify the summary receipt and cross-check every consumed
+/// commitment against the public board. On success returns the journal —
+/// the caller may then treat (final_claim_digest, final_root, entry count)
+/// as an accepted chain head (see Auditor::adopt_summary).
+Result<ChainSummaryJournal> verify_chain_summary(
+    const zvm::Receipt& receipt, const CommitmentBoard& board);
+
+}  // namespace zkt::core

@@ -1,0 +1,51 @@
+#include "core/clog.h"
+
+namespace zkt::core {
+
+Digest32 clog_leaf_digest(const CLogEntry& entry) {
+  return crypto::MerkleTree::hash_leaf(entry.canonical_bytes());
+}
+
+std::optional<u64> CLogState::find(const netflow::FlowKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<CLogUpdate> CLogState::apply_records(
+    std::span<const netflow::FlowRecord> records) {
+  std::vector<CLogUpdate> updates;
+  updates.reserve(records.size());
+  for (const auto& record : records) {
+    CLogUpdate update;
+    auto existing = find(record.key);
+    if (existing.has_value()) {
+      update.index = *existing;
+      update.created = false;
+      entries_[*existing].merge(record);
+      update.new_leaf = clog_leaf_digest(entries_[*existing]);
+      tree_.update_leaf(*existing, update.new_leaf);
+    } else {
+      update.index = entries_.size();
+      update.created = true;
+      entries_.push_back(record);
+      index_.emplace(record.key, update.index);
+      update.new_leaf = clog_leaf_digest(record);
+      const u64 appended = tree_.append_leaf(update.new_leaf);
+      (void)appended;
+    }
+    updates.push_back(update);
+  }
+  return updates;
+}
+
+std::vector<Bytes> CLogState::entry_bytes() const {
+  std::vector<Bytes> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    out.push_back(entry.canonical_bytes());
+  }
+  return out;
+}
+
+}  // namespace zkt::core

@@ -1,0 +1,77 @@
+// CLog: the aggregated, Merkle-authenticated global flow dataset (Figure 2).
+//
+// A CLog entry is one per-flow aggregate (a netflow::FlowRecord whose
+// counters are merged across routers and windows). Entries live at stable
+// indices: existing flows are updated in place, new flows are appended in
+// first-appearance order. The Merkle tree over entry leaf digests is the
+// authentication structure every aggregation round and query proves against.
+//
+// CLogState is the host-side (prover's) copy of this structure; the zkVM
+// guest independently recomputes the same roots from its verified inputs, so
+// a host that tampers with its copy simply fails to produce a proof.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/merkle.h"
+#include "netflow/record.h"
+
+namespace zkt::core {
+
+using crypto::Digest32;
+
+using CLogEntry = netflow::FlowRecord;
+
+/// Leaf digest of a CLog entry (domain-separated Merkle leaf hash of the
+/// entry's canonical serialization).
+Digest32 clog_leaf_digest(const CLogEntry& entry);
+
+/// One entry modified or created by an aggregation round.
+struct CLogUpdate {
+  u64 index = 0;
+  bool created = false;  ///< true if the entry was newly appended
+  Digest32 new_leaf;
+};
+
+class CLogState {
+ public:
+  CLogState() = default;
+
+  u64 entry_count() const { return entries_.size(); }
+  const std::vector<CLogEntry>& entries() const { return entries_; }
+  const CLogEntry& entry(u64 index) const { return entries_[index]; }
+
+  /// Root of the authentication tree. Empty state has the empty-tree root.
+  Digest32 root() const { return tree_.root(); }
+
+  /// Inclusion proof for an entry.
+  crypto::MerkleProof prove(u64 index) const { return tree_.prove(index); }
+
+  /// Batch inclusion proof for several entries.
+  crypto::MerkleMultiProof prove_multi(std::span<const u64> indices) const {
+    return tree_.prove_multi(indices);
+  }
+
+  /// Index of the entry for a flow key, if present.
+  std::optional<u64> find(const netflow::FlowKey& key) const;
+
+  /// Apply one batch of raw records (already authenticated by the caller):
+  /// merge into existing entries or append new ones. Returns the updates
+  /// performed, in application order.
+  std::vector<CLogUpdate> apply_records(
+      std::span<const netflow::FlowRecord> records);
+
+  /// Canonical serialization of every entry, in index order (the guest input
+  /// representing the previous aggregation state).
+  std::vector<Bytes> entry_bytes() const;
+
+ private:
+  std::vector<CLogEntry> entries_;
+  std::unordered_map<netflow::FlowKey, u64, netflow::FlowKeyHasher> index_;
+  crypto::MerkleTree tree_;
+};
+
+}  // namespace zkt::core

@@ -1,0 +1,19 @@
+// Human-readable receipt introspection: renders any zktel receipt (its
+// claim, seal shape, and journal decoded according to the guest that
+// produced it) as text. Backs the zkt-inspect tool and debugging output.
+#pragma once
+
+#include <string>
+
+#include "zvm/receipt.h"
+
+namespace zkt::core {
+
+/// Multi-line description of a receipt. Never fails: unknown images or
+/// malformed journals are described as such.
+std::string describe_receipt(const zvm::Receipt& receipt);
+
+/// One-line summary (image name, cycles, sizes).
+std::string summarize_receipt(const zvm::Receipt& receipt);
+
+}  // namespace zkt::core

@@ -1,0 +1,752 @@
+#include "core/guests.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "crypto/merkle.h"
+
+namespace zkt::core {
+
+namespace {
+
+using netflow::FlowKey;
+using netflow::FlowKeyHasher;
+using netflow::FlowRecord;
+using netflow::RLogBatch;
+using zvm::AluOp;
+using zvm::Env;
+
+// ---------------------------------------------------------------------------
+// Traced helpers shared by both guests
+
+/// Traced u64 equality assertion.
+Status assert_eq_u64(Env& env, u64 a, u64 b, std::string_view context) {
+  const u64 eq = env.alu(AluOp::eq, a, b);
+  return env.assert_true(eq == 1, context);
+}
+
+/// Traced merge of a raw record into a CLog entry: one ALU row per counter,
+/// so aggregation cost scales with record count like the paper's in-zkVM
+/// aggregation does.
+void merge_traced(Env& env, FlowRecord& into, const FlowRecord& rec) {
+  // min(first), max(last) via arithmetic select.
+  {
+    const u64 lt = env.alu(AluOp::ltu, rec.first_ms, into.first_ms);
+    const u64 diff = env.alu(AluOp::sub, rec.first_ms, into.first_ms);
+    into.first_ms = env.alu(AluOp::add, into.first_ms,
+                            env.alu(AluOp::mul, lt, diff));
+    const u64 gt = env.alu(AluOp::ltu, into.last_ms, rec.last_ms);
+    const u64 diff2 = env.alu(AluOp::sub, rec.last_ms, into.last_ms);
+    into.last_ms = env.alu(AluOp::add, into.last_ms,
+                           env.alu(AluOp::mul, gt, diff2));
+  }
+  into.packets = env.alu(AluOp::add, into.packets, rec.packets);
+  into.bytes = env.alu(AluOp::add, into.bytes, rec.bytes);
+  into.lost_packets = env.alu(AluOp::add, into.lost_packets, rec.lost_packets);
+  into.hop_count_sum = env.alu(AluOp::add, into.hop_count_sum, rec.hop_count_sum);
+  into.rtt_sum_us = env.alu(AluOp::add, into.rtt_sum_us, rec.rtt_sum_us);
+  into.rtt_count = env.alu(AluOp::add, into.rtt_count, rec.rtt_count);
+  {
+    const u64 gt = env.alu(AluOp::ltu, into.rtt_max_us, rec.rtt_max_us);
+    const u64 diff = env.alu(AluOp::sub, rec.rtt_max_us, into.rtt_max_us);
+    into.rtt_max_us = env.alu(AluOp::add, into.rtt_max_us,
+                              env.alu(AluOp::mul, gt, diff));
+  }
+  into.jitter_sum_us = env.alu(AluOp::add, into.jitter_sum_us, rec.jitter_sum_us);
+  into.jitter_count = env.alu(AluOp::add, into.jitter_count, rec.jitter_count);
+  into.tcp_flags_or = static_cast<u8>(
+      env.alu(AluOp::or_, into.tcp_flags_or, rec.tcp_flags_or));
+}
+
+}  // namespace
+
+namespace {
+
+/// Traced construction of every Merkle level (levels[0] = padded leaves,
+/// levels.back() = {root}).
+std::vector<std::vector<Digest32>> merkle_levels_traced(
+    zvm::Env& env, std::vector<Digest32> leaves) {
+  const u64 padded = std::bit_ceil(std::max<u64>(leaves.size(), 1));
+  leaves.resize(padded, crypto::MerkleTree::empty_leaf());
+  std::vector<std::vector<Digest32>> levels;
+  levels.push_back(std::move(leaves));
+  while (levels.back().size() > 1) {
+    const auto& below = levels.back();
+    std::vector<Digest32> above(below.size() / 2);
+    for (size_t i = 0; i < above.size(); ++i) {
+      above[i] = env.hash_node(below[2 * i], below[2 * i + 1]);
+    }
+    levels.push_back(std::move(above));
+  }
+  return levels;
+}
+
+/// Algorithm 1, line 16: traced re-verification of one leaf's path against
+/// the (already recomputed) tree — the per-record VerifyMerkle(T_prev, f)
+/// step whose in-zkVM hashing dominates the paper's aggregation cost.
+Status verify_path_traced(zvm::Env& env,
+                          const std::vector<std::vector<Digest32>>& levels,
+                          u64 index, const Digest32& root) {
+  Digest32 acc = levels[0][index];
+  u64 idx = index;
+  for (size_t level = 0; level + 1 < levels.size(); ++level) {
+    const Digest32& sibling = levels[level][idx ^ 1];
+    acc = (idx & 1) ? env.hash_node(sibling, acc) : env.hash_node(acc, sibling);
+    idx >>= 1;
+  }
+  return env.assert_eq(acc, root, "per-record Merkle verification");
+}
+
+}  // namespace
+
+Digest32 merkle_root_traced(zvm::Env& env, std::vector<Digest32> leaves) {
+  return merkle_levels_traced(env, std::move(leaves)).back()[0];
+}
+
+// ---------------------------------------------------------------------------
+// Journal schemas
+
+void AggJournal::write(Writer& w) const {
+  w.str("AGG1");
+  w.u8v(has_prev ? 1 : 0);
+  w.fixed(prev_claim_digest.bytes);
+  w.fixed(prev_root.bytes);
+  w.fixed(new_root.bytes);
+  w.u64v(prev_entry_count);
+  w.u64v(new_entry_count);
+  w.varint(commitments.size());
+  for (const auto& c : commitments) {
+    w.u32v(c.router_id);
+    w.u64v(c.window_id);
+    w.fixed(c.rlog_hash.bytes);
+    w.u64v(c.record_count);
+  }
+  w.varint(updates.size());
+  for (const auto& u : updates) {
+    w.u64v(u.index);
+    w.u8v(u.created ? 1 : 0);
+    w.fixed(u.new_leaf.bytes);
+  }
+}
+
+Result<AggJournal> AggJournal::parse(BytesView journal) {
+  Reader r(journal);
+  auto magic = r.str();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != "AGG1") {
+    return Error{Errc::parse_error, "bad aggregation journal magic"};
+  }
+  AggJournal j;
+  auto hp = r.u8v();
+  if (!hp.ok()) return hp.error();
+  j.has_prev = hp.value() != 0;
+  ZKT_TRY(r.fixed(j.prev_claim_digest.bytes));
+  ZKT_TRY(r.fixed(j.prev_root.bytes));
+  ZKT_TRY(r.fixed(j.new_root.bytes));
+  auto pec = r.u64v();
+  if (!pec.ok()) return pec.error();
+  j.prev_entry_count = pec.value();
+  auto nec = r.u64v();
+  if (!nec.ok()) return nec.error();
+  j.new_entry_count = nec.value();
+  auto nc = r.varint();
+  if (!nc.ok()) return nc.error();
+  if (nc.value() > (1u << 20)) {
+    return Error{Errc::parse_error, "too many commitments"};
+  }
+  j.commitments.resize(nc.value());
+  for (auto& c : j.commitments) {
+    auto rid = r.u32v();
+    if (!rid.ok()) return rid.error();
+    c.router_id = rid.value();
+    auto wid = r.u64v();
+    if (!wid.ok()) return wid.error();
+    c.window_id = wid.value();
+    ZKT_TRY(r.fixed(c.rlog_hash.bytes));
+    auto rc = r.u64v();
+    if (!rc.ok()) return rc.error();
+    c.record_count = rc.value();
+  }
+  auto nu = r.varint();
+  if (!nu.ok()) return nu.error();
+  if (nu.value() > (1u << 26)) {
+    return Error{Errc::parse_error, "too many updates"};
+  }
+  j.updates.resize(nu.value());
+  for (auto& u : j.updates) {
+    auto idx = r.u64v();
+    if (!idx.ok()) return idx.error();
+    u.index = idx.value();
+    auto created = r.u8v();
+    if (!created.ok()) return created.error();
+    u.created = created.value() != 0;
+    ZKT_TRY(r.fixed(u.new_leaf.bytes));
+  }
+  if (!r.done()) {
+    return Error{Errc::parse_error, "trailing aggregation journal bytes"};
+  }
+  return j;
+}
+
+void QueryJournal::write(Writer& w) const {
+  w.str("QRY1");
+  w.u8v(static_cast<u8>(mode));
+  w.fixed(agg_claim_digest.bytes);
+  w.fixed(agg_root.bytes);
+  w.u64v(entry_count);
+  w.blob(query.to_bytes());
+  w.u64v(result.matched);
+  w.u64v(result.scanned);
+  w.u64v(result.sum);
+  w.u64v(result.min);
+  w.u64v(result.max);
+}
+
+Result<QueryJournal> QueryJournal::parse(BytesView journal) {
+  Reader r(journal);
+  auto magic = r.str();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != "QRY1") {
+    return Error{Errc::parse_error, "bad query journal magic"};
+  }
+  QueryJournal j;
+  auto mode = r.u8v();
+  if (!mode.ok()) return mode.error();
+  if (mode.value() > 1) return Error{Errc::parse_error, "bad query mode"};
+  j.mode = static_cast<QueryMode>(mode.value());
+  ZKT_TRY(r.fixed(j.agg_claim_digest.bytes));
+  ZKT_TRY(r.fixed(j.agg_root.bytes));
+  auto ec = r.u64v();
+  if (!ec.ok()) return ec.error();
+  j.entry_count = ec.value();
+  auto qb = r.blob();
+  if (!qb.ok()) return qb.error();
+  Reader qr(qb.value());
+  auto q = Query::deserialize(qr);
+  if (!q.ok()) return q.error();
+  j.query = std::move(q.value());
+  u64* fields[] = {&j.result.matched, &j.result.scanned, &j.result.sum,
+                   &j.result.min, &j.result.max};
+  for (u64* f : fields) {
+    auto v = r.u64v();
+    if (!v.ok()) return v.error();
+    *f = v.value();
+  }
+  if (!r.done()) {
+    return Error{Errc::parse_error, "trailing query journal bytes"};
+  }
+  return j;
+}
+
+// ---------------------------------------------------------------------------
+// Input framing
+
+Bytes AggregateInput::to_bytes() const {
+  Writer w;
+  w.u8v(has_prev ? 1 : 0);
+  w.fixed(prev_claim_digest.bytes);
+  w.fixed(prev_root.bytes);
+  w.u64v(prev_entries.size());
+  for (const auto& e : prev_entries) w.blob(e);
+  w.u64v(batches.size());
+  for (const auto& [ref, rlog] : batches) {
+    w.u32v(ref.router_id);
+    w.u64v(ref.window_id);
+    w.fixed(ref.rlog_hash.bytes);
+    w.u64v(ref.record_count);
+    w.blob(rlog);
+  }
+  return std::move(w).take();
+}
+
+Bytes QueryInput::to_bytes() const {
+  Writer w;
+  agg_claim.serialize(w);
+  w.blob(agg_journal);
+  w.u64v(entries.size());
+  for (const auto& e : entries) w.blob(e);
+  w.blob(query.to_bytes());
+  return std::move(w).take();
+}
+
+Bytes SelectiveQueryInput::to_bytes() const {
+  Writer w;
+  agg_claim.serialize(w);
+  w.blob(agg_journal);
+  w.blob(query.to_bytes());
+  w.u64v(opened.size());
+  for (const auto& o : opened) {
+    w.u64v(o.index);
+    w.blob(o.entry);
+  }
+  if (!opened.empty()) {
+    Writer pw;
+    proof.serialize(pw);
+    w.blob(pw.bytes());
+  }
+  return std::move(w).take();
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation guest (Algorithm 1)
+
+namespace {
+
+Status aggregate_guest(Env& env) {
+  AggJournal journal;
+
+  // ---- Parse the head of the input.
+  auto has_prev = env.read_u8();
+  if (!has_prev.ok()) return has_prev.error();
+  journal.has_prev = has_prev.value() != 0;
+
+  auto prev_claim = env.read_digest();
+  if (!prev_claim.ok()) return prev_claim.error();
+  journal.prev_claim_digest = prev_claim.value();
+
+  auto prev_root = env.read_digest();
+  if (!prev_root.ok()) return prev_root.error();
+  journal.prev_root = prev_root.value();
+
+  // ---- Step 1 (Algorithm 1): verify the previous aggregation proof.
+  if (journal.has_prev) {
+    ZKT_TRY(env.verify_assumption(guest_images().aggregate,
+                                  journal.prev_claim_digest));
+  } else {
+    ZKT_TRY(env.assert_eq(journal.prev_claim_digest, Digest32{},
+                          "genesis round must carry a zero prev claim"));
+  }
+
+  // ---- Load and authenticate the previous CLog state.
+  auto prev_count = env.read_u64();
+  if (!prev_count.ok()) return prev_count.error();
+  journal.prev_entry_count = prev_count.value();
+  if (!journal.has_prev) {
+    ZKT_TRY(assert_eq_u64(env, journal.prev_entry_count, 0,
+                          "genesis round starts empty"));
+  }
+
+  env.begin_region("verify_prev_state");
+  std::vector<FlowRecord> entries;
+  std::vector<Digest32> leaves;
+  entries.reserve(journal.prev_entry_count);
+  leaves.reserve(journal.prev_entry_count);
+  std::unordered_map<FlowKey, u64, FlowKeyHasher> index;
+  for (u64 i = 0; i < journal.prev_entry_count; ++i) {
+    auto bytes = env.read_blob();
+    if (!bytes.ok()) return bytes.error();
+    leaves.push_back(env.hash_leaf(bytes.value()));
+    Reader er(bytes.value());
+    auto entry = FlowRecord::deserialize(er);
+    if (!entry.ok()) return entry.error();
+    if (!er.done()) {
+      return Error{Errc::guest_abort, "trailing bytes in CLog entry"};
+    }
+    index.emplace(entry.value().key, i);
+    entries.push_back(std::move(entry.value()));
+  }
+  if (index.size() != entries.size()) {
+    return Error{Errc::guest_abort, "duplicate flow key in previous state"};
+  }
+  const auto prev_levels = merkle_levels_traced(env, leaves);
+  ZKT_TRY(env.assert_eq(prev_levels.back()[0], journal.prev_root,
+                        "previous CLog state vs committed root"));
+
+  // ---- Step 2: verify authenticity of the raw logs, then Step 3: merge.
+  auto n_batches = env.read_u64();
+  if (!n_batches.ok()) return n_batches.error();
+  std::vector<UpdateRef> updates;
+  std::vector<u8> touched(entries.size(), 0);
+
+  for (u64 b = 0; b < n_batches.value(); ++b) {
+    CommitmentRef ref;
+    auto rid = env.read_u32();
+    if (!rid.ok()) return rid.error();
+    ref.router_id = rid.value();
+    auto wid = env.read_u64();
+    if (!wid.ok()) return wid.error();
+    ref.window_id = wid.value();
+    auto chash = env.read_digest();
+    if (!chash.ok()) return chash.error();
+    ref.rlog_hash = chash.value();
+    auto rcount = env.read_u64();
+    if (!rcount.ok()) return rcount.error();
+    ref.record_count = rcount.value();
+    auto rlog_bytes = env.read_blob();
+    if (!rlog_bytes.ok()) return rlog_bytes.error();
+
+    // The integrity check of Figure 3: recompute H'_i and compare with the
+    // published commitment. Tampered logs abort proof generation here.
+    env.begin_region("verify_rlog_commitments");
+    const Digest32 h = env.sha256(rlog_bytes.value());
+    ZKT_TRY(env.assert_eq(h, ref.rlog_hash,
+                          "RLog hash vs published commitment"));
+
+    Reader br(rlog_bytes.value());
+    auto batch = RLogBatch::deserialize(br);
+    if (!batch.ok()) return batch.error();
+    if (!br.done()) {
+      return Error{Errc::guest_abort, "trailing bytes in RLog batch"};
+    }
+    ZKT_TRY(assert_eq_u64(env, batch.value().router_id, ref.router_id,
+                          "batch router id vs commitment"));
+    ZKT_TRY(assert_eq_u64(env, batch.value().window_id, ref.window_id,
+                          "batch window id vs commitment"));
+    ZKT_TRY(assert_eq_u64(env, batch.value().records.size(), ref.record_count,
+                          "batch record count vs commitment"));
+    journal.commitments.push_back(ref);
+
+    for (const auto& record : batch.value().records) {
+      auto it = index.find(record.key);
+      if (it != index.end()) {
+        // Algorithm 1, lines 15-18: the flow exists in C_prev — verify its
+        // Merkle path against T_prev before aggregating into it. Flows only
+        // created this round (index >= prev count) have no prev path.
+        if (it->second < journal.prev_entry_count) {
+          env.begin_region("per_record_merkle_verify");
+          ZKT_TRY(verify_path_traced(env, prev_levels, it->second,
+                                     journal.prev_root));
+        }
+        env.begin_region("aggregate_records");
+        merge_traced(env, entries[it->second], record);
+        if (!touched[it->second]) {
+          touched[it->second] = 1;
+          updates.push_back(UpdateRef{it->second, false, {}});
+        }
+      } else {
+        const u64 new_index = entries.size();
+        index.emplace(record.key, new_index);
+        entries.push_back(record);
+        touched.push_back(1);
+        updates.push_back(UpdateRef{new_index, true, {}});
+      }
+    }
+  }
+
+  // ---- Recompute leaves for touched entries and rebuild the tree.
+  env.begin_region("rebuild_merkle_tree");
+  leaves.resize(entries.size());
+  for (auto& update : updates) {
+    update.new_leaf = env.hash_leaf(entries[update.index].canonical_bytes());
+    leaves[update.index] = update.new_leaf;
+  }
+  journal.new_root = merkle_root_traced(env, leaves);
+  env.end_region();
+  journal.new_entry_count = entries.size();
+  journal.updates = std::move(updates);
+
+  if (env.input_remaining() != 0) {
+    return Error{Errc::guest_abort, "trailing bytes in aggregation input"};
+  }
+
+  Writer jw;
+  journal.write(jw);
+  env.commit_raw(jw.bytes());
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Query guests
+
+}  // namespace
+
+namespace detail {
+
+/// Traced field extraction: the derived fields cost ALU rows, plain loads
+/// are free (data movement).
+u64 extract_field_traced(Env& env, const FlowRecord& e, QField field) {
+  switch (field) {
+    case QField::duration_ms:
+      return env.alu(AluOp::sub, e.last_ms, e.first_ms);
+    case QField::rtt_avg_us:
+      return env.alu(AluOp::divu, e.rtt_sum_us, e.rtt_count);
+    case QField::jitter_avg_us:
+      return env.alu(AluOp::divu, e.jitter_sum_us, e.jitter_count);
+    default:
+      return extract_field(e, field);
+  }
+}
+
+/// Traced condition evaluation -> 0/1.
+u64 eval_condition_traced(Env& env, const Condition& c, const FlowRecord& e) {
+  const u64 v = extract_field_traced(env, e, c.field);
+  switch (c.op) {
+    case CmpOp::eq: return env.alu(AluOp::eq, v, c.value);
+    case CmpOp::ne: return env.alu(AluOp::xor_, env.alu(AluOp::eq, v, c.value), 1);
+    case CmpOp::lt: return env.alu(AluOp::ltu, v, c.value);
+    case CmpOp::le: return env.alu(AluOp::xor_, env.alu(AluOp::ltu, c.value, v), 1);
+    case CmpOp::gt: return env.alu(AluOp::ltu, c.value, v);
+    case CmpOp::ge: return env.alu(AluOp::xor_, env.alu(AluOp::ltu, v, c.value), 1);
+  }
+  return 0;
+}
+
+Result<AggBinding> bind_aggregation(Env& env) {
+  zvm::Claim agg_claim;
+  auto img = env.read_digest();
+  if (!img.ok()) return img.error();
+  agg_claim.image_id = img.value();
+  auto input_digest = env.read_digest();
+  if (!input_digest.ok()) return input_digest.error();
+  agg_claim.input_digest = input_digest.value();
+  auto journal_digest = env.read_digest();
+  if (!journal_digest.ok()) return journal_digest.error();
+  agg_claim.journal_digest = journal_digest.value();
+  auto cycles = env.read_u64();
+  if (!cycles.ok()) return cycles.error();
+  agg_claim.cycle_count = cycles.value();
+  // The claim arrives in its canonical serialization (varint-counted
+  // assumption list), exactly as Claim::serialize produces it.
+  auto n_assumptions = env.read_varint();
+  if (!n_assumptions.ok()) return n_assumptions.error();
+  if (n_assumptions.value() > 4096) {
+    return Error{Errc::guest_abort, "too many claim assumptions"};
+  }
+  agg_claim.assumptions.resize(n_assumptions.value());
+  for (auto& a : agg_claim.assumptions) {
+    auto aid = env.read_digest();
+    if (!aid.ok()) return aid.error();
+    a.image_id = aid.value();
+    auto acd = env.read_digest();
+    if (!acd.ok()) return acd.error();
+    a.claim_digest = acd.value();
+  }
+  ZKT_TRY(env.assert_eq(agg_claim.image_id, guest_images().aggregate,
+                        "query must target an aggregation receipt"));
+
+  Writer cw;
+  cw.str("zkt.claim.v1");
+  agg_claim.serialize(cw);
+  AggBinding binding;
+  binding.claim_digest = env.sha256(cw.bytes());
+  ZKT_TRY(env.verify_assumption(guest_images().aggregate,
+                                binding.claim_digest));
+
+  auto agg_journal_bytes = env.read_blob();
+  if (!agg_journal_bytes.ok()) return agg_journal_bytes.error();
+  const Digest32 jd = env.sha256(agg_journal_bytes.value());
+  ZKT_TRY(env.assert_eq(jd, agg_claim.journal_digest,
+                        "aggregation journal vs claim"));
+  auto agg_journal = AggJournal::parse(agg_journal_bytes.value());
+  if (!agg_journal.ok()) return agg_journal.error();
+  binding.journal = std::move(agg_journal.value());
+  return binding;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::bind_aggregation;
+using detail::eval_condition_traced;
+using detail::extract_field_traced;
+
+Status query_guest(Env& env) {
+  auto binding = bind_aggregation(env);
+  if (!binding.ok()) return binding.error();
+
+  QueryJournal out;
+  out.mode = QueryMode::complete;
+  out.agg_claim_digest = binding.value().claim_digest;
+  out.agg_root = binding.value().journal.new_root;
+  out.entry_count = binding.value().journal.new_entry_count;
+
+  // ---- Load and authenticate the full CLog state.
+  auto n_entries = env.read_u64();
+  if (!n_entries.ok()) return n_entries.error();
+  ZKT_TRY(assert_eq_u64(env, n_entries.value(), out.entry_count,
+                        "query must scan the complete CLog state"));
+  std::vector<FlowRecord> entries;
+  std::vector<Digest32> leaves;
+  entries.reserve(n_entries.value());
+  leaves.reserve(n_entries.value());
+  for (u64 i = 0; i < n_entries.value(); ++i) {
+    auto bytes = env.read_blob();
+    if (!bytes.ok()) return bytes.error();
+    leaves.push_back(env.hash_leaf(bytes.value()));
+    Reader er(bytes.value());
+    auto entry = FlowRecord::deserialize(er);
+    if (!entry.ok()) return entry.error();
+    entries.push_back(std::move(entry.value()));
+  }
+  const Digest32 recomputed = merkle_root_traced(env, leaves);
+  ZKT_TRY(env.assert_eq(recomputed, out.agg_root,
+                        "CLog state vs aggregation root"));
+
+  // ---- Parse the query.
+  auto query_bytes = env.read_blob();
+  if (!query_bytes.ok()) return query_bytes.error();
+  Reader qr(query_bytes.value());
+  auto query = Query::deserialize(qr);
+  if (!query.ok()) return query.error();
+  out.query = std::move(query.value());
+
+  if (env.input_remaining() != 0) {
+    return Error{Errc::guest_abort, "trailing bytes in query input"};
+  }
+
+  // ---- Evaluate over every entry with traced arithmetic.
+  QueryResult result;
+  result.min = ~0ULL;
+  for (const auto& entry : entries) {
+    result.scanned = env.alu(AluOp::add, result.scanned, 1);
+    // CNF evaluation.
+    u64 matched = 1;
+    for (const auto& clause : out.query.where) {
+      u64 any = 0;
+      for (const auto& cond : clause) {
+        any = env.alu(AluOp::or_, any,
+                      eval_condition_traced(env, cond, entry));
+      }
+      matched = env.alu(AluOp::and_, matched, any);
+    }
+    result.matched = env.alu(AluOp::add, result.matched, matched);
+    const u64 v = extract_field_traced(env, entry, out.query.agg_field);
+    result.sum = env.alu(AluOp::add, result.sum,
+                         env.alu(AluOp::mul, matched, v));
+    // min via arithmetic select (wrap-safe because take ∈ {0,1}).
+    {
+      const u64 lt = env.alu(AluOp::ltu, v, result.min);
+      const u64 take = env.alu(AluOp::and_, matched, lt);
+      const u64 diff = env.alu(AluOp::sub, v, result.min);
+      result.min = env.alu(AluOp::add, result.min,
+                           env.alu(AluOp::mul, take, diff));
+    }
+    {
+      const u64 gt = env.alu(AluOp::ltu, result.max, v);
+      const u64 take = env.alu(AluOp::and_, matched, gt);
+      const u64 diff = env.alu(AluOp::sub, v, result.max);
+      result.max = env.alu(AluOp::add, result.max,
+                           env.alu(AluOp::mul, take, diff));
+    }
+  }
+  out.result = result;
+
+  Writer jw;
+  out.write(jw);
+  env.commit_raw(jw.bytes());
+  return {};
+}
+
+// Selective query guest (§4.2 of the paper): the prover opens only the
+// entries relevant to the query, each authenticated by a Merkle inclusion
+// proof against the aggregation root, and proves they all match the
+// predicate and aggregate to the result. Cheaper than the complete scan but
+// does not prove that no other entry matches (see QueryMode).
+Status selective_query_guest(Env& env) {
+  auto binding = bind_aggregation(env);
+  if (!binding.ok()) return binding.error();
+
+  QueryJournal out;
+  out.mode = QueryMode::selective;
+  out.agg_claim_digest = binding.value().claim_digest;
+  out.agg_root = binding.value().journal.new_root;
+  out.entry_count = binding.value().journal.new_entry_count;
+
+  auto query_bytes = env.read_blob();
+  if (!query_bytes.ok()) return query_bytes.error();
+  Reader qr(query_bytes.value());
+  auto query = Query::deserialize(qr);
+  if (!query.ok()) return query.error();
+  out.query = std::move(query.value());
+
+  auto n_opened = env.read_u64();
+  if (!n_opened.ok()) return n_opened.error();
+  ZKT_TRY(env.assert_true(n_opened.value() <= out.entry_count,
+                          "cannot open more entries than exist"));
+
+  QueryResult result;
+  result.min = ~0ULL;
+  std::vector<std::pair<u64, Digest32>> opened_leaves;
+  std::vector<FlowRecord> opened_entries;
+  opened_leaves.reserve(n_opened.value());
+  opened_entries.reserve(n_opened.value());
+  for (u64 i = 0; i < n_opened.value(); ++i) {
+    auto index = env.read_u64();
+    if (!index.ok()) return index.error();
+    auto entry_bytes = env.read_blob();
+    if (!entry_bytes.ok()) return entry_bytes.error();
+    ZKT_TRY(env.assert_true(index.value() < out.entry_count,
+                            "opened index out of range"));
+    opened_leaves.emplace_back(index.value(),
+                               env.hash_leaf(entry_bytes.value()));
+    Reader er(entry_bytes.value());
+    auto entry = FlowRecord::deserialize(er);
+    if (!entry.ok()) return entry.error();
+    opened_entries.push_back(std::move(entry.value()));
+  }
+
+  if (n_opened.value() > 0) {
+    // One batch inclusion proof for every opened entry. Strict index
+    // ascension inside the check also rules out double counting.
+    auto proof_bytes = env.read_blob();
+    if (!proof_bytes.ok()) return proof_bytes.error();
+    Reader pr(proof_bytes.value());
+    auto proof = crypto::MerkleMultiProof::deserialize(pr);
+    if (!proof.ok()) return proof.error();
+    ZKT_TRY(assert_eq_u64(env, proof.value().leaf_count, out.entry_count,
+                          "proof leaf count vs state size"));
+    ZKT_TRY(env.verify_merkle_multi(out.agg_root, opened_leaves,
+                                    proof.value()));
+  }
+  if (env.input_remaining() != 0) {
+    return Error{Errc::guest_abort, "trailing bytes in selective query input"};
+  }
+
+  for (const auto& entry : opened_entries) {
+    // Every opened entry must satisfy the predicate (the prover cannot
+    // smuggle non-matching entries into the aggregate).
+    u64 matched = 1;
+    for (const auto& clause : out.query.where) {
+      u64 any = 0;
+      for (const auto& cond : clause) {
+        any = env.alu(AluOp::or_, any,
+                      eval_condition_traced(env, cond, entry));
+      }
+      matched = env.alu(AluOp::and_, matched, any);
+    }
+    ZKT_TRY(env.assert_true(matched == 1, "opened entry must match query"));
+
+    result.matched = env.alu(AluOp::add, result.matched, 1);
+    result.scanned = env.alu(AluOp::add, result.scanned, 1);
+    const u64 v = extract_field_traced(env, entry, out.query.agg_field);
+    result.sum = env.alu(AluOp::add, result.sum, v);
+    {
+      const u64 lt = env.alu(AluOp::ltu, v, result.min);
+      const u64 diff = env.alu(AluOp::sub, v, result.min);
+      result.min =
+          env.alu(AluOp::add, result.min, env.alu(AluOp::mul, lt, diff));
+    }
+    {
+      const u64 gt = env.alu(AluOp::ltu, result.max, v);
+      const u64 diff = env.alu(AluOp::sub, v, result.max);
+      result.max =
+          env.alu(AluOp::add, result.max, env.alu(AluOp::mul, gt, diff));
+    }
+  }
+  out.result = result;
+
+  Writer jw;
+  out.write(jw);
+  env.commit_raw(jw.bytes());
+  return {};
+}
+
+}  // namespace
+
+const GuestImages& guest_images() {
+  static const GuestImages images = [] {
+    GuestImages g;
+    g.aggregate =
+        zvm::ImageRegistry::instance().add("zkt.guest.aggregate", 1,
+                                           aggregate_guest);
+    g.query = zvm::ImageRegistry::instance().add("zkt.guest.query", 1,
+                                                 query_guest);
+    g.query_selective = zvm::ImageRegistry::instance().add(
+        "zkt.guest.query_selective", 1, selective_query_guest);
+    return g;
+  }();
+  return images;
+}
+
+}  // namespace zkt::core

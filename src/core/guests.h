@@ -1,0 +1,167 @@
+// The two zkVM guest programs of the paper's system, plus the host-side
+// input builders and journal schemas they share with verifiers.
+//
+//   aggregate guest — Algorithm 1: verify the previous round's proof
+//       (assumption), verify every RLog hash against its published
+//       commitment, verify the previous CLog state against the previous
+//       Merkle root, merge the new records, rebuild the Merkle tree, and
+//       publish (prev_root -> new_root, commitments used, entry updates) in
+//       the journal.
+//
+//   query guest — bind to an aggregation receipt's claim, re-authenticate
+//       the full CLog state against that round's root, evaluate the query
+//       predicate over EVERY entry (completeness), aggregate with traced
+//       arithmetic, and publish (claim, root, query, result) in the journal.
+//
+// Journal layouts are canonical Writer/Reader structs so host, guest and
+// clients cannot disagree about framing.
+#pragma once
+
+#include "core/clog.h"
+#include "core/query.h"
+#include "zvm/env.h"
+#include "zvm/image.h"
+
+namespace zkt::core {
+
+struct GuestImages {
+  zvm::ImageID aggregate;
+  zvm::ImageID query;            ///< complete-scan query (proves completeness)
+  zvm::ImageID query_selective;  ///< paper-style selective query (§4.2)
+};
+
+/// Registers both guests (idempotent) and returns their image IDs.
+const GuestImages& guest_images();
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+/// Reference to one committed RLog batch consumed by a round.
+struct CommitmentRef {
+  u32 router_id = 0;
+  u64 window_id = 0;
+  Digest32 rlog_hash;
+  u64 record_count = 0;
+
+  friend bool operator==(const CommitmentRef&, const CommitmentRef&) = default;
+};
+
+/// One CLog entry touched by a round (public part: index + new leaf digest).
+struct UpdateRef {
+  u64 index = 0;
+  bool created = false;
+  Digest32 new_leaf;
+
+  friend bool operator==(const UpdateRef&, const UpdateRef&) = default;
+};
+
+/// Public journal of an aggregation round.
+struct AggJournal {
+  bool has_prev = false;
+  Digest32 prev_claim_digest;  ///< zero when has_prev is false
+  Digest32 prev_root;
+  Digest32 new_root;
+  u64 prev_entry_count = 0;
+  u64 new_entry_count = 0;
+  std::vector<CommitmentRef> commitments;
+  std::vector<UpdateRef> updates;
+
+  void write(Writer& w) const;
+  static Result<AggJournal> parse(BytesView journal);
+};
+
+/// Host-side input to the aggregation guest.
+struct AggregateInput {
+  bool has_prev = false;
+  Digest32 prev_claim_digest;
+  Digest32 prev_root;  ///< empty-tree root when has_prev is false
+  std::vector<Bytes> prev_entries;  ///< canonical CLog entry bytes, in order
+  /// (commitment metadata, serialized RLogBatch bytes), in aggregation order.
+  std::vector<std::pair<CommitmentRef, Bytes>> batches;
+
+  Bytes to_bytes() const;
+};
+
+// ---------------------------------------------------------------------------
+// Query
+
+/// How a query proof covered the CLog state.
+enum class QueryMode : u8 {
+  /// Every entry was scanned inside the guest; the result is complete (no
+  /// matching entry can have been omitted). Costs O(state size).
+  complete = 0,
+  /// Only prover-selected entries were opened with Merkle inclusion proofs,
+  /// as §4.2 of the paper describes. Sound for what it proves ("these
+  /// committed entries aggregate to X") but does NOT prove that no other
+  /// entry matches — cheaper, O(matches · log n).
+  selective = 1,
+};
+
+/// Public journal of a query proof.
+struct QueryJournal {
+  QueryMode mode = QueryMode::complete;
+  Digest32 agg_claim_digest;  ///< aggregation receipt this query ran against
+  Digest32 agg_root;
+  u64 entry_count = 0;
+  Query query;
+  QueryResult result;
+
+  void write(Writer& w) const;
+  static Result<QueryJournal> parse(BytesView journal);
+};
+
+/// Host-side input to the complete-scan query guest.
+struct QueryInput {
+  zvm::Claim agg_claim;      ///< claim of the aggregation receipt
+  Bytes agg_journal;         ///< that receipt's journal bytes
+  std::vector<Bytes> entries;  ///< full CLog state, canonical bytes in order
+  Query query;
+
+  Bytes to_bytes() const;
+};
+
+/// Host-side input to the selective query guest: only the matching entries,
+/// authenticated together by ONE Merkle multiproof against the aggregation
+/// root (shared path prefixes deduplicated — far cheaper than per-entry
+/// proofs when matches cluster or are numerous).
+struct SelectiveQueryInput {
+  zvm::Claim agg_claim;
+  Bytes agg_journal;
+  struct OpenedEntry {
+    u64 index = 0;
+    Bytes entry;  ///< canonical CLog entry bytes
+  };
+  /// Must be strictly ascending by index.
+  std::vector<OpenedEntry> opened;
+  /// Batch inclusion proof for exactly the opened indices (ignored when
+  /// `opened` is empty).
+  crypto::MerkleMultiProof proof;
+  Query query;
+
+  Bytes to_bytes() const;
+};
+
+/// Traced Merkle-root computation over leaf digests (pads to a power of two
+/// with the empty leaf, like crypto::MerkleTree). Exposed for tests.
+Digest32 merkle_root_traced(zvm::Env& env, std::vector<Digest32> leaves);
+
+namespace detail {
+/// Shared head of every query-flavoured guest: read the aggregation
+/// receipt's claim + journal from the input stream, recompute the claim
+/// digest with traced hashing, require a verified receipt for it, and
+/// authenticate the journal. Returns the claim digest and parsed journal.
+struct AggBinding {
+  Digest32 claim_digest;
+  AggJournal journal;
+};
+Result<AggBinding> bind_aggregation(zvm::Env& env);
+
+/// Traced condition evaluation (0/1) and field extraction used by the query
+/// guests.
+u64 eval_condition_traced(zvm::Env& env, const Condition& c,
+                          const netflow::FlowRecord& e);
+u64 extract_field_traced(zvm::Env& env, const netflow::FlowRecord& e,
+                         QField field);
+}  // namespace detail
+
+}  // namespace zkt::core

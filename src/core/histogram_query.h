@@ -1,0 +1,58 @@
+// Verifiable quantile bounds from committed latency histograms: the SLA
+// claim of §2.1 — "at least 90 % of [samples] achieve RTT < X ms" — proven
+// without revealing the latency distribution.
+//
+// The guest checks the histogram bytes against the published commitment,
+// recomputes (count of samples provably below the bound, total) with traced
+// arithmetic, and publishes only those two numbers plus the bound. The
+// verifier derives the fraction; the shape of the distribution stays
+// private.
+#pragma once
+
+#include "core/commitment.h"
+#include "core/guests.h"
+#include "netflow/histogram.h"
+#include "zvm/prover.h"
+#include "zvm/verifier.h"
+
+namespace zkt::core {
+
+struct HistogramQueryJournal {
+  /// Published histogram commitment: rlog_hash = histogram hash,
+  /// record_count = total samples.
+  CommitmentRef commitment;
+  u64 bound_us = 0;
+  u64 count_below = 0;  ///< samples provably below bound_us
+  u64 total = 0;
+
+  double fraction_below() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(count_below) /
+                            static_cast<double>(total);
+  }
+
+  void write(Writer& w) const;
+  static Result<HistogramQueryJournal> parse(BytesView journal);
+};
+
+zvm::ImageID histogram_query_image();
+
+struct HistogramQueryResponse {
+  zvm::Receipt receipt;
+  HistogramQueryJournal journal;
+  zvm::ProveInfo prove_info;
+};
+
+/// Prove the below-bound count for `bound_us` against `histogram`, whose
+/// hash must already be published as `ref`.
+Result<HistogramQueryResponse> prove_histogram_query(
+    const CommitmentRef& ref, const netflow::LatencyHistogram& histogram,
+    u64 bound_us, const zvm::ProveOptions& options = {});
+
+/// Verifier side: check the receipt, match its commitment against the
+/// board, and (optionally) the expected bound.
+Result<HistogramQueryJournal> verify_histogram_query(
+    const zvm::Receipt& receipt, const CommitmentBoard& board,
+    const u64* expected_bound_us = nullptr);
+
+}  // namespace zkt::core

@@ -1,0 +1,133 @@
+#include "core/io.h"
+
+#include <cstdio>
+
+#include "store/logstore.h"  // crc32
+
+namespace zkt::core {
+
+namespace {
+
+constexpr std::string_view kCommitmentsMagic = "ZKTCOMM1";
+constexpr std::string_view kReceiptsMagic = "ZKTRCPT1";
+
+Bytes frame_items(std::string_view magic, const std::vector<Bytes>& items) {
+  Writer w;
+  w.str(magic);
+  w.varint(items.size());
+  for (const auto& item : items) {
+    w.blob(item);
+    w.u32v(store::crc32(item));
+  }
+  return std::move(w).take();
+}
+
+Result<std::vector<Bytes>> unframe_items(std::string_view magic,
+                                         BytesView data) {
+  Reader r(data);
+  auto m = r.str();
+  if (!m.ok()) return m.error();
+  if (m.value() != magic) {
+    return Error{Errc::parse_error, "bad file magic"};
+  }
+  auto n = r.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() > (1u << 20)) {
+    return Error{Errc::parse_error, "unreasonable item count"};
+  }
+  std::vector<Bytes> items;
+  items.reserve(n.value());
+  for (u64 i = 0; i < n.value(); ++i) {
+    auto item = r.blob();
+    if (!item.ok()) return item.error();
+    auto crc = r.u32v();
+    if (!crc.ok()) return crc.error();
+    if (store::crc32(item.value()) != crc.value()) {
+      return Error{Errc::parse_error,
+                   "item " + std::to_string(i) + " failed CRC"};
+    }
+    items.push_back(std::move(item.value()));
+  }
+  if (!r.done()) return Error{Errc::parse_error, "trailing file bytes"};
+  return items;
+}
+
+}  // namespace
+
+Status write_file(const std::string& path, BytesView data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Error{Errc::io_error, "cannot open for writing: " + path};
+  }
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) {
+    return Error{Errc::io_error, "short write: " + path};
+  }
+  return {};
+}
+
+Result<Bytes> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error{Errc::io_error, "cannot open for reading: " + path};
+  }
+  Bytes out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status save_commitments(const CommitmentBoard& board,
+                        const std::string& path) {
+  std::vector<Bytes> items;
+  for (const auto& commitment : board.all()) {
+    items.push_back(commitment.to_bytes());
+  }
+  return write_file(path, frame_items(kCommitmentsMagic, items));
+}
+
+Status load_commitments(const std::string& path, CommitmentBoard& board) {
+  auto data = read_file(path);
+  if (!data.ok()) return data.error();
+  auto items = unframe_items(kCommitmentsMagic, data.value());
+  if (!items.ok()) return items.error();
+  for (const auto& item : items.value()) {
+    Reader r(item);
+    auto commitment = Commitment::deserialize(r);
+    if (!commitment.ok()) return commitment.error();
+    ZKT_TRY(board.publish(commitment.value()));
+  }
+  return {};
+}
+
+Status save_receipts(const std::vector<zvm::Receipt>& receipts,
+                     const std::string& path) {
+  std::vector<Bytes> items;
+  items.reserve(receipts.size());
+  for (const auto& receipt : receipts) {
+    items.push_back(receipt.to_bytes());
+  }
+  return write_file(path, frame_items(kReceiptsMagic, items));
+}
+
+Result<std::vector<zvm::Receipt>> load_receipts(const std::string& path) {
+  auto data = read_file(path);
+  if (!data.ok()) return data.error();
+  auto items = unframe_items(kReceiptsMagic, data.value());
+  if (!items.ok()) return items.error();
+  std::vector<zvm::Receipt> receipts;
+  receipts.reserve(items.value().size());
+  for (const auto& item : items.value()) {
+    auto receipt = zvm::Receipt::from_bytes(item);
+    if (!receipt.ok()) return receipt.error();
+    receipts.push_back(std::move(receipt.value()));
+  }
+  return receipts;
+}
+
+}  // namespace zkt::core

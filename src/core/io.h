@@ -1,0 +1,34 @@
+// File formats for moving zktel artifacts between processes: commitment
+// board dumps and receipt bundles. Both are length-framed sequences with a
+// magic header and per-item CRC, so the CLI tools (zkt-sim, zkt-prove,
+// zkt-verify) can hand artifacts to each other — and to auditors — as plain
+// files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/commitment.h"
+#include "zvm/receipt.h"
+
+namespace zkt::core {
+
+/// Write every commitment on the board to `path`.
+Status save_commitments(const CommitmentBoard& board, const std::string& path);
+
+/// Load commitments from `path` and publish them onto `board` (signatures
+/// re-verified by the board).
+Status load_commitments(const std::string& path, CommitmentBoard& board);
+
+/// Write a sequence of receipts to `path`.
+Status save_receipts(const std::vector<zvm::Receipt>& receipts,
+                     const std::string& path);
+
+/// Load a sequence of receipts from `path`.
+Result<std::vector<zvm::Receipt>> load_receipts(const std::string& path);
+
+/// Raw helpers shared by the formats above.
+Status write_file(const std::string& path, BytesView data);
+Result<Bytes> read_file(const std::string& path);
+
+}  // namespace zkt::core

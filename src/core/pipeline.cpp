@@ -1,0 +1,52 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+namespace zkt::core {
+
+std::vector<u64> ProviderPipeline::pending_windows() const {
+  std::vector<u64> windows;
+  const u64 from = last_window_.has_value() ? *last_window_ + 1 : 0;
+  for (const auto& row : store_->scan(store::kTableRlogs, from, ~0ULL)) {
+    windows.push_back(row.k1);
+  }
+  std::sort(windows.begin(), windows.end());
+  windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
+  return windows;
+}
+
+u64 ProviderPipeline::prune_aggregated() {
+  if (!last_window_.has_value()) return 0;
+  return store_->drop_rows(store::kTableRlogs, *last_window_);
+}
+
+Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
+  std::vector<AggregationRound> rounds;
+  for (u64 window : pending_windows()) {
+    std::vector<netflow::RLogBatch> batches;
+    for (const auto& row :
+         store_->scan(store::kTableRlogs, window, window)) {
+      Reader r(row.payload);
+      auto batch = netflow::RLogBatch::deserialize(r);
+      if (!batch.ok()) return batch.error();
+      if (!r.done()) {
+        return Error{Errc::parse_error, "trailing bytes in stored batch"};
+      }
+      batches.push_back(std::move(batch.value()));
+    }
+    auto round = aggregation_.aggregate(std::move(batches));
+    if (!round.ok()) return round.error();
+
+    auto stored = store_->append(store::kTableReceipts, window,
+                                 round.value().round_id,
+                                 round.value().receipt.to_bytes());
+    if (!stored.ok()) return stored.error();
+    receipts_.push_back(round.value().receipt);
+    last_window_ = window;
+    rounds.push_back(std::move(round.value()));
+  }
+  return rounds;
+}
+
+}  // namespace zkt::core

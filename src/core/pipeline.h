@@ -1,0 +1,51 @@
+// ProviderPipeline: the provider-side orchestration loop — watch the shared
+// log store for newly committed windows, aggregate each through the zkVM in
+// window order, and persist the receipts back into the store. This is the
+// "aggregation phase … runs independently in the background" of §4,
+// packaged as a library component (the zkt-prove tool and the simulator
+// integration tests drive it).
+#pragma once
+
+#include "core/service.h"
+#include "store/logstore.h"
+
+namespace zkt::core {
+
+class ProviderPipeline {
+ public:
+  ProviderPipeline(store::LogStore& store, const CommitmentBoard& board,
+                   zvm::ProveOptions prove_options = {})
+      : store_(&store), aggregation_(board, std::move(prove_options)) {}
+
+  /// Aggregate every committed window newer than the last one processed,
+  /// in ascending window order. Each round's receipt is appended to the
+  /// store's receipts table (k1 = window id). Returns the rounds proven in
+  /// this call (possibly empty). Stops at — and returns — the first failure
+  /// (a tampered window blocks the chain, by design).
+  Result<std::vector<AggregationRound>> aggregate_pending();
+
+  /// Windows present in the store's rlogs table that have not been
+  /// aggregated yet.
+  std::vector<u64> pending_windows() const;
+
+  bool has_rounds() const { return aggregation_.has_rounds(); }
+  const AggregationService& aggregation() const { return aggregation_; }
+
+  /// All receipts proven by this pipeline, in round order.
+  const std::vector<zvm::Receipt>& receipts() const { return receipts_; }
+
+  /// Drop raw logs whose windows have been aggregated under proof — the
+  /// paper's retention model (§2.2: "raw logs are often discarded after a
+  /// period of time"; the commitments and receipts keep the history
+  /// verifiable). Returns the number of rows dropped. Call
+  /// store.checkpoint() afterwards to reclaim durable space.
+  u64 prune_aggregated();
+
+ private:
+  store::LogStore* store_;
+  AggregationService aggregation_;
+  std::vector<zvm::Receipt> receipts_;
+  std::optional<u64> last_window_;
+};
+
+}  // namespace zkt::core

@@ -1,0 +1,240 @@
+#include "core/query_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace zkt::core {
+
+namespace {
+
+struct Token {
+  enum Kind { word, number, ip, op, lparen, rparen, end } kind = end;
+  std::string text;
+};
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '(') {
+        tokens.push_back({Token::lparen, "("});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({Token::rparen, ")"});
+        ++pos_;
+      } else if (c == '=' || c == '!' || c == '<' || c == '>') {
+        std::string op(1, c);
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          op += '=';
+          ++pos_;
+        }
+        if (op == "!") {
+          return Error{Errc::parse_error, "lone '!' in query"};
+        }
+        tokens.push_back({Token::op, op});
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = pos_;
+        bool dotted = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.')) {
+          if (text_[pos_] == '.') dotted = true;
+          ++pos_;
+        }
+        tokens.push_back({dotted ? Token::ip : Token::number,
+                          std::string(text_.substr(start, pos_ - start))});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {Token::word, lower(text_.substr(start, pos_ - start))});
+      } else {
+        return Error{Errc::parse_error,
+                     std::string("unexpected character '") + c + "'"};
+      }
+    }
+    tokens.push_back({Token::end, ""});
+    return tokens;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<QField> field_from_name(const std::string& name) {
+  for (u8 f = 1; f <= static_cast<u8>(QField::jitter_avg_us); ++f) {
+    if (name == qfield_name(static_cast<QField>(f))) {
+      return static_cast<QField>(f);
+    }
+  }
+  return Error{Errc::parse_error, "unknown field: " + name};
+}
+
+Result<CmpOp> cmp_from_op(const std::string& op) {
+  if (op == "=" || op == "==") return CmpOp::eq;
+  if (op == "!=") return CmpOp::ne;
+  if (op == "<") return CmpOp::lt;
+  if (op == "<=") return CmpOp::le;
+  if (op == ">") return CmpOp::gt;
+  if (op == ">=") return CmpOp::ge;
+  return Error{Errc::parse_error, "unknown comparison: " + op};
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> run() {
+    Query query;
+    ZKT_TRY(parse_agg(query));
+    if (peek().kind == Token::word && peek().text == "where") {
+      advance();
+      for (;;) {
+        auto clause = parse_clause();
+        if (!clause.ok()) return clause.error();
+        query.where.push_back(std::move(clause.value()));
+        if (peek().kind == Token::word && peek().text == "and") {
+          advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (peek().kind != Token::end) {
+      return Error{Errc::parse_error, "trailing input: " + peek().text};
+    }
+    return query;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  Status parse_agg(Query& query) {
+    if (peek().kind != Token::word) {
+      return Error{Errc::parse_error, "expected aggregate"};
+    }
+    const std::string agg = advance().text;
+    if (agg == "count") {
+      query.agg = AggKind::count;
+      // Optional COUNT(*) style parens.
+      if (peek().kind == Token::lparen) {
+        advance();
+        if (peek().kind == Token::word) advance();  // allow count(packets)
+        if (peek().kind != Token::rparen) {
+          return Error{Errc::parse_error, "expected ')'"};
+        }
+        advance();
+      }
+      return {};
+    }
+    if (agg == "sum") query.agg = AggKind::sum;
+    else if (agg == "min") query.agg = AggKind::min;
+    else if (agg == "max") query.agg = AggKind::max;
+    else return Error{Errc::parse_error, "unknown aggregate: " + agg};
+
+    if (peek().kind != Token::lparen) {
+      return Error{Errc::parse_error, agg + " requires a field argument"};
+    }
+    advance();
+    if (peek().kind != Token::word) {
+      return Error{Errc::parse_error, "expected field name"};
+    }
+    auto field = field_from_name(advance().text);
+    if (!field.ok()) return field.error();
+    query.agg_field = field.value();
+    if (peek().kind != Token::rparen) {
+      return Error{Errc::parse_error, "expected ')'"};
+    }
+    advance();
+    return {};
+  }
+
+  Result<std::vector<Condition>> parse_clause() {
+    const bool parenthesized = peek().kind == Token::lparen;
+    if (parenthesized) advance();
+    std::vector<Condition> clause;
+    for (;;) {
+      auto cond = parse_condition();
+      if (!cond.ok()) return cond.error();
+      clause.push_back(cond.value());
+      if (peek().kind == Token::word && peek().text == "or") {
+        advance();
+        continue;
+      }
+      break;
+    }
+    if (parenthesized) {
+      if (peek().kind != Token::rparen) {
+        return Error{Errc::parse_error, "expected ')' to close clause"};
+      }
+      advance();
+    }
+    return clause;
+  }
+
+  Result<Condition> parse_condition() {
+    if (peek().kind != Token::word) {
+      return Error{Errc::parse_error, "expected field name"};
+    }
+    auto field = field_from_name(advance().text);
+    if (!field.ok()) return field.error();
+    if (peek().kind != Token::op) {
+      return Error{Errc::parse_error, "expected comparison operator"};
+    }
+    auto op = cmp_from_op(advance().text);
+    if (!op.ok()) return op.error();
+
+    u64 value = 0;
+    if (peek().kind == Token::number) {
+      const std::string& text = advance().text;
+      const auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), value);
+      if (ec != std::errc() || ptr != text.data() + text.size()) {
+        return Error{Errc::parse_error, "bad number: " + text};
+      }
+    } else if (peek().kind == Token::ip) {
+      auto ip = netflow::parse_ipv4(advance().text);
+      if (!ip.ok()) return ip.error();
+      value = ip.value();
+    } else {
+      return Error{Errc::parse_error, "expected value"};
+    }
+    return Condition{field.value(), op.value(), value};
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> parse_query(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.run();
+  if (!tokens.ok()) return tokens.error();
+  Parser parser(std::move(tokens.value()));
+  return parser.run();
+}
+
+}  // namespace zkt::core

@@ -1,0 +1,23 @@
+// Text parser for the query mini-language used by the CLI tools:
+//
+//   count
+//   sum(hop_sum) where src_ip = 1.1.1.1 and dst_ip = 9.9.9.9
+//   count where rtt_avg_us < 50000 and (protocol = 6 or protocol = 17)
+//
+// Grammar (case-insensitive keywords):
+//   query  := agg [ "where" clause { "and" clause } ]
+//   agg    := "count" | ("sum"|"min"|"max") "(" field ")"
+//   clause := cond { "or" cond } | "(" cond { "or" cond } ")"
+//   cond   := field op value
+//   op     := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+//   value  := uint64 | IPv4 dotted quad
+// Parentheses only group OR-clauses (the language is CNF like the AST).
+#pragma once
+
+#include "core/query.h"
+
+namespace zkt::core {
+
+Result<Query> parse_query(std::string_view text);
+
+}  // namespace zkt::core

@@ -1,0 +1,151 @@
+#include "core/service.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace zkt::core {
+
+Result<AggregationRound> AggregationService::aggregate(
+    std::vector<netflow::RLogBatch> batches) {
+  std::sort(batches.begin(), batches.end(),
+            [](const netflow::RLogBatch& a, const netflow::RLogBatch& b) {
+              return std::tie(a.window_id, a.router_id) <
+                     std::tie(b.window_id, b.router_id);
+            });
+
+  AggregateInput input;
+  input.has_prev = last_receipt_.has_value();
+  input.prev_claim_digest = last_claim_digest();
+  input.prev_root = state_.root();
+  input.prev_entries = state_.entry_bytes();
+  input.batches.reserve(batches.size());
+  for (const auto& batch : batches) {
+    // The *published* commitment is the reference the guest checks the raw
+    // bytes against; a batch modified after commitment therefore fails in
+    // the guest, not here.
+    auto commitment = board_->get(batch.router_id, batch.window_id);
+    if (!commitment.has_value()) {
+      return Error{Errc::commitment_missing,
+                   "no published commitment for router " +
+                       std::to_string(batch.router_id) + " window " +
+                       std::to_string(batch.window_id)};
+    }
+    CommitmentRef ref;
+    ref.router_id = batch.router_id;
+    ref.window_id = batch.window_id;
+    ref.rlog_hash = commitment->rlog_hash;
+    ref.record_count = commitment->record_count;
+    input.batches.emplace_back(ref, batch.canonical_bytes());
+  }
+
+  zvm::ProveOptions options = prove_options_;
+  if (last_receipt_.has_value()) {
+    options.assumptions.push_back(*last_receipt_);
+  }
+
+  zvm::Prover prover;
+  zvm::ProveInfo info;
+  auto receipt = prover.prove(guest_images().aggregate, input.to_bytes(),
+                              options, &info);
+  if (!receipt.ok()) return receipt.error();
+
+  auto journal = AggJournal::parse(receipt.value().journal);
+  if (!journal.ok()) return journal.error();
+
+  // Mirror the guest's state transition on the host copy.
+  for (const auto& batch : batches) {
+    state_.apply_records(batch.records);
+  }
+  if (state_.root() != journal.value().new_root ||
+      state_.entry_count() != journal.value().new_entry_count) {
+    return Error{Errc::merkle_mismatch,
+                 "host state diverged from proven aggregation"};
+  }
+
+  last_receipt_ = receipt.value();
+  AggregationRound round;
+  round.round_id = rounds_++;
+  round.receipt = std::move(receipt.value());
+  round.journal = std::move(journal.value());
+  round.prove_info = info;
+  ZKT_LOG(info) << "aggregation round " << round.round_id << ": "
+                << round.journal.commitments.size() << " batches, "
+                << round.journal.new_entry_count << " entries, "
+                << info.cycles << " cycles, " << info.total_ms << " ms";
+  return round;
+}
+
+Result<QueryResponse> QueryService::finish(Result<zvm::Receipt> receipt,
+                                           const zvm::ProveInfo& info) const {
+  if (!receipt.ok()) return receipt.error();
+  auto journal = QueryJournal::parse(receipt.value().journal);
+  if (!journal.ok()) return journal.error();
+
+  QueryResponse response;
+  response.value = journal.value().result.value(journal.value().query.agg);
+  response.receipt = std::move(receipt.value());
+  response.journal = std::move(journal.value());
+  response.prove_info = info;
+  return response;
+}
+
+Result<QueryResponse> QueryService::run(const Query& query) const {
+  if (!aggregation_->has_rounds()) {
+    return Error{Errc::chain_broken,
+                 "no aggregation round to query against"};
+  }
+  const zvm::Receipt& agg_receipt = aggregation_->last_receipt();
+
+  QueryInput input;
+  input.agg_claim = agg_receipt.claim;
+  input.agg_journal = agg_receipt.journal;
+  input.entries = aggregation_->state().entry_bytes();
+  input.query = query;
+
+  zvm::ProveOptions options = prove_options_;
+  options.assumptions.push_back(agg_receipt);
+
+  zvm::Prover prover;
+  zvm::ProveInfo info;
+  auto receipt = prover.prove(guest_images().query, input.to_bytes(), options,
+                              &info);
+  return finish(std::move(receipt), info);
+}
+
+Result<QueryResponse> QueryService::run_selective(const Query& query) const {
+  if (!aggregation_->has_rounds()) {
+    return Error{Errc::chain_broken,
+                 "no aggregation round to query against"};
+  }
+  const zvm::Receipt& agg_receipt = aggregation_->last_receipt();
+  const CLogState& state = aggregation_->state();
+
+  SelectiveQueryInput input;
+  input.agg_claim = agg_receipt.claim;
+  input.agg_journal = agg_receipt.journal;
+  input.query = query;
+  std::vector<u64> indices;
+  for (u64 i = 0; i < state.entry_count(); ++i) {
+    if (!matches(query, state.entry(i))) continue;
+    SelectiveQueryInput::OpenedEntry opened;
+    opened.index = i;
+    opened.entry = state.entry(i).canonical_bytes();
+    input.opened.push_back(std::move(opened));
+    indices.push_back(i);
+  }
+  if (!indices.empty()) {
+    input.proof = state.prove_multi(indices);
+  }
+
+  zvm::ProveOptions options = prove_options_;
+  options.assumptions.push_back(agg_receipt);
+
+  zvm::Prover prover;
+  zvm::ProveInfo info;
+  auto receipt = prover.prove(guest_images().query_selective,
+                              input.to_bytes(), options, &info);
+  return finish(std::move(receipt), info);
+}
+
+}  // namespace zkt::core

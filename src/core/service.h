@@ -1,0 +1,91 @@
+// Prover-side services: the service provider's aggregation pipeline and
+// query responder (the "Prover" box of Figure 1).
+//
+// AggregationService owns the CLog state and runs Algorithm-1 rounds inside
+// the zkVM; QueryService answers client queries with proofs against the
+// latest aggregated state. Both deliberately avoid pre-checking the
+// integrity conditions the guest enforces: if the stored logs were tampered
+// with after commitment, proof *generation* fails — which is the detection
+// mechanism the paper evaluates (§6).
+#pragma once
+
+#include <optional>
+
+#include "core/clog.h"
+#include "core/commitment.h"
+#include "core/guests.h"
+#include "zvm/prover.h"
+
+namespace zkt::core {
+
+struct AggregationRound {
+  u64 round_id = 0;
+  zvm::Receipt receipt;
+  AggJournal journal;
+  zvm::ProveInfo prove_info;
+};
+
+class AggregationService {
+ public:
+  explicit AggregationService(const CommitmentBoard& board,
+                              zvm::ProveOptions prove_options = {})
+      : board_(&board), prove_options_(std::move(prove_options)) {}
+
+  /// Run one aggregation round over the given batches. Batches are processed
+  /// in (window, router) order to keep rounds deterministic. Fails — without
+  /// modifying state — if any batch lacks a published commitment or fails
+  /// the in-guest integrity checks.
+  Result<AggregationRound> aggregate(
+      std::vector<netflow::RLogBatch> batches);
+
+  const CLogState& state() const { return state_; }
+  u64 rounds_completed() const { return rounds_; }
+  bool has_rounds() const { return last_receipt_.has_value(); }
+  const zvm::Receipt& last_receipt() const { return *last_receipt_; }
+  Digest32 last_claim_digest() const {
+    return last_receipt_ ? last_receipt_->claim.digest() : Digest32{};
+  }
+
+ private:
+  const CommitmentBoard* board_;
+  zvm::ProveOptions prove_options_;
+  CLogState state_;
+  std::optional<zvm::Receipt> last_receipt_;
+  u64 rounds_ = 0;
+};
+
+struct QueryResponse {
+  zvm::Receipt receipt;
+  QueryJournal journal;
+  /// Convenience: journal.result.value(journal.query.agg).
+  u64 value = 0;
+  zvm::ProveInfo prove_info;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(const AggregationService& aggregation,
+                        zvm::ProveOptions prove_options = {})
+      : aggregation_(&aggregation),
+        prove_options_(std::move(prove_options)) {}
+
+  /// Prove a query against the latest aggregated state with a complete scan
+  /// (the result provably covers every committed entry).
+  Result<QueryResponse> run(const Query& query) const;
+
+  /// Prove a query by opening only the matching entries with Merkle
+  /// inclusion proofs — the paper's §4.2 query mechanism. Cheaper
+  /// (O(matches · log n) instead of O(state)), but the receipt's
+  /// QueryMode::selective tells the verifier that completeness is not
+  /// proven.
+  Result<QueryResponse> run_selective(const Query& query) const;
+
+ private:
+  Result<QueryResponse> finish(Result<zvm::Receipt> receipt,
+                               const zvm::ProveInfo& info) const;
+
+  const AggregationService* aggregation_;
+  zvm::ProveOptions prove_options_;
+};
+
+}  // namespace zkt::core

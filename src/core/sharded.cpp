@@ -1,0 +1,334 @@
+#include "core/sharded.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/log.h"
+
+namespace zkt::core {
+
+namespace {
+
+using netflow::FlowKeyHasher;
+using netflow::RLogBatch;
+using zvm::Env;
+
+Status shard_split_guest(Env& env) {
+  auto shard_count = env.read_u32();
+  if (!shard_count.ok()) return shard_count.error();
+  ZKT_TRY(env.assert_true(shard_count.value() >= 1 &&
+                              shard_count.value() <= 1024,
+                          "shard count range"));
+
+  SplitJournal journal;
+  journal.shard_count = shard_count.value();
+  auto rid = env.read_u32();
+  if (!rid.ok()) return rid.error();
+  journal.source.router_id = rid.value();
+  auto wid = env.read_u64();
+  if (!wid.ok()) return wid.error();
+  journal.source.window_id = wid.value();
+  auto chash = env.read_digest();
+  if (!chash.ok()) return chash.error();
+  journal.source.rlog_hash = chash.value();
+  auto rcount = env.read_u64();
+  if (!rcount.ok()) return rcount.error();
+  journal.source.record_count = rcount.value();
+
+  auto rlog_bytes = env.read_blob();
+  if (!rlog_bytes.ok()) return rlog_bytes.error();
+  if (env.input_remaining() != 0) {
+    return Error{Errc::guest_abort, "trailing bytes in split input"};
+  }
+
+  // Verify the batch against its published commitment (traced).
+  const Digest32 h = env.sha256(rlog_bytes.value());
+  ZKT_TRY(env.assert_eq(h, journal.source.rlog_hash,
+                        "RLog hash vs published commitment"));
+
+  Reader br(rlog_bytes.value());
+  auto batch = RLogBatch::deserialize(br);
+  if (!batch.ok()) return batch.error();
+  ZKT_TRY(env.assert_true(batch.value().records.size() ==
+                              journal.source.record_count,
+                          "record count vs commitment"));
+
+  // Partition deterministically and re-commit each sub-batch (traced).
+  u64 total = 0;
+  for (u32 s = 0; s < journal.shard_count; ++s) {
+    const RLogBatch sub = sub_batch_for(batch.value(), s, journal.shard_count);
+    ShardRef ref;
+    ref.shard_id = s;
+    ref.sub_batch_hash = env.sha256(sub.canonical_bytes());
+    ref.record_count = sub.records.size();
+    total = env.alu(zvm::AluOp::add, total, ref.record_count);
+    journal.shards.push_back(ref);
+  }
+  ZKT_TRY(env.assert_true(total == journal.source.record_count,
+                          "partition must be complete"));
+
+  Writer jw;
+  journal.write(jw);
+  env.commit_raw(jw.bytes());
+  return {};
+}
+
+}  // namespace
+
+void SplitJournal::write(Writer& w) const {
+  w.str("SPLIT1");
+  w.u32v(source.router_id);
+  w.u64v(source.window_id);
+  w.fixed(source.rlog_hash.bytes);
+  w.u64v(source.record_count);
+  w.u32v(shard_count);
+  w.varint(shards.size());
+  for (const auto& s : shards) {
+    w.u32v(s.shard_id);
+    w.fixed(s.sub_batch_hash.bytes);
+    w.u64v(s.record_count);
+  }
+}
+
+Result<SplitJournal> SplitJournal::parse(BytesView journal) {
+  Reader r(journal);
+  auto magic = r.str();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != "SPLIT1") {
+    return Error{Errc::parse_error, "bad split journal magic"};
+  }
+  SplitJournal j;
+  auto rid = r.u32v();
+  if (!rid.ok()) return rid.error();
+  j.source.router_id = rid.value();
+  auto wid = r.u64v();
+  if (!wid.ok()) return wid.error();
+  j.source.window_id = wid.value();
+  ZKT_TRY(r.fixed(j.source.rlog_hash.bytes));
+  auto rcount = r.u64v();
+  if (!rcount.ok()) return rcount.error();
+  j.source.record_count = rcount.value();
+  auto sc = r.u32v();
+  if (!sc.ok()) return sc.error();
+  j.shard_count = sc.value();
+  auto n = r.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() != j.shard_count || n.value() > 1024) {
+    return Error{Errc::parse_error, "shard list size mismatch"};
+  }
+  j.shards.resize(n.value());
+  for (auto& s : j.shards) {
+    auto sid = r.u32v();
+    if (!sid.ok()) return sid.error();
+    s.shard_id = sid.value();
+    ZKT_TRY(r.fixed(s.sub_batch_hash.bytes));
+    auto c = r.u64v();
+    if (!c.ok()) return c.error();
+    s.record_count = c.value();
+  }
+  if (!r.done()) return Error{Errc::parse_error, "trailing split journal"};
+  return j;
+}
+
+zvm::ImageID shard_split_image() {
+  static const zvm::ImageID id = zvm::ImageRegistry::instance().add(
+      "zkt.guest.shard_split", 1, shard_split_guest);
+  return id;
+}
+
+u32 shard_of(const netflow::FlowKey& key, u32 shard_count) {
+  return static_cast<u32>(FlowKeyHasher{}(key) % std::max<u32>(shard_count, 1));
+}
+
+netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
+                                 u32 shard_id, u32 shard_count) {
+  netflow::RLogBatch sub;
+  sub.router_id = batch.router_id;
+  sub.window_id = batch.window_id;
+  for (const auto& record : batch.records) {
+    if (shard_of(record.key, shard_count) == shard_id) {
+      sub.records.push_back(record);
+    }
+  }
+  return sub;
+}
+
+ShardedAggregationService::ShardedAggregationService(
+    const CommitmentBoard& board, u32 shard_count,
+    zvm::ProveOptions prove_options)
+    : board_(&board),
+      shard_count_(std::max<u32>(shard_count, 1)),
+      prove_options_(std::move(prove_options)) {
+  for (u32 s = 0; s < shard_count_; ++s) {
+    shard_boards_.push_back(std::make_unique<CommitmentBoard>());
+    shards_.push_back(
+        std::make_unique<AggregationService>(*shard_boards_.back(),
+                                             prove_options_));
+    // Prover-internal keys for the shard boards' plumbing; external trust
+    // rests on the split receipts, not these signatures.
+    shard_keys_.push_back(crypto::schnorr_keygen_from_seed(
+        "zkt.shard.board." + std::to_string(s)));
+  }
+}
+
+Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
+    std::vector<netflow::RLogBatch> batches) {
+  const auto start = std::chrono::steady_clock::now();
+  Round round;
+
+  // Phase 1: split-prove every batch and derive per-shard sub-batches.
+  std::vector<std::vector<netflow::RLogBatch>> shard_batches(shard_count_);
+  zvm::Prover prover;
+  for (const auto& batch : batches) {
+    auto commitment = board_->get(batch.router_id, batch.window_id);
+    if (!commitment.has_value()) {
+      return Error{Errc::commitment_missing,
+                   "no published commitment for router " +
+                       std::to_string(batch.router_id)};
+    }
+    Writer input;
+    input.u32v(shard_count_);
+    input.u32v(batch.router_id);
+    input.u64v(batch.window_id);
+    input.fixed(commitment->rlog_hash.bytes);
+    input.u64v(commitment->record_count);
+    input.blob(batch.canonical_bytes());
+
+    zvm::ProveInfo info;
+    auto receipt =
+        prover.prove(shard_split_image(), input.bytes(), prove_options_, &info);
+    if (!receipt.ok()) return receipt.error();
+    round.total_cycles += info.cycles;
+
+    auto journal = SplitJournal::parse(receipt.value().journal);
+    if (!journal.ok()) return journal.error();
+
+    for (u32 s = 0; s < shard_count_; ++s) {
+      netflow::RLogBatch sub = sub_batch_for(batch, s, shard_count_);
+      if (sub.hash() != journal.value().shards[s].sub_batch_hash) {
+        return Error{Errc::hash_mismatch, "host/guest shard split diverged"};
+      }
+      auto sub_commitment = make_commitment(sub, shard_keys_[s],
+                                            commitment->published_at_ms);
+      if (!sub_commitment.ok()) return sub_commitment.error();
+      ZKT_TRY(shard_boards_[s]->publish(sub_commitment.value()));
+      shard_batches[s].push_back(std::move(sub));
+    }
+    round.split_receipts.push_back(std::move(receipt.value()));
+  }
+
+  // Phase 2: aggregate every shard on its own thread (§7's parallel proof
+  // generation; partial proofs are presented together in the Round).
+  std::vector<Result<AggregationRound>> results(
+      shard_count_, Result<AggregationRound>(Errc::unsupported));
+  std::vector<std::thread> threads;
+  threads.reserve(shard_count_);
+  for (u32 s = 0; s < shard_count_; ++s) {
+    threads.emplace_back([this, s, &shard_batches, &results] {
+      results[s] = shards_[s]->aggregate(std::move(shard_batches[s]));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (u32 s = 0; s < shard_count_; ++s) {
+    if (!results[s].ok()) return results[s].error();
+    round.total_cycles += results[s].value().prove_info.cycles;
+    round.shard_rounds.push_back(std::move(results[s].value()));
+  }
+  round.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return round;
+}
+
+ShardedAuditor::ShardedAuditor(const CommitmentBoard& board, u32 shard_count)
+    : board_(&board),
+      shard_count_(std::max<u32>(shard_count, 1)),
+      last_claims_(shard_count_),
+      roots_(shard_count_, crypto::MerkleTree::empty_leaf()),
+      entry_counts_(shard_count_, 0),
+      genesis_done_(shard_count_, false) {}
+
+Status ShardedAuditor::accept_round(
+    const ShardedAggregationService::Round& round) {
+  // 1. Split receipts: verify, anchor to the real board, and index the
+  //    per-shard sub-commitments they attest to.
+  struct SubKey {
+    u32 router;
+    u64 window;
+    u32 shard;
+    auto operator<=>(const SubKey&) const = default;
+  };
+  std::map<SubKey, ShardRef> expected;
+  for (const auto& receipt : round.split_receipts) {
+    ZKT_TRY(verifier_.verify(receipt, shard_split_image()));
+    auto journal = SplitJournal::parse(receipt.journal);
+    if (!journal.ok()) return journal.error();
+    const SplitJournal& j = journal.value();
+    if (j.shard_count != shard_count_) {
+      return Error{Errc::proof_invalid, "split proof has wrong shard count"};
+    }
+    auto published = board_->get(j.source.router_id, j.source.window_id);
+    if (!published.has_value() ||
+        published->rlog_hash != j.source.rlog_hash ||
+        published->record_count != j.source.record_count) {
+      return Error{Errc::commitment_missing,
+                   "split proof does not match the bulletin board"};
+    }
+    for (const auto& shard : j.shards) {
+      expected[{j.source.router_id, j.source.window_id, shard.shard_id}] =
+          shard;
+    }
+  }
+
+  // 2. Shard chains: every consumed commitment must be a split output.
+  if (round.shard_rounds.size() != shard_count_) {
+    return Error{Errc::proof_invalid, "wrong number of shard rounds"};
+  }
+  for (u32 s = 0; s < shard_count_; ++s) {
+    const auto& shard_round = round.shard_rounds[s];
+    ZKT_TRY(verifier_.verify(shard_round.receipt, guest_images().aggregate));
+    auto journal = AggJournal::parse(shard_round.receipt.journal);
+    if (!journal.ok()) return journal.error();
+    const AggJournal& j = journal.value();
+
+    if (!genesis_done_[s]) {
+      if (j.has_prev || j.prev_entry_count != 0) {
+        return Error{Errc::chain_broken, "shard genesis mismatch"};
+      }
+    } else {
+      if (!j.has_prev || j.prev_claim_digest != last_claims_[s] ||
+          j.prev_root != roots_[s] ||
+          j.prev_entry_count != entry_counts_[s]) {
+        return Error{Errc::chain_broken, "shard chain mismatch"};
+      }
+    }
+    if (j.commitments.size() != round.split_receipts.size()) {
+      return Error{Errc::proof_invalid,
+                   "shard must consume one sub-batch per source batch"};
+    }
+    for (const auto& ref : j.commitments) {
+      auto it = expected.find({ref.router_id, ref.window_id, s});
+      if (it == expected.end() ||
+          it->second.sub_batch_hash != ref.rlog_hash ||
+          it->second.record_count != ref.record_count) {
+        return Error{Errc::hash_mismatch,
+                     "shard consumed data not attested by a split proof"};
+      }
+    }
+    last_claims_[s] = shard_round.receipt.claim.digest();
+    roots_[s] = j.new_root;
+    entry_counts_[s] = j.new_entry_count;
+    genesis_done_[s] = true;
+  }
+  ++rounds_;
+  return {};
+}
+
+u64 ShardedAuditor::total_entries() const {
+  u64 total = 0;
+  for (u64 c : entry_counts_) total += c;
+  return total;
+}
+
+}  // namespace zkt::core

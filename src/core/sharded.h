@@ -1,0 +1,116 @@
+// Verifiable sharded aggregation — the §7 "Proof parallelization" design,
+// made sound end to end.
+//
+// Naively partitioning NetFlow records across shard provers breaks the
+// commitment check: routers committed to whole batches, not sub-batches. We
+// close that gap with a *split proof*: a zkVM guest that
+//   1. verifies the original batch against its published commitment,
+//   2. deterministically partitions its records by flow hash into K
+//      sub-batches,
+//   3. publishes the K sub-batch hashes (+ counts) in its journal.
+//
+// Each shard then runs the ordinary Algorithm-1 aggregation chain over its
+// sub-batches, treating the split journal's hashes as its commitments. The
+// verifier checks: split receipts (against the board) + each shard chain
+// (against the split outputs). Shards prove independently — on a multicore
+// prover they run on dedicated threads, which is exactly the §7 speedup.
+#pragma once
+
+#include <memory>
+
+#include "core/auditor.h"
+#include "core/service.h"
+
+namespace zkt::core {
+
+/// One sub-batch reference produced by a split proof.
+struct ShardRef {
+  u32 shard_id = 0;
+  Digest32 sub_batch_hash;
+  u64 record_count = 0;
+
+  friend bool operator==(const ShardRef&, const ShardRef&) = default;
+};
+
+/// Public journal of a split proof.
+struct SplitJournal {
+  CommitmentRef source;  ///< the original (board-published) commitment
+  u32 shard_count = 0;
+  std::vector<ShardRef> shards;
+
+  void write(Writer& w) const;
+  static Result<SplitJournal> parse(BytesView journal);
+};
+
+/// The split guest's image (registered on first use).
+zvm::ImageID shard_split_image();
+
+/// Deterministic shard assignment for a flow (shared by host, guest and
+/// tests): FlowKeyHasher(key) % shard_count.
+u32 shard_of(const netflow::FlowKey& key, u32 shard_count);
+
+/// The canonical serialization of shard `shard_id`'s sub-batch of `batch`.
+netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
+                                 u32 shard_id, u32 shard_count);
+
+/// Prover-side sharded pipeline.
+class ShardedAggregationService {
+ public:
+  ShardedAggregationService(const CommitmentBoard& board, u32 shard_count,
+                            zvm::ProveOptions prove_options = {});
+
+  struct Round {
+    std::vector<zvm::Receipt> split_receipts;       ///< one per input batch
+    std::vector<AggregationRound> shard_rounds;     ///< one per shard
+    double wall_ms = 0;
+    u64 total_cycles = 0;
+  };
+
+  /// Run one round: split-prove every batch, then aggregate all shards in
+  /// parallel threads.
+  Result<Round> aggregate(std::vector<netflow::RLogBatch> batches);
+
+  u32 shard_count() const { return shard_count_; }
+  const CLogState& shard_state(u32 shard) const {
+    return shards_[shard]->state();
+  }
+  const AggregationService& shard_service(u32 shard) const {
+    return *shards_[shard];
+  }
+
+ private:
+  const CommitmentBoard* board_;
+  u32 shard_count_;
+  zvm::ProveOptions prove_options_;
+  /// Per-shard boards holding the split-derived sub-commitments, and the
+  /// per-shard aggregation chains on top of them.
+  std::vector<std::unique_ptr<CommitmentBoard>> shard_boards_;
+  std::vector<std::unique_ptr<AggregationService>> shards_;
+  std::vector<crypto::SchnorrKeyPair> shard_keys_;
+};
+
+/// Verifier-side: checks split receipts against the real board and each
+/// shard chain against the split outputs.
+class ShardedAuditor {
+ public:
+  ShardedAuditor(const CommitmentBoard& board, u32 shard_count);
+
+  Status accept_round(const ShardedAggregationService::Round& round);
+
+  u64 rounds_accepted() const { return rounds_; }
+  /// Total entries across shard states after the last accepted round.
+  u64 total_entries() const;
+
+ private:
+  const CommitmentBoard* board_;
+  u32 shard_count_;
+  zvm::Verifier verifier_;
+  u64 rounds_ = 0;
+  /// Chain state per shard.
+  std::vector<Digest32> last_claims_;
+  std::vector<Digest32> roots_;
+  std::vector<u64> entry_counts_;
+  std::vector<bool> genesis_done_;
+};
+
+}  // namespace zkt::core

@@ -1,0 +1,55 @@
+// Verifiable sketch queries: prove a Count-Min point estimate against a
+// committed sketch without revealing the sketch.
+//
+// Routers may publish hash commitments over per-window Count-Min sketches
+// exactly as they do over RLogs (the paper's design is logging-algorithm
+// agnostic). The sketch-query guest then proves, for a client-chosen flow:
+//   1. the sketch bytes hash to the published commitment,
+//   2. the estimate is min over rows of counter[row][H(seed,row,key) mod w],
+//      recomputed with traced hashing and arithmetic.
+// The client learns only (key, estimate, commitment) — not the sketch.
+#pragma once
+
+#include "core/commitment.h"
+#include "core/guests.h"
+#include "netflow/sketch.h"
+#include "zvm/prover.h"
+#include "zvm/verifier.h"
+
+namespace zkt::core {
+
+/// Public journal of a sketch query proof.
+struct SketchQueryJournal {
+  /// The published sketch commitment: rlog_hash holds the sketch hash and
+  /// record_count the sketch's total update count.
+  CommitmentRef commitment;
+  netflow::FlowKey key;
+  u64 estimate = 0;
+
+  void write(Writer& w) const;
+  static Result<SketchQueryJournal> parse(BytesView journal);
+};
+
+zvm::ImageID sketch_query_image();
+
+struct SketchQueryResponse {
+  zvm::Receipt receipt;
+  SketchQueryJournal journal;
+  zvm::ProveInfo prove_info;
+};
+
+/// Prover side: prove the estimate for `key` against `sketch`, whose hash
+/// must already be published as `ref` (taken from the sketch commitment
+/// board).
+Result<SketchQueryResponse> prove_sketch_query(
+    const CommitmentRef& ref, const netflow::CountMinSketch& sketch,
+    const netflow::FlowKey& key, const zvm::ProveOptions& options = {});
+
+/// Verifier side: check the receipt, that its commitment matches the given
+/// board, and (optionally) that it answers the expected key. Returns the
+/// proven journal.
+Result<SketchQueryJournal> verify_sketch_query(
+    const zvm::Receipt& receipt, const CommitmentBoard& board,
+    const netflow::FlowKey* expected_key = nullptr);
+
+}  // namespace zkt::core

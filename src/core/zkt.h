@@ -1,0 +1,32 @@
+// Umbrella header: the public API of the zktel library.
+//
+// Typical prover-side flow:
+//   CommitmentBoard board;                       // public bulletin board
+//   ... routers publish signed commitments ...
+//   AggregationService agg(board);
+//   agg.aggregate(batches);                      // Algorithm-1 round + proof
+//   QueryService queries(agg);
+//   auto resp = queries.run(Query::sum(QField::hop_sum)
+//                               .and_where(QField::src_ip, CmpOp::eq, ip));
+//
+// Typical verifier-side flow:
+//   Auditor auditor(board);
+//   auditor.accept_round(round.receipt);         // verify + chain
+//   auditor.verify_query(resp->receipt, &query); // verify + extract result
+#pragma once
+
+#include "core/auditor.h"
+#include "core/clog.h"
+#include "core/commitment.h"
+#include "core/guests.h"
+#include "core/query.h"
+#include "core/service.h"
+#include "crypto/merkle.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "netflow/cache.h"
+#include "netflow/record.h"
+#include "netflow/v9.h"
+#include "store/logstore.h"
+#include "zvm/prover.h"
+#include "zvm/verifier.h"

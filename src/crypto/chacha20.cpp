@@ -1,0 +1,129 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace zkt::crypto {
+
+namespace {
+
+constexpr u32 rotl(u32 x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(u32& a, u32& b, u32& c, u32& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+u32 load_le32(const u8* p) {
+  return static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+         (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+}
+
+void store_le32(u8* p, u32 v) {
+  p[0] = static_cast<u8>(v);
+  p[1] = static_cast<u8>(v >> 8);
+  p[2] = static_cast<u8>(v >> 16);
+  p[3] = static_cast<u8>(v >> 24);
+}
+
+}  // namespace
+
+std::array<u8, 64> chacha20_block(const std::array<u8, 32>& key,
+                                  const std::array<u8, 12>& nonce,
+                                  u32 counter) {
+  u32 state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  u32 working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<u8, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, working[i] + state[i]);
+  }
+  return out;
+}
+
+Bytes chacha20_xor(const std::array<u8, 32>& key,
+                   const std::array<u8, 12>& nonce, u32 initial_counter,
+                   BytesView message) {
+  Bytes out(message.begin(), message.end());
+  u32 counter = initial_counter;
+  for (size_t pos = 0; pos < out.size(); pos += 64) {
+    const auto ks = chacha20_block(key, nonce, counter++);
+    const size_t n = std::min<size_t>(64, out.size() - pos);
+    for (size_t i = 0; i < n; ++i) out[pos + i] ^= ks[i];
+  }
+  return out;
+}
+
+ChaChaDrbg::ChaChaDrbg(BytesView seed) {
+  const Digest32 d = sha256(seed);
+  std::memcpy(key_.data(), d.bytes.data(), 32);
+  // nonce_ stays zero; the counter provides the stream position.
+}
+
+void ChaChaDrbg::refill() {
+  block_ = chacha20_block(key_, nonce_, counter_++);
+  offset_ = 0;
+}
+
+void ChaChaDrbg::fill(std::span<u8> out) {
+  size_t pos = 0;
+  while (pos < out.size()) {
+    if (offset_ >= 64) refill();
+    const size_t take = std::min<size_t>(64 - offset_, out.size() - pos);
+    std::memcpy(out.data() + pos, block_.data() + offset_, take);
+    offset_ += take;
+    pos += take;
+  }
+}
+
+Bytes ChaChaDrbg::bytes(size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+u64 ChaChaDrbg::next_u64() {
+  std::array<u8, 8> b;
+  fill(b);
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(b[i]) << (8 * i);
+  return v;
+}
+
+Digest32 ChaChaDrbg::next_digest() {
+  Digest32 d;
+  fill(d.bytes);
+  return d;
+}
+
+u64 ChaChaDrbg::uniform(u64 bound) {
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace zkt::crypto

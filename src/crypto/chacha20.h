@@ -1,0 +1,52 @@
+// ChaCha20 block function (RFC 8439) and a deterministic random bit
+// generator built on it. The DRBG backs cryptographic randomness: router
+// keypairs in the simulator and prover nonce derivation. It is NOT used for
+// Fiat–Shamir challenges (see transcript.h, which is hash-chain based so
+// verifiers can recompute challenges).
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace zkt::crypto {
+
+/// The ChaCha20 block function: 32-byte key, 12-byte nonce, 32-bit counter
+/// -> 64 bytes of keystream.
+std::array<u8, 64> chacha20_block(const std::array<u8, 32>& key,
+                                  const std::array<u8, 12>& nonce,
+                                  u32 counter);
+
+/// XOR a message with the ChaCha20 keystream (encrypt == decrypt).
+Bytes chacha20_xor(const std::array<u8, 32>& key,
+                   const std::array<u8, 12>& nonce, u32 initial_counter,
+                   BytesView message);
+
+/// Deterministic random generator seeded from arbitrary bytes via SHA-256.
+class ChaChaDrbg {
+ public:
+  explicit ChaChaDrbg(BytesView seed);
+  explicit ChaChaDrbg(std::string_view seed)
+      : ChaChaDrbg(BytesView(reinterpret_cast<const u8*>(seed.data()),
+                             seed.size())) {}
+
+  void fill(std::span<u8> out);
+  Bytes bytes(size_t n);
+  u64 next_u64();
+  Digest32 next_digest();
+
+  /// Uniform in [0, bound), bound > 0, via rejection sampling.
+  u64 uniform(u64 bound);
+
+ private:
+  void refill();
+
+  std::array<u8, 32> key_{};
+  std::array<u8, 12> nonce_{};
+  u32 counter_ = 0;
+  std::array<u8, 64> block_{};
+  size_t offset_ = 64;  // force refill on first use
+};
+
+}  // namespace zkt::crypto

@@ -1,0 +1,47 @@
+// 32-byte digest value type shared by every hash-consuming component
+// (commitments, Merkle trees, zkVM trace rows, receipts).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace zkt::crypto {
+
+struct Digest32 {
+  std::array<u8, 32> bytes{};
+
+  auto operator<=>(const Digest32&) const = default;
+
+  BytesView view() const { return {bytes.data(), bytes.size()}; }
+  std::string hex() const { return to_hex(view()); }
+  bool is_zero() const {
+    for (u8 b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  static Digest32 from_bytes(BytesView data) {
+    Digest32 d;
+    if (data.size() == 32) std::memcpy(d.bytes.data(), data.data(), 32);
+    return d;
+  }
+
+  static Digest32 from_hex(std::string_view h) {
+    return from_bytes(hex_bytes(h));
+  }
+};
+
+struct Digest32Hasher {
+  size_t operator()(const Digest32& d) const {
+    u64 v;
+    std::memcpy(&v, d.bytes.data(), sizeof(v));
+    return static_cast<size_t>(v);
+  }
+};
+
+}  // namespace zkt::crypto

@@ -1,0 +1,293 @@
+#include "crypto/merkle.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "crypto/sha256.h"
+
+namespace zkt::crypto {
+
+namespace {
+
+u64 next_pow2(u64 n) {
+  if (n <= 1) return 1;
+  return std::bit_ceil(n);
+}
+
+}  // namespace
+
+void MerkleProof::serialize(Writer& w) const {
+  w.u64v(leaf_index);
+  w.u64v(leaf_count);
+  w.u16v(static_cast<u16>(siblings.size()));
+  for (const auto& s : siblings) w.fixed(s.bytes);
+}
+
+Result<MerkleProof> MerkleProof::deserialize(Reader& r) {
+  MerkleProof p;
+  auto idx = r.u64v();
+  if (!idx.ok()) return idx.error();
+  p.leaf_index = idx.value();
+  auto cnt = r.u64v();
+  if (!cnt.ok()) return cnt.error();
+  p.leaf_count = cnt.value();
+  auto n = r.u16v();
+  if (!n.ok()) return n.error();
+  if (n.value() > 64) return Error{Errc::parse_error, "merkle proof too deep"};
+  p.siblings.resize(n.value());
+  for (auto& s : p.siblings) {
+    ZKT_TRY(r.fixed(s.bytes));
+  }
+  return p;
+}
+
+Digest32 MerkleTree::hash_leaf(BytesView data) {
+  Sha256 h;
+  const u8 tag = 0x00;
+  h.update(BytesView(&tag, 1));
+  h.update(data);
+  return h.finalize();
+}
+
+Digest32 MerkleTree::hash_node(const Digest32& left, const Digest32& right) {
+  Sha256 h;
+  const u8 tag = 0x01;
+  h.update(BytesView(&tag, 1));
+  h.update(left.view());
+  h.update(right.view());
+  return h.finalize();
+}
+
+const Digest32& MerkleTree::empty_leaf() {
+  static const Digest32 kEmpty = hash_leaf(bytes_of("zkt.merkle.empty"));
+  return kEmpty;
+}
+
+MerkleTree::MerkleTree(std::vector<Digest32> leaves)
+    : leaf_count_(leaves.size()) {
+  levels_.clear();
+  levels_.push_back(std::move(leaves));
+  rebuild();
+}
+
+void MerkleTree::rebuild() {
+  auto& leaves = levels_.empty() ? (levels_.emplace_back()) : levels_[0];
+  const u64 padded = next_pow2(std::max<u64>(leaf_count_, 1));
+  leaves.resize(padded, empty_leaf());
+  levels_.resize(1);
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Digest32> above(below.size() / 2);
+    for (size_t i = 0; i < above.size(); ++i) {
+      above[i] = hash_node(below[2 * i], below[2 * i + 1]);
+    }
+    levels_.push_back(std::move(above));
+  }
+}
+
+Digest32 MerkleTree::root() const {
+  // A tree with zero leaves pads to a single empty leaf, whose root is that
+  // leaf itself; keep the default-constructed tree consistent with that.
+  if (levels_.empty()) return empty_leaf();
+  return levels_.back()[0];
+}
+
+u32 MerkleTree::depth() const {
+  return levels_.empty() ? 0 : static_cast<u32>(levels_.size() - 1);
+}
+
+MerkleProof MerkleTree::prove(u64 index) const {
+  assert(index < std::max<u64>(leaf_count_, 1) || index < levels_[0].size());
+  MerkleProof proof;
+  proof.leaf_index = index;
+  proof.leaf_count = leaf_count_;
+  u64 idx = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const u64 sibling = idx ^ 1;
+    proof.siblings.push_back(levels_[level][sibling]);
+    idx >>= 1;
+  }
+  return proof;
+}
+
+void MerkleTree::update_leaf(u64 index, const Digest32& new_leaf) {
+  assert(!levels_.empty() && index < levels_[0].size());
+  levels_[0][index] = new_leaf;
+  u64 idx = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const u64 parent = idx >> 1;
+    levels_[level + 1][parent] =
+        hash_node(levels_[level][parent * 2], levels_[level][parent * 2 + 1]);
+    idx = parent;
+  }
+}
+
+u64 MerkleTree::append_leaf(const Digest32& leaf) {
+  const u64 index = leaf_count_;
+  if (levels_.empty() || index >= levels_[0].size()) {
+    // Capacity exhausted: grow the padded layer and rebuild. Amortized O(1)
+    // appends since capacity doubles.
+    if (levels_.empty()) levels_.emplace_back();
+    ++leaf_count_;
+    levels_[0].resize(index + 1, empty_leaf());
+    levels_[0][index] = leaf;
+    rebuild();
+  } else {
+    ++leaf_count_;
+    update_leaf(index, leaf);
+  }
+  return index;
+}
+
+Status MerkleTree::verify(const Digest32& root, const Digest32& leaf,
+                          const MerkleProof& proof) {
+  const u64 padded = next_pow2(std::max<u64>(proof.leaf_count, 1));
+  const u32 expect_depth =
+      static_cast<u32>(std::countr_zero(padded));
+  if (proof.siblings.size() != expect_depth) {
+    return Error{Errc::merkle_mismatch, "proof depth mismatch"};
+  }
+  if (proof.leaf_index >= padded) {
+    return Error{Errc::merkle_mismatch, "leaf index out of range"};
+  }
+  Digest32 acc = leaf;
+  u64 idx = proof.leaf_index;
+  for (const auto& sibling : proof.siblings) {
+    acc = (idx & 1) ? hash_node(sibling, acc) : hash_node(acc, sibling);
+    idx >>= 1;
+  }
+  if (acc != root) {
+    return Error{Errc::merkle_mismatch, "recomputed root does not match"};
+  }
+  return {};
+}
+
+void MerkleMultiProof::serialize(Writer& w) const {
+  w.u64v(leaf_count);
+  w.u32v(static_cast<u32>(indices.size()));
+  for (u64 i : indices) w.u64v(i);
+  w.u16v(static_cast<u16>(siblings.size()));
+  for (const auto& s : siblings) w.fixed(s.bytes);
+}
+
+Result<MerkleMultiProof> MerkleMultiProof::deserialize(Reader& r) {
+  MerkleMultiProof p;
+  auto count = r.u64v();
+  if (!count.ok()) return count.error();
+  p.leaf_count = count.value();
+  auto n = r.u32v();
+  if (!n.ok()) return n.error();
+  if (n.value() > (1u << 24)) {
+    return Error{Errc::parse_error, "too many multiproof indices"};
+  }
+  p.indices.resize(n.value());
+  for (auto& i : p.indices) {
+    auto v = r.u64v();
+    if (!v.ok()) return v.error();
+    i = v.value();
+  }
+  auto ns = r.u16v();
+  if (!ns.ok()) return ns.error();
+  p.siblings.resize(ns.value());
+  for (auto& s : p.siblings) {
+    ZKT_TRY(r.fixed(s.bytes));
+  }
+  return p;
+}
+
+MerkleMultiProof MerkleTree::prove_multi(std::span<const u64> indices) const {
+  MerkleMultiProof proof;
+  proof.leaf_count = leaf_count_;
+  proof.indices.assign(indices.begin(), indices.end());
+  std::sort(proof.indices.begin(), proof.indices.end());
+  proof.indices.erase(
+      std::unique(proof.indices.begin(), proof.indices.end()),
+      proof.indices.end());
+
+  // Walk levels bottom-up: a sibling is emitted only when it cannot be
+  // recomputed from nodes the verifier already knows.
+  std::vector<u64> known = proof.indices;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    std::vector<u64> parents;
+    for (size_t i = 0; i < known.size(); ++i) {
+      const u64 idx = known[i];
+      const u64 sibling = idx ^ 1;
+      const bool sibling_known =
+          (i + 1 < known.size() && known[i + 1] == sibling);
+      if (sibling_known) {
+        ++i;  // consume the pair
+      } else {
+        proof.siblings.push_back(levels_[level][sibling]);
+      }
+      parents.push_back(idx >> 1);
+    }
+    known = std::move(parents);
+  }
+  return proof;
+}
+
+Status MerkleTree::verify_multi(
+    const Digest32& root, std::span<const std::pair<u64, Digest32>> leaves,
+    const MerkleMultiProof& proof) {
+  if (leaves.size() != proof.indices.size()) {
+    return Error{Errc::merkle_mismatch, "leaf count vs proof indices"};
+  }
+  const u64 padded = next_pow2(std::max<u64>(proof.leaf_count, 1));
+  const u32 depth = static_cast<u32>(std::countr_zero(padded));
+
+  std::vector<std::pair<u64, Digest32>> known(leaves.begin(), leaves.end());
+  for (size_t i = 0; i < known.size(); ++i) {
+    if (known[i].first != proof.indices[i]) {
+      return Error{Errc::merkle_mismatch, "leaves not sorted to indices"};
+    }
+    if (i > 0 && known[i].first <= known[i - 1].first) {
+      return Error{Errc::merkle_mismatch, "indices not strictly ascending"};
+    }
+    if (known[i].first >= padded) {
+      return Error{Errc::merkle_mismatch, "index out of range"};
+    }
+  }
+  if (known.empty()) {
+    return Error{Errc::merkle_mismatch, "empty multiproof"};
+  }
+
+  size_t next_sibling = 0;
+  for (u32 level = 0; level < depth; ++level) {
+    std::vector<std::pair<u64, Digest32>> parents;
+    for (size_t i = 0; i < known.size(); ++i) {
+      const u64 idx = known[i].first;
+      const u64 sibling_idx = idx ^ 1;
+      Digest32 sibling;
+      if (i + 1 < known.size() && known[i + 1].first == sibling_idx) {
+        sibling = known[i + 1].second;
+        parents.emplace_back(idx >> 1,
+                             hash_node(known[i].second, sibling));
+        ++i;
+        continue;
+      }
+      if (next_sibling >= proof.siblings.size()) {
+        return Error{Errc::merkle_mismatch, "multiproof ran out of siblings"};
+      }
+      sibling = proof.siblings[next_sibling++];
+      parents.emplace_back(idx >> 1,
+                           (idx & 1) ? hash_node(sibling, known[i].second)
+                                     : hash_node(known[i].second, sibling));
+    }
+    known = std::move(parents);
+  }
+  if (next_sibling != proof.siblings.size()) {
+    return Error{Errc::merkle_mismatch, "unused multiproof siblings"};
+  }
+  if (known.size() != 1 || known[0].second != root) {
+    return Error{Errc::merkle_mismatch, "recomputed root does not match"};
+  }
+  return {};
+}
+
+u64 MerkleTree::build_hash_count(u64 leaf_count) {
+  const u64 padded = next_pow2(std::max<u64>(leaf_count, 1));
+  return padded - 1;  // internal nodes of a full binary tree
+}
+
+}  // namespace zkt::crypto

@@ -1,0 +1,106 @@
+// Merkle tree over 32-byte digests with inclusion proofs, O(log n) leaf
+// updates, and appends.
+//
+// Used in two places, exactly as in the paper:
+//   * the aggregate-log (CLog) authentication structure maintained across
+//     aggregation rounds (Figure 2), and
+//   * the zkVM trace commitment that the prover opens at Fiat–Shamir-chosen
+//     indices.
+//
+// Leaves are padded to a power of two with a distinguished empty digest.
+// Leaf and internal node hashes are domain-separated (0x00 / 0x01 prefixes)
+// so a leaf can never be confused with an interior node.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/serial.h"
+#include "crypto/digest.h"
+
+namespace zkt::crypto {
+
+struct MerkleProof {
+  u64 leaf_index = 0;
+  u64 leaf_count = 0;              ///< number of real (unpadded) leaves
+  std::vector<Digest32> siblings;  ///< bottom-up sibling digests
+
+  void serialize(Writer& w) const;
+  static Result<MerkleProof> deserialize(Reader& r);
+
+  /// Serialized size in bytes.
+  size_t byte_size() const { return 16 + 2 + siblings.size() * 32; }
+};
+
+/// Batch inclusion proof for several leaves at once: stores only the
+/// sibling digests not derivable from the opened leaves themselves, so
+/// proving k leaves costs far less than k single proofs (shared path
+/// prefixes are deduplicated). Used to compress multi-entry openings.
+struct MerkleMultiProof {
+  u64 leaf_count = 0;
+  std::vector<u64> indices;          ///< sorted, unique leaf indices
+  std::vector<Digest32> siblings;    ///< bottom-up, left-to-right order
+
+  void serialize(Writer& w) const;
+  static Result<MerkleMultiProof> deserialize(Reader& r);
+  size_t byte_size() const { return 16 + 4 + indices.size() * 8 + 2 + siblings.size() * 32; }
+};
+
+class MerkleTree {
+ public:
+  MerkleTree() = default;
+  /// Build from pre-hashed leaf digests.
+  explicit MerkleTree(std::vector<Digest32> leaves);
+
+  /// Domain-separated leaf hash of raw data.
+  static Digest32 hash_leaf(BytesView data);
+  /// Domain-separated internal node hash.
+  static Digest32 hash_node(const Digest32& left, const Digest32& right);
+  /// The digest used to pad the leaf layer to a power of two.
+  static const Digest32& empty_leaf();
+
+  /// Root digest. For an empty tree, returns the hash of the empty leaf.
+  Digest32 root() const;
+
+  u64 leaf_count() const { return leaf_count_; }
+  u32 depth() const;
+  const Digest32& leaf(u64 index) const { return levels_[0][index]; }
+
+  /// Inclusion proof for leaf `index` (must be < leaf_count()).
+  MerkleProof prove(u64 index) const;
+
+  /// Replace the leaf at `index` and recompute the path to the root.
+  void update_leaf(u64 index, const Digest32& new_leaf);
+
+  /// Append a leaf; returns its index. Doubles capacity when full.
+  u64 append_leaf(const Digest32& leaf);
+
+  /// Verify an inclusion proof against a root.
+  static Status verify(const Digest32& root, const Digest32& leaf,
+                       const MerkleProof& proof);
+
+  /// Batch inclusion proof for `indices` (each < leaf_count(); duplicates
+  /// ignored).
+  MerkleMultiProof prove_multi(std::span<const u64> indices) const;
+
+  /// Verify a batch proof. `leaves` must be the (index, digest) pairs for
+  /// exactly the proof's indices, sorted ascending by index.
+  static Status verify_multi(
+      const Digest32& root,
+      std::span<const std::pair<u64, Digest32>> leaves,
+      const MerkleMultiProof& proof);
+
+  /// Number of node hashes needed to build a tree of n leaves (the hash-cost
+  /// model used by the specialized-proof-system ablation, §7 of the paper).
+  static u64 build_hash_count(u64 leaf_count);
+
+ private:
+  void rebuild();
+
+  // levels_[0] = padded leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest32>> levels_;
+  u64 leaf_count_ = 0;
+};
+
+}  // namespace zkt::crypto

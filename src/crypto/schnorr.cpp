@@ -1,0 +1,127 @@
+#include "crypto/schnorr.h"
+
+#include "crypto/secp256k1.h"
+#include "crypto/sha256.h"
+
+namespace zkt::crypto {
+
+Digest32 tagged_hash(std::string_view tag, BytesView data) {
+  const Digest32 tag_hash = sha256(tag);
+  Sha256 h;
+  h.update(tag_hash.view());
+  h.update(tag_hash.view());
+  h.update(data);
+  return h.finalize();
+}
+
+Result<SchnorrKeyPair> schnorr_keygen(const std::array<u8, 32>& secret) {
+  const U256 d0 = U256::from_be_bytes({secret.data(), 32});
+  if (d0.is_zero() || d0 >= secp_n()) {
+    return Error{Errc::invalid_argument, "secret key out of range"};
+  }
+  Scalar d(d0);
+  const auto p = to_affine(point_mul_g(d));
+  if (!p) return Error{Errc::invalid_argument, "degenerate public key"};
+  // Normalize to the even-y representative.
+  if (p->y.is_odd()) d = sc_neg(d);
+
+  SchnorrKeyPair kp;
+  d.v.to_be_bytes(kp.secret_key);
+  p->x.v.to_be_bytes(kp.public_key);
+  return kp;
+}
+
+SchnorrKeyPair schnorr_keygen_from_seed(std::string_view seed) {
+  // Hash-to-scalar with retry; practically always succeeds on first try.
+  Digest32 material = tagged_hash("zkt/keyseed", bytes_of(seed));
+  for (;;) {
+    std::array<u8, 32> secret;
+    std::copy(material.bytes.begin(), material.bytes.end(), secret.begin());
+    auto kp = schnorr_keygen(secret);
+    if (kp.ok()) return kp.value();
+    material = sha256(material.view());
+  }
+}
+
+Result<SchnorrSignature> schnorr_sign(const SchnorrKeyPair& kp,
+                                      const Digest32& msg,
+                                      const std::array<u8, 32>& aux_rand) {
+  const U256 d_int = U256::from_be_bytes({kp.secret_key.data(), 32});
+  if (d_int.is_zero() || d_int >= secp_n()) {
+    return Error{Errc::invalid_argument, "bad secret key"};
+  }
+  const Scalar d(d_int);
+
+  // The stored secret is already normalized to the even-y representative
+  // (schnorr_keygen negates if needed), so d signs for pubkey directly.
+
+  // Synthetic nonce (BIP340): t = d XOR H_aux(aux); k = H_nonce(t||pk||m).
+  const Digest32 aux_digest =
+      tagged_hash("BIP0340/aux", BytesView(aux_rand.data(), 32));
+  std::array<u8, 32> t;
+  for (int i = 0; i < 32; ++i) t[i] = kp.secret_key[i] ^ aux_digest.bytes[i];
+
+  Bytes nonce_input;
+  append(nonce_input, BytesView(t.data(), 32));
+  append(nonce_input, kp.pk_view());
+  append(nonce_input, msg.view());
+  const Digest32 rand = tagged_hash("BIP0340/nonce", nonce_input);
+
+  Scalar k = Scalar::from_be_bytes(rand.view());
+  if (k.is_zero()) return Error{Errc::invalid_argument, "zero nonce"};
+
+  const auto r_point = to_affine(point_mul_g(k));
+  if (!r_point) return Error{Errc::invalid_argument, "degenerate nonce point"};
+  if (r_point->y.is_odd()) k = sc_neg(k);
+
+  SchnorrSignature sig;
+  r_point->x.v.to_be_bytes(std::span<u8>(sig.bytes.data(), 32));
+
+  Bytes challenge_input;
+  append(challenge_input, BytesView(sig.bytes.data(), 32));
+  append(challenge_input, kp.pk_view());
+  append(challenge_input, msg.view());
+  const Scalar e = Scalar::from_be_bytes(
+      tagged_hash("BIP0340/challenge", challenge_input).view());
+
+  const Scalar s = sc_add(k, sc_mul(e, d));
+  s.v.to_be_bytes(std::span<u8>(sig.bytes.data() + 32, 32));
+  return sig;
+}
+
+Status schnorr_verify(BytesView public_key_x, const Digest32& msg,
+                      const SchnorrSignature& sig) {
+  if (public_key_x.size() != 32) {
+    return Error{Errc::signature_invalid, "bad public key length"};
+  }
+  const auto p = lift_x(U256::from_be_bytes(public_key_x));
+  if (!p) return Error{Errc::signature_invalid, "public key not on curve"};
+
+  const U256 r = U256::from_be_bytes({sig.bytes.data(), 32});
+  if (r >= secp_p()) return Error{Errc::signature_invalid, "r out of range"};
+  const U256 s_int = U256::from_be_bytes({sig.bytes.data() + 32, 32});
+  if (s_int >= secp_n()) return Error{Errc::signature_invalid, "s out of range"};
+  const Scalar s(s_int);
+
+  Bytes challenge_input;
+  append(challenge_input, BytesView(sig.bytes.data(), 32));
+  append(challenge_input, public_key_x);
+  append(challenge_input, msg.view());
+  const Scalar e = Scalar::from_be_bytes(
+      tagged_hash("BIP0340/challenge", challenge_input).view());
+
+  // R = s*G - e*P.
+  Point pj;
+  pj.x = p->x;
+  pj.y = p->y;
+  pj.z = Fe(1);
+  const Point rp =
+      point_add(point_mul_g(s), point_mul(sc_neg(e), pj));
+  const auto ra = to_affine(rp);
+  if (!ra) return Error{Errc::signature_invalid, "R is the identity"};
+  if (ra->y.is_odd()) return Error{Errc::signature_invalid, "R has odd y"};
+  if (ra->x.v != r) return Error{Errc::signature_invalid, "r mismatch"};
+  return {};
+}
+
+}  // namespace zkt::crypto

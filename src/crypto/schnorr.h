@@ -1,0 +1,52 @@
+// Schnorr signatures over secp256k1 following the BIP340 construction
+// (x-only public keys, tagged hashes, synthetic nonces).
+//
+// In zktel, each simulated router holds a Schnorr keypair and signs every
+// periodic hash commitment it publishes; verifiers check signatures before
+// trusting the commitment bulletin board. This closes the loop on the
+// paper's threat model: commitments are both tamper-evident (hash) and
+// attributable (signature).
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/digest.h"
+
+namespace zkt::crypto {
+
+struct SchnorrKeyPair {
+  std::array<u8, 32> secret_key{};
+  std::array<u8, 32> public_key{};  ///< x-only public key
+
+  BytesView pk_view() const { return {public_key.data(), 32}; }
+};
+
+struct SchnorrSignature {
+  std::array<u8, 64> bytes{};
+
+  BytesView view() const { return {bytes.data(), 64}; }
+};
+
+/// BIP340 tagged hash: SHA256(SHA256(tag) || SHA256(tag) || data).
+Digest32 tagged_hash(std::string_view tag, BytesView data);
+
+/// Derive a keypair from 32 bytes of secret material. Returns an error for
+/// the (cryptographically negligible) invalid secrets 0 and >= n.
+Result<SchnorrKeyPair> schnorr_keygen(const std::array<u8, 32>& secret);
+
+/// Deterministically derive a keypair from a seed string (test/sim helper).
+SchnorrKeyPair schnorr_keygen_from_seed(std::string_view seed);
+
+/// Sign a 32-byte message digest. aux_rand adds nonce randomness (may be
+/// all-zero for fully deterministic signatures).
+Result<SchnorrSignature> schnorr_sign(const SchnorrKeyPair& kp,
+                                      const Digest32& msg,
+                                      const std::array<u8, 32>& aux_rand);
+
+/// Verify a signature over a 32-byte message digest.
+Status schnorr_verify(BytesView public_key_x, const Digest32& msg,
+                      const SchnorrSignature& sig);
+
+}  // namespace zkt::crypto

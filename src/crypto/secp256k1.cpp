@@ -1,0 +1,299 @@
+#include "crypto/secp256k1.h"
+
+#include <cassert>
+
+namespace zkt::crypto {
+
+namespace {
+
+// p = 2^256 - 2^32 - 977, so 2^256 ≡ kC (mod p) with kC = 2^32 + 977.
+constexpr u64 kC = 0x1000003D1ULL;
+
+const U256 kP = U256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kN = U256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+
+U256 add_small(const U256& a, unsigned __int128 extra, u64& carry_out) {
+  U256 r = a;
+  unsigned __int128 carry = extra;
+  for (int i = 0; i < 4 && carry != 0; ++i) {
+    const unsigned __int128 s = static_cast<unsigned __int128>(r.w[i]) +
+                                static_cast<u64>(carry);
+    r.w[i] = static_cast<u64>(s);
+    carry = (carry >> 64) + (s >> 64);
+  }
+  carry_out = static_cast<u64>(carry);
+  return r;
+}
+
+/// Reduce a 512-bit value mod p using 2^256 ≡ kC.
+U256 reduce_p(const std::array<u64, 8>& t) {
+  const U256 lo{t[0], t[1], t[2], t[3]};
+  const U256 hi{t[4], t[5], t[6], t[7]};
+
+  // m = hi * kC, a 289-bit value: 256-bit m_lo plus small m_hi.
+  U256 m_lo;
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(hi.w[i]) * kC + m_lo.w[i] + carry;
+    m_lo.w[i] = static_cast<u64>(prod);
+    carry = static_cast<u64>(prod >> 64);
+    if (i + 1 < 4) {
+      // carry folds into the next limb's addition via `carry` above.
+    }
+  }
+  const u64 m_hi = carry;
+
+  // r = lo + m_lo, with carry c1.
+  u64 c1 = 0;
+  U256 r = add_carry(lo, m_lo, c1);
+
+  // Fold (m_hi + c1) * kC back in.
+  const unsigned __int128 extra =
+      (static_cast<unsigned __int128>(m_hi) + c1) * kC;
+  u64 c2 = 0;
+  r = add_small(r, extra, c2);
+  if (c2) {
+    u64 c3 = 0;
+    r = add_small(r, kC, c3);
+    assert(c3 == 0);
+  }
+
+  u64 borrow = 0;
+  const U256 reduced = sub_borrow(r, kP, borrow);
+  return borrow ? r : reduced;
+}
+
+/// Generic 512-bit mod m via bitwise long division. Slow but only used on
+/// the scalar field (one multiply per signature).
+U256 reduce_generic(const std::array<u64, 8>& t, const U256& m) {
+  U256 rem;
+  for (int bit = 511; bit >= 0; --bit) {
+    // rem = rem << 1 | bit; track the bit shifted out of rem.
+    const u64 top = rem.w[3] >> 63;
+    for (int i = 3; i > 0; --i) rem.w[i] = (rem.w[i] << 1) | (rem.w[i - 1] >> 63);
+    rem.w[0] = (rem.w[0] << 1) | ((t[bit >> 6] >> (bit & 63)) & 1);
+    if (top || rem >= m) {
+      u64 borrow = 0;
+      rem = sub_borrow(rem, m, borrow);
+      (void)borrow;
+    }
+  }
+  return rem;
+}
+
+U256 mod_reduce_u256(const U256& x, const U256& m) {
+  if (x < m) return x;
+  u64 borrow = 0;
+  U256 r = sub_borrow(x, m, borrow);
+  // x < 2^256 < 2m for both our moduli, so one subtraction suffices.
+  assert(borrow == 0);
+  return r;
+}
+
+}  // namespace
+
+const U256& secp_p() { return kP; }
+const U256& secp_n() { return kN; }
+
+Fe::Fe(const U256& x) : v(mod_reduce_u256(x, kP)) {}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  u64 carry = 0;
+  U256 r = add_carry(a.v, b.v, carry);
+  if (carry) {
+    u64 c2 = 0;
+    r = add_small(r, kC, c2);
+    assert(c2 == 0);
+  }
+  Fe out;
+  out.v = mod_reduce_u256(r, kP);
+  return out;
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) { return fe_add(a, fe_neg(b)); }
+
+Fe fe_neg(const Fe& a) {
+  if (a.v.is_zero()) return a;
+  u64 borrow = 0;
+  Fe out;
+  out.v = sub_borrow(kP, a.v, borrow);
+  assert(borrow == 0);
+  return out;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  Fe out;
+  out.v = reduce_p(mul_wide(a.v, b.v));
+  return out;
+}
+
+Fe fe_sqr(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_pow(const Fe& a, const U256& e) {
+  Fe result(1);
+  Fe base = a;
+  for (int i = 0; i < 256; ++i) {
+    if (e.bit(i)) result = fe_mul(result, base);
+    base = fe_sqr(base);
+  }
+  return result;
+}
+
+Fe fe_inv(const Fe& a) {
+  assert(!a.is_zero());
+  u64 borrow = 0;
+  const U256 p_minus_2 = sub_borrow(kP, U256(2), borrow);
+  return fe_pow(a, p_minus_2);
+}
+
+std::optional<Fe> fe_sqrt(const Fe& a) {
+  // p ≡ 3 (mod 4): candidate = a^((p+1)/4).
+  u64 carry = 0;
+  U256 e = add_carry(kP, U256(1), carry);
+  // (p+1) overflows 256 bits by exactly the carry; (p+1)/4 = (p>>2) + 2^254·carry
+  // Since p + 1 = 2^256 - 2^32 - 976, dividing by 4: handle via shifting with carry.
+  U256 shifted = shr(e, 2);
+  if (carry) shifted.w[3] |= (1ULL << 62);
+  const Fe candidate = fe_pow(a, shifted);
+  if (fe_sqr(candidate) == a) return candidate;
+  return std::nullopt;
+}
+
+Scalar::Scalar(const U256& x) : v(mod_reduce_u256(x, kN)) {}
+
+Scalar Scalar::from_be_bytes(BytesView b32) {
+  return Scalar(U256::from_be_bytes(b32));
+}
+
+Scalar sc_add(const Scalar& a, const Scalar& b) {
+  u64 carry = 0;
+  U256 r = add_carry(a.v, b.v, carry);
+  if (carry || r >= kN) {
+    u64 borrow = 0;
+    r = sub_borrow(r, kN, borrow);
+  }
+  Scalar out;
+  out.v = r;
+  return out;
+}
+
+Scalar sc_mul(const Scalar& a, const Scalar& b) {
+  Scalar out;
+  out.v = reduce_generic(mul_wide(a.v, b.v), kN);
+  return out;
+}
+
+Scalar sc_neg(const Scalar& a) {
+  if (a.v.is_zero()) return a;
+  u64 borrow = 0;
+  Scalar out;
+  out.v = sub_borrow(kN, a.v, borrow);
+  assert(borrow == 0);
+  return out;
+}
+
+const Point& secp_g() {
+  static const Point g = [] {
+    Point p;
+    p.x = Fe(U256::from_hex(
+        "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"));
+    p.y = Fe(U256::from_hex(
+        "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"));
+    p.z = Fe(1);
+    return p;
+  }();
+  return g;
+}
+
+Point point_double(const Point& p) {
+  if (p.is_infinity() || p.y.is_zero()) return Point::infinity();
+  const Fe y2 = fe_sqr(p.y);
+  const Fe s = fe_mul(Fe(4), fe_mul(p.x, y2));
+  const Fe m = fe_mul(Fe(3), fe_sqr(p.x));  // a = 0 for secp256k1
+  Point r;
+  r.x = fe_sub(fe_sqr(m), fe_mul(Fe(2), s));
+  r.y = fe_sub(fe_mul(m, fe_sub(s, r.x)), fe_mul(Fe(8), fe_sqr(y2)));
+  r.z = fe_mul(Fe(2), fe_mul(p.y, p.z));
+  return r;
+}
+
+Point point_add(const Point& a, const Point& b) {
+  if (a.is_infinity()) return b;
+  if (b.is_infinity()) return a;
+  const Fe z1z1 = fe_sqr(a.z);
+  const Fe z2z2 = fe_sqr(b.z);
+  const Fe u1 = fe_mul(a.x, z2z2);
+  const Fe u2 = fe_mul(b.x, z1z1);
+  const Fe s1 = fe_mul(a.y, fe_mul(z2z2, b.z));
+  const Fe s2 = fe_mul(b.y, fe_mul(z1z1, a.z));
+  if (u1 == u2) {
+    if (s1 == s2) return point_double(a);
+    return Point::infinity();
+  }
+  const Fe h = fe_sub(u2, u1);
+  const Fe r = fe_sub(s2, s1);
+  const Fe h2 = fe_sqr(h);
+  const Fe h3 = fe_mul(h2, h);
+  const Fe u1h2 = fe_mul(u1, h2);
+  Point out;
+  out.x = fe_sub(fe_sub(fe_sqr(r), h3), fe_mul(Fe(2), u1h2));
+  out.y = fe_sub(fe_mul(r, fe_sub(u1h2, out.x)), fe_mul(s1, h3));
+  out.z = fe_mul(fe_mul(a.z, b.z), h);
+  return out;
+}
+
+Point point_add_affine(const Point& a, const Affine& b) {
+  Point bp;
+  bp.x = b.x;
+  bp.y = b.y;
+  bp.z = Fe(1);
+  return point_add(a, bp);
+}
+
+Point point_neg(const Point& p) {
+  Point r = p;
+  r.y = fe_neg(r.y);
+  return r;
+}
+
+Point point_mul(const Scalar& k, const Point& p) {
+  Point acc = Point::infinity();
+  for (int i = 255; i >= 0; --i) {
+    acc = point_double(acc);
+    if (k.v.bit(static_cast<unsigned>(i))) acc = point_add(acc, p);
+  }
+  return acc;
+}
+
+Point point_mul_g(const Scalar& k) { return point_mul(k, secp_g()); }
+
+std::optional<Affine> to_affine(const Point& p) {
+  if (p.is_infinity()) return std::nullopt;
+  const Fe zi = fe_inv(p.z);
+  const Fe zi2 = fe_sqr(zi);
+  Affine a;
+  a.x = fe_mul(p.x, zi2);
+  a.y = fe_mul(p.y, fe_mul(zi2, zi));
+  return a;
+}
+
+std::optional<Affine> lift_x(const U256& x) {
+  if (x >= kP) return std::nullopt;
+  const Fe fx(x);
+  const Fe rhs = fe_add(fe_mul(fe_sqr(fx), fx), Fe(7));
+  auto y = fe_sqrt(rhs);
+  if (!y) return std::nullopt;
+  Affine a;
+  a.x = fx;
+  a.y = y->is_odd() ? fe_neg(*y) : *y;
+  return a;
+}
+
+bool on_curve(const Affine& a) {
+  return fe_sqr(a.y) == fe_add(fe_mul(fe_sqr(a.x), a.x), Fe(7));
+}
+
+}  // namespace zkt::crypto

@@ -1,0 +1,94 @@
+// secp256k1 group arithmetic from scratch: prime-field element (fast
+// reduction exploiting p = 2^256 - 2^32 - 977), scalar field mod the group
+// order, Jacobian point arithmetic, and scalar multiplication.
+//
+// This backs the Schnorr signatures routers use to sign their periodic hash
+// commitments, making the commitment bulletin board publicly attributable.
+#pragma once
+
+#include <optional>
+
+#include "crypto/u256.h"
+
+namespace zkt::crypto {
+
+/// The field prime p and group order n of secp256k1.
+const U256& secp_p();
+const U256& secp_n();
+
+/// Element of GF(p). Always stored fully reduced.
+struct Fe {
+  U256 v;
+
+  constexpr Fe() = default;
+  explicit Fe(u64 x) : v(x) {}
+  explicit Fe(const U256& x);  // reduces mod p
+
+  friend bool operator==(const Fe&, const Fe&) = default;
+  bool is_zero() const { return v.is_zero(); }
+  bool is_odd() const { return v.is_odd(); }
+};
+
+Fe fe_add(const Fe& a, const Fe& b);
+Fe fe_sub(const Fe& a, const Fe& b);
+Fe fe_mul(const Fe& a, const Fe& b);
+Fe fe_sqr(const Fe& a);
+Fe fe_neg(const Fe& a);
+Fe fe_pow(const Fe& a, const U256& e);
+Fe fe_inv(const Fe& a);                   // a != 0
+std::optional<Fe> fe_sqrt(const Fe& a);   // p ≡ 3 (mod 4)
+
+/// Scalar mod the group order n. Stored fully reduced.
+struct Scalar {
+  U256 v;
+
+  constexpr Scalar() = default;
+  explicit Scalar(u64 x) : v(x) {}
+  explicit Scalar(const U256& x);  // reduces mod n
+
+  /// Interpret 32 big-endian bytes as an integer and reduce mod n.
+  static Scalar from_be_bytes(BytesView b32);
+
+  friend bool operator==(const Scalar&, const Scalar&) = default;
+  bool is_zero() const { return v.is_zero(); }
+};
+
+Scalar sc_add(const Scalar& a, const Scalar& b);
+Scalar sc_mul(const Scalar& a, const Scalar& b);
+Scalar sc_neg(const Scalar& a);
+
+/// Point in Jacobian coordinates; the identity has z == 0.
+struct Point {
+  Fe x, y, z;
+
+  static Point infinity() { return Point{}; }
+  bool is_infinity() const { return z.is_zero(); }
+};
+
+/// Affine coordinates (never the identity).
+struct Affine {
+  Fe x, y;
+};
+
+/// The standard generator G.
+const Point& secp_g();
+
+Point point_double(const Point& p);
+Point point_add(const Point& a, const Point& b);
+Point point_add_affine(const Point& a, const Affine& b);
+Point point_neg(const Point& p);
+/// k * P via MSB-first double-and-add.
+Point point_mul(const Scalar& k, const Point& p);
+/// k * G.
+Point point_mul_g(const Scalar& k);
+
+/// Convert to affine; nullopt for the identity.
+std::optional<Affine> to_affine(const Point& p);
+
+/// Lift an x coordinate to the curve point with even y (BIP340 lift_x).
+std::optional<Affine> lift_x(const U256& x);
+
+/// Check y^2 == x^3 + 7.
+bool on_curve(const Affine& a);
+
+}  // namespace zkt::crypto

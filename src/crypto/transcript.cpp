@@ -1,0 +1,63 @@
+#include "crypto/transcript.h"
+
+#include "crypto/sha256.h"
+
+namespace zkt::crypto {
+
+namespace {
+constexpr u8 kOpAbsorb = 1;
+constexpr u8 kOpChallenge = 2;
+}  // namespace
+
+Transcript::Transcript(std::string_view domain) {
+  Sha256 h;
+  h.update("zkt.transcript.v1");
+  h.update(domain);
+  state_ = h.finalize();
+}
+
+void Transcript::ratchet(std::string_view label, BytesView data, u8 op) {
+  Sha256 h;
+  h.update(state_.view());
+  h.update(BytesView(&op, 1));
+  // Length-prefix the label and data so (label, data) pairs are unambiguous.
+  u64 lens[2] = {label.size(), data.size()};
+  h.update(as_bytes_view(lens[0]));
+  h.update(label);
+  h.update(as_bytes_view(lens[1]));
+  h.update(data);
+  h.update(as_bytes_view(ops_));
+  state_ = h.finalize();
+  ++ops_;
+}
+
+void Transcript::absorb(std::string_view label, BytesView data) {
+  ratchet(label, data, kOpAbsorb);
+}
+
+void Transcript::absorb_u64(std::string_view label, u64 v) {
+  absorb(label, as_bytes_view(v));
+}
+
+Digest32 Transcript::challenge(std::string_view label) {
+  ratchet(label, {}, kOpChallenge);
+  return state_;
+}
+
+u64 Transcript::challenge_u64(std::string_view label) {
+  const Digest32 d = challenge(label);
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(d.bytes[i]) << (8 * i);
+  return v;
+}
+
+u64 Transcript::challenge_index(std::string_view label, u64 bound) {
+  // Rejection sampling over fresh challenges to avoid modulo bias.
+  const u64 threshold = (0 - bound) % bound;
+  for (;;) {
+    const u64 r = challenge_u64(label);
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace zkt::crypto

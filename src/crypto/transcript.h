@@ -1,0 +1,43 @@
+// Fiat–Shamir transcript: a hash-chained absorb/squeeze sponge over SHA-256.
+//
+// Prover and verifier both run the transcript over the same public values
+// (image id, journal digest, trace commitment); the squeezed challenges are
+// therefore reproducible by the verifier, which is what makes the zvm seal
+// non-interactive. Domain-separation labels prevent cross-protocol collisions.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace zkt::crypto {
+
+class Transcript {
+ public:
+  explicit Transcript(std::string_view domain);
+
+  /// Absorb a labelled byte string.
+  void absorb(std::string_view label, BytesView data);
+  void absorb(std::string_view label, const Digest32& d) {
+    absorb(label, d.view());
+  }
+  void absorb_u64(std::string_view label, u64 v);
+
+  /// Squeeze a 32-byte challenge bound to everything absorbed so far.
+  Digest32 challenge(std::string_view label);
+
+  /// Squeeze a u64 challenge.
+  u64 challenge_u64(std::string_view label);
+
+  /// Squeeze an index uniform in [0, bound); bound > 0.
+  u64 challenge_index(std::string_view label, u64 bound);
+
+ private:
+  void ratchet(std::string_view label, BytesView data, u8 op);
+
+  Digest32 state_;
+  u64 ops_ = 0;
+};
+
+}  // namespace zkt::crypto

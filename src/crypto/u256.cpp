@@ -1,0 +1,98 @@
+#include "crypto/u256.h"
+
+#include <cassert>
+
+namespace zkt::crypto {
+
+U256 U256::from_be_bytes(BytesView b32) {
+  assert(b32.size() == 32);
+  U256 v;
+  for (int limb = 0; limb < 4; ++limb) {
+    u64 x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x = (x << 8) | b32[(3 - limb) * 8 + i];
+    }
+    v.w[limb] = x;
+  }
+  return v;
+}
+
+void U256::to_be_bytes(std::span<u8> out32) const {
+  assert(out32.size() == 32);
+  for (int limb = 0; limb < 4; ++limb) {
+    const u64 x = w[3 - limb];
+    for (int i = 0; i < 8; ++i) {
+      out32[limb * 8 + i] = static_cast<u8>(x >> (56 - 8 * i));
+    }
+  }
+}
+
+std::array<u8, 32> U256::be_bytes() const {
+  std::array<u8, 32> out;
+  to_be_bytes(out);
+  return out;
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  Bytes b = hex_bytes(hex);
+  assert(b.size() <= 32);
+  Bytes padded(32 - b.size(), 0);
+  padded.insert(padded.end(), b.begin(), b.end());
+  return from_be_bytes(padded);
+}
+
+std::string U256::hex() const { return to_hex(be_bytes()); }
+
+U256 add_carry(const U256& a, const U256& b, u64& carry_out) {
+  U256 r;
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(a.w[i]) + b.w[i] + carry;
+    r.w[i] = static_cast<u64>(s);
+    carry = s >> 64;
+  }
+  carry_out = static_cast<u64>(carry);
+  return r;
+}
+
+U256 sub_borrow(const U256& a, const U256& b, u64& borrow_out) {
+  U256 r;
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned __int128 d = static_cast<unsigned __int128>(a.w[i]) -
+                                b.w[i] - borrow;
+    r.w[i] = static_cast<u64>(d);
+    borrow = (d >> 64) & 1;
+  }
+  borrow_out = static_cast<u64>(borrow);
+  return r;
+}
+
+std::array<u64, 8> mul_wide(const U256& a, const U256& b) {
+  std::array<u64, 8> r{};
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const unsigned __int128 t =
+          static_cast<unsigned __int128>(a.w[i]) * b.w[j] + r[i + j] + carry;
+      r[i + j] = static_cast<u64>(t);
+      carry = static_cast<u64>(t >> 64);
+    }
+    r[i + 4] += carry;
+  }
+  return r;
+}
+
+U256 shr(const U256& a, unsigned s) {
+  assert(s < 64);
+  if (s == 0) return a;
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    r.w[i] = a.w[i] >> s;
+    if (i + 1 < 4) r.w[i] |= a.w[i + 1] << (64 - s);
+  }
+  return r;
+}
+
+}  // namespace zkt::crypto

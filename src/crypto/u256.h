@@ -1,0 +1,48 @@
+// 256-bit unsigned integer arithmetic (4×64-bit limbs, little-endian limb
+// order) — the substrate for secp256k1 field and scalar arithmetic.
+#pragma once
+
+#include <array>
+#include <compare>
+
+#include "common/bytes.h"
+
+namespace zkt::crypto {
+
+struct U256 {
+  // w[0] is the least-significant limb.
+  std::array<u64, 4> w{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(u64 v) : w{v, 0, 0, 0} {}
+  constexpr U256(u64 w0, u64 w1, u64 w2, u64 w3) : w{w0, w1, w2, w3} {}
+
+  static U256 from_be_bytes(BytesView b32);
+  void to_be_bytes(std::span<u8> out32) const;
+  std::array<u8, 32> be_bytes() const;
+  static U256 from_hex(std::string_view hex);
+  std::string hex() const;
+
+  bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  bool bit(unsigned i) const { return (w[i >> 6] >> (i & 63)) & 1; }
+  bool is_odd() const { return w[0] & 1; }
+
+  friend constexpr auto operator<=>(const U256& a, const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+      if (a.w[i] != b.w[i]) return a.w[i] <=> b.w[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+};
+
+/// a + b; carry_out receives the carry bit.
+U256 add_carry(const U256& a, const U256& b, u64& carry_out);
+/// a - b; borrow_out receives the borrow bit.
+U256 sub_borrow(const U256& a, const U256& b, u64& borrow_out);
+/// Full 256×256 -> 512-bit product, little-endian limbs.
+std::array<u64, 8> mul_wide(const U256& a, const U256& b);
+/// Logical shift right by s (< 64) bits.
+U256 shr(const U256& a, unsigned s);
+
+}  // namespace zkt::crypto

@@ -1,0 +1,79 @@
+#include "netflow/cache.h"
+
+#include <algorithm>
+
+namespace zkt::netflow {
+
+std::vector<FlowRecord> FlowCache::observe(const PacketObservation& pkt) {
+  ++stats_.packets_observed;
+  std::vector<FlowRecord> evicted;
+  auto it = entries_.find(pkt.key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= config_.max_entries) {
+      evicted = emergency_expire();
+    }
+    Entry entry;
+    entry.created_ms = pkt.timestamp_ms;
+    ++stats_.flows_created;
+    it = entries_.emplace(pkt.key, std::move(entry)).first;
+  }
+  it->second.record.observe(pkt);
+  it->second.last_seen_ms = pkt.timestamp_ms;
+  return evicted;
+}
+
+std::vector<FlowRecord> FlowCache::expire(u64 now_ms) {
+  std::vector<FlowRecord> expired;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const Entry& e = it->second;
+    const bool inactive =
+        now_ms >= e.last_seen_ms + config_.inactive_timeout_ms;
+    const bool active_too_long =
+        now_ms >= e.created_ms + config_.active_timeout_ms;
+    if (inactive || active_too_long) {
+      if (inactive) {
+        ++stats_.inactive_timeouts;
+      } else {
+        ++stats_.active_timeouts;
+      }
+      expired.push_back(e.record);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+std::vector<FlowRecord> FlowCache::flush() {
+  std::vector<FlowRecord> all;
+  all.reserve(entries_.size());
+  for (auto& [key, entry] : entries_) {
+    all.push_back(entry.record);
+  }
+  entries_.clear();
+  return all;
+}
+
+std::vector<FlowRecord> FlowCache::emergency_expire() {
+  // Force out the oldest eighth of the cache (at least one entry) so bursts
+  // of new flows do not thrash.
+  const size_t target = std::max<size_t>(1, entries_.size() / 8);
+  std::vector<std::pair<u64, FlowKey>> by_age;
+  by_age.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    by_age.emplace_back(entry.last_seen_ms, key);
+  }
+  std::nth_element(by_age.begin(), by_age.begin() + target - 1, by_age.end());
+  std::vector<FlowRecord> evicted;
+  evicted.reserve(target);
+  for (size_t i = 0; i < target; ++i) {
+    auto it = entries_.find(by_age[i].second);
+    evicted.push_back(it->second.record);
+    entries_.erase(it);
+    ++stats_.emergency_expirations;
+  }
+  return evicted;
+}
+
+}  // namespace zkt::netflow

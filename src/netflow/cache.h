@@ -1,0 +1,63 @@
+// Router-side NetFlow metering cache: accumulates per-flow records from
+// packet observations and expires them by the standard active/inactive
+// timeout rules, producing the records a router exports.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netflow/record.h"
+
+namespace zkt::netflow {
+
+struct FlowCacheConfig {
+  /// A flow is exported after being active this long, even if still sending
+  /// (periodic export of long-lived flows).
+  u64 active_timeout_ms = 60'000;
+  /// A flow is exported after this long without a packet.
+  u64 inactive_timeout_ms = 15'000;
+  /// Hard cap on cache entries; when full, the oldest entries are force-
+  /// expired (emergency expiration, as real routers do).
+  size_t max_entries = 65'536;
+};
+
+class FlowCache {
+ public:
+  struct Stats {
+    u64 packets_observed = 0;
+    u64 flows_created = 0;
+    u64 active_timeouts = 0;
+    u64 inactive_timeouts = 0;
+    u64 emergency_expirations = 0;
+  };
+
+  explicit FlowCache(FlowCacheConfig config = {}) : config_(config) {}
+
+  /// Fold a packet into the cache. Returns records force-expired to make
+  /// room (usually empty).
+  std::vector<FlowRecord> observe(const PacketObservation& pkt);
+
+  /// Expire flows per the timeout rules at time `now_ms`.
+  std::vector<FlowRecord> expire(u64 now_ms);
+
+  /// Drain every entry (end of a measurement window).
+  std::vector<FlowRecord> flush();
+
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    FlowRecord record;
+    u64 created_ms = 0;
+    u64 last_seen_ms = 0;
+  };
+
+  std::vector<FlowRecord> emergency_expire();
+
+  FlowCacheConfig config_;
+  std::unordered_map<FlowKey, Entry, FlowKeyHasher> entries_;
+  Stats stats_;
+};
+
+}  // namespace zkt::netflow

@@ -1,0 +1,155 @@
+#include "netflow/sketch.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace zkt::netflow {
+
+CountMinSketch::CountMinSketch(CountMinParams params)
+    : params_(params),
+      counters_(static_cast<size_t>(std::max<u32>(params.width, 1)) *
+                std::max<u32>(params.depth, 1)) {
+  params_.width = std::max<u32>(params_.width, 1);
+  params_.depth = std::max<u32>(params_.depth, 1);
+}
+
+u32 CountMinSketch::index_for(const CountMinParams& params, u32 row,
+                              const FlowKey& key) {
+  // SHA-256(seed || row || key) mod width: slower than the usual pairwise
+  // hashes but recomputable inside the zkVM with the same traced primitive
+  // used everywhere else.
+  Writer w;
+  w.u64v(params.seed);
+  w.u32v(row);
+  key.serialize(w);
+  const crypto::Digest32 d = crypto::sha256(w.bytes());
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(d.bytes[i]) << (8 * i);
+  return static_cast<u32>(v % params.width);
+}
+
+void CountMinSketch::update(const FlowKey& key, u64 count) {
+  for (u32 row = 0; row < params_.depth; ++row) {
+    counters_[static_cast<size_t>(row) * params_.width +
+              index_for(params_, row, key)] += count;
+  }
+  total_updates_ += count;
+}
+
+u64 CountMinSketch::estimate(const FlowKey& key) const {
+  u64 best = ~0ULL;
+  for (u32 row = 0; row < params_.depth; ++row) {
+    best = std::min(best, counter(row, index_for(params_, row, key)));
+  }
+  return best;
+}
+
+Status CountMinSketch::merge(const CountMinSketch& other) {
+  if (!(params_ == other.params_)) {
+    return Error{Errc::invalid_argument, "sketch parameter mismatch"};
+  }
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_updates_ += other.total_updates_;
+  return {};
+}
+
+void CountMinSketch::serialize(Writer& w) const {
+  w.str("CMS1");
+  w.u32v(params_.width);
+  w.u32v(params_.depth);
+  w.u64v(params_.seed);
+  w.u64v(total_updates_);
+  for (u64 c : counters_) w.u64v(c);
+}
+
+Result<CountMinSketch> CountMinSketch::deserialize(Reader& r) {
+  auto magic = r.str();
+  if (!magic.ok()) return magic.error();
+  if (magic.value() != "CMS1") {
+    return Error{Errc::parse_error, "bad sketch magic"};
+  }
+  CountMinParams params;
+  auto width = r.u32v();
+  if (!width.ok()) return width.error();
+  params.width = width.value();
+  auto depth = r.u32v();
+  if (!depth.ok()) return depth.error();
+  params.depth = depth.value();
+  if (params.width == 0 || params.depth == 0 ||
+      static_cast<u64>(params.width) * params.depth > (1u << 26)) {
+    return Error{Errc::parse_error, "sketch dimensions out of range"};
+  }
+  auto seed = r.u64v();
+  if (!seed.ok()) return seed.error();
+  params.seed = seed.value();
+
+  CountMinSketch sketch(params);
+  auto total = r.u64v();
+  if (!total.ok()) return total.error();
+  sketch.total_updates_ = total.value();
+  for (auto& c : sketch.counters_) {
+    auto v = r.u64v();
+    if (!v.ok()) return v.error();
+    c = v.value();
+  }
+  return sketch;
+}
+
+Bytes CountMinSketch::canonical_bytes() const {
+  Writer w;
+  serialize(w);
+  return std::move(w).take();
+}
+
+crypto::Digest32 CountMinSketch::hash() const {
+  return crypto::sha256(canonical_bytes());
+}
+
+SpaceSaving::SpaceSaving(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void SpaceSaving::update(const FlowKey& key, u64 count) {
+  total_ += count;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    entries_[it->second].count += count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_.emplace(key, entries_.size());
+    entries_.push_back(Entry{key, count, 0});
+    return;
+  }
+  // Replace the minimum entry (Space-Saving eviction).
+  size_t min_index = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[min_index].count) min_index = i;
+  }
+  Entry& victim = entries_[min_index];
+  index_.erase(victim.key);
+  const u64 base = victim.count;
+  victim = Entry{key, base + count, base};
+  index_.emplace(key, min_index);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::heavy_hitters(
+    u64 threshold) const {
+  std::vector<Entry> out;
+  for (const auto& entry : entries_) {
+    if (entry.count >= threshold) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.count > b.count; });
+  return out;
+}
+
+std::optional<SpaceSaving::Entry> SpaceSaving::find(const FlowKey& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second];
+}
+
+}  // namespace zkt::netflow

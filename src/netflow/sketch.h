@@ -1,0 +1,99 @@
+// Sketch-based telemetry: Count-Min sketch and a Space-Saving heavy-hitter
+// tracker.
+//
+// The paper's design is logging-algorithm agnostic ("can use any logging or
+// sketching algorithm", §1) and its lineage is the sketching literature
+// (UnivMon, NitroSketch, TrustSketch). This module provides the sketch
+// substrate: routers can maintain a Count-Min sketch per commitment window,
+// publish its hash exactly like an RLog commitment, and the provider can
+// later prove sketch queries inside the zkVM (see core/sketch_query.h).
+//
+// Both structures have canonical serializations so their hashes are stable
+// commitment targets.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/serial.h"
+#include "crypto/digest.h"
+#include "netflow/record.h"
+
+namespace zkt::netflow {
+
+struct CountMinParams {
+  u32 width = 1024;  ///< counters per row (error ~ 2/width of total count)
+  u32 depth = 4;     ///< rows (failure prob ~ (1/2)^depth)
+  u64 seed = 0;      ///< keyed hashing seed (part of the commitment)
+
+  friend bool operator==(const CountMinParams&, const CountMinParams&) =
+      default;
+};
+
+/// Count-Min sketch over flow keys. Deterministic given (params, updates):
+/// the row hashes are SHA-256 based so that the zkVM guest can recompute
+/// them with traced compressions.
+class CountMinSketch {
+ public:
+  explicit CountMinSketch(CountMinParams params);
+
+  /// Row index for a key in row `row` (exposed so the proof guest and the
+  /// host agree exactly).
+  static u32 index_for(const CountMinParams& params, u32 row,
+                       const FlowKey& key);
+
+  void update(const FlowKey& key, u64 count);
+  /// Point estimate: min over rows. Never underestimates.
+  u64 estimate(const FlowKey& key) const;
+
+  /// Merge a sketch with identical parameters (counter-wise sum).
+  Status merge(const CountMinSketch& other);
+
+  const CountMinParams& params() const { return params_; }
+  u64 total_updates() const { return total_updates_; }
+  u64 counter(u32 row, u32 index) const {
+    return counters_[static_cast<size_t>(row) * params_.width + index];
+  }
+
+  void serialize(Writer& w) const;
+  static Result<CountMinSketch> deserialize(Reader& r);
+  Bytes canonical_bytes() const;
+  crypto::Digest32 hash() const;
+
+ private:
+  CountMinParams params_;
+  std::vector<u64> counters_;
+  u64 total_updates_ = 0;
+};
+
+/// Space-Saving heavy-hitter tracker: maintains at most `capacity`
+/// (key, count, error) triples; any flow with true count > N/capacity is
+/// guaranteed to be tracked.
+class SpaceSaving {
+ public:
+  struct Entry {
+    FlowKey key;
+    u64 count = 0;
+    u64 error = 0;  ///< overestimation bound for this entry
+  };
+
+  explicit SpaceSaving(size_t capacity);
+
+  void update(const FlowKey& key, u64 count);
+
+  /// Entries with count >= threshold, descending by count.
+  std::vector<Entry> heavy_hitters(u64 threshold) const;
+  std::optional<Entry> find(const FlowKey& key) const;
+  size_t size() const { return entries_.size(); }
+  u64 total() const { return total_; }
+
+ private:
+  size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<FlowKey, size_t, FlowKeyHasher> index_;
+  u64 total_ = 0;
+};
+
+}  // namespace zkt::netflow

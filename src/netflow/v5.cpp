@@ -1,0 +1,124 @@
+#include "netflow/v5.h"
+
+#include <algorithm>
+
+namespace zkt::netflow {
+
+namespace {
+
+void put_be16(Bytes& out, u16 v) {
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+void put_be32(Bytes& out, u32 v) {
+  put_be16(out, static_cast<u16>(v >> 16));
+  put_be16(out, static_cast<u16>(v));
+}
+
+u16 be16_at(BytesView data, size_t offset) {
+  return static_cast<u16>((data[offset] << 8) | data[offset + 1]);
+}
+u32 be32_at(BytesView data, size_t offset) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data[offset + i];
+  return v;
+}
+
+u32 clamp32(u64 v) {
+  return static_cast<u32>(std::min<u64>(v, 0xFFFFFFFFULL));
+}
+
+}  // namespace
+
+std::vector<Bytes> V5Exporter::export_records(
+    std::span<const FlowRecord> records, u64 now_ms) {
+  std::vector<Bytes> packets;
+  size_t pos = 0;
+  do {
+    const size_t take = std::min(kV5MaxRecords, records.size() - pos);
+    Bytes out;
+    out.reserve(kV5HeaderSize + take * kV5RecordSize);
+    put_be16(out, 5);
+    put_be16(out, static_cast<u16>(take));
+    put_be32(out, static_cast<u32>(now_ms));
+    put_be32(out, static_cast<u32>(now_ms / 1000));
+    put_be32(out, static_cast<u32>((now_ms % 1000) * 1'000'000));
+    put_be32(out, sequence_);
+    out.push_back(0);  // engine_type: RP
+    out.push_back(config_.engine_id);
+    put_be16(out, config_.sampling_interval);
+
+    for (size_t i = 0; i < take; ++i) {
+      const FlowRecord& rec = records[pos + i];
+      put_be32(out, rec.key.src_ip);
+      put_be32(out, rec.key.dst_ip);
+      put_be32(out, 0);  // nexthop unknown
+      put_be16(out, 0);  // input ifindex
+      put_be16(out, 0);  // output ifindex
+      put_be32(out, clamp32(rec.packets));
+      put_be32(out, clamp32(rec.bytes));
+      put_be32(out, static_cast<u32>(rec.first_ms));
+      put_be32(out, static_cast<u32>(rec.last_ms));
+      put_be16(out, rec.key.src_port);
+      put_be16(out, rec.key.dst_port);
+      out.push_back(0);  // pad1
+      out.push_back(rec.tcp_flags_or);
+      out.push_back(rec.key.protocol);
+      out.push_back(0);  // tos
+      put_be16(out, 0);  // src_as
+      put_be16(out, 0);  // dst_as
+      out.push_back(0);  // src_mask
+      out.push_back(0);  // dst_mask
+      put_be16(out, 0);  // pad2
+      ++sequence_;
+    }
+    packets.push_back(std::move(out));
+    pos += take;
+  } while (pos < records.size());
+  return packets;
+}
+
+Result<V5Collector::Parsed> V5Collector::ingest(BytesView packet) const {
+  if (packet.size() < kV5HeaderSize) {
+    return Error{Errc::parse_error, "short v5 header"};
+  }
+  if (be16_at(packet, 0) != 5) {
+    return Error{Errc::parse_error, "not a v5 packet"};
+  }
+  Parsed out;
+  out.header.count = be16_at(packet, 2);
+  out.header.sys_uptime_ms = be32_at(packet, 4);
+  out.header.unix_secs = be32_at(packet, 8);
+  out.header.unix_nsecs = be32_at(packet, 12);
+  out.header.flow_sequence = be32_at(packet, 16);
+  out.header.engine_type = packet[20];
+  out.header.engine_id = packet[21];
+  out.header.sampling_interval = be16_at(packet, 22);
+
+  if (out.header.count > kV5MaxRecords) {
+    return Error{Errc::parse_error, "v5 count exceeds protocol maximum"};
+  }
+  if (packet.size() != kV5HeaderSize + out.header.count * kV5RecordSize) {
+    return Error{Errc::parse_error, "v5 packet size does not match count"};
+  }
+
+  out.records.reserve(out.header.count);
+  for (u16 i = 0; i < out.header.count; ++i) {
+    const size_t base = kV5HeaderSize + i * kV5RecordSize;
+    FlowRecord rec;
+    rec.key.src_ip = be32_at(packet, base + 0);
+    rec.key.dst_ip = be32_at(packet, base + 4);
+    rec.packets = be32_at(packet, base + 16);
+    rec.bytes = be32_at(packet, base + 20);
+    rec.first_ms = be32_at(packet, base + 24);
+    rec.last_ms = be32_at(packet, base + 28);
+    rec.key.src_port = be16_at(packet, base + 32);
+    rec.key.dst_port = be16_at(packet, base + 34);
+    rec.tcp_flags_or = packet[base + 37];
+    rec.key.protocol = packet[base + 38];
+    out.records.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace zkt::netflow

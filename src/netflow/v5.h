@@ -1,0 +1,65 @@
+// NetFlow v5: the legacy fixed-format export protocol still spoken by a
+// large installed base of routers. zktel accepts v5 input so operators can
+// commit telemetry from old equipment; v5 carries no RTT/jitter fields, so
+// records imported this way participate in count/bytes/loss queries only.
+//
+// Wire format (all big-endian): 24-byte header followed by up to 30
+// fixed 48-byte records.
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "netflow/record.h"
+
+namespace zkt::netflow {
+
+inline constexpr size_t kV5HeaderSize = 24;
+inline constexpr size_t kV5RecordSize = 48;
+inline constexpr size_t kV5MaxRecords = 30;
+
+struct V5Header {
+  u16 count = 0;
+  u32 sys_uptime_ms = 0;
+  u32 unix_secs = 0;
+  u32 unix_nsecs = 0;
+  u32 flow_sequence = 0;
+  u8 engine_type = 0;
+  u8 engine_id = 0;
+  u16 sampling_interval = 0;
+};
+
+struct V5Config {
+  u8 engine_id = 0;
+  u16 sampling_interval = 0;
+};
+
+/// Encodes flow records into v5 export packets (lossy: 64-bit counters are
+/// clamped to 32 bits, the v5 maximum; performance fields are dropped).
+class V5Exporter {
+ public:
+  explicit V5Exporter(V5Config config) : config_(config) {}
+
+  std::vector<Bytes> export_records(std::span<const FlowRecord> records,
+                                    u64 now_ms);
+
+  u32 flows_emitted() const { return sequence_; }
+
+ private:
+  V5Config config_;
+  u32 sequence_ = 0;
+};
+
+/// Decodes v5 packets into flow records (RTT/jitter/hop fields zero).
+class V5Collector {
+ public:
+  struct Parsed {
+    V5Header header;
+    std::vector<FlowRecord> records;
+  };
+
+  Result<Parsed> ingest(BytesView packet) const;
+};
+
+}  // namespace zkt::netflow

@@ -1,0 +1,338 @@
+#include "netflow/v9.h"
+
+#include <cstring>
+
+namespace zkt::netflow {
+
+namespace {
+
+// Big-endian wire helpers.
+void put_be16(Bytes& out, u16 v) {
+  out.push_back(static_cast<u8>(v >> 8));
+  out.push_back(static_cast<u8>(v));
+}
+void put_be32(Bytes& out, u32 v) {
+  put_be16(out, static_cast<u16>(v >> 16));
+  put_be16(out, static_cast<u16>(v));
+}
+void put_be64(Bytes& out, u64 v) {
+  put_be32(out, static_cast<u32>(v >> 32));
+  put_be32(out, static_cast<u32>(v));
+}
+
+class BeReader {
+ public:
+  explicit BeReader(BytesView data) : data_(data) {}
+
+  bool need(size_t n) const { return pos_ + n <= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  u16 be16() {
+    const u16 v = (static_cast<u16>(data_[pos_]) << 8) | data_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+  u32 be32() {
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+  u64 be_n(size_t n) {
+    u64 v = 0;
+    for (size_t i = 0; i < n; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += n;
+    return v;
+  }
+  void skip(size_t n) { pos_ += n; }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+struct FieldSpec {
+  u16 type;
+  u16 length;
+};
+
+// The zktel export template. Order defines the wire layout.
+constexpr FieldSpec kTemplateFields[] = {
+    {kFieldIpv4SrcAddr, 4}, {kFieldIpv4DstAddr, 4}, {kFieldL4SrcPort, 2},
+    {kFieldL4DstPort, 2},   {kFieldProtocol, 1},    {kFieldTcpFlags, 1},
+    {kFieldInBytes, 8},     {kFieldInPkts, 8},      {kFieldFirstMs, 8},
+    {kFieldLastMs, 8},      {kFieldLostPkts, 8},    {kFieldHopSum, 8},
+    {kFieldRttSum, 8},      {kFieldRttCount, 8},    {kFieldRttMax, 8},
+    {kFieldJitterSum, 8},   {kFieldJitterCount, 8},
+};
+
+constexpr size_t kRecordWireSize = [] {
+  size_t total = 0;
+  for (const auto& f : kTemplateFields) total += f.length;
+  return total;
+}();
+
+void encode_record(Bytes& out, const FlowRecord& rec) {
+  put_be32(out, rec.key.src_ip);
+  put_be32(out, rec.key.dst_ip);
+  put_be16(out, rec.key.src_port);
+  put_be16(out, rec.key.dst_port);
+  out.push_back(rec.key.protocol);
+  out.push_back(rec.tcp_flags_or);
+  put_be64(out, rec.bytes);
+  put_be64(out, rec.packets);
+  put_be64(out, rec.first_ms);
+  put_be64(out, rec.last_ms);
+  put_be64(out, rec.lost_packets);
+  put_be64(out, rec.hop_count_sum);
+  put_be64(out, rec.rtt_sum_us);
+  put_be64(out, rec.rtt_count);
+  put_be64(out, rec.rtt_max_us);
+  put_be64(out, rec.jitter_sum_us);
+  put_be64(out, rec.jitter_count);
+}
+
+}  // namespace
+
+Bytes V9Exporter::build_packet(std::span<const FlowRecord> chunk, u64 now_ms,
+                               bool include_template) {
+  Bytes out;
+  // Header (20 bytes). `count` is the total record count across flowsets,
+  // templates and options records included.
+  u16 count = static_cast<u16>(
+      chunk.size() +
+      (include_template ? (config_.include_options ? 3 : 1) : 0));
+  put_be16(out, 9);  // version
+  put_be16(out, count);
+  put_be32(out, static_cast<u32>(now_ms));         // sysUptime (ms)
+  put_be32(out, static_cast<u32>(now_ms / 1000));  // unix seconds
+  put_be32(out, sequence_);
+  put_be32(out, config_.source_id);
+
+  if (include_template) {
+    // Template flowset (id 0).
+    const u16 length = static_cast<u16>(
+        4 /*flowset hdr*/ + 4 /*template hdr*/ + 4 * std::size(kTemplateFields));
+    put_be16(out, 0);
+    put_be16(out, length);
+    put_be16(out, config_.template_id);
+    put_be16(out, static_cast<u16>(std::size(kTemplateFields)));
+    for (const auto& f : kTemplateFields) {
+      put_be16(out, f.type);
+      put_be16(out, f.length);
+    }
+
+    if (config_.include_options) {
+      const u16 options_template_id = config_.template_id + 1;
+      // Options template flowset (id 1): one scope field (System, the
+      // source id) + three option fields.
+      put_be16(out, 1);
+      put_be16(out, 4 + 6 + 4 /*scope*/ + 12 /*options*/ + 2 /*pad*/);
+      put_be16(out, options_template_id);
+      put_be16(out, 4);   // option scope length (bytes of field specs)
+      put_be16(out, 12);  // option length (bytes of field specs)
+      put_be16(out, kScopeSystem);
+      put_be16(out, 4);
+      put_be16(out, kFieldSamplingInterval);
+      put_be16(out, 4);
+      put_be16(out, kFieldSamplingAlgorithm);
+      put_be16(out, 1);
+      put_be16(out, kFieldTotalFlowsExported);
+      put_be16(out, 4);
+      put_be16(out, 0);  // padding to 32-bit boundary
+
+      // Options data record.
+      const u16 data_len = 4 /*hdr*/ + 4 + 4 + 1 + 4;
+      const u16 padding = (4 - (data_len % 4)) % 4;
+      put_be16(out, options_template_id);
+      put_be16(out, data_len + padding);
+      put_be32(out, config_.source_id);        // scope: System
+      put_be32(out, config_.sampling_interval);
+      out.push_back(config_.sampling_algorithm);
+      put_be32(out, sequence_);                // total flows exported so far
+      for (u16 i = 0; i < padding; ++i) out.push_back(0);
+    }
+  }
+
+  if (!chunk.empty()) {
+    const size_t payload = chunk.size() * kRecordWireSize;
+    const size_t padding = (4 - (payload % 4)) % 4;
+    put_be16(out, config_.template_id);
+    put_be16(out, static_cast<u16>(4 + payload + padding));
+    for (const auto& rec : chunk) encode_record(out, rec);
+    for (size_t i = 0; i < padding; ++i) out.push_back(0);
+  }
+
+  ++sequence_;
+  return out;
+}
+
+std::vector<Bytes> V9Exporter::export_records(
+    std::span<const FlowRecord> records, u64 now_ms) {
+  std::vector<Bytes> packets;
+  size_t pos = 0;
+  do {
+    const size_t take =
+        std::min(config_.max_records_per_packet, records.size() - pos);
+    const bool with_template =
+        sequence_ % std::max<u32>(config_.template_refresh_interval, 1) == 0;
+    packets.push_back(
+        build_packet(records.subspan(pos, take), now_ms, with_template));
+    pos += take;
+  } while (pos < records.size());
+  return packets;
+}
+
+Result<std::vector<FlowRecord>> V9Collector::ingest(BytesView packet) {
+  BeReader r(packet);
+  if (!r.need(20)) return Error{Errc::parse_error, "short v9 header"};
+  const u16 version = r.be16();
+  if (version != 9) return Error{Errc::parse_error, "not a v9 packet"};
+  r.be16();  // count (advisory; we trust flowset lengths)
+  r.be32();  // sysUptime
+  r.be32();  // unix seconds
+  r.be32();  // sequence
+  const u32 source_id = r.be32();
+
+  ++stats_.packets;
+  std::vector<FlowRecord> out;
+
+  while (r.remaining() >= 4) {
+    const u16 flowset_id = r.be16();
+    const u16 flowset_len = r.be16();
+    if (flowset_len < 4 || flowset_len - 4 > r.remaining()) {
+      return Error{Errc::parse_error, "bad flowset length"};
+    }
+    const size_t flowset_end = r.position() + (flowset_len - 4);
+
+    if (flowset_id == 0) {
+      // Template flowset: one or more templates.
+      while (r.position() + 4 <= flowset_end) {
+        const u16 template_id = r.be16();
+        const u16 field_count = r.be16();
+        if (template_id < 256) {
+          return Error{Errc::parse_error, "template id below 256"};
+        }
+        if (r.position() + 4u * field_count > flowset_end) {
+          return Error{Errc::parse_error, "truncated template"};
+        }
+        Template tmpl;
+        tmpl.fields.reserve(field_count);
+        for (u16 i = 0; i < field_count; ++i) {
+          TemplateField f;
+          f.type = r.be16();
+          f.length = r.be16();
+          if (f.length == 0 || f.length > 8) {
+            return Error{Errc::parse_error, "unsupported field length"};
+          }
+          tmpl.fields.push_back(f);
+        }
+        templates_[{source_id, template_id}] = std::move(tmpl);
+        ++stats_.templates_learned;
+      }
+      r.skip(flowset_end - r.position());
+    } else if (flowset_id == 1) {
+      // Options template flowset (RFC 3954 §6.5.1): scope specs then option
+      // specs, lengths given in bytes of field-spec data.
+      while (r.position() + 6 <= flowset_end) {
+        const u16 template_id = r.be16();
+        const u16 scope_bytes = r.be16();
+        const u16 option_bytes = r.be16();
+        if (template_id < 256) {
+          return Error{Errc::parse_error, "options template id below 256"};
+        }
+        if (scope_bytes % 4 != 0 || option_bytes % 4 != 0 ||
+            r.position() + scope_bytes + option_bytes > flowset_end) {
+          return Error{Errc::parse_error, "bad options template lengths"};
+        }
+        Template tmpl;
+        tmpl.is_options = true;
+        tmpl.scope_fields = scope_bytes / 4;
+        const u16 total_fields =
+            static_cast<u16>((scope_bytes + option_bytes) / 4);
+        tmpl.fields.reserve(total_fields);
+        for (u16 i = 0; i < total_fields; ++i) {
+          TemplateField f;
+          f.type = r.be16();
+          f.length = r.be16();
+          if (f.length == 0 || f.length > 8) {
+            return Error{Errc::parse_error, "unsupported option length"};
+          }
+          tmpl.fields.push_back(f);
+        }
+        templates_[{source_id, template_id}] = std::move(tmpl);
+        ++stats_.options_templates_learned;
+        // Any remaining bytes before flowset end are padding or another
+        // template; the loop condition handles both.
+      }
+      r.skip(flowset_end - r.position());
+    } else if (flowset_id >= 256) {
+      auto it = templates_.find({source_id, flowset_id});
+      if (it == templates_.end()) {
+        // RFC 3954: data for an unknown template must be skipped, not fatal.
+        ++stats_.data_flowsets_without_template;
+        r.skip(flowset_end - r.position());
+        continue;
+      }
+      if (it->second.is_options) {
+        const auto& fields = it->second.fields;
+        size_t record_size = 0;
+        for (const auto& f : fields) record_size += f.length;
+        while (record_size > 0 &&
+               flowset_end - r.position() >= record_size) {
+          OptionsRecord options;
+          options.source_id = source_id;
+          for (size_t i = 0; i < fields.size(); ++i) {
+            const u64 v = r.be_n(fields[i].length);
+            if (i >= it->second.scope_fields) {
+              options.values[fields[i].type] = v;
+            }
+          }
+          options_.push_back(std::move(options));
+          ++stats_.options_records;
+        }
+        r.skip(flowset_end - r.position());
+        continue;
+      }
+      const auto& fields = it->second.fields;
+      size_t record_size = 0;
+      for (const auto& f : fields) record_size += f.length;
+      while (flowset_end - r.position() >= record_size && record_size > 0) {
+        FlowRecord rec;
+        for (const auto& f : fields) {
+          const u64 v = r.be_n(f.length);
+          switch (f.type) {
+            case kFieldIpv4SrcAddr: rec.key.src_ip = static_cast<u32>(v); break;
+            case kFieldIpv4DstAddr: rec.key.dst_ip = static_cast<u32>(v); break;
+            case kFieldL4SrcPort: rec.key.src_port = static_cast<u16>(v); break;
+            case kFieldL4DstPort: rec.key.dst_port = static_cast<u16>(v); break;
+            case kFieldProtocol: rec.key.protocol = static_cast<u8>(v); break;
+            case kFieldTcpFlags: rec.tcp_flags_or = static_cast<u8>(v); break;
+            case kFieldInBytes: rec.bytes = v; break;
+            case kFieldInPkts: rec.packets = v; break;
+            case kFieldFirstMs: rec.first_ms = v; break;
+            case kFieldLastMs: rec.last_ms = v; break;
+            case kFieldLostPkts: rec.lost_packets = v; break;
+            case kFieldHopSum: rec.hop_count_sum = v; break;
+            case kFieldRttSum: rec.rtt_sum_us = v; break;
+            case kFieldRttCount: rec.rtt_count = v; break;
+            case kFieldRttMax: rec.rtt_max_us = v; break;
+            case kFieldJitterSum: rec.jitter_sum_us = v; break;
+            case kFieldJitterCount: rec.jitter_count = v; break;
+            default: break;  // unknown field: consumed by length above
+          }
+        }
+        out.push_back(rec);
+        ++stats_.records;
+      }
+      r.skip(flowset_end - r.position());  // padding
+    } else {
+      // Options templates (id 1) and reserved ids: skip.
+      r.skip(flowset_end - r.position());
+    }
+  }
+  return out;
+}
+
+}  // namespace zkt::netflow

@@ -1,0 +1,151 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+namespace zkt::sim {
+
+FlowKey synth_flow_key(u64 flow_index, u64 seed) {
+  SplitMix64 sm(seed * 0x9E3779B97F4A7C15ULL + flow_index + 1);
+  const u64 a = sm.next();
+  const u64 b = sm.next();
+  FlowKey key;
+  // Private-range src, public-looking dst; ephemeral src port, common dst.
+  key.src_ip = 0x0A000000u | static_cast<u32>(a & 0x00FFFFFF);
+  key.dst_ip = static_cast<u32>((b >> 32) | 0x01000000u);
+  key.src_port = static_cast<u16>(1024 + (a >> 24) % 60000);
+  const u16 common_ports[] = {80, 443, 53, 8080, 22, 3478};
+  key.dst_port = common_ports[(b >> 8) % std::size(common_ports)];
+  key.protocol = (b & 0xff) < 200 ? 6 : 17;  // mostly TCP
+  return key;
+}
+
+std::vector<PacketObservation> zipf_workload(const ZipfWorkloadConfig& config,
+                                             u64 packet_count) {
+  Xoshiro256 rng(config.seed);
+  ZipfSampler zipf(std::max<u64>(config.flow_count, 1), config.zipf_s,
+                   config.seed ^ 0x5A4B5430ULL);
+  std::vector<PacketObservation> packets;
+  packets.reserve(packet_count);
+
+  // Poisson arrivals: exponential inter-arrival with rate = count/duration.
+  const double rate =
+      static_cast<double>(packet_count) /
+      std::max<double>(1.0, static_cast<double>(config.duration_ms));
+  double t = static_cast<double>(config.start_ms);
+
+  // Stable per-flow characteristics (hops, base RTT offset).
+  for (u64 i = 0; i < packet_count; ++i) {
+    const u64 flow = zipf.sample() - 1;
+    SplitMix64 flow_traits(config.seed ^ (flow * 0x632BE59BD9B4E019ULL));
+    const u64 traits = flow_traits.next();
+
+    PacketObservation pkt;
+    pkt.key = synth_flow_key(flow, config.seed);
+    t += rng.exponential(rate);
+    pkt.timestamp_ms = static_cast<u64>(t);
+    pkt.bytes = static_cast<u32>(std::clamp<double>(
+        rng.normal(config.mean_packet_bytes, config.mean_packet_bytes / 4.0),
+        64.0, 1500.0));
+    pkt.tcp_flags = pkt.key.protocol == 6 ? 0x18 : 0;  // PSH|ACK
+    pkt.hop_count = static_cast<u8>(
+        config.min_hops + traits % (config.max_hops - config.min_hops + 1));
+    const double rtt = rng.normal(
+        config.base_rtt_us + static_cast<double>(traits >> 32 & 0x3FFF),
+        config.rtt_spread_us);
+    pkt.rtt_us = static_cast<u32>(std::max(rtt, 500.0));
+    pkt.jitter_us = static_cast<u32>(std::max(
+        rng.normal(config.base_jitter_us, config.base_jitter_us / 3.0), 0.0));
+    pkt.dropped = rng.uniform01() < config.drop_rate;
+    packets.push_back(pkt);
+  }
+  return packets;
+}
+
+SlaWorkload sla_workload(const SlaWorkloadConfig& config, u64 packet_count) {
+  SlaWorkload out;
+  Xoshiro256 rng(config.seed);
+  const u64 violating =
+      static_cast<u64>(static_cast<double>(config.flow_count) *
+                       config.violating_fraction);
+  out.violating_flows = violating;
+  out.compliant_flows = config.flow_count - violating;
+
+  const double rate =
+      static_cast<double>(packet_count) /
+      std::max<double>(1.0, static_cast<double>(config.duration_ms));
+  double t = static_cast<double>(config.start_ms);
+
+  out.packets.reserve(packet_count);
+  for (u64 i = 0; i < packet_count; ++i) {
+    const u64 flow = rng.uniform(std::max<u64>(config.flow_count, 1));
+    const bool is_violating = flow < violating;
+
+    PacketObservation pkt;
+    pkt.key = synth_flow_key(flow, config.seed);
+    t += rng.exponential(rate);
+    pkt.timestamp_ms = static_cast<u64>(t);
+    pkt.bytes = 1000;
+    pkt.tcp_flags = 0x18;
+    pkt.hop_count = 5;
+    const u32 mean_rtt =
+        is_violating ? config.violating_rtt_us : config.compliant_rtt_us;
+    pkt.rtt_us = static_cast<u32>(std::max(
+        rng.normal(mean_rtt, config.rtt_spread_us), 500.0));
+    pkt.jitter_us = static_cast<u32>(pkt.rtt_us / 20);
+    const double drop_rate = is_violating ? config.violating_drop_rate
+                                          : config.compliant_drop_rate;
+    pkt.dropped = rng.uniform01() < drop_rate;
+    out.packets.push_back(pkt);
+  }
+  return out;
+}
+
+NeutralityWorkload neutrality_workload(const NeutralityWorkloadConfig& config,
+                                       u64 packet_count) {
+  NeutralityWorkload out;
+  out.provider_a_prefix = 0x0A010000;  // 10.1.0.0
+  out.provider_b_prefix = 0x0A020000;  // 10.2.0.0
+  Xoshiro256 rng(config.seed);
+
+  const double rate =
+      static_cast<double>(packet_count) /
+      std::max<double>(1.0, static_cast<double>(config.duration_ms));
+  double t = static_cast<double>(config.start_ms);
+
+  out.packets.reserve(packet_count);
+  for (u64 i = 0; i < packet_count; ++i) {
+    const bool provider_b = rng.uniform(2) == 1;
+    const u64 flow = rng.uniform(std::max<u64>(config.flows_per_provider, 1));
+
+    PacketObservation pkt;
+    // Clients fetch from the provider's prefix: dst identifies the provider.
+    SplitMix64 sm(config.seed ^ (flow * 2 + (provider_b ? 1 : 0)));
+    const u64 a = sm.next();
+    pkt.key.src_ip = 0x0A000000u | static_cast<u32>(a & 0xFFFFFF);
+    pkt.key.dst_ip =
+        (provider_b ? out.provider_b_prefix : out.provider_a_prefix) |
+        static_cast<u32>(flow & 0xFFFF);
+    pkt.key.src_port = static_cast<u16>(1024 + (a >> 24) % 60000);
+    pkt.key.dst_port = 443;
+    pkt.key.protocol = 6;
+
+    t += rng.exponential(rate);
+    pkt.timestamp_ms = static_cast<u64>(t);
+    pkt.bytes = 1200;
+    pkt.tcp_flags = 0x18;
+    pkt.hop_count = 6;
+    double rtt = rng.normal(config.base_rtt_us, config.rtt_spread_us);
+    double drop = config.base_drop_rate;
+    if (provider_b && config.discriminate_b) {
+      rtt += config.throttle_extra_rtt_us;
+      drop += config.throttle_extra_drop;
+    }
+    pkt.rtt_us = static_cast<u32>(std::max(rtt, 500.0));
+    pkt.jitter_us = static_cast<u32>(pkt.rtt_us / 25);
+    pkt.dropped = rng.uniform01() < drop;
+    out.packets.push_back(pkt);
+  }
+  return out;
+}
+
+}  // namespace zkt::sim

@@ -1,0 +1,97 @@
+// Synthetic traffic workloads for the NetFlow simulator.
+//
+// The paper evaluates on a custom NetFlow simulator; real traces are not
+// published, so these generators produce the standard synthetic equivalents:
+//   * ZipfWorkload       — heavy-tailed flow popularity (the canonical
+//                          NetFlow/sketching workload model),
+//   * SlaWorkload        — flows split into SLA-compliant and violating
+//                          classes with controlled RTT/jitter/loss, for the
+//                          §2.1 SLA-verification scenario,
+//   * NeutralityWorkload — two content-provider classes with optionally
+//                          discriminatory treatment, for the §2.1 network-
+//                          neutrality scenario.
+// All generators are deterministic given their seed.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "netflow/record.h"
+
+namespace zkt::sim {
+
+using netflow::FlowKey;
+using netflow::PacketObservation;
+
+/// Derive a deterministic synthetic flow key from a flow index.
+FlowKey synth_flow_key(u64 flow_index, u64 seed);
+
+struct ZipfWorkloadConfig {
+  u64 seed = 42;
+  u64 flow_count = 256;
+  double zipf_s = 1.1;
+  u64 start_ms = 0;
+  u64 duration_ms = 20'000;
+  u32 mean_packet_bytes = 900;
+  double drop_rate = 0.005;
+  u32 base_rtt_us = 20'000;
+  u32 rtt_spread_us = 8'000;
+  u32 base_jitter_us = 1'500;
+  u8 min_hops = 2;
+  u8 max_hops = 12;
+};
+
+/// Generate `packet_count` packet observations, timestamps increasing
+/// (Poisson arrivals over the configured duration).
+std::vector<PacketObservation> zipf_workload(const ZipfWorkloadConfig& config,
+                                             u64 packet_count);
+
+struct SlaWorkloadConfig {
+  u64 seed = 7;
+  u64 flow_count = 200;
+  /// Fraction of flows violating the SLA (e.g. 0.05 -> 95% compliant).
+  double violating_fraction = 0.05;
+  u32 compliant_rtt_us = 15'000;   ///< mean RTT of compliant flows
+  u32 violating_rtt_us = 80'000;   ///< mean RTT of violating flows
+  u32 rtt_spread_us = 3'000;
+  double compliant_drop_rate = 0.001;
+  double violating_drop_rate = 0.03;
+  u64 start_ms = 0;
+  u64 duration_ms = 20'000;
+};
+
+struct SlaWorkload {
+  std::vector<PacketObservation> packets;
+  u64 compliant_flows = 0;
+  u64 violating_flows = 0;
+};
+
+SlaWorkload sla_workload(const SlaWorkloadConfig& config, u64 packet_count);
+
+struct NeutralityWorkloadConfig {
+  u64 seed = 13;
+  u64 flows_per_provider = 100;
+  /// Provider A's traffic signature: dst_ip prefix 10.1.0.0/16.
+  /// Provider B's: 10.2.0.0/16.
+  u32 base_rtt_us = 25'000;
+  u32 rtt_spread_us = 4'000;
+  double base_drop_rate = 0.002;
+  /// When true, provider B is throttled: extra RTT and loss.
+  bool discriminate_b = false;
+  u32 throttle_extra_rtt_us = 40'000;
+  double throttle_extra_drop = 0.05;
+  u64 start_ms = 0;
+  u64 duration_ms = 20'000;
+};
+
+struct NeutralityWorkload {
+  std::vector<PacketObservation> packets;
+  /// dst_ip prefixes identifying each provider's traffic (for queries).
+  u32 provider_a_prefix = 0;  // 10.1.0.0
+  u32 provider_b_prefix = 0;  // 10.2.0.0
+};
+
+NeutralityWorkload neutrality_workload(const NeutralityWorkloadConfig& config,
+                                       u64 packet_count);
+
+}  // namespace zkt::sim

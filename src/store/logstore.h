@@ -1,0 +1,119 @@
+// LogStore: embedded, thread-safe, append-only table store — the stand-in
+// for the shared PostgreSQL backend in the paper's evaluation setup.
+//
+// Routers (producer threads) append RLog batches; the commitment scheduler
+// appends published commitments; the aggregator scans by window. Rows are
+// opaque payloads addressed by (table, k1, k2) where k1 is typically the
+// commitment-window id and k2 the router id.
+//
+// Durability: when configured with a WAL path, every append is framed and
+// CRC-protected on disk and recover() replays it after a restart, truncating
+// at the first corrupt frame (standard WAL torn-write handling).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace zkt::store {
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte span.
+u32 crc32(BytesView data);
+
+struct StoreConfig {
+  /// Empty = in-memory only.
+  std::string wal_path;
+  /// Snapshot file used by checkpoint(); defaults to wal_path + ".snap".
+  std::string snapshot_path;
+  /// fsync after every append (durable but slow; off for benchmarks).
+  bool fsync_each_append = false;
+};
+
+struct StoredRow {
+  u64 id = 0;  ///< per-table monotonically increasing row id
+  u64 k1 = 0;
+  u64 k2 = 0;
+  Bytes payload;
+};
+
+class LogStore {
+ public:
+  struct Stats {
+    u64 appends = 0;
+    u64 wal_bytes = 0;
+    u64 recovered_rows = 0;
+    u64 truncated_frames = 0;
+    u64 checkpoints = 0;
+    u64 snapshot_rows = 0;  ///< rows loaded from the snapshot at recover()
+  };
+
+  explicit LogStore(StoreConfig config = {});
+  ~LogStore();
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Append a row; returns its row id. Thread-safe.
+  Result<u64> append(std::string_view table, u64 k1, u64 k2,
+                     BytesView payload);
+
+  /// All rows of `table` with k1 in [k1_min, k1_max], in append order.
+  std::vector<StoredRow> scan(std::string_view table, u64 k1_min,
+                              u64 k1_max) const;
+
+  /// All rows of `table` with exact (k1, k2).
+  std::vector<StoredRow> scan_exact(std::string_view table, u64 k1,
+                                    u64 k2) const;
+
+  /// The most recently appended row with the given k1 (any k2).
+  std::optional<StoredRow> latest(std::string_view table, u64 k1) const;
+
+  /// The most recently appended row in the table.
+  std::optional<StoredRow> last_row(std::string_view table) const;
+
+  u64 row_count(std::string_view table) const;
+  std::vector<std::string> table_names() const;
+  Stats stats() const;
+
+  /// Load the snapshot (if present), then replay the WAL file (if
+  /// configured) into memory. Call on a fresh LogStore before appending.
+  Status recover();
+
+  /// Compact durability: atomically write all tables to the snapshot file
+  /// and truncate the WAL, bounding recovery time and disk growth. Safe to
+  /// call at any quiescent point (commitment-window boundaries, say).
+  Status checkpoint();
+
+  /// Drop every row of `table` with k1 <= k1_max (e.g. raw logs whose
+  /// window has been aggregated under proof — the paper's "logs are
+  /// ephemeral" retention model; the commitments and receipts stay).
+  /// Durable stores must checkpoint() afterwards to reclaim disk.
+  /// Returns the number of rows dropped.
+  u64 drop_rows(std::string_view table, u64 k1_max);
+
+ private:
+  struct Table {
+    std::vector<StoredRow> rows;
+  };
+
+  Status wal_append_locked(std::string_view table, const StoredRow& row);
+
+  StoreConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Table, std::less<>> tables_;
+  Stats stats_;
+  std::FILE* wal_file_ = nullptr;
+};
+
+// Conventional table names used by the telemetry pipeline.
+inline constexpr const char* kTableRlogs = "rlogs";
+inline constexpr const char* kTableCommitments = "commitments";
+inline constexpr const char* kTableClogs = "clogs";
+inline constexpr const char* kTableReceipts = "receipts";
+
+}  // namespace zkt::store

@@ -1,0 +1,230 @@
+#include "zvm/env.h"
+
+#include <bit>
+
+#include "crypto/sha256.h"
+
+namespace zkt::zvm {
+
+Env::Env(BytesView input, std::span<const Receipt> assumption_receipts)
+    : input_(input.begin(), input.end()),
+      reader_(BytesView(input_.data(), input_.size())),
+      assumption_receipts_(assumption_receipts) {}
+
+Result<u8> Env::read_u8() { return reader_.u8v(); }
+Result<u32> Env::read_u32() { return reader_.u32v(); }
+Result<u64> Env::read_u64() { return reader_.u64v(); }
+Result<u64> Env::read_varint() { return reader_.varint(); }
+Result<Bytes> Env::read_blob() { return reader_.blob(); }
+Result<Bytes> Env::read_bytes(size_t n) { return reader_.raw(n); }
+Result<std::string> Env::read_string() { return reader_.str(); }
+
+Result<Digest32> Env::read_digest() {
+  Digest32 d;
+  ZKT_TRY(reader_.fixed(d.bytes));
+  return d;
+}
+
+size_t Env::input_remaining() const { return reader_.remaining(); }
+
+void Env::commit_u8(u8 v) { journal_.u8v(v); }
+void Env::commit_u32(u32 v) { journal_.u32v(v); }
+void Env::commit_u64(u64 v) { journal_.u64v(v); }
+void Env::commit_blob(BytesView data) { journal_.blob(data); }
+void Env::commit_digest(const Digest32& d) { journal_.fixed(d.bytes); }
+void Env::commit_string(std::string_view s) { journal_.str(s); }
+void Env::commit_raw(BytesView data) { journal_.raw(data); }
+
+Digest32 Env::traced_sha256_with_prefix(u8 tag, bool use_tag, BytesView a,
+                                        BytesView b) {
+  Bytes buf;
+  buf.reserve((use_tag ? 1 : 0) + a.size() + b.size());
+  if (use_tag) buf.push_back(tag);
+  append(buf, a);
+  append(buf, b);
+
+  crypto::Sha256State state = crypto::Sha256State::initial();
+  crypto::sha256_padded_blocks(buf, [&](const std::array<u8, 64>& block) {
+    RowSha256 row;
+    row.state_in = state;
+    row.block = block;
+    state = crypto::sha256_compress(state, block);
+    row.state_out = state;
+    trace_.push_back(TraceRow{row});
+  });
+  return state.to_digest();
+}
+
+Digest32 Env::sha256(BytesView data) {
+  return traced_sha256_with_prefix(0, false, data, {});
+}
+
+Digest32 Env::hash_node(const Digest32& left, const Digest32& right) {
+  return traced_sha256_with_prefix(0x01, true, left.view(), right.view());
+}
+
+Digest32 Env::hash_leaf(BytesView data) {
+  return traced_sha256_with_prefix(0x00, true, data, {});
+}
+
+u64 Env::alu(AluOp op, u64 a, u64 b) {
+  RowAlu row{op, a, b, alu_eval(op, a, b)};
+  trace_.push_back(TraceRow{row});
+  return row.c;
+}
+
+Status Env::assert_true(bool cond, std::string_view context) {
+  RowAssert row;
+  row.cond = cond ? 1 : 0;
+  row.context = crypto::sha256(context);
+  trace_.push_back(TraceRow{row});
+  if (!cond) {
+    return Error{Errc::guest_abort, std::string("assertion failed: ") +
+                                        std::string(context)};
+  }
+  return {};
+}
+
+Status Env::assert_eq(const Digest32& a, const Digest32& b,
+                      std::string_view context) {
+  RowAssertEqDigest row{a, b};
+  trace_.push_back(TraceRow{row});
+  if (a != b) {
+    return Error{Errc::guest_abort,
+                 std::string("digest mismatch: ") + std::string(context)};
+  }
+  return {};
+}
+
+Status Env::verify_merkle(const Digest32& root, const Digest32& leaf,
+                          const crypto::MerkleProof& proof) {
+  // Same layout rules as crypto::MerkleTree::verify, but every hash and the
+  // final comparison are traced so the check is part of the proven execution.
+  const u64 padded = std::bit_ceil(std::max<u64>(proof.leaf_count, 1));
+  const u32 expect_depth = static_cast<u32>(std::countr_zero(padded));
+  ZKT_TRY(assert_true(proof.siblings.size() == expect_depth,
+                      "merkle proof depth"));
+  ZKT_TRY(assert_true(proof.leaf_index < padded, "merkle leaf index range"));
+  Digest32 acc = leaf;
+  u64 idx = proof.leaf_index;
+  for (const auto& sibling : proof.siblings) {
+    acc = (idx & 1) ? hash_node(sibling, acc) : hash_node(acc, sibling);
+    idx >>= 1;
+  }
+  return assert_eq(acc, root, "merkle root");
+}
+
+Status Env::verify_merkle_multi(
+    const Digest32& root, std::span<const std::pair<u64, Digest32>> leaves,
+    const crypto::MerkleMultiProof& proof) {
+  // Mirrors crypto::MerkleTree::verify_multi with traced hashing, so batch
+  // openings are part of the proven execution.
+  ZKT_TRY(assert_true(leaves.size() == proof.indices.size(),
+                      "multiproof leaf count"));
+  const u64 padded = std::bit_ceil(std::max<u64>(proof.leaf_count, 1));
+  const u32 depth = static_cast<u32>(std::countr_zero(padded));
+  ZKT_TRY(assert_true(!leaves.empty(), "multiproof must open something"));
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    ZKT_TRY(assert_true(leaves[i].first == proof.indices[i],
+                        "multiproof index alignment"));
+    ZKT_TRY(assert_true(i == 0 || leaves[i].first > leaves[i - 1].first,
+                        "multiproof indices ascending"));
+    ZKT_TRY(assert_true(leaves[i].first < padded, "multiproof index range"));
+  }
+
+  std::vector<std::pair<u64, Digest32>> known(leaves.begin(), leaves.end());
+  size_t next_sibling = 0;
+  for (u32 level = 0; level < depth; ++level) {
+    std::vector<std::pair<u64, Digest32>> parents;
+    for (size_t i = 0; i < known.size(); ++i) {
+      const u64 idx = known[i].first;
+      const u64 sibling_idx = idx ^ 1;
+      if (i + 1 < known.size() && known[i + 1].first == sibling_idx) {
+        parents.emplace_back(idx >> 1,
+                             hash_node(known[i].second, known[i + 1].second));
+        ++i;
+        continue;
+      }
+      ZKT_TRY(assert_true(next_sibling < proof.siblings.size(),
+                          "multiproof sibling supply"));
+      const Digest32& sibling = proof.siblings[next_sibling++];
+      parents.emplace_back(idx >> 1,
+                           (idx & 1) ? hash_node(sibling, known[i].second)
+                                     : hash_node(known[i].second, sibling));
+    }
+    known = std::move(parents);
+  }
+  ZKT_TRY(assert_true(next_sibling == proof.siblings.size(),
+                      "multiproof siblings all consumed"));
+  ZKT_TRY(assert_true(known.size() == 1, "multiproof converges to root"));
+  return assert_eq(known[0].second, root, "multiproof root");
+}
+
+Status Env::verify_assumption(const Digest32& image_id,
+                              const Digest32& claim_digest) {
+  for (const auto& receipt : assumption_receipts_) {
+    if (receipt.claim.image_id == image_id &&
+        receipt.claim.digest() == claim_digest) {
+      RowAssume row{image_id, claim_digest};
+      trace_.push_back(TraceRow{row});
+      assumptions_.push_back(Assumption{image_id, claim_digest});
+      return {};
+    }
+  }
+  return Error{Errc::proof_invalid,
+               "no receipt supplied for required assumption"};
+}
+
+void Env::begin_region(std::string_view name) {
+  end_region();
+  open_region_ = std::make_pair(std::string(name), cycles());
+}
+
+void Env::end_region() {
+  if (!open_region_.has_value()) return;
+  const u64 spent = cycles() - open_region_->second;
+  for (auto& [name, total] : regions_) {
+    if (name == open_region_->first) {
+      total += spent;
+      open_region_.reset();
+      return;
+    }
+  }
+  regions_.emplace_back(std::move(open_region_->first), spent);
+  open_region_.reset();
+}
+
+Digest32 Env::bind_input() {
+  const Digest32 d = sha256(BytesView(input_.data(), input_.size()));
+  RowBindDigest row{BindTarget::input, d};
+  trace_.push_back(TraceRow{row});
+  return d;
+}
+
+Digest32 Env::bind_journal() {
+  const Digest32 d = sha256(journal_.bytes());
+  RowBindDigest row{BindTarget::journal, d};
+  trace_.push_back(TraceRow{row});
+  return d;
+}
+
+namespace guest {
+
+Status read_and_verify_merkle(Env& env, const Digest32& root) {
+  auto leaf = env.read_digest();
+  if (!leaf.ok()) return leaf.error();
+  Bytes proof_bytes;
+  {
+    auto b = env.read_blob();
+    if (!b.ok()) return b.error();
+    proof_bytes = std::move(b.value());
+  }
+  Reader r(proof_bytes);
+  auto proof = crypto::MerkleProof::deserialize(r);
+  if (!proof.ok()) return proof.error();
+  return env.verify_merkle(root, leaf.value(), proof.value());
+}
+
+}  // namespace guest
+
+}  // namespace zkt::zvm

@@ -1,0 +1,55 @@
+// Guest images: named, versioned guest programs and their identifiers.
+//
+// Mirrors RISC Zero's image-ID concept — the verifier pins the exact guest
+// it expects by its ImageID, so a prover cannot substitute different logic.
+// In RISC Zero the ID is a digest of the RISC-V ELF; here (guests are native
+// C++ registered at startup) it is a digest of the (name, version) pair, and
+// both sides must run the same build of the library — the standard
+// assumption for a reproducible guest binary.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/digest.h"
+
+namespace zkt::zvm {
+
+class Env;
+
+using GuestFn = std::function<Status(Env&)>;
+
+using ImageID = crypto::Digest32;
+
+/// Deterministic image identifier for a (name, version) pair.
+ImageID compute_image_id(std::string_view name, u32 version);
+
+struct Image {
+  std::string name;
+  u32 version = 1;
+  ImageID id;
+  GuestFn fn;
+};
+
+/// Process-wide registry of guest images. Thread-safe.
+class ImageRegistry {
+ public:
+  static ImageRegistry& instance();
+
+  /// Register a guest; returns its ImageID. Re-registering the same
+  /// (name, version) replaces the function (useful in tests).
+  ImageID add(std::string name, u32 version, GuestFn fn);
+
+  /// Find an image by ID; nullptr if unknown.
+  const Image* find(const ImageID& id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::array<u8, 32>, Image> images_;
+};
+
+}  // namespace zkt::zvm

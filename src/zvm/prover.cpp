@@ -1,0 +1,180 @@
+#include "zvm/prover.h"
+
+#include <chrono>
+#include <thread>
+
+#include "crypto/transcript.h"
+#include "zvm/verifier.h"
+
+namespace zkt::zvm {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::vector<u64> derive_query_indices(const Digest32& claim_digest,
+                                      const Digest32& roots_digest,
+                                      u64 segment_index,
+                                      const Digest32& segment_root,
+                                      u64 row_count, u32 num_queries) {
+  const u64 count = std::min<u64>(num_queries, row_count);
+  std::vector<u64> indices;
+  indices.reserve(count);
+  crypto::Transcript transcript("zkt.zvm.seal.v2");
+  transcript.absorb("claim", claim_digest);
+  transcript.absorb("roots", roots_digest);
+  transcript.absorb_u64("segment", segment_index);
+  transcript.absorb("segment_root", segment_root);
+  transcript.absorb_u64("rows", row_count);
+  while (indices.size() < count) {
+    const u64 idx = transcript.challenge_index("query", row_count);
+    if (std::find(indices.begin(), indices.end(), idx) == indices.end()) {
+      indices.push_back(idx);
+    }
+  }
+  return indices;
+}
+
+Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
+                              const ProveOptions& options,
+                              ProveInfo* info) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  const Image* image = registry_->find(image_id);
+  if (image == nullptr) {
+    return Error{Errc::not_found, "unknown image id"};
+  }
+  if (options.max_segment_rows == 0) {
+    return Error{Errc::invalid_argument, "max_segment_rows must be > 0"};
+  }
+
+  // Assumption receipts must themselves verify before the guest may rely on
+  // them (mirrors RISC Zero resolving assumptions at prove time). The
+  // prover's own policy follows its configured opening count, so chains
+  // built with a consistent num_queries setting self-verify.
+  Verifier verifier(options.num_queries);
+  for (const auto& inner : options.assumptions) {
+    ZKT_TRY(verifier.verify(inner, inner.claim.image_id));
+  }
+
+  Env env(input, options.assumptions);
+  Claim claim;
+  claim.image_id = image_id;
+  claim.input_digest = env.bind_input();
+
+  ZKT_TRY(image->fn(env));
+  env.end_region();  // close any region the guest left open
+
+  claim.journal_digest = env.bind_journal();
+  claim.cycle_count = env.cycles();
+  claim.assumptions = env.assumptions();
+
+  const double execute_ms = ms_since(start);
+  const auto commit_start = std::chrono::steady_clock::now();
+
+  // Serialize rows once; segments index into this.
+  const auto& trace = env.trace();
+  std::vector<Bytes> row_bytes;
+  row_bytes.reserve(trace.size());
+  u64 sha_rows = 0;
+  for (const auto& row : trace) {
+    Writer w;
+    row.serialize(w);
+    row_bytes.push_back(std::move(w).take());
+    if (row.kind() == OpKind::sha256_compress) ++sha_rows;
+  }
+
+  // Split into segments and commit each (in parallel when several).
+  const u64 total_rows = trace.size();
+  const u64 segment_count =
+      std::max<u64>(1, (total_rows + options.max_segment_rows - 1) /
+                           options.max_segment_rows);
+  std::vector<crypto::MerkleTree> trees(segment_count);
+  std::vector<u64> seg_start(segment_count), seg_rows(segment_count);
+  {
+    auto build_segment = [&](u64 seg) {
+      const u64 begin = seg * options.max_segment_rows;
+      const u64 end = std::min(total_rows, begin + options.max_segment_rows);
+      seg_start[seg] = begin;
+      seg_rows[seg] = end - begin;
+      std::vector<Digest32> leaves;
+      leaves.reserve(end - begin);
+      for (u64 i = begin; i < end; ++i) {
+        leaves.push_back(crypto::MerkleTree::hash_leaf(row_bytes[i]));
+      }
+      trees[seg] = crypto::MerkleTree(std::move(leaves));
+    };
+    if (segment_count > 1) {
+      std::vector<std::thread> workers;
+      workers.reserve(segment_count);
+      for (u64 seg = 0; seg < segment_count; ++seg) {
+        workers.emplace_back(build_segment, seg);
+      }
+      for (auto& w : workers) w.join();
+    } else {
+      build_segment(0);
+    }
+  }
+
+  Receipt receipt;
+  receipt.claim = claim;
+  receipt.journal = env.journal();
+  receipt.seal_kind = SealKind::composite;
+  receipt.assumption_receipts = options.assumptions;
+  receipt.composite.segments.resize(segment_count);
+  for (u64 seg = 0; seg < segment_count; ++seg) {
+    receipt.composite.segments[seg].trace_root = trees[seg].root();
+    receipt.composite.segments[seg].row_count = seg_rows[seg];
+  }
+
+  // Fiat–Shamir challenges bind the full root list, then open per segment.
+  const Digest32 claim_digest = claim.digest();
+  const Digest32 roots_digest = receipt.composite.roots_digest();
+  for (u64 seg = 0; seg < segment_count; ++seg) {
+    auto& segment = receipt.composite.segments[seg];
+    const auto indices =
+        derive_query_indices(claim_digest, roots_digest, seg,
+                             segment.trace_root, segment.row_count,
+                             options.num_queries);
+    segment.openings.reserve(indices.size());
+    for (u64 idx : indices) {
+      SealOpening opening;
+      opening.row_index = idx;
+      opening.row_bytes = row_bytes[seg_start[seg] + idx];
+      opening.proof = trees[seg].prove(idx);
+      segment.openings.push_back(std::move(opening));
+    }
+  }
+
+  if (options.seal_kind == SealKind::succinct) {
+    // Wrap: self-verify the composite receipt, then emit the constant-size
+    // seal. Assumptions are resolved by this step (their receipts were
+    // verified above and the wrapper attests to the whole tree).
+    ZKT_TRY(verifier.verify(receipt, image_id));
+    Receipt wrapped;
+    wrapped.claim = receipt.claim;
+    wrapped.journal = std::move(receipt.journal);
+    wrapped.seal_kind = SealKind::succinct;
+    wrapped.succinct = SuccinctSeal::wrap(claim_digest, roots_digest);
+    receipt = std::move(wrapped);
+  }
+
+  if (info != nullptr) {
+    info->cycles = claim.cycle_count;
+    info->sha_rows = sha_rows;
+    info->segments = segment_count;
+    info->execute_ms = execute_ms;
+    info->commit_ms = ms_since(commit_start);
+    info->total_ms = ms_since(start);
+    info->regions = env.region_cycles();
+  }
+  return receipt;
+}
+
+}  // namespace zkt::zvm

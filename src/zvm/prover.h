@@ -1,0 +1,78 @@
+// Prover: executes a guest image over private input and produces a Receipt.
+//
+// Pipeline (mirrors a zkVM prover):
+//   1. bind the private input into the claim (traced hashing),
+//   2. execute the guest, recording the operation trace,
+//   3. bind the public journal into the claim,
+//   4. Merkle-commit to the trace,
+//   5. derive Fiat–Shamir query indices and open those rows,
+//   6. optionally wrap the composite seal into a constant-size succinct seal.
+//
+// A guest abort (failed assertion — e.g. an RLog hash mismatch during
+// aggregation) aborts proving with the guest's error: tampered data makes
+// proof generation fail, exactly the behaviour the paper's §5/§6 describe.
+#pragma once
+
+#include "zvm/env.h"
+#include "zvm/image.h"
+#include "zvm/receipt.h"
+
+namespace zkt::zvm {
+
+struct ProveOptions {
+  SealKind seal_kind = SealKind::succinct;
+  /// Number of Fiat–Shamir row openings per trace segment.
+  u32 num_queries = 32;
+  /// Maximum rows per trace segment (the continuation size). Long guests
+  /// are split into ceil(rows / max_segment_rows) segments, each committed
+  /// and opened independently (and in parallel when there are several).
+  u64 max_segment_rows = 1ULL << 14;
+  /// Receipts backing the guest's verify_assumption calls.
+  std::vector<Receipt> assumptions;
+};
+
+struct ProveInfo {
+  u64 cycles = 0;        ///< trace rows (the zvm cost unit)
+  u64 sha_rows = 0;      ///< SHA-256 compression rows
+  u64 segments = 0;      ///< trace segments sealed
+  double execute_ms = 0; ///< guest execution + trace recording
+  double commit_ms = 0;  ///< trace Merkle commitment + openings
+  double total_ms = 0;
+  /// Per-phase cycle attribution from the guest's profiling regions
+  /// (first-seen order; cycles outside any region are not listed).
+  std::vector<std::pair<std::string, u64>> regions;
+
+  /// STARK-equivalent cost estimate: a SHA-256 compression circuit costs
+  /// ~68 RISC-V-cycle-equivalents in provers like RISC Zero, while our
+  /// trace charges every row equally. This reweights accordingly, which is
+  /// the right unit when comparing against the paper's proving times.
+  u64 weighted_cycles() const {
+    return sha_rows * 68 + (cycles - sha_rows);
+  }
+};
+
+class Prover {
+ public:
+  explicit Prover(const ImageRegistry& registry = ImageRegistry::instance())
+      : registry_(&registry) {}
+
+  Result<Receipt> prove(const ImageID& image_id, BytesView input,
+                        const ProveOptions& options = {},
+                        ProveInfo* info = nullptr) const;
+
+ private:
+  const ImageRegistry* registry_;
+};
+
+/// Derive the Fiat–Shamir row-query indices for one trace segment. The
+/// challenges bind the claim, the digest of ALL segment roots, this
+/// segment's index and its own root — so no segment's openings can be
+/// recomputed without fixing the whole seal first. Shared between prover
+/// and verifier so challenges are reproducible.
+std::vector<u64> derive_query_indices(const Digest32& claim_digest,
+                                      const Digest32& roots_digest,
+                                      u64 segment_index,
+                                      const Digest32& segment_root,
+                                      u64 row_count, u32 num_queries);
+
+}  // namespace zkt::zvm

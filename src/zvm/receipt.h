@@ -1,0 +1,130 @@
+// Receipts: the zvm's verifiable output object, mirroring RISC Zero's
+// receipt = (journal, seal) structure.
+//
+//   Claim    — public statement: which image ran, digests binding the private
+//              input and the public journal, cycle count, and any assumptions
+//              (inner receipts the guest verified).
+//   Seal     — the cryptographic argument. Two kinds:
+//                composite: trace Merkle root + Fiat–Shamir-sampled row
+//                           openings (grows ~ queries × log(rows));
+//                succinct:  constant 256 bytes, simulating the Groth16
+//                           wrapping RISC Zero applies to compress composite
+//                           receipts (see DESIGN.md for the soundness caveat).
+//   Receipt  — claim + journal + seal (+ embedded assumption receipts in
+//              composite mode).
+#pragma once
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/serial.h"
+#include "crypto/digest.h"
+#include "crypto/merkle.h"
+#include "zvm/op.h"
+
+namespace zkt::zvm {
+
+struct Assumption {
+  Digest32 image_id;
+  Digest32 claim_digest;
+
+  friend bool operator==(const Assumption&, const Assumption&) = default;
+};
+
+struct Claim {
+  Digest32 image_id;
+  Digest32 input_digest;    ///< SHA-256 over the (private) guest input
+  Digest32 journal_digest;  ///< SHA-256 over the (public) journal bytes
+  u64 cycle_count = 0;      ///< trace rows executed
+  std::vector<Assumption> assumptions;
+
+  void serialize(Writer& w) const;
+  static Result<Claim> deserialize(Reader& r);
+
+  /// Canonical digest binding every claim field.
+  Digest32 digest() const;
+};
+
+enum class SealKind : u8 { composite = 1, succinct = 2 };
+
+/// One opened trace row: its index, serialized bytes, and inclusion proof
+/// against the trace root.
+struct SealOpening {
+  u64 row_index = 0;
+  Bytes row_bytes;
+  crypto::MerkleProof proof;
+
+  void serialize(Writer& w) const;
+  static Result<SealOpening> deserialize(Reader& r);
+};
+
+/// One trace segment's commitment and openings. Long executions are split
+/// into segments (RISC Zero's "continuations"): each segment is Merkle-
+/// committed and opened independently, so segments can be proven on
+/// parallel workers and memory stays bounded regardless of trace length.
+struct SegmentSeal {
+  Digest32 trace_root;
+  u64 row_count = 0;
+  std::vector<SealOpening> openings;
+
+  void serialize(Writer& w) const;
+  static Result<SegmentSeal> deserialize(Reader& r);
+};
+
+struct CompositeSeal {
+  std::vector<SegmentSeal> segments;
+
+  u64 total_rows() const {
+    u64 total = 0;
+    for (const auto& s : segments) total += s.row_count;
+    return total;
+  }
+
+  /// Digest binding every segment root (what the succinct wrapper signs
+  /// over and what anchors the Fiat–Shamir challenges across segments).
+  Digest32 roots_digest() const;
+
+  void serialize(Writer& w) const;
+  static Result<CompositeSeal> deserialize(Reader& r);
+};
+
+/// Fixed-size simulated SNARK seal. Layout:
+///   [0,32)    trace root
+///   [32,64)   binding = SHA-256("zkt.snark.sim.v1" || claim digest || root)
+///   [64,256)  deterministic filler derived from the binding
+inline constexpr size_t kSuccinctSealSize = 256;
+
+struct SuccinctSeal {
+  std::array<u8, kSuccinctSealSize> bytes{};
+
+  static SuccinctSeal wrap(const Digest32& claim_digest,
+                           const Digest32& trace_root);
+  Status check(const Digest32& claim_digest) const;
+};
+
+struct Receipt {
+  Claim claim;
+  Bytes journal;
+  SealKind seal_kind = SealKind::composite;
+  CompositeSeal composite;   ///< valid when seal_kind == composite
+  SuccinctSeal succinct;     ///< valid when seal_kind == succinct
+  /// Inner receipts backing claim.assumptions (composite mode; succinct
+  /// wrapping resolves/drops them, as in RISC Zero).
+  std::vector<Receipt> assumption_receipts;
+
+  void serialize(Writer& w) const;
+  static Result<Receipt> deserialize(Reader& r);
+  Bytes to_bytes() const;
+  static Result<Receipt> from_bytes(BytesView data);
+
+  /// "Proof" size as reported in the paper's Table 1: the constant-size
+  /// SNARK proof for succinct seals, or the full seal size for composites.
+  size_t proof_size_bytes() const;
+  /// Seal size (proof + public trace commitment metadata).
+  size_t seal_size_bytes() const;
+  /// Full serialized receipt size.
+  size_t receipt_size_bytes() const { return to_bytes().size(); }
+};
+
+}  // namespace zkt::zvm

@@ -1,0 +1,129 @@
+#include "zvm/verifier.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+#include "zvm/image.h"
+#include "zvm/prover.h"
+
+namespace zkt::zvm {
+
+Status Verifier::verify(const Receipt& receipt,
+                        const ImageID& expected_image_id) const {
+  if (receipt.claim.image_id != expected_image_id) {
+    return Error{Errc::proof_invalid, "receipt is for a different image"};
+  }
+  // The journal is public: its digest must match the claim regardless of
+  // seal kind.
+  if (crypto::sha256(receipt.journal) != receipt.claim.journal_digest) {
+    return Error{Errc::proof_invalid, "journal digest mismatch"};
+  }
+  switch (receipt.seal_kind) {
+    case SealKind::composite: return verify_composite(receipt);
+    case SealKind::succinct: return verify_succinct(receipt);
+  }
+  return Error{Errc::proof_invalid, "unknown seal kind"};
+}
+
+Status Verifier::verify_succinct(const Receipt& receipt) const {
+  return receipt.succinct.check(receipt.claim.digest());
+}
+
+Status Verifier::verify_composite(const Receipt& receipt) const {
+  const auto& seal = receipt.composite;
+  if (seal.segments.empty()) {
+    return Error{Errc::proof_invalid, "seal has no segments"};
+  }
+  if (seal.total_rows() != receipt.claim.cycle_count) {
+    return Error{Errc::proof_invalid, "cycle count does not match trace"};
+  }
+  if (receipt.claim.cycle_count == 0) {
+    return Error{Errc::proof_invalid, "empty trace"};
+  }
+
+  const Digest32 claim_digest = receipt.claim.digest();
+  const Digest32 roots_digest = seal.roots_digest();
+
+  for (u64 seg = 0; seg < seal.segments.size(); ++seg) {
+    const auto& segment = seal.segments[seg];
+    if (segment.row_count == 0) {
+      return Error{Errc::proof_invalid, "empty trace segment"};
+    }
+    // The prover may open more rows than our policy requires, never fewer.
+    const u64 required = std::min<u64>(min_queries_, segment.row_count);
+    if (segment.openings.size() < required) {
+      return Error{Errc::proof_invalid, "too few seal openings"};
+    }
+
+    // Recompute the Fiat–Shamir challenges; the prover cannot choose which
+    // rows to open.
+    const auto expect_indices = derive_query_indices(
+        claim_digest, roots_digest, seg, segment.trace_root,
+        segment.row_count, static_cast<u32>(segment.openings.size()));
+    if (expect_indices.size() != segment.openings.size()) {
+      return Error{Errc::proof_invalid, "wrong number of openings"};
+    }
+
+    for (size_t i = 0; i < segment.openings.size(); ++i) {
+      const auto& opening = segment.openings[i];
+      if (opening.row_index != expect_indices[i]) {
+        return Error{Errc::proof_invalid, "opening index mismatch"};
+      }
+      // Inclusion in the committed segment.
+      if (opening.proof.leaf_index != opening.row_index ||
+          opening.proof.leaf_count != segment.row_count) {
+        return Error{Errc::proof_invalid, "opening proof shape mismatch"};
+      }
+      const Digest32 leaf = crypto::MerkleTree::hash_leaf(opening.row_bytes);
+      ZKT_TRY(
+          crypto::MerkleTree::verify(segment.trace_root, leaf, opening.proof));
+
+      // Row semantics.
+      Reader r(opening.row_bytes);
+      auto row = TraceRow::deserialize(r);
+      if (!row.ok()) return row.error();
+      if (!r.done()) {
+        return Error{Errc::proof_invalid, "trailing bytes in trace row"};
+      }
+      ZKT_TRY(row.value().check());
+
+      // Rows referencing the claim must match it.
+      if (const auto* bind = std::get_if<RowBindDigest>(&row.value().op)) {
+        const Digest32& expect = bind->target == BindTarget::input
+                                     ? receipt.claim.input_digest
+                                     : receipt.claim.journal_digest;
+        if (bind->computed != expect) {
+          return Error{Errc::proof_invalid, "bind row does not match claim"};
+        }
+      }
+      if (const auto* assume = std::get_if<RowAssume>(&row.value().op)) {
+        const Assumption a{assume->image_id, assume->claim_digest};
+        if (std::find(receipt.claim.assumptions.begin(),
+                      receipt.claim.assumptions.end(),
+                      a) == receipt.claim.assumptions.end()) {
+          return Error{Errc::proof_invalid, "assume row not in claim"};
+        }
+      }
+    }
+  }
+
+  // Every claimed assumption must be backed by an embedded receipt that
+  // itself verifies.
+  for (const auto& assumption : receipt.claim.assumptions) {
+    bool matched = false;
+    for (const auto& inner : receipt.assumption_receipts) {
+      if (inner.claim.image_id == assumption.image_id &&
+          inner.claim.digest() == assumption.claim_digest) {
+        ZKT_TRY(verify(inner, assumption.image_id));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      return Error{Errc::proof_invalid, "unresolved assumption"};
+    }
+  }
+  return {};
+}
+
+}  // namespace zkt::zvm

@@ -1,0 +1,36 @@
+// Verifier: checks receipts without access to the private input.
+//
+// Composite receipts: recompute the Fiat–Shamir challenges, check every
+// opened row's Merkle inclusion against the trace root and its internal
+// semantics (recompute SHA-256 compressions / ALU ops, check asserts), check
+// bind rows against the claim, and recursively verify assumption receipts.
+//
+// Succinct receipts: check the simulated SNARK seal binding (see DESIGN.md)
+// and the journal digest. This is the client-side path the paper measures at
+// ~3 ms regardless of entry count.
+#pragma once
+
+#include "zvm/image.h"
+#include "zvm/receipt.h"
+
+namespace zkt::zvm {
+
+class Verifier {
+ public:
+  /// min_queries is the verifier's own soundness policy: a composite seal
+  /// must open at least min(min_queries, row_count) Fiat–Shamir-chosen rows.
+  /// Without this floor a malicious prover could ship a seal with fewer
+  /// (even zero) openings and trivially pass the sampled checks.
+  explicit Verifier(u32 min_queries = 32) : min_queries_(min_queries) {}
+
+  /// Verify a receipt against the image the caller expects.
+  Status verify(const Receipt& receipt, const ImageID& expected_image_id) const;
+
+ private:
+  Status verify_composite(const Receipt& receipt) const;
+  Status verify_succinct(const Receipt& receipt) const;
+
+  u32 min_queries_;
+};
+
+}  // namespace zkt::zvm

@@ -1,0 +1,195 @@
+// Auditor (verifier-side) tests: chain acceptance rules, board cross-checks,
+// and query-receipt validation against accepted rounds.
+#include <gtest/gtest.h>
+
+#include "core/auditor.h"
+#include "core/service.h"
+
+namespace zkt::core {
+namespace {
+
+using netflow::FlowRecord;
+using netflow::PacketObservation;
+using netflow::RLogBatch;
+
+struct Pipeline {
+  CommitmentBoard board;
+  crypto::SchnorrKeyPair key = crypto::schnorr_keygen_from_seed("auditor-t");
+  AggregationService service{board};
+  u64 next_window = 1;
+
+  RLogBatch make_batch(std::vector<std::pair<u32, u64>> flows) {
+    RLogBatch batch;
+    batch.router_id = 0;
+    batch.window_id = next_window++;
+    for (auto [src, packets] : flows) {
+      FlowRecord record;
+      for (u64 i = 0; i < packets; ++i) {
+        PacketObservation pkt;
+        pkt.key = {src, 0x09090909, 1000, 443, 6};
+        pkt.timestamp_ms = batch.window_id * 5000 + i;
+        pkt.bytes = 100;
+        pkt.hop_count = 4;
+        record.observe(pkt);
+      }
+      batch.records.push_back(std::move(record));
+    }
+    EXPECT_TRUE(board
+                    .publish(make_commitment(batch, key,
+                                             batch.window_id * 5000)
+                                 .value())
+                    .ok());
+    return batch;
+  }
+
+  AggregationRound round(std::vector<std::pair<u32, u64>> flows) {
+    auto r = service.aggregate({make_batch(std::move(flows))});
+    EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error().to_string());
+    return std::move(r.value());
+  }
+};
+
+TEST(Auditor, AcceptsChainInOrder) {
+  Pipeline p;
+  Auditor auditor(p.board);
+  auto r0 = p.round({{1, 2}});
+  auto r1 = p.round({{1, 3}, {2, 1}});
+  auto r2 = p.round({{2, 5}});
+  ASSERT_TRUE(auditor.accept_round(r0.receipt).ok());
+  ASSERT_TRUE(auditor.accept_round(r1.receipt).ok());
+  ASSERT_TRUE(auditor.accept_round(r2.receipt).ok());
+  EXPECT_EQ(auditor.rounds_accepted(), 3u);
+  EXPECT_EQ(auditor.current_entry_count(), 2u);
+  EXPECT_EQ(auditor.current_root(), p.service.state().root());
+}
+
+TEST(Auditor, RejectsSkippedRound) {
+  Pipeline p;
+  Auditor auditor(p.board);
+  auto r0 = p.round({{1, 2}});
+  auto r1 = p.round({{1, 3}});
+  auto r2 = p.round({{1, 4}});
+  ASSERT_TRUE(auditor.accept_round(r0.receipt).ok());
+  // Skipping r1: r2 does not chain onto r0.
+  auto rejected = auditor.accept_round(r2.receipt);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, Errc::chain_broken);
+  // r1 then r2 in order still works.
+  ASSERT_TRUE(auditor.accept_round(r1.receipt).ok());
+  ASSERT_TRUE(auditor.accept_round(r2.receipt).ok());
+}
+
+TEST(Auditor, RejectsNonGenesisFirst) {
+  Pipeline p;
+  auto r0 = p.round({{1, 2}});
+  auto r1 = p.round({{1, 3}});
+  Auditor auditor(p.board);
+  auto rejected = auditor.accept_round(r1.receipt);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, Errc::chain_broken);
+}
+
+TEST(Auditor, RejectsReplayedGenesisAfterProgress) {
+  Pipeline p;
+  Auditor auditor(p.board);
+  auto r0 = p.round({{1, 2}});
+  auto r1 = p.round({{1, 3}});
+  ASSERT_TRUE(auditor.accept_round(r0.receipt).ok());
+  ASSERT_TRUE(auditor.accept_round(r1.receipt).ok());
+  EXPECT_FALSE(auditor.accept_round(r0.receipt).ok());
+}
+
+TEST(Auditor, RejectsRoundWithUnpublishedCommitment) {
+  // Build a separate pipeline whose board the auditor does not trust.
+  Pipeline trusted;
+  Pipeline rogue;
+  auto rogue_round = rogue.round({{1, 2}});
+  Auditor auditor(trusted.board);  // auditor watches the trusted board only
+  auto rejected = auditor.accept_round(rogue_round.receipt);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, Errc::commitment_missing);
+}
+
+TEST(Auditor, RejectsTamperedRoundJournal) {
+  Pipeline p;
+  Auditor auditor(p.board);
+  auto r0 = p.round({{1, 2}});
+  auto tampered = r0.receipt;
+  AggJournal j = r0.journal;
+  j.new_entry_count += 1;
+  Writer w;
+  j.write(w);
+  tampered.journal = std::move(w).take();
+  EXPECT_FALSE(auditor.accept_round(tampered).ok());
+}
+
+TEST(Auditor, QueryAgainstUnacceptedRoundRejected) {
+  Pipeline p;
+  auto r0 = p.round({{1, 2}});
+  QueryService queries(p.service);
+  auto resp = queries.run(Query::count());
+  ASSERT_TRUE(resp.ok());
+
+  Auditor auditor(p.board);  // never accepted any round
+  auto rejected = auditor.verify_query(resp.value().receipt);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, Errc::chain_broken);
+}
+
+TEST(Auditor, QueryAgainstOlderAcceptedRoundStillVerifies) {
+  Pipeline p;
+  Auditor auditor(p.board);
+  auto r0 = p.round({{1, 2}});
+  ASSERT_TRUE(auditor.accept_round(r0.receipt).ok());
+
+  QueryService queries(p.service);
+  auto resp_old = queries.run(Query::count());
+  ASSERT_TRUE(resp_old.ok());
+
+  auto r1 = p.round({{2, 2}});
+  ASSERT_TRUE(auditor.accept_round(r1.receipt).ok());
+
+  // The earlier query (against round 0) still verifies: it targets an
+  // accepted claim, just not the newest one.
+  EXPECT_TRUE(auditor.verify_query(resp_old.value().receipt).ok());
+}
+
+TEST(Auditor, ExpectedQueryMismatchRejected) {
+  Pipeline p;
+  Auditor auditor(p.board);
+  auto r0 = p.round({{1, 2}});
+  ASSERT_TRUE(auditor.accept_round(r0.receipt).ok());
+  QueryService queries(p.service);
+  const Query asked = Query::sum(QField::packets);
+  const Query other = Query::sum(QField::bytes);
+  auto resp = queries.run(asked);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(auditor.verify_query(resp.value().receipt, &asked).ok());
+  auto mismatch = auditor.verify_query(resp.value().receipt, &other);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.error().code, Errc::proof_invalid);
+}
+
+TEST(Auditor, ModeConfusionRejected) {
+  // A selective receipt whose journal is rewritten to claim complete mode
+  // must fail (journal digest breaks); and vice versa.
+  Pipeline p;
+  Auditor auditor(p.board);
+  auto r0 = p.round({{1, 2}, {2, 3}});
+  ASSERT_TRUE(auditor.accept_round(r0.receipt).ok());
+  QueryService queries(p.service);
+  const Query q = Query::count();
+  auto selective = queries.run_selective(q);
+  ASSERT_TRUE(selective.ok());
+
+  auto confused = selective.value().receipt;
+  QueryJournal j = selective.value().journal;
+  j.mode = QueryMode::complete;
+  Writer w;
+  j.write(w);
+  confused.journal = std::move(w).take();
+  EXPECT_FALSE(auditor.verify_query(confused, &q).ok());
+}
+
+}  // namespace
+}  // namespace zkt::core

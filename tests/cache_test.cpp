@@ -1,0 +1,107 @@
+// Flow-cache tests: accumulation, active/inactive timeout expiry, flush,
+// and emergency expiration under capacity pressure.
+#include <gtest/gtest.h>
+
+#include "netflow/cache.h"
+
+namespace zkt::netflow {
+namespace {
+
+PacketObservation pkt_at(u32 src, u64 ts_ms, u32 bytes = 100) {
+  PacketObservation pkt;
+  pkt.key = {src, 0x09090909, 1234, 443, 6};
+  pkt.timestamp_ms = ts_ms;
+  pkt.bytes = bytes;
+  return pkt;
+}
+
+TEST(FlowCache, AccumulatesPerFlow) {
+  FlowCache cache;
+  EXPECT_TRUE(cache.observe(pkt_at(1, 100)).empty());
+  EXPECT_TRUE(cache.observe(pkt_at(1, 200)).empty());
+  EXPECT_TRUE(cache.observe(pkt_at(2, 300)).empty());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().packets_observed, 3u);
+  EXPECT_EQ(cache.stats().flows_created, 2u);
+
+  auto all = cache.flush();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  for (const auto& rec : all) {
+    if (rec.key.src_ip == 1) EXPECT_EQ(rec.packets, 2u);
+    if (rec.key.src_ip == 2) EXPECT_EQ(rec.packets, 1u);
+  }
+}
+
+TEST(FlowCache, InactiveTimeoutExpires) {
+  FlowCacheConfig config;
+  config.inactive_timeout_ms = 1000;
+  config.active_timeout_ms = 1'000'000;
+  FlowCache cache(config);
+  cache.observe(pkt_at(1, 0));
+  cache.observe(pkt_at(2, 900));
+
+  // At t=1500, flow 1 (idle since 0) expires; flow 2 (idle since 900) stays.
+  auto expired = cache.expire(1500);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].key.src_ip, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().inactive_timeouts, 1u);
+}
+
+TEST(FlowCache, ActiveTimeoutExpiresLongFlows) {
+  FlowCacheConfig config;
+  config.inactive_timeout_ms = 1'000'000;
+  config.active_timeout_ms = 5'000;
+  FlowCache cache(config);
+  // Keep a flow continuously active past the active timeout.
+  for (u64 t = 0; t <= 6000; t += 100) cache.observe(pkt_at(1, t));
+  auto expired = cache.expire(6000);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(cache.stats().active_timeouts, 1u);
+  EXPECT_EQ(expired[0].packets, 61u);
+}
+
+TEST(FlowCache, ExpireKeepsFreshFlows) {
+  FlowCache cache;
+  cache.observe(pkt_at(1, 1000));
+  EXPECT_TRUE(cache.expire(1001).empty());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FlowCache, EmergencyExpirationAtCapacity) {
+  FlowCacheConfig config;
+  config.max_entries = 16;
+  FlowCache cache(config);
+  std::vector<FlowRecord> evicted;
+  for (u32 i = 0; i < 40; ++i) {
+    auto out = cache.observe(pkt_at(i + 1, i * 10));
+    for (auto& rec : out) evicted.push_back(std::move(rec));
+  }
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_FALSE(evicted.empty());
+  EXPECT_GT(cache.stats().emergency_expirations, 0u);
+  // Evicted + resident covers every created flow exactly once.
+  EXPECT_EQ(evicted.size() + cache.size(), 40u);
+}
+
+TEST(FlowCache, EvictsOldestFirst) {
+  FlowCacheConfig config;
+  config.max_entries = 8;
+  FlowCache cache(config);
+  for (u32 i = 0; i < 8; ++i) cache.observe(pkt_at(i + 1, i));
+  // Inserting a 9th flow evicts the oldest eighth (1 entry): flow 1 (ts 0).
+  auto evicted = cache.observe(pkt_at(100, 1000));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].key.src_ip, 1u);
+}
+
+TEST(FlowCache, FlushIsComplete) {
+  FlowCache cache;
+  for (u32 i = 0; i < 10; ++i) cache.observe(pkt_at(i, 0));
+  EXPECT_EQ(cache.flush().size(), 10u);
+  EXPECT_TRUE(cache.flush().empty());
+}
+
+}  // namespace
+}  // namespace zkt::netflow

@@ -1,0 +1,106 @@
+// ChaCha20 tests against RFC 8439 vectors plus DRBG behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/chacha20.h"
+
+namespace zkt::crypto {
+namespace {
+
+std::array<u8, 32> key_from_hex(std::string_view hex) {
+  const Bytes b = hex_bytes(hex);
+  std::array<u8, 32> key{};
+  std::copy(b.begin(), b.end(), key.begin());
+  return key;
+}
+
+std::array<u8, 12> nonce_from_hex(std::string_view hex) {
+  const Bytes b = hex_bytes(hex);
+  std::array<u8, 12> nonce{};
+  std::copy(b.begin(), b.end(), nonce.begin());
+  return nonce;
+}
+
+// RFC 8439 §2.3.2 block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const auto key = key_from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = nonce_from_hex("000000090000004a00000000");
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex(BytesView(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+// RFC 8439 §2.4.2 encryption test vector.
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  const auto key = key_from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto nonce = nonce_from_hex("000000000000004a00000000");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const Bytes ciphertext =
+      chacha20_xor(key, nonce, 1, bytes_of(plaintext));
+  EXPECT_EQ(to_hex(ciphertext),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, EncryptDecryptRoundTrip) {
+  const auto key = key_from_hex(
+      "1111111111111111111111111111111111111111111111111111111111111111");
+  const auto nonce = nonce_from_hex("000000000000000000000001");
+  const Bytes msg = bytes_of("some telemetry payload, 77 bytes or so, long "
+                             "enough to span two keystream blocks!");
+  const Bytes ct = chacha20_xor(key, nonce, 0, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 0, ct), msg);
+}
+
+TEST(ChaCha20, CounterAdvancesKeystream) {
+  const auto key = key_from_hex(
+      "2222222222222222222222222222222222222222222222222222222222222222");
+  const auto nonce = nonce_from_hex("000000000000000000000000");
+  EXPECT_NE(chacha20_block(key, nonce, 0), chacha20_block(key, nonce, 1));
+}
+
+TEST(Drbg, DeterministicFromSeed) {
+  ChaChaDrbg a(std::string_view("seed")), b(std::string_view("seed"));
+  ChaChaDrbg c(std::string_view("other"));
+  const Bytes ba = a.bytes(100);
+  EXPECT_EQ(ba, b.bytes(100));
+  EXPECT_NE(ba, c.bytes(100));
+}
+
+TEST(Drbg, FillCrossesBlockBoundaries) {
+  ChaChaDrbg a(std::string_view("boundary"));
+  ChaChaDrbg b(std::string_view("boundary"));
+  Bytes one = a.bytes(200);
+  Bytes pieces;
+  for (size_t n : {1u, 63u, 64u, 65u, 7u}) append(pieces, b.bytes(n));
+  EXPECT_EQ(BytesView(one).subspan(0, pieces.size()).size(), pieces.size());
+  EXPECT_TRUE(std::equal(pieces.begin(), pieces.end(), one.begin()));
+}
+
+TEST(Drbg, UniformBounds) {
+  ChaChaDrbg drbg(std::string_view("uniform"));
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const u64 v = drbg.uniform(13);
+    EXPECT_LT(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 13u);  // all residues hit
+}
+
+TEST(Drbg, NextDigestDistinct) {
+  ChaChaDrbg drbg(std::string_view("digests"));
+  EXPECT_NE(drbg.next_digest(), drbg.next_digest());
+}
+
+}  // namespace
+}  // namespace zkt::crypto

@@ -1,0 +1,64 @@
+#!/bin/sh
+# End-to-end test of the CLI tools: simulate -> prove -> verify -> inspect,
+# plus the tamper path (a doctored store must make zkt-prove fail).
+# Run by ctest with the build directory as $1.
+set -e
+
+BUILD_DIR="${1:?usage: cli_pipeline_test.sh BUILD_DIR}"
+TOOLS="$BUILD_DIR/tools"
+WORK="$(mktemp -d /tmp/zkt_cli_test.XXXXXX)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== honest pipeline =="
+"$TOOLS/zkt-sim" --out-dir "$WORK/data" --packets 3000 --flows 40 \
+    --duration-ms 8000 --seed 7
+"$TOOLS/zkt-prove" --data-dir "$WORK/data" \
+    --query "sum(bytes) where protocol = 6"
+"$TOOLS/zkt-verify" --data-dir "$WORK/data" \
+    --query "sum(bytes) where protocol = 6"
+"$TOOLS/zkt-inspect" --commitments "$WORK/data/commitments.bin" \
+    "$WORK/data/aggregation_receipts.bin" "$WORK/data/query_receipt.bin" \
+    > /dev/null
+
+echo "== selective and grouped query modes =="
+"$TOOLS/zkt-prove" --data-dir "$WORK/data" --query "count" --selective
+"$TOOLS/zkt-verify" --data-dir "$WORK/data" --query "count"
+"$TOOLS/zkt-prove" --data-dir "$WORK/data" --query "sum(packets)" \
+    --group-by protocol
+"$TOOLS/zkt-verify" --data-dir "$WORK/data" --query "sum(packets)"
+
+echo "== wrong expected query must be rejected =="
+if "$TOOLS/zkt-verify" --data-dir "$WORK/data" --query "sum(bytes)" \
+    > /dev/null 2>&1; then
+  echo "FAIL: verifier accepted a receipt for a different query"
+  exit 1
+fi
+
+echo "== logs that mismatch the published commitments must fail proving =="
+"$TOOLS/zkt-sim" --out-dir "$WORK/tampered" --packets 1000 --flows 20 \
+    --duration-ms 5000 --seed 8
+cp "$WORK/tampered/commitments.bin" "$WORK/commitments.orig"
+# The provider swaps its raw logs for different traffic (seed change), but
+# the public board still holds the original commitments.
+"$TOOLS/zkt-sim" --out-dir "$WORK/tampered" --packets 1000 --flows 20 \
+    --duration-ms 5000 --seed 10
+cp "$WORK/commitments.orig" "$WORK/tampered/commitments.bin"
+if "$TOOLS/zkt-prove" --data-dir "$WORK/tampered" > /dev/null 2>&1; then
+  echo "FAIL: prover succeeded on logs that do not match the commitments"
+  exit 1
+fi
+
+echo "== corrupted receipts must fail verification =="
+"$TOOLS/zkt-sim" --out-dir "$WORK/forge" --packets 1000 --flows 20 \
+    --duration-ms 5000 --seed 9
+"$TOOLS/zkt-prove" --data-dir "$WORK/forge"
+SIZE=$(wc -c < "$WORK/forge/aggregation_receipts.bin")
+OFFSET=$((SIZE / 3))
+printf '\377' | dd of="$WORK/forge/aggregation_receipts.bin" bs=1 \
+    seek="$OFFSET" count=1 conv=notrunc 2> /dev/null
+if "$TOOLS/zkt-verify" --data-dir "$WORK/forge" > /dev/null 2>&1; then
+  echo "FAIL: verifier accepted corrupted receipts"
+  exit 1
+fi
+
+echo "cli pipeline test OK"

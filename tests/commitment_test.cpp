@@ -1,0 +1,152 @@
+// Commitment and bulletin-board tests: signing, verification, pinning,
+// equivocation rejection, and serialization.
+#include <gtest/gtest.h>
+
+#include "core/commitment.h"
+
+namespace zkt::core {
+namespace {
+
+netflow::RLogBatch batch_for(u32 router, u64 window, u64 marker = 0) {
+  netflow::RLogBatch batch;
+  batch.router_id = router;
+  batch.window_id = window;
+  netflow::FlowRecord rec;
+  netflow::PacketObservation pkt;
+  pkt.key = {router, 0x09090909, 1000, 443, 6};
+  pkt.timestamp_ms = 100 + marker;
+  pkt.bytes = 100;
+  rec.observe(pkt);
+  batch.records.push_back(rec);
+  return batch;
+}
+
+TEST(Commitment, MakeAndVerify) {
+  const auto key = crypto::schnorr_keygen_from_seed("commit-test");
+  const auto batch = batch_for(1, 2);
+  auto c = make_commitment(batch, key, 10'000);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().router_id, 1u);
+  EXPECT_EQ(c.value().window_id, 2u);
+  EXPECT_EQ(c.value().record_count, 1u);
+  EXPECT_EQ(c.value().rlog_hash, batch.hash());
+  EXPECT_TRUE(verify_commitment(c.value()).ok());
+}
+
+TEST(Commitment, TamperedFieldsFailVerification) {
+  const auto key = crypto::schnorr_keygen_from_seed("commit-tamper");
+  auto c = make_commitment(batch_for(1, 2), key, 10'000).value();
+
+  auto t1 = c;
+  t1.rlog_hash.bytes[0] ^= 1;
+  EXPECT_FALSE(verify_commitment(t1).ok());
+  auto t2 = c;
+  t2.window_id += 1;
+  EXPECT_FALSE(verify_commitment(t2).ok());
+  auto t3 = c;
+  t3.record_count += 1;
+  EXPECT_FALSE(verify_commitment(t3).ok());
+  auto t4 = c;
+  t4.router_id += 1;
+  EXPECT_FALSE(verify_commitment(t4).ok());
+  auto t5 = c;
+  t5.signature.bytes[10] ^= 1;
+  EXPECT_FALSE(verify_commitment(t5).ok());
+}
+
+TEST(Commitment, SerializationRoundTrip) {
+  const auto key = crypto::schnorr_keygen_from_seed("commit-serial");
+  const auto c = make_commitment(batch_for(3, 4), key, 20'000).value();
+  const Bytes wire = c.to_bytes();
+  Reader r(wire);
+  auto parsed = Commitment::deserialize(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(parsed.value().signing_digest(), c.signing_digest());
+  EXPECT_TRUE(verify_commitment(parsed.value()).ok());
+}
+
+TEST(Board, PublishAndGet) {
+  CommitmentBoard board;
+  const auto key = crypto::schnorr_keygen_from_seed("board-1");
+  const auto c = make_commitment(batch_for(1, 5), key, 25'000).value();
+  ASSERT_TRUE(board.publish(c).ok());
+  EXPECT_EQ(board.size(), 1u);
+  auto got = board.get(1, 5);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->rlog_hash, c.rlog_hash);
+  EXPECT_FALSE(board.get(1, 6).has_value());
+  EXPECT_FALSE(board.get(2, 5).has_value());
+}
+
+TEST(Board, IdempotentRepublishAllowed) {
+  CommitmentBoard board;
+  const auto key = crypto::schnorr_keygen_from_seed("board-idem");
+  const auto c = make_commitment(batch_for(1, 5), key, 25'000).value();
+  ASSERT_TRUE(board.publish(c).ok());
+  EXPECT_TRUE(board.publish(c).ok());
+  EXPECT_EQ(board.size(), 1u);
+}
+
+TEST(Board, EquivocationRejected) {
+  CommitmentBoard board;
+  const auto key = crypto::schnorr_keygen_from_seed("board-equiv");
+  ASSERT_TRUE(
+      board.publish(make_commitment(batch_for(1, 5, 0), key, 1).value()).ok());
+  auto second = board.publish(
+      make_commitment(batch_for(1, 5, 99), key, 2).value());
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), Errc::duplicate);
+}
+
+TEST(Board, FirstUseKeyPinning) {
+  CommitmentBoard board;
+  const auto key1 = crypto::schnorr_keygen_from_seed("board-pin-1");
+  const auto key2 = crypto::schnorr_keygen_from_seed("board-pin-2");
+  ASSERT_TRUE(
+      board.publish(make_commitment(batch_for(1, 1), key1, 1).value()).ok());
+  // Same router id, different key: rejected even with a valid signature.
+  auto other = board.publish(make_commitment(batch_for(1, 2), key2, 2).value());
+  EXPECT_FALSE(other.ok());
+  EXPECT_EQ(other.code(), Errc::signature_invalid);
+}
+
+TEST(Board, ExplicitRegistrationBlocksOtherKeys) {
+  CommitmentBoard board;
+  const auto real = crypto::schnorr_keygen_from_seed("board-real");
+  const auto imposter = crypto::schnorr_keygen_from_seed("board-imposter");
+  board.register_router(7, real.public_key);
+  EXPECT_FALSE(
+      board.publish(make_commitment(batch_for(7, 1), imposter, 1).value())
+          .ok());
+  EXPECT_TRUE(
+      board.publish(make_commitment(batch_for(7, 1), real, 1).value()).ok());
+}
+
+TEST(Board, InvalidSignatureRejectedBeforeStorage) {
+  CommitmentBoard board;
+  const auto key = crypto::schnorr_keygen_from_seed("board-sig");
+  auto c = make_commitment(batch_for(1, 1), key, 1).value();
+  c.signature.bytes[0] ^= 1;
+  EXPECT_FALSE(board.publish(c).ok());
+  EXPECT_EQ(board.size(), 0u);
+}
+
+TEST(Board, WindowScan) {
+  CommitmentBoard board;
+  for (u32 r = 0; r < 4; ++r) {
+    const auto key =
+        crypto::schnorr_keygen_from_seed("board-w-" + std::to_string(r));
+    ASSERT_TRUE(
+        board.publish(make_commitment(batch_for(r, 9), key, 1).value()).ok());
+    ASSERT_TRUE(
+        board.publish(make_commitment(batch_for(r, 10), key, 2).value()).ok());
+  }
+  EXPECT_EQ(board.window(9).size(), 4u);
+  EXPECT_EQ(board.window(10).size(), 4u);
+  EXPECT_EQ(board.window(11).size(), 0u);
+  EXPECT_EQ(board.all().size(), 8u);
+}
+
+}  // namespace
+}  // namespace zkt::core

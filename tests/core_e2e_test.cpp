@@ -1,0 +1,193 @@
+// End-to-end pipeline tests: commitments -> aggregation rounds (chained)
+// -> queries -> independent auditor verification, plus the tamper scenarios
+// of §5/§6 (any post-commitment modification must break proof generation or
+// verification).
+#include <gtest/gtest.h>
+
+#include "core/zkt.h"
+
+namespace zkt {
+namespace {
+
+using core::AggJournal;
+using core::AggregationService;
+using core::Auditor;
+using core::CmpOp;
+using core::CommitmentBoard;
+using core::make_commitment;
+using core::QField;
+using core::Query;
+using core::QueryService;
+using crypto::SchnorrKeyPair;
+using netflow::FlowRecord;
+using netflow::PacketObservation;
+using netflow::RLogBatch;
+
+FlowRecord make_record(u32 src, u32 dst, u16 sport, u16 dport, u64 packets,
+                       u64 bytes_per_packet, u8 hops) {
+  FlowRecord rec;
+  for (u64 i = 0; i < packets; ++i) {
+    PacketObservation pkt;
+    pkt.key = {src, dst, sport, dport, 6};
+    pkt.timestamp_ms = 1000 + i * 10;
+    pkt.bytes = static_cast<u32>(bytes_per_packet);
+    pkt.hop_count = hops;
+    pkt.rtt_us = 20'000 + static_cast<u32>(i);
+    rec.observe(pkt);
+  }
+  return rec;
+}
+
+struct Fixture {
+  CommitmentBoard board;
+  std::vector<SchnorrKeyPair> keys;
+
+  Fixture() {
+    for (int i = 0; i < 4; ++i) {
+      keys.push_back(crypto::schnorr_keygen_from_seed(
+          "router-" + std::to_string(i)));
+    }
+  }
+
+  RLogBatch committed_batch(u32 router, u64 window,
+                            std::vector<FlowRecord> records) {
+    RLogBatch batch;
+    batch.router_id = router;
+    batch.window_id = window;
+    batch.records = std::move(records);
+    auto commitment = make_commitment(batch, keys[router], window * 5000);
+    EXPECT_TRUE(commitment.ok()) << commitment.error().to_string();
+    auto published = board.publish(commitment.value());
+    EXPECT_TRUE(published.ok()) << published.to_string();
+    return batch;
+  }
+};
+
+TEST(CoreE2E, SingleRoundAggregateAndQuery) {
+  Fixture fx;
+  auto batch = fx.committed_batch(
+      0, 1,
+      {make_record(0x01010101, 0x09090909, 1234, 443, 5, 1000, 7),
+       make_record(0x02020202, 0x09090909, 1235, 443, 3, 500, 4)});
+
+  AggregationService agg(fx.board);
+  auto round = agg.aggregate({batch});
+  ASSERT_TRUE(round.ok()) << round.error().to_string();
+  EXPECT_EQ(round.value().journal.new_entry_count, 2u);
+  EXPECT_FALSE(round.value().journal.has_prev);
+
+  // SELECT SUM(hop_sum) WHERE src_ip = 1.1.1.1 AND dst_ip = 9.9.9.9
+  Query q = Query::sum(QField::hop_sum)
+                .and_where(QField::src_ip, CmpOp::eq, 0x01010101)
+                .and_where(QField::dst_ip, CmpOp::eq, 0x09090909);
+  QueryService queries(agg);
+  auto resp = queries.run(q);
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(resp.value().value, 5u * 7u);
+  EXPECT_EQ(resp.value().journal.result.matched, 1u);
+  EXPECT_EQ(resp.value().journal.result.scanned, 2u);
+
+  // Independent auditor accepts both proofs.
+  Auditor auditor(fx.board);
+  auto accepted = auditor.accept_round(round.value().receipt);
+  ASSERT_TRUE(accepted.ok()) << accepted.error().to_string();
+  auto verified = auditor.verify_query(resp.value().receipt, &q);
+  ASSERT_TRUE(verified.ok()) << verified.error().to_string();
+  EXPECT_EQ(verified.value().result.sum, 35u);
+}
+
+TEST(CoreE2E, ChainedRoundsMergeFlows) {
+  Fixture fx;
+  AggregationService agg(fx.board);
+  Auditor auditor(fx.board);
+
+  // Round 0: routers 0 and 1 see the same flow.
+  auto b0 = fx.committed_batch(
+      0, 1, {make_record(0x0A000001, 0x0A000002, 80, 8080, 4, 100, 3)});
+  auto b1 = fx.committed_batch(
+      1, 1, {make_record(0x0A000001, 0x0A000002, 80, 8080, 6, 100, 3)});
+  auto r0 = agg.aggregate({b0, b1});
+  ASSERT_TRUE(r0.ok()) << r0.error().to_string();
+  EXPECT_EQ(r0.value().journal.new_entry_count, 1u);
+  ASSERT_TRUE(auditor.accept_round(r0.value().receipt).ok());
+
+  // Round 1: same flow again plus a new one.
+  auto b2 = fx.committed_batch(
+      0, 2,
+      {make_record(0x0A000001, 0x0A000002, 80, 8080, 5, 100, 3),
+       make_record(0x0B000001, 0x0B000002, 53, 53, 2, 60, 9)});
+  auto r1 = agg.aggregate({b2});
+  ASSERT_TRUE(r1.ok()) << r1.error().to_string();
+  EXPECT_TRUE(r1.value().journal.has_prev);
+  EXPECT_EQ(r1.value().journal.new_entry_count, 2u);
+  ASSERT_TRUE(auditor.accept_round(r1.value().receipt).ok());
+
+  // Total packets for the merged flow: 4 + 6 + 5.
+  QueryService queries(agg);
+  Query q = Query::sum(QField::packets)
+                .and_where(QField::src_ip, CmpOp::eq, 0x0A000001);
+  auto resp = queries.run(q);
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(resp.value().value, 15u);
+  auto verified = auditor.verify_query(resp.value().receipt, &q);
+  ASSERT_TRUE(verified.ok()) << verified.error().to_string();
+}
+
+TEST(CoreE2E, TamperedRlogFailsProofGeneration) {
+  Fixture fx;
+  auto batch = fx.committed_batch(
+      0, 1, {make_record(0x01010101, 0x09090909, 1234, 443, 5, 1000, 7)});
+
+  // The provider retroactively inflates the flow after committing.
+  batch.records[0].packets += 100;
+
+  AggregationService agg(fx.board);
+  auto round = agg.aggregate({batch});
+  ASSERT_FALSE(round.ok());
+  EXPECT_EQ(round.error().code, Errc::guest_abort);
+}
+
+TEST(CoreE2E, MissingCommitmentRejected) {
+  Fixture fx;
+  RLogBatch uncommitted;
+  uncommitted.router_id = 3;
+  uncommitted.window_id = 9;
+  uncommitted.records = {
+      make_record(0x01010101, 0x09090909, 1234, 443, 5, 1000, 7)};
+
+  AggregationService agg(fx.board);
+  auto round = agg.aggregate({uncommitted});
+  ASSERT_FALSE(round.ok());
+  EXPECT_EQ(round.error().code, Errc::commitment_missing);
+}
+
+TEST(CoreE2E, ForgedQueryResultFailsVerification) {
+  Fixture fx;
+  auto batch = fx.committed_batch(
+      0, 1, {make_record(0x01010101, 0x09090909, 1234, 443, 5, 1000, 7)});
+  AggregationService agg(fx.board);
+  auto round = agg.aggregate({batch});
+  ASSERT_TRUE(round.ok());
+
+  QueryService queries(agg);
+  Query q = Query::sum(QField::packets);
+  auto resp = queries.run(q);
+  ASSERT_TRUE(resp.ok());
+
+  Auditor auditor(fx.board);
+  ASSERT_TRUE(auditor.accept_round(round.value().receipt).ok());
+
+  // Forge the journal: inflate the reported sum.
+  zvm::Receipt forged = resp.value().receipt;
+  core::QueryJournal j = resp.value().journal;
+  j.result.sum += 1;
+  Writer w;
+  j.write(w);
+  forged.journal = std::move(w).take();
+  auto verified = auditor.verify_query(forged, &q);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, Errc::proof_invalid);
+}
+
+}  // namespace
+}  // namespace zkt

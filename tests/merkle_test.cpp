@@ -1,0 +1,308 @@
+// Merkle tree tests: construction, proofs, updates, appends, adversarial
+// proof manipulation, and serialization. Parameterized over tree sizes since
+// padding/depth edge cases live at power-of-two boundaries.
+#include <gtest/gtest.h>
+
+#include "common/serial.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace zkt::crypto {
+namespace {
+
+std::vector<Digest32> make_leaves(u64 n, u64 seed = 0) {
+  std::vector<Digest32> leaves;
+  leaves.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    Writer w;
+    w.u64v(seed);
+    w.u64v(i);
+    leaves.push_back(MerkleTree::hash_leaf(w.bytes()));
+  }
+  return leaves;
+}
+
+class MerkleSizes : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MerkleSizes, EveryLeafProves) {
+  const u64 n = GetParam();
+  MerkleTree tree(make_leaves(n));
+  const Digest32 root = tree.root();
+  EXPECT_EQ(tree.leaf_count(), n);
+  for (u64 i = 0; i < n; ++i) {
+    const auto proof = tree.prove(i);
+    EXPECT_EQ(proof.leaf_index, i);
+    EXPECT_EQ(proof.leaf_count, n);
+    EXPECT_TRUE(MerkleTree::verify(root, tree.leaf(i), proof).ok())
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleSizes, WrongLeafFails) {
+  const u64 n = GetParam();
+  if (n == 0) return;
+  MerkleTree tree(make_leaves(n));
+  const auto proof = tree.prove(0);
+  const Digest32 wrong = MerkleTree::hash_leaf(bytes_of("not a member"));
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), wrong, proof).ok());
+}
+
+TEST_P(MerkleSizes, TamperedSiblingFails) {
+  const u64 n = GetParam();
+  if (n < 2) return;
+  MerkleTree tree(make_leaves(n));
+  for (u64 i = 0; i < std::min<u64>(n, 4); ++i) {
+    auto proof = tree.prove(i);
+    for (size_t s = 0; s < proof.siblings.size(); ++s) {
+      auto tampered = proof;
+      tampered.siblings[s].bytes[0] ^= 1;
+      EXPECT_FALSE(
+          MerkleTree::verify(tree.root(), tree.leaf(i), tampered).ok())
+          << "leaf " << i << " sibling " << s;
+    }
+  }
+}
+
+TEST_P(MerkleSizes, RebuildFromSameLeavesGivesSameRoot) {
+  const u64 n = GetParam();
+  MerkleTree a(make_leaves(n));
+  MerkleTree b(make_leaves(n));
+  MerkleTree c(make_leaves(n, /*seed=*/1));
+  EXPECT_EQ(a.root(), b.root());
+  if (n > 0) EXPECT_NE(a.root(), c.root());
+}
+
+TEST_P(MerkleSizes, AppendMatchesBulkBuild) {
+  const u64 n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree incremental;
+  for (u64 i = 0; i < n; ++i) {
+    EXPECT_EQ(incremental.append_leaf(leaves[i]), i);
+    EXPECT_EQ(incremental.leaf_count(), i + 1);
+  }
+  MerkleTree bulk(leaves);
+  EXPECT_EQ(incremental.root(), bulk.root());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizes,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16,
+                                           17, 31, 33, 64, 100));
+
+TEST(Merkle, EmptyTreeRootIsEmptyLeaf) {
+  MerkleTree default_tree;
+  MerkleTree from_empty{std::vector<Digest32>{}};
+  EXPECT_EQ(default_tree.root(), MerkleTree::empty_leaf());
+  EXPECT_EQ(from_empty.root(), MerkleTree::empty_leaf());
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+  const auto proof = tree.prove(0);
+  EXPECT_TRUE(proof.siblings.empty());
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], proof).ok());
+}
+
+TEST(Merkle, UpdateLeafChangesOnlyExpectedRoot) {
+  auto leaves = make_leaves(10);
+  MerkleTree tree(leaves);
+  const Digest32 new_leaf = MerkleTree::hash_leaf(bytes_of("updated"));
+  tree.update_leaf(3, new_leaf);
+
+  leaves[3] = new_leaf;
+  MerkleTree rebuilt(leaves);
+  EXPECT_EQ(tree.root(), rebuilt.root());
+
+  // Proofs for all leaves still verify against the new root.
+  for (u64 i = 0; i < 10; ++i) {
+    EXPECT_TRUE(
+        MerkleTree::verify(tree.root(), tree.leaf(i), tree.prove(i)).ok());
+  }
+}
+
+TEST(Merkle, ProofBoundToPosition) {
+  MerkleTree tree(make_leaves(8));
+  auto proof = tree.prove(2);
+  // Reusing leaf 2's proof for index 3 must fail even with leaf 3's digest.
+  proof.leaf_index = 3;
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), tree.leaf(3), proof).ok());
+}
+
+TEST(Merkle, WrongDepthProofRejected) {
+  MerkleTree tree(make_leaves(8));
+  auto proof = tree.prove(0);
+  proof.siblings.pop_back();
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), tree.leaf(0), proof).ok());
+  auto proof2 = tree.prove(0);
+  proof2.siblings.push_back(MerkleTree::empty_leaf());
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), tree.leaf(0), proof2).ok());
+}
+
+TEST(Merkle, OutOfRangeIndexRejected) {
+  MerkleTree tree(make_leaves(8));
+  auto proof = tree.prove(0);
+  proof.leaf_index = 8;  // beyond padded capacity
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), tree.leaf(0), proof).ok());
+}
+
+TEST(Merkle, LeafCountMismatchRejected) {
+  MerkleTree tree(make_leaves(8));
+  auto proof = tree.prove(0);
+  proof.leaf_count = 16;  // implies a deeper tree
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), tree.leaf(0), proof).ok());
+}
+
+TEST(Merkle, LeafAndNodeDomainsSeparated) {
+  // hash_leaf(x) != hash_node parts: a 64-byte "leaf" that spells two
+  // digests must not collide with the internal node over those digests.
+  const Digest32 a = sha256(std::string_view("a"));
+  const Digest32 b = sha256(std::string_view("b"));
+  Bytes concat;
+  append(concat, a.view());
+  append(concat, b.view());
+  EXPECT_NE(MerkleTree::hash_leaf(concat), MerkleTree::hash_node(a, b));
+}
+
+TEST(Merkle, ProofSerializationRoundTrip) {
+  MerkleTree tree(make_leaves(13));
+  for (u64 i : {0ULL, 5ULL, 12ULL}) {
+    const auto proof = tree.prove(i);
+    Writer w;
+    proof.serialize(w);
+    EXPECT_EQ(w.size(), proof.byte_size());
+    Reader r(w.bytes());
+    auto parsed = MerkleProof::deserialize(r);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(parsed.value().leaf_index, proof.leaf_index);
+    EXPECT_EQ(parsed.value().leaf_count, proof.leaf_count);
+    EXPECT_EQ(parsed.value().siblings, proof.siblings);
+    EXPECT_TRUE(
+        MerkleTree::verify(tree.root(), tree.leaf(i), parsed.value()).ok());
+  }
+}
+
+TEST(Merkle, ProofDeserializeRejectsGarbage) {
+  Reader empty({});
+  EXPECT_FALSE(MerkleProof::deserialize(empty).ok());
+
+  Writer w;
+  w.u64v(0);
+  w.u64v(1);
+  w.u16v(65);  // deeper than any 64-bit tree
+  Reader r(w.bytes());
+  EXPECT_FALSE(MerkleProof::deserialize(r).ok());
+}
+
+TEST(Merkle, BuildHashCount) {
+  EXPECT_EQ(MerkleTree::build_hash_count(0), 0u);
+  EXPECT_EQ(MerkleTree::build_hash_count(1), 0u);
+  EXPECT_EQ(MerkleTree::build_hash_count(2), 1u);
+  EXPECT_EQ(MerkleTree::build_hash_count(3), 3u);
+  EXPECT_EQ(MerkleTree::build_hash_count(4), 3u);
+  EXPECT_EQ(MerkleTree::build_hash_count(3000), 4095u);
+}
+
+// ---------------------------------------------------------------------------
+// Multiproofs
+
+struct MultiCase {
+  u64 tree_size;
+  std::vector<u64> indices;
+};
+
+class MerkleMulti : public ::testing::TestWithParam<MultiCase> {};
+
+TEST_P(MerkleMulti, VerifiesAndIsSmallerThanSingles) {
+  const auto& param = GetParam();
+  MerkleTree tree(make_leaves(param.tree_size));
+  const auto proof = tree.prove_multi(param.indices);
+
+  std::vector<std::pair<u64, Digest32>> leaves;
+  for (u64 i : proof.indices) leaves.emplace_back(i, tree.leaf(i));
+  EXPECT_TRUE(MerkleTree::verify_multi(tree.root(), leaves, proof).ok());
+
+  // Never more sibling digests than the individual proofs combined (the
+  // hash payload dominates; framing overhead is a few bytes per index).
+  size_t single_siblings = 0;
+  for (u64 i : proof.indices) single_siblings += tree.prove(i).siblings.size();
+  EXPECT_LE(proof.siblings.size(), single_siblings);
+  if (proof.indices.size() > 1 && param.tree_size > 2) {
+    EXPECT_LT(proof.siblings.size(), single_siblings);  // real sharing
+  }
+
+  // Serialization round-trip.
+  Writer w;
+  proof.serialize(w);
+  Reader r(w.bytes());
+  auto parsed = MerkleMultiProof::deserialize(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(MerkleTree::verify_multi(tree.root(), leaves,
+                                       parsed.value()).ok());
+}
+
+TEST_P(MerkleMulti, TamperDetected) {
+  const auto& param = GetParam();
+  MerkleTree tree(make_leaves(param.tree_size));
+  const auto proof = tree.prove_multi(param.indices);
+  std::vector<std::pair<u64, Digest32>> leaves;
+  for (u64 i : proof.indices) leaves.emplace_back(i, tree.leaf(i));
+
+  // Any leaf digest flip fails.
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    auto bad = leaves;
+    bad[l].second.bytes[0] ^= 1;
+    EXPECT_FALSE(MerkleTree::verify_multi(tree.root(), bad, proof).ok());
+  }
+  // Any sibling flip fails.
+  for (size_t s = 0; s < proof.siblings.size(); ++s) {
+    auto bad = proof;
+    bad.siblings[s].bytes[0] ^= 1;
+    EXPECT_FALSE(MerkleTree::verify_multi(tree.root(), leaves, bad).ok());
+  }
+  // Wrong root fails.
+  Digest32 wrong = tree.root();
+  wrong.bytes[3] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify_multi(wrong, leaves, proof).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MerkleMulti,
+    ::testing::Values(MultiCase{1, {0}}, MultiCase{8, {3}},
+                      MultiCase{8, {0, 1}}, MultiCase{8, {0, 7}},
+                      MultiCase{8, {0, 1, 2, 3, 4, 5, 6, 7}},
+                      MultiCase{16, {2, 3, 9}},
+                      MultiCase{33, {0, 16, 31, 32}},
+                      MultiCase{100, {5, 6, 7, 50, 99}},
+                      MultiCase{100, {7, 5, 99, 6, 50, 7}}  /* dups/unsorted */
+                      ));
+
+TEST(MerkleMultiEdge, AllLeavesNeedsNoSiblingsBeyondPadding) {
+  MerkleTree tree(make_leaves(8));
+  std::vector<u64> all = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto proof = tree.prove_multi(all);
+  EXPECT_TRUE(proof.siblings.empty());
+}
+
+TEST(MerkleMultiEdge, MismatchedLeafSetRejected) {
+  MerkleTree tree(make_leaves(16));
+  const auto proof = tree.prove_multi(std::vector<u64>{2, 5});
+  std::vector<std::pair<u64, Digest32>> wrong_count = {{2, tree.leaf(2)}};
+  EXPECT_FALSE(
+      MerkleTree::verify_multi(tree.root(), wrong_count, proof).ok());
+  std::vector<std::pair<u64, Digest32>> wrong_index = {{2, tree.leaf(2)},
+                                                       {6, tree.leaf(6)}};
+  EXPECT_FALSE(
+      MerkleTree::verify_multi(tree.root(), wrong_index, proof).ok());
+}
+
+TEST(Merkle, DepthGrowsLogarithmically) {
+  EXPECT_EQ(MerkleTree(make_leaves(1)).depth(), 0u);
+  EXPECT_EQ(MerkleTree(make_leaves(2)).depth(), 1u);
+  EXPECT_EQ(MerkleTree(make_leaves(5)).depth(), 3u);
+  EXPECT_EQ(MerkleTree(make_leaves(3000)).depth(), 12u);
+}
+
+}  // namespace
+}  // namespace zkt::crypto

@@ -1,0 +1,127 @@
+// Query mini-language parser tests.
+#include <gtest/gtest.h>
+
+#include "core/query_parser.h"
+
+namespace zkt::core {
+namespace {
+
+TEST(QueryParser, BareCount) {
+  auto q = parse_query("count");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().agg, AggKind::count);
+  EXPECT_TRUE(q.value().where.empty());
+}
+
+TEST(QueryParser, CountWithParens) {
+  EXPECT_TRUE(parse_query("count()").ok());
+  EXPECT_TRUE(parse_query("COUNT(packets)").ok());
+}
+
+TEST(QueryParser, PaperExampleQuery) {
+  auto q = parse_query(
+      "sum(hop_sum) where src_ip = 1.1.1.1 and dst_ip = 9.9.9.9");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  EXPECT_EQ(q.value().agg, AggKind::sum);
+  EXPECT_EQ(q.value().agg_field, QField::hop_sum);
+  ASSERT_EQ(q.value().where.size(), 2u);
+  EXPECT_EQ(q.value().where[0][0].field, QField::src_ip);
+  EXPECT_EQ(q.value().where[0][0].op, CmpOp::eq);
+  EXPECT_EQ(q.value().where[0][0].value, 0x01010101u);
+  EXPECT_EQ(q.value().where[1][0].value, 0x09090909u);
+}
+
+TEST(QueryParser, AllComparisonOperators) {
+  struct Case {
+    const char* text;
+    CmpOp op;
+  };
+  const Case cases[] = {{"packets = 5", CmpOp::eq},  {"packets == 5", CmpOp::eq},
+                        {"packets != 5", CmpOp::ne}, {"packets < 5", CmpOp::lt},
+                        {"packets <= 5", CmpOp::le}, {"packets > 5", CmpOp::gt},
+                        {"packets >= 5", CmpOp::ge}};
+  for (const auto& c : cases) {
+    auto q = parse_query(std::string("count where ") + c.text);
+    ASSERT_TRUE(q.ok()) << c.text;
+    EXPECT_EQ(q.value().where[0][0].op, c.op) << c.text;
+  }
+}
+
+TEST(QueryParser, OrClausesWithParens) {
+  auto q = parse_query(
+      "count where (protocol = 6 or protocol = 17) and packets >= 10");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  ASSERT_EQ(q.value().where.size(), 2u);
+  EXPECT_EQ(q.value().where[0].size(), 2u);
+  EXPECT_EQ(q.value().where[1].size(), 1u);
+}
+
+TEST(QueryParser, OrWithoutParens) {
+  auto q = parse_query("count where protocol = 6 or protocol = 17");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().where.size(), 1u);
+  EXPECT_EQ(q.value().where[0].size(), 2u);
+}
+
+TEST(QueryParser, MinMaxAggregates) {
+  auto mn = parse_query("min(rtt_avg_us)");
+  ASSERT_TRUE(mn.ok());
+  EXPECT_EQ(mn.value().agg, AggKind::min);
+  EXPECT_EQ(mn.value().agg_field, QField::rtt_avg_us);
+  auto mx = parse_query("max(bytes) where duration_ms > 1000");
+  ASSERT_TRUE(mx.ok());
+  EXPECT_EQ(mx.value().agg, AggKind::max);
+}
+
+TEST(QueryParser, CaseInsensitiveKeywords) {
+  auto q = parse_query("SUM(Bytes) WHERE Protocol = 6 AND Packets > 1");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  EXPECT_EQ(q.value().agg_field, QField::bytes);
+}
+
+TEST(QueryParser, RoundTripThroughToString) {
+  // parse -> to_string -> parse gives the same digest.
+  const char* texts[] = {
+      "count",
+      "sum(hop_sum) where src_ip = 1.1.1.1 and dst_ip = 9.9.9.9",
+      "count where (protocol = 6 or protocol = 17) and packets >= 10",
+      "max(rtt_max_us) where lost_packets > 0",
+  };
+  for (const char* text : texts) {
+    auto q1 = parse_query(text);
+    ASSERT_TRUE(q1.ok()) << text;
+    // to_string emits SQL ("SELECT ... FROM clogs ..."); strip to our
+    // grammar: drop the SELECT prefix and FROM clause.
+    std::string sql = q1.value().to_string();
+    // "SELECT X FROM clogs[ WHERE ...]" -> "X[ where ...]"
+    std::string mini = sql.substr(7);
+    const size_t from = mini.find(" FROM clogs");
+    mini.erase(from, std::string(" FROM clogs").size());
+    // COUNT(*) isn't in the grammar; normalize.
+    if (mini.starts_with("COUNT(*)")) {
+      mini = "count" + mini.substr(8);
+    }
+    auto q3 = parse_query(mini);
+    ASSERT_TRUE(q3.ok()) << mini;
+    EXPECT_EQ(q3.value().digest(), q1.value().digest()) << mini;
+  }
+}
+
+TEST(QueryParser, Rejections) {
+  EXPECT_FALSE(parse_query("").ok());
+  EXPECT_FALSE(parse_query("avg(packets)").ok());       // unsupported agg
+  EXPECT_FALSE(parse_query("sum").ok());                // missing field
+  EXPECT_FALSE(parse_query("sum(nosuchfield)").ok());
+  EXPECT_FALSE(parse_query("count where").ok());
+  EXPECT_FALSE(parse_query("count where packets").ok());
+  EXPECT_FALSE(parse_query("count where packets = ").ok());
+  EXPECT_FALSE(parse_query("count where packets ! 5").ok());
+  EXPECT_FALSE(parse_query("count where packets = 5 garbage").ok());
+  EXPECT_FALSE(parse_query("count where src_ip = 1.2.3.4.5").ok());
+  EXPECT_FALSE(parse_query("count where (packets = 5").ok());
+  EXPECT_FALSE(parse_query("count where packets = 5)").ok());
+  EXPECT_FALSE(parse_query("count where packets @ 5").ok());
+}
+
+}  // namespace
+}  // namespace zkt::core

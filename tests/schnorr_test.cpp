@@ -1,0 +1,136 @@
+// Schnorr (BIP340-style) signature tests: key derivation vectors, sign/
+// verify round-trips across many keys/messages, and rejection of every
+// tampered component.
+#include <gtest/gtest.h>
+
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+
+namespace zkt::crypto {
+namespace {
+
+std::array<u8, 32> secret_from_u64(u64 v) {
+  std::array<u8, 32> s{};
+  for (int i = 0; i < 8; ++i) s[31 - i] = static_cast<u8>(v >> (8 * i));
+  return s;
+}
+
+TEST(Schnorr, PubkeyVectorForSecretThree) {
+  // BIP340: seckey 3 -> x-only pubkey F9308A01... (x of 3G).
+  auto kp = schnorr_keygen(secret_from_u64(3));
+  ASSERT_TRUE(kp.ok());
+  EXPECT_EQ(to_hex(kp.value().pk_view()),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9");
+}
+
+TEST(Schnorr, RejectsZeroAndOverflowSecrets) {
+  EXPECT_FALSE(schnorr_keygen(std::array<u8, 32>{}).ok());
+  std::array<u8, 32> all_ff;
+  all_ff.fill(0xFF);  // >= group order
+  EXPECT_FALSE(schnorr_keygen(all_ff).ok());
+}
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  const auto kp = schnorr_keygen_from_seed("round-trip");
+  const Digest32 msg = sha256(std::string_view("hello telemetry"));
+  auto sig = schnorr_sign(kp, msg, {});
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(schnorr_verify(kp.pk_view(), msg, sig.value()).ok());
+}
+
+class SchnorrManyKeys : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchnorrManyKeys, RoundTripAndCrossChecks) {
+  const std::string seed = "key-" + std::to_string(GetParam());
+  const auto kp = schnorr_keygen_from_seed(seed);
+  const auto other = schnorr_keygen_from_seed(seed + "-other");
+  const Digest32 msg =
+      sha256(std::string_view("message for " + seed));
+  const Digest32 msg2 = sha256(std::string_view("different message"));
+
+  auto sig = schnorr_sign(kp, msg, {});
+  ASSERT_TRUE(sig.ok());
+  // Valid.
+  EXPECT_TRUE(schnorr_verify(kp.pk_view(), msg, sig.value()).ok());
+  // Wrong message.
+  EXPECT_FALSE(schnorr_verify(kp.pk_view(), msg2, sig.value()).ok());
+  // Wrong key.
+  EXPECT_FALSE(schnorr_verify(other.pk_view(), msg, sig.value()).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchnorrManyKeys, ::testing::Range(0, 12));
+
+TEST(Schnorr, EveryByteOfSignatureMatters) {
+  const auto kp = schnorr_keygen_from_seed("bit-flips");
+  const Digest32 msg = sha256(std::string_view("flip me"));
+  const auto sig = schnorr_sign(kp, msg, {}).value();
+  for (size_t i = 0; i < sig.bytes.size(); i += 3) {
+    SchnorrSignature tampered = sig;
+    tampered.bytes[i] ^= 0x01;
+    EXPECT_FALSE(schnorr_verify(kp.pk_view(), msg, tampered).ok())
+        << "byte " << i;
+  }
+}
+
+TEST(Schnorr, DeterministicWithSameAux) {
+  const auto kp = schnorr_keygen_from_seed("deterministic");
+  const Digest32 msg = sha256(std::string_view("m"));
+  const auto s1 = schnorr_sign(kp, msg, {}).value();
+  const auto s2 = schnorr_sign(kp, msg, {}).value();
+  EXPECT_EQ(s1.bytes, s2.bytes);
+}
+
+TEST(Schnorr, AuxRandomnessChangesSignatureNotValidity) {
+  const auto kp = schnorr_keygen_from_seed("aux");
+  const Digest32 msg = sha256(std::string_view("m"));
+  std::array<u8, 32> aux{};
+  aux[0] = 1;
+  const auto s1 = schnorr_sign(kp, msg, {}).value();
+  const auto s2 = schnorr_sign(kp, msg, aux).value();
+  EXPECT_NE(s1.bytes, s2.bytes);
+  EXPECT_TRUE(schnorr_verify(kp.pk_view(), msg, s1).ok());
+  EXPECT_TRUE(schnorr_verify(kp.pk_view(), msg, s2).ok());
+}
+
+TEST(Schnorr, RejectsMalformedPublicKey) {
+  const auto kp = schnorr_keygen_from_seed("malformed");
+  const Digest32 msg = sha256(std::string_view("m"));
+  const auto sig = schnorr_sign(kp, msg, {}).value();
+  // Too short.
+  EXPECT_FALSE(schnorr_verify(BytesView(kp.public_key.data(), 31), msg, sig).ok());
+  // x not on curve: p (out of field range).
+  Bytes bad(32, 0xFF);
+  EXPECT_FALSE(schnorr_verify(bad, msg, sig).ok());
+}
+
+TEST(Schnorr, SOutOfRangeRejected) {
+  const auto kp = schnorr_keygen_from_seed("s-range");
+  const Digest32 msg = sha256(std::string_view("m"));
+  auto sig = schnorr_sign(kp, msg, {}).value();
+  // Force s >= n.
+  std::fill(sig.bytes.begin() + 32, sig.bytes.end(), 0xFF);
+  EXPECT_FALSE(schnorr_verify(kp.pk_view(), msg, sig).ok());
+}
+
+TEST(Schnorr, SeedKeygenDeterministic) {
+  const auto a = schnorr_keygen_from_seed("same");
+  const auto b = schnorr_keygen_from_seed("same");
+  const auto c = schnorr_keygen_from_seed("not same");
+  EXPECT_EQ(a.public_key, b.public_key);
+  EXPECT_EQ(a.secret_key, b.secret_key);
+  EXPECT_NE(a.public_key, c.public_key);
+}
+
+TEST(TaggedHash, MatchesConstruction) {
+  // tagged_hash(tag, m) == sha256(sha256(tag)||sha256(tag)||m).
+  const Digest32 th = tagged_hash("BIP0340/aux", bytes_of("x"));
+  const Digest32 tag_hash = sha256(std::string_view("BIP0340/aux"));
+  Sha256 h;
+  h.update(tag_hash.view());
+  h.update(tag_hash.view());
+  h.update(bytes_of("x"));
+  EXPECT_EQ(th, h.finalize());
+}
+
+}  // namespace
+}  // namespace zkt::crypto

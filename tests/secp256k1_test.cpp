@@ -1,0 +1,261 @@
+// secp256k1 arithmetic tests: U256 limb arithmetic, prime-field ops, scalar
+// ops, group law, and known multiples of the generator.
+#include <gtest/gtest.h>
+
+#include "crypto/secp256k1.h"
+
+namespace zkt::crypto {
+namespace {
+
+TEST(U256, BytesRoundTrip) {
+  const U256 v = U256::from_hex(
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(U256::from_be_bytes(v.be_bytes()), v);
+  EXPECT_EQ(v.hex(),
+            "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+}
+
+TEST(U256, ShortHexLeftPads) {
+  EXPECT_EQ(U256::from_hex("ff"), U256(255));
+}
+
+TEST(U256, Comparisons) {
+  const U256 small(1);
+  const U256 mid = U256::from_hex("0100000000000000000000000000000000");
+  const U256 big = U256::from_hex(
+      "8000000000000000000000000000000000000000000000000000000000000000");
+  EXPECT_LT(small, mid);
+  EXPECT_LT(mid, big);
+  EXPECT_EQ(small, U256(1));
+}
+
+TEST(U256, AddSubInverse) {
+  const U256 a = U256::from_hex(
+      "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef");
+  const U256 b = U256::from_hex(
+      "0123456701234567012345670123456701234567012345670123456701234567");
+  u64 carry = 0, borrow = 0;
+  const U256 sum = add_carry(a, b, carry);
+  EXPECT_EQ(carry, 0u);
+  const U256 back = sub_borrow(sum, b, borrow);
+  EXPECT_EQ(borrow, 0u);
+  EXPECT_EQ(back, a);
+}
+
+TEST(U256, CarryAndBorrowPropagate) {
+  const U256 max = U256::from_hex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  u64 carry = 0;
+  const U256 wrapped = add_carry(max, U256(1), carry);
+  EXPECT_EQ(carry, 1u);
+  EXPECT_TRUE(wrapped.is_zero());
+
+  u64 borrow = 0;
+  const U256 under = sub_borrow(U256(0), U256(1), borrow);
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(under, max);
+}
+
+TEST(U256, MulWideSmall) {
+  const auto r = mul_wide(U256(0xFFFFFFFFFFFFFFFFULL), U256(2));
+  EXPECT_EQ(r[0], 0xFFFFFFFFFFFFFFFEULL);
+  EXPECT_EQ(r[1], 1u);
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(r[i], 0u);
+}
+
+TEST(U256, BitAccess) {
+  const U256 v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.is_odd());
+  EXPECT_TRUE(U256(7).is_odd());
+}
+
+TEST(U256, Shr) {
+  const U256 v = U256::from_hex(
+    "8000000000000000000000000000000000000000000000000000000000000001");
+  const U256 s = shr(v, 1);
+  EXPECT_EQ(s.hex(),
+            "4000000000000000000000000000000000000000000000000000000000000000");
+}
+
+// ---------------------------------------------------------------------------
+// Field
+
+TEST(Fe, MulInverse) {
+  const Fe a(U256::from_hex(
+      "123456789abcdef00fedcba987654321aaaaaaaabbbbbbbbccccccccdddddddd"));
+  EXPECT_EQ(fe_mul(a, fe_inv(a)), Fe(1));
+}
+
+TEST(Fe, AddNegIsZero) {
+  const Fe a(U256::from_hex("abcdef"));
+  EXPECT_TRUE(fe_add(a, fe_neg(a)).is_zero());
+  EXPECT_TRUE(fe_sub(a, a).is_zero());
+}
+
+TEST(Fe, ReductionWrapsModP) {
+  // p + 5 reduces to 5.
+  u64 carry = 0;
+  const U256 p_plus_5 = add_carry(secp_p(), U256(5), carry);
+  ASSERT_EQ(carry, 0u);
+  EXPECT_EQ(Fe(p_plus_5), Fe(5));
+}
+
+TEST(Fe, FermatLittleTheorem) {
+  // a^(p-1) == 1 for a != 0.
+  const Fe a(U256::from_hex("02"));
+  u64 borrow = 0;
+  const U256 p_minus_1 = sub_borrow(secp_p(), U256(1), borrow);
+  EXPECT_EQ(fe_pow(a, p_minus_1), Fe(1));
+}
+
+TEST(Fe, SqrtRoundTrip) {
+  const Fe a(U256::from_hex("09"));
+  auto root = fe_sqrt(a);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(fe_sqr(*root), a);
+}
+
+TEST(Fe, SqrtOfNonResidueFails) {
+  // 5 is a known quadratic non-residue mod the secp256k1 prime? Verify by
+  // construction: pick x where x^2 is a residue, then its negation is not
+  // (p ≡ 3 mod 4 makes -1 a non-residue).
+  const Fe square = fe_sqr(Fe(U256::from_hex("abcdef1234567890")));
+  EXPECT_TRUE(fe_sqrt(square).has_value());
+  EXPECT_FALSE(fe_sqrt(fe_neg(square)).has_value());
+}
+
+TEST(Fe, MulCommutesAndAssociates) {
+  const Fe a(U256::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"));
+  const Fe b(U256::from_hex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"));
+  const Fe c(U256::from_hex("cccc"));
+  EXPECT_EQ(fe_mul(a, b), fe_mul(b, a));
+  EXPECT_EQ(fe_mul(fe_mul(a, b), c), fe_mul(a, fe_mul(b, c)));
+  EXPECT_EQ(fe_mul(a, fe_add(b, c)),
+            fe_add(fe_mul(a, b), fe_mul(a, c)));  // distributivity
+}
+
+// ---------------------------------------------------------------------------
+// Scalar field
+
+TEST(Scalar, MulMatchesRepeatedAdd) {
+  const Scalar three(3);
+  const Scalar x(U256::from_hex("123456789abcdef0"));
+  const Scalar via_mul = sc_mul(three, x);
+  const Scalar via_add = sc_add(x, sc_add(x, x));
+  EXPECT_EQ(via_mul, via_add);
+}
+
+TEST(Scalar, NegCancels) {
+  const Scalar x(U256::from_hex("deadbeef"));
+  EXPECT_TRUE(sc_add(x, sc_neg(x)).is_zero());
+}
+
+TEST(Scalar, ReducesModN) {
+  u64 carry = 0;
+  const U256 n_plus_7 = add_carry(secp_n(), U256(7), carry);
+  ASSERT_EQ(carry, 0u);
+  EXPECT_EQ(Scalar(n_plus_7), Scalar(7));
+}
+
+TEST(Scalar, MulNearOrderBoundary) {
+  u64 borrow = 0;
+  const U256 n_minus_1 = sub_borrow(secp_n(), U256(1), borrow);
+  const Scalar nm1(n_minus_1);
+  // (n-1)^2 mod n == 1.
+  EXPECT_EQ(sc_mul(nm1, nm1), Scalar(1));
+}
+
+// ---------------------------------------------------------------------------
+// Group
+
+TEST(Point, GeneratorOnCurve) {
+  const auto g = to_affine(secp_g());
+  ASSERT_TRUE(g.has_value());
+  EXPECT_TRUE(on_curve(*g));
+}
+
+TEST(Point, KnownMultiplesOfG) {
+  const auto g2 = to_affine(point_mul_g(Scalar(2)));
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(g2->x.v.hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(g2->y.v.hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+
+  const auto g3 = to_affine(point_mul_g(Scalar(3)));
+  ASSERT_TRUE(g3.has_value());
+  EXPECT_EQ(g3->x.v.hex(),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9");
+}
+
+TEST(Point, DoubleEqualsAddSelf) {
+  const Point g = secp_g();
+  const auto via_double = to_affine(point_double(g));
+  const auto via_add = to_affine(point_add(g, g));
+  ASSERT_TRUE(via_double && via_add);
+  EXPECT_EQ(via_double->x, via_add->x);
+  EXPECT_EQ(via_double->y, via_add->y);
+}
+
+TEST(Point, ScalarMulDistributes) {
+  // (k1 + k2) * G == k1*G + k2*G.
+  const Scalar k1(U256::from_hex("1234567890abcdef"));
+  const Scalar k2(U256::from_hex("fedcba0987654321"));
+  const auto lhs = to_affine(point_mul_g(sc_add(k1, k2)));
+  const auto rhs =
+      to_affine(point_add(point_mul_g(k1), point_mul_g(k2)));
+  ASSERT_TRUE(lhs && rhs);
+  EXPECT_EQ(lhs->x, rhs->x);
+  EXPECT_EQ(lhs->y, rhs->y);
+}
+
+TEST(Point, OrderTimesGIsInfinity) {
+  // (n-1)*G + G == infinity.
+  u64 borrow = 0;
+  Scalar nm1;
+  nm1.v = sub_borrow(secp_n(), U256(1), borrow);
+  const Point almost = point_mul(nm1, secp_g());
+  EXPECT_TRUE(point_add(almost, secp_g()).is_infinity());
+}
+
+TEST(Point, AddInverseIsInfinity) {
+  const Point g = secp_g();
+  EXPECT_TRUE(point_add(g, point_neg(g)).is_infinity());
+}
+
+TEST(Point, InfinityIsIdentity) {
+  const Point g = secp_g();
+  const auto sum = to_affine(point_add(g, Point::infinity()));
+  const auto ga = to_affine(g);
+  ASSERT_TRUE(sum && ga);
+  EXPECT_EQ(sum->x, ga->x);
+  EXPECT_EQ(sum->y, ga->y);
+  EXPECT_TRUE(point_mul(Scalar(0), g).is_infinity());
+}
+
+TEST(Point, LiftXProducesEvenY) {
+  const auto g3 = to_affine(point_mul_g(Scalar(3)));
+  ASSERT_TRUE(g3.has_value());
+  const auto lifted = lift_x(g3->x.v);
+  ASSERT_TRUE(lifted.has_value());
+  EXPECT_TRUE(on_curve(*lifted));
+  EXPECT_FALSE(lifted->y.is_odd());
+  EXPECT_EQ(lifted->x, g3->x);
+}
+
+TEST(Point, LiftXRejectsNonCurveX) {
+  // x = 5 is not on secp256k1 (5^3+7 = 132 is a non-residue); x = p invalid.
+  EXPECT_FALSE(lift_x(secp_p()).has_value());
+  bool found_invalid = false;
+  for (u64 x = 2; x < 20 && !found_invalid; ++x) {
+    if (!lift_x(U256(x)).has_value()) found_invalid = true;
+  }
+  EXPECT_TRUE(found_invalid);
+}
+
+}  // namespace
+}  // namespace zkt::crypto

@@ -1,0 +1,235 @@
+// AggregationService / QueryService behavioural tests: determinism, batch
+// ordering, failure atomicity, and options plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/auditor.h"
+#include "core/service.h"
+
+namespace zkt::core {
+namespace {
+
+using netflow::FlowRecord;
+using netflow::PacketObservation;
+using netflow::RLogBatch;
+
+RLogBatch batch_of(u32 router, u64 window, std::vector<u32> srcs) {
+  RLogBatch batch;
+  batch.router_id = router;
+  batch.window_id = window;
+  for (u32 src : srcs) {
+    FlowRecord record;
+    PacketObservation pkt;
+    pkt.key = {src, 0x09090909, 1000, 443, 6};
+    pkt.timestamp_ms = window * 5000;
+    pkt.bytes = 100;
+    pkt.hop_count = 3;
+    record.observe(pkt);
+    batch.records.push_back(std::move(record));
+  }
+  return batch;
+}
+
+struct Fixture {
+  CommitmentBoard board;
+  crypto::SchnorrKeyPair key = crypto::schnorr_keygen_from_seed("svc");
+
+  RLogBatch committed(u32 router, u64 window, std::vector<u32> srcs) {
+    auto batch = batch_of(router, window, std::move(srcs));
+    EXPECT_TRUE(
+        board.publish(make_commitment(batch, key, window).value()).ok());
+    return batch;
+  }
+};
+
+TEST(Service, BatchOrderWithinRoundIsCanonical) {
+  // The same batches in any submission order give identical roots/receipts.
+  Fixture fx;
+  auto b0 = fx.committed(0, 1, {10, 11});
+  auto b1 = fx.committed(1, 1, {20});
+  auto b2 = fx.committed(2, 1, {30, 31, 32});
+
+  AggregationService s1(fx.board);
+  auto r1 = s1.aggregate({b0, b1, b2});
+  ASSERT_TRUE(r1.ok());
+  AggregationService s2(fx.board);
+  auto r2 = s2.aggregate({b2, b0, b1});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().journal.new_root, r2.value().journal.new_root);
+  EXPECT_EQ(r1.value().receipt.claim.digest(),
+            r2.value().receipt.claim.digest());
+}
+
+TEST(Service, RoundsAreBitwiseDeterministic) {
+  Fixture fx;
+  auto batch = fx.committed(0, 1, {1, 2, 3});
+  AggregationService s1(fx.board);
+  AggregationService s2(fx.board);
+  auto r1 = s1.aggregate({batch});
+  auto r2 = s2.aggregate({batch});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().receipt.to_bytes(), r2.value().receipt.to_bytes());
+}
+
+TEST(Service, FailedRoundLeavesStateUntouched) {
+  Fixture fx;
+  auto good = fx.committed(0, 1, {1, 2});
+  AggregationService service(fx.board);
+  ASSERT_TRUE(service.aggregate({good}).ok());
+  const auto root_before = service.state().root();
+  const auto claim_before = service.last_claim_digest();
+
+  // Tampered batch for window 2: guest aborts.
+  auto bad = fx.committed(0, 2, {3});
+  bad.records[0].bytes += 1;
+  ASSERT_FALSE(service.aggregate({bad}).ok());
+  EXPECT_EQ(service.state().root(), root_before);
+  EXPECT_EQ(service.last_claim_digest(), claim_before);
+  EXPECT_EQ(service.rounds_completed(), 1u);
+
+  // And the service still works for honest data afterwards.
+  auto good2 = fx.committed(1, 2, {4});
+  EXPECT_TRUE(service.aggregate({good2}).ok());
+}
+
+TEST(Service, EmptyRoundProvesVacuously) {
+  // A round with zero batches is a valid (if pointless) state transition.
+  Fixture fx;
+  AggregationService service(fx.board);
+  auto round = service.aggregate({});
+  ASSERT_TRUE(round.ok()) << round.error().to_string();
+  EXPECT_EQ(round.value().journal.new_entry_count, 0u);
+  Auditor auditor(fx.board);
+  EXPECT_TRUE(auditor.accept_round(round.value().receipt).ok());
+}
+
+TEST(Service, EmptyBatchIsAggregatable) {
+  // A router that saw no traffic still commits (to an empty batch).
+  Fixture fx;
+  auto empty = fx.committed(0, 1, {});
+  AggregationService service(fx.board);
+  auto round = service.aggregate({empty});
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().journal.new_entry_count, 0u);
+  EXPECT_EQ(round.value().journal.commitments.size(), 1u);
+}
+
+TEST(Service, CompositeOptionsProduceCompositeReceipts) {
+  Fixture fx;
+  auto batch = fx.committed(0, 1, {1});
+  zvm::ProveOptions options;
+  options.seal_kind = zvm::SealKind::composite;
+  options.num_queries = 8;
+  AggregationService service(fx.board, options);
+  auto round = service.aggregate({batch});
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().receipt.seal_kind, zvm::SealKind::composite);
+  // Chained second round embeds the first as an assumption receipt.
+  auto batch2 = fx.committed(0, 2, {1});
+  auto round2 = service.aggregate({batch2});
+  ASSERT_TRUE(round2.ok());
+  EXPECT_EQ(round2.value().receipt.assumption_receipts.size(), 1u);
+  zvm::Verifier verifier(8);
+  EXPECT_TRUE(
+      verifier.verify(round2.value().receipt, guest_images().aggregate).ok());
+}
+
+TEST(Service, QueryBeforeAnyRoundFails) {
+  Fixture fx;
+  AggregationService service(fx.board);
+  QueryService queries(service);
+  EXPECT_FALSE(queries.run(Query::count()).ok());
+  EXPECT_FALSE(queries.run_selective(Query::count()).ok());
+}
+
+TEST(Service, SelectiveQueryOnEmptyStateWorks) {
+  Fixture fx;
+  AggregationService service(fx.board);
+  ASSERT_TRUE(service.aggregate({}).ok());
+  QueryService queries(service);
+  auto resp = queries.run_selective(Query::count());
+  ASSERT_TRUE(resp.ok()) << resp.error().to_string();
+  EXPECT_EQ(resp.value().journal.result.matched, 0u);
+}
+
+TEST(Service, SegmentedProvingWorksThroughTheFullStack) {
+  // Tiny segments force multi-segment seals through aggregation, chaining,
+  // queries and audit.
+  Fixture fx;
+  zvm::ProveOptions options;
+  options.max_segment_rows = 16;
+  AggregationService service(fx.board, options);
+  auto b1 = fx.committed(0, 1, {1, 2, 3, 4, 5});
+  auto r1 = service.aggregate({b1});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(r1.value().prove_info.segments, 1u);
+
+  auto b2 = fx.committed(0, 2, {1, 6});
+  auto r2 = service.aggregate({b2});
+  ASSERT_TRUE(r2.ok());
+
+  Auditor auditor(fx.board);
+  ASSERT_TRUE(auditor.accept_round(r1.value().receipt).ok());
+  ASSERT_TRUE(auditor.accept_round(r2.value().receipt).ok());
+
+  QueryService queries(service, options);
+  auto resp = queries.run(Query::sum(QField::packets));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GT(resp.value().prove_info.segments, 1u);
+  EXPECT_TRUE(auditor.verify_query(resp.value().receipt).ok());
+}
+
+TEST(Service, WeightedCyclesReflectShaShare) {
+  Fixture fx;
+  auto batch = fx.committed(0, 1, {1, 2, 3});
+  AggregationService service(fx.board);
+  auto round = service.aggregate({batch});
+  ASSERT_TRUE(round.ok());
+  const auto& info = round.value().prove_info;
+  EXPECT_EQ(info.weighted_cycles(),
+            info.sha_rows * 68 + (info.cycles - info.sha_rows));
+  EXPECT_GT(info.weighted_cycles(), info.cycles);
+}
+
+TEST(Service, ConcurrentBoardPublishes) {
+  CommitmentBoard board;
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&board, &failures, t] {
+      const auto key = crypto::schnorr_keygen_from_seed(
+          "concurrent-" + std::to_string(t));
+      for (u64 w = 1; w <= 20; ++w) {
+        auto batch = batch_of(static_cast<u32>(t), w, {static_cast<u32>(w)});
+        auto commitment = make_commitment(batch, key, w);
+        if (!commitment.ok() || !board.publish(commitment.value()).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(board.size(), kThreads * 20u);
+}
+
+TEST(Service, ProveInfoIspopulated) {
+  Fixture fx;
+  auto batch = fx.committed(0, 1, {1, 2, 3, 4});
+  AggregationService service(fx.board);
+  auto round = service.aggregate({batch});
+  ASSERT_TRUE(round.ok());
+  EXPECT_GT(round.value().prove_info.cycles, 0u);
+  EXPECT_GT(round.value().prove_info.sha_rows, 0u);
+  EXPECT_GE(round.value().prove_info.segments, 1u);
+  EXPECT_GT(round.value().prove_info.total_ms, 0.0);
+  EXPECT_EQ(round.value().prove_info.cycles,
+            round.value().receipt.claim.cycle_count);
+}
+
+}  // namespace
+}  // namespace zkt::core

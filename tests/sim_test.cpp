@@ -1,0 +1,260 @@
+// Simulator tests: workload generators (statistical properties,
+// determinism) and the multi-threaded router simulator (windows,
+// commitments, store contents, v9 round-trip integrity).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/auditor.h"
+#include "core/service.h"
+#include "sim/simulator.h"
+
+namespace zkt::sim {
+namespace {
+
+TEST(Workload, ZipfDeterministicPerSeed) {
+  ZipfWorkloadConfig config;
+  config.seed = 99;
+  auto a = zipf_workload(config, 500);
+  auto b = zipf_workload(config, 500);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].timestamp_ms, b[i].timestamp_ms);
+    EXPECT_EQ(a[i].bytes, b[i].bytes);
+  }
+  config.seed = 100;
+  auto c = zipf_workload(config, 500);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].key == c[i].key)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, ZipfTimestampsMonotoneWithinDuration) {
+  ZipfWorkloadConfig config;
+  config.start_ms = 1000;
+  config.duration_ms = 10'000;
+  auto packets = zipf_workload(config, 2000);
+  for (size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_GE(packets[i].timestamp_ms, packets[i - 1].timestamp_ms);
+  }
+  EXPECT_GE(packets.front().timestamp_ms, 1000u);
+}
+
+TEST(Workload, ZipfIsHeavyTailed) {
+  ZipfWorkloadConfig config;
+  config.flow_count = 1000;
+  config.zipf_s = 1.2;
+  auto packets = zipf_workload(config, 20'000);
+  std::map<netflow::FlowKey, u64> counts;
+  for (const auto& pkt : packets) ++counts[pkt.key];
+  u64 max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  // The most popular flow should take far more than a uniform 1/1000 share.
+  EXPECT_GT(max_count, packets.size() / 100);
+}
+
+TEST(Workload, SlaClassesSeparated) {
+  SlaWorkloadConfig config;
+  config.flow_count = 100;
+  config.violating_fraction = 0.2;
+  config.compliant_rtt_us = 10'000;
+  config.violating_rtt_us = 100'000;
+  auto workload = sla_workload(config, 20'000);
+  EXPECT_EQ(workload.compliant_flows + workload.violating_flows, 100u);
+  EXPECT_EQ(workload.violating_flows, 20u);
+
+  // Bucket packet RTTs: there must be clear mass near both means.
+  u64 low = 0, high = 0;
+  for (const auto& pkt : workload.packets) {
+    if (pkt.rtt_us < 50'000) ++low;
+    else ++high;
+  }
+  EXPECT_GT(low, workload.packets.size() / 2);
+  EXPECT_GT(high, workload.packets.size() / 10);
+}
+
+TEST(Workload, NeutralityDiscriminationShiftsB) {
+  NeutralityWorkloadConfig config;
+  config.discriminate_b = true;
+  auto workload = neutrality_workload(config, 20'000);
+  double rtt_a = 0, rtt_b = 0;
+  u64 n_a = 0, n_b = 0;
+  for (const auto& pkt : workload.packets) {
+    if ((pkt.key.dst_ip & 0xFFFF0000) == workload.provider_a_prefix) {
+      rtt_a += pkt.rtt_us;
+      ++n_a;
+    } else {
+      rtt_b += pkt.rtt_us;
+      ++n_b;
+    }
+  }
+  ASSERT_GT(n_a, 0u);
+  ASSERT_GT(n_b, 0u);
+  EXPECT_GT(rtt_b / n_b, rtt_a / n_a + 20'000);
+}
+
+TEST(Workload, SynthFlowKeyDeterministic) {
+  EXPECT_EQ(synth_flow_key(5, 7), synth_flow_key(5, 7));
+  EXPECT_FALSE(synth_flow_key(5, 7) == synth_flow_key(6, 7));
+  EXPECT_FALSE(synth_flow_key(5, 7) == synth_flow_key(5, 8));
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+
+TEST(Simulator, PathsAreDeterministicAndSized) {
+  store::LogStore logs;
+  core::CommitmentBoard board;
+  SimConfig config;
+  config.router_count = 4;
+  config.path_length = 2;
+  NetFlowSimulator simulator(config, logs, board);
+  const netflow::FlowKey key{1, 2, 3, 4, 6};
+  const auto path = simulator.path_for(key);
+  EXPECT_EQ(path.size(), 2u);
+  EXPECT_EQ(path, simulator.path_for(key));
+  for (u32 router : path) EXPECT_LT(router, 4u);
+  EXPECT_NE(path[0], path[1]);
+}
+
+TEST(Simulator, CommitsEveryWindowWithSignedHashes) {
+  store::LogStore logs;
+  core::CommitmentBoard board;
+  SimConfig config;
+  config.router_count = 4;
+  config.window_ms = 5000;
+  NetFlowSimulator simulator(config, logs, board);
+
+  ZipfWorkloadConfig workload;
+  workload.flow_count = 50;
+  workload.duration_ms = 12'000;  // ~3 windows
+  ASSERT_TRUE(simulator.run(zipf_workload(workload, 5000)).ok());
+
+  const auto windows = simulator.committed_windows();
+  ASSERT_GE(windows.size(), 2u);
+  for (u64 window : windows) {
+    auto batches = simulator.batches_for_window(window);
+    ASSERT_TRUE(batches.ok());
+    ASSERT_FALSE(batches.value().empty());
+    for (const auto& batch : batches.value()) {
+      auto commitment = board.get(batch.router_id, window);
+      ASSERT_TRUE(commitment.has_value())
+          << "router " << batch.router_id << " window " << window;
+      // The stored batch hashes to exactly the published commitment.
+      EXPECT_EQ(batch.hash(), commitment->rlog_hash);
+      EXPECT_EQ(batch.records.size(), commitment->record_count);
+      EXPECT_TRUE(core::verify_commitment(*commitment).ok());
+    }
+  }
+}
+
+TEST(Simulator, PacketsReplicatedAcrossPath) {
+  store::LogStore logs;
+  core::CommitmentBoard board;
+  SimConfig config;
+  config.router_count = 4;
+  config.path_length = 3;
+  NetFlowSimulator simulator(config, logs, board);
+
+  ZipfWorkloadConfig workload;
+  workload.flow_count = 10;
+  workload.duration_ms = 4000;
+  const u64 n = 1000;
+  ASSERT_TRUE(simulator.run(zipf_workload(workload, n)).ok());
+
+  u64 total_observed = 0;
+  for (const auto& stats : simulator.router_stats()) {
+    total_observed += stats.packets;
+  }
+  EXPECT_EQ(total_observed, n * 3);
+}
+
+TEST(Simulator, V9WireTogglePreservesRecords) {
+  // With and without the v9 wire, the committed batches must be identical
+  // (the wire is lossless for our template).
+  auto run_once = [](bool use_v9) {
+    store::LogStore logs;
+    core::CommitmentBoard board;
+    SimConfig config;
+    config.use_v9_wire = use_v9;
+    config.key_seed = 5;
+    NetFlowSimulator simulator(config, logs, board);
+    ZipfWorkloadConfig workload;
+    workload.flow_count = 30;
+    workload.duration_ms = 6000;
+    EXPECT_TRUE(simulator.run(zipf_workload(workload, 3000)).ok());
+    std::vector<netflow::RLogBatch> all;
+    for (u64 window : simulator.committed_windows()) {
+      auto batches = simulator.batches_for_window(window);
+      EXPECT_TRUE(batches.ok());
+      for (auto& batch : batches.value()) all.push_back(std::move(batch));
+    }
+    return all;
+  };
+  const auto with_v9 = run_once(true);
+  const auto without_v9 = run_once(false);
+  ASSERT_EQ(with_v9.size(), without_v9.size());
+  for (size_t i = 0; i < with_v9.size(); ++i) {
+    EXPECT_EQ(with_v9[i].hash(), without_v9[i].hash()) << i;
+  }
+}
+
+TEST(Simulator, EndToEndWithAggregationAndAudit) {
+  store::LogStore logs;
+  core::CommitmentBoard board;
+  SimConfig config;
+  config.router_count = 4;
+  NetFlowSimulator simulator(config, logs, board);
+
+  ZipfWorkloadConfig workload;
+  workload.flow_count = 40;
+  workload.duration_ms = 8000;
+  ASSERT_TRUE(simulator.run(zipf_workload(workload, 4000)).ok());
+
+  core::AggregationService service(board);
+  core::Auditor auditor(board);
+  for (u64 window : simulator.committed_windows()) {
+    auto batches = simulator.batches_for_window(window);
+    ASSERT_TRUE(batches.ok());
+    auto round = service.aggregate(std::move(batches.value()));
+    ASSERT_TRUE(round.ok()) << round.error().to_string();
+    ASSERT_TRUE(auditor.accept_round(round.value().receipt).ok());
+  }
+  EXPECT_GT(auditor.current_entry_count(), 0u);
+
+  core::QueryService queries(service);
+  auto resp = queries.run(core::Query::sum(core::QField::packets));
+  ASSERT_TRUE(resp.ok());
+  auto verified = auditor.verify_query(resp.value().receipt);
+  ASSERT_TRUE(verified.ok());
+  // Total delivered packets must not exceed total emitted × path length.
+  EXPECT_GT(verified.value().result.sum, 0u);
+}
+
+TEST(Simulator, SingleRouterConfig) {
+  store::LogStore logs;
+  core::CommitmentBoard board;
+  SimConfig config;
+  config.router_count = 1;
+  config.path_length = 3;  // clamped to 1
+  NetFlowSimulator simulator(config, logs, board);
+  EXPECT_EQ(simulator.path_for({1, 2, 3, 4, 6}).size(), 1u);
+  ZipfWorkloadConfig workload;
+  workload.duration_ms = 3000;
+  ASSERT_TRUE(simulator.run(zipf_workload(workload, 500)).ok());
+  EXPECT_GE(simulator.committed_windows().size(), 1u);
+}
+
+TEST(Simulator, EmptyWorkloadIsFine) {
+  store::LogStore logs;
+  core::CommitmentBoard board;
+  NetFlowSimulator simulator(SimConfig{}, logs, board);
+  EXPECT_TRUE(simulator.run({}).ok());
+  EXPECT_TRUE(simulator.committed_windows().empty());
+}
+
+}  // namespace
+}  // namespace zkt::sim

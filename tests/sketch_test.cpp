@@ -1,0 +1,255 @@
+// Sketch tests: Count-Min guarantees (no underestimation, error bounds,
+// merge semantics, serialization) and Space-Saving heavy-hitter guarantees,
+// plus the verifiable sketch-query path.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/sketch_query.h"
+#include "netflow/sketch.h"
+#include "sim/workload.h"
+
+namespace zkt::netflow {
+namespace {
+
+FlowKey key_of(u64 i) { return sim::synth_flow_key(i, 77); }
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch sketch(CountMinParams{.width = 128, .depth = 4, .seed = 1});
+  std::map<u64, u64> truth;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 flow = rng.uniform(300);
+    const u64 count = 1 + rng.uniform(5);
+    sketch.update(key_of(flow), count);
+    truth[flow] += count;
+  }
+  for (const auto& [flow, count] : truth) {
+    EXPECT_GE(sketch.estimate(key_of(flow)), count) << flow;
+  }
+}
+
+TEST(CountMin, ExactWhenSparse) {
+  // Few flows in a wide sketch: estimates should be exact w.h.p.
+  CountMinSketch sketch(CountMinParams{.width = 4096, .depth = 4, .seed = 2});
+  for (u64 f = 0; f < 10; ++f) sketch.update(key_of(f), (f + 1) * 10);
+  for (u64 f = 0; f < 10; ++f) {
+    EXPECT_EQ(sketch.estimate(key_of(f)), (f + 1) * 10);
+  }
+  EXPECT_EQ(sketch.estimate(key_of(999)), 0u);
+}
+
+TEST(CountMin, ErrorBoundHolds) {
+  // CM guarantee: estimate <= true + 2N/width with prob 1-(1/2)^depth; test
+  // the aggregate bound loosely across many flows.
+  const u32 width = 256;
+  CountMinSketch sketch(CountMinParams{.width = width, .depth = 5, .seed = 3});
+  std::map<u64, u64> truth;
+  Xoshiro256 rng(6);
+  u64 total = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const u64 flow = rng.uniform(2000);
+    sketch.update(key_of(flow), 1);
+    truth[flow] += 1;
+    ++total;
+  }
+  const u64 bound = 4 * total / width;  // loose (2x the expected bound)
+  u64 violations = 0;
+  for (const auto& [flow, count] : truth) {
+    if (sketch.estimate(key_of(flow)) > count + bound) ++violations;
+  }
+  EXPECT_LE(violations, truth.size() / 100);
+}
+
+TEST(CountMin, MergeEqualsCombinedStream) {
+  const CountMinParams params{.width = 512, .depth = 4, .seed = 9};
+  CountMinSketch a(params), b(params), combined(params);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 flow = rng.uniform(100);
+    if (i % 2 == 0) a.update(key_of(flow), 1);
+    else b.update(key_of(flow), 1);
+    combined.update(key_of(flow), 1);
+  }
+  ASSERT_TRUE(a.merge(b).ok());
+  EXPECT_EQ(a.total_updates(), combined.total_updates());
+  EXPECT_EQ(a.hash(), combined.hash());
+}
+
+TEST(CountMin, MergeRejectsParamMismatch) {
+  CountMinSketch a(CountMinParams{.width = 128, .depth = 4, .seed = 1});
+  CountMinSketch b(CountMinParams{.width = 256, .depth = 4, .seed = 1});
+  EXPECT_FALSE(a.merge(b).ok());
+  CountMinSketch c(CountMinParams{.width = 128, .depth = 4, .seed = 2});
+  EXPECT_FALSE(a.merge(c).ok());
+}
+
+TEST(CountMin, SerializationRoundTripAndHash) {
+  CountMinSketch sketch(CountMinParams{.width = 64, .depth = 3, .seed = 4});
+  for (u64 f = 0; f < 50; ++f) sketch.update(key_of(f), f);
+  const Bytes wire = sketch.canonical_bytes();
+  Reader r(wire);
+  auto parsed = CountMinSketch::deserialize(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(parsed.value().hash(), sketch.hash());
+  EXPECT_EQ(parsed.value().estimate(key_of(30)), sketch.estimate(key_of(30)));
+
+  // A counter flip changes the hash.
+  CountMinSketch other(CountMinParams{.width = 64, .depth = 3, .seed = 4});
+  for (u64 f = 0; f < 50; ++f) other.update(key_of(f), f);
+  other.update(key_of(0), 1);
+  EXPECT_NE(other.hash(), sketch.hash());
+}
+
+TEST(CountMin, DeserializeRejectsHugeDimensions) {
+  Writer w;
+  w.str("CMS1");
+  w.u32v(1 << 20);
+  w.u32v(1 << 10);
+  w.u64v(0);
+  w.u64v(0);
+  Reader r(w.bytes());
+  EXPECT_FALSE(CountMinSketch::deserialize(r).ok());
+}
+
+TEST(SpaceSaving, TracksExactWhenUnderCapacity) {
+  SpaceSaving tracker(16);
+  for (u64 f = 0; f < 10; ++f) tracker.update(key_of(f), f + 1);
+  EXPECT_EQ(tracker.size(), 10u);
+  for (u64 f = 0; f < 10; ++f) {
+    auto entry = tracker.find(key_of(f));
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->count, f + 1);
+    EXPECT_EQ(entry->error, 0u);
+  }
+}
+
+TEST(SpaceSaving, GuaranteesHeavyHitterRetention) {
+  // A flow with >1/capacity of the total stream must be retained.
+  SpaceSaving tracker(10);
+  Xoshiro256 rng(8);
+  const FlowKey elephant = key_of(9999);
+  u64 elephant_count = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (i % 3 == 0) {
+      tracker.update(elephant, 1);
+      ++elephant_count;
+    } else {
+      tracker.update(key_of(rng.uniform(5000)), 1);
+    }
+  }
+  auto entry = tracker.find(elephant);
+  ASSERT_TRUE(entry.has_value());
+  // Space-Saving overestimates: count >= truth, count - error <= truth.
+  EXPECT_GE(entry->count, elephant_count);
+  EXPECT_LE(entry->count - entry->error, elephant_count);
+
+  auto hitters = tracker.heavy_hitters(tracker.total() / 10);
+  ASSERT_FALSE(hitters.empty());
+  EXPECT_EQ(hitters[0].key, elephant);
+}
+
+TEST(SpaceSaving, HeavyHittersSortedDescending) {
+  SpaceSaving tracker(8);
+  for (u64 f = 0; f < 5; ++f) tracker.update(key_of(f), (f + 1) * 100);
+  auto hitters = tracker.heavy_hitters(100);
+  ASSERT_EQ(hitters.size(), 5u);
+  for (size_t i = 1; i < hitters.size(); ++i) {
+    EXPECT_GE(hitters[i - 1].count, hitters[i].count);
+  }
+}
+
+}  // namespace
+}  // namespace zkt::netflow
+
+namespace zkt::core {
+namespace {
+
+using netflow::CountMinParams;
+using netflow::CountMinSketch;
+using netflow::FlowKey;
+
+struct SketchFixture {
+  CommitmentBoard board;
+  crypto::SchnorrKeyPair key = crypto::schnorr_keygen_from_seed("sketch-q");
+  CountMinSketch sketch{CountMinParams{.width = 256, .depth = 4, .seed = 11}};
+  CommitmentRef ref;
+
+  SketchFixture() {
+    for (u64 f = 0; f < 100; ++f) {
+      sketch.update(sim::synth_flow_key(f, 11), f + 1);
+    }
+    auto commitment = make_commitment_raw(0, 1, sketch.hash(),
+                                          sketch.total_updates(), key, 5000);
+    EXPECT_TRUE(commitment.ok());
+    EXPECT_TRUE(board.publish(commitment.value()).ok());
+    ref = CommitmentRef{0, 1, sketch.hash(), sketch.total_updates()};
+  }
+};
+
+TEST(SketchQuery, ProveAndVerify) {
+  SketchFixture fx;
+  const FlowKey target = sim::synth_flow_key(42, 11);
+  auto response = prove_sketch_query(fx.ref, fx.sketch, target);
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response.value().journal.estimate, fx.sketch.estimate(target));
+  EXPECT_GE(response.value().journal.estimate, 43u);  // never underestimates
+
+  auto verified =
+      verify_sketch_query(response.value().receipt, fx.board, &target);
+  ASSERT_TRUE(verified.ok()) << verified.error().to_string();
+  EXPECT_EQ(verified.value().estimate, fx.sketch.estimate(target));
+}
+
+TEST(SketchQuery, TamperedSketchFailsProving) {
+  SketchFixture fx;
+  CountMinSketch doctored = fx.sketch;
+  doctored.update(sim::synth_flow_key(42, 11), 1);  // post-commitment edit
+  auto response =
+      prove_sketch_query(fx.ref, doctored, sim::synth_flow_key(42, 11));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, Errc::guest_abort);
+}
+
+TEST(SketchQuery, WrongKeyRejectedByVerifier) {
+  SketchFixture fx;
+  const FlowKey asked = sim::synth_flow_key(1, 11);
+  const FlowKey other = sim::synth_flow_key(2, 11);
+  auto response = prove_sketch_query(fx.ref, fx.sketch, other);
+  ASSERT_TRUE(response.ok());
+  auto verified = verify_sketch_query(response.value().receipt, fx.board,
+                                      &asked);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, Errc::proof_invalid);
+}
+
+TEST(SketchQuery, UnpublishedCommitmentRejected) {
+  SketchFixture fx;
+  CommitmentBoard empty_board;
+  auto response =
+      prove_sketch_query(fx.ref, fx.sketch, sim::synth_flow_key(1, 11));
+  ASSERT_TRUE(response.ok());
+  auto verified =
+      verify_sketch_query(response.value().receipt, empty_board, nullptr);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, Errc::commitment_missing);
+}
+
+TEST(SketchQuery, DoctoredEstimateRejected) {
+  SketchFixture fx;
+  const FlowKey target = sim::synth_flow_key(3, 11);
+  auto response = prove_sketch_query(fx.ref, fx.sketch, target);
+  ASSERT_TRUE(response.ok());
+  auto forged = response.value().receipt;
+  SketchQueryJournal j = response.value().journal;
+  j.estimate /= 2;
+  Writer w;
+  j.write(w);
+  forged.journal = std::move(w).take();
+  EXPECT_FALSE(verify_sketch_query(forged, fx.board, &target).ok());
+}
+
+}  // namespace
+}  // namespace zkt::core

@@ -1,0 +1,257 @@
+// LogStore tests: CRUD semantics, scans, WAL persistence and recovery
+// (including torn/corrupt tails), and concurrent producers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "store/logstore.h"
+
+namespace zkt::store {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wal_path_ = std::filesystem::temp_directory_path() /
+                ("zkt_store_test_" + std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name()
+                 + ".wal");
+    std::filesystem::remove(wal_path_);
+    std::filesystem::remove(wal_path_.string() + ".snap");
+  }
+  void TearDown() override {
+    std::filesystem::remove(wal_path_);
+    std::filesystem::remove(wal_path_.string() + ".snap");
+  }
+
+  std::filesystem::path wal_path_;
+};
+
+TEST(Crc32, KnownVector) {
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(LogStoreMem, AppendAndScan) {
+  LogStore store;
+  for (u64 w = 1; w <= 3; ++w) {
+    for (u64 r = 0; r < 4; ++r) {
+      auto id = store.append("rlogs", w, r, bytes_of("payload"));
+      ASSERT_TRUE(id.ok());
+    }
+  }
+  EXPECT_EQ(store.row_count("rlogs"), 12u);
+  EXPECT_EQ(store.scan("rlogs", 2, 2).size(), 4u);
+  EXPECT_EQ(store.scan("rlogs", 1, 3).size(), 12u);
+  EXPECT_EQ(store.scan("rlogs", 9, 9).size(), 0u);
+  EXPECT_EQ(store.scan_exact("rlogs", 2, 3).size(), 1u);
+  EXPECT_EQ(store.scan("missing", 0, ~0ULL).size(), 0u);
+}
+
+TEST(LogStoreMem, RowIdsMonotonicPerTable) {
+  LogStore store;
+  EXPECT_EQ(store.append("a", 0, 0, {}).value(), 0u);
+  EXPECT_EQ(store.append("a", 0, 0, {}).value(), 1u);
+  EXPECT_EQ(store.append("b", 0, 0, {}).value(), 0u);
+}
+
+TEST(LogStoreMem, LatestAndLastRow) {
+  LogStore store;
+  (void)store.append("t", 5, 1, bytes_of("first"));
+  (void)store.append("t", 5, 2, bytes_of("second"));
+  (void)store.append("t", 6, 1, bytes_of("third"));
+  auto latest5 = store.latest("t", 5);
+  ASSERT_TRUE(latest5.has_value());
+  EXPECT_EQ(latest5->payload, bytes_of("second"));
+  auto last = store.last_row("t");
+  ASSERT_TRUE(last.has_value());
+  EXPECT_EQ(last->payload, bytes_of("third"));
+  EXPECT_FALSE(store.latest("t", 9).has_value());
+  EXPECT_FALSE(store.last_row("empty").has_value());
+}
+
+TEST(LogStoreMem, TableNames) {
+  LogStore store;
+  (void)store.append("zeta", 0, 0, {});
+  (void)store.append("alpha", 0, 0, {});
+  const auto names = store.table_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");  // sorted by map order
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST_F(StoreTest, WalPersistsAcrossRestart) {
+  {
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    for (u64 i = 0; i < 20; ++i) {
+      ASSERT_TRUE(store.append("rlogs", i / 4, i % 4,
+                               bytes_of("row-" + std::to_string(i)))
+                      .ok());
+    }
+  }
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("rlogs"), 20u);
+  EXPECT_EQ(reopened.stats().recovered_rows, 20u);
+  auto rows = reopened.scan("rlogs", 2, 2);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].payload, bytes_of("row-8"));
+  // And the store keeps appending after recovery.
+  ASSERT_TRUE(reopened.append("rlogs", 9, 9, bytes_of("more")).ok());
+}
+
+TEST_F(StoreTest, AppendWithoutRecoverFails) {
+  LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+  EXPECT_FALSE(store.append("t", 0, 0, {}).ok());
+}
+
+TEST_F(StoreTest, TruncatedTailFrameDropped) {
+  {
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    for (u64 i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store.append("t", i, 0, Bytes(100, 'x')).ok());
+    }
+  }
+  // Simulate a torn write: chop off the last 30 bytes.
+  const auto full = std::filesystem::file_size(wal_path_);
+  std::filesystem::resize_file(wal_path_, full - 30);
+
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 4u);
+  EXPECT_EQ(reopened.stats().truncated_frames, 1u);
+}
+
+TEST_F(StoreTest, CorruptPayloadDetectedByCrc) {
+  {
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    ASSERT_TRUE(store.append("t", 1, 0, Bytes(64, 'a')).ok());
+    ASSERT_TRUE(store.append("t", 2, 0, Bytes(64, 'b')).ok());
+  }
+  // Flip a byte inside the second frame's payload.
+  {
+    std::FILE* f = std::fopen(wal_path_.string().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const auto size = std::filesystem::file_size(wal_path_);
+    std::fseek(f, static_cast<long>(size - 20), SEEK_SET);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 1u);  // second frame rejected
+  EXPECT_EQ(reopened.stats().truncated_frames, 1u);
+}
+
+TEST_F(StoreTest, RecoverOnMissingFileIsOk) {
+  LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+  EXPECT_TRUE(store.recover().ok());
+  EXPECT_TRUE(store.append("t", 0, 0, {}).ok());
+}
+
+TEST_F(StoreTest, CheckpointCompactsAndRecovers) {
+  {
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    for (u64 i = 0; i < 10; ++i) {
+      ASSERT_TRUE(store.append("t", i, 0, Bytes(200, 'a')).ok());
+    }
+    ASSERT_TRUE(store.checkpoint().ok());
+    // WAL is now empty; more appends land in the fresh WAL.
+    for (u64 i = 10; i < 15; ++i) {
+      ASSERT_TRUE(store.append("t", i, 0, Bytes(200, 'b')).ok());
+    }
+    EXPECT_EQ(store.stats().checkpoints, 1u);
+  }
+  // The WAL only holds the post-checkpoint tail.
+  EXPECT_LT(std::filesystem::file_size(wal_path_), 5u * 300u);
+
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 15u);
+  EXPECT_EQ(reopened.stats().snapshot_rows, 10u);
+  EXPECT_EQ(reopened.stats().recovered_rows, 5u);
+  EXPECT_EQ(reopened.scan("t", 3, 3).size(), 1u);
+  EXPECT_EQ(reopened.scan("t", 12, 12).size(), 1u);
+}
+
+TEST_F(StoreTest, DoubleCheckpointIsIdempotentish) {
+  LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(store.recover().ok());
+  ASSERT_TRUE(store.append("t", 1, 1, bytes_of("x")).ok());
+  ASSERT_TRUE(store.checkpoint().ok());
+  ASSERT_TRUE(store.checkpoint().ok());
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 1u);
+}
+
+TEST_F(StoreTest, CorruptSnapshotRejected) {
+  {
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    ASSERT_TRUE(store.append("t", 1, 1, Bytes(100, 'z')).ok());
+    ASSERT_TRUE(store.checkpoint().ok());
+  }
+  const std::string snap = wal_path_.string() + ".snap";
+  {
+    std::FILE* f = std::fopen(snap.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 40, SEEK_SET);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  EXPECT_FALSE(reopened.recover().ok());
+}
+
+TEST(LogStoreMem, DropRowsByWindow) {
+  LogStore store;
+  for (u64 w = 1; w <= 5; ++w) {
+    for (u64 r = 0; r < 2; ++r) {
+      ASSERT_TRUE(store.append("rlogs", w, r, bytes_of("x")).ok());
+    }
+  }
+  EXPECT_EQ(store.drop_rows("rlogs", 3), 6u);
+  EXPECT_EQ(store.row_count("rlogs"), 4u);
+  EXPECT_TRUE(store.scan("rlogs", 1, 3).empty());
+  EXPECT_EQ(store.scan("rlogs", 4, 5).size(), 4u);
+  EXPECT_EQ(store.drop_rows("rlogs", 3), 0u);       // idempotent
+  EXPECT_EQ(store.drop_rows("missing", 99), 0u);    // unknown table
+}
+
+TEST(LogStoreMem, CheckpointNoopWithoutWal) {
+  LogStore store;
+  EXPECT_TRUE(store.checkpoint().ok());
+}
+
+TEST(LogStoreMem, ConcurrentAppendsSafe) {
+  LogStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto id = store.append("rlogs", static_cast<u64>(t), i,
+                               bytes_of(std::to_string(i)));
+        ASSERT_TRUE(id.ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.row_count("rlogs"), kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(store.scan("rlogs", t, t).size(), kPerThread);
+  }
+  EXPECT_EQ(store.stats().appends,
+            static_cast<u64>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace zkt::store

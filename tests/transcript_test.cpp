@@ -1,0 +1,110 @@
+// Fiat–Shamir transcript tests: determinism, binding to every absorbed
+// value, domain/label separation, and unbiased index sampling — the
+// properties the zvm seal's non-interactive soundness rests on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/sha256.h"
+#include "crypto/transcript.h"
+
+namespace zkt::crypto {
+namespace {
+
+TEST(Transcript, DeterministicReplay) {
+  auto run = [] {
+    Transcript t("test");
+    t.absorb("a", bytes_of("one"));
+    t.absorb_u64("n", 42);
+    return t.challenge("c");
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Transcript, DomainSeparation) {
+  Transcript t1("domain-one");
+  Transcript t2("domain-two");
+  t1.absorb("a", bytes_of("x"));
+  t2.absorb("a", bytes_of("x"));
+  EXPECT_NE(t1.challenge("c"), t2.challenge("c"));
+}
+
+TEST(Transcript, BindsAbsorbedData) {
+  Transcript t1("d"), t2("d");
+  t1.absorb("a", bytes_of("one"));
+  t2.absorb("a", bytes_of("two"));
+  EXPECT_NE(t1.challenge("c"), t2.challenge("c"));
+}
+
+TEST(Transcript, BindsLabels) {
+  Transcript t1("d"), t2("d");
+  t1.absorb("label1", bytes_of("x"));
+  t2.absorb("label2", bytes_of("x"));
+  EXPECT_NE(t1.challenge("c"), t2.challenge("c"));
+}
+
+TEST(Transcript, LabelDataBoundaryUnambiguous) {
+  // ("ab", "c") must differ from ("a", "bc").
+  Transcript t1("d"), t2("d");
+  t1.absorb("ab", bytes_of("c"));
+  t2.absorb("a", bytes_of("bc"));
+  EXPECT_NE(t1.challenge("c"), t2.challenge("c"));
+}
+
+TEST(Transcript, OrderMatters) {
+  Transcript t1("d"), t2("d");
+  t1.absorb("a", bytes_of("1"));
+  t1.absorb("b", bytes_of("2"));
+  t2.absorb("b", bytes_of("2"));
+  t2.absorb("a", bytes_of("1"));
+  EXPECT_NE(t1.challenge("c"), t2.challenge("c"));
+}
+
+TEST(Transcript, ChallengesChainForward) {
+  Transcript t("d");
+  t.absorb("a", bytes_of("x"));
+  const Digest32 c1 = t.challenge("c");
+  const Digest32 c2 = t.challenge("c");
+  EXPECT_NE(c1, c2);  // second challenge depends on the first
+
+  // Replays agree on the whole sequence.
+  Transcript t2("d");
+  t2.absorb("a", bytes_of("x"));
+  EXPECT_EQ(t2.challenge("c"), c1);
+  EXPECT_EQ(t2.challenge("c"), c2);
+}
+
+TEST(Transcript, ChallengeAfterExtraAbsorbDiffers) {
+  Transcript t1("d"), t2("d");
+  t1.absorb("a", bytes_of("x"));
+  t2.absorb("a", bytes_of("x"));
+  t2.absorb("b", BytesView{});
+  EXPECT_NE(t1.challenge("c"), t2.challenge("c"));
+}
+
+TEST(Transcript, IndexWithinBound) {
+  Transcript t("d");
+  t.absorb("seed", bytes_of("s"));
+  for (u64 bound : {1ULL, 2ULL, 7ULL, 100ULL, 12345ULL}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LT(t.challenge_index("q", bound), bound);
+    }
+  }
+}
+
+TEST(Transcript, IndexCoversRange) {
+  Transcript t("d");
+  std::set<u64> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(t.challenge_index("q", 8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Transcript, U64ChallengeDeterministic) {
+  Transcript t1("d"), t2("d");
+  t1.absorb_u64("n", 5);
+  t2.absorb_u64("n", 5);
+  EXPECT_EQ(t1.challenge_u64("c"), t2.challenge_u64("c"));
+}
+
+}  // namespace
+}  // namespace zkt::crypto

@@ -1,0 +1,130 @@
+// NetFlow v5 legacy format tests and v9 options-template tests.
+#include <gtest/gtest.h>
+
+#include "netflow/v5.h"
+#include "netflow/v9.h"
+
+namespace zkt::netflow {
+namespace {
+
+FlowRecord record_of(u32 src, u64 packets, u64 bytes) {
+  FlowRecord rec;
+  rec.key = {src, 0x08080808, 1234, 53, 17};
+  rec.first_ms = 1000;
+  rec.last_ms = 2000;
+  rec.packets = packets;
+  rec.bytes = bytes;
+  rec.tcp_flags_or = 0x10;
+  return rec;
+}
+
+TEST(V5, RoundTripCarriedFields) {
+  std::vector<FlowRecord> records = {record_of(1, 10, 5000),
+                                     record_of(2, 3, 900)};
+  V5Exporter exporter(V5Config{.engine_id = 7, .sampling_interval = 1});
+  auto packets = exporter.export_records(records, 60'000);
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].size(), kV5HeaderSize + 2 * kV5RecordSize);
+
+  V5Collector collector;
+  auto parsed = collector.ingest(packets[0]);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().header.count, 2u);
+  EXPECT_EQ(parsed.value().header.engine_id, 7u);
+  ASSERT_EQ(parsed.value().records.size(), 2u);
+  const auto& rec = parsed.value().records[0];
+  EXPECT_EQ(rec.key, records[0].key);
+  EXPECT_EQ(rec.packets, 10u);
+  EXPECT_EQ(rec.bytes, 5000u);
+  EXPECT_EQ(rec.first_ms, 1000u);
+  EXPECT_EQ(rec.last_ms, 2000u);
+  EXPECT_EQ(rec.tcp_flags_or, 0x10);
+  // v5 has no performance fields.
+  EXPECT_EQ(rec.rtt_sum_us, 0u);
+  EXPECT_EQ(rec.hop_count_sum, 0u);
+}
+
+TEST(V5, SplitsAtThirtyRecords) {
+  std::vector<FlowRecord> records;
+  for (u32 i = 0; i < 65; ++i) records.push_back(record_of(i, 1, 100));
+  V5Exporter exporter(V5Config{});
+  auto packets = exporter.export_records(records, 0);
+  ASSERT_EQ(packets.size(), 3u);
+  V5Collector collector;
+  size_t total = 0;
+  for (const auto& p : packets) {
+    auto parsed = collector.ingest(p);
+    ASSERT_TRUE(parsed.ok());
+    total += parsed.value().records.size();
+  }
+  EXPECT_EQ(total, 65u);
+  EXPECT_EQ(exporter.flows_emitted(), 65u);
+}
+
+TEST(V5, ClampsCountersTo32Bits) {
+  std::vector<FlowRecord> records = {
+      record_of(1, 0x1'0000'0000ULL, 0x2'0000'0000ULL)};
+  V5Exporter exporter(V5Config{});
+  auto packets = exporter.export_records(records, 0);
+  V5Collector collector;
+  auto parsed = collector.ingest(packets[0]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().records[0].packets, 0xFFFFFFFFu);
+  EXPECT_EQ(parsed.value().records[0].bytes, 0xFFFFFFFFu);
+}
+
+TEST(V5, RejectsMalformed) {
+  V5Collector collector;
+  EXPECT_FALSE(collector.ingest(Bytes{1, 2, 3}).ok());
+
+  Bytes wrong_version(kV5HeaderSize, 0);
+  wrong_version[1] = 9;
+  EXPECT_FALSE(collector.ingest(wrong_version).ok());
+
+  // Count says 2 records, body has none.
+  Bytes short_body(kV5HeaderSize, 0);
+  short_body[1] = 5;
+  short_body[3] = 2;
+  EXPECT_FALSE(collector.ingest(short_body).ok());
+
+  // Count above the protocol maximum.
+  Bytes big_count(kV5HeaderSize + 40 * kV5RecordSize, 0);
+  big_count[1] = 5;
+  big_count[2] = 0;
+  big_count[3] = 40;
+  EXPECT_FALSE(collector.ingest(big_count).ok());
+}
+
+TEST(V9Options, TemplateAndDataDecoded) {
+  V9Exporter exporter(V9Config{.source_id = 11,
+                               .include_options = true,
+                               .sampling_interval = 64,
+                               .sampling_algorithm = 2});
+  std::vector<FlowRecord> records = {record_of(1, 2, 300)};
+  auto packets = exporter.export_records(records, 500);
+  ASSERT_EQ(packets.size(), 1u);
+
+  V9Collector collector;
+  auto decoded = collector.ingest(packets[0]);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded.value().size(), 1u);  // flow records still decode
+  EXPECT_EQ(collector.stats().options_templates_learned, 1u);
+  ASSERT_EQ(collector.stats().options_records, 1u);
+  const auto& options = collector.options()[0];
+  EXPECT_EQ(options.source_id, 11u);
+  EXPECT_EQ(options.values.at(kFieldSamplingInterval), 64u);
+  EXPECT_EQ(options.values.at(kFieldSamplingAlgorithm), 2u);
+  EXPECT_TRUE(options.values.count(kFieldTotalFlowsExported));
+}
+
+TEST(V9Options, DisabledEmitsNone) {
+  V9Exporter exporter(V9Config{.source_id = 1, .include_options = false});
+  auto packets = exporter.export_records({}, 0);
+  V9Collector collector;
+  ASSERT_TRUE(collector.ingest(packets[0]).ok());
+  EXPECT_EQ(collector.stats().options_templates_learned, 0u);
+  EXPECT_EQ(collector.stats().options_records, 0u);
+}
+
+}  // namespace
+}  // namespace zkt::netflow

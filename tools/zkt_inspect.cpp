@@ -1,0 +1,68 @@
+// zkt-inspect: dump the contents of zktel artifact files — receipts (with
+// journals decoded per guest type) and commitment boards.
+//
+// Usage:
+//   zkt-inspect receipts.bin [more files...]
+//   zkt-inspect --commitments commitments.bin
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/describe.h"
+#include "core/io.h"
+
+using namespace zkt;
+
+namespace {
+
+int inspect_receipts(const std::string& path) {
+  auto receipts = core::load_receipts(path);
+  if (!receipts.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 receipts.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu receipt(s)\n", path.c_str(), receipts.value().size());
+  for (size_t i = 0; i < receipts.value().size(); ++i) {
+    std::printf("[%zu] %s\n", i,
+                core::describe_receipt(receipts.value()[i]).c_str());
+  }
+  return 0;
+}
+
+int inspect_commitments(const std::string& path) {
+  core::CommitmentBoard board;
+  if (auto s = core::load_commitments(path, board); !s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), s.to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu commitment(s)\n", path.c_str(), board.size());
+  for (const auto& c : board.all()) {
+    std::printf("  router %u window %llu: %llu records, H=%s..., signed %s"
+                "..., at t=%llu ms\n",
+                c.router_id, (unsigned long long)c.window_id,
+                (unsigned long long)c.record_count,
+                c.rlog_hash.hex().substr(0, 16).c_str(),
+                to_hex(BytesView(c.router_pubkey.data(), 32)).substr(0, 12).c_str(),
+                (unsigned long long)c.published_at_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  int rc = 0;
+  if (flags.has("commitments")) {
+    rc |= inspect_commitments(flags.get("commitments"));
+  }
+  for (const auto& path : flags.positional()) {
+    rc |= inspect_receipts(path);
+  }
+  if (!flags.has("commitments") && flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: zkt-inspect [--commitments FILE] [receipts.bin...]\n");
+    return 1;
+  }
+  return rc;
+}

@@ -1,0 +1,147 @@
+// zkt-prove: the service provider's prover. Recovers the raw-log store
+// written by zkt-sim, replays every committed window through the Algorithm-1
+// aggregation guest (chained receipts), and optionally proves a query.
+//
+// Usage:
+//   zkt-prove --data-dir DIR [--query "sum(hop_sum) where src_ip = 1.1.1.1"]
+//             [--group-by FIELD] [--selective] [--composite]
+//
+// Outputs (in DIR): aggregation_receipts.bin, query_receipt.bin.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/grouped_query.h"
+#include "core/io.h"
+#include "core/pipeline.h"
+#include "core/query_parser.h"
+#include "core/service.h"
+#include "netflow/record.h"
+#include "store/logstore.h"
+
+using namespace zkt;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string data_dir = flags.get("data-dir", "zkt-data");
+
+  // Load the provider's artifacts.
+  store::LogStore logs(
+      store::StoreConfig{.wal_path = data_dir + "/rlogs.wal"});
+  if (auto s = logs.recover(); !s.ok()) {
+    std::fprintf(stderr, "store: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  core::CommitmentBoard board;
+  if (auto s = core::load_commitments(data_dir + "/commitments.bin", board);
+      !s.ok()) {
+    std::fprintf(stderr, "commitments: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("zkt-prove: %llu stored rlog rows, %zu commitments\n",
+              (unsigned long long)logs.row_count(store::kTableRlogs),
+              board.size());
+
+  zvm::ProveOptions options;
+  if (flags.has("composite")) options.seal_kind = zvm::SealKind::composite;
+
+  // The pipeline aggregates every committed window, in order, and persists
+  // round receipts back into the store.
+  core::ProviderPipeline pipeline(logs, board, options);
+  auto rounds = pipeline.aggregate_pending();
+  if (!rounds.ok()) {
+    std::fprintf(stderr,
+                 "aggregation FAILED: %s\n(by design: tampered or "
+                 "uncommitted data cannot be proven)\n",
+                 rounds.error().to_string().c_str());
+    return 2;
+  }
+  for (const auto& round : rounds.value()) {
+    std::printf("  window %llu: %llu entries, %llu cycles, %.1f ms\n",
+                (unsigned long long)round.journal.commitments.empty()
+                    ? 0ULL
+                    : round.journal.commitments[0].window_id,
+                (unsigned long long)round.journal.new_entry_count,
+                (unsigned long long)round.prove_info.cycles,
+                round.prove_info.total_ms);
+  }
+  const core::AggregationService& aggregation = pipeline.aggregation();
+  const std::string receipts_path = data_dir + "/aggregation_receipts.bin";
+  if (auto s = core::save_receipts(pipeline.receipts(), receipts_path);
+      !s.ok()) {
+    std::fprintf(stderr, "save receipts: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("  receipts -> %s (%zu rounds)\n", receipts_path.c_str(),
+              pipeline.receipts().size());
+
+  // Optional query proof.
+  if (flags.has("query")) {
+    auto query = core::parse_query(flags.get("query"));
+    if (!query.ok()) {
+      std::fprintf(stderr, "query parse: %s\n",
+                   query.error().to_string().c_str());
+      return 1;
+    }
+    std::printf("  query: %s\n", query.value().to_string().c_str());
+    const std::string query_path = data_dir + "/query_receipt.bin";
+
+    if (flags.has("group-by")) {
+      // Grouped proof: one receipt covering every group.
+      const std::string field_name = flags.get("group-by");
+      std::optional<core::QField> group;
+      for (u8 f = 1; f <= static_cast<u8>(core::QField::jitter_avg_us); ++f) {
+        if (field_name == core::qfield_name(static_cast<core::QField>(f))) {
+          group = static_cast<core::QField>(f);
+        }
+      }
+      if (!group.has_value()) {
+        std::fprintf(stderr, "unknown group-by field: %s\n",
+                     field_name.c_str());
+        return 1;
+      }
+      auto response = core::run_grouped_query(aggregation, query.value(),
+                                              *group, options);
+      if (!response.ok()) {
+        std::fprintf(stderr, "grouped query proof: %s\n",
+                     response.error().to_string().c_str());
+        return 2;
+      }
+      if (auto s = core::save_receipts({response.value().receipt}, query_path);
+          !s.ok()) {
+        std::fprintf(stderr, "save query receipt: %s\n", s.to_string().c_str());
+        return 1;
+      }
+      std::printf("  %zu groups proven (%.1f ms) -> %s\n",
+                  response.value().journal.groups.size(),
+                  response.value().prove_info.total_ms, query_path.c_str());
+      for (const auto& group_entry : response.value().journal.groups) {
+        std::printf("    %s=%llu -> %llu\n", field_name.c_str(),
+                    (unsigned long long)group_entry.group_value,
+                    (unsigned long long)group_entry.stats.value(
+                        query.value().agg));
+      }
+      return 0;
+    }
+
+    core::QueryService queries(aggregation, options);
+    auto response = flags.has("selective")
+                        ? queries.run_selective(query.value())
+                        : queries.run(query.value());
+    if (!response.ok()) {
+      std::fprintf(stderr, "query proof: %s\n",
+                   response.error().to_string().c_str());
+      return 2;
+    }
+    if (auto s = core::save_receipts({response.value().receipt}, query_path);
+        !s.ok()) {
+      std::fprintf(stderr, "save query receipt: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("  result = %llu (%s mode, %.1f ms) -> %s\n",
+                (unsigned long long)response.value().value,
+                flags.has("selective") ? "selective" : "complete",
+                response.value().prove_info.total_ms, query_path.c_str());
+  }
+  return 0;
+}

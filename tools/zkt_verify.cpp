@@ -1,0 +1,114 @@
+// zkt-verify: the client/regulator-side auditor. Needs only public
+// artifacts: the commitment board file and the receipts. Verifies the
+// aggregation chain and (optionally) a query receipt, printing the proven
+// result. Never touches the raw logs.
+//
+// Usage:
+//   zkt-verify --data-dir DIR [--query "sum(hop_sum) where ..."]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/auditor.h"
+#include "core/grouped_query.h"
+#include "core/io.h"
+#include "core/query_parser.h"
+
+using namespace zkt;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string data_dir = flags.get("data-dir", "zkt-data");
+
+  core::CommitmentBoard board;
+  if (auto s = core::load_commitments(data_dir + "/commitments.bin", board);
+      !s.ok()) {
+    std::fprintf(stderr, "commitments: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  auto receipts = core::load_receipts(data_dir + "/aggregation_receipts.bin");
+  if (!receipts.ok()) {
+    std::fprintf(stderr, "receipts: %s\n",
+                 receipts.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("zkt-verify: %zu commitments, %zu aggregation receipts\n",
+              board.size(), receipts.value().size());
+
+  core::Auditor auditor(board);
+  for (size_t i = 0; i < receipts.value().size(); ++i) {
+    auto accepted = auditor.accept_round(receipts.value()[i]);
+    if (!accepted.ok()) {
+      std::printf("round %zu: REJECTED — %s\n", i,
+                  accepted.error().to_string().c_str());
+      return 2;
+    }
+    std::printf("round %zu: OK (%zu batches, %llu entries, root %s...)\n", i,
+                accepted.value().commitments.size(),
+                (unsigned long long)accepted.value().new_entry_count,
+                accepted.value().new_root.hex().substr(0, 12).c_str());
+  }
+  std::printf("aggregation chain VERIFIED: %llu rounds, final state root %s"
+              "...\n",
+              (unsigned long long)auditor.rounds_accepted(),
+              auditor.current_root().hex().substr(0, 16).c_str());
+
+  if (flags.has("query")) {
+    auto expected = core::parse_query(flags.get("query"));
+    if (!expected.ok()) {
+      std::fprintf(stderr, "query parse: %s\n",
+                   expected.error().to_string().c_str());
+      return 1;
+    }
+    auto query_receipts =
+        core::load_receipts(data_dir + "/query_receipt.bin");
+    if (!query_receipts.ok() || query_receipts.value().size() != 1) {
+      std::fprintf(stderr, "query receipt missing or malformed\n");
+      return 1;
+    }
+    const zvm::Receipt& query_receipt = query_receipts.value()[0];
+
+    // Grouped receipts carry a different guest image; dispatch on it.
+    if (query_receipt.claim.image_id == core::grouped_query_image()) {
+      auto grouped = core::verify_grouped_query(query_receipt, auditor,
+                                                &expected.value());
+      if (!grouped.ok()) {
+        std::printf("grouped query proof: REJECTED — %s\n",
+                    grouped.error().to_string().c_str());
+        return 2;
+      }
+      std::printf("grouped query proof: OK\n  %s GROUP BY %s\n",
+                  grouped.value().query.to_string().c_str(),
+                  core::qfield_name(grouped.value().group_field));
+      for (const auto& group : grouped.value().groups) {
+        std::printf("    %s=%llu -> %llu (over %llu flows)\n",
+                    core::qfield_name(grouped.value().group_field),
+                    (unsigned long long)group.group_value,
+                    (unsigned long long)group.stats.value(
+                        grouped.value().query.agg),
+                    (unsigned long long)group.stats.matched);
+      }
+      return 0;
+    }
+
+    auto verified = auditor.verify_query(query_receipt, &expected.value());
+    if (!verified.ok()) {
+      std::printf("query proof: REJECTED — %s\n",
+                  verified.error().to_string().c_str());
+      return 2;
+    }
+    const auto& j = verified.value();
+    std::printf("query proof: OK (%s mode)\n",
+                j.mode == core::QueryMode::complete ? "complete"
+                                                    : "selective");
+    std::printf("  %s\n  => %llu  (matched %llu of %llu entries)\n",
+                j.query.to_string().c_str(),
+                (unsigned long long)j.result.value(j.query.agg),
+                (unsigned long long)j.result.matched,
+                (unsigned long long)j.entry_count);
+    if (j.mode == core::QueryMode::selective) {
+      std::printf("  note: selective proofs do not demonstrate completeness"
+                  " (see docs)\n");
+    }
+  }
+  return 0;
+}
