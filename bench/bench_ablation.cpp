@@ -109,7 +109,9 @@ int main() {
       }
       core::Query q = core::Query::sum(core::QField::bytes).and_any(clause);
       auto complete = queries.run(q);
-      auto selective = queries.run_selective(q);
+      auto selective = queries.run(
+          q, {.mode = core::QueryMode::selective,
+              .prove_options_override = {}});
       if (!complete.ok() || !selective.ok()) return 1;
       if (complete.value().value != selective.value().value) return 1;
       std::printf("%12llu | %14.1f %14llu | %14.1f %14llu\n",
@@ -187,5 +189,6 @@ int main() {
               "at 256 B at ~equal prove cost; (c) selective query cost "
               "scales with matches, complete-scan cost with state size — "
               "they cross once most of the state matches.\n");
+  zkt::bench::write_metrics_snapshot("ablation");
   return 0;
 }

@@ -58,7 +58,9 @@ int main() {
             .and_where(core::QField::src_ip, core::CmpOp::eq, first_key.src_ip)
             .and_where(core::QField::dst_ip, core::CmpOp::eq, first_key.dst_ip);
     core::QueryService queries(aggregation);
-    auto selective = queries.run_selective(query);
+    auto selective = queries.run(
+        query, {.mode = core::QueryMode::selective,
+                .prove_options_override = {}});
     auto complete = queries.run(query);
     if (!selective.ok() || !complete.ok()) {
       std::printf("query failed at %llu\n", (unsigned long long)n);
@@ -101,5 +103,6 @@ int main() {
               "— reproduced by the cycle columns above (agg > query,\n"
               "selective query cheapest because it only opens relevant "
               "entries, exactly as §4.2 describes).\n");
+  zkt::bench::write_metrics_snapshot("fig4_proofgen");
   return 0;
 }

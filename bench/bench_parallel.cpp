@@ -56,5 +56,6 @@ int main() {
               "aggregation verifiable. On a single-core machine wall-clock "
               "stays flat; the sum-cycles column shows the parallelizable "
               "work.\n");
+  zkt::bench::write_metrics_snapshot("parallel");
   return 0;
 }

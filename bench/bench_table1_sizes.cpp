@@ -55,5 +55,6 @@ int main() {
                 static_cast<double>(receipt.journal.size()) / 1024.0,
                 static_cast<double>(receipt.receipt_size_bytes()) / 1024.0);
   }
+  zkt::bench::write_metrics_snapshot("table1_sizes");
   return 0;
 }

@@ -96,5 +96,6 @@ int main() {
   }
   std::printf("\nall tamper cases detected; detection aborts at the hash "
               "check, well before full proving cost.\n");
+  zkt::bench::write_metrics_snapshot("tamper");
   return 0;
 }

@@ -3,11 +3,14 @@
 // commitment window, N total NetFlow records).
 #pragma once
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/zkt.h"
+#include "obs/metrics.h"
 #include "sim/workload.h"
 
 namespace zkt::bench {
@@ -94,6 +97,21 @@ inline std::vector<netflow::RLogBatch> add_window(CommittedWorkload& workload,
 inline const std::vector<u64>& paper_sweep() {
   static const std::vector<u64> sweep = {50, 100, 500, 1000, 2000, 3000};
   return sweep;
+}
+
+/// Write the process-wide obs snapshot as BENCH_<name>.metrics.json in the
+/// working directory. Every bench calls this before exiting, so all BENCH_*
+/// trajectories share one schema (docs/OBSERVABILITY.md): prover segment
+/// timings, aggregation round latency histograms, per-shard wall times, etc.
+inline void write_metrics_snapshot(const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".metrics.json";
+  std::ofstream out(path);
+  out << obs::Registry::instance().snapshot().to_json();
+  if (out) {
+    std::printf("\nmetrics snapshot -> %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path.c_str());
+  }
 }
 
 }  // namespace zkt::bench

@@ -73,5 +73,6 @@ int main() {
               "count. Succinct verification above is size-independent up to "
               "journal hashing; composite adds the Fiat-Shamir openings "
               "(~log n).\n");
+  zkt::bench::write_metrics_snapshot("verification");
   return 0;
 }

@@ -64,7 +64,7 @@ int main() {
   for (u64 window : simulator.committed_windows()) {
     auto batches = simulator.batches_for_window(window);
     if (!batches.ok()) return 1;
-    auto round = aggregation.aggregate(std::move(batches.value()));
+    auto round = aggregation.aggregate(batches.value());
     if (!round.ok()) {
       std::printf("aggregation failed at window %llu: %s\n",
                   (unsigned long long)window,

@@ -106,7 +106,7 @@ int run_audit(bool discriminate) {
   for (u64 window : simulator.committed_windows()) {
     auto batches = simulator.batches_for_window(window);
     if (!batches.ok()) return 1;
-    auto round = aggregation.aggregate(std::move(batches.value()));
+    auto round = aggregation.aggregate(batches.value());
     if (!round.ok()) {
       std::printf("aggregation failed: %s\n",
                   round.error().to_string().c_str());

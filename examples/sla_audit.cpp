@@ -61,7 +61,7 @@ int main() {
                   batches.error().to_string().c_str());
       return 1;
     }
-    auto round = aggregation.aggregate(std::move(batches.value()));
+    auto round = aggregation.aggregate(batches.value());
     if (!round.ok()) {
       std::printf("aggregation failed: %s\n",
                   round.error().to_string().c_str());

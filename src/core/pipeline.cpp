@@ -1,7 +1,11 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zkt::core {
 
@@ -18,12 +22,24 @@ std::vector<u64> ProviderPipeline::pending_windows() const {
 
 u64 ProviderPipeline::prune_aggregated() {
   if (!last_window_.has_value()) return 0;
-  return store_->drop_rows(store::kTableRlogs, *last_window_);
+  const u64 dropped = store_->drop_rows(store::kTableRlogs, *last_window_);
+  obs::Registry::instance().counter("core.pipeline.pruned_rows").add(dropped);
+  return dropped;
 }
 
 Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan span("pipeline_aggregate_pending");
+
+  const std::vector<u64> pending = pending_windows();
+  // Pending-window lag before this run: how far the provider's proof chain
+  // trails the routers' committed windows.
+  metrics.gauge("core.pipeline.pending_windows")
+      .set(static_cast<double>(pending.size()));
+
   std::vector<AggregationRound> rounds;
-  for (u64 window : pending_windows()) {
+  for (u64 window : pending) {
+    const auto round_start = std::chrono::steady_clock::now();
     std::vector<netflow::RLogBatch> batches;
     for (const auto& row :
          store_->scan(store::kTableRlogs, window, window)) {
@@ -35,7 +51,7 @@ Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
       }
       batches.push_back(std::move(batch.value()));
     }
-    auto round = aggregation_.aggregate(std::move(batches));
+    auto round = aggregation_.aggregate(batches);
     if (!round.ok()) return round.error();
 
     auto stored = store_->append(store::kTableReceipts, window,
@@ -45,6 +61,16 @@ Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
     receipts_.push_back(round.value().receipt);
     last_window_ = window;
     rounds.push_back(std::move(round.value()));
+
+    metrics.histogram("core.pipeline.round_ms")
+        .record(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - round_start)
+                    .count());
+    metrics.histogram("core.pipeline.batches_per_round")
+        .record(static_cast<double>(batches.size()));
+    metrics.counter("core.pipeline.windows_aggregated").add(1);
+    metrics.gauge("core.pipeline.pending_windows")
+        .set(static_cast<double>(pending.size() - rounds.size()));
   }
   return rounds;
 }

@@ -1,26 +1,67 @@
 #include "core/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zkt::core {
 
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
 Result<AggregationRound> AggregationService::aggregate(
-    std::vector<netflow::RLogBatch> batches) {
-  std::sort(batches.begin(), batches.end(),
-            [](const netflow::RLogBatch& a, const netflow::RLogBatch& b) {
-              return std::tie(a.window_id, a.router_id) <
-                     std::tie(b.window_id, b.router_id);
-            });
+    std::span<const netflow::RLogBatch> batches) {
+  const auto start = std::chrono::steady_clock::now();
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan span("agg_round");
+
+  auto round = aggregate_impl(batches);
+
+  metrics.histogram("core.agg.round_ms").record(ms_since(start));
+  metrics.histogram("core.agg.batches_per_round")
+      .record(static_cast<double>(batches.size()));
+  if (round.ok()) {
+    metrics.counter("core.agg.rounds").add(1);
+    metrics.counter("core.agg.batches").add(batches.size());
+    metrics.gauge("core.agg.entries")
+        .set(static_cast<double>(state_.entry_count()));
+  } else {
+    metrics.counter("core.agg.failed_rounds").add(1);
+  }
+  return round;
+}
+
+Result<AggregationRound> AggregationService::aggregate_impl(
+    std::span<const netflow::RLogBatch> batches) {
+  // Deterministic (window, router) processing order, via a local index — the
+  // caller's batches are borrowed, not copied or reordered.
+  std::vector<size_t> order(batches.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::tie(batches[a].window_id, batches[a].router_id) <
+           std::tie(batches[b].window_id, batches[b].router_id);
+  });
 
   AggregateInput input;
   input.has_prev = last_receipt_.has_value();
-  input.prev_claim_digest = last_claim_digest();
+  input.prev_claim_digest =
+      last_receipt_.has_value() ? last_receipt_->claim.digest() : Digest32{};
   input.prev_root = state_.root();
   input.prev_entries = state_.entry_bytes();
   input.batches.reserve(batches.size());
-  for (const auto& batch : batches) {
+  for (size_t idx : order) {
+    const netflow::RLogBatch& batch = batches[idx];
     // The *published* commitment is the reference the guest checks the raw
     // bytes against; a batch modified after commitment therefore fails in
     // the guest, not here.
@@ -54,8 +95,8 @@ Result<AggregationRound> AggregationService::aggregate(
   if (!journal.ok()) return journal.error();
 
   // Mirror the guest's state transition on the host copy.
-  for (const auto& batch : batches) {
-    state_.apply_records(batch.records);
+  for (size_t idx : order) {
+    state_.apply_records(batches[idx].records);
   }
   if (state_.root() != journal.value().new_root ||
       state_.entry_count() != journal.value().new_entry_count) {
@@ -90,7 +131,42 @@ Result<QueryResponse> QueryService::finish(Result<zvm::Receipt> receipt,
   return response;
 }
 
-Result<QueryResponse> QueryService::run(const Query& query) const {
+Result<QueryResponse> QueryService::run(const Query& query,
+                                        const QueryOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  obs::Registry& metrics = obs::Registry::instance();
+  const bool selective = options.mode == QueryMode::selective;
+  obs::ScopedSpan span(selective ? "query_selective" : "query_complete");
+  const zvm::ProveOptions& prove = options.prove_options_override.has_value()
+                                       ? *options.prove_options_override
+                                       : prove_options_;
+
+  auto response = selective ? run_selective_impl(query, prove)
+                            : run_complete(query, prove);
+
+  metrics
+      .histogram(selective ? "core.query.selective_ms"
+                           : "core.query.complete_ms")
+      .record(ms_since(start));
+  metrics
+      .counter(selective ? "core.query.selective_runs"
+                         : "core.query.complete_runs")
+      .add(1);
+  if (response.ok()) {
+    // Matched/scanned tell the selectivity story: how much of the state a
+    // query touched vs. how much it had to prove over.
+    metrics.counter("core.query.matched_entries")
+        .add(response.value().journal.result.matched);
+    metrics.counter("core.query.scanned_entries")
+        .add(response.value().journal.result.scanned);
+  } else {
+    metrics.counter("core.query.failures").add(1);
+  }
+  return response;
+}
+
+Result<QueryResponse> QueryService::run_complete(
+    const Query& query, const zvm::ProveOptions& prove) const {
   if (!aggregation_->has_rounds()) {
     return Error{Errc::chain_broken,
                  "no aggregation round to query against"};
@@ -103,7 +179,7 @@ Result<QueryResponse> QueryService::run(const Query& query) const {
   input.entries = aggregation_->state().entry_bytes();
   input.query = query;
 
-  zvm::ProveOptions options = prove_options_;
+  zvm::ProveOptions options = prove;
   options.assumptions.push_back(agg_receipt);
 
   zvm::Prover prover;
@@ -113,7 +189,8 @@ Result<QueryResponse> QueryService::run(const Query& query) const {
   return finish(std::move(receipt), info);
 }
 
-Result<QueryResponse> QueryService::run_selective(const Query& query) const {
+Result<QueryResponse> QueryService::run_selective_impl(
+    const Query& query, const zvm::ProveOptions& prove) const {
   if (!aggregation_->has_rounds()) {
     return Error{Errc::chain_broken,
                  "no aggregation round to query against"};
@@ -138,7 +215,7 @@ Result<QueryResponse> QueryService::run_selective(const Query& query) const {
     input.proof = state.prove_multi(indices);
   }
 
-  zvm::ProveOptions options = prove_options_;
+  zvm::ProveOptions options = prove;
   options.assumptions.push_back(agg_receipt);
 
   zvm::Prover prover;

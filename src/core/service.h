@@ -7,9 +7,14 @@
 // integrity conditions the guest enforces: if the stored logs were tampered
 // with after commitment, proof *generation* fails — which is the detection
 // mechanism the paper evaluates (§6).
+//
+// Both services record into the process-wide obs::Registry (core.agg.* and
+// core.query.* — see docs/OBSERVABILITY.md for the catalog).
 #pragma once
 
+#include <initializer_list>
 #include <optional>
+#include <span>
 
 #include "core/clog.h"
 #include "core/commitment.h"
@@ -32,21 +37,38 @@ class AggregationService {
       : board_(&board), prove_options_(std::move(prove_options)) {}
 
   /// Run one aggregation round over the given batches. Batches are processed
-  /// in (window, router) order to keep rounds deterministic. Fails — without
-  /// modifying state — if any batch lacks a published commitment or fails
-  /// the in-guest integrity checks.
+  /// in (window, router) order — via a locally sorted index, so the caller's
+  /// data is neither copied nor reordered. Fails — without modifying state —
+  /// if any batch lacks a published commitment or fails the in-guest
+  /// integrity checks.
   Result<AggregationRound> aggregate(
-      std::vector<netflow::RLogBatch> batches);
+      std::span<const netflow::RLogBatch> batches);
+
+  /// Convenience for literal batch lists: aggregate({a, b}).
+  Result<AggregationRound> aggregate(
+      std::initializer_list<netflow::RLogBatch> batches) {
+    return aggregate(
+        std::span<const netflow::RLogBatch>(batches.begin(), batches.size()));
+  }
 
   const CLogState& state() const { return state_; }
   u64 rounds_completed() const { return rounds_; }
   bool has_rounds() const { return last_receipt_.has_value(); }
   const zvm::Receipt& last_receipt() const { return *last_receipt_; }
-  Digest32 last_claim_digest() const {
-    return last_receipt_ ? last_receipt_->claim.digest() : Digest32{};
+
+  /// Claim digest of the last proven round. An error when no round has run,
+  /// so a forged all-zero chain head can never be mistaken for genesis.
+  Result<Digest32> last_claim_digest() const {
+    if (!last_receipt_.has_value()) {
+      return Error{Errc::chain_broken, "no aggregation round has run"};
+    }
+    return last_receipt_->claim.digest();
   }
 
  private:
+  Result<AggregationRound> aggregate_impl(
+      std::span<const netflow::RLogBatch> batches);
+
   const CommitmentBoard* board_;
   zvm::ProveOptions prove_options_;
   CLogState state_;
@@ -62,6 +84,21 @@ struct QueryResponse {
   zvm::ProveInfo prove_info;
 };
 
+/// Per-call knobs for QueryService::run — the completeness/cost tradeoff the
+/// caller picks, instead of picking between two methods.
+struct QueryOptions {
+  /// complete: every entry is scanned inside the guest, so the result
+  ///   provably covers every committed entry (O(state)).
+  /// selective: only the matching entries are opened with Merkle inclusion
+  ///   proofs — the paper's §4.2 query mechanism. Cheaper
+  ///   (O(matches · log n)), but the receipt's QueryMode::selective tells
+  ///   the verifier that completeness is not proven.
+  QueryMode mode = QueryMode::complete;
+  /// When set, replaces the service's construction-time ProveOptions for
+  /// this call (e.g. a composite seal for one audit query).
+  std::optional<zvm::ProveOptions> prove_options_override;
+};
+
 class QueryService {
  public:
   explicit QueryService(const AggregationService& aggregation,
@@ -69,18 +106,24 @@ class QueryService {
       : aggregation_(&aggregation),
         prove_options_(std::move(prove_options)) {}
 
-  /// Prove a query against the latest aggregated state with a complete scan
-  /// (the result provably covers every committed entry).
-  Result<QueryResponse> run(const Query& query) const;
+  /// Prove a query against the latest aggregated state. options.mode picks
+  /// complete-scan vs. selective proving; see QueryOptions.
+  Result<QueryResponse> run(const Query& query,
+                            const QueryOptions& options = {}) const;
 
-  /// Prove a query by opening only the matching entries with Merkle
-  /// inclusion proofs — the paper's §4.2 query mechanism. Cheaper
-  /// (O(matches · log n) instead of O(state)), but the receipt's
-  /// QueryMode::selective tells the verifier that completeness is not
-  /// proven.
-  Result<QueryResponse> run_selective(const Query& query) const;
+  /// Deprecated shim (one PR): selective proving is now a mode of run().
+  [[deprecated("use run(query, {.mode = QueryMode::selective})")]]
+  Result<QueryResponse> run_selective(const Query& query) const {
+    QueryOptions options;
+    options.mode = QueryMode::selective;
+    return run(query, options);
+  }
 
  private:
+  Result<QueryResponse> run_complete(const Query& query,
+                                     const zvm::ProveOptions& prove) const;
+  Result<QueryResponse> run_selective_impl(
+      const Query& query, const zvm::ProveOptions& prove) const;
   Result<QueryResponse> finish(Result<zvm::Receipt> receipt,
                                const zvm::ProveInfo& info) const;
 

@@ -1,9 +1,12 @@
 #include "core/sharded.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zkt::core {
 
@@ -172,14 +175,18 @@ ShardedAggregationService::ShardedAggregationService(
 }
 
 Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
-    std::vector<netflow::RLogBatch> batches) {
+    std::span<const netflow::RLogBatch> batches) {
   const auto start = std::chrono::steady_clock::now();
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan span("sharded_round");
+  obs::Histogram& split_ms = metrics.histogram("core.sharded.split_ms");
   Round round;
 
   // Phase 1: split-prove every batch and derive per-shard sub-batches.
   std::vector<std::vector<netflow::RLogBatch>> shard_batches(shard_count_);
   zvm::Prover prover;
   for (const auto& batch : batches) {
+    const auto split_start = std::chrono::steady_clock::now();
     auto commitment = board_->get(batch.router_id, batch.window_id);
     if (!commitment.has_value()) {
       return Error{Errc::commitment_missing,
@@ -215,18 +222,30 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
       shard_batches[s].push_back(std::move(sub));
     }
     round.split_receipts.push_back(std::move(receipt.value()));
+    split_ms.record(std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - split_start)
+                        .count());
   }
 
   // Phase 2: aggregate every shard on its own thread (§7's parallel proof
   // generation; partial proofs are presented together in the Round).
   std::vector<Result<AggregationRound>> results(
       shard_count_, Result<AggregationRound>(Errc::unsupported));
+  std::vector<double> shard_wall_ms(shard_count_, 0);
+  obs::Histogram& shard_wall_hist =
+      metrics.histogram("core.sharded.shard_wall_ms");
   std::vector<std::thread> threads;
   threads.reserve(shard_count_);
   for (u32 s = 0; s < shard_count_; ++s) {
-    threads.emplace_back([this, s, &shard_batches, &results] {
-      results[s] = shards_[s]->aggregate(std::move(shard_batches[s]));
-    });
+    threads.emplace_back(
+        [this, s, &shard_batches, &results, &shard_wall_ms, &shard_wall_hist] {
+          const auto shard_start = std::chrono::steady_clock::now();
+          results[s] = shards_[s]->aggregate(shard_batches[s]);
+          shard_wall_ms[s] = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - shard_start)
+                                 .count();
+          shard_wall_hist.record(shard_wall_ms[s]);
+        });
   }
   for (auto& t : threads) t.join();
 
@@ -238,6 +257,19 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
   round.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+
+  // Shard imbalance: slowest shard over the mean — 1.0 means a perfectly
+  // balanced round, larger means stragglers dominate the §7 speedup.
+  const double max_wall =
+      *std::max_element(shard_wall_ms.begin(), shard_wall_ms.end());
+  double sum_wall = 0;
+  for (double w : shard_wall_ms) sum_wall += w;
+  const double mean_wall = sum_wall / static_cast<double>(shard_count_);
+  if (mean_wall > 0) {
+    metrics.gauge("core.sharded.imbalance").set(max_wall / mean_wall);
+  }
+  metrics.histogram("core.sharded.round_wall_ms").record(round.wall_ms);
+  metrics.counter("core.sharded.rounds").add(1);
   return round;
 }
 

@@ -67,8 +67,15 @@ class ShardedAggregationService {
   };
 
   /// Run one round: split-prove every batch, then aggregate all shards in
-  /// parallel threads.
-  Result<Round> aggregate(std::vector<netflow::RLogBatch> batches);
+  /// parallel threads. Batches are borrowed, matching
+  /// AggregationService::aggregate.
+  Result<Round> aggregate(std::span<const netflow::RLogBatch> batches);
+
+  /// Convenience for literal batch lists: aggregate({a, b}).
+  Result<Round> aggregate(std::initializer_list<netflow::RLogBatch> batches) {
+    return aggregate(
+        std::span<const netflow::RLogBatch>(batches.begin(), batches.size()));
+  }
 
   u32 shard_count() const { return shard_count_; }
   const CLogState& shard_state(u32 shard) const {

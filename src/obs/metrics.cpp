@@ -1,0 +1,286 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace zkt::obs {
+
+namespace {
+
+/// fetch_add for atomic<double> via CAS (portable pre-C++20-atomic-float).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Locale-independent shortest-ish double rendering that is valid JSON.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double v) {
+  if (!(v >= 1)) return 0;  // negatives and NaN clamp low
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1) -> v in [2^(exp-1), 2^exp)
+  return std::clamp(exp, 1, kBuckets - 1);
+}
+
+double Histogram::bucket_upper_bound(int i) {
+  return i <= 0 ? 1.0 : std::ldexp(1.0, i);
+}
+
+void Histogram::record(double v) {
+  if (std::isnan(v)) return;
+  if (v < 0) v = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kMinInit, std::memory_order_relaxed);
+  max_.store(kMaxInit, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  u64 cumulative = 0;
+  for (const auto& [upper, n] : buckets) {
+    if (static_cast<double>(cumulative + n) >= target) {
+      const double lower = upper <= 1.0 ? 0.0 : upper / 2.0;
+      const double within =
+          n == 0 ? 0
+                 : (target - static_cast<double>(cumulative)) /
+                       static_cast<double>(n);
+      const double est = lower + within * (upper - lower);
+      return std::clamp(est, min, max);
+    }
+    cumulative += n;
+  }
+  return max;
+}
+
+const u64* Snapshot::find_counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const double* Snapshot::find_gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::find_histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": " + format_double(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_string(out, name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + format_double(h.sum);
+    out += ", \"min\": " + format_double(h.min);
+    out += ", \"max\": " + format_double(h.max);
+    out += ", \"p50\": " + format_double(h.p50());
+    out += ", \"p90\": " + format_double(h.p90());
+    out += ", \"p99\": " + format_double(h.p99());
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [upper, n] : h.buckets) {
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"le\": " + format_double(upper) +
+             ", \"count\": " + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string Snapshot::to_table() const {
+  std::string out;
+  char line[256];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : counters) {
+      std::snprintf(line, sizeof(line), "  %-44s %20llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += line;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : gauges) {
+      std::snprintf(line, sizeof(line), "  %-44s %20.3f\n", name.c_str(),
+                    value);
+      out += line;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:"
+           "                                        count       mean        "
+           "p50        p90        p99        max\n";
+    for (const auto& [name, h] : histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-44s %9llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.mean(), h.p50(), h.p90(), h.p99(), h.max);
+      out += line;
+    }
+  }
+  return out;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count_.load(std::memory_order_relaxed);
+    hs.sum = h->sum_.load(std::memory_order_relaxed);
+    hs.min = hs.count == 0 ? 0 : h->min_.load(std::memory_order_relaxed);
+    hs.max = hs.count == 0 ? 0 : h->max_.load(std::memory_order_relaxed);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const u64 n = h->buckets_[i].load(std::memory_order_relaxed);
+      if (n != 0) {
+        hs.buckets.emplace_back(Histogram::bucket_upper_bound(i), n);
+      }
+    }
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace zkt::obs

@@ -1,0 +1,163 @@
+// zkt::obs — lightweight, thread-safe metrics for the proving hot paths.
+//
+// The paper's evaluation (§6, Fig. 4, Table 1) is entirely about *where
+// proving time goes*: cycles, SHA rows, segments, per-phase guest regions.
+// This subsystem turns those one-off ProveInfo printouts into a uniform,
+// process-wide instrument set:
+//
+//   Counter    — monotonic u64 (proofs produced, cycles spent, rows pruned)
+//   Gauge      — last-set double (entries in the CLog, pending-window lag)
+//   Histogram  — log-bucketed distribution (latencies, batch sizes); powers
+//                of two, so bucket i ≥ 1 covers [2^(i-1), 2^i)
+//
+// Instruments live in a Registry (usually Registry::instance()). Lookup
+// takes a mutex; updates are lock-free atomics, so instrumented code paths
+// — including the sharded prover's per-shard threads — never serialize on
+// the registry. References returned by counter()/gauge()/histogram() stay
+// valid for the registry's lifetime (reset() zeroes values in place).
+//
+// Export is snapshot-based: snapshot() captures a consistent, name-sorted
+// view which renders to JSON (the schema documented in docs/OBSERVABILITY.md
+// and shared by the tools' --metrics-json flags and the bench harness) or a
+// human-readable table. No instrument ever performs I/O.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace zkt::obs {
+
+/// Monotonically increasing event/quantity count.
+class Counter {
+ public:
+  void add(u64 n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<u64> value_{0};
+};
+
+/// Last-written instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Log-bucketed distribution of non-negative samples. Bucket 0 holds
+/// samples < 1; bucket i ≥ 1 holds [2^(i-1), 2^i). Values beyond the last
+/// bucket clamp into it (upper bound ~5.5e11, far past any latency or batch
+/// size we record).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void record(double v);
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Inclusive upper bound of bucket `i` (2^i; 1 for bucket 0).
+  static double bucket_upper_bound(int i);
+  /// Bucket index a sample lands in.
+  static int bucket_index(double v);
+
+  void reset();
+
+ private:
+  friend class Registry;
+
+  // Sentinels at the far ends so concurrent first samples need no special
+  // casing; snapshots report 0 for min/max while count_ == 0.
+  static constexpr double kMinInit = 1e300;
+  static constexpr double kMaxInit = -1e300;
+
+  std::atomic<u64> count_{0};
+  std::atomic<u64> buckets_[kBuckets] = {};
+  // sum/min/max maintained with CAS loops (std::atomic<double> arithmetic
+  // is C++20 but min/max exchange is not).
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{kMinInit};
+  std::atomic<double> max_{kMaxInit};
+};
+
+/// Point-in-time copy of one histogram, with quantile estimation.
+struct HistogramSnapshot {
+  u64 count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  /// (upper_bound, samples) for every non-empty bucket, ascending.
+  std::vector<std::pair<double, u64>> buckets;
+
+  double mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+  /// Estimated quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket, clamped to [min, max].
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// Consistent, name-sorted view of every instrument in a registry.
+struct Snapshot {
+  std::vector<std::pair<std::string, u64>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  const u64* find_counter(std::string_view name) const;
+  const double* find_gauge(std::string_view name) const;
+  const HistogramSnapshot* find_histogram(std::string_view name) const;
+
+  /// Render as JSON (the schema in docs/OBSERVABILITY.md). Deterministic:
+  /// names are sorted and formatting is locale-independent.
+  std::string to_json() const;
+  /// Render as an aligned human-readable table.
+  std::string to_table() const;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Named instrument registry. Instruments are created on first use and never
+/// removed; returned references remain valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the library's instrumentation records into.
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+
+  /// Zero every instrument's value in place (registrations — and references
+  /// held by callers — stay valid). Tests and benches use this to isolate
+  /// measurement windows on the shared instance().
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace zkt::obs

@@ -1,0 +1,34 @@
+#include "obs/trace.h"
+
+namespace zkt::obs {
+
+namespace {
+
+thread_local ScopedSpan* t_current = nullptr;
+thread_local u32 t_depth = 0;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name, Registry& registry)
+    : registry_(&registry),
+      path_(t_current == nullptr ? std::string(name)
+                                 : t_current->path_ + "/" + std::string(name)),
+      start_(std::chrono::steady_clock::now()),
+      parent_(t_current) {
+  t_current = this;
+  ++t_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  registry_->histogram("span." + path_ + ".ms").record(ms);
+  registry_->counter("span." + path_ + ".calls").add(1);
+  t_current = parent_;
+  --t_depth;
+}
+
+u32 ScopedSpan::depth() { return t_depth; }
+
+}  // namespace zkt::obs

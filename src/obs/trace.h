@@ -1,0 +1,53 @@
+// zkt::obs trace spans — nestable scoped timers on top of the metrics
+// registry.
+//
+// A ScopedSpan measures the wall time of a lexical scope and records it into
+// the registry when it closes. Spans nest per thread: a span opened while
+// another is active becomes its child, and records under the joined path
+//
+//   span.<parent>/<child>.ms       (histogram of durations)
+//   span.<parent>/<child>.calls    (counter of completions)
+//
+// so e.g. the prover's commit phase inside an aggregation round shows up as
+// `span.prove/commit.ms`. The nesting stack is thread-local: spans on the
+// sharded prover's worker threads each root their own path and never contend
+// beyond the registry's atomics.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace zkt::obs {
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      Registry& registry = Registry::instance());
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Slash-joined path from this thread's root span, e.g. "prove/commit".
+  const std::string& path() const { return path_; }
+
+  /// Number of spans currently open on the calling thread.
+  static u32 depth();
+
+ private:
+  Registry* registry_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  ScopedSpan* parent_;
+};
+
+#define ZKT_OBS_SPAN_CAT2(a, b) a##b
+#define ZKT_OBS_SPAN_CAT(a, b) ZKT_OBS_SPAN_CAT2(a, b)
+/// Time the rest of the enclosing scope as an obs span.
+#define ZKT_OBS_SPAN(name) \
+  ::zkt::obs::ScopedSpan ZKT_OBS_SPAN_CAT(_zkt_obs_span_, __LINE__)(name)
+
+}  // namespace zkt::obs

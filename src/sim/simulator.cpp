@@ -1,9 +1,11 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/log.h"
+#include "obs/metrics.h"
 
 namespace zkt::sim {
 
@@ -17,6 +19,7 @@ Status flush_window(u32 router_id, u64 window_id,
                     store::LogStore& store, core::CommitmentBoard& board,
                     NetFlowSimulator::RouterStats& stats) {
   if (records.empty()) return {};
+  const auto flush_start = std::chrono::steady_clock::now();
   // Deterministic record order within a batch.
   std::sort(records.begin(), records.end(),
             [](const netflow::FlowRecord& a, const netflow::FlowRecord& b) {
@@ -58,6 +61,16 @@ Status flush_window(u32 router_id, u64 window_id,
 
   ++stats.batches;
   stats.records += batch.records.size();
+
+  obs::Registry& metrics = obs::Registry::instance();
+  metrics.counter("sim.windows_committed").add(1);
+  metrics.counter("sim.records_committed").add(batch.records.size());
+  metrics.histogram("sim.window_flush_ms")
+      .record(std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - flush_start)
+                  .count());
+  metrics.histogram("sim.records_per_window")
+      .record(static_cast<double>(batch.records.size()));
   return {};
 }
 

@@ -1,9 +1,12 @@
 #include "zvm/prover.h"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "crypto/transcript.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "zvm/verifier.h"
 
 namespace zkt::zvm {
@@ -45,6 +48,9 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
                               const ProveOptions& options,
                               ProveInfo* info) const {
   const auto start = std::chrono::steady_clock::now();
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan prove_span("prove");
+  std::optional<obs::ScopedSpan> phase;
 
   const Image* image = registry_->find(image_id);
   if (image == nullptr) {
@@ -63,20 +69,26 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
     ZKT_TRY(verifier.verify(inner, inner.claim.image_id));
   }
 
+  phase.emplace("execute");
   Env env(input, options.assumptions);
   Claim claim;
   claim.image_id = image_id;
   claim.input_digest = env.bind_input();
 
-  ZKT_TRY(image->fn(env));
+  if (auto guest = image->fn(env); !guest.ok()) {
+    metrics.counter("zvm.prover.guest_aborts").add(1);
+    return guest.error();
+  }
   env.end_region();  // close any region the guest left open
 
   claim.journal_digest = env.bind_journal();
   claim.cycle_count = env.cycles();
   claim.assumptions = env.assumptions();
+  phase.reset();
 
   const double execute_ms = ms_since(start);
   const auto commit_start = std::chrono::steady_clock::now();
+  phase.emplace("commit");
 
   // Serialize rows once; segments index into this.
   const auto& trace = env.trace();
@@ -98,7 +110,10 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
   std::vector<crypto::MerkleTree> trees(segment_count);
   std::vector<u64> seg_start(segment_count), seg_rows(segment_count);
   {
+    obs::Histogram& segment_commit_ms =
+        metrics.histogram("zvm.prover.segment_commit_ms");
     auto build_segment = [&](u64 seg) {
+      const auto seg_begin_time = std::chrono::steady_clock::now();
       const u64 begin = seg * options.max_segment_rows;
       const u64 end = std::min(total_rows, begin + options.max_segment_rows);
       seg_start[seg] = begin;
@@ -109,6 +124,7 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
         leaves.push_back(crypto::MerkleTree::hash_leaf(row_bytes[i]));
       }
       trees[seg] = crypto::MerkleTree(std::move(leaves));
+      segment_commit_ms.record(ms_since(seg_begin_time));
     };
     if (segment_count > 1) {
       std::vector<std::thread> workers;
@@ -134,6 +150,9 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
   }
 
   // Fiat–Shamir challenges bind the full root list, then open per segment.
+  phase.reset();
+  phase.emplace("fs_open");
+  const auto fs_start = std::chrono::steady_clock::now();
   const Digest32 claim_digest = claim.digest();
   const Digest32 roots_digest = receipt.composite.roots_digest();
   for (u64 seg = 0; seg < segment_count; ++seg) {
@@ -151,8 +170,11 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
       segment.openings.push_back(std::move(opening));
     }
   }
+  metrics.histogram("zvm.prover.fs_derive_ms").record(ms_since(fs_start));
+  phase.reset();
 
   if (options.seal_kind == SealKind::succinct) {
+    phase.emplace("wrap");
     // Wrap: self-verify the composite receipt, then emit the constant-size
     // seal. Assumptions are resolved by this step (their receipts were
     // verified above and the wrapper attests to the whole tree).
@@ -163,7 +185,16 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
     wrapped.seal_kind = SealKind::succinct;
     wrapped.succinct = SuccinctSeal::wrap(claim_digest, roots_digest);
     receipt = std::move(wrapped);
+    phase.reset();
   }
+
+  metrics.counter("zvm.prover.proofs").add(1);
+  metrics.counter("zvm.prover.cycles").add(claim.cycle_count);
+  metrics.counter("zvm.prover.sha_rows").add(sha_rows);
+  metrics.counter("zvm.prover.segments").add(segment_count);
+  metrics.histogram("zvm.prover.execute_ms").record(execute_ms);
+  metrics.histogram("zvm.prover.commit_ms").record(ms_since(commit_start));
+  metrics.histogram("zvm.prover.total_ms").record(ms_since(start));
 
   if (info != nullptr) {
     info->cycles = claim.cycle_count;

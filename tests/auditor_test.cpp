@@ -179,7 +179,8 @@ TEST(Auditor, ModeConfusionRejected) {
   ASSERT_TRUE(auditor.accept_round(r0.receipt).ok());
   QueryService queries(p.service);
   const Query q = Query::count();
-  auto selective = queries.run_selective(q);
+  auto selective = queries.run(q, {.mode = QueryMode::selective,
+                                   .prove_options_override = {}});
   ASSERT_TRUE(selective.ok());
 
   auto confused = selective.value().receipt;

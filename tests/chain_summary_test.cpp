@@ -51,7 +51,7 @@ TEST(ChainSummary, SummarizesAndFastSyncs) {
   EXPECT_EQ(summary.value().journal.final_root, fx.service.state().root());
   EXPECT_EQ(summary.value().journal.final_entry_count, 4u);
   EXPECT_EQ(summary.value().journal.final_claim_digest,
-            fx.service.last_claim_digest());
+            fx.service.last_claim_digest().value());
   EXPECT_EQ(summary.value().journal.commitments.size(), 3u);
 
   // One verification replaces replaying all three rounds.

@@ -49,7 +49,8 @@ TEST(Describe, QueryReceiptBothModes) {
   QueryService queries(fx.service);
   Query q = Query::sum(QField::bytes);
   auto complete = queries.run(q);
-  auto selective = queries.run_selective(q);
+  auto selective = queries.run(q, {.mode = QueryMode::selective,
+                                   .prove_options_override = {}});
   ASSERT_TRUE(complete.ok());
   ASSERT_TRUE(selective.ok());
   EXPECT_NE(describe_receipt(complete.value().receipt).find("complete scan"),

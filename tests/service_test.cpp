@@ -80,14 +80,14 @@ TEST(Service, FailedRoundLeavesStateUntouched) {
   AggregationService service(fx.board);
   ASSERT_TRUE(service.aggregate({good}).ok());
   const auto root_before = service.state().root();
-  const auto claim_before = service.last_claim_digest();
+  const auto claim_before = service.last_claim_digest().value();
 
   // Tampered batch for window 2: guest aborts.
   auto bad = fx.committed(0, 2, {3});
   bad.records[0].bytes += 1;
   ASSERT_FALSE(service.aggregate({bad}).ok());
   EXPECT_EQ(service.state().root(), root_before);
-  EXPECT_EQ(service.last_claim_digest(), claim_before);
+  EXPECT_EQ(service.last_claim_digest().value(), claim_before);
   EXPECT_EQ(service.rounds_completed(), 1u);
 
   // And the service still works for honest data afterwards.
@@ -142,7 +142,22 @@ TEST(Service, QueryBeforeAnyRoundFails) {
   AggregationService service(fx.board);
   QueryService queries(service);
   EXPECT_FALSE(queries.run(Query::count()).ok());
-  EXPECT_FALSE(queries.run_selective(Query::count()).ok());
+  EXPECT_FALSE(queries.run(Query::count(), {.mode = QueryMode::selective,
+                                            .prove_options_override = {}})
+                   .ok());
+}
+
+TEST(Service, NoRoundMeansNoClaimDigest) {
+  // The chain head must be an explicit error before genesis — an all-zero
+  // digest would be forgeable as a "previous claim".
+  Fixture fx;
+  AggregationService service(fx.board);
+  ASSERT_FALSE(service.last_claim_digest().ok());
+  EXPECT_EQ(service.last_claim_digest().error().code, Errc::chain_broken);
+  ASSERT_TRUE(service.aggregate({}).ok());
+  EXPECT_TRUE(service.last_claim_digest().ok());
+  EXPECT_EQ(service.last_claim_digest().value(),
+            service.last_receipt().claim.digest());
 }
 
 TEST(Service, SelectiveQueryOnEmptyStateWorks) {
@@ -150,9 +165,50 @@ TEST(Service, SelectiveQueryOnEmptyStateWorks) {
   AggregationService service(fx.board);
   ASSERT_TRUE(service.aggregate({}).ok());
   QueryService queries(service);
-  auto resp = queries.run_selective(Query::count());
+  QueryOptions selective;
+  selective.mode = QueryMode::selective;
+  auto resp = queries.run(Query::count(), selective);
   ASSERT_TRUE(resp.ok()) << resp.error().to_string();
   EXPECT_EQ(resp.value().journal.result.matched, 0u);
+}
+
+TEST(Service, DeprecatedSelectiveShimMatchesUnifiedRun) {
+  Fixture fx;
+  auto batch = fx.committed(0, 1, {1, 2});
+  AggregationService service(fx.board);
+  ASSERT_TRUE(service.aggregate({batch}).ok());
+  QueryService queries(service);
+  auto unified =
+      queries.run(Query::count(), {.mode = QueryMode::selective,
+                                   .prove_options_override = {}});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  auto shimmed = queries.run_selective(Query::count());
+#pragma GCC diagnostic pop
+  ASSERT_TRUE(unified.ok());
+  ASSERT_TRUE(shimmed.ok());
+  EXPECT_EQ(unified.value().value, shimmed.value().value);
+  EXPECT_EQ(unified.value().journal.mode, QueryMode::selective);
+  EXPECT_EQ(shimmed.value().journal.mode, QueryMode::selective);
+}
+
+TEST(Service, QueryOptionsProveOverrideTakesEffect) {
+  Fixture fx;
+  auto batch = fx.committed(0, 1, {1});
+  AggregationService service(fx.board);
+  ASSERT_TRUE(service.aggregate({batch}).ok());
+  QueryService queries(service);  // service default: succinct seals
+  zvm::ProveOptions composite;
+  composite.seal_kind = zvm::SealKind::composite;
+  auto resp = queries.run(Query::count(),
+                          {.mode = QueryMode::complete,
+                           .prove_options_override = composite});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.value().receipt.seal_kind, zvm::SealKind::composite);
+  // Without the override the construction-time options still apply.
+  auto plain = queries.run(Query::count());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain.value().receipt.seal_kind, zvm::SealKind::succinct);
 }
 
 TEST(Service, SegmentedProvingWorksThroughTheFullStack) {

@@ -219,7 +219,7 @@ TEST(Simulator, EndToEndWithAggregationAndAudit) {
   for (u64 window : simulator.committed_windows()) {
     auto batches = simulator.batches_for_window(window);
     ASSERT_TRUE(batches.ok());
-    auto round = service.aggregate(std::move(batches.value()));
+    auto round = service.aggregate(batches.value());
     ASSERT_TRUE(round.ok()) << round.error().to_string();
     ASSERT_TRUE(auditor.accept_round(round.value().receipt).ok());
   }

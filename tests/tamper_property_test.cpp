@@ -127,7 +127,7 @@ TEST(StateTamper, ModifiedHostStateBreaksNextRound) {
 
   AggregateInput input;
   input.has_prev = true;
-  input.prev_claim_digest = service.last_claim_digest();
+  input.prev_claim_digest = service.last_claim_digest().value();
   input.prev_root = service.state().root();
   input.prev_entries = service.state().entry_bytes();
   // Tamper: inflate a counter in entry 0 (root no longer matches entries).

@@ -5,9 +5,13 @@
 // Usage:
 //   zkt-prove --data-dir DIR [--query "sum(hop_sum) where src_ip = 1.1.1.1"]
 //             [--group-by FIELD] [--selective] [--composite]
+//             [--metrics] [--metrics-json [PATH]]
 //
-// Outputs (in DIR): aggregation_receipts.bin, query_receipt.bin.
+// Outputs (in DIR): aggregation_receipts.bin, query_receipt.bin; with
+// --metrics-json also a metrics snapshot (default DIR/metrics.json, schema
+// in docs/OBSERVABILITY.md).
 #include <cstdio>
+#include <fstream>
 
 #include "common/flags.h"
 #include "core/grouped_query.h"
@@ -16,9 +20,38 @@
 #include "core/query_parser.h"
 #include "core/service.h"
 #include "netflow/record.h"
+#include "obs/metrics.h"
 #include "store/logstore.h"
 
 using namespace zkt;
+
+namespace {
+
+/// Final act of every exit path: dump the process-wide metrics as requested.
+int finish(const Flags& flags, const std::string& data_dir, int exit_code) {
+  const auto snapshot = obs::Registry::instance().snapshot();
+  if (flags.has("metrics")) {
+    std::fprintf(stderr, "%s", snapshot.to_table().c_str());
+  }
+  if (flags.has("metrics-json")) {
+    std::string path = flags.get("metrics-json");
+    if (path.empty()) path = data_dir + "/metrics.json";
+    if (path == "-") {
+      std::printf("%s", snapshot.to_json().c_str());
+    } else {
+      std::ofstream out(path);
+      out << snapshot.to_json();
+      if (!out) {
+        std::fprintf(stderr, "metrics-json: cannot write %s\n", path.c_str());
+        return exit_code == 0 ? 1 : exit_code;
+      }
+      std::printf("  metrics -> %s\n", path.c_str());
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -29,13 +62,13 @@ int main(int argc, char** argv) {
       store::StoreConfig{.wal_path = data_dir + "/rlogs.wal"});
   if (auto s = logs.recover(); !s.ok()) {
     std::fprintf(stderr, "store: %s\n", s.to_string().c_str());
-    return 1;
+    return finish(flags, data_dir, 1);
   }
   core::CommitmentBoard board;
   if (auto s = core::load_commitments(data_dir + "/commitments.bin", board);
       !s.ok()) {
     std::fprintf(stderr, "commitments: %s\n", s.to_string().c_str());
-    return 1;
+    return finish(flags, data_dir, 1);
   }
   std::printf("zkt-prove: %llu stored rlog rows, %zu commitments\n",
               (unsigned long long)logs.row_count(store::kTableRlogs),
@@ -53,7 +86,7 @@ int main(int argc, char** argv) {
                  "aggregation FAILED: %s\n(by design: tampered or "
                  "uncommitted data cannot be proven)\n",
                  rounds.error().to_string().c_str());
-    return 2;
+    return finish(flags, data_dir, 2);
   }
   for (const auto& round : rounds.value()) {
     std::printf("  window %llu: %llu entries, %llu cycles, %.1f ms\n",
@@ -69,7 +102,7 @@ int main(int argc, char** argv) {
   if (auto s = core::save_receipts(pipeline.receipts(), receipts_path);
       !s.ok()) {
     std::fprintf(stderr, "save receipts: %s\n", s.to_string().c_str());
-    return 1;
+    return finish(flags, data_dir, 1);
   }
   std::printf("  receipts -> %s (%zu rounds)\n", receipts_path.c_str(),
               pipeline.receipts().size());
@@ -80,7 +113,7 @@ int main(int argc, char** argv) {
     if (!query.ok()) {
       std::fprintf(stderr, "query parse: %s\n",
                    query.error().to_string().c_str());
-      return 1;
+      return finish(flags, data_dir, 1);
     }
     std::printf("  query: %s\n", query.value().to_string().c_str());
     const std::string query_path = data_dir + "/query_receipt.bin";
@@ -97,19 +130,19 @@ int main(int argc, char** argv) {
       if (!group.has_value()) {
         std::fprintf(stderr, "unknown group-by field: %s\n",
                      field_name.c_str());
-        return 1;
+        return finish(flags, data_dir, 1);
       }
       auto response = core::run_grouped_query(aggregation, query.value(),
                                               *group, options);
       if (!response.ok()) {
         std::fprintf(stderr, "grouped query proof: %s\n",
                      response.error().to_string().c_str());
-        return 2;
+        return finish(flags, data_dir, 2);
       }
       if (auto s = core::save_receipts({response.value().receipt}, query_path);
           !s.ok()) {
         std::fprintf(stderr, "save query receipt: %s\n", s.to_string().c_str());
-        return 1;
+        return finish(flags, data_dir, 1);
       }
       std::printf("  %zu groups proven (%.1f ms) -> %s\n",
                   response.value().journal.groups.size(),
@@ -120,28 +153,30 @@ int main(int argc, char** argv) {
                     (unsigned long long)group_entry.stats.value(
                         query.value().agg));
       }
-      return 0;
+      return finish(flags, data_dir, 0);
     }
 
     core::QueryService queries(aggregation, options);
-    auto response = flags.has("selective")
-                        ? queries.run_selective(query.value())
-                        : queries.run(query.value());
+    core::QueryOptions query_options;
+    if (flags.has("selective")) {
+      query_options.mode = core::QueryMode::selective;
+    }
+    auto response = queries.run(query.value(), query_options);
     if (!response.ok()) {
       std::fprintf(stderr, "query proof: %s\n",
                    response.error().to_string().c_str());
-      return 2;
+      return finish(flags, data_dir, 2);
     }
     if (auto s = core::save_receipts({response.value().receipt}, query_path);
         !s.ok()) {
       std::fprintf(stderr, "save query receipt: %s\n",
                    s.to_string().c_str());
-      return 1;
+      return finish(flags, data_dir, 1);
     }
     std::printf("  result = %llu (%s mode, %.1f ms) -> %s\n",
                 (unsigned long long)response.value().value,
                 flags.has("selective") ? "selective" : "complete",
                 response.value().prove_info.total_ms, query_path.c_str());
   }
-  return 0;
+  return finish(flags, data_dir, 0);
 }

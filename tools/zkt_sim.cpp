@@ -6,14 +6,65 @@
 //   zkt-sim --out-dir DIR [--routers 4] [--window-ms 5000]
 //           [--packets 30000] [--flows 150] [--duration-ms 25000]
 //           [--workload zipf|sla|neutrality] [--seed 42] [--path-length 2]
+//           [--metrics] [--metrics-json [PATH]] [--metrics-every-ms N]
+//
+// --metrics-every-ms dumps the sim.* metrics table to stderr every N ms
+// while the simulation runs; --metrics prints it once at the end;
+// --metrics-json writes the JSON snapshot (default DIR/sim_metrics.json).
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
 
 #include "common/flags.h"
 #include "core/io.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 using namespace zkt;
+
+namespace {
+
+/// Dumps the metrics table to stderr every `period_ms` until stopped.
+class PeriodicMetricsDump {
+ public:
+  explicit PeriodicMetricsDump(u64 period_ms) {
+    if (period_ms == 0) return;
+    thread_ = std::thread([this, period_ms] {
+      std::unique_lock lock(mu_);
+      while (!stop_) {
+        if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                         [this] { return stop_; })) {
+          return;
+        }
+        std::fprintf(stderr, "--- metrics ---\n%s",
+                     obs::Registry::instance().snapshot().to_table().c_str());
+      }
+    });
+  }
+
+  ~PeriodicMetricsDump() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -66,9 +117,12 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (auto s = simulator.run(std::move(traffic)); !s.ok()) {
-    std::fprintf(stderr, "simulation: %s\n", s.to_string().c_str());
-    return 1;
+  {
+    PeriodicMetricsDump dumper(flags.get_u64("metrics-every-ms", 0));
+    if (auto s = simulator.run(std::move(traffic)); !s.ok()) {
+      std::fprintf(stderr, "simulation: %s\n", s.to_string().c_str());
+      return 1;
+    }
   }
   if (auto s = core::save_commitments(board, commitments_path); !s.ok()) {
     std::fprintf(stderr, "save commitments: %s\n", s.to_string().c_str());
@@ -86,5 +140,25 @@ int main(int argc, char** argv) {
               (unsigned long long)logs.row_count(store::kTableRlogs));
   std::printf("  commitments -> %s (%zu published)\n",
               commitments_path.c_str(), board.size());
+
+  const auto snapshot = obs::Registry::instance().snapshot();
+  if (flags.has("metrics")) {
+    std::fprintf(stderr, "%s", snapshot.to_table().c_str());
+  }
+  if (flags.has("metrics-json")) {
+    std::string path = flags.get("metrics-json");
+    if (path.empty()) path = out_dir + "/sim_metrics.json";
+    if (path == "-") {
+      std::printf("%s", snapshot.to_json().c_str());
+    } else {
+      std::ofstream out(path);
+      out << snapshot.to_json();
+      if (!out) {
+        std::fprintf(stderr, "metrics-json: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("  metrics     -> %s\n", path.c_str());
+    }
+  }
   return 0;
 }
