@@ -28,7 +28,8 @@ int main() {
     zvm::ProveOptions options;
     options.seal_kind = zvm::SealKind::composite;
     options.num_queries = queries;
-    core::AggregationService service(*workload.board, options);
+    core::AggregationService service(*workload.board,
+                                     core::AggregationOptions{options});
     auto round = service.aggregate(workload.batches);
     if (!round.ok()) return 1;
 
@@ -61,7 +62,8 @@ int main() {
       auto workload = bench::make_committed_workload(n);
       zvm::ProveOptions options;
       options.seal_kind = kind;
-      core::AggregationService service(*workload.board, options);
+      core::AggregationService service(*workload.board,
+                                       core::AggregationOptions{options});
       auto round = service.aggregate(workload.batches);
       if (!round.ok()) return 1;
       zvm::Verifier verifier;

@@ -53,10 +53,12 @@ int main() {
     auto workload2 = bench::make_committed_workload(n);
     zvm::ProveOptions composite;
     composite.seal_kind = zvm::SealKind::composite;
-    core::AggregationService aggregation2(*workload2.board, composite);
+    core::AggregationService aggregation2(*workload2.board,
+                                          core::AggregationOptions{composite});
     auto round2 = aggregation2.aggregate(workload2.batches);
     if (!round2.ok()) return 1;
-    core::QueryService queries2(aggregation2, composite);
+    core::QueryService queries2(aggregation2,
+                                core::QueryServiceOptions{composite});
     auto resp2 = queries2.run(core::Query::sum(core::QField::bytes));
     if (!resp2.ok()) return 1;
 

@@ -1,0 +1,93 @@
+#include "core/chain_snapshot.h"
+
+#include "store/logstore.h"
+
+namespace zkt::core {
+
+namespace {
+constexpr u32 kSnapshotMagic = 0x5A4B4353;  // "ZKCS"
+constexpr u32 kSnapshotVersion = 1;
+}  // namespace
+
+ChainSnapshot ChainSnapshot::capture(u64 round_id, u64 window_id,
+                                     const Digest32& claim_digest,
+                                     const CLogState& state) {
+  ChainSnapshot snap;
+  snap.round_id = round_id;
+  snap.window_id = window_id;
+  snap.claim_digest = claim_digest;
+  snap.root = state.root();
+  snap.entry_count = state.entry_count();
+  Writer w;
+  state.serialize(w);
+  snap.state_bytes = std::move(w).take();
+  return snap;
+}
+
+Result<CLogState> ChainSnapshot::restore_state() const {
+  Reader r(state_bytes);
+  auto state = CLogState::deserialize(r);
+  if (!state.ok()) return state.error();
+  if (!r.done()) {
+    return Error{Errc::parse_error, "trailing bytes in chain snapshot state"};
+  }
+  if (state.value().root() != root ||
+      state.value().entry_count() != entry_count) {
+    return Error{Errc::merkle_mismatch,
+                 "chain snapshot state does not match its recorded root"};
+  }
+  return state;
+}
+
+Bytes ChainSnapshot::to_bytes() const {
+  Writer w;
+  w.u32v(kSnapshotMagic);
+  w.u32v(kSnapshotVersion);
+  w.u64v(round_id);
+  w.u64v(window_id);
+  w.fixed(claim_digest.bytes);
+  w.fixed(root.bytes);
+  w.u64v(entry_count);
+  w.blob(state_bytes);
+  w.u32v(store::crc32(state_bytes));
+  return std::move(w).take();
+}
+
+Result<ChainSnapshot> ChainSnapshot::from_bytes(BytesView data) {
+  Reader r(data);
+  auto magic = r.u32v();
+  if (!magic.ok() || magic.value() != kSnapshotMagic) {
+    return Error{Errc::parse_error, "bad chain snapshot magic"};
+  }
+  auto version = r.u32v();
+  if (!version.ok()) return version.error();
+  if (version.value() != kSnapshotVersion) {
+    return Error{Errc::unsupported, "unknown chain snapshot version"};
+  }
+  ChainSnapshot snap;
+  auto round = r.u64v();
+  if (!round.ok()) return round.error();
+  snap.round_id = round.value();
+  auto window = r.u64v();
+  if (!window.ok()) return window.error();
+  snap.window_id = window.value();
+  ZKT_TRY(r.fixed(snap.claim_digest.bytes));
+  ZKT_TRY(r.fixed(snap.root.bytes));
+  auto entries = r.u64v();
+  if (!entries.ok()) return entries.error();
+  snap.entry_count = entries.value();
+  auto state = r.blob();
+  if (!state.ok()) return state.error();
+  snap.state_bytes = std::move(state.value());
+  auto crc = r.u32v();
+  if (!crc.ok()) return crc.error();
+  if (store::crc32(snap.state_bytes) != crc.value()) {
+    return Error{Errc::parse_error, "chain snapshot state failed CRC"};
+  }
+  if (!r.done()) {
+    return Error{Errc::parse_error, "trailing bytes in chain snapshot"};
+  }
+  return snap;
+}
+
+}  // namespace zkt::core

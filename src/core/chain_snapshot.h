@@ -1,0 +1,47 @@
+// ChainSnapshot: one durable record of the prover's chain position after an
+// aggregation round — the serialized CLog state plus the identifiers that
+// bind it to the round's receipt.
+//
+// ProviderPipeline appends one to store::kTableChainState (k1 = window id,
+// k2 = round id) every checkpoint interval, *before* the round's receipt is
+// appended: a crash between the two leaves an orphan snapshot with no
+// matching receipt, which recover() simply skips in favor of an older one —
+// the receipts table never runs ahead of a usable snapshot for the same
+// round. See docs/RECOVERY.md for the full crash matrix.
+//
+// The snapshot is self-checking (CRC over the state bytes) and
+// cross-checked at recovery: the claim digest must match the stored
+// receipt, and the rebuilt state's Merkle root and entry count must match
+// that receipt's journal. A tampered snapshot therefore cannot silently
+// fork the chain — it fails recovery with a typed error instead.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/serial.h"
+#include "core/clog.h"
+
+namespace zkt::core {
+
+struct ChainSnapshot {
+  u64 round_id = 0;    ///< rounds completed up to and including this round
+  u64 window_id = 0;   ///< last aggregated commitment window
+  Digest32 claim_digest;  ///< claim digest of this round's receipt
+  Digest32 root;          ///< CLog Merkle root after the round
+  u64 entry_count = 0;    ///< CLog entries after the round
+  Bytes state_bytes;      ///< CLogState::serialize output
+
+  /// Build from live chain state (serializes `state`).
+  static ChainSnapshot capture(u64 round_id, u64 window_id,
+                               const Digest32& claim_digest,
+                               const CLogState& state);
+
+  /// Rebuild the CLog state and verify it against the snapshot's own root
+  /// and entry count.
+  Result<CLogState> restore_state() const;
+
+  Bytes to_bytes() const;
+  static Result<ChainSnapshot> from_bytes(BytesView data);
+};
+
+}  // namespace zkt::core

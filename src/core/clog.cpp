@@ -39,6 +39,29 @@ std::vector<CLogUpdate> CLogState::apply_records(
   return updates;
 }
 
+void CLogState::serialize(Writer& w) const {
+  w.varint(entries_.size());
+  for (const auto& entry : entries_) entry.serialize(w);
+}
+
+Result<CLogState> CLogState::deserialize(Reader& r) {
+  auto count = r.varint();
+  if (!count.ok()) return count.error();
+  CLogState state;
+  state.entries_.reserve(count.value());
+  for (u64 i = 0; i < count.value(); ++i) {
+    auto entry = netflow::FlowRecord::deserialize(r);
+    if (!entry.ok()) return entry.error();
+    if (!state.index_.emplace(entry.value().key, i).second) {
+      return Error{Errc::parse_error,
+                   "duplicate flow key in serialized CLog state"};
+    }
+    state.tree_.append_leaf(clog_leaf_digest(entry.value()));
+    state.entries_.push_back(std::move(entry.value()));
+  }
+  return state;
+}
+
 std::vector<Bytes> CLogState::entry_bytes() const {
   std::vector<Bytes> out;
   out.reserve(entries_.size());

@@ -68,6 +68,12 @@ class CLogState {
   /// representing the previous aggregation state).
   std::vector<Bytes> entry_bytes() const;
 
+  /// Serialize the whole state (entry list, in index order). The key index
+  /// and Merkle tree are derived structures and are rebuilt on deserialize,
+  /// so the snapshot stays small and cannot disagree with its entries.
+  void serialize(Writer& w) const;
+  static Result<CLogState> deserialize(Reader& r);
+
  private:
   std::vector<CLogEntry> entries_;
   std::unordered_map<netflow::FlowKey, u64, netflow::FlowKeyHasher> index_;

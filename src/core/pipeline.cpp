@@ -1,23 +1,120 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
-#include <chrono>
-#include <map>
+#include <thread>
 
+#include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace zkt::core {
 
-std::vector<u64> ProviderPipeline::pending_windows() const {
+namespace {
+
+/// Transient errors are worth retrying (a flaky disk or a briefly
+/// unavailable backend); everything else — parse errors, integrity
+/// violations, proof failures — is terminal and must halt the chain.
+bool is_transient(Errc code) { return code == Errc::io_error; }
+
+double ms(std::chrono::milliseconds d) {
+  return static_cast<double>(d.count());
+}
+
+}  // namespace
+
+Status ProviderPipeline::with_retry(
+    const char* what, const std::function<Status()>& op) const {
+  obs::Registry& metrics = obs::Registry::instance();
+  const RetryPolicy& policy = options_.retry;
+  const u32 attempts = std::max<u32>(policy.max_attempts, 1);
+  std::chrono::milliseconds backoff = policy.base_backoff;
+  for (u32 attempt = 1;; ++attempt) {
+    Status status = op();
+    if (status.ok() || !is_transient(status.code()) || attempt >= attempts) {
+      return status;
+    }
+    ZKT_LOG(warn) << what << " failed transiently (attempt " << attempt << "/"
+                  << attempts << "): " << status.to_string()
+                  << "; backing off " << backoff.count() << " ms";
+    metrics.counter("core.pipeline.retries").add(1);
+    metrics.histogram("core.pipeline.retry_backoff_ms").record(ms(backoff));
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, policy.max_backoff);
+  }
+}
+
+Result<std::vector<u64>> ProviderPipeline::pending_windows() const {
   std::vector<u64> windows;
   const u64 from = last_window_.has_value() ? *last_window_ + 1 : 0;
-  for (const auto& row : store_->scan(store::kTableRlogs, from, ~0ULL)) {
-    windows.push_back(row.k1);
-  }
+  Status scanned = with_retry("pending-window scan", [&]() -> Status {
+    windows.clear();
+    return store_->for_each(store::kTableRlogs, from, ~0ULL,
+                            [&](const store::StoredRow& row) {
+                              windows.push_back(row.k1);
+                            });
+  });
+  if (!scanned.ok()) return scanned.error();
   std::sort(windows.begin(), windows.end());
   windows.erase(std::unique(windows.begin(), windows.end()), windows.end());
   return windows;
+}
+
+Status ProviderPipeline::load_batches(
+    u64 window, std::vector<netflow::RLogBatch>& batches) const {
+  return with_retry("window batch load", [&]() -> Status {
+    batches.clear();
+    Status parse_status;
+    Status scanned = store_->for_each(
+        store::kTableRlogs, window, window,
+        [&](const store::StoredRow& row) {
+          if (!parse_status.ok()) return;
+          Reader r(row.payload);
+          auto batch = netflow::RLogBatch::deserialize(r);
+          if (!batch.ok()) {
+            parse_status = batch.error();
+            return;
+          }
+          if (!r.done()) {
+            parse_status =
+                Error{Errc::parse_error, "trailing bytes in stored batch"};
+            return;
+          }
+          batches.push_back(std::move(batch.value()));
+        });
+    if (!scanned.ok()) return scanned;
+    return parse_status;
+  });
+}
+
+Status ProviderPipeline::persist_round(u64 window,
+                                       const AggregationRound& round) {
+  obs::Registry& metrics = obs::Registry::instance();
+  // Snapshot BEFORE receipt: a crash between the two appends leaves an
+  // orphan snapshot (skipped at recover()) rather than a receipt the next
+  // process would have to re-prove. See docs/RECOVERY.md.
+  const bool snapshot_due =
+      options_.checkpoint_every_n_rounds > 0 &&
+      rounds_since_snapshot_ + 1 >= options_.checkpoint_every_n_rounds;
+  if (snapshot_due) {
+    const ChainSnapshot snap =
+        ChainSnapshot::capture(round.round_id + 1, window,
+                               round.receipt.claim.digest(),
+                               aggregation_.state());
+    const Bytes payload = snap.to_bytes();
+    ZKT_TRY(with_retry("chain snapshot append", [&]() -> Status {
+      auto id = store_->append(store::kTableChainState, window,
+                               round.round_id, payload);
+      return id.ok() ? Status{} : Status(id.error());
+    }));
+    metrics.counter("core.pipeline.snapshots").add(1);
+  }
+  ZKT_TRY(with_retry("receipt append", [&]() -> Status {
+    auto id = store_->append(store::kTableReceipts, window, round.round_id,
+                             round.receipt.to_bytes());
+    return id.ok() ? Status{} : Status(id.error());
+  }));
+  rounds_since_snapshot_ = snapshot_due ? 0 : rounds_since_snapshot_ + 1;
+  return {};
 }
 
 u64 ProviderPipeline::prune_aggregated() {
@@ -31,33 +128,27 @@ Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
   obs::Registry& metrics = obs::Registry::instance();
   obs::ScopedSpan span("pipeline_aggregate_pending");
 
-  const std::vector<u64> pending = pending_windows();
+  auto pending = pending_windows();
+  if (!pending.ok()) return pending.error();
   // Pending-window lag before this run: how far the provider's proof chain
   // trails the routers' committed windows.
   metrics.gauge("core.pipeline.pending_windows")
-      .set(static_cast<double>(pending.size()));
+      .set(static_cast<double>(pending.value().size()));
 
   std::vector<AggregationRound> rounds;
-  for (u64 window : pending) {
+  for (u64 window : pending.value()) {
     const auto round_start = std::chrono::steady_clock::now();
     std::vector<netflow::RLogBatch> batches;
-    for (const auto& row :
-         store_->scan(store::kTableRlogs, window, window)) {
-      Reader r(row.payload);
-      auto batch = netflow::RLogBatch::deserialize(r);
-      if (!batch.ok()) return batch.error();
-      if (!r.done()) {
-        return Error{Errc::parse_error, "trailing bytes in stored batch"};
-      }
-      batches.push_back(std::move(batch.value()));
+    if (Status loaded = load_batches(window, batches); !loaded.ok()) {
+      return loaded.error();
     }
     auto round = aggregation_.aggregate(batches);
     if (!round.ok()) return round.error();
 
-    auto stored = store_->append(store::kTableReceipts, window,
-                                 round.value().round_id,
-                                 round.value().receipt.to_bytes());
-    if (!stored.ok()) return stored.error();
+    if (Status persisted = persist_round(window, round.value());
+        !persisted.ok()) {
+      return persisted.error();
+    }
     receipts_.push_back(round.value().receipt);
     last_window_ = window;
     rounds.push_back(std::move(round.value()));
@@ -70,9 +161,131 @@ Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
         .record(static_cast<double>(batches.size()));
     metrics.counter("core.pipeline.windows_aggregated").add(1);
     metrics.gauge("core.pipeline.pending_windows")
-        .set(static_cast<double>(pending.size() - rounds.size()));
+        .set(static_cast<double>(pending.value().size() - rounds.size()));
+  }
+  if (options_.prune_aggregated && !rounds.empty()) {
+    prune_aggregated();
   }
   return rounds;
+}
+
+Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover() {
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan span("pipeline_recover");
+  if (aggregation_.has_rounds() || last_window_.has_value()) {
+    return Error{Errc::invalid_argument,
+                 "recover() must run before any aggregation"};
+  }
+
+  RecoveryInfo info;
+
+  std::vector<store::StoredRow> snapshot_rows;
+  Status scanned = with_retry("chain-state scan", [&]() -> Status {
+    snapshot_rows.clear();
+    return store_->for_each(store::kTableChainState, 0, ~0ULL,
+                            [&](const store::StoredRow& row) {
+                              snapshot_rows.push_back(row);
+                            });
+  });
+  if (!scanned.ok()) return scanned.error();
+
+  // Adopt the newest snapshot whose receipt checks out. Orphans (snapshot
+  // appended, crash before its receipt) and unreadable rows are skipped in
+  // favor of an older snapshot; a snapshot that *contradicts* its receipt
+  // fails terminally below, inside restore().
+  std::optional<ChainSnapshot> adopted;
+  for (auto it = snapshot_rows.rbegin();
+       it != snapshot_rows.rend() && !adopted.has_value(); ++it) {
+    auto snap = ChainSnapshot::from_bytes(it->payload);
+    if (!snap.ok()) {
+      ZKT_LOG(warn) << "skipping unreadable chain snapshot (row " << it->id
+                    << "): " << snap.error().to_string();
+      ++info.snapshots_skipped;
+      continue;
+    }
+    auto receipt_row = store_->latest(store::kTableReceipts,
+                                      snap.value().window_id);
+    if (!receipt_row.has_value()) {
+      // Crash between snapshot append and receipt append.
+      ++info.snapshots_skipped;
+      continue;
+    }
+    auto receipt = zvm::Receipt::from_bytes(receipt_row->payload);
+    if (!receipt.ok()) return receipt.error();
+    if (receipt.value().claim.digest() != snap.value().claim_digest) {
+      ZKT_LOG(warn) << "skipping chain snapshot for window "
+                    << snap.value().window_id
+                    << ": stored receipt has a different claim digest";
+      ++info.snapshots_skipped;
+      continue;
+    }
+    auto state = snap.value().restore_state();
+    if (!state.ok()) return state.error();
+    ZKT_TRY(aggregation_.restore(std::move(state.value()),
+                                 std::move(receipt.value()),
+                                 snap.value().round_id));
+    adopted = std::move(snap.value());
+  }
+  if (adopted.has_value()) {
+    info.resumed = true;
+    info.rounds_restored = adopted->round_id;
+    last_window_ = adopted->window_id;
+  }
+
+  // Roll forward over receipts proven after the adopted snapshot (or from
+  // genesis when no snapshot was usable) by replaying their raw batches —
+  // verified against the receipts' journals, never re-proven.
+  std::vector<store::StoredRow> receipt_rows;
+  scanned = with_retry("receipt scan", [&]() -> Status {
+    receipt_rows.clear();
+    return store_->for_each(store::kTableReceipts, 0, ~0ULL,
+                            [&](const store::StoredRow& row) {
+                              receipt_rows.push_back(row);
+                            });
+  });
+  if (!scanned.ok()) return scanned.error();
+  std::sort(receipt_rows.begin(), receipt_rows.end(),
+            [](const store::StoredRow& a, const store::StoredRow& b) {
+              return std::tie(a.k1, a.id) < std::tie(b.k1, b.id);
+            });
+
+  for (const auto& row : receipt_rows) {
+    auto receipt = zvm::Receipt::from_bytes(row.payload);
+    if (!receipt.ok()) return receipt.error();
+    if (adopted.has_value() && row.k1 <= adopted->window_id) {
+      // Part of the chain the snapshot already vouches for.
+      receipts_.push_back(std::move(receipt.value()));
+      continue;
+    }
+    std::vector<netflow::RLogBatch> batches;
+    if (Status loaded = load_batches(row.k1, batches); !loaded.ok()) {
+      return loaded.error();
+    }
+    if (batches.empty()) {
+      return Error{Errc::chain_broken,
+                   "receipt for window " + std::to_string(row.k1) +
+                       " has no raw logs to replay (pruned before a chain "
+                       "snapshot covered it?)"};
+    }
+    ZKT_TRY(aggregation_.replay_round(batches, receipt.value()));
+    receipts_.push_back(std::move(receipt.value()));
+    last_window_ = row.k1;
+    ++info.rounds_replayed;
+    info.resumed = true;
+  }
+
+  info.last_window = last_window_;
+  if (info.resumed) {
+    metrics.counter("core.pipeline.recoveries").add(1);
+    metrics.gauge("core.pipeline.recovered_rounds")
+        .set(static_cast<double>(info.rounds_restored + info.rounds_replayed));
+    ZKT_LOG(info) << "pipeline recovered: " << info.rounds_restored
+                  << " rounds from snapshot, " << info.rounds_replayed
+                  << " replayed, resuming after window "
+                  << (last_window_.has_value() ? std::to_string(*last_window_)
+                                               : std::string("none"));
+  }
+  return info;
 }
 
 }  // namespace zkt::core

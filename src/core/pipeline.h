@@ -4,34 +4,114 @@
 // "aggregation phase … runs independently in the background" of §4,
 // packaged as a library component (the zkt-prove tool and the simulator
 // integration tests drive it).
+//
+// Crash safety: every checkpoint interval the pipeline appends a
+// core::ChainSnapshot (serialized CLog state + round identifiers) to
+// store::kTableChainState, and recover() resumes a restarted process from
+// the newest snapshot whose receipt checks out — rolling forward over any
+// receipts proven after it without re-proving (see docs/RECOVERY.md).
+//
+// Failure policy: transient store errors (io_error) are retried with
+// exponential backoff per RetryPolicy; integrity failures (tampered or
+// uncommitted data, broken chains) are terminal and halt the chain, per §6.
 #pragma once
 
+#include <chrono>
+
+#include "core/chain_snapshot.h"
 #include "core/service.h"
 #include "store/logstore.h"
 
 namespace zkt::core {
 
+/// Bounded retry-with-backoff for transient storage errors.
+struct RetryPolicy {
+  /// Total attempts per store operation (1 = no retry).
+  u32 max_attempts = 3;
+  /// First backoff; doubles per retry up to max_backoff.
+  std::chrono::milliseconds base_backoff{10};
+  std::chrono::milliseconds max_backoff{1'000};
+};
+
+/// Construction-time knobs for ProviderPipeline. Growing this struct is the
+/// supported way to add knobs — not new positional constructor parameters.
+struct PipelineOptions {
+  zvm::ProveOptions prove_options;
+  /// Persist a chain snapshot every N rounds (1 = every round). 0 disables
+  /// snapshots: recover() then replays the whole receipt chain from the raw
+  /// logs, so only use 0 when the store never prunes.
+  u64 checkpoint_every_n_rounds = 1;
+  RetryPolicy retry;
+  /// After a successful aggregate_pending(), drop raw logs for aggregated
+  /// windows (the paper's retention model). Leave off when recover() must
+  /// be able to roll forward past the last snapshot.
+  bool prune_aggregated = false;
+};
+
 class ProviderPipeline {
  public:
   ProviderPipeline(store::LogStore& store, const CommitmentBoard& board,
-                   zvm::ProveOptions prove_options = {})
-      : store_(&store), aggregation_(board, std::move(prove_options)) {}
+                   PipelineOptions options = {})
+      : store_(&store),
+        options_(std::move(options)),
+        aggregation_(board,
+                     AggregationOptions{.prove_options =
+                                            options_.prove_options}) {}
+
+  /// Deprecated shim (one PR): pass PipelineOptions instead.
+  [[deprecated("use ProviderPipeline(store, board, {.prove_options = ...})")]]
+  ProviderPipeline(store::LogStore& store, const CommitmentBoard& board,
+                   zvm::ProveOptions prove_options)
+      : ProviderPipeline(store, board, [&prove_options] {
+          PipelineOptions options;
+          options.prove_options = std::move(prove_options);
+          return options;
+        }()) {}
+
+  /// What recover() found and did.
+  struct RecoveryInfo {
+    /// False when the store held no usable chain state (fresh start).
+    bool resumed = false;
+    /// Rounds restored directly from the adopted snapshot.
+    u64 rounds_restored = 0;
+    /// Rounds rolled forward from receipts proven after that snapshot.
+    u64 rounds_replayed = 0;
+    /// Snapshots that were skipped (orphaned by a crash before their
+    /// receipt was appended, or unreadable).
+    u64 snapshots_skipped = 0;
+    /// Last aggregated window after recovery, if any.
+    std::optional<u64> last_window;
+  };
+
+  /// Resume a previous process's chain from the store: adopt the newest
+  /// chain snapshot whose receipt verifies (claim digest AND journal root
+  /// against the rebuilt state), then roll forward over receipts proven
+  /// after it by replaying their raw batches — no re-proving. Only valid
+  /// before the first aggregate_pending(). Integrity violations (snapshot/
+  /// receipt mismatch, missing raw logs for a later receipt) are terminal
+  /// typed errors; a store with no chain state recovers to a fresh start.
+  Result<RecoveryInfo> recover();
 
   /// Aggregate every committed window newer than the last one processed,
-  /// in ascending window order. Each round's receipt is appended to the
-  /// store's receipts table (k1 = window id). Returns the rounds proven in
-  /// this call (possibly empty). Stops at — and returns — the first failure
-  /// (a tampered window blocks the chain, by design).
+  /// in ascending window order. Each round persists a chain snapshot (per
+  /// options.checkpoint_every_n_rounds) and then the round's receipt
+  /// (k1 = window id). Returns the rounds proven in this call (possibly
+  /// empty). Stops at — and returns — the first terminal failure (a
+  /// tampered window blocks the chain, by design); transient store errors
+  /// are retried per options.retry first.
   Result<std::vector<AggregationRound>> aggregate_pending();
 
   /// Windows present in the store's rlogs table that have not been
-  /// aggregated yet.
-  std::vector<u64> pending_windows() const;
+  /// aggregated yet. Store read failures surface as errors (after
+  /// retries) — an unreadable store is not "no pending work".
+  Result<std::vector<u64>> pending_windows() const;
 
   bool has_rounds() const { return aggregation_.has_rounds(); }
   const AggregationService& aggregation() const { return aggregation_; }
+  const PipelineOptions& options() const { return options_; }
 
-  /// All receipts proven by this pipeline, in round order.
+  /// All receipts in the chain, in round order — including rounds recovered
+  /// from the store by recover().
   const std::vector<zvm::Receipt>& receipts() const { return receipts_; }
 
   /// Drop raw logs whose windows have been aggregated under proof — the
@@ -42,10 +122,19 @@ class ProviderPipeline {
   u64 prune_aggregated();
 
  private:
+  /// Run `op` (returning Status) with bounded retry on transient errors.
+  Status with_retry(const char* what,
+                    const std::function<Status()>& op) const;
+  Status persist_round(u64 window, const AggregationRound& round);
+  Status load_batches(u64 window,
+                      std::vector<netflow::RLogBatch>& batches) const;
+
   store::LogStore* store_;
+  PipelineOptions options_;
   AggregationService aggregation_;
   std::vector<zvm::Receipt> receipts_;
   std::optional<u64> last_window_;
+  u64 rounds_since_snapshot_ = 0;
 };
 
 }  // namespace zkt::core

@@ -7,6 +7,7 @@
 #include "common/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "zvm/verifier.h"
 
 namespace zkt::core {
 
@@ -115,6 +116,101 @@ Result<AggregationRound> AggregationService::aggregate_impl(
                 << round.journal.new_entry_count << " entries, "
                 << info.cycles << " cycles, " << info.total_ms << " ms";
   return round;
+}
+
+Status AggregationService::restore(CLogState state, zvm::Receipt last_receipt,
+                                   u64 rounds_completed) {
+  if (rounds_ != 0 || last_receipt_.has_value()) {
+    return Error{Errc::invalid_argument,
+                 "restore() requires a fresh aggregation service"};
+  }
+  if (rounds_completed == 0) {
+    return Error{Errc::invalid_argument,
+                 "restore() needs at least one completed round"};
+  }
+  // The recovered receipt must be a genuine aggregation receipt…
+  ZKT_TRY(zvm::Verifier().verify(last_receipt, guest_images().aggregate));
+  // …and the recovered state must be exactly the state it proved.
+  auto journal = AggJournal::parse(last_receipt.journal);
+  if (!journal.ok()) return journal.error();
+  if (journal.value().new_root != state.root() ||
+      journal.value().new_entry_count != state.entry_count()) {
+    return Error{Errc::merkle_mismatch,
+                 "recovered CLog state does not match the receipt's journal"};
+  }
+  state_ = std::move(state);
+  last_receipt_ = std::move(last_receipt);
+  rounds_ = rounds_completed;
+  return {};
+}
+
+Status AggregationService::replay_round(
+    std::span<const netflow::RLogBatch> batches,
+    const zvm::Receipt& receipt) {
+  ZKT_TRY(zvm::Verifier().verify(receipt, guest_images().aggregate));
+  auto parsed = AggJournal::parse(receipt.journal);
+  if (!parsed.ok()) return parsed.error();
+  const AggJournal& journal = parsed.value();
+
+  // The receipt must extend THIS chain head.
+  if (journal.has_prev != last_receipt_.has_value()) {
+    return Error{Errc::chain_broken,
+                 "replayed receipt disagrees about the chain genesis"};
+  }
+  if (last_receipt_.has_value() &&
+      journal.prev_claim_digest != last_receipt_->claim.digest()) {
+    return Error{Errc::chain_broken,
+                 "replayed receipt does not chain onto the recovered head"};
+  }
+  if (journal.prev_root != state_.root() ||
+      journal.prev_entry_count != state_.entry_count()) {
+    return Error{Errc::merkle_mismatch,
+                 "replayed receipt's previous root mismatches host state"};
+  }
+
+  // The stored batches must be byte-identical to what the round proved:
+  // same (window, router) sequence, same committed hashes. Tampering with
+  // raw logs after the fact still halts the chain here, just without the
+  // cost of re-proving.
+  std::vector<size_t> order(batches.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::tie(batches[a].window_id, batches[a].router_id) <
+           std::tie(batches[b].window_id, batches[b].router_id);
+  });
+  if (order.size() != journal.commitments.size()) {
+    return Error{Errc::chain_broken,
+                 "replayed round has a different batch count than proven"};
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    const netflow::RLogBatch& batch = batches[order[i]];
+    const CommitmentRef& ref = journal.commitments[i];
+    if (batch.router_id != ref.router_id ||
+        batch.window_id != ref.window_id ||
+        batch.records.size() != ref.record_count ||
+        batch.hash() != ref.rlog_hash) {
+      return Error{Errc::hash_mismatch,
+                   "stored batch diverged from the proven commitment (router " +
+                       std::to_string(batch.router_id) + ", window " +
+                       std::to_string(batch.window_id) + ")"};
+    }
+  }
+
+  // Apply on a scratch copy so a journal mismatch cannot poison the chain.
+  CLogState next = state_;
+  for (size_t idx : order) {
+    next.apply_records(batches[idx].records);
+  }
+  if (next.root() != journal.new_root ||
+      next.entry_count() != journal.new_entry_count) {
+    return Error{Errc::merkle_mismatch,
+                 "replayed batches do not reproduce the proven root"};
+  }
+
+  state_ = std::move(next);
+  last_receipt_ = receipt;
+  ++rounds_;
+  return {};
 }
 
 Result<QueryResponse> QueryService::finish(Result<zvm::Receipt> receipt,

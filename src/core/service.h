@@ -30,10 +30,23 @@ struct AggregationRound {
   zvm::ProveInfo prove_info;
 };
 
+/// Construction-time knobs for AggregationService (and the sharded
+/// variant). A struct rather than positional parameters so new knobs don't
+/// silently shift argument meanings at call sites.
+struct AggregationOptions {
+  zvm::ProveOptions prove_options;
+};
+
 class AggregationService {
  public:
   explicit AggregationService(const CommitmentBoard& board,
-                              zvm::ProveOptions prove_options = {})
+                              AggregationOptions options = {})
+      : board_(&board), prove_options_(std::move(options.prove_options)) {}
+
+  /// Deprecated shim (one PR): pass AggregationOptions instead.
+  [[deprecated("use AggregationService(board, {.prove_options = ...})")]]
+  AggregationService(const CommitmentBoard& board,
+                     zvm::ProveOptions prove_options)
       : board_(&board), prove_options_(std::move(prove_options)) {}
 
   /// Run one aggregation round over the given batches. Batches are processed
@@ -64,6 +77,23 @@ class AggregationService {
     }
     return last_receipt_->claim.digest();
   }
+
+  /// Adopt a recovered chain position: the CLog state as of `last_receipt`'s
+  /// round and the number of rounds completed. Only valid on a fresh service
+  /// (no rounds run). Fails with merkle_mismatch unless the state's root and
+  /// entry count match the receipt's journal — a snapshot that disagrees
+  /// with its receipt cannot be resumed from.
+  Status restore(CLogState state, zvm::Receipt last_receipt,
+                 u64 rounds_completed);
+
+  /// Roll the chain forward over an ALREADY-PROVEN round whose receipt was
+  /// recovered from storage: check the receipt chains onto the current head
+  /// (previous claim digest, root, entry count), apply the batches to the
+  /// host state, verify the result against the receipt's journal, and adopt
+  /// the receipt as the new head — no re-proving. Rejects (chain_broken /
+  /// merkle_mismatch) any receipt that does not extend this exact chain.
+  Status replay_round(std::span<const netflow::RLogBatch> batches,
+                      const zvm::Receipt& receipt);
 
  private:
   Result<AggregationRound> aggregate_impl(
@@ -99,10 +129,24 @@ struct QueryOptions {
   std::optional<zvm::ProveOptions> prove_options_override;
 };
 
+/// Construction-time knobs for QueryService, mirroring AggregationOptions.
+struct QueryServiceOptions {
+  /// Default ProveOptions for every run(); QueryOptions::
+  /// prove_options_override still wins per call.
+  zvm::ProveOptions prove_options;
+};
+
 class QueryService {
  public:
   explicit QueryService(const AggregationService& aggregation,
-                        zvm::ProveOptions prove_options = {})
+                        QueryServiceOptions options = {})
+      : aggregation_(&aggregation),
+        prove_options_(std::move(options.prove_options)) {}
+
+  /// Deprecated shim (one PR): pass QueryServiceOptions instead.
+  [[deprecated("use QueryService(aggregation, {.prove_options = ...})")]]
+  QueryService(const AggregationService& aggregation,
+               zvm::ProveOptions prove_options)
       : aggregation_(&aggregation),
         prove_options_(std::move(prove_options)) {}
 
@@ -110,14 +154,6 @@ class QueryService {
   /// complete-scan vs. selective proving; see QueryOptions.
   Result<QueryResponse> run(const Query& query,
                             const QueryOptions& options = {}) const;
-
-  /// Deprecated shim (one PR): selective proving is now a mode of run().
-  [[deprecated("use run(query, {.mode = QueryMode::selective})")]]
-  Result<QueryResponse> run_selective(const Query& query) const {
-    QueryOptions options;
-    options.mode = QueryMode::selective;
-    return run(query, options);
-  }
 
  private:
   Result<QueryResponse> run_complete(const Query& query,

@@ -158,15 +158,15 @@ netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
 
 ShardedAggregationService::ShardedAggregationService(
     const CommitmentBoard& board, u32 shard_count,
-    zvm::ProveOptions prove_options)
+    AggregationOptions options)
     : board_(&board),
       shard_count_(std::max<u32>(shard_count, 1)),
-      prove_options_(std::move(prove_options)) {
+      prove_options_(std::move(options.prove_options)) {
   for (u32 s = 0; s < shard_count_; ++s) {
     shard_boards_.push_back(std::make_unique<CommitmentBoard>());
-    shards_.push_back(
-        std::make_unique<AggregationService>(*shard_boards_.back(),
-                                             prove_options_));
+    shards_.push_back(std::make_unique<AggregationService>(
+        *shard_boards_.back(),
+        AggregationOptions{.prove_options = prove_options_}));
     // Prover-internal keys for the shard boards' plumbing; external trust
     // rests on the split receipts, not these signatures.
     shard_keys_.push_back(crypto::schnorr_keygen_from_seed(

@@ -57,7 +57,16 @@ netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
 class ShardedAggregationService {
  public:
   ShardedAggregationService(const CommitmentBoard& board, u32 shard_count,
-                            zvm::ProveOptions prove_options = {});
+                            AggregationOptions options = {});
+
+  /// Deprecated shim (one PR): pass AggregationOptions instead.
+  [[deprecated(
+      "use ShardedAggregationService(board, n, {.prove_options = ...})")]]
+  ShardedAggregationService(const CommitmentBoard& board, u32 shard_count,
+                            zvm::ProveOptions prove_options)
+      : ShardedAggregationService(
+            board, shard_count,
+            AggregationOptions{.prove_options = std::move(prove_options)}) {}
 
   struct Round {
     std::vector<zvm::Receipt> split_receipts;       ///< one per input batch

@@ -1,0 +1,59 @@
+// Kill/restart scenario: the provider process dies mid-chain and a new
+// process resumes the proof chain from durable state.
+//
+// The scenario drives the whole paper pipeline twice over one durable
+// store directory:
+//
+//   process 1 — simulate routers (NetFlowSimulator), persist commitments,
+//       aggregate windows until an injected torn WAL write "kills" the
+//       prover after `crash_after_rounds` completed rounds;
+//   process 2 — a fresh LogStore recover()s the WAL (truncating the torn
+//       frame), ProviderPipeline::recover() re-adopts the chain, and
+//       aggregate_pending() finishes the remaining windows.
+//
+// The report carries the full receipt chain plus an end-to-end Auditor
+// verdict, so callers (sim tests, zkt-sim) can assert that a crash at the
+// worst moment still yields a chain the verifier accepts.
+#pragma once
+
+#include <string>
+
+#include "core/auditor.h"
+#include "core/pipeline.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace zkt::sim {
+
+struct CrashRestartConfig {
+  /// Directory for the durable artifacts (WAL, snapshot, commitments).
+  std::string data_dir;
+  SimConfig sim;
+  ZipfWorkloadConfig workload;
+  u64 packet_count = 2'000;
+  /// Rounds process 1 completes before the injected crash.
+  u64 crash_after_rounds = 2;
+  /// Pipeline knobs for both processes. checkpoint_every_n_rounds is
+  /// forced to 1 (the crash-offset arithmetic assumes one snapshot per
+  /// round).
+  core::PipelineOptions pipeline;
+};
+
+struct CrashRestartReport {
+  u64 windows_committed = 0;
+  u64 rounds_before_crash = 0;
+  /// Torn frames the restarted store truncated (>= 1: the injected one).
+  u64 truncated_frames = 0;
+  core::ProviderPipeline::RecoveryInfo recovery;
+  u64 rounds_after_restart = 0;
+  /// The full chain, as the restarted pipeline sees it.
+  std::vector<zvm::Receipt> receipts;
+  /// End-to-end Auditor verdict over `receipts`.
+  bool chain_verified = false;
+};
+
+/// Run the scenario. Fails only on unexpected errors — the injected crash
+/// itself is part of the plan and is reported, not returned.
+Result<CrashRestartReport> run_crash_restart(const CrashRestartConfig& config);
+
+}  // namespace zkt::sim

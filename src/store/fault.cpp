@@ -1,0 +1,61 @@
+#include "store/fault.h"
+
+#include "obs/metrics.h"
+
+namespace zkt::store {
+
+const char* fault_point_name(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::wal_append: return "wal_append";
+    case FaultPoint::wal_torn_write: return "wal_torn_write";
+    case FaultPoint::fsync: return "fsync";
+    case FaultPoint::scan: return "scan";
+    case FaultPoint::checkpoint_snapshot_write:
+      return "checkpoint_snapshot_write";
+    case FaultPoint::checkpoint_rename: return "checkpoint_rename";
+    case FaultPoint::checkpoint_wal_truncate:
+      return "checkpoint_wal_truncate";
+  }
+  return "unknown";
+}
+
+void FaultInjector::arm(FaultPoint point, u64 after_n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_[static_cast<size_t>(point)] = after_n;
+}
+
+void FaultInjector::disarm(FaultPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_[static_cast<size_t>(point)].reset();
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& plan : plans_) plan.reset();
+}
+
+bool FaultInjector::fire(FaultPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& plan = plans_[static_cast<size_t>(point)];
+  if (!plan.has_value()) return false;
+  if (*plan > 0) {
+    --*plan;
+    return false;
+  }
+  plan.reset();
+  ++injected_;
+  obs::Registry::instance().counter("store.faults_injected").add(1);
+  return true;
+}
+
+u64 FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+bool FaultInjector::armed(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_[static_cast<size_t>(point)].has_value();
+}
+
+}  // namespace zkt::store

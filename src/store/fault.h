@@ -1,0 +1,74 @@
+// FaultInjector: deterministic storage-fault injection for LogStore.
+//
+// Crash-safety is only trustworthy if every failure path is exercised, and
+// real disk faults don't arrive on schedule. LogStore therefore exposes a
+// small set of named fault points (WAL append, torn final frame, fsync,
+// scans, the three checkpoint crash windows) and consults an optional
+// injector at each one. Tests arm a point with a hit countdown — "let N
+// operations pass, then fail once" — and can sweep every (point, countdown)
+// pair to prove that each injected crash either recovers fully or surfaces
+// a typed Errc (see docs/RECOVERY.md for the crash matrix).
+//
+// The injector is passive: arming a point never touches the store. It is
+// thread-safe, matching LogStore's concurrent producers.
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace zkt::store {
+
+enum class FaultPoint : u8 {
+  /// Fail a WAL frame write before any bytes reach the file.
+  wal_append = 0,
+  /// Write only a prefix of the WAL frame, then fail — the on-disk tail is
+  /// torn exactly as a mid-write crash would leave it.
+  wal_torn_write,
+  /// Fail the flush after a fully written WAL frame (the frame is on disk,
+  /// but the append reports failure — the classic fsync ambiguity).
+  fsync,
+  /// Fail a read-path visit (LogStore::for_each).
+  scan,
+  /// Fail while writing the snapshot temp file (a partial .tmp is left).
+  checkpoint_snapshot_write,
+  /// Fail after the temp file is complete, before the atomic rename: the
+  /// old snapshot and the full WAL remain authoritative.
+  checkpoint_rename,
+  /// Fail after the rename, before the WAL truncation: the new snapshot and
+  /// the stale WAL coexist (replay must deduplicate by row id).
+  checkpoint_wal_truncate,
+};
+
+inline constexpr size_t kFaultPointCount = 7;
+
+const char* fault_point_name(FaultPoint point);
+
+class FaultInjector {
+ public:
+  /// Arm `point`: let `after_n` hits pass, then fire on the next one.
+  /// One-shot — a fired plan disarms itself. Re-arming overwrites.
+  void arm(FaultPoint point, u64 after_n = 0);
+
+  void disarm(FaultPoint point);
+  void disarm_all();
+
+  /// Called by LogStore at each instrumented operation. Returns true when
+  /// the fault fires (and consumes the plan).
+  bool fire(FaultPoint point);
+
+  /// Total faults fired since construction.
+  u64 injected() const;
+
+  bool armed(FaultPoint point) const;
+
+ private:
+  mutable std::mutex mutex_;
+  /// Remaining passes before firing; nullopt = disarmed.
+  std::array<std::optional<u64>, kFaultPointCount> plans_;
+  u64 injected_ = 0;
+};
+
+}  // namespace zkt::store

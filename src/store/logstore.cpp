@@ -27,7 +27,9 @@ u32 crc32(BytesView data) {
 }
 
 namespace {
-constexpr u32 kWalMagic = 0x5A4B5731;   // "ZKW1"
+// "ZKW2": v2 frames carry the row's per-table id so replay can skip rows a
+// checkpoint snapshot already holds (crash between rename and truncation).
+constexpr u32 kWalMagic = 0x5A4B5732;
 constexpr u32 kSnapMagic = 0x5A4B5331;  // "ZKS1"
 }
 
@@ -110,11 +112,11 @@ Status LogStore::recover() {
         break;
       }
       auto table = r.str();
-      auto k1 = r.u64v();
-      auto k2 = r.u64v();
-      Result<Bytes> payload = table.ok() && k1.ok() && k2.ok()
-                                  ? r.blob()
-                                  : Result<Bytes>(Errc::parse_error);
+      auto id = table.ok() ? r.u64v() : Result<u64>(Errc::parse_error);
+      auto k1 = id.ok() ? r.u64v() : Result<u64>(Errc::parse_error);
+      auto k2 = k1.ok() ? r.u64v() : Result<u64>(Errc::parse_error);
+      Result<Bytes> payload =
+          k2.ok() ? r.blob() : Result<Bytes>(Errc::parse_error);
       auto crc = payload.ok() ? r.u32v() : Result<u32>(Errc::parse_error);
       if (!crc.ok()) {
         ++stats_.truncated_frames;
@@ -127,6 +129,19 @@ Status LogStore::recover() {
         break;
       }
       auto& t = tables_[std::string(table.value())];
+      if (id.value() < t.rows.size()) {
+        // The snapshot already holds this row — the WAL survived a crash
+        // between checkpoint()'s rename and its truncation.
+        ++stats_.deduped_frames;
+        continue;
+      }
+      if (id.value() > t.rows.size()) {
+        ZKT_LOG(warn) << "WAL frame at offset " << frame_start
+                      << " skips row ids (have " << t.rows.size()
+                      << ", frame claims " << id.value() << "); truncating";
+        ++stats_.truncated_frames;
+        break;
+      }
       StoredRow row;
       row.id = t.rows.size();
       row.k1 = k1.value();
@@ -148,16 +163,35 @@ Status LogStore::recover() {
 Status LogStore::wal_append_locked(std::string_view table,
                                    const StoredRow& row) {
   if (wal_file_ == nullptr) return {};
+  if (faults_ != nullptr && faults_->fire(FaultPoint::wal_append)) {
+    return Error{Errc::io_error, "injected fault: WAL append"};
+  }
   Writer w;
   w.u32v(kWalMagic);
   w.str(table);
+  w.u64v(row.id);
   w.u64v(row.k1);
   w.u64v(row.k2);
   w.blob(row.payload);
   w.u32v(crc32(row.payload));
   const auto& frame = w.bytes();
+  if (faults_ != nullptr && faults_->fire(FaultPoint::wal_torn_write)) {
+    // Leave exactly what a mid-write crash would: a prefix of the frame on
+    // disk and a dead process. Closing the WAL makes every later append
+    // fail until a fresh LogStore recover()s — appending past a torn frame
+    // would make the tail unreadable.
+    const size_t torn = frame.size() / 2;
+    std::fwrite(frame.data(), 1, torn, wal_file_);
+    std::fflush(wal_file_);
+    std::fclose(wal_file_);
+    wal_file_ = nullptr;
+    return Error{Errc::io_error, "injected fault: torn WAL write (crashed)"};
+  }
   if (std::fwrite(frame.data(), 1, frame.size(), wal_file_) != frame.size()) {
     return Error{Errc::io_error, "WAL write failed"};
+  }
+  if (faults_ != nullptr && faults_->fire(FaultPoint::fsync)) {
+    return Error{Errc::io_error, "injected fault: fsync"};
   }
   if (config_.fsync_each_append) {
     std::fflush(wal_file_);
@@ -210,6 +244,21 @@ std::vector<StoredRow> LogStore::scan_exact(std::string_view table, u64 k1,
     if (row.k1 == k1 && row.k2 == k2) out.push_back(row);
   }
   return out;
+}
+
+Status LogStore::for_each(
+    std::string_view table, u64 k1_min, u64 k1_max,
+    const std::function<void(const StoredRow&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (faults_ != nullptr && faults_->fire(FaultPoint::scan)) {
+    return Error{Errc::io_error, "injected fault: scan"};
+  }
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return {};
+  for (const auto& row : it->second.rows) {
+    if (row.k1 >= k1_min && row.k1 <= k1_max) fn(row);
+  }
+  return {};
 }
 
 std::optional<StoredRow> LogStore::latest(std::string_view table,
@@ -287,7 +336,7 @@ Status LogStore::checkpoint() {
 
   // Write-then-rename for atomicity, then truncate the WAL: a crash before
   // the rename keeps the old snapshot + full WAL; after it, the new
-  // snapshot + empty WAL.
+  // snapshot + stale WAL, whose frames replay dedupes by row id.
   const std::string tmp = config_.snapshot_path + ".tmp";
   {
     std::FILE* f = std::fopen(tmp.c_str(), "wb");
@@ -295,6 +344,14 @@ Status LogStore::checkpoint() {
       return Error{Errc::io_error, "cannot write snapshot: " + tmp};
     }
     const auto& bytes = w.bytes();
+    if (faults_ != nullptr &&
+        faults_->fire(FaultPoint::checkpoint_snapshot_write)) {
+      // A partial .tmp, as a crash mid-write would leave; recover() never
+      // reads it.
+      std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
+      std::fclose(f);
+      return Error{Errc::io_error, "injected fault: snapshot write"};
+    }
     const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
     std::fflush(f);
     std::fclose(f);
@@ -302,8 +359,15 @@ Status LogStore::checkpoint() {
       return Error{Errc::io_error, "short snapshot write"};
     }
   }
+  if (faults_ != nullptr && faults_->fire(FaultPoint::checkpoint_rename)) {
+    return Error{Errc::io_error, "injected fault: snapshot rename"};
+  }
   if (std::rename(tmp.c_str(), config_.snapshot_path.c_str()) != 0) {
     return Error{Errc::io_error, "snapshot rename failed"};
+  }
+  if (faults_ != nullptr &&
+      faults_->fire(FaultPoint::checkpoint_wal_truncate)) {
+    return Error{Errc::io_error, "injected fault: WAL truncation"};
   }
   std::fclose(wal_file_);
   wal_file_ = std::fopen(config_.wal_path.c_str(), "wb");

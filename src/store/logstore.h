@@ -8,9 +8,17 @@
 //
 // Durability: when configured with a WAL path, every append is framed and
 // CRC-protected on disk and recover() replays it after a restart, truncating
-// at the first corrupt frame (standard WAL torn-write handling).
+// at the first corrupt frame (standard WAL torn-write handling). Frames
+// carry the row's per-table id, so a WAL that survives a crash between
+// checkpoint()'s snapshot rename and its WAL truncation replays without
+// duplicating rows already in the snapshot.
+//
+// Failure testing: set_fault_injector() installs a store::FaultInjector
+// whose armed fault points make appends, flushes, scans and checkpoints
+// fail deterministically (see store/fault.h and docs/RECOVERY.md).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -19,6 +27,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "store/fault.h"
 
 namespace zkt::store {
 
@@ -50,6 +59,10 @@ class LogStore {
     u64 truncated_frames = 0;
     u64 checkpoints = 0;
     u64 snapshot_rows = 0;  ///< rows loaded from the snapshot at recover()
+    /// WAL frames skipped at recover() because the snapshot already held
+    /// their row (possible after a crash between snapshot rename and WAL
+    /// truncation).
+    u64 deduped_frames = 0;
   };
 
   explicit LogStore(StoreConfig config = {});
@@ -69,6 +82,14 @@ class LogStore {
   /// All rows of `table` with exact (k1, k2).
   std::vector<StoredRow> scan_exact(std::string_view table, u64 k1,
                                     u64 k2) const;
+
+  /// Visit every row of `table` with k1 in [k1_min, k1_max], in append
+  /// order, without copying payloads (the hot-path alternative to scan).
+  /// `fn` runs under the store lock: it must not call back into the store.
+  /// Fails (io_error) when a scan fault is injected — callers on the
+  /// aggregation path surface this instead of treating it as "no rows".
+  Status for_each(std::string_view table, u64 k1_min, u64 k1_max,
+                  const std::function<void(const StoredRow&)>& fn) const;
 
   /// The most recently appended row with the given k1 (any k2).
   std::optional<StoredRow> latest(std::string_view table, u64 k1) const;
@@ -96,6 +117,11 @@ class LogStore {
   /// Returns the number of rows dropped.
   u64 drop_rows(std::string_view table, u64 k1_max);
 
+  /// Install (or clear, with nullptr) a fault injector. Not owned; must
+  /// outlive the store or be cleared first. Testing hook — production
+  /// stores never set one.
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
  private:
   struct Table {
     std::vector<StoredRow> rows;
@@ -108,6 +134,7 @@ class LogStore {
   std::map<std::string, Table, std::less<>> tables_;
   Stats stats_;
   std::FILE* wal_file_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 // Conventional table names used by the telemetry pipeline.
@@ -115,5 +142,9 @@ inline constexpr const char* kTableRlogs = "rlogs";
 inline constexpr const char* kTableCommitments = "commitments";
 inline constexpr const char* kTableClogs = "clogs";
 inline constexpr const char* kTableReceipts = "receipts";
+/// Per-round prover chain snapshots (serialized core::ChainSnapshot,
+/// k1 = window id, k2 = round id) — what ProviderPipeline::recover() resumes
+/// from.
+inline constexpr const char* kTableChainState = "chain_state";
 
 }  // namespace zkt::store

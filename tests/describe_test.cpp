@@ -92,7 +92,7 @@ TEST(Describe, CompositeSegmentsListed) {
   Fixture fx;
   zvm::ProveOptions options;
   options.seal_kind = zvm::SealKind::composite;
-  QueryService queries(fx.service, options);
+  QueryService queries(fx.service, QueryServiceOptions{options});
   auto resp = queries.run(Query::count());
   ASSERT_TRUE(resp.ok());
   const std::string text = describe_receipt(resp.value().receipt);

@@ -50,13 +50,13 @@ TEST(Pipeline, AggregatesAllStoredWindowsInOrder) {
   fx.store_window(2, 2);
 
   ProviderPipeline pipeline(fx.store, fx.board);
-  EXPECT_EQ(pipeline.pending_windows(), (std::vector<u64>{1, 2, 3}));
+  EXPECT_EQ(pipeline.pending_windows().value(), (std::vector<u64>{1, 2, 3}));
   auto rounds = pipeline.aggregate_pending();
   ASSERT_TRUE(rounds.ok()) << rounds.error().to_string();
   ASSERT_EQ(rounds.value().size(), 3u);
   EXPECT_EQ(rounds.value()[0].journal.commitments[0].window_id, 1u);
   EXPECT_EQ(rounds.value()[2].journal.commitments[0].window_id, 3u);
-  EXPECT_TRUE(pipeline.pending_windows().empty());
+  EXPECT_TRUE(pipeline.pending_windows().value().empty());
   EXPECT_EQ(fx.store.row_count(store::kTableReceipts), 3u);
 
   // The persisted receipts replay through an auditor.
@@ -99,7 +99,54 @@ TEST(Pipeline, TamperedWindowBlocksChain) {
   EXPECT_EQ(result.error().code, Errc::guest_abort);
   // Window 1 succeeded before the failure; 2 and 3 remain pending.
   EXPECT_EQ(pipeline.receipts().size(), 1u);
-  EXPECT_EQ(pipeline.pending_windows(), (std::vector<u64>{2, 3}));
+  EXPECT_EQ(pipeline.pending_windows().value(), (std::vector<u64>{2, 3}));
+}
+
+TEST(Pipeline, TransientScanFaultIsAbsorbedByRetry) {
+  Fixture fx;
+  fx.store_window(1, 1);
+  store::FaultInjector faults;
+  fx.store.set_fault_injector(&faults);
+  faults.arm(store::FaultPoint::scan);
+
+  PipelineOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.base_backoff = std::chrono::milliseconds(1);
+  options.retry.max_backoff = std::chrono::milliseconds(2);
+  ProviderPipeline pipeline(fx.store, fx.board, options);
+  auto rounds = pipeline.aggregate_pending();
+  ASSERT_TRUE(rounds.ok()) << rounds.error().to_string();
+  EXPECT_EQ(rounds.value().size(), 1u);
+  EXPECT_EQ(faults.injected(), 1u);  // the fault fired and was retried over
+  fx.store.set_fault_injector(nullptr);
+}
+
+TEST(Pipeline, ExhaustedRetriesSurfaceTypedIoError) {
+  Fixture fx;
+  fx.store_window(1, 1);
+  store::FaultInjector faults;
+  fx.store.set_fault_injector(&faults);
+
+  PipelineOptions options;
+  options.retry.max_attempts = 1;  // no second chance
+  ProviderPipeline pipeline(fx.store, fx.board, options);
+
+  faults.arm(store::FaultPoint::scan);
+  auto pending = pipeline.pending_windows();
+  ASSERT_FALSE(pending.ok());  // an unreadable store is not "no work"
+  EXPECT_EQ(pending.error().code, Errc::io_error);
+
+  faults.arm(store::FaultPoint::scan);
+  auto rounds = pipeline.aggregate_pending();
+  ASSERT_FALSE(rounds.ok());
+  EXPECT_EQ(rounds.error().code, Errc::io_error);
+
+  // Transient means transient: once the store heals, the same pipeline
+  // picks the window up.
+  fx.store.set_fault_injector(nullptr);
+  auto retried = pipeline.aggregate_pending();
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value().size(), 1u);
 }
 
 TEST(Pipeline, PruneDropsOnlyAggregatedWindows) {
@@ -113,7 +160,7 @@ TEST(Pipeline, PruneDropsOnlyAggregatedWindows) {
   fx.store_window(3, 2);  // arrives after the last aggregation
   EXPECT_EQ(pipeline.prune_aggregated(), 4u);  // windows 1 and 2 dropped
   EXPECT_EQ(fx.store.row_count(store::kTableRlogs), 2u);
-  EXPECT_EQ(pipeline.pending_windows(), (std::vector<u64>{3}));
+  EXPECT_EQ(pipeline.pending_windows().value(), (std::vector<u64>{3}));
 
   // The chain continues over pruned history (receipts carry it).
   auto rounds = pipeline.aggregate_pending();

@@ -1,0 +1,340 @@
+// Crash-safe prover recovery tests: ProviderPipeline::recover() over
+// durable stores — snapshot adoption, roll-forward replay of receipts
+// proven after the last snapshot, tamper detection on the replay path, and
+// the deterministic fault-injection sweep from docs/RECOVERY.md (every
+// injected crash point must either recover fully or fail with a typed
+// Errc; none may corrupt the chain).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/auditor.h"
+#include "core/pipeline.h"
+#include "store/fault.h"
+
+namespace zkt::core {
+namespace {
+
+using netflow::FlowRecord;
+using netflow::PacketObservation;
+using netflow::RLogBatch;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wal_path_ =
+        std::filesystem::temp_directory_path() /
+        ("zkt_recovery_test_" + std::to_string(::getpid()) + "_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         ".wal");
+    clean();
+  }
+  void TearDown() override { clean(); }
+  void clean() {
+    std::filesystem::remove(wal_path_);
+    std::filesystem::remove(wal_path_.string() + ".snap");
+    std::filesystem::remove(wal_path_.string() + ".snap.tmp");
+  }
+
+  store::StoreConfig config() const {
+    return store::StoreConfig{.wal_path = wal_path_.string()};
+  }
+
+  RLogBatch make_batch(u64 window, u32 router) const {
+    RLogBatch batch;
+    batch.router_id = router;
+    batch.window_id = window;
+    FlowRecord record;
+    PacketObservation pkt;
+    pkt.key = {router + 1, 0x0A0A0A0A, 1000, 443, 6};
+    pkt.timestamp_ms = window * 5000;
+    pkt.bytes = 100 + window;
+    record.observe(pkt);
+    batch.records.push_back(record);
+    return batch;
+  }
+
+  void store_window(store::LogStore& store, CommitmentBoard& board,
+                    u64 window, u32 routers) {
+    for (u32 r = 0; r < routers; ++r) {
+      RLogBatch batch = make_batch(window, r);
+      ASSERT_TRUE(
+          board.publish(make_commitment(batch, key_, window).value()).ok());
+      ASSERT_TRUE(store
+                      .append(store::kTableRlogs, window, r,
+                              batch.canonical_bytes())
+                      .ok());
+    }
+  }
+
+  crypto::SchnorrKeyPair key_ = crypto::schnorr_keygen_from_seed("recover");
+  std::filesystem::path wal_path_;
+};
+
+TEST_F(RecoveryTest, KillAndRestartResumesChainEndToEnd) {
+  CommitmentBoard board;
+  // Process 1: aggregate two windows, then die (scope exit).
+  {
+    store::LogStore store(config());
+    ASSERT_TRUE(store.recover().ok());
+    store_window(store, board, 1, 2);
+    store_window(store, board, 2, 2);
+    ProviderPipeline pipeline(store, board);
+    auto rounds = pipeline.aggregate_pending();
+    ASSERT_TRUE(rounds.ok()) << rounds.error().to_string();
+    ASSERT_EQ(rounds.value().size(), 2u);
+  }
+
+  // Process 2: a fresh store and pipeline resume where process 1 stopped.
+  store::LogStore store(config());
+  ASSERT_TRUE(store.recover().ok());
+  store_window(store, board, 3, 2);  // a new window arrived meanwhile
+  ProviderPipeline pipeline(store, board);
+  auto recovery = pipeline.recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.error().to_string();
+  EXPECT_TRUE(recovery.value().resumed);
+  EXPECT_EQ(recovery.value().rounds_restored, 2u);
+  EXPECT_EQ(recovery.value().rounds_replayed, 0u);
+  EXPECT_EQ(recovery.value().snapshots_skipped, 0u);
+  EXPECT_EQ(recovery.value().last_window, 2u);
+
+  auto rounds = pipeline.aggregate_pending();
+  ASSERT_TRUE(rounds.ok()) << rounds.error().to_string();
+  ASSERT_EQ(rounds.value().size(), 1u);  // only window 3 was pending
+  ASSERT_EQ(pipeline.receipts().size(), 3u);
+
+  // The whole chain — two pre-crash rounds, one post-restart round —
+  // verifies end-to-end, receipt by receipt.
+  Auditor auditor(board);
+  for (const auto& receipt : pipeline.receipts()) {
+    ASSERT_TRUE(auditor.accept_round(receipt).ok());
+  }
+  EXPECT_EQ(auditor.rounds_accepted(), 3u);
+}
+
+TEST_F(RecoveryTest, ReceiptsPastTheLastSnapshotAreReplayedNotReproven) {
+  CommitmentBoard board;
+  PipelineOptions options;
+  options.checkpoint_every_n_rounds = 2;  // snapshot only after round 2
+  {
+    store::LogStore store(config());
+    ASSERT_TRUE(store.recover().ok());
+    store_window(store, board, 1, 1);
+    store_window(store, board, 2, 1);
+    store_window(store, board, 3, 1);
+    ProviderPipeline pipeline(store, board, options);
+    ASSERT_TRUE(pipeline.aggregate_pending().ok());
+    EXPECT_EQ(store.row_count(store::kTableChainState), 1u);
+    EXPECT_EQ(store.row_count(store::kTableReceipts), 3u);
+  }
+
+  store::LogStore store(config());
+  ASSERT_TRUE(store.recover().ok());
+  ProviderPipeline pipeline(store, board, options);
+  auto recovery = pipeline.recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.error().to_string();
+  EXPECT_EQ(recovery.value().rounds_restored, 2u);  // from the snapshot
+  EXPECT_EQ(recovery.value().rounds_replayed, 1u);  // round 3, rolled forward
+  EXPECT_EQ(recovery.value().last_window, 3u);
+  EXPECT_EQ(pipeline.receipts().size(), 3u);
+  EXPECT_TRUE(pipeline.aggregate_pending().value().empty());
+
+  Auditor auditor(board);
+  for (const auto& receipt : pipeline.receipts()) {
+    ASSERT_TRUE(auditor.accept_round(receipt).ok());
+  }
+}
+
+TEST_F(RecoveryTest, ReplaysWholeChainWhenSnapshotsAreDisabled) {
+  CommitmentBoard board;
+  PipelineOptions options;
+  options.checkpoint_every_n_rounds = 0;  // no snapshots at all
+  {
+    store::LogStore store(config());
+    ASSERT_TRUE(store.recover().ok());
+    store_window(store, board, 1, 1);
+    store_window(store, board, 2, 1);
+    ProviderPipeline pipeline(store, board, options);
+    ASSERT_TRUE(pipeline.aggregate_pending().ok());
+    EXPECT_EQ(store.row_count(store::kTableChainState), 0u);
+  }
+
+  store::LogStore store(config());
+  ASSERT_TRUE(store.recover().ok());
+  ProviderPipeline pipeline(store, board, options);
+  auto recovery = pipeline.recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.error().to_string();
+  EXPECT_TRUE(recovery.value().resumed);
+  EXPECT_EQ(recovery.value().rounds_restored, 0u);
+  EXPECT_EQ(recovery.value().rounds_replayed, 2u);
+  Auditor auditor(board);
+  for (const auto& receipt : pipeline.receipts()) {
+    ASSERT_TRUE(auditor.accept_round(receipt).ok());
+  }
+}
+
+TEST_F(RecoveryTest, RecoverOnEmptyStoreIsAFreshStart) {
+  CommitmentBoard board;
+  store::LogStore store(config());
+  ASSERT_TRUE(store.recover().ok());
+  ProviderPipeline pipeline(store, board);
+  auto recovery = pipeline.recover();
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_FALSE(recovery.value().resumed);
+  EXPECT_FALSE(recovery.value().last_window.has_value());
+}
+
+TEST_F(RecoveryTest, RecoverAfterAggregationIsRejected) {
+  CommitmentBoard board;
+  store::LogStore store;  // in-memory is enough here
+  ProviderPipeline pipeline(store, board);
+  store_window(store, board, 1, 1);
+  ASSERT_TRUE(pipeline.aggregate_pending().ok());
+  auto recovery = pipeline.recover();
+  ASSERT_FALSE(recovery.ok());
+  EXPECT_EQ(recovery.error().code, Errc::invalid_argument);
+}
+
+TEST_F(RecoveryTest, TamperedRawLogHaltsReplay) {
+  CommitmentBoard board;
+  store::LogStore store;  // same store, two pipeline "processes"
+  PipelineOptions options;
+  options.checkpoint_every_n_rounds = 0;  // force the replay path
+  store_window(store, board, 1, 1);
+  {
+    ProviderPipeline pipeline(store, board, options);
+    ASSERT_TRUE(pipeline.aggregate_pending().ok());
+  }
+  // Swap the stored batch for a doctored one after its receipt was proven.
+  ASSERT_EQ(store.drop_rows(store::kTableRlogs, 1), 1u);
+  RLogBatch tampered = make_batch(1, 0);
+  tampered.records[0].bytes += 1;
+  ASSERT_TRUE(store
+                  .append(store::kTableRlogs, 1, 0,
+                          tampered.canonical_bytes())
+                  .ok());
+
+  ProviderPipeline fresh(store, board, options);
+  auto recovery = fresh.recover();
+  ASSERT_FALSE(recovery.ok());  // replay checks batches against the journal
+  EXPECT_EQ(recovery.error().code, Errc::hash_mismatch);
+}
+
+TEST_F(RecoveryTest, PrunedLogsBeyondTheLastSnapshotBreakTheChain) {
+  CommitmentBoard board;
+  store::LogStore store;
+  PipelineOptions options;
+  options.checkpoint_every_n_rounds = 0;  // nothing to restore from...
+  store_window(store, board, 1, 1);
+  {
+    ProviderPipeline pipeline(store, board, options);
+    ASSERT_TRUE(pipeline.aggregate_pending().ok());
+    EXPECT_EQ(pipeline.prune_aggregated(), 1u);  // ...and no raw logs left
+  }
+  ProviderPipeline fresh(store, board, options);
+  auto recovery = fresh.recover();
+  ASSERT_FALSE(recovery.ok());
+  EXPECT_EQ(recovery.error().code, Errc::chain_broken);
+}
+
+TEST_F(RecoveryTest, OrphanSnapshotWithoutReceiptIsSkipped) {
+  CommitmentBoard board;
+  store::LogStore store;
+  ProviderPipeline pipeline(store, board);
+  store_window(store, board, 1, 1);
+  store_window(store, board, 2, 1);
+  ASSERT_TRUE(pipeline.aggregate_pending().ok());
+  // Simulate a crash between snapshot append and receipt append: a
+  // chain_state row for a window that has no receipt.
+  const ChainSnapshot orphan =
+      ChainSnapshot::capture(3, 99, pipeline.receipts().back().claim.digest(),
+                             pipeline.aggregation().state());
+  ASSERT_TRUE(
+      store.append(store::kTableChainState, 99, 3, orphan.to_bytes()).ok());
+
+  ProviderPipeline fresh(store, board);
+  auto recovery = fresh.recover();
+  ASSERT_TRUE(recovery.ok()) << recovery.error().to_string();
+  EXPECT_EQ(recovery.value().snapshots_skipped, 1u);
+  EXPECT_EQ(recovery.value().rounds_restored, 2u);  // older snapshot adopted
+  EXPECT_EQ(recovery.value().last_window, 2u);
+}
+
+// The acceptance sweep: arm every fault point at every interesting
+// occurrence index, run the pipeline into it, then "restart" and require
+// that recovery completes the chain — or, where the injected fault kills
+// the run, that the failure was a typed transient error. No (point, index)
+// pair may corrupt the chain or trip an untyped failure.
+TEST_F(RecoveryTest, FaultSweepEveryCrashPointRecoversOrFailsTyped) {
+  struct Case {
+    store::FaultPoint point;
+    u64 after_n;
+  };
+  std::vector<Case> cases;
+  // Aggregating 3 single-router windows touches the store ~6 times per
+  // append-class point (snapshot + receipt per round) and 4 times per
+  // scan-class point (pending scan + one load per round): offsets 0..5
+  // cover every crash position, plus a tail where the fault never fires.
+  for (u64 n = 0; n < 6; ++n) {
+    cases.push_back({store::FaultPoint::wal_append, n});
+    cases.push_back({store::FaultPoint::wal_torn_write, n});
+    cases.push_back({store::FaultPoint::fsync, n});
+    cases.push_back({store::FaultPoint::scan, n});
+  }
+  // The checkpoint points fire inside the single checkpoint() call below.
+  cases.push_back({store::FaultPoint::checkpoint_snapshot_write, 0});
+  cases.push_back({store::FaultPoint::checkpoint_rename, 0});
+  cases.push_back({store::FaultPoint::checkpoint_wal_truncate, 0});
+
+  PipelineOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.base_backoff = std::chrono::milliseconds(1);
+  options.retry.max_backoff = std::chrono::milliseconds(2);
+
+  for (const auto& test_case : cases) {
+    SCOPED_TRACE(std::string(store::fault_point_name(test_case.point)) +
+                 " after " + std::to_string(test_case.after_n) + " hits");
+    clean();
+    CommitmentBoard board;
+    store::FaultInjector faults;
+
+    // Process 1: populate, arm the fault, aggregate into it.
+    {
+      store::LogStore store(config());
+      ASSERT_TRUE(store.recover().ok());
+      store_window(store, board, 1, 1);
+      store_window(store, board, 2, 1);
+      store_window(store, board, 3, 1);
+      faults.arm(test_case.point, test_case.after_n);
+      store.set_fault_injector(&faults);
+      ProviderPipeline pipeline(store, board, options);
+      auto rounds = pipeline.aggregate_pending();
+      if (!rounds.ok()) {
+        // A crash-equivalent failure must surface as the typed transient
+        // class — never a parse error, never silent corruption.
+        EXPECT_EQ(rounds.error().code, Errc::io_error)
+            << rounds.error().to_string();
+      }
+      (void)store.checkpoint();  // exercises the checkpoint crash points
+      store.set_fault_injector(nullptr);
+    }
+
+    // Process 2: restart with a healthy store; the chain must complete.
+    store::LogStore store(config());
+    ASSERT_TRUE(store.recover().ok());
+    ProviderPipeline pipeline(store, board, options);
+    auto recovery = pipeline.recover();
+    ASSERT_TRUE(recovery.ok()) << recovery.error().to_string();
+    auto rounds = pipeline.aggregate_pending();
+    ASSERT_TRUE(rounds.ok()) << rounds.error().to_string();
+    ASSERT_EQ(pipeline.receipts().size(), 3u);
+    Auditor auditor(board);
+    for (const auto& receipt : pipeline.receipts()) {
+      ASSERT_TRUE(auditor.accept_round(receipt).ok());
+    }
+    EXPECT_EQ(auditor.rounds_accepted(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace zkt::core

@@ -123,7 +123,7 @@ TEST(Service, CompositeOptionsProduceCompositeReceipts) {
   zvm::ProveOptions options;
   options.seal_kind = zvm::SealKind::composite;
   options.num_queries = 8;
-  AggregationService service(fx.board, options);
+  AggregationService service(fx.board, AggregationOptions{options});
   auto round = service.aggregate({batch});
   ASSERT_TRUE(round.ok());
   EXPECT_EQ(round.value().receipt.seal_kind, zvm::SealKind::composite);
@@ -172,24 +172,28 @@ TEST(Service, SelectiveQueryOnEmptyStateWorks) {
   EXPECT_EQ(resp.value().journal.result.matched, 0u);
 }
 
-TEST(Service, DeprecatedSelectiveShimMatchesUnifiedRun) {
+TEST(Service, DeprecatedProveOptionsCtorsMatchOptionsStructs) {
+  // The positional ProveOptions constructors are one-release shims for the
+  // options-struct constructors; both must configure the service the same.
   Fixture fx;
   auto batch = fx.committed(0, 1, {1, 2});
-  AggregationService service(fx.board);
-  ASSERT_TRUE(service.aggregate({batch}).ok());
-  QueryService queries(service);
-  auto unified =
-      queries.run(Query::count(), {.mode = QueryMode::selective,
-                                   .prove_options_override = {}});
+  zvm::ProveOptions prove;
+  prove.seal_kind = zvm::SealKind::composite;
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto shimmed = queries.run_selective(Query::count());
+  AggregationService shimmed(fx.board, prove);
 #pragma GCC diagnostic pop
-  ASSERT_TRUE(unified.ok());
-  ASSERT_TRUE(shimmed.ok());
-  EXPECT_EQ(unified.value().value, shimmed.value().value);
-  EXPECT_EQ(unified.value().journal.mode, QueryMode::selective);
-  EXPECT_EQ(shimmed.value().journal.mode, QueryMode::selective);
+  AggregationService direct(fx.board, AggregationOptions{prove});
+  auto shimmed_round = shimmed.aggregate({batch});
+  auto direct_round = direct.aggregate({batch});
+  ASSERT_TRUE(shimmed_round.ok());
+  ASSERT_TRUE(direct_round.ok());
+  EXPECT_EQ(shimmed_round.value().receipt.seal_kind,
+            zvm::SealKind::composite);
+  EXPECT_EQ(shimmed_round.value().receipt.seal_kind,
+            direct_round.value().receipt.seal_kind);
+  EXPECT_EQ(shimmed_round.value().receipt.claim.digest(),
+            direct_round.value().receipt.claim.digest());
 }
 
 TEST(Service, QueryOptionsProveOverrideTakesEffect) {
@@ -217,7 +221,7 @@ TEST(Service, SegmentedProvingWorksThroughTheFullStack) {
   Fixture fx;
   zvm::ProveOptions options;
   options.max_segment_rows = 16;
-  AggregationService service(fx.board, options);
+  AggregationService service(fx.board, AggregationOptions{options});
   auto b1 = fx.committed(0, 1, {1, 2, 3, 4, 5});
   auto r1 = service.aggregate({b1});
   ASSERT_TRUE(r1.ok());
@@ -231,7 +235,7 @@ TEST(Service, SegmentedProvingWorksThroughTheFullStack) {
   ASSERT_TRUE(auditor.accept_round(r1.value().receipt).ok());
   ASSERT_TRUE(auditor.accept_round(r2.value().receipt).ok());
 
-  QueryService queries(service, options);
+  QueryService queries(service, QueryServiceOptions{options});
   auto resp = queries.run(Query::sum(QField::packets));
   ASSERT_TRUE(resp.ok());
   EXPECT_GT(resp.value().prove_info.segments, 1u);

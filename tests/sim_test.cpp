@@ -3,10 +3,12 @@
 // commitments, store contents, v9 round-trip integrity).
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 
 #include "core/auditor.h"
 #include "core/service.h"
+#include "sim/crash.h"
 #include "sim/simulator.h"
 
 namespace zkt::sim {
@@ -254,6 +256,38 @@ TEST(Simulator, EmptyWorkloadIsFine) {
   NetFlowSimulator simulator(SimConfig{}, logs, board);
   EXPECT_TRUE(simulator.run({}).ok());
   EXPECT_TRUE(simulator.committed_windows().empty());
+}
+
+TEST(Simulator, CrashRestartScenarioRecoversChain) {
+  const auto data_dir =
+      std::filesystem::temp_directory_path() /
+      ("zkt_crash_restart_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(data_dir);
+  ASSERT_TRUE(std::filesystem::create_directories(data_dir));
+
+  CrashRestartConfig config;
+  config.data_dir = data_dir.string();
+  config.sim.router_count = 2;
+  config.sim.window_ms = 2'000;
+  config.workload.duration_ms = 10'000;  // ~5 commitment windows
+  config.packet_count = 800;
+  config.crash_after_rounds = 2;
+  config.pipeline.retry.base_backoff = std::chrono::milliseconds(1);
+  config.pipeline.retry.max_backoff = std::chrono::milliseconds(2);
+
+  auto report = run_crash_restart(config);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_GT(report.value().windows_committed, 2u);
+  EXPECT_EQ(report.value().rounds_before_crash, 2u);
+  EXPECT_GE(report.value().truncated_frames, 1u);  // the torn frame
+  EXPECT_TRUE(report.value().recovery.resumed);
+  EXPECT_EQ(report.value().recovery.rounds_restored, 2u);
+  EXPECT_GT(report.value().rounds_after_restart, 0u);
+  EXPECT_EQ(report.value().receipts.size(),
+            report.value().windows_committed);
+  EXPECT_TRUE(report.value().chain_verified);
+
+  std::filesystem::remove_all(data_dir);
 }
 
 }  // namespace

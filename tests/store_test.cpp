@@ -20,10 +20,12 @@ class StoreTest : public ::testing::Test {
                  + ".wal");
     std::filesystem::remove(wal_path_);
     std::filesystem::remove(wal_path_.string() + ".snap");
+    std::filesystem::remove(wal_path_.string() + ".snap.tmp");
   }
   void TearDown() override {
     std::filesystem::remove(wal_path_);
     std::filesystem::remove(wal_path_.string() + ".snap");
+    std::filesystem::remove(wal_path_.string() + ".snap.tmp");
   }
 
   std::filesystem::path wal_path_;
@@ -228,6 +230,205 @@ TEST(LogStoreMem, DropRowsByWindow) {
 TEST(LogStoreMem, CheckpointNoopWithoutWal) {
   LogStore store;
   EXPECT_TRUE(store.checkpoint().ok());
+}
+
+TEST(LogStoreMem, ForEachVisitsRangeInAppendOrder) {
+  LogStore store;
+  for (u64 w = 1; w <= 3; ++w) {
+    for (u64 r = 0; r < 2; ++r) {
+      ASSERT_TRUE(store.append("t", w, r, bytes_of("x")).ok());
+    }
+  }
+  std::vector<std::pair<u64, u64>> seen;
+  ASSERT_TRUE(store
+                  .for_each("t", 2, 3,
+                            [&](const StoredRow& row) {
+                              seen.emplace_back(row.k1, row.k2);
+                            })
+                  .ok());
+  const std::vector<std::pair<u64, u64>> want = {
+      {2, 0}, {2, 1}, {3, 0}, {3, 1}};
+  EXPECT_EQ(seen, want);
+  // Unknown tables visit nothing but are not an error.
+  EXPECT_TRUE(store.for_each("missing", 0, ~0ULL,
+                             [&](const StoredRow&) { FAIL(); })
+                  .ok());
+}
+
+TEST(FaultInjector, OneShotCountdownSemantics) {
+  FaultInjector faults;
+  EXPECT_FALSE(faults.armed(FaultPoint::scan));
+  EXPECT_FALSE(faults.fire(FaultPoint::scan));  // unarmed: never fires
+  faults.arm(FaultPoint::scan, 2);
+  EXPECT_TRUE(faults.armed(FaultPoint::scan));
+  EXPECT_FALSE(faults.fire(FaultPoint::scan));  // two hits pass...
+  EXPECT_FALSE(faults.fire(FaultPoint::scan));
+  EXPECT_TRUE(faults.fire(FaultPoint::scan));   // ...then fire once
+  EXPECT_FALSE(faults.fire(FaultPoint::scan));  // plan consumed
+  EXPECT_EQ(faults.injected(), 1u);
+
+  faults.arm(FaultPoint::fsync);
+  faults.disarm(FaultPoint::fsync);
+  EXPECT_FALSE(faults.fire(FaultPoint::fsync));
+  faults.arm(FaultPoint::wal_append);
+  faults.disarm_all();
+  EXPECT_FALSE(faults.armed(FaultPoint::wal_append));
+  EXPECT_EQ(faults.injected(), 1u);
+}
+
+TEST(LogStoreMem, InjectedScanFaultFailsForEachOnce) {
+  LogStore store;
+  ASSERT_TRUE(store.append("t", 1, 0, bytes_of("x")).ok());
+  FaultInjector faults;
+  store.set_fault_injector(&faults);
+  faults.arm(FaultPoint::scan);
+  auto status = store.for_each("t", 0, ~0ULL, [](const StoredRow&) {});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Errc::io_error);
+  // One-shot: the next visit succeeds (a transient fault, retryable).
+  EXPECT_TRUE(store.for_each("t", 0, ~0ULL, [](const StoredRow&) {}).ok());
+  store.set_fault_injector(nullptr);
+}
+
+TEST_F(StoreTest, InjectedAppendFaultFailsBeforeAnyWrite) {
+  {
+    FaultInjector faults;
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    store.set_fault_injector(&faults);
+    faults.arm(FaultPoint::wal_append);
+    auto id = store.append("t", 1, 0, bytes_of("x"));
+    ASSERT_FALSE(id.ok());
+    EXPECT_EQ(id.error().code, Errc::io_error);
+    EXPECT_EQ(store.row_count("t"), 0u);  // failed append leaves no row
+    // The retry lands cleanly: nothing reached the WAL the first time.
+    ASSERT_TRUE(store.append("t", 1, 0, bytes_of("x")).ok());
+  }
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 1u);
+  EXPECT_EQ(reopened.stats().truncated_frames, 0u);
+  EXPECT_EQ(reopened.stats().deduped_frames, 0u);
+}
+
+TEST_F(StoreTest, InjectedFsyncFaultMakesRetrySafeViaDedup) {
+  // The fsync ambiguity: the frame IS on disk but the append reports
+  // failure. A retry writes a second frame with the same row id; replay
+  // deduplicates, so "retry on transient error" is safe.
+  {
+    FaultInjector faults;
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    ASSERT_TRUE(store.append("t", 1, 0, bytes_of("a")).ok());
+    store.set_fault_injector(&faults);
+    faults.arm(FaultPoint::fsync);
+    auto id = store.append("t", 2, 0, bytes_of("b"));
+    ASSERT_FALSE(id.ok());
+    EXPECT_EQ(id.error().code, Errc::io_error);
+    EXPECT_EQ(store.row_count("t"), 1u);
+    ASSERT_TRUE(store.append("t", 2, 0, bytes_of("b")).ok());  // the retry
+    EXPECT_EQ(store.row_count("t"), 2u);
+  }
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 2u);  // not 3: duplicate frame skipped
+  EXPECT_EQ(reopened.stats().deduped_frames, 1u);
+  EXPECT_EQ(reopened.stats().truncated_frames, 0u);
+}
+
+TEST_F(StoreTest, InjectedTornWriteKillsHandleUntilRestart) {
+  LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(store.recover().ok());
+  for (u64 i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.append("t", i, 0, Bytes(100, 'x')).ok());
+  }
+  FaultInjector faults;
+  store.set_fault_injector(&faults);
+  faults.arm(FaultPoint::wal_torn_write);
+  auto id = store.append("t", 3, 0, Bytes(100, 'y'));
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.error().code, Errc::io_error);
+  // The "process" is dead: appending past a torn frame would make the WAL
+  // tail unreadable, so every further append fails until a restart.
+  EXPECT_FALSE(store.append("t", 4, 0, bytes_of("z")).ok());
+  store.set_fault_injector(nullptr);
+
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 3u);  // prefix intact, torn frame gone
+  EXPECT_EQ(reopened.stats().truncated_frames, 1u);
+  ASSERT_TRUE(reopened.append("t", 3, 0, Bytes(100, 'y')).ok());
+}
+
+TEST_F(StoreTest, CheckpointSnapshotWriteCrashKeepsWalAuthoritative) {
+  {
+    FaultInjector faults;
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    for (u64 i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store.append("t", i, 0, Bytes(100, 'a')).ok());
+    }
+    store.set_fault_injector(&faults);
+    faults.arm(FaultPoint::checkpoint_snapshot_write);
+    auto status = store.checkpoint();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), Errc::io_error);
+    EXPECT_EQ(store.stats().checkpoints, 0u);
+  }
+  // The partial .tmp is ignored; the WAL still holds everything.
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 5u);
+  EXPECT_EQ(reopened.stats().snapshot_rows, 0u);
+  EXPECT_EQ(reopened.stats().recovered_rows, 5u);
+}
+
+TEST_F(StoreTest, CheckpointRenameCrashKeepsOldSnapshot) {
+  {
+    FaultInjector faults;
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    for (u64 i = 0; i < 3; ++i) {
+      ASSERT_TRUE(store.append("t", i, 0, Bytes(100, 'a')).ok());
+    }
+    ASSERT_TRUE(store.checkpoint().ok());  // snapshot v1: rows 0..2
+    for (u64 i = 3; i < 5; ++i) {
+      ASSERT_TRUE(store.append("t", i, 0, Bytes(100, 'b')).ok());
+    }
+    store.set_fault_injector(&faults);
+    faults.arm(FaultPoint::checkpoint_rename);
+    ASSERT_FALSE(store.checkpoint().ok());
+  }
+  // Old snapshot + post-v1 WAL tail remain the authoritative pair.
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 5u);
+  EXPECT_EQ(reopened.stats().snapshot_rows, 3u);
+  EXPECT_EQ(reopened.stats().recovered_rows, 2u);
+}
+
+TEST_F(StoreTest, CheckpointTruncateCrashDedupesStaleWal) {
+  {
+    FaultInjector faults;
+    LogStore store(StoreConfig{.wal_path = wal_path_.string()});
+    ASSERT_TRUE(store.recover().ok());
+    for (u64 i = 0; i < 4; ++i) {
+      ASSERT_TRUE(store.append("t", i, 0, Bytes(100, 'a')).ok());
+    }
+    store.set_fault_injector(&faults);
+    faults.arm(FaultPoint::checkpoint_wal_truncate);
+    // Crash after the snapshot rename, before the WAL truncation: the new
+    // snapshot and the full stale WAL coexist on disk.
+    ASSERT_FALSE(store.checkpoint().ok());
+  }
+  LogStore reopened(StoreConfig{.wal_path = wal_path_.string()});
+  ASSERT_TRUE(reopened.recover().ok());
+  EXPECT_EQ(reopened.row_count("t"), 4u);  // no double-apply
+  EXPECT_EQ(reopened.stats().snapshot_rows, 4u);
+  EXPECT_EQ(reopened.stats().deduped_frames, 4u);
+  EXPECT_EQ(reopened.stats().recovered_rows, 0u);
+  // And the reopened store keeps working.
+  ASSERT_TRUE(reopened.append("t", 9, 0, bytes_of("c")).ok());
 }
 
 TEST(LogStoreMem, ConcurrentAppendsSafe) {

@@ -5,7 +5,13 @@
 // Usage:
 //   zkt-prove --data-dir DIR [--query "sum(hop_sum) where src_ip = 1.1.1.1"]
 //             [--group-by FIELD] [--selective] [--composite]
-//             [--metrics] [--metrics-json [PATH]]
+//             [--recover] [--checkpoint-every N] [--retry-attempts N]
+//             [--prune] [--metrics] [--metrics-json [PATH]]
+//
+// --recover resumes a previous zkt-prove run's proof chain from the chain
+// snapshots persisted in the store (see docs/RECOVERY.md) instead of
+// re-proving from window 0; --checkpoint-every controls how often those
+// snapshots are written (default: every round).
 //
 // Outputs (in DIR): aggregation_receipts.bin, query_receipt.bin; with
 // --metrics-json also a metrics snapshot (default DIR/metrics.json, schema
@@ -77,9 +83,35 @@ int main(int argc, char** argv) {
   zvm::ProveOptions options;
   if (flags.has("composite")) options.seal_kind = zvm::SealKind::composite;
 
+  core::PipelineOptions pipeline_options;
+  pipeline_options.prove_options = options;
+  pipeline_options.checkpoint_every_n_rounds =
+      flags.get_u64("checkpoint-every", 1);
+  pipeline_options.retry.max_attempts =
+      static_cast<u32>(flags.get_u64("retry-attempts", 3));
+  pipeline_options.prune_aggregated = flags.has("prune");
+
   // The pipeline aggregates every committed window, in order, and persists
-  // round receipts back into the store.
-  core::ProviderPipeline pipeline(logs, board, options);
+  // round receipts (plus chain snapshots) back into the store.
+  core::ProviderPipeline pipeline(logs, board, pipeline_options);
+  if (flags.has("recover")) {
+    auto recovery = pipeline.recover();
+    if (!recovery.ok()) {
+      std::fprintf(stderr, "recovery FAILED: %s\n",
+                   recovery.error().to_string().c_str());
+      return finish(flags, data_dir, 2);
+    }
+    if (recovery.value().resumed) {
+      std::printf(
+          "  recovered chain: %llu rounds from snapshot, %llu replayed, "
+          "resuming after window %llu\n",
+          (unsigned long long)recovery.value().rounds_restored,
+          (unsigned long long)recovery.value().rounds_replayed,
+          (unsigned long long)recovery.value().last_window.value_or(0));
+    } else {
+      std::printf("  no chain state to recover; starting fresh\n");
+    }
+  }
   auto rounds = pipeline.aggregate_pending();
   if (!rounds.ok()) {
     std::fprintf(stderr,
@@ -156,7 +188,8 @@ int main(int argc, char** argv) {
       return finish(flags, data_dir, 0);
     }
 
-    core::QueryService queries(aggregation, options);
+    core::QueryService queries(aggregation,
+                               core::QueryServiceOptions{options});
     core::QueryOptions query_options;
     if (flags.has("selective")) {
       query_options.mode = core::QueryMode::selective;
