@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/describe.h"
 #include "core/histogram_query.h"
 #include "core/zkt.h"
 #include "sim/simulator.h"
@@ -157,7 +158,7 @@ int main() {
               (unsigned long long)hist_verified.value().count_below,
               (unsigned long long)hist_verified.value().total,
               static_cast<double>(bound_us) / 1000.0,
-              100.0 * hist_verified.value().fraction_below());
+              100.0 * core::fraction_below(hist_verified.value()));
 
   return ratio >= 90.0 ? 0 : 2;
 }

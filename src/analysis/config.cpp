@@ -1,0 +1,178 @@
+#include "analysis/config.h"
+
+#include <cctype>
+
+namespace zkt::analysis {
+
+namespace {
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strip a trailing `# comment` (outside quotes).
+std::string_view strip_comment(std::string_view s) {
+  bool in_str = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') in_str = !in_str;
+    if (s[i] == '#' && !in_str) return s.substr(0, i);
+  }
+  return s;
+}
+
+Result<std::string> parse_quoted(std::string_view s, int line) {
+  s = strip(s);
+  if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+    return Error{Errc::parse_error,
+                 "expected quoted string at line " + std::to_string(line)};
+  }
+  return std::string(s.substr(1, s.size() - 2));
+}
+
+}  // namespace
+
+Result<Config> Config::parse(std::string_view text) {
+  Config cfg;
+  std::string section;
+  int line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    line = strip(strip_comment(line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        return Error{Errc::parse_error,
+                     "bad section header at line " + std::to_string(line_no)};
+      }
+      section = std::string(strip(line.substr(1, line.size() - 2)));
+      continue;
+    }
+
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Error{Errc::parse_error,
+                   "expected key = value at line " + std::to_string(line_no)};
+    }
+    if (section.empty()) {
+      return Error{Errc::parse_error,
+                   "key outside any [section] at line " + std::to_string(line_no)};
+    }
+    const std::string key{strip(line.substr(0, eq))};
+    std::string rhs{strip(line.substr(eq + 1))};
+
+    // Multi-line arrays: accumulate until the closing bracket.
+    if (!rhs.empty() && rhs.front() == '[') {
+      while (rhs.find(']') == std::string::npos && pos <= text.size()) {
+        size_t next_eol = text.find('\n', pos);
+        if (next_eol == std::string_view::npos) next_eol = text.size();
+        std::string_view cont = strip(strip_comment(text.substr(pos, next_eol - pos)));
+        pos = next_eol + 1;
+        ++line_no;
+        rhs += ' ';
+        rhs += std::string(cont);
+        if (next_eol == text.size()) break;
+      }
+      const size_t close = rhs.find(']');
+      if (close == std::string::npos) {
+        return Error{Errc::parse_error,
+                     "unterminated array at line " + std::to_string(line_no)};
+      }
+      std::string_view body = strip(std::string_view(rhs).substr(1, close - 1));
+      std::vector<std::string> items;
+      size_t i = 0;
+      while (i < body.size()) {
+        size_t comma = body.find(',', i);
+        if (comma == std::string_view::npos) comma = body.size();
+        std::string_view item = strip(body.substr(i, comma - i));
+        if (!item.empty()) {
+          auto s = parse_quoted(item, line_no);
+          if (!s.ok()) return s.error();
+          items.push_back(std::move(s.value()));
+        }
+        i = comma + 1;
+      }
+      cfg.set(section, key, std::move(items));
+      continue;
+    }
+
+    if (rhs == "true" || rhs == "false") {
+      cfg.set(section, key, rhs == "true");
+    } else if (!rhs.empty() && rhs.front() == '"') {
+      auto s = parse_quoted(rhs, line_no);
+      if (!s.ok()) return s.error();
+      cfg.set(section, key, std::move(s.value()));
+    } else if (!rhs.empty() &&
+               (std::isdigit(static_cast<unsigned char>(rhs.front())) ||
+                rhs.front() == '-')) {
+      cfg.set(section, key, std::stol(rhs));
+    } else {
+      return Error{Errc::parse_error,
+                   "unsupported value at line " + std::to_string(line_no)};
+    }
+  }
+  return cfg;
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  auto it = sections_.find(section);
+  return it != sections_.end() && it->second.values.count(key) > 0;
+}
+
+std::string Config::str(const std::string& section, const std::string& key,
+                        std::string fallback) const {
+  auto it = sections_.find(section);
+  if (it == sections_.end()) return fallback;
+  auto v = it->second.values.find(key);
+  if (v == it->second.values.end()) return fallback;
+  if (const auto* s = std::get_if<std::string>(&v->second)) return *s;
+  return fallback;
+}
+
+bool Config::flag(const std::string& section, const std::string& key,
+                  bool fallback) const {
+  auto it = sections_.find(section);
+  if (it == sections_.end()) return fallback;
+  auto v = it->second.values.find(key);
+  if (v == it->second.values.end()) return fallback;
+  if (const auto* b = std::get_if<bool>(&v->second)) return *b;
+  return fallback;
+}
+
+std::vector<std::string> Config::strs(const std::string& section,
+                                      const std::string& key) const {
+  auto it = sections_.find(section);
+  if (it == sections_.end()) return {};
+  auto v = it->second.values.find(key);
+  if (v == it->second.values.end()) return {};
+  if (const auto* a = std::get_if<std::vector<std::string>>(&v->second)) {
+    return *a;
+  }
+  if (const auto* s = std::get_if<std::string>(&v->second)) return {*s};
+  return {};
+}
+
+std::vector<std::string> Config::keys(const std::string& section) const {
+  auto it = sections_.find(section);
+  if (it == sections_.end()) return {};
+  return it->second.order;
+}
+
+void Config::set(const std::string& section, const std::string& key, Value v) {
+  Section& s = sections_[section];
+  if (!s.values.count(key)) s.order.push_back(key);
+  s.values[key] = std::move(v);
+}
+
+}  // namespace zkt::analysis

@@ -1,0 +1,49 @@
+// Minimal TOML-subset config for zkt-lint (.zkt-lint.toml).
+//
+// Dependency-free on purpose: supports exactly the shapes the lint config
+// uses — `[section.name]` headers, `key = "string"`, `key = true/false`,
+// `key = 123`, and (possibly multi-line) `key = ["a", "b"]` string arrays.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace zkt::analysis {
+
+class Config {
+ public:
+  using Value = std::variant<std::string, bool, long, std::vector<std::string>>;
+
+  /// Parse config text; returns Errc::parse_error with a line number on
+  /// malformed input.
+  static Result<Config> parse(std::string_view text);
+
+  bool has(const std::string& section, const std::string& key) const;
+
+  /// String value, or `fallback` when absent.
+  std::string str(const std::string& section, const std::string& key,
+                  std::string fallback = {}) const;
+  /// Boolean value, or `fallback` when absent.
+  bool flag(const std::string& section, const std::string& key,
+            bool fallback) const;
+  /// String-array value; empty when absent.
+  std::vector<std::string> strs(const std::string& section,
+                                const std::string& key) const;
+  /// All keys of a section, in file order.
+  std::vector<std::string> keys(const std::string& section) const;
+
+  void set(const std::string& section, const std::string& key, Value v);
+
+ private:
+  struct Section {
+    std::vector<std::string> order;
+    std::map<std::string, Value> values;
+  };
+  std::map<std::string, Section> sections_;
+};
+
+}  // namespace zkt::analysis

@@ -1,0 +1,257 @@
+#include "analysis/token.h"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace zkt::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators, longest first (maximal munch).
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "<=>", "...", "->*", "<<=", ">>=", "::", "->", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "|=",  "&=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && peek(1) == '"') {
+        raw_string();
+        continue;
+      }
+      if (c == '"') {
+        string_literal('"', Tok::str);
+        continue;
+      }
+      if (c == '\'') {
+        string_literal('\'', Tok::chr);
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        pp_number();
+        continue;
+      }
+      punctuator();
+    }
+    out_.tokens.push_back(Token{Tok::eof, "", line_});
+    return std::move(out_);
+  }
+
+ private:
+  char peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Tok kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const size_t start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    scan_suppression(src_.substr(start, pos_ - start), line_);
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    const size_t start = pos_;
+    pos_ += 2;
+    while (pos_ + 1 < src_.size() &&
+           !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    pos_ = pos_ + 1 < src_.size() ? pos_ + 2 : src_.size();
+    scan_suppression(src_.substr(start, pos_ - start), start_line);
+  }
+
+  /// Parse `zkt-lint: allow(rule, ...)` / `allow-file(rule, ...)` inside a
+  /// comment.
+  void scan_suppression(std::string_view comment, int line) {
+    const size_t tag = comment.find("zkt-lint:");
+    if (tag == std::string_view::npos) return;
+    std::string_view rest = comment.substr(tag + 9);
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    bool whole_file = false;
+    if (rest.rfind("allow-file(", 0) == 0) {
+      whole_file = true;
+      rest.remove_prefix(11);
+    } else if (rest.rfind("allow(", 0) == 0) {
+      rest.remove_prefix(6);
+    } else {
+      return;
+    }
+    const size_t close = rest.find(')');
+    if (close == std::string_view::npos) return;
+    std::string_view list = rest.substr(0, close);
+    size_t i = 0;
+    while (i <= list.size()) {
+      size_t comma = list.find(',', i);
+      if (comma == std::string_view::npos) comma = list.size();
+      std::string_view name = list.substr(i, comma - i);
+      while (!name.empty() && name.front() == ' ') name.remove_prefix(1);
+      while (!name.empty() && name.back() == ' ') name.remove_suffix(1);
+      if (!name.empty()) {
+        if (whole_file) {
+          out_.allow_file.insert(std::string(name));
+        } else {
+          out_.allow_lines[line].insert(std::string(name));
+        }
+      }
+      i = comma + 1;
+    }
+  }
+
+  /// Preprocessor directive: record #include targets; lex other directives
+  /// normally so banned tokens inside macro definitions are still seen.
+  void directive() {
+    at_line_start_ = false;
+    ++pos_;  // consume '#'
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+      ++pos_;
+    }
+    size_t name_start = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    const std::string_view name = src_.substr(name_start, pos_ - name_start);
+    if (name != "include") return;  // tokens of the directive lex as usual
+    while (pos_ < src_.size() && (src_[pos_] == ' ' || src_[pos_] == '\t')) {
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return;
+    const char open = src_[pos_];
+    if (open != '<' && open != '"') return;
+    const char close = open == '<' ? '>' : '"';
+    ++pos_;
+    const size_t target_start = pos_;
+    while (pos_ < src_.size() && src_[pos_] != close && src_[pos_] != '\n') {
+      ++pos_;
+    }
+    IncludeDirective inc;
+    inc.path = std::string(src_.substr(target_start, pos_ - target_start));
+    inc.angled = open == '<';
+    inc.line = line_;
+    out_.includes.push_back(std::move(inc));
+    if (pos_ < src_.size() && src_[pos_] == close) ++pos_;
+    // The rest of the line is lexed normally so a trailing
+    // `// zkt-lint: allow(...)` comment still registers as a suppression.
+  }
+
+  void raw_string() {
+    const int start_line = line_;
+    pos_ += 2;  // R"
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string terminator = ")" + delim + "\"";
+    const size_t end = src_.find(terminator, pos_);
+    if (end == std::string_view::npos) {
+      pos_ = src_.size();
+    } else {
+      for (size_t i = pos_; i < end; ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      pos_ = end + terminator.size();
+    }
+    emit(Tok::str, "", start_line);
+  }
+
+  void string_literal(char quote, Tok kind) {
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != quote && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == quote) ++pos_;
+    emit(kind, "", line_);
+  }
+
+  void identifier() {
+    const size_t start = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    emit(Tok::ident, std::string(src_.substr(start, pos_ - start)), line_);
+  }
+
+  void pp_number() {
+    const size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        // Exponent signs belong to the number: 1e+9, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    emit(Tok::number, std::string(src_.substr(start, pos_ - start)), line_);
+  }
+
+  void punctuator() {
+    for (std::string_view p : kPuncts) {
+      if (src_.compare(pos_, p.size(), p) == 0) {
+        emit(Tok::punct, std::string(p), line_);
+        pos_ += p.size();
+        return;
+      }
+    }
+    emit(Tok::punct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace zkt::analysis

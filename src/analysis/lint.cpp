@@ -1,0 +1,143 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace zkt::analysis {
+
+namespace {
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+size_t LintResult::unsuppressed() const {
+  size_t n = 0;
+  for (const Finding& f : findings) {
+    if (!f.suppressed) ++n;
+  }
+  return n;
+}
+
+std::string LintResult::to_text(bool include_suppressed) const {
+  std::string out;
+  for (const Finding& f : findings) {
+    if (f.suppressed && !include_suppressed) continue;
+    out += f.path;
+    out += ':';
+    out += std::to_string(f.line);
+    out += ": [";
+    out += f.rule;
+    out += "] ";
+    out += f.message;
+    if (f.suppressed) out += " (suppressed)";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string LintResult::to_json() const {
+  std::string out = "{\"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"rule\": \"";
+    json_escape_into(out, f.rule);
+    out += "\", \"file\": \"";
+    json_escape_into(out, f.path);
+    out += "\", \"line\": " + std::to_string(f.line);
+    out += ", \"suppressed\": ";
+    out += f.suppressed ? "true" : "false";
+    out += ", \"message\": \"";
+    json_escape_into(out, f.message);
+    out += "\"}";
+  }
+  out += "], \"unsuppressed\": " + std::to_string(unsuppressed()) + "}";
+  return out;
+}
+
+int LintContext::find(const std::string& path) const {
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (files[i].path == path) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int LintContext::resolve_include(const std::string& inc) const {
+  std::vector<std::string> roots = config->strs("lint", "include_dirs");
+  if (roots.empty()) roots = {"src"};
+  for (const std::string& root : roots) {
+    const int idx = find(root + "/" + inc);
+    if (idx >= 0) return idx;
+  }
+  return -1;
+}
+
+std::vector<std::string> rule_names() {
+  return {"guest-determinism", "result-discipline", "secret-hygiene",
+          "layer-dag"};
+}
+
+LintResult run_lint(const Config& config,
+                    const std::vector<SourceFile>& files) {
+  LintContext ctx;
+  ctx.config = &config;
+  ctx.files.reserve(files.size());
+  for (const SourceFile& f : files) {
+    ctx.files.push_back(AnalyzedFile{f.path, lex(f.content)});
+  }
+
+  struct RuleEntry {
+    const char* name;
+    void (*fn)(const LintContext&, std::vector<Finding>&);
+  };
+  const RuleEntry rules[] = {
+      {"guest-determinism", check_guest_determinism},
+      {"result-discipline", check_result_discipline},
+      {"secret-hygiene", check_secret_hygiene},
+      {"layer-dag", check_layer_dag},
+  };
+
+  LintResult result;
+  for (const RuleEntry& rule : rules) {
+    if (!config.flag("rule." + std::string(rule.name), "enabled", true)) {
+      continue;
+    }
+    rule.fn(ctx, result.findings);
+  }
+
+  // Apply suppressions and order diagnostics for stable output.
+  for (Finding& f : result.findings) {
+    const int idx = ctx.find(f.path);
+    if (idx >= 0 && ctx.files[idx].lexed.suppressed(f.rule, f.line)) {
+      f.suppressed = true;
+    }
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace zkt::analysis

@@ -1,0 +1,95 @@
+// zkt-lint engine: project-invariant static analysis.
+//
+// The soundness story of the paper's system rests on properties that no
+// compiler flag checks for us: guest programs must be deterministic,
+// replayable functions of their Env input (Errc paths included), recoverable
+// errors must never be silently dropped, secret comparisons must be constant
+// time, and the module layering must stay acyclic so guest-reachable code
+// cannot grow host-side dependencies. Each rule here machine-checks one of
+// those invariants at the token / include-graph level; see docs/ANALYSIS.md
+// for the rationale behind every rule.
+//
+// Rules (all configured via .zkt-lint.toml, suppressed per finding with
+// `// zkt-lint: allow(<rule>)`):
+//   guest-determinism  — no clocks, randomness, floats, threads, ambient I/O
+//                        or unordered-container iteration in translation
+//                        units reachable from the guest roots.
+//   result-discipline  — no discarded Result/Status calls; no .value()
+//                        that is not dominated by an ok()/has_value() check.
+//   secret-hygiene     — no memcmp/==/!= on digest or key material inside
+//                        src/crypto; use crypto::ct_equal.
+//   layer-dag          — #include edges must respect the module DAG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/config.h"
+#include "analysis/token.h"
+#include "common/result.h"
+
+namespace zkt::analysis {
+
+/// One input file (path is repo-relative, forward slashes).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  ///< sorted by (path, line)
+
+  size_t unsuppressed() const;
+  /// `file:line: [rule] message` diagnostics, one per line.
+  std::string to_text(bool include_suppressed = false) const;
+  /// Machine-readable report: {"findings": [...], "unsuppressed": N}.
+  std::string to_json() const;
+};
+
+/// Names of all registered rules.
+std::vector<std::string> rule_names();
+
+/// Run every enabled rule over `files` under `config`. Rules with no
+/// project-specific configuration (guest roots, layer DAG) stay inert until
+/// the config provides it; token ban-lists have built-in defaults the config
+/// can override.
+LintResult run_lint(const Config& config, const std::vector<SourceFile>& files);
+
+// ---------------------------------------------------------------------------
+// Internal shared state (exposed for the per-rule implementation files and
+// for white-box tests).
+
+struct AnalyzedFile {
+  std::string path;
+  LexedFile lexed;
+};
+
+struct LintContext {
+  const Config* config = nullptr;
+  std::vector<AnalyzedFile> files;
+
+  /// Index into `files` by repo-relative path, or -1.
+  int find(const std::string& path) const;
+  /// Resolve a quoted include spelled `inc` to an analyzed file index, using
+  /// the configured include roots (default: "src"). Returns -1 for system or
+  /// out-of-tree includes.
+  int resolve_include(const std::string& inc) const;
+};
+
+void check_guest_determinism(const LintContext& ctx,
+                             std::vector<Finding>& findings);
+void check_result_discipline(const LintContext& ctx,
+                             std::vector<Finding>& findings);
+void check_secret_hygiene(const LintContext& ctx,
+                          std::vector<Finding>& findings);
+void check_layer_dag(const LintContext& ctx, std::vector<Finding>& findings);
+
+}  // namespace zkt::analysis

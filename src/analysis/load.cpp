@@ -1,0 +1,78 @@
+#include "analysis/load.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace zkt::analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string rel_to(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty()) ? p.generic_string() : rel.generic_string();
+  return s;
+}
+
+}  // namespace
+
+Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{Errc::io_error, "cannot open " + path};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Error{Errc::io_error, "read failed for " + path};
+  return ss.str();
+}
+
+Result<std::vector<SourceFile>> load_tree(
+    const std::string& repo_root, const std::vector<std::string>& paths) {
+  const fs::path root(repo_root);
+  std::vector<fs::path> collected;
+  for (const std::string& raw : paths) {
+    fs::path p(raw);
+    if (p.is_relative()) p = root / p;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          collected.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      collected.push_back(p);
+    } else {
+      return Error{Errc::not_found, "no such file or directory: " + raw};
+    }
+  }
+
+  std::vector<SourceFile> out;
+  out.reserve(collected.size());
+  for (const fs::path& p : collected) {
+    auto content = read_file(p.string());
+    if (!content.ok()) return content.error();
+    out.push_back(SourceFile{rel_to(root, p), std::move(content.value())});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const SourceFile& a, const SourceFile& b) {
+                          return a.path == b.path;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace zkt::analysis

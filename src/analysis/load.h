@@ -1,0 +1,24 @@
+// Filesystem loading for zkt-lint: collect C++ sources under the given
+// paths, with paths reported relative to the repo root so suppressions,
+// configs and diagnostics are machine-independent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "common/result.h"
+
+namespace zkt::analysis {
+
+/// Recursively collect *.h / *.hpp / *.cpp / *.cc files under each of
+/// `paths` (files are taken as-is). `paths` may be absolute or relative to
+/// `repo_root`; the returned SourceFile::path is always repo-root-relative
+/// with forward slashes, sorted and deduplicated.
+Result<std::vector<SourceFile>> load_tree(const std::string& repo_root,
+                                          const std::vector<std::string>& paths);
+
+/// Read one file fully.
+Result<std::string> read_file(const std::string& path);
+
+}  // namespace zkt::analysis

@@ -1,0 +1,210 @@
+// guest-determinism: translation units reachable from the guest roots must
+// be deterministic, replayable functions of their Env input.
+//
+// The zkVM substitution (src/zvm) enforces replayability only by convention:
+// a guest that reads a clock, consults the environment, branches on floating
+// point, spawns threads, or iterates an unordered container produces traces
+// (and therefore journals and claim digests) that differ across runs — which
+// silently breaks PR 2's recovery-by-replay and the chain verification the
+// paper's Algorithm 1 depends on. This rule computes the include closure of
+// the configured guest roots and bans the nondeterminism sources at the
+// token level:
+//   - banned system headers (<chrono>, <thread>, <random>, <ctime>, ambient
+//     I/O headers) and qualified names (std::chrono, std::thread, ...)
+//   - banned call identifiers (rand, time, getenv, ...)
+//   - float / double tokens (platform- and flag-dependent results)
+//   - iteration over std::unordered_* locals/members (hash order is
+//     implementation-defined; lookups are fine, ordering is not)
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+constexpr const char* kRule = "guest-determinism";
+
+std::vector<std::string> list_or(const Config& cfg, const char* key,
+                                 std::vector<std::string> fallback) {
+  auto v = cfg.strs("rule.guest-determinism", key);
+  return v.empty() ? fallback : v;
+}
+
+/// True when `name` names an unordered container (with or without std::).
+bool is_unordered(const std::string& name) {
+  return name.rfind("unordered_", 0) == 0;
+}
+
+}  // namespace
+
+void check_guest_determinism(const LintContext& ctx,
+                             std::vector<Finding>& findings) {
+  const Config& cfg = *ctx.config;
+  const std::vector<std::string> roots =
+      cfg.strs("rule.guest-determinism", "roots");
+  if (roots.empty()) return;  // not configured for this tree
+
+  const std::vector<std::string> exclude =
+      cfg.strs("rule.guest-determinism", "exclude");
+  // <mutex> is deliberately not banned: guest-reachable headers may carry
+  // host-side registries (ImageRegistry, CommitmentBoard) whose locking
+  // never executes inside a guest; a guest cannot *observe* a mutex without
+  // threads, and <thread> is banned.
+  const std::vector<std::string> banned_headers = list_or(
+      cfg, "banned_headers",
+      {"chrono", "thread", "random", "ctime", "time.h", "iostream", "fstream",
+       "cstdio", "stdio.h", "filesystem", "future"});
+  const std::vector<std::string> banned_qualified =
+      list_or(cfg, "banned_qualified",
+              {"chrono", "thread", "jthread", "random_device", "mt19937",
+               "mt19937_64", "cin", "cout", "cerr", "ifstream", "ofstream",
+               "fstream", "filesystem", "async"});
+  const std::vector<std::string> banned_idents =
+      list_or(cfg, "banned_identifiers",
+              {"rand", "srand", "random", "drand48", "getenv", "time", "clock",
+               "gettimeofday", "clock_gettime", "localtime", "gmtime", "fopen",
+               "fread", "fwrite", "printf", "fprintf", "scanf", "getchar"});
+  const std::vector<std::string> banned_types =
+      list_or(cfg, "banned_types", {"float", "double"});
+
+  const auto in_set = [](const std::vector<std::string>& set,
+                         const std::string& s) {
+    for (const std::string& e : set) {
+      if (e == s) return true;
+    }
+    return false;
+  };
+
+  // ---- Include closure from the roots (project includes only). Excluded
+  // files (reviewed host-side interfaces) neither get scanned nor propagate
+  // reachability through their own includes.
+  std::set<int> reachable;
+  std::vector<int> work;
+  for (const std::string& root : roots) {
+    const int idx = ctx.find(root);
+    if (idx >= 0 && !in_set(exclude, ctx.files[idx].path) &&
+        reachable.insert(idx).second) {
+      work.push_back(idx);
+    }
+  }
+  while (!work.empty()) {
+    const int idx = work.back();
+    work.pop_back();
+    for (const IncludeDirective& inc : ctx.files[idx].lexed.includes) {
+      if (inc.angled) continue;
+      const int target = ctx.resolve_include(inc.path);
+      if (target >= 0 && !in_set(exclude, ctx.files[target].path) &&
+          reachable.insert(target).second) {
+        work.push_back(target);
+      }
+    }
+  }
+
+  for (const int idx : reachable) {
+    const AnalyzedFile& file = ctx.files[idx];
+
+    // Banned system headers.
+    for (const IncludeDirective& inc : file.lexed.includes) {
+      if (inc.angled && in_set(banned_headers, inc.path)) {
+        findings.push_back(Finding{
+            kRule, file.path, inc.line,
+            "guest-reachable file includes nondeterminism source <" +
+                inc.path + ">"});
+      }
+    }
+
+    const std::vector<Token>& toks = file.lexed.tokens;
+    // Names of locals/members declared with an unordered container type in
+    // this file (token-level approximation of the declaration).
+    std::set<std::string> unordered_vars;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != Tok::ident) continue;
+
+      // std::chrono / std::thread / ... (qualified).
+      if (t.text == "std" && toks[i + 1].text == "::" && i + 2 < toks.size() &&
+          toks[i + 2].kind == Tok::ident) {
+        if (in_set(banned_qualified, toks[i + 2].text)) {
+          findings.push_back(Finding{
+              kRule, file.path, t.line,
+              "guest-reachable code uses nondeterministic std::" +
+                  toks[i + 2].text});
+        }
+      }
+
+      // Bare banned identifiers, only when called (`name(`) and not
+      // qualified by a project namespace or object (`.name` / `->name` /
+      // `ns::name` are member/own functions, not the libc symbol).
+      if (toks[i + 1].text == "(" && in_set(banned_idents, t.text)) {
+        const std::string prev = i > 0 ? toks[i - 1].text : "";
+        if (prev != "." && prev != "->" && prev != "::") {
+          findings.push_back(
+              Finding{kRule, file.path, t.line,
+                      "guest-reachable code calls nondeterministic '" +
+                          t.text + "'"});
+        }
+      }
+
+      // float / double type tokens.
+      if (in_set(banned_types, t.text)) {
+        findings.push_back(Finding{
+            kRule, file.path, t.line,
+            "floating point ('" + t.text +
+                "') in guest-reachable code; use fixed-point u64 (see "
+                "docs/ANALYSIS.md)"});
+      }
+
+      // Track unordered container declarations: `unordered_map<...> name`.
+      if (is_unordered(t.text) && toks[i + 1].text == "<") {
+        int depth = 0;
+        size_t j = i + 1;
+        for (; j < toks.size(); ++j) {
+          if (toks[j].text == "<") ++depth;
+          if (toks[j].text == ">") {
+            if (--depth == 0) break;
+          }
+          if (toks[j].text == ">>") {
+            depth -= 2;
+            if (depth <= 0) break;
+          }
+          if (toks[j].text == ";") break;  // malformed; bail
+        }
+        if (j + 1 < toks.size() && toks[j + 1].kind == Tok::ident) {
+          unordered_vars.insert(toks[j + 1].text);
+        }
+      }
+    }
+
+    // Iteration over unordered containers: `for (... : var)` range-for and
+    // `var.begin()` / `var.cbegin()` (find()/end() comparisons are fine —
+    // membership is deterministic, traversal order is not).
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind == Tok::ident && unordered_vars.count(toks[i].text)) {
+        const std::string& nxt = toks[i + 1].text;
+        const std::string& nxt2 = toks[i + 2].text;
+        if ((nxt == "." || nxt == "->") &&
+            (nxt2 == "begin" || nxt2 == "cbegin" || nxt2 == "rbegin")) {
+          findings.push_back(Finding{
+              kRule, file.path, toks[i].line,
+              "iteration over unordered container '" + toks[i].text +
+                  "' in guest-reachable code (hash order is "
+                  "implementation-defined)"});
+        }
+      }
+      // Range-for: `: var )` where var is unordered.
+      if (toks[i].text == ":" && toks[i + 1].kind == Tok::ident &&
+          unordered_vars.count(toks[i + 1].text) && toks[i + 2].text == ")") {
+        findings.push_back(Finding{
+            kRule, file.path, toks[i + 1].line,
+            "range-for over unordered container '" + toks[i + 1].text +
+                "' in guest-reachable code (hash order is "
+                "implementation-defined)"});
+      }
+    }
+  }
+}
+
+}  // namespace zkt::analysis

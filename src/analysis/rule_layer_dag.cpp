@@ -1,0 +1,83 @@
+// layer-dag: the #include graph must respect the module DAG.
+//
+// The layering is what keeps guest-reachable code auditable: if netflow/ or
+// zvm/ ever grew an include of core/ or sim/, host-side machinery (clocks,
+// threads, stores) would silently become guest-reachable and the
+// guest-determinism closure would stop meaning anything. The DAG is data:
+// `[rule.layer-dag.allow]` in .zkt-lint.toml maps each module (second path
+// component under src/) to the modules it may include. Files outside src/
+// (tools, tests, bench, examples) sit above the DAG and may include
+// anything. Violations print the offending edge.
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+constexpr const char* kRule = "layer-dag";
+
+/// Module of a repo-relative path: "src/<module>/..." -> "<module>",
+/// else "" (unconstrained).
+std::string module_of(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return {};
+  const size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return path.substr(4, slash - 4);
+}
+
+/// Module of an include target "module/header.h" -> "module".
+std::string include_module(const std::string& inc) {
+  const size_t slash = inc.find('/');
+  if (slash == std::string::npos) return {};
+  return inc.substr(0, slash);
+}
+
+}  // namespace
+
+void check_layer_dag(const LintContext& ctx, std::vector<Finding>& findings) {
+  const Config& cfg = *ctx.config;
+  const std::vector<std::string> modules = cfg.keys("rule.layer-dag.allow");
+  if (modules.empty()) return;  // not configured for this tree
+
+  for (const AnalyzedFile& file : ctx.files) {
+    const std::string mod = module_of(file.path);
+    if (mod.empty()) continue;           // tools/tests/bench: unconstrained
+    bool known = false;
+    for (const std::string& m : modules) known = known || m == mod;
+    if (!known) {
+      findings.push_back(Finding{
+          kRule, file.path, 1,
+          "module '" + mod +
+              "' is not declared in [rule.layer-dag.allow]; add it with its "
+              "allowed dependencies"});
+      continue;
+    }
+    const std::vector<std::string> allowed =
+        cfg.strs("rule.layer-dag.allow", mod);
+
+    for (const IncludeDirective& inc : file.lexed.includes) {
+      if (inc.angled) continue;
+      const std::string target = include_module(inc.path);
+      if (target.empty() || target == mod) continue;
+      // Only project modules are constrained.
+      bool target_known = false;
+      for (const std::string& m : modules) {
+        target_known = target_known || m == target;
+      }
+      if (!target_known) continue;
+      bool ok = false;
+      for (const std::string& a : allowed) ok = ok || a == target;
+      if (!ok) {
+        findings.push_back(Finding{
+            kRule, file.path, inc.line,
+            "forbidden layer edge " + mod + " -> " + target + " (src/" + mod +
+                " may not include \"" + inc.path + "\")"});
+      }
+    }
+  }
+}
+
+}  // namespace zkt::analysis

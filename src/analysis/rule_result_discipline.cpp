@@ -1,0 +1,261 @@
+// result-discipline: recoverable errors must not be silently dropped.
+//
+// Two checks:
+//
+// 1. Discarded calls. A statement consisting solely of a call to a function
+//    the project declares as returning Result<T> or Status throws the error
+//    away — the exact bug class PR 2 fixed in pending_windows(). The rule is
+//    project-aware: a first pass collects every function name declared with
+//    a Result/Status return type anywhere in the analyzed tree, a second
+//    pass flags statement-level calls to those names. Names that are ALSO
+//    declared with a non-Result return somewhere (e.g. Writer::fixed is void
+//    while Reader::fixed is Status) are ambiguous at the token level and are
+//    left to the compiler's [[nodiscard]] diagnostics instead.
+//
+// 2. Unchecked .value(). `x.value()` asserts in debug builds and is UB-ish
+//    in release when !x.ok(); every use must be dominated by an ok() /
+//    has_value() / boolean test of x in the enclosing scope. The dominance
+//    check is a conservative token scan of the enclosing top-level block —
+//    heuristic by design, with `// zkt-lint: allow(result-discipline)` as
+//    the escape hatch for the cases it cannot see.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+constexpr const char* kRule = "result-discipline";
+
+bool is_ident(const Token& t) { return t.kind == Tok::ident; }
+
+/// Collect function names by declared return type: `Status name(` and
+/// `Result<...> name(` into `result_names`, `void name(` into `other_names`.
+void collect_declared_names(const std::vector<Token>& toks,
+                            std::set<std::string>& result_names,
+                            std::set<std::string>& other_names) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!is_ident(t)) continue;
+    if (t.text == "void" && is_ident(toks[i + 1]) && i + 2 < toks.size() &&
+        toks[i + 2].text == "(") {
+      other_names.insert(toks[i + 1].text);
+      continue;
+    }
+    if (t.text == "Status" && is_ident(toks[i + 1]) && i + 2 < toks.size() &&
+        toks[i + 2].text == "(") {
+      result_names.insert(toks[i + 1].text);
+      continue;
+    }
+    if (t.text == "Result" && toks[i + 1].text == "<") {
+      // Skip the template argument list.
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">") {
+          if (--depth == 0) break;
+        }
+        if (toks[j].text == ">>") {
+          depth -= 2;
+          if (depth <= 0) break;
+        }
+        if (toks[j].text == ";" || toks[j].text == "{") {
+          j = toks.size();
+          break;
+        }
+      }
+      if (j + 2 < toks.size() && is_ident(toks[j + 1]) &&
+          toks[j + 2].text == "(") {
+        result_names.insert(toks[j + 1].text);
+      }
+    }
+  }
+}
+
+/// Statement-start tokens: a call directly after one of these is a
+/// standalone expression statement. `:` is deliberately absent — it appears
+/// mid-expression in ternaries far more often than in case labels.
+bool stmt_start(const std::string& t) {
+  return t == ";" || t == "{" || t == "}";
+}
+
+/// From a call at `toks[i]` (the callee identifier, with `(` at i+1 or after
+/// a member chain), return the index one past the closing `)` if the
+/// statement is exactly `callee(...) ;`, else -1.
+int statement_call_end(const std::vector<Token>& toks, size_t open_paren) {
+  int depth = 0;
+  for (size_t j = open_paren; j < toks.size(); ++j) {
+    if (toks[j].text == "(") ++depth;
+    if (toks[j].text == ")") {
+      if (--depth == 0) {
+        return (j + 1 < toks.size() && toks[j + 1].text == ";")
+                   ? static_cast<int>(j + 1)
+                   : -1;
+      }
+    }
+    if (depth == 0 && toks[j].text == ";") return -1;
+  }
+  return -1;
+}
+
+/// True when `toks[i]` (identifier `var`) is used as a boolean check of the
+/// Result/Status: `var.ok()`, `var.has_value()`, `!var`, `(var)`,
+/// `var &&` / `var ||`, or `ZKT_TRY(... var ...)` / assertion macros.
+bool is_check_of(const std::vector<Token>& toks, size_t i,
+                 const std::string& var) {
+  if (!is_ident(toks[i]) || toks[i].text != var) return false;
+  const std::string next = i + 1 < toks.size() ? toks[i + 1].text : "";
+  const std::string next2 = i + 2 < toks.size() ? toks[i + 2].text : "";
+  const std::string prev = i > 0 ? toks[i - 1].text : "";
+  if (next == "." && (next2 == "ok" || next2 == "has_value")) return true;
+  if (prev == "!") return true;
+  // Contextual bool: surrounded by condition punctuation on both sides.
+  const bool bool_before = prev == "(" || prev == "&&" || prev == "||";
+  const bool bool_after = next == ")" || next == "&&" || next == "||";
+  if (bool_before && bool_after) return true;
+  return false;
+}
+
+/// True when `var` is visibly Result-typed before token `use`: declared as
+/// `Result<...> var` / `Status var`, or initialized with
+/// `auto var = [chain.]name(...)` where `name` is Result-returning. The
+/// `auto` form may use the full (pre-disambiguation) name set: a void
+/// overload cannot initialize a variable, so assignment resolves the
+/// ambiguity that defeats the discarded-call check.
+bool result_typed_var(const std::vector<Token>& toks, size_t use,
+                      const std::string& var,
+                      const std::set<std::string>& result_names) {
+  for (size_t j = 0; j + 1 < use; ++j) {
+    if (!is_ident(toks[j]) || toks[j].text != var) continue;
+    // `... Result > var` or `Status var` (declaration).
+    if (j >= 1) {
+      const std::string& p1 = toks[j - 1].text;
+      if (p1 == "Status") return true;
+      if (p1 == ">" || p1 == ">>") {
+        // Walk back over the template argument list to its head.
+        int depth = 0;
+        for (size_t k = j; k-- > 0;) {
+          if (toks[k].text == ">") ++depth;
+          if (toks[k].text == ">>") depth += 2;
+          if (toks[k].text == "<" && --depth == 0) {
+            if (k >= 1 && toks[k - 1].text == "Result") return true;
+            break;
+          }
+          if (toks[k].text == ";") break;
+        }
+      }
+    }
+    // `auto var = chain(...)`: find the callee name before the first `(`.
+    if (j >= 1 && toks[j - 1].text == "auto" && j + 1 < use &&
+        toks[j + 1].text == "=") {
+      for (size_t k = j + 2; k + 1 < use && toks[k].text != ";"; ++k) {
+        if (is_ident(toks[k]) && toks[k + 1].text == "(") {
+          if (result_names.count(toks[k].text)) return true;
+          break;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// Dominance approximation: walk backwards from `use`; a check of `var`
+/// counts only while the walk sits in a scope enclosing the use (relative
+/// brace depth <= 0). Checks inside already-closed sibling blocks — other
+/// functions, earlier if-bodies — have positive relative depth and are
+/// ignored, so `if (c) { x.ok(); } x.value();` is still flagged while both
+/// `if (x.ok()) { x.value(); }` and `if (!x.ok()) return; x.value();` pass.
+bool dominated_by_check(const std::vector<Token>& toks, size_t use,
+                        const std::string& var) {
+  int rel = 0;
+  for (size_t j = use; j-- > 0;) {
+    if (toks[j].text == "}") ++rel;
+    if (toks[j].text == "{") --rel;
+    if (rel <= 0 && is_check_of(toks, j, var)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_result_discipline(const LintContext& ctx,
+                             std::vector<Finding>& findings) {
+  const Config& cfg = *ctx.config;
+
+  // Pass 1: project-wide declared-name collection. `result_names_all` keeps
+  // every Result/Status-returning name (used to type `auto v = name(...)`
+  // variables); `result_names` drops the ones that also have a void overload
+  // somewhere (Writer::fixed vs Reader::fixed) — those stay ambiguous for
+  // the discarded-call check and are left to [[nodiscard]].
+  std::set<std::string> result_names_all;
+  std::set<std::string> other_names;
+  for (const AnalyzedFile& file : ctx.files) {
+    collect_declared_names(file.lexed.tokens, result_names_all, other_names);
+  }
+  for (const std::string& extra : cfg.strs("rule.result-discipline",
+                                           "extra_result_names")) {
+    result_names_all.insert(extra);
+  }
+  for (const std::string& name :
+       cfg.strs("rule.result-discipline", "ignore_names")) {
+    result_names_all.erase(name);
+  }
+  std::set<std::string> result_names = result_names_all;
+  for (const std::string& name : other_names) result_names.erase(name);
+
+  // Pass 2: flag discarded calls and unchecked .value().
+  for (const AnalyzedFile& file : ctx.files) {
+    const std::vector<Token>& toks = file.lexed.tokens;
+    for (size_t i = 1; i + 2 < toks.size(); ++i) {
+      // ---- Discarded call: [stmt-start] chain . name ( ... ) ;
+      if (stmt_start(toks[i - 1].text) && is_ident(toks[i])) {
+        // Walk a member chain a.b->c to the final callee name.
+        size_t j = i;
+        while (j + 2 < toks.size() && is_ident(toks[j]) &&
+               (toks[j + 1].text == "." || toks[j + 1].text == "->" ||
+                toks[j + 1].text == "::") &&
+               is_ident(toks[j + 2])) {
+          j += 2;
+        }
+        if (is_ident(toks[j]) && j + 1 < toks.size() &&
+            toks[j + 1].text == "(" && result_names.count(toks[j].text) &&
+            statement_call_end(toks, j + 1) >= 0) {
+          findings.push_back(Finding{
+              kRule, file.path, toks[j].line,
+              "discarded Result/Status from call to '" + toks[j].text +
+                  "' (check it, ZKT_TRY it, or cast to void with a reason)"});
+        }
+      }
+
+      // ---- Unchecked .value(): var . value ( ) with no dominating check.
+      if (is_ident(toks[i]) && toks[i + 1].text == "." &&
+          toks[i + 2].text == "value" && i + 4 < toks.size() &&
+          toks[i + 3].text == "(" && toks[i + 4].text == ")") {
+        const std::string& var = toks[i].text;
+        // Only consider plain variables (skip `).value()` chains — the
+        // temporary case is unverifiable at token level).
+        const std::string prev = toks[i - 1].text;
+        if (prev == "." || prev == "->" || prev == "::") continue;
+        // Only variables we can see being declared as a Result: either
+        // `Result<...> var` or `auto var = [chain.]name(...)` with `name`
+        // declared Result-returning somewhere. Anything else (accessors
+        // like obs::Counter::value(), std::optional in non-Result code) is
+        // out of scope for this rule.
+        if (!result_typed_var(toks, i, var, result_names_all)) continue;
+        if (!dominated_by_check(toks, i, var)) {
+          findings.push_back(Finding{
+              kRule, file.path, toks[i].line,
+              "'" + var +
+                  ".value()' is not dominated by an ok()/has_value() check "
+                  "in this scope"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zkt::analysis

@@ -1,0 +1,181 @@
+// secret-hygiene: comparisons of digest/key material inside src/crypto must
+// be constant time.
+//
+// memcmp and operator== short-circuit on the first differing byte, so the
+// comparison's running time leaks the length of the matching prefix — a
+// classic MAC/commitment-forgery oracle (the paper's commitments are exactly
+// such MACs over RLogs). Inside the crypto module every comparison whose
+// operand names look like secret/digest material must go through
+// crypto::ct_equal (src/crypto/ct.h), which XOR-accumulates all bytes before
+// reducing to a verdict.
+//
+// Token-level approximation: flag (a) any call to memcmp/strcmp/strncmp in
+// the configured paths, and (b) `==` / `!=` where either operand chain
+// contains an identifier matching the configured secret-name patterns
+// (substring match). Declarations of operator== and comparisons against
+// literals are exempt.
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+constexpr const char* kRule = "secret-hygiene";
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool matches_any(const std::string& ident,
+                 const std::vector<std::string>& patterns) {
+  const std::string l = lower(ident);
+  for (const std::string& p : patterns) {
+    if (l.find(p) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Collect identifiers of the operand ending at token `i` (walking left over
+/// `a.b->c[x]` / `f(x)` chains).
+void left_operand_idents(const std::vector<Token>& toks, size_t i,
+                         std::vector<std::string>& out) {
+  int guard = 16;
+  size_t j = i + 1;
+  while (j-- > 0 && guard-- > 0) {
+    const Token& t = toks[j];
+    if (t.kind == Tok::ident) {
+      out.push_back(t.text);
+      if (j == 0) return;
+      const std::string& prev = toks[j - 1].text;
+      if (prev == "." || prev == "->" || prev == "::") {
+        --j;  // continue through the chain
+        continue;
+      }
+      return;
+    }
+    if (t.text == ")" || t.text == "]") {
+      // Skip the balanced group, then continue with what precedes it.
+      const std::string open = t.text == ")" ? "(" : "[";
+      const std::string close = t.text;
+      int depth = 0;
+      while (j < toks.size()) {
+        if (toks[j].text == close) ++depth;
+        if (toks[j].text == open) {
+          if (--depth == 0) break;
+        }
+        if (j == 0) return;
+        --j;
+      }
+      continue;  // loop decrements j past the opener
+    }
+    return;
+  }
+}
+
+/// Collect identifiers of the operand starting at token `i` (walking right
+/// over `a.b->c` chains and one balanced group).
+void right_operand_idents(const std::vector<Token>& toks, size_t i,
+                          std::vector<std::string>& out) {
+  int guard = 16;
+  size_t j = i;
+  while (j < toks.size() && guard-- > 0) {
+    const Token& t = toks[j];
+    if (t.kind == Tok::ident) {
+      out.push_back(t.text);
+      if (j + 1 < toks.size()) {
+        const std::string& nxt = toks[j + 1].text;
+        if (nxt == "." || nxt == "->" || nxt == "::") {
+          j += 2;
+          continue;
+        }
+      }
+      return;
+    }
+    if (t.text == "!" || t.text == "*" || t.text == "&" || t.text == "(") {
+      ++j;
+      continue;
+    }
+    return;
+  }
+}
+
+}  // namespace
+
+void check_secret_hygiene(const LintContext& ctx,
+                          std::vector<Finding>& findings) {
+  const Config& cfg = *ctx.config;
+  std::vector<std::string> paths = cfg.strs("rule.secret-hygiene", "paths");
+  if (paths.empty()) paths = {"src/crypto"};
+  std::vector<std::string> patterns =
+      cfg.strs("rule.secret-hygiene", "secret_patterns");
+  if (patterns.empty()) {
+    patterns = {"secret", "key", "digest", "mac", "nonce", "root", "hash",
+                "sig", "seed"};
+  }
+  std::vector<std::string> banned_calls =
+      cfg.strs("rule.secret-hygiene", "banned_calls");
+  if (banned_calls.empty()) banned_calls = {"memcmp", "strcmp", "strncmp"};
+
+  for (const AnalyzedFile& file : ctx.files) {
+    bool in_scope = false;
+    for (const std::string& p : paths) {
+      if (starts_with(file.path, p)) in_scope = true;
+    }
+    if (!in_scope) continue;
+
+    const std::vector<Token>& toks = file.lexed.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+
+      if (t.kind == Tok::ident && toks[i + 1].text == "(") {
+        for (const std::string& banned : banned_calls) {
+          if (t.text == banned) {
+            findings.push_back(Finding{
+                kRule, file.path, t.line,
+                "variable-time '" + t.text +
+                    "' in crypto code; use crypto::ct_equal"});
+          }
+        }
+      }
+
+      if (t.text == "==" || t.text == "!=") {
+        // Skip operator==/!= declarations and defaulted comparisons.
+        if (i > 0 && toks[i - 1].text == "operator") continue;
+        // Skip comparisons against literals/nullptr (not secret-dependent
+        // in a length-leaking way: a fixed public constant).
+        const Token& rhs_tok = toks[i + 1];
+        if (rhs_tok.kind == Tok::number || rhs_tok.text == "nullptr") {
+          continue;
+        }
+        std::vector<std::string> idents;
+        if (i > 0) left_operand_idents(toks, i - 1, idents);
+        right_operand_idents(toks, i + 1, idents);
+        bool secret = false;
+        for (const std::string& ident : idents) {
+          if (matches_any(ident, patterns)) secret = true;
+        }
+        if (secret) {
+          findings.push_back(Finding{
+              kRule, file.path, t.line,
+              "variable-time comparison of secret-looking operands ('" +
+                  (idents.empty() ? std::string("?") : idents.front()) +
+                  "'); use crypto::ct_equal"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zkt::analysis

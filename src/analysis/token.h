@@ -1,0 +1,69 @@
+// Token-level C++ scanner for zkt-lint.
+//
+// zkt-lint deliberately works below the AST: a full C++ frontend is neither
+// available (the toolchain ships no libclang) nor necessary for the project
+// invariants it checks, which are all expressible over tokens, preprocessor
+// directives and the include graph. The lexer therefore recognises exactly
+// what the rules need: identifiers, punctuators (maximal munch over the C++
+// operator set), literals (including raw strings), include directives, and
+// `// zkt-lint: allow(...)` suppression comments.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace zkt::analysis {
+
+enum class Tok {
+  ident,    ///< identifiers and keywords
+  number,   ///< pp-number (integers, floats, user-suffixed)
+  str,      ///< string literal (cooked text not preserved)
+  chr,      ///< character literal
+  punct,    ///< operator / punctuator
+  eof,
+};
+
+struct Token {
+  Tok kind = Tok::eof;
+  std::string text;
+  int line = 0;
+};
+
+/// One `#include` directive.
+struct IncludeDirective {
+  std::string path;    ///< the spelled target, e.g. "core/guests.h" or "chrono"
+  bool angled = false; ///< <...> (system) vs "..." (project)
+  int line = 0;
+};
+
+/// Lexed view of one source file.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  /// line -> rules suppressed on that line (from `// zkt-lint: allow(rule)`;
+  /// a suppression comment covers its own line and the next one, so it can
+  /// sit at end of line or on the line above).
+  std::map<int, std::set<std::string>> allow_lines;
+  /// rules suppressed for the whole file (`// zkt-lint: allow-file(rule)`).
+  std::set<std::string> allow_file;
+
+  bool suppressed(const std::string& rule, int line) const {
+    if (allow_file.count(rule) || allow_file.count("*")) return true;
+    for (int l : {line, line - 1}) {
+      auto it = allow_lines.find(l);
+      if (it != allow_lines.end() &&
+          (it->second.count(rule) || it->second.count("*"))) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Lex a whole file. Never fails: unrecognised bytes become single-char
+/// punctuators, so the rules degrade gracefully on exotic input.
+LexedFile lex(std::string_view source);
+
+}  // namespace zkt::analysis

@@ -56,8 +56,10 @@ inline Error make_error(Errc code, std::string message = {}) {
 }
 
 /// Result<T>: either a value or an Error. Minimal std::expected stand-in.
+/// [[nodiscard]] so silently dropping a fallible call is a compile warning;
+/// zkt-lint's result-discipline rule enforces the same at review time.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}              // NOLINT(implicit)
   Result(Error err) : v_(std::move(err)) {}              // NOLINT(implicit)
@@ -93,7 +95,7 @@ class Result {
 };
 
 /// Status: Result with no payload.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;                                   // ok
   Status(Error err) : err_(std::move(err)) {}           // NOLINT(implicit)

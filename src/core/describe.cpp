@@ -11,6 +11,12 @@
 
 namespace zkt::core {
 
+double fraction_below(const HistogramQueryJournal& j) {
+  return j.total == 0 ? 0.0
+                      : static_cast<double>(j.count_below) /
+                            static_cast<double>(j.total);
+}
+
 namespace {
 
 const char* image_name(const zvm::ImageID& id) {
@@ -128,7 +134,7 @@ void describe_journal(std::ostringstream& os, const zvm::Receipt& receipt) {
     }
     os << "  histogram quantile bound: " << j.value().count_below << " of "
        << j.value().total << " samples < " << j.value().bound_us << " us ("
-       << 100.0 * j.value().fraction_below() << "%)\n";
+       << 100.0 * fraction_below(j.value()) << "%)\n";
   }
 }
 

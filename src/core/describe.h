@@ -5,9 +5,16 @@
 
 #include <string>
 
+#include "core/histogram_query.h"
 #include "zvm/receipt.h"
 
 namespace zkt::core {
+
+/// Fraction of histogram samples provably below the queried bound, in
+/// [0, 1]. Lives here (host-side) rather than on HistogramQueryJournal
+/// because that type is guest-reachable and guests must stay float-free;
+/// the guest publishes the exact (count_below, total) pair instead.
+double fraction_below(const HistogramQueryJournal& j);
 
 /// Multi-line description of a receipt. Never fails: unknown images or
 /// malformed journals are described as such.

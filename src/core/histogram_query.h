@@ -25,11 +25,9 @@ struct HistogramQueryJournal {
   u64 count_below = 0;  ///< samples provably below bound_us
   u64 total = 0;
 
-  double fraction_below() const {
-    return total == 0 ? 0.0
-                      : static_cast<double>(count_below) /
-                            static_cast<double>(total);
-  }
+  // NOTE: the floating-point view (fraction below the bound) lives in
+  // core/describe.h as free function fraction_below() — this header is
+  // guest-reachable and must stay float-free (rule guest-determinism).
 
   void write(Writer& w) const;
   static Result<HistogramQueryJournal> parse(BytesView journal);

@@ -1,0 +1,22 @@
+// Constant-time comparison for secret-dependent material.
+//
+// Branching comparisons (memcmp, operator==) short-circuit on the first
+// differing byte, so their timing leaks how much of a digest or key an
+// attacker has matched. Every comparison of digests, MACs, keys or roots
+// inside src/crypto must go through ct_equal (rule secret-hygiene). The
+// byte-level implementation lives in common/bytes.cpp; this header adds the
+// Digest32 overload crypto code actually uses.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace zkt::crypto {
+
+using zkt::ct_equal;
+
+inline bool ct_equal(const Digest32& a, const Digest32& b) {
+  return zkt::ct_equal(a.view(), b.view());
+}
+
+}  // namespace zkt::crypto

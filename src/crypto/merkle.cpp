@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 
+#include "crypto/ct.h"
 #include "crypto/sha256.h"
 
 namespace zkt::crypto {
@@ -157,7 +158,7 @@ Status MerkleTree::verify(const Digest32& root, const Digest32& leaf,
     acc = (idx & 1) ? hash_node(sibling, acc) : hash_node(acc, sibling);
     idx >>= 1;
   }
-  if (acc != root) {
+  if (!ct_equal(acc, root)) {
     return Error{Errc::merkle_mismatch, "recomputed root does not match"};
   }
   return {};
@@ -279,7 +280,7 @@ Status MerkleTree::verify_multi(
   if (next_sibling != proof.siblings.size()) {
     return Error{Errc::merkle_mismatch, "unused multiproof siblings"};
   }
-  if (known.size() != 1 || known[0].second != root) {
+  if (known.size() != 1 || !ct_equal(known[0].second, root)) {
     return Error{Errc::merkle_mismatch, "recomputed root does not match"};
   }
   return {};

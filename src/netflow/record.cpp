@@ -128,12 +128,6 @@ void FlowRecord::merge(const FlowRecord& other) {
   tcp_flags_or |= other.tcp_flags_or;
 }
 
-double FlowRecord::throughput_bps() const {
-  const u64 duration_ms = last_ms > first_ms ? last_ms - first_ms : 1;
-  return static_cast<double>(bytes) * 8.0 * 1000.0 /
-         static_cast<double>(duration_ms);
-}
-
 void FlowRecord::serialize(Writer& w) const {
   key.serialize(w);
   w.u64v(first_ms);

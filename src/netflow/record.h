@@ -92,24 +92,9 @@ struct FlowRecord {
   /// across export windows).
   void merge(const FlowRecord& other);
 
-  double avg_rtt_us() const {
-    return rtt_count == 0 ? 0.0
-                          : static_cast<double>(rtt_sum_us) /
-                                static_cast<double>(rtt_count);
-  }
-  double avg_jitter_us() const {
-    return jitter_count == 0 ? 0.0
-                             : static_cast<double>(jitter_sum_us) /
-                                   static_cast<double>(jitter_count);
-  }
-  double loss_rate() const {
-    const u64 total = packets + lost_packets;
-    return total == 0 ? 0.0
-                      : static_cast<double>(lost_packets) /
-                            static_cast<double>(total);
-  }
-  /// Average throughput over the flow's active interval, bits per second.
-  double throughput_bps() const;
+  // NOTE: floating-point views (average RTT/jitter, loss rate, throughput)
+  // live in netflow/stats.h — this header is guest-reachable and must stay
+  // float-free so guest traces remain replayable (rule guest-determinism).
 
   void serialize(Writer& w) const;
   static Result<FlowRecord> deserialize(Reader& r);

@@ -1,0 +1,33 @@
+#include "netflow/stats.h"
+
+namespace zkt::netflow {
+
+double avg_rtt_us(const FlowRecord& r) {
+  return r.rtt_count == 0 ? 0.0
+                          : static_cast<double>(r.rtt_sum_us) /
+                                static_cast<double>(r.rtt_count);
+}
+
+double avg_jitter_us(const FlowRecord& r) {
+  return r.jitter_count == 0 ? 0.0
+                             : static_cast<double>(r.jitter_sum_us) /
+                                   static_cast<double>(r.jitter_count);
+}
+
+double loss_rate(const FlowRecord& r) {
+  const u64 total = r.packets + r.lost_packets;
+  return total == 0 ? 0.0
+                    : static_cast<double>(r.lost_packets) /
+                          static_cast<double>(total);
+}
+
+double throughput_bps(const FlowRecord& r) {
+  // Zero-duration (single-timestamp) flows count as one millisecond, like
+  // the integer duration the query guests expose.
+  const u64 duration_ms =
+      r.last_ms > r.first_ms ? r.last_ms - r.first_ms : 1;
+  return static_cast<double>(r.bytes) * 8.0 * 1000.0 /
+         static_cast<double>(duration_ms);
+}
+
+}  // namespace zkt::netflow

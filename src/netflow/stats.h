@@ -1,0 +1,25 @@
+// Verifier-side floating-point views over flow records.
+//
+// These live OUTSIDE netflow/record.h on purpose: record.h is reachable
+// from the zkVM guests, and guest-reachable code must stay float-free
+// (floating point is platform/flag-dependent, which would make guest traces
+// non-replayable — see docs/ANALYSIS.md, rule guest-determinism). Guests
+// compute the same quantities in fixed point over the (sum, count) pairs the
+// record carries (e.g. QField::rtt_avg_us uses integer division); these
+// helpers are for host-side reporting, dashboards and tests only.
+#pragma once
+
+#include "netflow/record.h"
+
+namespace zkt::netflow {
+
+/// Mean RTT in microseconds (0 when no RTT samples were observed).
+double avg_rtt_us(const FlowRecord& r);
+/// Mean inter-packet jitter in microseconds (0 when unobserved).
+double avg_jitter_us(const FlowRecord& r);
+/// Fraction of packets lost, in [0, 1].
+double loss_rate(const FlowRecord& r);
+/// Average throughput over the flow's active interval, bits per second.
+double throughput_bps(const FlowRecord& r);
+
+}  // namespace zkt::netflow

@@ -201,7 +201,7 @@ Result<std::vector<FlowRecord>> V9Collector::ingest(BytesView packet) {
   while (r.remaining() >= 4) {
     const u16 flowset_id = r.be16();
     const u16 flowset_len = r.be16();
-    if (flowset_len < 4 || flowset_len - 4 > r.remaining()) {
+    if (flowset_len < 4 || static_cast<size_t>(flowset_len - 4) > r.remaining()) {
       return Error{Errc::parse_error, "bad flowset length"};
     }
     const size_t flowset_end = r.position() + (flowset_len - 4);

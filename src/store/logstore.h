@@ -36,9 +36,9 @@ u32 crc32(BytesView data);
 
 struct StoreConfig {
   /// Empty = in-memory only.
-  std::string wal_path;
+  std::string wal_path = {};
   /// Snapshot file used by checkpoint(); defaults to wal_path + ".snap".
-  std::string snapshot_path;
+  std::string snapshot_path = {};
   /// fsync after every append (durable but slow; off for benchmarks).
   bool fsync_each_append = false;
 };

@@ -28,8 +28,12 @@ TEST(FlowCache, AccumulatesPerFlow) {
   EXPECT_EQ(all.size(), 2u);
   EXPECT_EQ(cache.size(), 0u);
   for (const auto& rec : all) {
-    if (rec.key.src_ip == 1) EXPECT_EQ(rec.packets, 2u);
-    if (rec.key.src_ip == 2) EXPECT_EQ(rec.packets, 1u);
+    if (rec.key.src_ip == 1) {
+      EXPECT_EQ(rec.packets, 2u);
+    }
+    if (rec.key.src_ip == 2) {
+      EXPECT_EQ(rec.packets, 1u);
+    }
   }
 }
 

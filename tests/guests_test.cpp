@@ -85,7 +85,9 @@ TEST_P(TracedMerkle, MatchesNativeTree) {
   const auto traced_root = merkle_root_traced(env, leaves);
   crypto::MerkleTree native(leaves);
   EXPECT_EQ(traced_root, native.root());
-  if (n > 1) EXPECT_GT(env.cycles(), 0u);
+  if (n > 1) {
+    EXPECT_GT(env.cycles(), 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, TracedMerkle,

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/describe.h"
 #include "core/histogram_query.h"
 #include "netflow/histogram.h"
 
@@ -29,7 +30,9 @@ TEST(Histogram, EveryValueLandsWithinItsBucketBound) {
     const u64 v = rng.uniform(1'000'000);
     const u32 b = LatencyHistogram::bucket_of(v);
     EXPECT_LE(v, LatencyHistogram::bucket_upper_us(b));
-    if (b > 0) EXPECT_GT(v, LatencyHistogram::bucket_upper_us(b - 1));
+    if (b > 0) {
+      EXPECT_GT(v, LatencyHistogram::bucket_upper_us(b - 1));
+    }
   }
 }
 
@@ -123,13 +126,13 @@ TEST(HistogramQuery, ProveAndVerifyQuantileBound) {
   EXPECT_EQ(response.value().journal.count_below,
             fx.histogram.count_provably_below(bound));
   EXPECT_EQ(response.value().journal.total, fx.histogram.total());
-  EXPECT_GT(response.value().journal.fraction_below(), 0.85);
+  EXPECT_GT(fraction_below(response.value().journal), 0.85);
 
   auto verified =
       verify_histogram_query(response.value().receipt, fx.board, &bound);
   ASSERT_TRUE(verified.ok()) << verified.error().to_string();
-  EXPECT_NEAR(verified.value().fraction_below(),
-              response.value().journal.fraction_below(), 1e-12);
+  EXPECT_NEAR(fraction_below(verified.value()),
+              fraction_below(response.value().journal), 1e-12);
 }
 
 TEST(HistogramQuery, TamperedHistogramFailsProving) {

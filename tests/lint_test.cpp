@@ -1,0 +1,342 @@
+// zkt-lint engine tests: per-rule fixtures (a violation, the same violation
+// suppressed, and a clean file), config parsing, and a self-check that this
+// repository lints clean under its own .zkt-lint.toml.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/config.h"
+#include "analysis/lint.h"
+#include "analysis/load.h"
+
+namespace zkt::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Harness
+
+Config parse_config(std::string_view text) {
+  auto cfg = Config::parse(text);
+  EXPECT_TRUE(cfg.ok()) << (cfg.ok() ? "" : cfg.error().to_string());
+  return cfg.ok() ? std::move(cfg.value()) : Config{};
+}
+
+LintResult lint(std::string_view config_text,
+                std::vector<SourceFile> files) {
+  return run_lint(parse_config(config_text), files);
+}
+
+std::vector<Finding> findings_for(const LintResult& result,
+                                  const std::string& rule) {
+  std::vector<Finding> out;
+  for (const auto& f : result.findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Config parser
+
+TEST(LintConfig, ParsesSectionsStringsBoolsAndArrays) {
+  auto cfg = parse_config(R"(# comment
+[lint]
+include_dirs = ["src"]
+json = false
+max = 40
+
+[rule.layer-dag.allow]
+common = []
+crypto = ["common"]
+zvm = [
+  "crypto",
+  "common",
+]
+)");
+  EXPECT_EQ(cfg.strs("lint", "include_dirs"),
+            std::vector<std::string>{"src"});
+  EXPECT_FALSE(cfg.flag("lint", "json", true));
+  EXPECT_TRUE(cfg.flag("lint", "absent", true));
+  EXPECT_EQ(cfg.strs("rule.layer-dag.allow", "zvm"),
+            (std::vector<std::string>{"crypto", "common"}));
+  EXPECT_EQ(cfg.keys("rule.layer-dag.allow"),
+            (std::vector<std::string>{"common", "crypto", "zvm"}));
+}
+
+TEST(LintConfig, RejectsMalformedInput) {
+  EXPECT_FALSE(Config::parse("key_without_section = 1").ok());
+  EXPECT_FALSE(Config::parse("[s]\nkey = ").ok());
+  EXPECT_FALSE(Config::parse("[s]\nkey = \"unterminated").ok());
+}
+
+TEST(Lint, RegistersAllFourRules) {
+  const auto names = rule_names();
+  for (const char* rule : {"guest-determinism", "result-discipline",
+                           "secret-hygiene", "layer-dag"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), rule), names.end())
+        << rule;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// guest-determinism
+
+constexpr std::string_view kGuestConfig = R"(
+[rule.guest-determinism]
+roots = ["src/core/guest.cpp"]
+)";
+
+TEST(GuestDeterminism, FlagsBannedHeaderFloatAndIdentifier) {
+  auto result = lint(kGuestConfig, {{"src/core/guest.cpp",
+                                     "#include <chrono>\n"
+                                     "double scale() { return 0.5; }\n"
+                                     "int pick() { return rand(); }\n"}});
+  auto found = findings_for(result, "guest-determinism");
+  ASSERT_EQ(found.size(), 3u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 1);  // <chrono>
+  EXPECT_EQ(found[1].line, 2);  // double
+  EXPECT_EQ(found[2].line, 3);  // rand
+}
+
+TEST(GuestDeterminism, FollowsIncludeClosure) {
+  // The root is clean; the violation sits in a header it includes.
+  auto result = lint(kGuestConfig,
+                     {{"src/core/guest.cpp", "#include \"core/util.h\"\n"},
+                      {"src/core/util.h", "inline double half(int v) {\n"
+                                          "  return v / 2.0;\n"
+                                          "}\n"}});
+  auto found = findings_for(result, "guest-determinism");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].path, "src/core/util.h");
+}
+
+TEST(GuestDeterminism, FlagsUnorderedContainerIteration) {
+  auto result = lint(
+      kGuestConfig,
+      {{"src/core/guest.cpp",
+        "#include <unordered_map>\n"
+        "unsigned long total(const std::unordered_map<int, int>& m) {\n"
+        "  std::unordered_map<int, int> acc = m;\n"
+        "  unsigned long sum = 0;\n"
+        "  for (const auto& [k, v] : acc) sum += v;\n"
+        "  return sum;\n"
+        "}\n"}});
+  auto found = findings_for(result, "guest-determinism");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 5);
+}
+
+TEST(GuestDeterminism, SuppressionAndCleanFile) {
+  // Same violation, suppressed on its own line.
+  auto suppressed =
+      lint(kGuestConfig,
+           {{"src/core/guest.cpp",
+             "// zkt-lint: allow(guest-determinism)\n"
+             "double scale() { return 0.5; }\n"}});
+  ASSERT_EQ(suppressed.findings.size(), 1u);
+  EXPECT_TRUE(suppressed.findings[0].suppressed);
+  EXPECT_EQ(suppressed.unsuppressed(), 0u);
+
+  // Integer-only guest code is clean; non-root files are unconstrained.
+  auto clean = lint(kGuestConfig,
+                    {{"src/core/guest.cpp",
+                      "unsigned long mul(unsigned long a) { return a * 3; }\n"},
+                     {"src/core/host.cpp",
+                      "double host_only() { return 0.5; }\n"}});
+  EXPECT_TRUE(clean.findings.empty()) << clean.to_text(true);
+}
+
+// ---------------------------------------------------------------------------
+// result-discipline
+
+TEST(ResultDiscipline, FlagsDiscardedResultCall) {
+  auto result = lint("", {{"src/a.cpp",
+                           "#include \"common/result.h\"\n"
+                           "zkt::Status persist();\n"
+                           "void run() {\n"
+                           "  persist();\n"
+                           "}\n"}});
+  auto found = findings_for(result, "result-discipline");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 4);
+}
+
+TEST(ResultDiscipline, FlagsUncheckedValue) {
+  auto result = lint("", {{"src/a.cpp",
+                           "zkt::Result<int> load();\n"
+                           "int run() {\n"
+                           "  auto r = load();\n"
+                           "  return r.value();\n"
+                           "}\n"}});
+  auto found = findings_for(result, "result-discipline");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 4);
+}
+
+TEST(ResultDiscipline, AcceptsCheckedPatterns) {
+  auto result = lint("", {{"src/a.cpp",
+                           "zkt::Result<int> load();\n"
+                           "zkt::Status persist();\n"
+                           "int run() {\n"
+                           "  auto r = load();\n"
+                           "  if (!r.ok()) return -1;\n"
+                           "  auto s = persist();\n"
+                           "  if (!s.ok()) return -2;\n"
+                           "  return r.value();\n"
+                           "}\n"}});
+  EXPECT_TRUE(findings_for(result, "result-discipline").empty())
+      << result.to_text(true);
+}
+
+TEST(ResultDiscipline, DominanceIgnoresClosedSiblingBlocks) {
+  // The ok() check inside the first block must not authorize a .value()
+  // in a later sibling block.
+  auto result = lint("", {{"src/a.cpp",
+                           "zkt::Result<int> load();\n"
+                           "int run(bool flip) {\n"
+                           "  auto r = load();\n"
+                           "  if (flip) {\n"
+                           "    if (!r.ok()) return -1;\n"
+                           "  }\n"
+                           "  return r.value();\n"
+                           "}\n"}});
+  auto found = findings_for(result, "result-discipline");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 7);
+}
+
+TEST(ResultDiscipline, SuppressionWorks) {
+  auto result = lint("", {{"src/a.cpp",
+                           "zkt::Status persist();\n"
+                           "void run() {\n"
+                           "  persist();  // zkt-lint: allow(result-discipline)\n"
+                           "}\n"}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_TRUE(result.findings[0].suppressed);
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// secret-hygiene
+
+constexpr std::string_view kSecretConfig = R"(
+[rule.secret-hygiene]
+paths = ["src/crypto"]
+)";
+
+TEST(SecretHygiene, FlagsMemcmpAndOperatorOnSecretNames) {
+  auto result = lint(
+      kSecretConfig,
+      {{"src/crypto/verify.cpp",
+        "bool same_mem(const unsigned char* digest, const unsigned char* b) {\n"
+        "  return memcmp(digest, b, 32) == 0;\n"
+        "}\n"
+        "bool same_eq(const Digest32& root, const Digest32& got) {\n"
+        "  return got == root;\n"
+        "}\n"}});
+  auto found = findings_for(result, "secret-hygiene");
+  ASSERT_EQ(found.size(), 2u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 2);
+  EXPECT_EQ(found[1].line, 5);
+}
+
+TEST(SecretHygiene, OnlyAppliesToConfiguredPaths) {
+  // The same code outside src/crypto is fine (tests compare digests freely).
+  auto result = lint(kSecretConfig,
+                     {{"src/core/check.cpp",
+                       "bool same(const Digest32& root, const Digest32& g) {\n"
+                       "  return g == root;\n"
+                       "}\n"}});
+  EXPECT_TRUE(findings_for(result, "secret-hygiene").empty())
+      << result.to_text(true);
+}
+
+TEST(SecretHygiene, CleanWithCtEqualAndNonSecretNames) {
+  auto result = lint(kSecretConfig,
+                     {{"src/crypto/verify.cpp",
+                       "bool same(const Digest32& root, const Digest32& g) {\n"
+                       "  return ct_equal(g, root);\n"
+                       "}\n"
+                       "bool len_eq(size_t a, size_t b) { return a == b; }\n"}});
+  EXPECT_TRUE(findings_for(result, "secret-hygiene").empty())
+      << result.to_text(true);
+}
+
+// ---------------------------------------------------------------------------
+// layer-dag
+
+constexpr std::string_view kLayerConfig = R"(
+[rule.layer-dag.allow]
+common = []
+crypto = ["common"]
+zvm = ["crypto", "common"]
+)";
+
+TEST(LayerDag, FlagsForbiddenEdgeAndAcceptsAllowedOnes) {
+  auto result = lint(kLayerConfig,
+                     {{"src/common/util.h", "#include \"zvm/env.h\"\n"},
+                      {"src/zvm/env.h", "#include \"crypto/sha.h\"\n"},
+                      {"src/crypto/sha.h", "#include \"common/bytes.h\"\n"},
+                      {"src/common/bytes.h", "\n"}});
+  auto found = findings_for(result, "layer-dag");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].path, "src/common/util.h");
+  EXPECT_NE(found[0].message.find("common -> zvm"), std::string::npos)
+      << found[0].message;
+}
+
+TEST(LayerDag, FlagsModuleMissingFromDag) {
+  auto result =
+      lint(kLayerConfig, {{"src/rogue/thing.h", "int rogue();\n"}});
+  ASSERT_EQ(findings_for(result, "layer-dag").size(), 1u)
+      << result.to_text(true);
+}
+
+TEST(LayerDag, SuppressionOnIncludeLineWorks) {
+  auto result = lint(
+      kLayerConfig,
+      {{"src/common/util.h",
+        "#include \"zvm/env.h\"  // zkt-lint: allow(layer-dag)\n"},
+       {"src/zvm/env.h", "\n"}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_TRUE(result.findings[0].suppressed);
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Output formats
+
+TEST(LintOutput, TextAndJsonIncludeRuleFileAndLine) {
+  auto result = lint("", {{"src/a.cpp",
+                           "zkt::Status persist();\n"
+                           "void run() { persist(); }\n"}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  const std::string text = result.to_text(true);
+  EXPECT_NE(text.find("src/a.cpp:2"), std::string::npos) << text;
+  EXPECT_NE(text.find("[result-discipline]"), std::string::npos) << text;
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"rule\": \"result-discipline\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"unsuppressed\": 1"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Self-check: this repository lints clean under its own config.
+
+TEST(LintSelfCheck, RepositoryIsClean) {
+  const std::string root = ZKT_SOURCE_DIR;
+  auto config_text = read_file(root + "/.zkt-lint.toml");
+  ASSERT_TRUE(config_text.ok()) << config_text.error().to_string();
+  auto cfg = Config::parse(config_text.value());
+  ASSERT_TRUE(cfg.ok()) << cfg.error().to_string();
+
+  auto files = load_tree(root, {"src", "tools", "tests"});
+  ASSERT_TRUE(files.ok()) << files.error().to_string();
+  ASSERT_GT(files.value().size(), 100u);  // sanity: the tree actually loaded
+
+  auto result = run_lint(cfg.value(), files.value());
+  EXPECT_EQ(result.unsuppressed(), 0u) << result.to_text();
+}
+
+}  // namespace
+}  // namespace zkt::analysis

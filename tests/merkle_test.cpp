@@ -69,7 +69,9 @@ TEST_P(MerkleSizes, RebuildFromSameLeavesGivesSameRoot) {
   MerkleTree b(make_leaves(n));
   MerkleTree c(make_leaves(n, /*seed=*/1));
   EXPECT_EQ(a.root(), b.root());
-  if (n > 0) EXPECT_NE(a.root(), c.root());
+  if (n > 0) {
+    EXPECT_NE(a.root(), c.root());
+  }
 }
 
 TEST_P(MerkleSizes, AppendMatchesBulkBuild) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "netflow/record.h"
+#include "netflow/stats.h"
 #include "netflow/v9.h"
 
 namespace zkt::netflow {
@@ -90,7 +91,7 @@ TEST(FlowRecord, ObserveAccumulates) {
   EXPECT_EQ(rec.rtt_count, 2u);
   EXPECT_EQ(rec.rtt_max_us, 3000u);
   EXPECT_EQ(rec.tcp_flags_or, 0x12);
-  EXPECT_DOUBLE_EQ(rec.avg_rtt_us(), 2000.0);
+  EXPECT_DOUBLE_EQ(avg_rtt_us(rec), 2000.0);
 }
 
 TEST(FlowRecord, DroppedPacketsCountAsLoss) {
@@ -105,7 +106,7 @@ TEST(FlowRecord, DroppedPacketsCountAsLoss) {
   EXPECT_EQ(rec.packets, 1u);
   EXPECT_EQ(rec.lost_packets, 1u);
   EXPECT_EQ(rec.bytes, 500u);  // dropped bytes not delivered
-  EXPECT_DOUBLE_EQ(rec.loss_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(loss_rate(rec), 0.5);
 }
 
 TEST(FlowRecord, MergeMatchesInterleavedObserve) {
@@ -173,7 +174,7 @@ TEST(FlowRecord, ThroughputUsesDuration) {
   rec.observe(pkt);
   pkt.timestamp_ms = 1000;  // 1 second
   rec.observe(pkt);
-  EXPECT_DOUBLE_EQ(rec.throughput_bps(), 16'000.0);  // 2000B*8/1s
+  EXPECT_DOUBLE_EQ(throughput_bps(rec), 16'000.0);  // 2000B*8/1s
 }
 
 // ---------------------------------------------------------------------------

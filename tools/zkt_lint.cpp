@@ -1,0 +1,120 @@
+// zkt-lint — project-invariant static analysis for the zktel tree.
+//
+//   zkt-lint [--json] [--config FILE] [--list-rules] [--show-suppressed]
+//            PATH...
+//
+// Lints the C++ sources under each PATH against the project rules
+// (guest-determinism, result-discipline, secret-hygiene, layer-dag; see
+// docs/ANALYSIS.md). Exits 1 when any unsuppressed finding remains, 2 on
+// usage or I/O errors. The config is .zkt-lint.toml, found next to --config,
+// in the current directory, or in any parent of the first PATH; paths in
+// diagnostics are relative to the config's directory (the repo root).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "analysis/load.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace zkt;
+using namespace zkt::analysis;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--config FILE] [--list-rules] "
+               "[--show-suppressed] PATH...\n",
+               argv0);
+  return 2;
+}
+
+/// Find .zkt-lint.toml walking up from `start`.
+std::string find_config(const fs::path& start) {
+  std::error_code ec;
+  fs::path dir = fs::is_directory(start, ec) ? start : start.parent_path();
+  dir = fs::absolute(dir, ec);
+  while (!dir.empty()) {
+    const fs::path candidate = dir / ".zkt-lint.toml";
+    if (fs::exists(candidate, ec)) return candidate.string();
+    if (dir == dir.parent_path()) break;
+    dir = dir.parent_path();
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool show_suppressed = false;
+  std::string config_path;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg == "--config") {
+      if (++i >= argc) return usage(argv[0]);
+      config_path = argv[i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : rule_names()) std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  if (config_path.empty()) {
+    config_path = find_config(fs::current_path());
+    if (config_path.empty()) config_path = find_config(fs::path(paths[0]));
+  }
+  if (config_path.empty()) {
+    std::fprintf(stderr,
+                 "zkt-lint: no .zkt-lint.toml found (pass --config)\n");
+    return 2;
+  }
+
+  auto config_text = read_file(config_path);
+  if (!config_text.ok()) {
+    std::fprintf(stderr, "zkt-lint: %s\n",
+                 config_text.error().to_string().c_str());
+    return 2;
+  }
+  auto config = Config::parse(config_text.value());
+  if (!config.ok()) {
+    std::fprintf(stderr, "zkt-lint: %s: %s\n", config_path.c_str(),
+                 config.error().to_string().c_str());
+    return 2;
+  }
+
+  const std::string repo_root =
+      fs::absolute(fs::path(config_path)).parent_path().string();
+  auto files = load_tree(repo_root, paths);
+  if (!files.ok()) {
+    std::fprintf(stderr, "zkt-lint: %s\n", files.error().to_string().c_str());
+    return 2;
+  }
+
+  const LintResult result = run_lint(config.value(), files.value());
+  if (json) {
+    std::printf("%s\n", result.to_json().c_str());
+  } else {
+    std::fputs(result.to_text(show_suppressed).c_str(), stdout);
+    std::printf("zkt-lint: %zu file(s), %zu finding(s), %zu unsuppressed\n",
+                files.value().size(), result.findings.size(),
+                result.unsuppressed());
+  }
+  return result.unsuppressed() == 0 ? 0 : 1;
+}
