@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -227,27 +227,30 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
                         .count());
   }
 
-  // Phase 2: aggregate every shard on its own thread (§7's parallel proof
-  // generation; partial proofs are presented together in the Round).
+  // Phase 2: aggregate shards in parallel on the shared bounded pool (§7's
+  // parallel proof generation; partial proofs are presented together in the
+  // Round). The pool caps concurrency at its worker count instead of
+  // spawning one kernel thread per shard.
   std::vector<Result<AggregationRound>> results(
       shard_count_, Result<AggregationRound>(Errc::unsupported));
   std::vector<double> shard_wall_ms(shard_count_, 0);
   obs::Histogram& shard_wall_hist =
       metrics.histogram("core.sharded.shard_wall_ms");
-  std::vector<std::thread> threads;
-  threads.reserve(shard_count_);
-  for (u32 s = 0; s < shard_count_; ++s) {
-    threads.emplace_back(
-        [this, s, &shard_batches, &results, &shard_wall_ms, &shard_wall_hist] {
-          const auto shard_start = std::chrono::steady_clock::now();
-          results[s] = shards_[s]->aggregate(shard_batches[s]);
-          shard_wall_ms[s] = std::chrono::duration<double, std::milli>(
-                                 std::chrono::steady_clock::now() - shard_start)
-                                 .count();
-          shard_wall_hist.record(shard_wall_ms[s]);
-        });
-  }
-  for (auto& t : threads) t.join();
+  common::ThreadPool& pool = common::ThreadPool::shared();
+  pool.parallel_for(shard_count_, 1, [&](size_t first, size_t last) {
+    for (size_t s = first; s < last; ++s) {
+      const auto shard_start = std::chrono::steady_clock::now();
+      results[s] = shards_[s]->aggregate(shard_batches[s]);
+      shard_wall_ms[s] = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - shard_start)
+                             .count();
+      shard_wall_hist.record(shard_wall_ms[s]);
+    }
+  });
+  metrics.gauge("common.pool.threads")
+      .set(static_cast<double>(pool.thread_count()));
+  metrics.gauge("common.pool.queue_depth")
+      .set(static_cast<double>(pool.queue_depth()));
 
   for (u32 s = 0; s < shard_count_; ++s) {
     if (!results[s].ok()) return results[s].error();

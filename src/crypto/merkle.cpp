@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstring>
 
+#include "common/thread_pool.h"
 #include "crypto/ct.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_backend.h"
 
 namespace zkt::crypto {
 
@@ -15,6 +18,12 @@ u64 next_pow2(u64 n) {
   if (n <= 1) return 1;
   return std::bit_ceil(n);
 }
+
+// Below this many pairs a level is hashed on the calling thread; above it
+// the shared pool splits the level. Chosen so the per-chunk batch still
+// saturates the 8-wide AVX2 lanes.
+constexpr size_t kParallelPairs = 2048;
+constexpr size_t kPairGrain = 512;
 
 }  // namespace
 
@@ -60,6 +69,41 @@ Digest32 MerkleTree::hash_node(const Digest32& left, const Digest32& right) {
   return h.finalize();
 }
 
+std::vector<Digest32> MerkleTree::hash_leaves(
+    std::span<const BytesView> datas) {
+  return sha256_many(datas, u8{0x00});
+}
+
+void MerkleTree::hash_pairs(std::span<const Digest32> nodes,
+                            std::span<Digest32> out) {
+  const size_t n = nodes.size() / 2;
+  assert(out.size() == n && nodes.size() % 2 == 0);
+  if (n == 0) return;
+  // hash_node's message is exactly 65 bytes (0x01 || left || right), i.e.
+  // two compression blocks per pair; batch each block position across all
+  // pairs so the SIMD backends see full lanes.
+  std::vector<Sha256State> states(n, Sha256State::initial());
+  std::vector<std::array<u8, 64>> blocks(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::array<u8, 64>& block = blocks[i];
+    block[0] = 0x01;
+    std::memcpy(block.data() + 1, nodes[2 * i].bytes.data(), 32);
+    std::memcpy(block.data() + 33, nodes[2 * i + 1].bytes.data(), 31);
+  }
+  sha256_compress_many(states, blocks);
+  for (size_t i = 0; i < n; ++i) {
+    std::array<u8, 64>& block = blocks[i];
+    block.fill(0);
+    block[0] = nodes[2 * i + 1].bytes[31];
+    block[1] = 0x80;
+    // 65 bytes = 520 bits, big-endian in the trailing length field.
+    block[62] = 0x02;
+    block[63] = 0x08;
+  }
+  sha256_compress_many(states, blocks);
+  for (size_t i = 0; i < n; ++i) out[i] = states[i].to_digest();
+}
+
 const Digest32& MerkleTree::empty_leaf() {
   static const Digest32 kEmpty = hash_leaf(bytes_of("zkt.merkle.empty"));
   return kEmpty;
@@ -80,8 +124,19 @@ void MerkleTree::rebuild() {
   while (levels_.back().size() > 1) {
     const auto& below = levels_.back();
     std::vector<Digest32> above(below.size() / 2);
-    for (size_t i = 0; i < above.size(); ++i) {
-      above[i] = hash_node(below[2 * i], below[2 * i + 1]);
+    const std::span<const Digest32> src(below);
+    const std::span<Digest32> dst(above);
+    if (above.size() >= kParallelPairs &&
+        common::ThreadPool::shared().thread_count() > 1) {
+      // Level-parallel: disjoint pair ranges, so chunks never overlap and
+      // the digests are identical to the sequential build.
+      common::ThreadPool::shared().parallel_for(
+          above.size(), kPairGrain, [&](size_t begin, size_t end) {
+            hash_pairs(src.subspan(2 * begin, 2 * (end - begin)),
+                       dst.subspan(begin, end - begin));
+          });
+    } else {
+      hash_pairs(src, dst);
     }
     levels_.push_back(std::move(above));
   }
@@ -99,7 +154,10 @@ u32 MerkleTree::depth() const {
 }
 
 MerkleProof MerkleTree::prove(u64 index) const {
-  assert(index < std::max<u64>(leaf_count_, 1) || index < levels_[0].size());
+  // The index must address a slot in the padded leaf layer (the || form this
+  // replaced was a tautology for padded trees: leaf_count_ <= levels_[0]
+  // .size() always).
+  assert(!levels_.empty() && index < levels_[0].size());
   MerkleProof proof;
   proof.leaf_index = index;
   proof.leaf_count = leaf_count_;

@@ -57,6 +57,15 @@ class MerkleTree {
   static Digest32 hash_leaf(BytesView data);
   /// Domain-separated internal node hash.
   static Digest32 hash_node(const Digest32& left, const Digest32& right);
+  /// Batched hash_leaf over independent messages: out[i] = hash_leaf(datas[i]).
+  /// Dispatches to the fastest available SHA-256 backend (crypto/
+  /// sha256_backend.h); bit-identical to the per-leaf form.
+  static std::vector<Digest32> hash_leaves(std::span<const BytesView> datas);
+  /// Batched hash_node over consecutive pairs: out[i] = hash_node(
+  /// nodes[2i], nodes[2i+1]). nodes.size() must be even and out.size() ==
+  /// nodes.size() / 2. Bit-identical to the per-pair form.
+  static void hash_pairs(std::span<const Digest32> nodes,
+                         std::span<Digest32> out);
   /// The digest used to pad the leaf layer to a power of two.
   static const Digest32& empty_leaf();
 

@@ -92,6 +92,7 @@ Sha256State sha256_compress(const Sha256State& state,
 }
 
 void Sha256::update(BytesView data) {
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_len_ += data.size();
   size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -1,0 +1,134 @@
+// AVX2 8-way multi-buffer SHA-256: eight independent (state, block) lanes
+// compressed in one instruction stream.
+//
+// Classic interleaved layout: word t of all eight lanes lives in one ymm
+// register (lane l in 32-bit element l), so the 64 rounds and the message
+// schedule run as straight-line vector arithmetic with no cross-lane
+// shuffles. Remainder lanes (< 8) fall back to the scalar compressor —
+// results are bit-identical either way. Compiled with -mavx2 and called only
+// when CPUID reports AVX2 (crypto/sha256_dispatch.cpp).
+//
+// Host-side only; guests never hash through the batch backends (see
+// .zkt-lint.toml guest-determinism excludes).
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "crypto/sha256_backend.h"
+
+namespace zkt::crypto {
+
+// Defined in sha256_dispatch.cpp.
+void sha256_compress_many_scalar(Sha256State* states,
+                                 const std::array<u8, 64>* blocks, size_t n);
+
+namespace {
+
+constexpr u32 kRoundK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m256i rotr32(__m256i x, int r) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, r),
+                         _mm256_slli_epi32(x, 32 - r));
+}
+
+inline __m256i xor3(__m256i a, __m256i b, __m256i c) {
+  return _mm256_xor_si256(_mm256_xor_si256(a, b), c);
+}
+
+void compress_8x(Sha256State* states, const std::array<u8, 64>* blocks) {
+  // Transpose message words: w[t] element l = big-endian word t of lane l.
+  __m256i w[16];
+  alignas(32) u32 lane_words[8];
+  for (int t = 0; t < 16; ++t) {
+    for (int l = 0; l < 8; ++l) {
+      u32 v;
+      std::memcpy(&v, blocks[l].data() + 4 * t, 4);
+      lane_words[l] = __builtin_bswap32(v);
+    }
+    w[t] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lane_words));
+  }
+
+  // Transpose chaining states: s[j] element l = states[l].h[j].
+  __m256i s[8];
+  for (int j = 0; j < 8; ++j) {
+    for (int l = 0; l < 8; ++l) lane_words[l] = states[l].h[j];
+    s[j] = _mm256_load_si256(reinterpret_cast<const __m256i*>(lane_words));
+  }
+
+  __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+  for (int t = 0; t < 64; ++t) {
+    __m256i wt;
+    if (t < 16) {
+      wt = w[t];
+    } else {
+      const __m256i w15 = w[(t - 15) & 15];
+      const __m256i w2 = w[(t - 2) & 15];
+      const __m256i s0 =
+          xor3(rotr32(w15, 7), rotr32(w15, 18), _mm256_srli_epi32(w15, 3));
+      const __m256i s1 =
+          xor3(rotr32(w2, 17), rotr32(w2, 19), _mm256_srli_epi32(w2, 10));
+      wt = _mm256_add_epi32(_mm256_add_epi32(w[(t - 16) & 15], s0),
+                            _mm256_add_epi32(w[(t - 7) & 15], s1));
+      w[t & 15] = wt;
+    }
+    const __m256i big_s1 = xor3(rotr32(e, 6), rotr32(e, 11), rotr32(e, 25));
+    const __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f),
+                                        _mm256_andnot_si256(e, g));
+    const __m256i t1 = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(h, big_s1),
+                         _mm256_add_epi32(ch, _mm256_set1_epi32(
+                                                  static_cast<int>(
+                                                      kRoundK[t])))),
+        wt);
+    const __m256i big_s0 = xor3(rotr32(a, 2), rotr32(a, 13), rotr32(a, 22));
+    const __m256i maj = xor3(_mm256_and_si256(a, b), _mm256_and_si256(a, c),
+                             _mm256_and_si256(b, c));
+    const __m256i t2 = _mm256_add_epi32(big_s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm256_add_epi32(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm256_add_epi32(t1, t2);
+  }
+
+  const __m256i outv[8] = {
+      _mm256_add_epi32(s[0], a), _mm256_add_epi32(s[1], b),
+      _mm256_add_epi32(s[2], c), _mm256_add_epi32(s[3], d),
+      _mm256_add_epi32(s[4], e), _mm256_add_epi32(s[5], f),
+      _mm256_add_epi32(s[6], g), _mm256_add_epi32(s[7], h)};
+  for (int j = 0; j < 8; ++j) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_words), outv[j]);
+    for (int l = 0; l < 8; ++l) states[l].h[j] = lane_words[l];
+  }
+}
+
+}  // namespace
+
+void sha256_compress_many_avx2(Sha256State* states,
+                               const std::array<u8, 64>* blocks, size_t n) {
+  while (n >= 8) {
+    compress_8x(states, blocks);
+    states += 8;
+    blocks += 8;
+    n -= 8;
+  }
+  if (n > 0) sha256_compress_many_scalar(states, blocks, n);
+}
+
+}  // namespace zkt::crypto

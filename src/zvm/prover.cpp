@@ -1,9 +1,12 @@
 #include "zvm/prover.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
-#include <thread>
+#include <string>
 
+#include "common/thread_pool.h"
+#include "crypto/sha256_backend.h"
 #include "crypto/transcript.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,6 +20,33 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Rows serialized and hashed per MerkleTree::hash_leaves() batch. Bounds the
+/// transient serialization buffer to a few hundred KiB per worker while still
+/// keeping the SIMD lanes of the batched SHA-256 backends full.
+constexpr u64 kLeafBatchRows = 512;
+
+/// crypto cannot depend on obs (layer DAG), so backend/pool activity is
+/// published into the metrics registry here, by the caller.
+void publish_hash_metrics(obs::Registry& metrics) {
+  for (u8 b = 0; b < crypto::kSha256BackendCount; ++b) {
+    const auto backend = static_cast<crypto::Sha256Backend>(b);
+    const auto stats = crypto::sha256_backend_stats(backend);
+    if (stats.batches == 0) continue;
+    const std::string name = crypto::sha256_backend_name(backend);
+    metrics.gauge("crypto.sha256.blocks." + name)
+        .set(static_cast<double>(stats.blocks));
+    metrics.gauge("crypto.sha256.batches." + name)
+        .set(static_cast<double>(stats.batches));
+  }
+  const auto& pool = common::ThreadPool::shared();
+  metrics.gauge("common.pool.threads")
+      .set(static_cast<double>(pool.thread_count()));
+  metrics.gauge("common.pool.queue_depth")
+      .set(static_cast<double>(pool.queue_depth()));
+  metrics.gauge("common.pool.tasks_executed")
+      .set(static_cast<double>(pool.tasks_executed()));
 }
 
 }  // namespace
@@ -35,11 +65,18 @@ std::vector<u64> derive_query_indices(const Digest32& claim_digest,
   transcript.absorb_u64("segment", segment_index);
   transcript.absorb("segment_root", segment_root);
   transcript.absorb_u64("rows", row_count);
+  // Dedup against a sorted shadow vector (O(log n) membership) instead of a
+  // linear std::find per candidate; `indices` itself keeps draw order so the
+  // transcript-derived opening sequence — and thus receipt bytes — are
+  // unchanged.
+  std::vector<u64> sorted;
+  sorted.reserve(count);
   while (indices.size() < count) {
     const u64 idx = transcript.challenge_index("query", row_count);
-    if (std::find(indices.begin(), indices.end(), idx) == indices.end()) {
-      indices.push_back(idx);
-    }
+    const auto pos = std::lower_bound(sorted.begin(), sorted.end(), idx);
+    if (pos != sorted.end() && *pos == idx) continue;
+    sorted.insert(pos, idx);
+    indices.push_back(idx);
   }
   return indices;
 }
@@ -90,19 +127,18 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
   const auto commit_start = std::chrono::steady_clock::now();
   phase.emplace("commit");
 
-  // Serialize rows once; segments index into this.
   const auto& trace = env.trace();
-  std::vector<Bytes> row_bytes;
-  row_bytes.reserve(trace.size());
   u64 sha_rows = 0;
   for (const auto& row : trace) {
-    Writer w;
-    row.serialize(w);
-    row_bytes.push_back(std::move(w).take());
     if (row.kind() == OpKind::sha256_compress) ++sha_rows;
   }
 
-  // Split into segments and commit each (in parallel when several).
+  // Split into segments and commit each on the shared bounded pool. Leaves
+  // are hashed streaming-style: rows are serialized in small batches into a
+  // per-segment scratch buffer that is reused, so peak memory is
+  // O(kLeafBatchRows * row_size) per worker instead of one retained copy of
+  // the entire serialized trace. Rows needed for Fiat–Shamir openings are
+  // re-serialized later (serialization is deterministic).
   const u64 total_rows = trace.size();
   const u64 segment_count =
       std::max<u64>(1, (total_rows + options.max_segment_rows - 1) /
@@ -112,6 +148,8 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
   {
     obs::Histogram& segment_commit_ms =
         metrics.histogram("zvm.prover.segment_commit_ms");
+    obs::Histogram& leaf_batch_rows =
+        metrics.histogram("zvm.prover.leaf_batch_rows");
     auto build_segment = [&](u64 seg) {
       const auto seg_begin_time = std::chrono::steady_clock::now();
       const u64 begin = seg * options.max_segment_rows;
@@ -120,19 +158,37 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
       seg_rows[seg] = end - begin;
       std::vector<Digest32> leaves;
       leaves.reserve(end - begin);
-      for (u64 i = begin; i < end; ++i) {
-        leaves.push_back(crypto::MerkleTree::hash_leaf(row_bytes[i]));
+      std::vector<size_t> offsets;
+      std::vector<BytesView> views;
+      for (u64 batch = begin; batch < end; batch += kLeafBatchRows) {
+        const u64 batch_end = std::min(end, batch + kLeafBatchRows);
+        Writer scratch;
+        offsets.clear();
+        for (u64 i = batch; i < batch_end; ++i) {
+          offsets.push_back(scratch.bytes().size());
+          trace[i].serialize(scratch);
+        }
+        offsets.push_back(scratch.bytes().size());
+        // Views are taken only once the batch buffer has stopped growing.
+        const Bytes& buf = scratch.bytes();
+        views.clear();
+        for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+          views.emplace_back(buf.data() + offsets[i],
+                             offsets[i + 1] - offsets[i]);
+        }
+        auto digests = crypto::MerkleTree::hash_leaves(views);
+        leaves.insert(leaves.end(), digests.begin(), digests.end());
+        leaf_batch_rows.record(static_cast<double>(views.size()));
       }
       trees[seg] = crypto::MerkleTree(std::move(leaves));
       segment_commit_ms.record(ms_since(seg_begin_time));
     };
     if (segment_count > 1) {
-      std::vector<std::thread> workers;
-      workers.reserve(segment_count);
-      for (u64 seg = 0; seg < segment_count; ++seg) {
-        workers.emplace_back(build_segment, seg);
-      }
-      for (auto& w : workers) w.join();
+      common::ThreadPool::shared().parallel_for(
+          segment_count, 1,
+          [&](size_t first, size_t last) {
+            for (size_t seg = first; seg < last; ++seg) build_segment(seg);
+          });
     } else {
       build_segment(0);
     }
@@ -165,7 +221,9 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
     for (u64 idx : indices) {
       SealOpening opening;
       opening.row_index = idx;
-      opening.row_bytes = row_bytes[seg_start[seg] + idx];
+      Writer w;
+      trace[seg_start[seg] + idx].serialize(w);
+      opening.row_bytes = std::move(w).take();
       opening.proof = trees[seg].prove(idx);
       segment.openings.push_back(std::move(opening));
     }
@@ -195,6 +253,7 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
   metrics.histogram("zvm.prover.execute_ms").record(execute_ms);
   metrics.histogram("zvm.prover.commit_ms").record(ms_since(commit_start));
   metrics.histogram("zvm.prover.total_ms").record(ms_since(start));
+  publish_hash_metrics(metrics);
 
   if (info != nullptr) {
     info->cycles = claim.cycle_count;
