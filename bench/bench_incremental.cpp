@@ -1,0 +1,233 @@
+// Incremental-aggregation sweep: full-rebuild guest vs delta guest over
+// N ∈ {1k, 10k, 50k} resident flows × k ∈ {16, 512, 4096} touched flows per
+// round -> BENCH_incremental.json.
+//
+// Methodology: a genesis round (full guest, not measured) establishes a CLog
+// of N distinct flows; keys are generated in ascending order so the host-side
+// state build stays append-only and the sweep reaches 50k entries quickly.
+// The measured round merges k existing flows spread evenly across the key
+// space (stride N/k — the worst spread for multiproof sibling sharing), and
+// is proven twice from an identical restored snapshot: once with
+// AggMode::full and once with AggMode::incremental. Both runs must land on
+// the same new_root — the equivalence the incremental_test suite checks in
+// miniature, asserted here at scale.
+//
+// The quantity that drives a real STARK prover's latency is traced hashing:
+// the full guest re-derives the whole tree (O(N) SHA rows) while the delta
+// guest re-hashes only the k touched root-paths plus one deduplicated
+// multiproof walk (O(k log N) rows), so the sha_rows / cycles columns shrink
+// with k/N exactly as the cost model in docs/PERFORMANCE.md predicts.
+// Cells with k > N clamp to touching every entry (the delta opens the whole
+// state and the auto-mode cost model would pick full — forced incremental
+// here to chart the crossover).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/service.h"
+
+using namespace zkt;
+
+namespace {
+
+netflow::FlowKey ascending_key(u64 i) {
+  return {.src_ip = 0x0A000000u + static_cast<u32>(i),
+          .dst_ip = 0x09090909u,
+          .src_port = 1000,
+          .dst_port = 443,
+          .protocol = 6};
+}
+
+netflow::FlowRecord make_record(u64 flow_index, u64 window_id,
+                                Xoshiro256& rng) {
+  netflow::FlowRecord rec;
+  netflow::PacketObservation pkt;
+  pkt.key = ascending_key(flow_index);
+  pkt.timestamp_ms = window_id * 5000 + (flow_index % 4096);
+  pkt.bytes = 800 + static_cast<u32>(rng.uniform(700));
+  pkt.hop_count = static_cast<u8>(2 + rng.uniform(10));
+  pkt.rtt_us = 10'000 + static_cast<u32>(rng.uniform(50'000));
+  pkt.jitter_us = static_cast<u32>(rng.uniform(4'000));
+  rec.observe(pkt);
+  return rec;
+}
+
+constexpr u32 kRouters = 4;
+
+crypto::SchnorrKeyPair router_key(u32 r) {
+  return crypto::schnorr_keygen_from_seed("bench-inc-router-" +
+                                          std::to_string(r));
+}
+
+/// Commit + publish `batches` (one per router) for `window_id`.
+void publish_window(core::CommitmentBoard& board,
+                    std::vector<netflow::RLogBatch>& batches, u64 window_id) {
+  for (u32 r = 0; r < kRouters; ++r) {
+    batches[r].router_id = r;
+    batches[r].window_id = window_id;
+    auto commitment =
+        core::make_commitment(batches[r], router_key(r), window_id * 5000);
+    if (!commitment.ok() || !board.publish(commitment.value()).ok()) {
+      std::abort();
+    }
+  }
+}
+
+/// Genesis window: N distinct ascending flows, router r holding the r-th
+/// contiguous chunk so (window, router)-ordered application is append-only.
+std::vector<netflow::RLogBatch> genesis_window(u64 n, Xoshiro256& rng) {
+  std::vector<netflow::RLogBatch> batches(kRouters);
+  for (u64 i = 0; i < n; ++i) {
+    const u32 r = static_cast<u32>(i * kRouters / n);
+    batches[r].records.push_back(make_record(i, /*window_id=*/1, rng));
+  }
+  return batches;
+}
+
+/// Measured window: k flows at stride n/k (all merges into existing entries).
+std::vector<netflow::RLogBatch> touch_window(u64 n, u64 k, u64 window_id,
+                                             Xoshiro256& rng) {
+  std::vector<netflow::RLogBatch> batches(kRouters);
+  const u64 stride = n / k;
+  for (u64 j = 0; j < k; ++j) {
+    batches[j % kRouters].records.push_back(
+        make_record(j * stride, window_id, rng));
+  }
+  return batches;
+}
+
+struct ModeResult {
+  double wall_ms = 0;
+  zvm::ProveInfo info;
+  core::AggJournal journal;
+};
+
+bool run_mode(const core::CommitmentBoard& board, const core::CLogState& base,
+              const zvm::Receipt& receipt, core::AggMode mode,
+              std::span<const netflow::RLogBatch> batches, ModeResult& out) {
+  core::AggregationService service(
+      board, {.prove_options = {}, .mode = mode});
+  if (!service.restore(base, receipt, /*rounds_completed=*/1).ok()) {
+    return false;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto round = service.aggregate(batches);
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  if (!round.ok()) {
+    std::fprintf(stderr, "aggregate failed: %s\n",
+                 round.error().to_string().c_str());
+    return false;
+  }
+  out.info = round.value().prove_info;
+  out.journal = round.value().journal;
+  return true;
+}
+
+struct Cell {
+  u64 n = 0, k = 0, k_eff = 0;
+  ModeResult full, inc;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<u64> n_sweep = {1'000, 10'000, 50'000};
+  const std::vector<u64> k_sweep = {16, 512, 4096};
+
+  std::printf("=== incremental vs full aggregation rounds ===\n");
+  std::printf("%7s %6s | %10s %12s %12s | %10s %12s %12s | %8s %7s %9s\n", "N",
+              "k", "full ms", "full sha", "full cyc", "inc ms", "inc sha",
+              "inc cyc", "speedup", "guest", "siblings");
+
+  std::vector<Cell> cells;
+  for (u64 n : n_sweep) {
+    Xoshiro256 rng(n);
+    core::CommitmentBoard board;
+    auto genesis = genesis_window(n, rng);
+    publish_window(board, genesis, /*window_id=*/1);
+
+    core::AggregationService bootstrap(
+        board, {.prove_options = {}, .mode = core::AggMode::full});
+    if (!bootstrap.aggregate(genesis).ok()) {
+      std::fprintf(stderr, "genesis failed at N=%llu\n",
+                   (unsigned long long)n);
+      return 1;
+    }
+    const core::CLogState base = bootstrap.state();
+    const zvm::Receipt receipt = bootstrap.last_receipt();
+
+    for (size_t ki = 0; ki < k_sweep.size(); ++ki) {
+      const u64 k = k_sweep[ki];
+      const u64 window_id = 2 + ki;
+      Cell cell;
+      cell.n = n;
+      cell.k = k;
+      cell.k_eff = std::min(k, n);
+      auto window = touch_window(n, cell.k_eff, window_id, rng);
+      publish_window(board, window, window_id);
+      if (!run_mode(board, base, receipt, core::AggMode::full, window,
+                    cell.full) ||
+          !run_mode(board, base, receipt, core::AggMode::incremental, window,
+                    cell.inc)) {
+        return 1;
+      }
+      if (cell.full.journal.new_root != cell.inc.journal.new_root) {
+        std::fprintf(stderr, "root mismatch at N=%llu k=%llu\n",
+                     (unsigned long long)n, (unsigned long long)k);
+        return 1;
+      }
+      const double speedup = cell.inc.wall_ms > 0
+                                 ? cell.full.wall_ms / cell.inc.wall_ms
+                                 : 0.0;
+      std::printf(
+          "%7llu %6llu | %10.2f %12llu %12llu | %10.2f %12llu %12llu | "
+          "%7.2fx %7s %9llu\n",
+          (unsigned long long)n, (unsigned long long)cell.k_eff,
+          cell.full.wall_ms, (unsigned long long)cell.full.info.sha_rows,
+          (unsigned long long)cell.full.info.cycles, cell.inc.wall_ms,
+          (unsigned long long)cell.inc.info.sha_rows,
+          (unsigned long long)cell.inc.info.cycles, speedup,
+          cell.inc.journal.kind == core::RoundKind::incremental ? "delta"
+                                                                : "full",
+          (unsigned long long)cell.inc.journal.multiproof_siblings);
+      cells.push_back(cell);
+    }
+  }
+
+  std::ofstream out("BENCH_incremental.json");
+  out << "{\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    const double speedup =
+        c.inc.wall_ms > 0 ? c.full.wall_ms / c.inc.wall_ms : 0.0;
+    out << "    {\"n\": " << c.n << ", \"k\": " << c.k
+        << ", \"k_eff\": " << c.k_eff
+        << ", \"full_ms\": " << c.full.wall_ms
+        << ", \"full_sha_rows\": " << c.full.info.sha_rows
+        << ", \"full_cycles\": " << c.full.info.cycles
+        << ", \"incremental_ms\": " << c.inc.wall_ms
+        << ", \"incremental_sha_rows\": " << c.inc.info.sha_rows
+        << ", \"incremental_cycles\": " << c.inc.info.cycles
+        << ", \"incremental_guest\": \""
+        << (c.inc.journal.kind == core::RoundKind::incremental ? "incremental"
+                                                               : "full")
+        << "\", \"touched_entries\": " << c.inc.journal.touched_entries
+        << ", \"multiproof_siblings\": " << c.inc.journal.multiproof_siblings
+        << ", \"speedup\": " << speedup << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (out) {
+    std::printf("\nsweep -> BENCH_incremental.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_incremental.json\n");
+    return 1;
+  }
+  zkt::bench::write_metrics_snapshot("incremental");
+  return 0;
+}

@@ -2,8 +2,17 @@
 
 namespace zkt::core {
 
+Status verify_aggregation_receipt(zvm::Verifier& verifier,
+                                  const zvm::Receipt& receipt) {
+  if (!is_aggregation_image(receipt.claim.image_id)) {
+    return Error{Errc::proof_invalid,
+                 "receipt was not produced by an aggregation guest"};
+  }
+  return verifier.verify(receipt, receipt.claim.image_id);
+}
+
 Result<AggJournal> Auditor::accept_round(const zvm::Receipt& receipt) {
-  ZKT_TRY(verifier_.verify(receipt, guest_images().aggregate));
+  ZKT_TRY(verify_aggregation_receipt(verifier_, receipt));
 
   auto journal = AggJournal::parse(receipt.journal);
   if (!journal.ok()) return journal.error();

@@ -17,6 +17,14 @@
 
 namespace zkt::core {
 
+/// Verify `receipt` as an aggregation receipt of EITHER kind: the claim
+/// must name one of the two aggregation images (full rebuild or incremental
+/// delta) and the receipt must verify against that image. Chains mix the
+/// two kinds freely, so every chain consumer goes through this instead of
+/// pinning guest_images().aggregate.
+Status verify_aggregation_receipt(zvm::Verifier& verifier,
+                                  const zvm::Receipt& receipt);
+
 class Auditor {
  public:
   explicit Auditor(const CommitmentBoard& board) : board_(&board) {}

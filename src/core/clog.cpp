@@ -1,15 +1,26 @@
 #include "core/clog.h"
 
+#include <algorithm>
+
+#include "crypto/ct.h"
+
 namespace zkt::core {
 
 Digest32 clog_leaf_digest(const CLogEntry& entry) {
   return crypto::MerkleTree::hash_leaf(entry.canonical_bytes());
 }
 
+u64 CLogState::lower_bound(const netflow::FlowKey& key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const CLogEntry& e, const netflow::FlowKey& k) { return e.key < k; });
+  return static_cast<u64>(it - entries_.begin());
+}
+
 std::optional<u64> CLogState::find(const netflow::FlowKey& key) const {
-  auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  const u64 pos = lower_bound(key);
+  if (pos < entries_.size() && entries_[pos].key == key) return pos;
+  return std::nullopt;
 }
 
 std::vector<CLogUpdate> CLogState::apply_records(
@@ -18,21 +29,19 @@ std::vector<CLogUpdate> CLogState::apply_records(
   updates.reserve(records.size());
   for (const auto& record : records) {
     CLogUpdate update;
-    auto existing = find(record.key);
-    if (existing.has_value()) {
-      update.index = *existing;
+    const u64 pos = lower_bound(record.key);
+    if (pos < entries_.size() && entries_[pos].key == record.key) {
+      update.index = pos;
       update.created = false;
-      entries_[*existing].merge(record);
-      update.new_leaf = clog_leaf_digest(entries_[*existing]);
-      tree_.update_leaf(*existing, update.new_leaf);
+      entries_[pos].merge(record);
+      update.new_leaf = clog_leaf_digest(entries_[pos]);
+      tree_.update_leaf(pos, update.new_leaf);
     } else {
-      update.index = entries_.size();
+      update.index = pos;
       update.created = true;
-      entries_.push_back(record);
-      index_.emplace(record.key, update.index);
+      entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(pos), record);
       update.new_leaf = clog_leaf_digest(record);
-      const u64 appended = tree_.append_leaf(update.new_leaf);
-      (void)appended;
+      tree_.insert_leaf(pos, update.new_leaf);
     }
     updates.push_back(update);
   }
@@ -52,14 +61,41 @@ Result<CLogState> CLogState::deserialize(Reader& r) {
   for (u64 i = 0; i < count.value(); ++i) {
     auto entry = netflow::FlowRecord::deserialize(r);
     if (!entry.ok()) return entry.error();
-    if (!state.index_.emplace(entry.value().key, i).second) {
+    if (!state.entries_.empty() &&
+        !(state.entries_.back().key < entry.value().key)) {
+      // Strict ascending order doubles as the duplicate-key check and
+      // guarantees the implicit key index is valid on adoption.
       return Error{Errc::parse_error,
-                   "duplicate flow key in serialized CLog state"};
+                   "serialized CLog entries not strictly key-sorted"};
     }
-    state.tree_.append_leaf(clog_leaf_digest(entry.value()));
     state.entries_.push_back(std::move(entry.value()));
   }
+  std::vector<Digest32> leaves;
+  leaves.reserve(state.entries_.size());
+  for (const auto& entry : state.entries_) {
+    leaves.push_back(clog_leaf_digest(entry));
+  }
+  state.tree_ = crypto::MerkleTree(std::move(leaves));
   return state;
+}
+
+Status CLogState::check_consistency() const {
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (!(entries_[i - 1].key < entries_[i].key)) {
+      return Error{Errc::parse_error, "CLog key index out of order"};
+    }
+  }
+  if (tree_.leaf_count() != entries_.size()) {
+    return Error{Errc::merkle_mismatch, "CLog tree leaf count vs entries"};
+  }
+  std::vector<Digest32> leaves;
+  leaves.reserve(entries_.size());
+  for (const auto& entry : entries_) leaves.push_back(clog_leaf_digest(entry));
+  const crypto::MerkleTree fresh(std::move(leaves));
+  if (!crypto::ct_equal(fresh.root(), tree_.root())) {
+    return Error{Errc::merkle_mismatch, "CLog cached tree diverged"};
+  }
+  return {};
 }
 
 std::vector<Bytes> CLogState::entry_bytes() const {

@@ -1,17 +1,22 @@
 // CLog: the aggregated, Merkle-authenticated global flow dataset (Figure 2).
 //
 // A CLog entry is one per-flow aggregate (a netflow::FlowRecord whose
-// counters are merged across routers and windows). Entries live at stable
-// indices: existing flows are updated in place, new flows are appended in
-// first-appearance order. The Merkle tree over entry leaf digests is the
-// authentication structure every aggregation round and query proves against.
+// counters are merged across routers and windows). Entries are kept in
+// **flow-key-sorted order**: the sorted vector *is* the persistent
+// FlowKey→index map (lookup by binary search), and — the property the
+// incremental aggregation guest depends on — non-membership of a key is
+// provable by opening just the two adjacent entries that bracket its
+// insertion point. The Merkle tree over entry leaf digests (leaves in the
+// same sorted order) is the authentication structure every aggregation
+// round and query proves against. Inserting a new flow shifts the indices
+// of every entry with a larger key.
 //
 // CLogState is the host-side (prover's) copy of this structure; the zkVM
 // guest independently recomputes the same roots from its verified inputs, so
 // a host that tampers with its copy simply fails to produce a proof.
 #pragma once
 
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 #include "common/bytes.h"
@@ -29,10 +34,11 @@ using CLogEntry = netflow::FlowRecord;
 /// entry's canonical serialization).
 Digest32 clog_leaf_digest(const CLogEntry& entry);
 
-/// One entry modified or created by an aggregation round.
+/// One entry modified or created by an aggregation round. Indices refer to
+/// the state *after* the update was applied (sorted positions).
 struct CLogUpdate {
   u64 index = 0;
-  bool created = false;  ///< true if the entry was newly appended
+  bool created = false;  ///< true if the entry was newly inserted
   Digest32 new_leaf;
 };
 
@@ -47,6 +53,10 @@ class CLogState {
   /// Root of the authentication tree. Empty state has the empty-tree root.
   Digest32 root() const { return tree_.root(); }
 
+  /// The underlying authentication tree (e.g. to copy + grow_capacity for
+  /// delta-round multiproofs over not-yet-occupied slots).
+  const crypto::MerkleTree& tree() const { return tree_; }
+
   /// Inclusion proof for an entry.
   crypto::MerkleProof prove(u64 index) const { return tree_.prove(index); }
 
@@ -55,28 +65,40 @@ class CLogState {
     return tree_.prove_multi(indices);
   }
 
-  /// Index of the entry for a flow key, if present.
+  /// Index of the entry for a flow key, if present (binary search).
   std::optional<u64> find(const netflow::FlowKey& key) const;
 
+  /// Sorted insertion position for a key: the index of the first entry with
+  /// key >= `key` (== entry_count() if all keys are smaller).
+  u64 lower_bound(const netflow::FlowKey& key) const;
+
   /// Apply one batch of raw records (already authenticated by the caller):
-  /// merge into existing entries or append new ones. Returns the updates
-  /// performed, in application order.
+  /// merge into existing entries or insert new ones at their sorted
+  /// position. Returns the updates performed, in application order, with
+  /// indices as of the moment each update was applied.
   std::vector<CLogUpdate> apply_records(
       std::span<const netflow::FlowRecord> records);
 
-  /// Canonical serialization of every entry, in index order (the guest input
-  /// representing the previous aggregation state).
+  /// Canonical serialization of every entry, in index (= key-sorted) order
+  /// (the guest input representing the previous aggregation state).
   std::vector<Bytes> entry_bytes() const;
 
-  /// Serialize the whole state (entry list, in index order). The key index
-  /// and Merkle tree are derived structures and are rebuilt on deserialize,
-  /// so the snapshot stays small and cannot disagree with its entries.
+  /// Serialize the whole state (entry list, in key-sorted index order —
+  /// the serialized order *is* the persisted key index). The Merkle tree
+  /// is a derived structure and is rebuilt on deserialize, so the snapshot
+  /// stays small and cannot disagree with its entries. Deserialize rejects
+  /// entry lists that are not strictly ascending by flow key.
   void serialize(Writer& w) const;
   static Result<CLogState> deserialize(Reader& r);
 
+  /// Deep self-check: entries strictly ascending by key (the implicit key
+  /// index is intact) and the cached tree levels match a from-scratch
+  /// rebuild over the entry leaves. Used after snapshot adoption in
+  /// recovery paths.
+  Status check_consistency() const;
+
  private:
-  std::vector<CLogEntry> entries_;
-  std::unordered_map<netflow::FlowKey, u64, netflow::FlowKeyHasher> index_;
+  std::vector<CLogEntry> entries_;  // strictly ascending by FlowKey
   crypto::MerkleTree tree_;
 };
 

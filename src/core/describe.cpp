@@ -22,6 +22,9 @@ namespace {
 const char* image_name(const zvm::ImageID& id) {
   const auto& images = guest_images();
   if (id == images.aggregate) return "zkt.guest.aggregate";
+  if (id == images.aggregate_incremental) {
+    return "zkt.guest.aggregate_incremental";
+  }
   if (id == images.query) return "zkt.guest.query";
   if (id == images.query_selective) return "zkt.guest.query_selective";
   if (id == grouped_query_image()) return "zkt.guest.query_grouped";
@@ -44,13 +47,17 @@ void describe_journal(std::ostringstream& os, const zvm::Receipt& receipt) {
     return;
   }
   const std::string kind = name;
-  if (kind == "zkt.guest.aggregate") {
+  if (kind == "zkt.guest.aggregate" ||
+      kind == "zkt.guest.aggregate_incremental") {
     auto j = AggJournal::parse(receipt.journal);
     if (!j.ok()) {
       os << "  journal: MALFORMED (" << j.error().to_string() << ")\n";
       return;
     }
-    os << "  aggregation round:\n"
+    os << "  aggregation round ("
+       << (j.value().kind == RoundKind::incremental ? "incremental"
+                                                    : "full rebuild")
+       << "):\n"
        << "    prev root    " << short_hex(j.value().prev_root)
        << (j.value().has_prev ? "" : " (genesis)") << "\n"
        << "    new root     " << short_hex(j.value().new_root) << "\n"
@@ -63,6 +70,12 @@ void describe_journal(std::ostringstream& os, const zvm::Receipt& receipt) {
     }
     os << "\n    updates      " << j.value().updates.size() << " entr"
        << (j.value().updates.size() == 1 ? "y" : "ies") << "\n";
+    if (j.value().kind == RoundKind::incremental) {
+      os << "    delta shape  " << j.value().touched_entries
+         << " opened entr"
+         << (j.value().touched_entries == 1 ? "y" : "ies") << ", "
+         << j.value().multiproof_siblings << " multiproof sibling(s)\n";
+    }
   } else if (kind == "zkt.guest.query" ||
              kind == "zkt.guest.query_selective") {
     auto j = QueryJournal::parse(receipt.journal);

@@ -1,7 +1,7 @@
 #include "core/guests.h"
 
+#include <algorithm>
 #include <bit>
-#include <unordered_map>
 
 #include "crypto/merkle.h"
 
@@ -10,24 +10,23 @@ namespace zkt::core {
 namespace {
 
 using netflow::FlowKey;
-using netflow::FlowKeyHasher;
 using netflow::FlowRecord;
 using netflow::RLogBatch;
 using zvm::AluOp;
 using zvm::Env;
 
-// ---------------------------------------------------------------------------
-// Traced helpers shared by both guests
+}  // namespace
 
-/// Traced u64 equality assertion.
+// ---------------------------------------------------------------------------
+// Traced helpers shared by the aggregation guests (full + incremental)
+
+namespace detail {
+
 Status assert_eq_u64(Env& env, u64 a, u64 b, std::string_view context) {
   const u64 eq = env.alu(AluOp::eq, a, b);
   return env.assert_true(eq == 1, context);
 }
 
-/// Traced merge of a raw record into a CLog entry: one ALU row per counter,
-/// so aggregation cost scales with record count like the paper's in-zkVM
-/// aggregation does.
 void merge_traced(Env& env, FlowRecord& into, const FlowRecord& rec) {
   // min(first), max(last) via arithmetic select.
   {
@@ -58,9 +57,61 @@ void merge_traced(Env& env, FlowRecord& into, const FlowRecord& rec) {
       env.alu(AluOp::or_, into.tcp_flags_or, rec.tcp_flags_or));
 }
 
-}  // namespace
+Result<std::pair<CommitmentRef, RLogBatch>> read_verified_batch(Env& env) {
+  CommitmentRef ref;
+  auto rid = env.read_u32();
+  if (!rid.ok()) return rid.error();
+  ref.router_id = rid.value();
+  auto wid = env.read_u64();
+  if (!wid.ok()) return wid.error();
+  ref.window_id = wid.value();
+  auto chash = env.read_digest();
+  if (!chash.ok()) return chash.error();
+  ref.rlog_hash = chash.value();
+  auto rcount = env.read_u64();
+  if (!rcount.ok()) return rcount.error();
+  ref.record_count = rcount.value();
+  auto rlog_bytes = env.read_blob();
+  if (!rlog_bytes.ok()) return rlog_bytes.error();
+
+  // The integrity check of Figure 3: recompute H'_i and compare with the
+  // published commitment. Tampered logs abort proof generation here.
+  env.begin_region("verify_rlog_commitments");
+  const Digest32 h = env.sha256(rlog_bytes.value());
+  ZKT_TRY(env.assert_eq(h, ref.rlog_hash,
+                        "RLog hash vs published commitment"));
+
+  Reader br(rlog_bytes.value());
+  auto batch = RLogBatch::deserialize(br);
+  if (!batch.ok()) return batch.error();
+  if (!br.done()) {
+    return Error{Errc::guest_abort, "trailing bytes in RLog batch"};
+  }
+  ZKT_TRY(assert_eq_u64(env, batch.value().router_id, ref.router_id,
+                        "batch router id vs commitment"));
+  ZKT_TRY(assert_eq_u64(env, batch.value().window_id, ref.window_id,
+                        "batch window id vs commitment"));
+  ZKT_TRY(assert_eq_u64(env, batch.value().records.size(), ref.record_count,
+                        "batch record count vs commitment"));
+  return std::make_pair(ref, std::move(batch.value()));
+}
+
+}  // namespace detail
+
+bool is_aggregation_image(const zvm::ImageID& image) {
+  return image == guest_images().aggregate ||
+         image == guest_images().aggregate_incremental;
+}
+
+const zvm::ImageID& aggregation_image(RoundKind kind) {
+  return kind == RoundKind::incremental ? guest_images().aggregate_incremental
+                                      : guest_images().aggregate;
+}
 
 namespace {
+
+using detail::assert_eq_u64;
+using detail::merge_traced;
 
 /// Traced construction of every Merkle level (levels[0] = padded leaves,
 /// levels.back() = {root}).
@@ -97,6 +148,57 @@ Status verify_path_traced(zvm::Env& env,
   return env.assert_eq(acc, root, "per-record Merkle verification");
 }
 
+/// True iff `sorted` has an element in [lo, hi).
+bool range_has(const std::vector<u64>& sorted, u64 lo, u64 hi) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), lo);
+  return it != sorted.end() && *it < hi;
+}
+
+/// Traced root computation over the round's final leaves that reuses
+/// untouched subtree digests from `prev_levels` (the levels built while
+/// verifying the previous state) instead of re-hashing them. A prev node is
+/// reusable iff its leaf span lies entirely below `stable_limit` (the first
+/// index whose position shifted — below it old index == new index) and
+/// contains no in-place-changed leaf. All-padding subtrees cost one traced
+/// hash per level instead of one per node. Bit-identical to
+/// merkle_root_traced over the same leaves.
+Digest32 merkle_root_reuse_traced(
+    zvm::Env& env, std::vector<Digest32> leaves,
+    const std::vector<std::vector<Digest32>>& prev_levels,
+    const std::vector<u64>& changed_in_place, u64 stable_limit) {
+  const u64 real = leaves.size();
+  const u64 padded = std::bit_ceil(std::max<u64>(real, 1));
+  leaves.resize(padded, crypto::MerkleTree::empty_leaf());
+  std::vector<Digest32> cur = std::move(leaves);
+  Digest32 empty_sub = crypto::MerkleTree::empty_leaf();
+  u32 level = 0;
+  while (cur.size() > 1) {
+    std::vector<Digest32> above(cur.size() / 2);
+    const u64 span = 1ULL << (level + 1);
+    const Digest32 empty_next = env.hash_node(empty_sub, empty_sub);
+    for (size_t j = 0; j < above.size(); ++j) {
+      const u64 lo = j * span;
+      if (lo >= real) {
+        above[j] = empty_next;
+        continue;
+      }
+      const u64 hi = lo + span;
+      const bool in_prev = level + 1 < prev_levels.size() &&
+                           j < prev_levels[level + 1].size();
+      if (in_prev && hi <= stable_limit &&
+          !range_has(changed_in_place, lo, hi)) {
+        above[j] = prev_levels[level + 1][j];
+        continue;
+      }
+      above[j] = env.hash_node(cur[2 * j], cur[2 * j + 1]);
+    }
+    cur = std::move(above);
+    empty_sub = empty_next;
+    ++level;
+  }
+  return cur[0];
+}
+
 }  // namespace
 
 Digest32 merkle_root_traced(zvm::Env& env, std::vector<Digest32> leaves) {
@@ -107,7 +209,7 @@ Digest32 merkle_root_traced(zvm::Env& env, std::vector<Digest32> leaves) {
 // Journal schemas
 
 void AggJournal::write(Writer& w) const {
-  w.str("AGG1");
+  w.str(kind == RoundKind::incremental ? "AGGI" : "AGG1");
   w.u8v(has_prev ? 1 : 0);
   w.fixed(prev_claim_digest.bytes);
   w.fixed(prev_root.bytes);
@@ -127,16 +229,21 @@ void AggJournal::write(Writer& w) const {
     w.u8v(u.created ? 1 : 0);
     w.fixed(u.new_leaf.bytes);
   }
+  if (kind == RoundKind::incremental) {
+    w.u64v(touched_entries);
+    w.u64v(multiproof_siblings);
+  }
 }
 
 Result<AggJournal> AggJournal::parse(BytesView journal) {
   Reader r(journal);
   auto magic = r.str();
   if (!magic.ok()) return magic.error();
-  if (magic.value() != "AGG1") {
+  if (magic.value() != "AGG1" && magic.value() != "AGGI") {
     return Error{Errc::parse_error, "bad aggregation journal magic"};
   }
   AggJournal j;
+  j.kind = magic.value() == "AGGI" ? RoundKind::incremental : RoundKind::full;
   auto hp = r.u8v();
   if (!hp.ok()) return hp.error();
   j.has_prev = hp.value() != 0;
@@ -181,6 +288,14 @@ Result<AggJournal> AggJournal::parse(BytesView journal) {
     if (!created.ok()) return created.error();
     u.created = created.value() != 0;
     ZKT_TRY(r.fixed(u.new_leaf.bytes));
+  }
+  if (j.kind == RoundKind::incremental) {
+    auto te = r.u64v();
+    if (!te.ok()) return te.error();
+    j.touched_entries = te.value();
+    auto ms = r.u64v();
+    if (!ms.ok()) return ms.error();
+    j.multiproof_siblings = ms.value();
   }
   if (!r.done()) {
     return Error{Errc::parse_error, "trailing aggregation journal bytes"};
@@ -245,9 +360,37 @@ Bytes AggregateInput::to_bytes() const {
   Writer w;
   w.u8v(has_prev ? 1 : 0);
   w.fixed(prev_claim_digest.bytes);
+  w.u8v(static_cast<u8>(prev_image_kind));
   w.fixed(prev_root.bytes);
   w.u64v(prev_entries.size());
   for (const auto& e : prev_entries) w.blob(e);
+  w.u64v(batches.size());
+  for (const auto& [ref, rlog] : batches) {
+    w.u32v(ref.router_id);
+    w.u64v(ref.window_id);
+    w.fixed(ref.rlog_hash.bytes);
+    w.u64v(ref.record_count);
+    w.blob(rlog);
+  }
+  return std::move(w).take();
+}
+
+Bytes DeltaAggregateInput::to_bytes() const {
+  Writer w;
+  w.fixed(prev_claim_digest.bytes);
+  w.u8v(static_cast<u8>(prev_image_kind));
+  w.fixed(prev_root.bytes);
+  w.u64v(prev_entry_count);
+  w.u64v(opened.size());
+  for (const auto& o : opened) {
+    w.u64v(o.index);
+    w.blob(o.entry);
+  }
+  {
+    Writer pw;
+    proof.serialize(pw);
+    w.blob(pw.bytes());
+  }
   w.u64v(batches.size());
   for (const auto& [ref, rlog] : batches) {
     w.u32v(ref.router_id);
@@ -292,8 +435,18 @@ Bytes SelectiveQueryInput::to_bytes() const {
 
 namespace {
 
+/// One working entry of the full-rebuild guest: the record under
+/// aggregation plus where it came from in the previous (key-sorted) state.
+struct WorkEntry {
+  FlowRecord entry;
+  u64 old_index = 0;     ///< index in the previous state (when !created)
+  bool created = false;  ///< inserted this round (no prev path)
+  bool merged = false;   ///< received at least one record this round
+};
+
 Status aggregate_guest(Env& env) {
   AggJournal journal;
+  journal.kind = RoundKind::full;
 
   // ---- Parse the head of the input.
   auto has_prev = env.read_u8();
@@ -304,14 +457,23 @@ Status aggregate_guest(Env& env) {
   if (!prev_claim.ok()) return prev_claim.error();
   journal.prev_claim_digest = prev_claim.value();
 
+  auto prev_kind = env.read_u8();
+  if (!prev_kind.ok()) return prev_kind.error();
+  if (prev_kind.value() > 1) {
+    return Error{Errc::guest_abort, "bad previous aggregation kind"};
+  }
+
   auto prev_root = env.read_digest();
   if (!prev_root.ok()) return prev_root.error();
   journal.prev_root = prev_root.value();
 
-  // ---- Step 1 (Algorithm 1): verify the previous aggregation proof.
+  // ---- Step 1 (Algorithm 1): verify the previous aggregation proof. The
+  // predecessor may be either aggregation flavour; the claim digest binds
+  // the image, so lying about the kind fails the assumption check.
   if (journal.has_prev) {
-    ZKT_TRY(env.verify_assumption(guest_images().aggregate,
-                                  journal.prev_claim_digest));
+    ZKT_TRY(env.verify_assumption(
+        aggregation_image(static_cast<RoundKind>(prev_kind.value())),
+        journal.prev_claim_digest));
   } else {
     ZKT_TRY(env.assert_eq(journal.prev_claim_digest, Digest32{},
                           "genesis round must carry a zero prev claim"));
@@ -327,11 +489,10 @@ Status aggregate_guest(Env& env) {
   }
 
   env.begin_region("verify_prev_state");
-  std::vector<FlowRecord> entries;
+  std::vector<WorkEntry> work;
   std::vector<Digest32> leaves;
-  entries.reserve(journal.prev_entry_count);
+  work.reserve(journal.prev_entry_count);
   leaves.reserve(journal.prev_entry_count);
-  std::unordered_map<FlowKey, u64, FlowKeyHasher> index;
   for (u64 i = 0; i < journal.prev_entry_count; ++i) {
     auto bytes = env.read_blob();
     if (!bytes.ok()) return bytes.error();
@@ -342,11 +503,12 @@ Status aggregate_guest(Env& env) {
     if (!er.done()) {
       return Error{Errc::guest_abort, "trailing bytes in CLog entry"};
     }
-    index.emplace(entry.value().key, i);
-    entries.push_back(std::move(entry.value()));
-  }
-  if (index.size() != entries.size()) {
-    return Error{Errc::guest_abort, "duplicate flow key in previous state"};
+    // Strictly ascending keys: the sorted order IS the key index (binary
+    // search below), and strictness rules out duplicates.
+    ZKT_TRY(env.assert_true(
+        work.empty() || work.back().entry.key < entry.value().key,
+        "previous CLog state must be strictly key-sorted"));
+    work.push_back(WorkEntry{std::move(entry.value()), i, false, false});
   }
   const auto prev_levels = merkle_levels_traced(env, leaves);
   ZKT_TRY(env.assert_eq(prev_levels.back()[0], journal.prev_root,
@@ -355,85 +517,58 @@ Status aggregate_guest(Env& env) {
   // ---- Step 2: verify authenticity of the raw logs, then Step 3: merge.
   auto n_batches = env.read_u64();
   if (!n_batches.ok()) return n_batches.error();
-  std::vector<UpdateRef> updates;
-  std::vector<u8> touched(entries.size(), 0);
 
   for (u64 b = 0; b < n_batches.value(); ++b) {
-    CommitmentRef ref;
-    auto rid = env.read_u32();
-    if (!rid.ok()) return rid.error();
-    ref.router_id = rid.value();
-    auto wid = env.read_u64();
-    if (!wid.ok()) return wid.error();
-    ref.window_id = wid.value();
-    auto chash = env.read_digest();
-    if (!chash.ok()) return chash.error();
-    ref.rlog_hash = chash.value();
-    auto rcount = env.read_u64();
-    if (!rcount.ok()) return rcount.error();
-    ref.record_count = rcount.value();
-    auto rlog_bytes = env.read_blob();
-    if (!rlog_bytes.ok()) return rlog_bytes.error();
-
-    // The integrity check of Figure 3: recompute H'_i and compare with the
-    // published commitment. Tampered logs abort proof generation here.
-    env.begin_region("verify_rlog_commitments");
-    const Digest32 h = env.sha256(rlog_bytes.value());
-    ZKT_TRY(env.assert_eq(h, ref.rlog_hash,
-                          "RLog hash vs published commitment"));
-
-    Reader br(rlog_bytes.value());
-    auto batch = RLogBatch::deserialize(br);
+    auto batch = detail::read_verified_batch(env);
     if (!batch.ok()) return batch.error();
-    if (!br.done()) {
-      return Error{Errc::guest_abort, "trailing bytes in RLog batch"};
-    }
-    ZKT_TRY(assert_eq_u64(env, batch.value().router_id, ref.router_id,
-                          "batch router id vs commitment"));
-    ZKT_TRY(assert_eq_u64(env, batch.value().window_id, ref.window_id,
-                          "batch window id vs commitment"));
-    ZKT_TRY(assert_eq_u64(env, batch.value().records.size(), ref.record_count,
-                          "batch record count vs commitment"));
-    journal.commitments.push_back(ref);
+    journal.commitments.push_back(batch.value().first);
 
-    for (const auto& record : batch.value().records) {
-      auto it = index.find(record.key);
-      if (it != index.end()) {
+    for (const auto& record : batch.value().second.records) {
+      auto it = std::lower_bound(
+          work.begin(), work.end(), record.key,
+          [](const WorkEntry& w, const FlowKey& k) { return w.entry.key < k; });
+      if (it != work.end() && it->entry.key == record.key) {
         // Algorithm 1, lines 15-18: the flow exists in C_prev — verify its
         // Merkle path against T_prev before aggregating into it. Flows only
-        // created this round (index >= prev count) have no prev path.
-        if (it->second < journal.prev_entry_count) {
+        // created this round have no prev path.
+        if (!it->created) {
           env.begin_region("per_record_merkle_verify");
-          ZKT_TRY(verify_path_traced(env, prev_levels, it->second,
+          ZKT_TRY(verify_path_traced(env, prev_levels, it->old_index,
                                      journal.prev_root));
         }
         env.begin_region("aggregate_records");
-        merge_traced(env, entries[it->second], record);
-        if (!touched[it->second]) {
-          touched[it->second] = 1;
-          updates.push_back(UpdateRef{it->second, false, {}});
-        }
+        merge_traced(env, it->entry, record);
+        it->merged = true;
       } else {
-        const u64 new_index = entries.size();
-        index.emplace(record.key, new_index);
-        entries.push_back(record);
-        touched.push_back(1);
-        updates.push_back(UpdateRef{new_index, true, {}});
+        // New flow: insert at its key-sorted position.
+        work.insert(it, WorkEntry{record, 0, true, true});
       }
     }
   }
 
-  // ---- Recompute leaves for touched entries and rebuild the tree.
+  // ---- Recompute leaves for touched entries and derive the new root,
+  // reusing the prev-state subtrees whose leaves did not change or move
+  // instead of re-hashing the whole tree a second time.
   env.begin_region("rebuild_merkle_tree");
-  leaves.resize(entries.size());
-  for (auto& update : updates) {
-    update.new_leaf = env.hash_leaf(entries[update.index].canonical_bytes());
-    leaves[update.index] = update.new_leaf;
+  const u64 new_count = work.size();
+  std::vector<Digest32> new_leaves(new_count);
+  std::vector<u64> changed_in_place;
+  u64 stable_limit = new_count;  // first index whose position shifted
+  for (u64 j = 0; j < new_count; ++j) {
+    const WorkEntry& item = work[j];
+    if (item.created && j < stable_limit) stable_limit = j;
+    if (item.created || item.merged) {
+      new_leaves[j] = env.hash_leaf(item.entry.canonical_bytes());
+      journal.updates.push_back(UpdateRef{j, item.created, new_leaves[j]});
+      if (!item.created) changed_in_place.push_back(j);
+    } else {
+      new_leaves[j] = prev_levels[0][item.old_index];
+    }
   }
-  journal.new_root = merkle_root_traced(env, leaves);
+  journal.new_root = merkle_root_reuse_traced(
+      env, std::move(new_leaves), prev_levels, changed_in_place, stable_limit);
   env.end_region();
-  journal.new_entry_count = entries.size();
-  journal.updates = std::move(updates);
+  journal.new_entry_count = new_count;
 
   if (env.input_remaining() != 0) {
     return Error{Errc::guest_abort, "trailing bytes in aggregation input"};
@@ -511,16 +646,18 @@ Result<AggBinding> bind_aggregation(Env& env) {
     if (!acd.ok()) return acd.error();
     a.claim_digest = acd.value();
   }
-  ZKT_TRY(env.assert_eq(agg_claim.image_id, guest_images().aggregate,
-                        "query must target an aggregation receipt"));
+  // Either aggregation flavour is a valid binding target: full and
+  // incremental rounds chain interchangeably and publish the same journal
+  // schema.
+  ZKT_TRY(env.assert_true(is_aggregation_image(agg_claim.image_id),
+                          "query must target an aggregation receipt"));
 
   Writer cw;
   cw.str("zkt.claim.v1");
   agg_claim.serialize(cw);
   AggBinding binding;
   binding.claim_digest = env.sha256(cw.bytes());
-  ZKT_TRY(env.verify_assumption(guest_images().aggregate,
-                                binding.claim_digest));
+  ZKT_TRY(env.verify_assumption(agg_claim.image_id, binding.claim_digest));
 
   auto agg_journal_bytes = env.read_blob();
   if (!agg_journal_bytes.ok()) return agg_journal_bytes.error();
@@ -740,6 +877,9 @@ const GuestImages& guest_images() {
     g.aggregate =
         zvm::ImageRegistry::instance().add("zkt.guest.aggregate", 1,
                                            aggregate_guest);
+    g.aggregate_incremental = zvm::ImageRegistry::instance().add(
+        "zkt.guest.aggregate_incremental", 1,
+        detail::aggregate_incremental_guest);
     g.query = zvm::ImageRegistry::instance().add("zkt.guest.query", 1,
                                                  query_guest);
     g.query_selective = zvm::ImageRegistry::instance().add(

@@ -1,4 +1,4 @@
-// The two zkVM guest programs of the paper's system, plus the host-side
+// The zkVM guest programs of the paper's system, plus the host-side
 // input builders and journal schemas they share with verifiers.
 //
 //   aggregate guest — Algorithm 1: verify the previous round's proof
@@ -6,7 +6,17 @@
 //       commitment, verify the previous CLog state against the previous
 //       Merkle root, merge the new records, rebuild the Merkle tree, and
 //       publish (prev_root -> new_root, commitments used, entry updates) in
-//       the journal.
+//       the journal. Cost: O(N) traced hashes per round.
+//
+//   aggregate_incremental guest — the delta variant: its input is only the
+//       k CLog entries a round touches plus one deduplicated Merkle
+//       multiproof authenticating them against prev_root. It verifies the
+//       multiproof, merges records, and recomputes only the touched
+//       root-paths (reusing the proof's untouched sibling digests) to
+//       derive new_root — O(k log N) traced hashes. New flows insert at
+//       their key-sorted position, proven fresh by an adjacency
+//       (non-membership) check against the opened neighbors. Chains
+//       interchangeably with the full guest (see RoundKind).
 //
 //   query guest — bind to an aggregation receipt's claim, re-authenticate
 //       the full CLog state against that round's root, evaluate the query
@@ -25,13 +35,27 @@
 namespace zkt::core {
 
 struct GuestImages {
-  zvm::ImageID aggregate;
+  zvm::ImageID aggregate;              ///< full-rebuild round (Algorithm 1)
+  zvm::ImageID aggregate_incremental;  ///< delta round (multiproof-based)
   zvm::ImageID query;            ///< complete-scan query (proves completeness)
   zvm::ImageID query_selective;  ///< paper-style selective query (§4.2)
 };
 
-/// Registers both guests (idempotent) and returns their image IDs.
+/// Registers all guests (idempotent) and returns their image IDs.
 const GuestImages& guest_images();
+
+/// Which aggregation guest produced a round.
+enum class RoundKind : u8 {
+  full = 0,         ///< full-state rebuild (zkt.guest.aggregate)
+  incremental = 1,  ///< delta round (zkt.guest.aggregate_incremental)
+};
+
+/// True iff `image` is one of the two aggregation guest images. Rounds of
+/// either kind chain interchangeably; verifiers accept both.
+bool is_aggregation_image(const zvm::ImageID& image);
+
+/// The image that corresponds to an RoundKind.
+const zvm::ImageID& aggregation_image(RoundKind kind);
 
 // ---------------------------------------------------------------------------
 // Aggregation
@@ -55,8 +79,13 @@ struct UpdateRef {
   friend bool operator==(const UpdateRef&, const UpdateRef&) = default;
 };
 
-/// Public journal of an aggregation round.
+/// Public journal of an aggregation round. Both aggregation guests commit
+/// this schema ("AGG1" magic for full rounds, "AGGI" for incremental ones —
+/// the incremental form carries two extra delta-shape stats); parse()
+/// accepts either, so auditors and query guests handle mixed chains
+/// uniformly.
 struct AggJournal {
+  RoundKind kind = RoundKind::full;
   bool has_prev = false;
   Digest32 prev_claim_digest;  ///< zero when has_prev is false
   Digest32 prev_root;
@@ -65,17 +94,52 @@ struct AggJournal {
   u64 new_entry_count = 0;
   std::vector<CommitmentRef> commitments;
   std::vector<UpdateRef> updates;
+  // Delta-shape stats, only serialized for incremental rounds.
+  u64 touched_entries = 0;      ///< opened prev entries (k)
+  u64 multiproof_siblings = 0;  ///< deduplicated sibling digests shipped
 
   void write(Writer& w) const;
   static Result<AggJournal> parse(BytesView journal);
 };
 
-/// Host-side input to the aggregation guest.
+/// Host-side input to the full-rebuild aggregation guest.
 struct AggregateInput {
   bool has_prev = false;
   Digest32 prev_claim_digest;
+  /// Which guest produced the previous round (selects the assumption image;
+  /// ignored when has_prev is false).
+  RoundKind prev_image_kind = RoundKind::full;
   Digest32 prev_root;  ///< empty-tree root when has_prev is false
-  std::vector<Bytes> prev_entries;  ///< canonical CLog entry bytes, in order
+  /// Canonical CLog entry bytes, in key-sorted index order.
+  std::vector<Bytes> prev_entries;
+  /// (commitment metadata, serialized RLogBatch bytes), in aggregation order.
+  std::vector<std::pair<CommitmentRef, Bytes>> batches;
+
+  Bytes to_bytes() const;
+};
+
+/// Host-side input to the incremental (delta) aggregation guest: only the
+/// entries the round touches — merge targets plus the adjacency neighbors
+/// that prove new keys absent plus the shifted suffix of any insertion
+/// cascade — authenticated together by ONE deduplicated Merkle multiproof
+/// against prev_root. The proof additionally opens the empty slots
+/// [prev_entry_count, prev_entry_count + new_flows) that inserts will
+/// occupy, so the guest can derive new_root from the same shared siblings.
+struct DeltaAggregateInput {
+  Digest32 prev_claim_digest;
+  RoundKind prev_image_kind = RoundKind::full;
+  Digest32 prev_root;
+  u64 prev_entry_count = 0;
+  struct OpenedEntry {
+    u64 index = 0;  ///< index in the previous (key-sorted) state
+    Bytes entry;    ///< canonical CLog entry bytes
+  };
+  /// Strictly ascending by index (hence also by flow key).
+  std::vector<OpenedEntry> opened;
+  /// Batch proof for opened indices ∪ the new-flow slots. When the round
+  /// grows tree capacity, the proof is generated against a grown copy
+  /// (MerkleTree::grow_capacity) but leaf_count stays prev_entry_count.
+  crypto::MerkleMultiProof proof;
   /// (commitment metadata, serialized RLogBatch bytes), in aggregation order.
   std::vector<std::pair<CommitmentRef, Bytes>> batches;
 
@@ -149,12 +213,32 @@ namespace detail {
 /// Shared head of every query-flavoured guest: read the aggregation
 /// receipt's claim + journal from the input stream, recompute the claim
 /// digest with traced hashing, require a verified receipt for it, and
-/// authenticate the journal. Returns the claim digest and parsed journal.
+/// authenticate the journal. Accepts either aggregation image (full or
+/// incremental). Returns the claim digest and parsed journal.
 struct AggBinding {
   Digest32 claim_digest;
   AggJournal journal;
 };
 Result<AggBinding> bind_aggregation(zvm::Env& env);
+
+/// The incremental aggregation guest body (defined in
+/// guests_incremental.cpp, registered by guest_images()).
+Status aggregate_incremental_guest(zvm::Env& env);
+
+/// Traced u64 equality assertion shared by the aggregation guests.
+Status assert_eq_u64(zvm::Env& env, u64 a, u64 b, std::string_view context);
+
+/// Traced merge of a raw record into a CLog entry: one ALU row per counter,
+/// so aggregation cost scales with record count like the paper's in-zkVM
+/// aggregation does.
+void merge_traced(zvm::Env& env, netflow::FlowRecord& into,
+                  const netflow::FlowRecord& rec);
+
+/// Read one committed RLog batch from the input stream and verify it
+/// against its published commitment with traced hashing (the integrity
+/// check of Figure 3) — shared by both aggregation guests.
+Result<std::pair<CommitmentRef, netflow::RLogBatch>> read_verified_batch(
+    zvm::Env& env);
 
 /// Traced condition evaluation (0/1) and field extraction used by the query
 /// guests.

@@ -1,0 +1,422 @@
+// The incremental (delta) aggregation guest.
+//
+// Where the full guest re-reads all N previous CLog entries and rebuilds the
+// whole Merkle tree twice, this guest's input is only the k entries the
+// round touches, authenticated against prev_root by ONE deduplicated
+// multiproof, so traced hashing is O(k log N) — round cost follows traffic,
+// not history.
+//
+// Soundness rests on the CLog's key-sorted leaf order (an invariant every
+// aggregation guest asserts or preserves, anchored at the full-guest
+// genesis):
+//
+//   * Merge targets are authenticated by the multiproof, so counters can
+//     only be folded into genuine previous state.
+//   * A "new" flow key K is proven absent by ADJACENCY: the opened set must
+//     contain the two prev-state neighbors at K's insertion point, with
+//     key[p-1] < K < key[p] and old indices exactly p-1 and p. In a sorted
+//     state no unopened entry can hold K between adjacent indices, so
+//     duplicate insertion is impossible. Inserts past the last key instead
+//     require the final entry (index N-1) opened; inserts before the first
+//     key need only entry 0 opened (there is no left neighbor).
+//   * Inserting at position p shifts every entry in [p, N) one slot right,
+//     so the guest demands that whole suffix opened (the "cascade") — the
+//     host falls back to the full guest when that gets too wide.
+//
+// new_root is derived by a DUAL multiproof walk: the opened slot set is
+// identical in the old and new trees (touched indices ∪ the empty slots
+// [N, N+m) that inserts fill), so one bottom-up traversal carries (old,
+// new) digest pairs through the SAME shared siblings, simultaneously
+// checking the old lane against prev_root and producing the new root. When
+// N+m exceeds the old capacity the guest first "grows" prev_root virtually:
+// each capacity doubling maps r -> H(r, empty_subtree), matching
+// crypto::MerkleTree's padding exactly.
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "core/guests.h"
+#include "crypto/merkle.h"
+
+namespace zkt::core {
+
+namespace {
+
+using netflow::FlowKey;
+using netflow::FlowRecord;
+using zvm::Env;
+
+/// One previous-state entry opened by the multiproof.
+struct OpenedItem {
+  FlowRecord entry;
+  u64 old_index = 0;
+  Digest32 old_leaf;
+  bool merged = false;
+};
+
+/// A flow first seen this round (kept key-sorted).
+struct FreshItem {
+  FlowRecord entry;
+};
+
+/// One tree slot of the dual walk: the slot's occupant before and after the
+/// round. The slot index is the same in both trees.
+struct Slot {
+  u64 index = 0;
+  Digest32 old_digest;
+  Digest32 new_digest;
+  bool created = false;
+  bool record_update = false;  ///< belongs in journal.updates
+};
+
+}  // namespace
+
+namespace detail {
+
+Status aggregate_incremental_guest(Env& env) {
+  AggJournal journal;
+  journal.kind = RoundKind::incremental;
+  journal.has_prev = true;
+
+  // ---- Head: previous claim, kind, root, size.
+  auto prev_claim = env.read_digest();
+  if (!prev_claim.ok()) return prev_claim.error();
+  journal.prev_claim_digest = prev_claim.value();
+
+  auto prev_kind = env.read_u8();
+  if (!prev_kind.ok()) return prev_kind.error();
+  if (prev_kind.value() > 1) {
+    return Error{Errc::guest_abort, "bad previous aggregation kind"};
+  }
+
+  auto prev_root = env.read_digest();
+  if (!prev_root.ok()) return prev_root.error();
+  journal.prev_root = prev_root.value();
+
+  // A delta round always extends an existing chain (the claim digest binds
+  // the image, so lying about the kind fails the assumption check).
+  ZKT_TRY(env.verify_assumption(
+      aggregation_image(static_cast<RoundKind>(prev_kind.value())),
+      journal.prev_claim_digest));
+
+  auto prev_count = env.read_u64();
+  if (!prev_count.ok()) return prev_count.error();
+  journal.prev_entry_count = prev_count.value();
+  const u64 n = journal.prev_entry_count;
+  ZKT_TRY(env.assert_true(n >= 1,
+                          "incremental rounds require existing state"));
+
+  // ---- Opened entries + the multiproof that authenticates them.
+  env.begin_region("verify_prev_state");
+  auto n_opened_r = env.read_u64();
+  if (!n_opened_r.ok()) return n_opened_r.error();
+  const u64 n_opened = n_opened_r.value();
+  ZKT_TRY(env.assert_true(n_opened >= 1 && n_opened <= n,
+                          "opened entry count out of range"));
+
+  std::vector<OpenedItem> opened;
+  opened.reserve(n_opened);
+  for (u64 i = 0; i < n_opened; ++i) {
+    auto idx = env.read_u64();
+    if (!idx.ok()) return idx.error();
+    auto bytes = env.read_blob();
+    if (!bytes.ok()) return bytes.error();
+    ZKT_TRY(env.assert_true(idx.value() < n, "opened index out of range"));
+    ZKT_TRY(env.assert_true(
+        opened.empty() || opened.back().old_index < idx.value(),
+        "opened indices must be strictly ascending"));
+    OpenedItem item;
+    item.old_index = idx.value();
+    item.old_leaf = env.hash_leaf(bytes.value());
+    Reader er(bytes.value());
+    auto entry = FlowRecord::deserialize(er);
+    if (!entry.ok()) return entry.error();
+    if (!er.done()) {
+      return Error{Errc::guest_abort, "trailing bytes in CLog entry"};
+    }
+    // Key order must match index order — the sorted-state invariant
+    // restricted to the opened subset (the multiproof pins the leaves, so a
+    // host cannot fake this for genuine state).
+    ZKT_TRY(env.assert_true(
+        opened.empty() || opened.back().entry.key < entry.value().key,
+        "opened entries must be key-sorted"));
+    item.entry = std::move(entry.value());
+    opened.push_back(std::move(item));
+  }
+
+  auto proof_bytes = env.read_blob();
+  if (!proof_bytes.ok()) return proof_bytes.error();
+  Reader pr(proof_bytes.value());
+  auto proof_r = crypto::MerkleMultiProof::deserialize(pr);
+  if (!proof_r.ok()) return proof_r.error();
+  if (!pr.done()) {
+    return Error{Errc::guest_abort, "trailing bytes in multiproof"};
+  }
+  const crypto::MerkleMultiProof& proof = proof_r.value();
+  ZKT_TRY(assert_eq_u64(env, proof.leaf_count, n,
+                        "multiproof leaf count vs previous state"));
+
+  // ---- Verify RLog commitments and fold records into the delta set.
+  auto n_batches = env.read_u64();
+  if (!n_batches.ok()) return n_batches.error();
+  std::vector<FreshItem> fresh;  // key-sorted
+
+  for (u64 b = 0; b < n_batches.value(); ++b) {
+    auto batch = read_verified_batch(env);
+    if (!batch.ok()) return batch.error();
+    journal.commitments.push_back(batch.value().first);
+
+    env.begin_region("aggregate_records");
+    for (const auto& record : batch.value().second.records) {
+      auto it = std::lower_bound(
+          opened.begin(), opened.end(), record.key,
+          [](const OpenedItem& o, const FlowKey& k) {
+            return o.entry.key < k;
+          });
+      if (it != opened.end() && it->entry.key == record.key) {
+        merge_traced(env, it->entry, record);
+        it->merged = true;
+        continue;
+      }
+      auto fit = std::lower_bound(
+          fresh.begin(), fresh.end(), record.key,
+          [](const FreshItem& f, const FlowKey& k) {
+            return f.entry.key < k;
+          });
+      if (fit != fresh.end() && fit->entry.key == record.key) {
+        merge_traced(env, fit->entry, record);
+      } else {
+        fresh.insert(fit, FreshItem{record});
+      }
+    }
+  }
+
+  // ---- Delta layout: insertion positions, adjacency non-membership,
+  // cascade contiguity, and the final slot assignment.
+  env.begin_region("delta_layout");
+  const u64 m = fresh.size();
+  const u64 new_count = n + m;
+  journal.new_entry_count = new_count;
+
+  std::vector<u64> pos(m);  // prev-state insertion position per fresh key
+  for (u64 r = 0; r < m; ++r) {
+    const FlowKey& key = fresh[r].entry.key;
+    const auto it = std::lower_bound(
+        opened.begin(), opened.end(), key,
+        [](const OpenedItem& o, const FlowKey& k) { return o.entry.key < k; });
+    const size_t j = static_cast<size_t>(it - opened.begin());
+    if (j == opened.size()) {
+      // Past every opened key: sound only if the very last state entry is
+      // opened, which then proves K exceeds every existing key.
+      ZKT_TRY(env.assert_true(opened.back().old_index == n - 1,
+                              "frontier insert requires the last entry opened"));
+      ZKT_TRY(env.assert_true(opened.back().entry.key < key,
+                              "frontier insert must exceed the maximum key"));
+      pos[r] = n;
+    } else {
+      ZKT_TRY(env.assert_true(key < opened[j].entry.key,
+                              "new flow key collides with an existing entry"));
+      const u64 p = opened[j].old_index;
+      if (p > 0) {
+        // Adjacency non-membership: the immediate left neighbor (index
+        // p-1) must also be opened and precede K; in a key-sorted state no
+        // entry can hold K between adjacent indices. p == 0 needs no left
+        // neighbor — K precedes the whole state.
+        ZKT_TRY(env.assert_true(j >= 1 && opened[j - 1].old_index == p - 1,
+                                "non-membership needs adjacent neighbors opened"));
+        ZKT_TRY(env.assert_true(opened[j - 1].entry.key < key,
+                                "left neighbor must precede the new key"));
+      }
+      pos[r] = p;
+    }
+  }
+
+  // Every insert at position p shifts [p, n) right, so the whole suffix
+  // from the first insertion point must be opened — its digests are needed
+  // at their shifted slots.
+  if (m > 0 && pos[0] < n) {
+    const auto it = std::lower_bound(
+        opened.begin(), opened.end(), pos[0],
+        [](const OpenedItem& o, u64 p) { return o.old_index < p; });
+    const size_t s = static_cast<size_t>(it - opened.begin());
+    ZKT_TRY(env.assert_true(s < opened.size() && opened[s].old_index == pos[0],
+                            "insertion cascade start must be opened"));
+    for (size_t t = s + 1; t < opened.size(); ++t) {
+      ZKT_TRY(env.assert_true(
+          opened[t].old_index == opened[t - 1].old_index + 1,
+          "insertion cascade must be contiguous"));
+    }
+    ZKT_TRY(env.assert_true(opened.back().old_index == n - 1,
+                            "insertion cascade must extend to the last entry"));
+  }
+
+  // The tree slots the round touches: opened old indices ∪ the empty slots
+  // [n, n+m). This set is identical in the old and new trees, which is what
+  // lets one walk compute both roots.
+  std::vector<Slot> slots;
+  slots.reserve(n_opened + m);
+  for (const auto& o : opened) {
+    Slot s;
+    s.index = o.old_index;
+    s.old_digest = o.old_leaf;
+    slots.push_back(s);
+  }
+  for (u64 r = 0; r < m; ++r) {
+    Slot s;
+    s.index = n + r;
+    s.old_digest = crypto::MerkleTree::empty_leaf();
+    slots.push_back(s);
+  }
+
+  // Assign final occupants by zip-merging opened entries (final index =
+  // old_index + #inserts at or before it) and fresh entries (final index =
+  // pos[r] + r) in final-index order; the sequence must cover exactly the
+  // slot set, and keys must ascend across every adjacent slot pair so the
+  // key-sorted invariant survives the round.
+  env.begin_region("delta_root_update");
+  {
+    size_t oi = 0;
+    size_t fi = 0;
+    const FlowKey* last_key = nullptr;
+    u64 last_final = 0;
+    for (size_t si = 0; si < slots.size(); ++si) {
+      const u64 f_old =
+          oi < opened.size()
+              ? opened[oi].old_index +
+                    static_cast<u64>(std::upper_bound(pos.begin(), pos.end(),
+                                                      opened[oi].old_index) -
+                                     pos.begin())
+              : ~0ULL;
+      const u64 f_new = fi < m ? pos[fi] + fi : ~0ULL;
+      const bool take_fresh = f_new < f_old;
+      const u64 final_index = take_fresh ? f_new : f_old;
+      const FlowRecord& rec =
+          take_fresh ? fresh[fi].entry : opened[oi].entry;
+      ZKT_TRY(assert_eq_u64(env, final_index, slots[si].index,
+                            "delta layout must cover exactly the opened slots"));
+      if (last_key != nullptr && final_index == last_final + 1) {
+        ZKT_TRY(env.assert_true(*last_key < rec.key,
+                                "delta layout breaks key order"));
+      }
+      if (take_fresh) {
+        slots[si].new_digest = env.hash_leaf(rec.canonical_bytes());
+        slots[si].created = true;
+        slots[si].record_update = true;
+        ++fi;
+      } else {
+        const OpenedItem& src = opened[oi];
+        slots[si].new_digest = src.merged
+                                   ? env.hash_leaf(rec.canonical_bytes())
+                                   : src.old_leaf;
+        slots[si].record_update =
+            src.merged || final_index != src.old_index;
+        ++oi;
+      }
+      last_key = &rec.key;
+      last_final = final_index;
+    }
+  }
+
+  // The multiproof must open exactly the slot set.
+  ZKT_TRY(assert_eq_u64(env, proof.indices.size(), slots.size(),
+                        "multiproof indices vs touched slots"));
+  for (size_t i = 0; i < slots.size(); ++i) {
+    ZKT_TRY(assert_eq_u64(env, proof.indices[i], slots[i].index,
+                          "multiproof index vs touched slot"));
+  }
+
+  // ---- Virtual capacity growth: when inserts overflow the old padded
+  // width, the old root is lifted into the grown tree by hashing with
+  // empty-subtree digests — exactly MerkleTree's padding rule.
+  u64 capacity = std::bit_ceil(std::max<u64>(n, 1));
+  u32 depth = static_cast<u32>(std::countr_zero(capacity));
+  Digest32 eff_root = journal.prev_root;
+  const u64 target = std::bit_ceil(std::max<u64>(new_count, 1));
+  if (capacity < target) {
+    Digest32 empty_sub = crypto::MerkleTree::empty_leaf();
+    for (u32 d = 0; d < depth; ++d) {
+      empty_sub = env.hash_node(empty_sub, empty_sub);
+    }
+    while (capacity < target) {
+      eff_root = env.hash_node(eff_root, empty_sub);
+      empty_sub = env.hash_node(empty_sub, empty_sub);
+      capacity <<= 1;
+      ++depth;
+    }
+  }
+
+  // ---- Dual multiproof walk: one traversal, two digest lanes sharing the
+  // proof's siblings. The old lane must land on (grown) prev_root; the new
+  // lane is the round's new root.
+  struct Node {
+    u64 index;
+    Digest32 old_d;
+    Digest32 new_d;
+  };
+  std::vector<Node> known;
+  known.reserve(slots.size());
+  for (const auto& s : slots) {
+    known.push_back(Node{s.index, s.old_digest, s.new_digest});
+  }
+  size_t next_sib = 0;
+  for (u32 level = 0; level < depth; ++level) {
+    std::vector<Node> parents;
+    parents.reserve((known.size() + 1) / 2);
+    for (size_t i = 0; i < known.size(); ++i) {
+      const u64 idx = known[i].index;
+      const u64 sib = idx ^ 1;
+      if (i + 1 < known.size() && known[i + 1].index == sib) {
+        parents.push_back(Node{
+            idx >> 1, env.hash_node(known[i].old_d, known[i + 1].old_d),
+            env.hash_node(known[i].new_d, known[i + 1].new_d)});
+        ++i;
+        continue;
+      }
+      if (next_sib >= proof.siblings.size()) {
+        return Error{Errc::guest_abort, "multiproof ran out of siblings"};
+      }
+      const Digest32& sibling = proof.siblings[next_sib++];
+      if (idx & 1) {
+        parents.push_back(Node{idx >> 1,
+                               env.hash_node(sibling, known[i].old_d),
+                               env.hash_node(sibling, known[i].new_d)});
+      } else {
+        parents.push_back(Node{idx >> 1,
+                               env.hash_node(known[i].old_d, sibling),
+                               env.hash_node(known[i].new_d, sibling)});
+      }
+    }
+    known = std::move(parents);
+  }
+  if (next_sib != proof.siblings.size()) {
+    return Error{Errc::guest_abort, "unused multiproof siblings"};
+  }
+  if (known.size() != 1) {
+    return Error{Errc::guest_abort, "multiproof did not converge"};
+  }
+  ZKT_TRY(env.assert_eq(known[0].old_d, eff_root,
+                        "opened entries vs previous root"));
+  journal.new_root = known[0].new_d;
+  env.end_region();
+
+  for (const auto& s : slots) {
+    if (s.record_update) {
+      journal.updates.push_back(UpdateRef{s.index, s.created, s.new_digest});
+    }
+  }
+  journal.touched_entries = n_opened;
+  journal.multiproof_siblings = proof.siblings.size();
+
+  if (env.input_remaining() != 0) {
+    return Error{Errc::guest_abort, "trailing bytes in delta input"};
+  }
+
+  Writer jw;
+  journal.write(jw);
+  env.commit_raw(jw.bytes());
+  return {};
+}
+
+}  // namespace detail
+
+}  // namespace zkt::core

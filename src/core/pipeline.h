@@ -37,6 +37,8 @@ struct RetryPolicy {
 /// supported way to add knobs — not new positional constructor parameters.
 struct PipelineOptions {
   zvm::ProveOptions prove_options;
+  /// Full-rebuild vs incremental-delta proving per round (see AggMode).
+  AggMode agg_mode = AggMode::auto_select;
   /// Persist a chain snapshot every N rounds (1 = every round). 0 disables
   /// snapshots: recover() then replays the whole receipt chain from the raw
   /// logs, so only use 0 when the store never prunes.
@@ -55,8 +57,8 @@ class ProviderPipeline {
       : store_(&store),
         options_(std::move(options)),
         aggregation_(board,
-                     AggregationOptions{.prove_options =
-                                            options_.prove_options}) {}
+                     AggregationOptions{.prove_options = options_.prove_options,
+                                        .mode = options_.agg_mode}) {}
 
   /// Deprecated shim (one PR): pass PipelineOptions instead.
   [[deprecated("use ProviderPipeline(store, board, {.prove_options = ...})")]]

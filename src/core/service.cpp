@@ -1,10 +1,12 @@
 #include "core/service.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <numeric>
 
 #include "common/log.h"
+#include "core/auditor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "zvm/verifier.h"
@@ -17,6 +19,51 @@ double ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Deterministic (window, router) processing order, via a local index — the
+/// caller's batches are borrowed, not copied or reordered.
+std::vector<size_t> batch_order(std::span<const netflow::RLogBatch> batches) {
+  std::vector<size_t> order(batches.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::tie(batches[a].window_id, batches[a].router_id) <
+           std::tie(batches[b].window_id, batches[b].router_id);
+  });
+  return order;
+}
+
+/// Look up the *published* commitment for each batch and pair it with the
+/// raw bytes. The commitment is the reference the guest checks the bytes
+/// against; a batch modified after commitment therefore fails in the guest,
+/// not here.
+Result<std::vector<std::pair<CommitmentRef, Bytes>>> committed_batches(
+    const CommitmentBoard& board, std::span<const netflow::RLogBatch> batches,
+    std::span<const size_t> order) {
+  std::vector<std::pair<CommitmentRef, Bytes>> out;
+  out.reserve(order.size());
+  for (size_t idx : order) {
+    const netflow::RLogBatch& batch = batches[idx];
+    auto commitment = board.get(batch.router_id, batch.window_id);
+    if (!commitment.has_value()) {
+      return Error{Errc::commitment_missing,
+                   "no published commitment for router " +
+                       std::to_string(batch.router_id) + " window " +
+                       std::to_string(batch.window_id)};
+    }
+    CommitmentRef ref;
+    ref.router_id = batch.router_id;
+    ref.window_id = batch.window_id;
+    ref.rlog_hash = commitment->rlog_hash;
+    ref.record_count = commitment->record_count;
+    out.emplace_back(ref, batch.canonical_bytes());
+  }
+  return out;
+}
+
+u64 tree_depth(u64 leaf_count) {
+  return static_cast<u64>(
+      std::countr_zero(std::bit_ceil(std::max<u64>(leaf_count, 1))));
 }
 
 }  // namespace
@@ -37,48 +84,179 @@ Result<AggregationRound> AggregationService::aggregate(
     metrics.counter("core.agg.batches").add(batches.size());
     metrics.gauge("core.agg.entries")
         .set(static_cast<double>(state_.entry_count()));
+    // Delta-shape telemetry: how much of the state a round actually touched
+    // and which guest proved it (0 = full rebuild, 1 = incremental).
+    const AggJournal& j = round.value().journal;
+    const bool inc = j.kind == RoundKind::incremental;
+    metrics.gauge("core.agg.mode").set(inc ? 1.0 : 0.0);
+    metrics.counter(inc ? "core.agg.rounds_incremental"
+                        : "core.agg.rounds_full")
+        .add(1);
+    metrics.gauge("core.agg.total_entries")
+        .set(static_cast<double>(j.new_entry_count));
+    metrics.histogram("core.agg.touched_entries")
+        .record(static_cast<double>(inc ? j.touched_entries
+                                        : j.updates.size()));
+    metrics.histogram("core.agg.multiproof_siblings")
+        .record(static_cast<double>(j.multiproof_siblings));
   } else {
     metrics.counter("core.agg.failed_rounds").add(1);
   }
   return round;
 }
 
+AggregationService::DeltaShape AggregationService::delta_shape(
+    std::span<const netflow::RLogBatch> batches,
+    std::span<const size_t> order) const {
+  DeltaShape shape;
+  std::vector<u64> touched;
+  std::vector<netflow::FlowKey> fresh;
+  for (size_t idx : order) {
+    for (const auto& rec : batches[idx].records) {
+      ++shape.records;
+      if (auto pos = state_.find(rec.key); pos.has_value()) {
+        touched.push_back(*pos);
+      } else {
+        fresh.push_back(rec.key);
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+
+  const u64 n = state_.entry_count();
+  std::vector<u64> opened = std::move(touched);
+  if (!fresh.empty() && n > 0) {
+    const u64 min_pos = state_.lower_bound(fresh.front());
+    if (min_pos < n) {
+      // Insertion cascade: every entry from just before the first insertion
+      // point through the end either shifts or brackets a new key, so the
+      // guest must see all of them.
+      for (u64 i = min_pos > 0 ? min_pos - 1 : 0; i < n; ++i) {
+        opened.push_back(i);
+      }
+      std::sort(opened.begin(), opened.end());
+      opened.erase(std::unique(opened.begin(), opened.end()), opened.end());
+    } else if (opened.empty() || opened.back() != n - 1) {
+      // Frontier-only inserts: the current maximum key proves every new key
+      // lies beyond the old state.
+      opened.push_back(n - 1);
+    }
+  }
+  shape.opened = std::move(opened);
+  shape.fresh = std::move(fresh);
+  return shape;
+}
+
+bool AggregationService::pick_incremental(const DeltaShape& shape) const {
+  if (shape.opened.empty()) return false;  // nothing to anchor a delta on
+  if (mode_ == AggMode::incremental) return true;
+  const u64 n = state_.entry_count();
+  const u64 k = shape.opened.size() + shape.fresh.size();
+  const u64 depth_new = tree_depth(n + shape.fresh.size());
+  // Traced-hash estimates; record hashing and merge ALU cost are identical
+  // in both guests and cancel out. Full: leaf-hash all N entries, build the
+  // prev tree, one path check per record, rebuild the changed subtrees.
+  // Incremental: leaf-hash only opened + new entries, then one dual-lane
+  // multiproof walk.
+  const u64 est_full = n + std::bit_ceil(std::max<u64>(n, 1)) +
+                       shape.records * tree_depth(n) + k * (depth_new + 1);
+  const u64 est_inc =
+      k + shape.fresh.size() + 2 * k * (depth_new + 1) + depth_new;
+  return static_cast<double>(est_inc) <
+         incremental_threshold_ * static_cast<double>(est_full);
+}
+
+Result<DeltaAggregateInput> AggregationService::build_delta_input(
+    std::span<const netflow::RLogBatch> batches) const {
+  return build_delta_input_ordered(batches, batch_order(batches));
+}
+
+Result<DeltaAggregateInput> AggregationService::build_delta_input_ordered(
+    std::span<const netflow::RLogBatch> batches,
+    std::span<const size_t> order) const {
+  if (!last_receipt_.has_value() || state_.entry_count() == 0) {
+    return Error{Errc::invalid_argument,
+                 "delta rounds need a previous round over non-empty state"};
+  }
+  DeltaShape shape = delta_shape(batches, order);
+  if (shape.opened.empty()) {
+    return Error{Errc::invalid_argument,
+                 "round touches no entry; nothing to prove incrementally"};
+  }
+  const u64 n = state_.entry_count();
+
+  DeltaAggregateInput input;
+  input.prev_claim_digest = last_receipt_->claim.digest();
+  input.prev_image_kind = last_kind_;
+  input.prev_root = state_.root();
+  input.prev_entry_count = n;
+  input.opened.reserve(shape.opened.size());
+  for (u64 i : shape.opened) {
+    DeltaAggregateInput::OpenedEntry opened;
+    opened.index = i;
+    opened.entry = state_.entry(i).canonical_bytes();
+    input.opened.push_back(std::move(opened));
+  }
+
+  // One multiproof over the opened indices plus the empty slots the new
+  // flows will occupy. If those slots lie beyond current tree capacity,
+  // prove against a grown scratch copy — leaf_count (and thus the root the
+  // guest checks) is unaffected by capacity padding.
+  std::vector<u64> proof_indices = shape.opened;
+  for (u64 r = 0; r < shape.fresh.size(); ++r) {
+    proof_indices.push_back(n + r);
+  }
+  const u64 slots = n + shape.fresh.size();
+  if (std::bit_ceil(std::max<u64>(slots, 1)) > state_.tree().capacity()) {
+    crypto::MerkleTree grown = state_.tree();
+    grown.grow_capacity(slots);
+    input.proof = grown.prove_multi(proof_indices);
+  } else {
+    input.proof = state_.prove_multi(proof_indices);
+  }
+
+  auto committed = committed_batches(*board_, batches, order);
+  if (!committed.ok()) return committed.error();
+  input.batches = std::move(committed.value());
+  return input;
+}
+
 Result<AggregationRound> AggregationService::aggregate_impl(
     std::span<const netflow::RLogBatch> batches) {
-  // Deterministic (window, router) processing order, via a local index — the
-  // caller's batches are borrowed, not copied or reordered.
-  std::vector<size_t> order(batches.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return std::tie(batches[a].window_id, batches[a].router_id) <
-           std::tie(batches[b].window_id, batches[b].router_id);
-  });
+  const std::vector<size_t> order = batch_order(batches);
 
-  AggregateInput input;
-  input.has_prev = last_receipt_.has_value();
-  input.prev_claim_digest =
-      last_receipt_.has_value() ? last_receipt_->claim.digest() : Digest32{};
-  input.prev_root = state_.root();
-  input.prev_entries = state_.entry_bytes();
-  input.batches.reserve(batches.size());
-  for (size_t idx : order) {
-    const netflow::RLogBatch& batch = batches[idx];
-    // The *published* commitment is the reference the guest checks the raw
-    // bytes against; a batch modified after commitment therefore fails in
-    // the guest, not here.
-    auto commitment = board_->get(batch.router_id, batch.window_id);
-    if (!commitment.has_value()) {
-      return Error{Errc::commitment_missing,
-                   "no published commitment for router " +
-                       std::to_string(batch.router_id) + " window " +
-                       std::to_string(batch.window_id)};
-    }
-    CommitmentRef ref;
-    ref.router_id = batch.router_id;
-    ref.window_id = batch.window_id;
-    ref.rlog_hash = commitment->rlog_hash;
-    ref.record_count = commitment->record_count;
-    input.batches.emplace_back(ref, batch.canonical_bytes());
+  // Pick the guest for this round. Genesis and empty-state rounds always go
+  // through the full rebuild; otherwise mode_ decides (with auto_select
+  // comparing estimated traced-hash costs).
+  bool incremental = false;
+  if (mode_ != AggMode::full && last_receipt_.has_value() &&
+      state_.entry_count() > 0) {
+    incremental = pick_incremental(delta_shape(batches, order));
+  }
+
+  Bytes input_bytes;
+  zvm::ImageID image;
+  if (incremental) {
+    auto delta = build_delta_input_ordered(batches, order);
+    if (!delta.ok()) return delta.error();
+    input_bytes = delta.value().to_bytes();
+    image = guest_images().aggregate_incremental;
+  } else {
+    AggregateInput input;
+    input.has_prev = last_receipt_.has_value();
+    input.prev_claim_digest =
+        last_receipt_.has_value() ? last_receipt_->claim.digest() : Digest32{};
+    input.prev_image_kind = last_kind_;
+    input.prev_root = state_.root();
+    input.prev_entries = state_.entry_bytes();
+    auto committed = committed_batches(*board_, batches, order);
+    if (!committed.ok()) return committed.error();
+    input.batches = std::move(committed.value());
+    input_bytes = input.to_bytes();
+    image = guest_images().aggregate;
   }
 
   zvm::ProveOptions options = prove_options_;
@@ -88,8 +266,7 @@ Result<AggregationRound> AggregationService::aggregate_impl(
 
   zvm::Prover prover;
   zvm::ProveInfo info;
-  auto receipt = prover.prove(guest_images().aggregate, input.to_bytes(),
-                              options, &info);
+  auto receipt = prover.prove(image, input_bytes, options, &info);
   if (!receipt.ok()) return receipt.error();
 
   auto journal = AggJournal::parse(receipt.value().journal);
@@ -106,12 +283,14 @@ Result<AggregationRound> AggregationService::aggregate_impl(
   }
 
   last_receipt_ = receipt.value();
+  last_kind_ = journal.value().kind;
   AggregationRound round;
   round.round_id = rounds_++;
   round.receipt = std::move(receipt.value());
   round.journal = std::move(journal.value());
   round.prove_info = info;
-  ZKT_LOG(info) << "aggregation round " << round.round_id << ": "
+  ZKT_LOG(info) << "aggregation round " << round.round_id << " ("
+                << (incremental ? "incremental" : "full") << "): "
                 << round.journal.commitments.size() << " batches, "
                 << round.journal.new_entry_count << " entries, "
                 << info.cycles << " cycles, " << info.total_ms << " ms";
@@ -128,9 +307,15 @@ Status AggregationService::restore(CLogState state, zvm::Receipt last_receipt,
     return Error{Errc::invalid_argument,
                  "restore() needs at least one completed round"};
   }
-  // The recovered receipt must be a genuine aggregation receipt…
-  ZKT_TRY(zvm::Verifier().verify(last_receipt, guest_images().aggregate));
-  // …and the recovered state must be exactly the state it proved.
+  // The recovered receipt must be a genuine aggregation receipt (of either
+  // kind — recovered chains may mix full and incremental rounds)…
+  zvm::Verifier verifier;
+  ZKT_TRY(verify_aggregation_receipt(verifier, last_receipt));
+  // …the recovered state must be internally consistent (key-sorted entries,
+  // cached tree matching a fresh rebuild — the implicit flow-key index delta
+  // rounds depend on)…
+  ZKT_TRY(state.check_consistency());
+  // …and it must be exactly the state the receipt proved.
   auto journal = AggJournal::parse(last_receipt.journal);
   if (!journal.ok()) return journal.error();
   if (journal.value().new_root != state.root() ||
@@ -140,6 +325,7 @@ Status AggregationService::restore(CLogState state, zvm::Receipt last_receipt,
   }
   state_ = std::move(state);
   last_receipt_ = std::move(last_receipt);
+  last_kind_ = journal.value().kind;
   rounds_ = rounds_completed;
   return {};
 }
@@ -147,7 +333,8 @@ Status AggregationService::restore(CLogState state, zvm::Receipt last_receipt,
 Status AggregationService::replay_round(
     std::span<const netflow::RLogBatch> batches,
     const zvm::Receipt& receipt) {
-  ZKT_TRY(zvm::Verifier().verify(receipt, guest_images().aggregate));
+  zvm::Verifier verifier;
+  ZKT_TRY(verify_aggregation_receipt(verifier, receipt));
   auto parsed = AggJournal::parse(receipt.journal);
   if (!parsed.ok()) return parsed.error();
   const AggJournal& journal = parsed.value();
@@ -172,12 +359,7 @@ Status AggregationService::replay_round(
   // same (window, router) sequence, same committed hashes. Tampering with
   // raw logs after the fact still halts the chain here, just without the
   // cost of re-proving.
-  std::vector<size_t> order(batches.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return std::tie(batches[a].window_id, batches[a].router_id) <
-           std::tie(batches[b].window_id, batches[b].router_id);
-  });
+  const std::vector<size_t> order = batch_order(batches);
   if (order.size() != journal.commitments.size()) {
     return Error{Errc::chain_broken,
                  "replayed round has a different batch count than proven"};
@@ -209,6 +391,7 @@ Status AggregationService::replay_round(
 
   state_ = std::move(next);
   last_receipt_ = receipt;
+  last_kind_ = journal.kind;
   ++rounds_;
   return {};
 }

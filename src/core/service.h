@@ -30,18 +30,42 @@ struct AggregationRound {
   zvm::ProveInfo prove_info;
 };
 
+/// How aggregation rounds pick between the full-rebuild guest (O(N) traced
+/// hashing) and the incremental delta guest (O(k log N)).
+enum class AggMode : u8 {
+  /// Estimate both costs per round and prove whichever is cheaper (the
+  /// incremental_threshold knob biases the cutover). Genesis and empty-state
+  /// rounds always use the full guest.
+  auto_select = 0,
+  /// Always prove with the full-rebuild guest.
+  full = 1,
+  /// Prove incrementally whenever a delta round is possible (there is a
+  /// previous round and the round touches at least one entry); otherwise
+  /// fall back to the full guest.
+  incremental = 2,
+};
+
 /// Construction-time knobs for AggregationService (and the sharded
 /// variant). A struct rather than positional parameters so new knobs don't
 /// silently shift argument meanings at call sites.
 struct AggregationOptions {
   zvm::ProveOptions prove_options;
+  AggMode mode = AggMode::auto_select;
+  /// auto_select proves incrementally only while the delta's estimated
+  /// traced-hash count stays below this fraction of the full rebuild's —
+  /// past it (e.g. an insertion cascade opening most of the state) the full
+  /// guest is the better deal.
+  double incremental_threshold = 0.75;
 };
 
 class AggregationService {
  public:
   explicit AggregationService(const CommitmentBoard& board,
                               AggregationOptions options = {})
-      : board_(&board), prove_options_(std::move(options.prove_options)) {}
+      : board_(&board),
+        prove_options_(std::move(options.prove_options)),
+        mode_(options.mode),
+        incremental_threshold_(options.incremental_threshold) {}
 
   /// Deprecated shim (one PR): pass AggregationOptions instead.
   [[deprecated("use AggregationService(board, {.prove_options = ...})")]]
@@ -95,14 +119,44 @@ class AggregationService {
   Status replay_round(std::span<const netflow::RLogBatch> batches,
                       const zvm::Receipt& receipt);
 
+  /// Which guest proved the last completed round (full until a delta round
+  /// runs). Feeds the next round's prev_image_kind.
+  RoundKind last_kind() const { return last_kind_; }
+
+  /// Build the incremental-guest input for running `batches` against the
+  /// CURRENT state: the opened-entry set (merge targets, adjacency
+  /// neighbors of new keys, any insertion cascade) and one multiproof over
+  /// opened indices ∪ the new-flow slots. Does not modify state. Fails with
+  /// invalid_argument when no delta round is possible (no previous round,
+  /// empty state, or a round that touches nothing). Exposed for tests and
+  /// benchmarks; aggregate() calls it internally per its AggMode.
+  Result<DeltaAggregateInput> build_delta_input(
+      std::span<const netflow::RLogBatch> batches) const;
+
  private:
+  /// The delta shape of a round: which prev entries must be opened and
+  /// which keys are new, in the guest's required orders.
+  struct DeltaShape {
+    std::vector<u64> opened;               ///< sorted prev-state indices
+    std::vector<netflow::FlowKey> fresh;   ///< sorted new flow keys
+    u64 records = 0;                       ///< total records in the round
+  };
+  DeltaShape delta_shape(std::span<const netflow::RLogBatch> batches,
+                         std::span<const size_t> order) const;
+  Result<DeltaAggregateInput> build_delta_input_ordered(
+      std::span<const netflow::RLogBatch> batches,
+      std::span<const size_t> order) const;
+  bool pick_incremental(const DeltaShape& shape) const;
   Result<AggregationRound> aggregate_impl(
       std::span<const netflow::RLogBatch> batches);
 
   const CommitmentBoard* board_;
   zvm::ProveOptions prove_options_;
+  AggMode mode_ = AggMode::auto_select;
+  double incremental_threshold_ = 0.75;
   CLogState state_;
   std::optional<zvm::Receipt> last_receipt_;
+  RoundKind last_kind_ = RoundKind::full;
   u64 rounds_ = 0;
 };
 

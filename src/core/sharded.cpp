@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/thread_pool.h"
+#include "core/auditor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -322,7 +323,7 @@ Status ShardedAuditor::accept_round(
   }
   for (u32 s = 0; s < shard_count_; ++s) {
     const auto& shard_round = round.shard_rounds[s];
-    ZKT_TRY(verifier_.verify(shard_round.receipt, guest_images().aggregate));
+    ZKT_TRY(verify_aggregation_receipt(verifier_, shard_round.receipt));
     auto journal = AggJournal::parse(shard_round.receipt.journal);
     if (!journal.ok()) return journal.error();
     const AggJournal& j = journal.value();

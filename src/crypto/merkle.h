@@ -68,6 +68,10 @@ class MerkleTree {
                          std::span<Digest32> out);
   /// The digest used to pad the leaf layer to a power of two.
   static const Digest32& empty_leaf();
+  /// Root of the all-empty subtree of the given height (height 0 is the
+  /// empty leaf itself). Doubling a tree's capacity maps its root r to
+  /// hash_node(r, empty_subtree_root(old_depth)).
+  static Digest32 empty_subtree_root(u32 height);
 
   /// Root digest. For an empty tree, returns the hash of the empty leaf.
   Digest32 root() const;
@@ -84,6 +88,22 @@ class MerkleTree {
 
   /// Append a leaf; returns its index. Doubles capacity when full.
   u64 append_leaf(const Digest32& leaf);
+
+  /// Insert a leaf at `index` (<= leaf_count()), shifting later leaves one
+  /// slot right — the sorted-order insert used by the key-ordered CLog.
+  /// Doubles capacity when full; costs O(leaf_count - index) suffix hashes
+  /// per level, so front inserts are the expensive case.
+  void insert_leaf(u64 index, const Digest32& leaf);
+
+  /// Grow the padded leaf layer to at least `min_slots` slots (rounded up
+  /// to a power of two) without changing leaf_count(). Growing changes
+  /// root(): each doubling maps r to hash_node(r, empty_subtree). Used on
+  /// throwaway copies to build multiproofs that open the empty slots a
+  /// delta round is about to fill.
+  void grow_capacity(u64 min_slots);
+
+  /// Number of padded leaf slots (power of two; >= leaf_count()).
+  u64 capacity() const { return levels_.empty() ? 0 : levels_[0].size(); }
 
   /// Verify an inclusion proof against a root.
   static Status verify(const Digest32& root, const Digest32& leaf,
@@ -106,6 +126,8 @@ class MerkleTree {
 
  private:
   void rebuild();
+  void build_above();
+  void recompute_from(u64 leaf_index);
 
   // levels_[0] = padded leaves, levels_.back() = {root}.
   std::vector<std::vector<Digest32>> levels_;

@@ -94,6 +94,43 @@ TEST(CLogState, ProofsVerifyAgainstRoot) {
   }
 }
 
+TEST(CLogState, MiddleInsertShiftsLaterIndices) {
+  // Entries live in key-sorted order: inserting a middle key lands at its
+  // sorted position and shifts every larger key one slot right, with the
+  // tree following along.
+  CLogState state;
+  state.apply_records(std::vector<FlowRecord>{rec(10, 1), rec(30, 1)});
+  auto updates = state.apply_records(std::vector<FlowRecord>{rec(20, 1)});
+  ASSERT_EQ(updates.size(), 1u);
+  EXPECT_TRUE(updates[0].created);
+  EXPECT_EQ(updates[0].index, 1u);
+  EXPECT_EQ(state.find({10, 0x09090909, 1000, 443, 6}).value(), 0u);
+  EXPECT_EQ(state.find({20, 0x09090909, 1000, 443, 6}).value(), 1u);
+  EXPECT_EQ(state.find({30, 0x09090909, 1000, 443, 6}).value(), 2u);
+  EXPECT_EQ(state.lower_bound({25, 0x09090909, 1000, 443, 6}), 2u);
+
+  // Application order never matters: any insertion sequence of the same
+  // records reaches the same sorted state and root.
+  CLogState other;
+  other.apply_records(
+      std::vector<FlowRecord>{rec(20, 1), rec(30, 1), rec(10, 1)});
+  EXPECT_EQ(other.root(), state.root());
+  ASSERT_TRUE(state.check_consistency().ok());
+}
+
+TEST(CLogState, SerializedOrderSurvivesRoundTrip) {
+  CLogState state;
+  state.apply_records(
+      std::vector<FlowRecord>{rec(7, 2), rec(3, 1), rec(5, 4)});
+  Writer w;
+  state.serialize(w);
+  Reader r(w.bytes());
+  auto restored = CLogState::deserialize(r);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().root(), state.root());
+  EXPECT_TRUE(restored.value().check_consistency().ok());
+}
+
 TEST(CLogState, DuplicateKeysInOneBatchMergeInOrder) {
   CLogState state;
   auto updates =

@@ -44,6 +44,34 @@ TEST(Describe, AggregationReceipt) {
   EXPECT_NE(text.find("router 0 window 1"), std::string::npos);
 }
 
+TEST(Describe, IncrementalAggregationReceipt) {
+  Fixture fx;
+  const auto key = crypto::schnorr_keygen_from_seed("describe");
+  RLogBatch batch;
+  batch.router_id = 0;
+  batch.window_id = 2;
+  FlowRecord record;
+  PacketObservation pkt;
+  pkt.key = {0x01010101, 0x09090909, 80, 443, 6};
+  pkt.timestamp_ms = 10100;
+  pkt.bytes = 400;
+  record.observe(pkt);
+  batch.records.push_back(record);
+  ASSERT_TRUE(fx.board.publish(make_commitment(batch, key, 10000).value()).ok());
+
+  AggregationService inc(fx.board,
+                         {.prove_options = {}, .mode = AggMode::incremental});
+  ASSERT_TRUE(
+      inc.restore(fx.service.state(), fx.service.last_receipt(), 1).ok());
+  ASSERT_TRUE(inc.aggregate({batch}).ok());
+  ASSERT_EQ(inc.last_kind(), RoundKind::incremental);
+
+  const std::string text = describe_receipt(inc.last_receipt());
+  EXPECT_NE(text.find("zkt.guest.aggregate_incremental"), std::string::npos);
+  EXPECT_NE(text.find("aggregation round (incremental)"), std::string::npos);
+  EXPECT_NE(text.find("delta shape  1 opened entry"), std::string::npos);
+}
+
 TEST(Describe, QueryReceiptBothModes) {
   Fixture fx;
   QueryService queries(fx.service);

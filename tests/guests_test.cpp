@@ -267,11 +267,54 @@ TEST(QueryModesSpecial, SelectiveWithNoMatches) {
   EXPECT_EQ(resp.value().journal.result.matched, 0u);
 }
 
-TEST(ImagesTest, ThreeDistinctGuests) {
+TEST(ImagesTest, FourDistinctGuests) {
   const auto& images = guest_images();
   EXPECT_NE(images.aggregate, images.query);
   EXPECT_NE(images.aggregate, images.query_selective);
   EXPECT_NE(images.query, images.query_selective);
+  EXPECT_NE(images.aggregate_incremental, images.aggregate);
+  EXPECT_NE(images.aggregate_incremental, images.query);
+  EXPECT_NE(images.aggregate_incremental, images.query_selective);
+  EXPECT_TRUE(is_aggregation_image(images.aggregate));
+  EXPECT_TRUE(is_aggregation_image(images.aggregate_incremental));
+  EXPECT_FALSE(is_aggregation_image(images.query));
+  EXPECT_EQ(aggregation_image(RoundKind::full), images.aggregate);
+  EXPECT_EQ(aggregation_image(RoundKind::incremental),
+            images.aggregate_incremental);
+}
+
+TEST(AggJournal, IncrementalRoundTripCarriesDeltaStats) {
+  AggJournal j;
+  j.kind = RoundKind::incremental;
+  j.has_prev = true;
+  j.prev_claim_digest = crypto::sha256(std::string_view("claim"));
+  j.prev_root = crypto::sha256(std::string_view("prev"));
+  j.new_root = crypto::sha256(std::string_view("new"));
+  j.prev_entry_count = 100;
+  j.new_entry_count = 102;
+  j.updates = {{7, false, crypto::sha256(std::string_view("u7"))},
+               {100, true, crypto::sha256(std::string_view("u100"))}};
+  j.touched_entries = 5;
+  j.multiproof_siblings = 11;
+
+  Writer w;
+  j.write(w);
+  auto parsed = AggJournal::parse(w.bytes());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().kind, RoundKind::incremental);
+  EXPECT_EQ(parsed.value().updates, j.updates);
+  EXPECT_EQ(parsed.value().touched_entries, 5u);
+  EXPECT_EQ(parsed.value().multiproof_siblings, 11u);
+
+  // Full journals don't carry (or parse) the delta-stat tail.
+  j.kind = RoundKind::full;
+  Writer w2;
+  j.write(w2);
+  auto full = AggJournal::parse(w2.bytes());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value().kind, RoundKind::full);
+  EXPECT_EQ(full.value().touched_entries, 0u);
+  EXPECT_EQ(full.value().multiproof_siblings, 0u);
 }
 
 }  // namespace

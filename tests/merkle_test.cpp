@@ -306,5 +306,55 @@ TEST(Merkle, DepthGrowsLogarithmically) {
   EXPECT_EQ(MerkleTree(make_leaves(3000)).depth(), 12u);
 }
 
+TEST(Merkle, InsertLeafMatchesFreshBuildAtEveryPosition) {
+  // insert_leaf(i) must equal rebuilding from scratch with the leaf spliced
+  // in at i — including the capacity-doubling boundary.
+  for (u64 n : {1u, 3u, 4u, 7u, 8u}) {
+    auto leaves = make_leaves(n);
+    const auto extra = MerkleTree::hash_leaf(Bytes{0xEE});
+    for (u64 at = 0; at <= n; ++at) {
+      MerkleTree incremental(leaves);
+      incremental.insert_leaf(at, extra);
+      auto spliced = leaves;
+      spliced.insert(spliced.begin() + static_cast<ptrdiff_t>(at), extra);
+      MerkleTree fresh(spliced);
+      EXPECT_EQ(incremental.root(), fresh.root()) << n << " @ " << at;
+      EXPECT_EQ(incremental.leaf_count(), n + 1);
+    }
+  }
+}
+
+TEST(Merkle, GrowCapacityKeepsLeafCountAndLiftsRootByEmptySubtrees) {
+  // Padding a tree to a larger capacity maps root -> H(root, empty_subtree)
+  // per doubling and must not disturb leaf_count or existing proofs.
+  MerkleTree tree(make_leaves(8));
+  const Digest32 root8 = tree.root();
+  tree.grow_capacity(20);  // 8 -> 32: two doublings
+  EXPECT_EQ(tree.leaf_count(), 8u);
+  EXPECT_EQ(tree.capacity(), 32u);
+  Digest32 lifted = root8;
+  lifted = MerkleTree::hash_node(lifted, MerkleTree::empty_subtree_root(3));
+  lifted = MerkleTree::hash_node(lifted, MerkleTree::empty_subtree_root(4));
+  EXPECT_EQ(tree.root(), lifted);
+
+  // Multiproofs over occupied + padded slots verify against the grown root.
+  auto proof = tree.prove_multi(std::vector<u64>{2, 8, 9});
+  std::vector<std::pair<u64, Digest32>> opened = {
+      {2, tree.leaf(2)}, {8, MerkleTree::empty_leaf()},
+      {9, MerkleTree::empty_leaf()}};
+  // The proof's leaf_count reflects the 8 real leaves; verify against the
+  // grown depth by lifting leaf_count to the padded width.
+  auto grown_proof = proof;
+  grown_proof.leaf_count = 32;
+  EXPECT_TRUE(
+      MerkleTree::verify_multi(tree.root(), opened, grown_proof).ok());
+}
+
+TEST(Merkle, EmptySubtreeRootMatchesBuiltEmptyTrees) {
+  EXPECT_EQ(MerkleTree::empty_subtree_root(0), MerkleTree::empty_leaf());
+  std::vector<Digest32> empties(8, MerkleTree::empty_leaf());
+  EXPECT_EQ(MerkleTree::empty_subtree_root(3), MerkleTree(empties).root());
+}
+
 }  // namespace
 }  // namespace zkt::crypto

@@ -5,8 +5,15 @@
 // Usage:
 //   zkt-prove --data-dir DIR [--query "sum(hop_sum) where src_ip = 1.1.1.1"]
 //             [--group-by FIELD] [--selective] [--composite]
+//             [--agg-mode auto|full|incremental]
 //             [--recover] [--checkpoint-every N] [--retry-attempts N]
 //             [--prune] [--metrics] [--metrics-json [PATH]]
+//
+// --agg-mode picks the aggregation guest per round: "full" always rebuilds
+// the whole CLog state in-guest (Algorithm 1), "incremental" proves only
+// the touched entries against a Merkle multiproof (O(k log N)), and "auto"
+// (default) compares estimated costs per round. The core.agg.mode /
+// core.agg.touched_entries metrics show what each round did.
 //
 // --recover resumes a previous zkt-prove run's proof chain from the chain
 // snapshots persisted in the store (see docs/RECOVERY.md) instead of
@@ -85,6 +92,16 @@ int main(int argc, char** argv) {
 
   core::PipelineOptions pipeline_options;
   pipeline_options.prove_options = options;
+  const std::string agg_mode = flags.get("agg-mode", "auto");
+  if (agg_mode == "full") {
+    pipeline_options.agg_mode = core::AggMode::full;
+  } else if (agg_mode == "incremental") {
+    pipeline_options.agg_mode = core::AggMode::incremental;
+  } else if (agg_mode != "auto") {
+    std::fprintf(stderr, "unknown --agg-mode: %s (auto|full|incremental)\n",
+                 agg_mode.c_str());
+    return finish(flags, data_dir, 1);
+  }
   pipeline_options.checkpoint_every_n_rounds =
       flags.get_u64("checkpoint-every", 1);
   pipeline_options.retry.max_attempts =
