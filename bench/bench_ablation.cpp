@@ -167,10 +167,7 @@ int main() {
       if (!verified.ok()) return 1;
       core::Auditor auditor(*workload.board);
       if (!auditor
-               .adopt_summary(verified.value().rounds,
-                              verified.value().final_claim_digest,
-                              verified.value().final_root,
-                              verified.value().final_entry_count)
+               .adopt_summary(verified.value().head())
                .ok()) {
         return 1;
       }

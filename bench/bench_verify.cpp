@@ -1,0 +1,237 @@
+// Chain-verification throughput: sequential accept_round walk vs
+// core::BatchVerifier (chain-continuity dedup, serial) vs BatchVerifier over
+// the shared thread pool -> BENCH_verify.json.
+//
+// Methodology: an R-round composite-seal chain (full-rebuild and
+// incremental-delta variants) is verified three ways from the same receipt
+// vector:
+//
+//   sequential — one zvm::Verifier, one receipt at a time, no cache: every
+//                composite round re-verifies its embedded predecessor
+//                receipt (and that receipt's own embedded chain), so the
+//                walk does O(R^2) receipt verifications;
+//   batch      — BatchVerifier with parallel=false: the predecessor cache
+//                collapses each round's assumption pass to a digest compare,
+//                O(R) receipt verifications on one thread;
+//   pooled     — the same batch fanned out over common::ThreadPool::shared()
+//                (ZKT_POOL_THREADS), per-receipt hashing still flowing
+//                through the batched SHA-256 backends.
+//
+// All three must accept every receipt and land on the same chain head — the
+// equivalence streaming_audit_test asserts in miniature, checked here at
+// bench scale. The headline column is receipts/sec; the acceptance bar for
+// this harness is pooled >= 2x sequential.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/batch_verifier.h"
+#include "crypto/sha256_backend.h"
+
+using namespace zkt;
+
+namespace {
+
+constexpr u64 kRounds = 10;
+constexpr u64 kRecords = 192;
+constexpr int kIters = 5;
+
+/// Prove an R-round composite chain in the given mode. Incremental mode
+/// re-touches the same flows each window, so rounds 1..R-1 run the AGGI
+/// delta guest; full mode rebuilds every round.
+std::vector<zvm::Receipt> build_chain(core::AggMode mode, u64 seed) {
+  auto workload = bench::make_committed_workload(kRecords, 4, 1, seed);
+  zvm::ProveOptions composite;
+  composite.seal_kind = zvm::SealKind::composite;
+  core::AggregationService service(
+      *workload.board, {.prove_options = composite, .mode = mode});
+
+  std::vector<zvm::Receipt> receipts;
+  auto batches = workload.batches;
+  for (u64 window = 1; window <= kRounds; ++window) {
+    if (window > 1) {
+      batches = bench::add_window(workload, kRecords, window, 4, seed);
+    }
+    auto round = service.aggregate(batches);
+    if (!round.ok()) {
+      std::fprintf(stderr, "round %llu failed: %s\n",
+                   (unsigned long long)window,
+                   round.error().to_string().c_str());
+      std::exit(1);
+    }
+    receipts.push_back(std::move(round.value().receipt));
+  }
+  return receipts;
+}
+
+struct Measurement {
+  double ms = 0;  ///< best-of-kIters wall time for the whole chain
+  zvm::VerifyStats stats;
+
+  double receipts_per_sec(u64 rounds) const {
+    return ms > 0 ? rounds / (ms / 1e3) : 0.0;
+  }
+};
+
+template <typename Body>
+Measurement measure(const Body& body) {
+  Measurement best;
+  for (int i = 0; i < kIters; ++i) {
+    zvm::VerifyStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    body(stats);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (i == 0 || ms < best.ms) {
+      best.ms = ms;
+      best.stats = stats;
+    }
+  }
+  return best;
+}
+
+void require_all_ok(const std::vector<Status>& outcomes, const char* what) {
+  for (const auto& outcome : outcomes) {
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s rejected a valid receipt: %s\n", what,
+                   outcome.error().to_string().c_str());
+      std::exit(1);
+    }
+  }
+}
+
+struct Cell {
+  const char* chain = "";
+  Measurement sequential, batch, pooled;
+
+  double speedup() const {
+    return sequential.ms > 0 && pooled.ms > 0 ? sequential.ms / pooled.ms
+                                              : 0.0;
+  }
+};
+
+Cell run_chain(const char* name, core::AggMode mode, u64 seed) {
+  const auto receipts = build_chain(mode, seed);
+  Cell cell;
+  cell.chain = name;
+
+  cell.sequential = measure([&](zvm::VerifyStats& stats) {
+    zvm::Verifier verifier;
+    for (const auto& receipt : receipts) {
+      zvm::VerifyContext context{nullptr, &stats};
+      if (!core::verify_aggregation_receipt(verifier, receipt, context)
+               .ok()) {
+        std::fprintf(stderr, "sequential walk rejected a valid receipt\n");
+        std::exit(1);
+      }
+    }
+  });
+
+  cell.batch = measure([&](zvm::VerifyStats& stats) {
+    core::BatchVerifier verifier({.parallel = false});
+    require_all_ok(verifier.verify_aggregation(receipts, &stats), "batch");
+  });
+
+  cell.pooled = measure([&](zvm::VerifyStats& stats) {
+    core::BatchVerifier verifier;
+    require_all_ok(verifier.verify_aggregation(receipts, &stats), "pooled");
+  });
+
+  std::printf(
+      "%12s | %9.2f %10.0f | %9.2f %10.0f | %9.2f %10.0f | %7.2fx | "
+      "%6llu %8llu\n",
+      name, cell.sequential.ms, cell.sequential.receipts_per_sec(kRounds),
+      cell.batch.ms, cell.batch.receipts_per_sec(kRounds), cell.pooled.ms,
+      cell.pooled.receipts_per_sec(kRounds), cell.speedup(),
+      (unsigned long long)cell.pooled.stats.assumptions_skipped,
+      (unsigned long long)cell.pooled.stats.node_hashes_shared);
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== chain verification throughput (%llu composite rounds, "
+              "%llu records/window, %zu pool threads) ===\n",
+              (unsigned long long)kRounds, (unsigned long long)kRecords,
+              common::ThreadPool::shared().thread_count());
+  std::printf("%12s | %9s %10s | %9s %10s | %9s %10s | %8s | %6s %8s\n",
+              "chain", "seq ms", "seq r/s", "batch ms", "batch r/s",
+              "pool ms", "pool r/s", "speedup", "skips", "shared");
+
+  std::vector<Cell> cells;
+  cells.push_back(run_chain("full", core::AggMode::full, 7));
+  cells.push_back(run_chain("incremental", core::AggMode::incremental, 11));
+
+  // Forced-backend sweep over the pooled path (skipped where the ISA
+  // extension is unavailable; dispatch order itself is bench_hashcost's
+  // subject — this row just shows verification inherits the win).
+  struct BackendRow {
+    const char* name;
+    double ms;
+  };
+  std::vector<BackendRow> backend_rows;
+  {
+    const auto receipts = build_chain(core::AggMode::full, 7);
+    for (size_t b = 0; b < crypto::kSha256BackendCount; ++b) {
+      const auto backend = static_cast<crypto::Sha256Backend>(b);
+      if (!crypto::sha256_force_backend(backend)) continue;
+      const auto m = measure([&](zvm::VerifyStats& stats) {
+        core::BatchVerifier verifier;
+        require_all_ok(verifier.verify_aggregation(receipts, &stats),
+                       "backend sweep");
+      });
+      backend_rows.push_back({crypto::sha256_backend_name(backend), m.ms});
+      std::printf("%12s | pooled full chain: %9.2f ms (%0.0f r/s)\n",
+                  crypto::sha256_backend_name(backend), m.ms,
+                  m.receipts_per_sec(kRounds));
+    }
+    crypto::sha256_force_backend(std::nullopt);
+  }
+
+  std::ofstream out("BENCH_verify.json");
+  out << "{\n  \"rounds\": " << kRounds
+      << ",\n  \"records_per_window\": " << kRecords
+      << ",\n  \"pool_threads\": " << common::ThreadPool::shared().thread_count()
+      << ",\n  \"chains\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    out << "    {\"chain\": \"" << c.chain << "\""
+        << ", \"sequential_ms\": " << c.sequential.ms
+        << ", \"sequential_receipts_per_sec\": "
+        << c.sequential.receipts_per_sec(kRounds)
+        << ", \"sequential_receipts_verified\": " << c.sequential.stats.receipts
+        << ", \"batch_ms\": " << c.batch.ms
+        << ", \"batch_receipts_per_sec\": " << c.batch.receipts_per_sec(kRounds)
+        << ", \"pooled_ms\": " << c.pooled.ms
+        << ", \"pooled_receipts_per_sec\": "
+        << c.pooled.receipts_per_sec(kRounds)
+        << ", \"pooled_receipts_verified\": " << c.pooled.stats.receipts
+        << ", \"assumptions_skipped\": " << c.pooled.stats.assumptions_skipped
+        << ", \"node_hashes_shared\": " << c.pooled.stats.node_hashes_shared
+        << ", \"speedup_pooled_vs_sequential\": " << c.speedup() << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"backend_sweep_full_chain_pooled_ms\": {";
+  for (size_t i = 0; i < backend_rows.size(); ++i) {
+    out << "\"" << backend_rows[i].name << "\": " << backend_rows[i].ms
+        << (i + 1 < backend_rows.size() ? ", " : "");
+  }
+  out << "}\n}\n";
+  if (out) {
+    std::printf("\nsweep -> BENCH_verify.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_verify.json\n");
+    return 1;
+  }
+  bench::write_metrics_snapshot("verify");
+
+  bool met = true;
+  for (const auto& c : cells) met = met && c.speedup() >= 2.0;
+  std::printf("pooled >= 2x sequential: %s\n", met ? "yes" : "NO");
+  return 0;
+}

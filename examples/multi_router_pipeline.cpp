@@ -121,7 +121,7 @@ int main() {
                   resp.error().to_string().c_str());
       return 1;
     }
-    auto verified = auditor.verify_query(resp.value().receipt, &query);
+    auto verified = auditor.verify_query(resp.value().receipt, {.expected_query = &query});
     if (!verified.ok()) {
       std::printf("query '%s' rejected: %s\n", label,
                   verified.error().to_string().c_str());

@@ -68,7 +68,7 @@ bool audit_provider(core::QueryService& queries, core::Auditor& auditor,
       std::printf("query failed: %s\n", resp.error().to_string().c_str());
       return false;
     }
-    auto verified = auditor.verify_query(resp.value().receipt, &item.query);
+    auto verified = auditor.verify_query(resp.value().receipt, {.expected_query = &item.query});
     if (!verified.ok()) {
       std::printf("verification failed: %s\n",
                   verified.error().to_string().c_str());

@@ -90,7 +90,7 @@ int main() {
     std::printf("auditor rejected round: %s\n", s.error().to_string().c_str());
     return 1;
   }
-  auto verified = auditor.verify_query(response.value().receipt, &query);
+  auto verified = auditor.verify_query(response.value().receipt, {.expected_query = &query});
   if (!verified.ok()) {
     std::printf("auditor rejected query: %s\n",
                 verified.error().to_string().c_str());

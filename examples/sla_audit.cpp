@@ -104,9 +104,9 @@ int main() {
               (unsigned long long)auditor.rounds_accepted(),
               auditor.current_root().hex().substr(0, 16).c_str());
 
-  auto total_verified = auditor.verify_query(total_resp.value().receipt, &total);
+  auto total_verified = auditor.verify_query(total_resp.value().receipt, {.expected_query = &total});
   auto compliant_verified =
-      auditor.verify_query(compliant_resp.value().receipt, &compliant);
+      auditor.verify_query(compliant_resp.value().receipt, {.expected_query = &compliant});
   if (!total_verified.ok() || !compliant_verified.ok()) {
     std::printf("auditor rejected a query proof\n");
     return 1;

@@ -114,14 +114,14 @@ int main() {
     journal.write(w);
     doctored.journal = std::move(w).take();
 
-    auto verified = auditor.verify_query(doctored, &q);
+    auto verified = auditor.verify_query(doctored, {.expected_query = &q});
     const std::string outcome =
         verified.ok() ? "ACCEPTED (BUG!)"
                       : "REJECTED — " + verified.error().to_string();
     std::printf("    auditor: %s\n", outcome.c_str());
     if (verified.ok()) return 1;
 
-    auto honest = auditor.verify_query(resp.value().receipt, &q);
+    auto honest = auditor.verify_query(resp.value().receipt, {.expected_query = &q});
     if (honest.ok()) {
       std::printf("    honest receipt verifies: max avg RTT = %.1f ms\n",
                   static_cast<double>(honest.value().result.max) / 1000.0);

@@ -1,19 +1,68 @@
 #include "core/auditor.h"
 
+#include <vector>
+
+#include "core/io.h"
+#include "obs/metrics.h"
+
 namespace zkt::core {
 
-Status verify_aggregation_receipt(zvm::Verifier& verifier,
-                                  const zvm::Receipt& receipt) {
-  if (!is_aggregation_image(receipt.claim.image_id)) {
-    return Error{Errc::proof_invalid,
-                 "receipt was not produced by an aggregation guest"};
+namespace {
+
+/// Overrides batch.min_queries: the auditor's floor is the single source of
+/// truth for every verification it performs.
+BatchVerifierOptions batch_options(const AuditorOptions& options) {
+  BatchVerifierOptions batch = options.batch;
+  batch.min_queries = options.min_queries;
+  return batch;
+}
+
+/// Publish a verification pass to obs (docs/OBSERVABILITY.md catalog).
+void publish_verify_metrics(const zvm::VerifyStats& stats) {
+  obs::Registry& metrics = obs::Registry::instance();
+  metrics.counter("core.auditor.receipts_verified").add(stats.receipts);
+  metrics.counter("core.auditor.openings_checked").add(stats.openings);
+  metrics.counter("core.auditor.traced_hashes_shared")
+      .add(stats.node_hashes_shared);
+  metrics.counter("core.auditor.assumptions_skipped")
+      .add(stats.assumptions_skipped);
+}
+
+}  // namespace
+
+void AcceptedClaimWindow::insert(const Digest32& claim_digest) {
+  if (!lookup_.insert(claim_digest.bytes).second) return;  // already present
+  order_.push_back(claim_digest.bytes);
+  if (capacity_ == 0) return;  // unbounded
+  while (order_.size() > capacity_) {
+    lookup_.erase(order_.front());
+    order_.pop_front();
   }
-  return verifier.verify(receipt, receipt.claim.image_id);
+}
+
+Auditor::Auditor(const CommitmentBoard& board, AuditorOptions options)
+    : board_(&board),
+      options_(options),
+      verifier_(options.min_queries),
+      batch_(batch_options(options)),
+      claims_(options.accepted_claim_window) {
+  if (options_.backend.has_value()) {
+    // Best-effort process-global pin; an unavailable backend leaves runtime
+    // dispatch in place (see AuditorOptions::backend).
+    crypto::sha256_force_backend(*options_.backend);
+  }
 }
 
 Result<AggJournal> Auditor::accept_round(const zvm::Receipt& receipt) {
-  ZKT_TRY(verify_aggregation_receipt(verifier_, receipt));
+  zvm::VerifyStats stats;
+  const Status verified = verify_aggregation_receipt(
+      verifier_, receipt, zvm::VerifyContext{nullptr, &stats});
+  publish_verify_metrics(stats);
+  ZKT_TRY(verified);
+  return adopt_verified(receipt);
+}
 
+Result<AggJournal> Auditor::adopt_verified(const zvm::Receipt& receipt) {
   auto journal = AggJournal::parse(receipt.journal);
   if (!journal.ok()) return journal.error();
   const AggJournal& j = journal.value();
@@ -59,33 +108,88 @@ Result<AggJournal> Auditor::accept_round(const zvm::Receipt& receipt) {
   }
 
   last_claim_digest_ = receipt.claim.digest();
-  accepted_claims_.insert(last_claim_digest_.bytes);
+  claims_.insert(last_claim_digest_);
   current_root_ = j.new_root;
   current_entry_count_ = j.new_entry_count;
   ++rounds_;
+  obs::Registry::instance().counter("core.auditor.rounds_accepted").add(1);
   return journal;
 }
 
-Status Auditor::adopt_summary(u64 rounds, const Digest32& final_claim_digest,
-                              const Digest32& final_root,
-                              u64 final_entry_count) {
+Result<u64> Auditor::accept_rounds(std::span<const zvm::Receipt> receipts,
+                                   zvm::VerifyStats* stats) {
+  return accept_rounds_impl(receipts, stats);
+}
+
+Result<u64> Auditor::accept_rounds_impl(std::span<const zvm::Receipt> receipts,
+                                        zvm::VerifyStats* stats) {
+  if (receipts.empty()) return u64{0};
+  obs::Registry::instance()
+      .histogram("core.auditor.batch_size")
+      .record(static_cast<double>(receipts.size()));
+
+  zvm::VerifyStats batch_stats;
+  const std::vector<Status> outcomes =
+      batch_.verify_aggregation(receipts, &batch_stats);
+  publish_verify_metrics(batch_stats);
+  if (stats != nullptr) stats->merge(batch_stats);
+
+  // Chain on in order; the first failure (verification above, continuity or
+  // board mismatch here) stops the walk with the accepted prefix retained —
+  // byte-for-byte the state and error a loop over accept_round produces.
+  u64 accepted = 0;
+  for (size_t i = 0; i < receipts.size(); ++i) {
+    if (!outcomes[i].ok()) return outcomes[i].error();
+    auto journal = adopt_verified(receipts[i]);
+    if (!journal.ok()) return journal.error();
+    ++accepted;
+  }
+  return accepted;
+}
+
+Result<AuditReport> Auditor::audit(ReceiptSource& source,
+                                   const AuditOptions& options) {
+  const u64 window_size = options.batch_size == 0 ? 1 : options.batch_size;
+  const u64 before = rounds_;
+  std::vector<zvm::Receipt> window;
+  window.reserve(window_size);
+
+  bool done = false;
+  while (!done) {
+    window.clear();
+    while (window.size() < window_size) {
+      auto next = source.next();
+      if (!next.ok()) return next.error();
+      if (!next.value().has_value()) {
+        done = true;
+        break;
+      }
+      window.push_back(std::move(*next.value()));
+    }
+    if (window.empty()) break;
+    ZKT_TRY(accept_rounds_impl(window, options.stats));
+  }
+  return AuditReport{rounds_ - before, head()};
+}
+
+Status Auditor::adopt_summary(const ChainHead& head) {
   if (rounds_ != 0) {
     return Error{Errc::chain_broken,
                  "cannot adopt a summary after accepting rounds"};
   }
-  if (rounds == 0) {
+  if (head.rounds == 0) {
     return Error{Errc::invalid_argument, "summary covers no rounds"};
   }
-  last_claim_digest_ = final_claim_digest;
-  accepted_claims_.insert(final_claim_digest.bytes);
-  current_root_ = final_root;
-  current_entry_count_ = final_entry_count;
-  rounds_ = rounds;
+  last_claim_digest_ = head.claim_digest;
+  claims_.insert(head.claim_digest);
+  current_root_ = head.root;
+  current_entry_count_ = head.entry_count;
+  rounds_ = head.rounds;
   return {};
 }
 
 Result<QueryJournal> Auditor::verify_query(const zvm::Receipt& receipt,
-                                           const Query* expected_query) {
+                                           const VerifyOptions& options) {
   auto journal = QueryJournal::parse(receipt.journal);
   if (!journal.ok()) return journal.error();
   const QueryJournal& j = journal.value();
@@ -95,15 +199,19 @@ Result<QueryJournal> Auditor::verify_query(const zvm::Receipt& receipt,
   const zvm::ImageID& expected_image = j.mode == QueryMode::complete
                                            ? images.query
                                            : images.query_selective;
-  ZKT_TRY(verifier_.verify(receipt, expected_image));
+  zvm::VerifyStats stats;
+  const Status verified = verifier_.verify(
+      receipt, expected_image, zvm::VerifyContext{nullptr, &stats});
+  publish_verify_metrics(stats);
+  if (options.stats != nullptr) options.stats->merge(stats);
+  ZKT_TRY(verified);
 
-  if (accepted_claims_.find(j.agg_claim_digest.bytes) ==
-      accepted_claims_.end()) {
+  if (!claims_.contains(j.agg_claim_digest)) {
     return Error{Errc::chain_broken,
                  "query targets an aggregation round we never accepted"};
   }
-  if (expected_query != nullptr &&
-      j.query.digest() != expected_query->digest()) {
+  if (options.expected_query != nullptr &&
+      j.query.digest() != options.expected_query->digest()) {
     return Error{Errc::proof_invalid,
                  "receipt proves a different query than requested"};
   }
@@ -111,6 +219,7 @@ Result<QueryJournal> Auditor::verify_query(const zvm::Receipt& receipt,
     return Error{Errc::proof_invalid,
                  "complete query did not scan the full state"};
   }
+  obs::Registry::instance().counter("core.auditor.queries_verified").add(1);
   return journal;
 }
 

@@ -7,64 +7,199 @@
 // and Merkle root continuity), and consume only commitments that routers
 // actually published (signatures checked by the board). Query receipts are
 // then verified against any accepted round.
+//
+// Three ways to feed it, all with byte-identical accept/reject decisions:
+//   accept_round()   — one receipt at a time (the original surface);
+//   accept_rounds()  — a batch per round-trip, verified through
+//                      core::BatchVerifier (pool fan-out + chain dedup);
+//   audit()          — a whole chain pulled off a core::ReceiptSource in
+//                      bounded windows, so an arbitrarily long receipt file
+//                      verifies in O(1) memory.
+// Verification work is published to obs as core.auditor.* instruments (see
+// docs/OBSERVABILITY.md).
 #pragma once
 
+#include <deque>
+#include <optional>
 #include <set>
 
+#include "core/batch_verifier.h"
 #include "core/commitment.h"
 #include "core/guests.h"
+#include "crypto/sha256_backend.h"
 #include "zvm/verifier.h"
 
 namespace zkt::core {
 
-/// Verify `receipt` as an aggregation receipt of EITHER kind: the claim
-/// must name one of the two aggregation images (full rebuild or incremental
-/// delta) and the receipt must verify against that image. Chains mix the
-/// two kinds freely, so every chain consumer goes through this instead of
-/// pinning guest_images().aggregate.
-Status verify_aggregation_receipt(zvm::Verifier& verifier,
-                                  const zvm::Receipt& receipt);
+class ReceiptSource;  // core/io.h (host-side streaming input)
+
+/// A verified chain head: what a summary hands to an auditor, and what an
+/// auditor reports after an audit. Replaces the positional
+/// (rounds, claim, root, entries) argument list of adopt_summary.
+struct ChainHead {
+  u64 rounds = 0;            ///< rounds the chain covers
+  Digest32 claim_digest;     ///< claim digest of the last round
+  Digest32 root;             ///< Merkle root after the last round
+  u64 entry_count = 0;       ///< entries under `root`
+};
+
+/// Per-call knobs for the query/summary verification surface. One struct
+/// for every verify_* entry point, per the repo's options convention.
+struct VerifyOptions {
+  /// When set, the receipt must prove exactly this query.
+  const Query* expected_query = nullptr;
+  /// Optional accounting sink (merged, not overwritten).
+  zvm::VerifyStats* stats = nullptr;
+};
+
+/// Construction knobs for Auditor.
+struct AuditorOptions {
+  /// Soundness floor: composite seals must open at least
+  /// min(min_queries, row_count) Fiat–Shamir-chosen rows. Overrides
+  /// batch.min_queries (the auditor is the single source of truth).
+  u32 min_queries = 32;
+  /// Accepted-claim window capacity: queries must target one of the last N
+  /// accepted rounds; older targets are rejected as chain_broken even
+  /// though they once verified. 0 = unbounded (the pre-window behavior —
+  /// O(chain length) memory, which defeats streaming audits). The current
+  /// head is always retained.
+  u64 accepted_claim_window = 1024;
+  /// Pin the SHA-256 backend (process-global, like ZKT_SHA256_BACKEND).
+  /// Best-effort: an unavailable backend leaves runtime dispatch in place;
+  /// callers that must know use crypto::sha256_force_backend directly.
+  std::optional<crypto::Sha256Backend> backend;
+  /// Batch-verification knobs (pool, parallelism) for accept_rounds/audit.
+  BatchVerifierOptions batch;
+};
+
+/// Per-call knobs for Auditor::audit.
+struct AuditOptions {
+  /// Receipts pulled off the source and verified per round-trip. This is
+  /// the audit's peak receipt residency — memory is O(batch_size), never
+  /// O(chain length). 0 behaves as 1.
+  u64 batch_size = 64;
+  /// Optional accounting sink (merged, not overwritten).
+  zvm::VerifyStats* stats = nullptr;
+};
+
+/// What an audit established.
+struct AuditReport {
+  u64 rounds = 0;   ///< rounds accepted by THIS audit call
+  ChainHead head;   ///< chain head after the audit
+};
+
+/// Bounded, insertion-ordered set of accepted aggregation claim digests.
+/// The unbounded std::set it replaces grew by 32 bytes per accepted round
+/// forever — fine for a demo, wrong for an auditor tracking years of
+/// rounds. Capacity 0 means unbounded; otherwise the oldest claims are
+/// evicted first, so the chain head is always retained.
+class AcceptedClaimWindow {
+ public:
+  explicit AcceptedClaimWindow(u64 capacity) : capacity_(capacity) {}
+
+  void insert(const Digest32& claim_digest);
+  bool contains(const Digest32& claim_digest) const {
+    return lookup_.count(claim_digest.bytes) > 0;
+  }
+  u64 size() const { return order_.size(); }
+  u64 capacity() const { return capacity_; }
+
+ private:
+  u64 capacity_;
+  std::set<std::array<u8, 32>> lookup_;
+  std::deque<std::array<u8, 32>> order_;
+};
 
 class Auditor {
  public:
-  explicit Auditor(const CommitmentBoard& board) : board_(&board) {}
+  explicit Auditor(const CommitmentBoard& board, AuditorOptions options = {});
 
   /// Verify an aggregation receipt and append it to the trusted chain.
   /// Returns the parsed journal on success.
   Result<AggJournal> accept_round(const zvm::Receipt& receipt);
 
+  /// Verify a batch of consecutive rounds in one round-trip (BatchVerifier:
+  /// pool fan-out, chain-continuity sibling dedup), then chain them on in
+  /// order. Stops at the first failure — the already-accepted prefix stays
+  /// accepted (exactly as a loop over accept_round would leave it) and the
+  /// returned error is the same the sequential walk reports. On success
+  /// returns the number of rounds accepted by this call. `stats` (optional)
+  /// receives the verification accounting, merged.
+  Result<u64> accept_rounds(std::span<const zvm::Receipt> receipts,
+                            zvm::VerifyStats* stats = nullptr);
+
+  /// Streaming audit: pull receipts off `source` in batch_size windows and
+  /// accept_rounds() each window. Peak memory is O(batch_size) receipts —
+  /// independent of chain length — so arbitrarily long receipt files audit
+  /// in O(1) memory. Source errors (truncation, CRC, injected faults) and
+  /// verification/continuity failures surface unchanged.
+  Result<AuditReport> audit(ReceiptSource& source,
+                            const AuditOptions& options = {});
+
   /// Adopt a chain head from a VERIFIED chain summary (see
   /// core/chain_summary.h — the caller must have run verify_chain_summary
-  /// against this auditor's board first). Subsequent rounds chain onto the
-  /// summarized head, and queries targeting its final round verify. Only
-  /// allowed on a fresh auditor (no rounds accepted yet).
+  /// against this auditor's board first; its journal's head() is this
+  /// argument). Subsequent rounds chain onto the summarized head, and
+  /// queries targeting its final round verify. Only allowed on a fresh
+  /// auditor (no rounds accepted yet).
+  Status adopt_summary(const ChainHead& head);
+
+  /// Deprecated positional form; migrate to adopt_summary(ChainHead).
+  [[deprecated("pass a ChainHead (see ChainSummaryJournal::head())")]]
   Status adopt_summary(u64 rounds, const Digest32& final_claim_digest,
-                       const Digest32& final_root, u64 final_entry_count);
+                       const Digest32& final_root, u64 final_entry_count) {
+    return adopt_summary(
+        ChainHead{rounds, final_claim_digest, final_root, final_entry_count});
+  }
 
   /// Verify a query receipt (complete-scan or selective). It must target an
-  /// accepted aggregation round, carry the seal of the mode it claims, and
-  /// (if `expected_query` is given) prove exactly that query. Returns the
-  /// parsed journal — check `.mode` before treating COUNT-style results as
-  /// complete.
+  /// accepted aggregation round (within the accepted-claim window), carry
+  /// the seal of the mode it claims, and (if options.expected_query is set)
+  /// prove exactly that query. Returns the parsed journal — check `.mode`
+  /// before treating COUNT-style results as complete.
   Result<QueryJournal> verify_query(const zvm::Receipt& receipt,
-                                    const Query* expected_query = nullptr);
+                                    const VerifyOptions& options = {});
+
+  /// Deprecated pointer form; migrate to VerifyOptions{.expected_query}.
+  /// (No default argument on purpose: plain verify_query(r) resolves to the
+  /// options overload above.)
+  [[deprecated("pass VerifyOptions{.expected_query = q}")]]
+  Result<QueryJournal> verify_query(const zvm::Receipt& receipt,
+                                    const Query* expected_query) {
+    return verify_query(receipt, VerifyOptions{expected_query, nullptr});
+  }
 
   u64 rounds_accepted() const { return rounds_; }
   const Digest32& current_root() const { return current_root_; }
   u64 current_entry_count() const { return current_entry_count_; }
-  /// Whether an aggregation receipt with this claim digest was accepted.
-  bool is_accepted_claim(const Digest32& claim_digest) const {
-    return accepted_claims_.count(claim_digest.bytes) > 0;
+  /// The accepted chain head in adopt_summary form.
+  ChainHead head() const {
+    return ChainHead{rounds_, last_claim_digest_, current_root_,
+                     current_entry_count_};
   }
+  /// Whether an aggregation receipt with this claim digest was accepted and
+  /// is still inside the accepted-claim window.
+  bool is_accepted_claim(const Digest32& claim_digest) const {
+    return claims_.contains(claim_digest);
+  }
+  const AuditorOptions& options() const { return options_; }
 
  private:
+  /// Chain-continuity + board cross-checks and state update for a receipt
+  /// whose SEAL already verified. Shared by the single and batch paths.
+  Result<AggJournal> adopt_verified(const zvm::Receipt& receipt);
+  Result<u64> accept_rounds_impl(std::span<const zvm::Receipt> receipts,
+                                 zvm::VerifyStats* stats);
+
   const CommitmentBoard* board_;
+  AuditorOptions options_;
   zvm::Verifier verifier_;
+  BatchVerifier batch_;
   u64 rounds_ = 0;
   Digest32 last_claim_digest_;
   Digest32 current_root_ = crypto::MerkleTree::empty_leaf();
   u64 current_entry_count_ = 0;
-  std::set<std::array<u8, 32>> accepted_claims_;
+  AcceptedClaimWindow claims_;
 };
 
 }  // namespace zkt::core

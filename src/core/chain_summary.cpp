@@ -162,9 +162,14 @@ Result<ChainSummaryResponse> prove_chain_summary(
 }
 
 Result<ChainSummaryJournal> verify_chain_summary(
-    const zvm::Receipt& receipt, const CommitmentBoard& board) {
+    const zvm::Receipt& receipt, const CommitmentBoard& board,
+    const VerifyOptions& options) {
   zvm::Verifier verifier;
-  ZKT_TRY(verifier.verify(receipt, chain_summary_image()));
+  zvm::VerifyStats stats;
+  const Status verified = verifier.verify(
+      receipt, chain_summary_image(), zvm::VerifyContext{nullptr, &stats});
+  if (options.stats != nullptr) options.stats->merge(stats);
+  ZKT_TRY(verified);
   auto journal = ChainSummaryJournal::parse(receipt.journal);
   if (!journal.ok()) return journal.error();
 

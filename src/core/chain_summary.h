@@ -27,6 +27,12 @@ struct ChainSummaryJournal {
 
   void write(Writer& w) const;
   static Result<ChainSummaryJournal> parse(BytesView journal);
+
+  /// The summarized chain head in Auditor::adopt_summary form.
+  ChainHead head() const {
+    return ChainHead{rounds, final_claim_digest, final_root,
+                     final_entry_count};
+  }
 };
 
 zvm::ImageID chain_summary_image();
@@ -44,9 +50,11 @@ Result<ChainSummaryResponse> prove_chain_summary(
 
 /// Verifier side: verify the summary receipt and cross-check every consumed
 /// commitment against the public board. On success returns the journal —
-/// the caller may then treat (final_claim_digest, final_root, entry count)
-/// as an accepted chain head (see Auditor::adopt_summary).
+/// the caller may then hand its head() to Auditor::adopt_summary. `options`
+/// follows the unified verifier surface (expected_query is ignored here;
+/// stats are merged when set).
 Result<ChainSummaryJournal> verify_chain_summary(
-    const zvm::Receipt& receipt, const CommitmentBoard& board);
+    const zvm::Receipt& receipt, const CommitmentBoard& board,
+    const VerifyOptions& options = {});
 
 }  // namespace zkt::core

@@ -52,7 +52,114 @@ Result<std::vector<Bytes>> unframe_items(std::string_view magic,
   return items;
 }
 
+// --- streaming reads -------------------------------------------------------
+
+/// LEB128 varint straight off the file, mirroring Reader::varint's limits.
+Result<u64> fread_varint(std::FILE* f) {
+  u64 value = 0;
+  for (u32 shift = 0; shift < 64; shift += 7) {
+    const int c = std::fgetc(f);
+    if (c == EOF) return Error{Errc::parse_error, "short read"};
+    value |= static_cast<u64>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return value;
+  }
+  return Error{Errc::parse_error, "varint too long"};
+}
+
+Result<Bytes> fread_exact(std::FILE* f, size_t n) {
+  Bytes out(n);
+  if (n != 0 && std::fread(out.data(), 1, n, f) != n) {
+    return Error{Errc::parse_error, "short read"};
+  }
+  return out;
+}
+
 }  // namespace
+
+Result<ReceiptFileSource> ReceiptFileSource::open(const std::string& path,
+                                                  Options options) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error{Errc::io_error, "cannot open for reading: " + path};
+  }
+  ReceiptFileSource source(f, options);
+  // Header: varint-length-prefixed magic string, then the item count —
+  // exactly the unframe_items() validation, done incrementally.
+  auto magic_len = fread_varint(f);
+  if (!magic_len.ok()) return magic_len.error();
+  if (magic_len.value() != kReceiptsMagic.size()) {
+    return Error{Errc::parse_error, "bad file magic"};
+  }
+  auto magic = fread_exact(f, kReceiptsMagic.size());
+  if (!magic.ok()) return magic.error();
+  if (std::string_view(reinterpret_cast<const char*>(magic.value().data()),
+                       magic.value().size()) != kReceiptsMagic) {
+    return Error{Errc::parse_error, "bad file magic"};
+  }
+  auto n = fread_varint(f);
+  if (!n.ok()) return n.error();
+  if (n.value() > (1u << 20)) {
+    return Error{Errc::parse_error, "unreasonable item count"};
+  }
+  source.count_ = n.value();
+  return source;
+}
+
+Result<std::optional<zvm::Receipt>> ReceiptFileSource::next() {
+  if (failed_.has_value()) return *failed_;
+  const auto fail = [this](Error e) -> Result<std::optional<zvm::Receipt>> {
+    failed_ = e;
+    return e;
+  };
+  if (read_ == count_) {
+    // Clean end-of-stream requires the file to end exactly here.
+    if (std::fgetc(file_.get()) != EOF) {
+      return fail({Errc::parse_error, "trailing file bytes"});
+    }
+    return std::optional<zvm::Receipt>{};
+  }
+  if (options_.fault != nullptr &&
+      options_.fault->fire(store::FaultPoint::scan)) {
+    return fail({Errc::io_error, "injected fault: receipt scan"});
+  }
+  auto len = fread_varint(file_.get());
+  if (!len.ok()) return fail(len.error());
+  if (len.value() > (1u << 30)) {
+    return fail({Errc::parse_error, "unreasonable item size"});
+  }
+  auto item = fread_exact(file_.get(), len.value());
+  if (!item.ok()) return fail(item.error());
+  // 4-byte little-endian CRC, as written by frame_items.
+  std::array<u8, 4> crc_bytes;
+  if (std::fread(crc_bytes.data(), 1, 4, file_.get()) != 4) {
+    return fail({Errc::parse_error, "short read"});
+  }
+  const u32 crc = static_cast<u32>(crc_bytes[0]) |
+                  static_cast<u32>(crc_bytes[1]) << 8 |
+                  static_cast<u32>(crc_bytes[2]) << 16 |
+                  static_cast<u32>(crc_bytes[3]) << 24;
+  if (store::crc32(item.value()) != crc) {
+    return fail({Errc::parse_error,
+                 "item " + std::to_string(read_) + " failed CRC"});
+  }
+  auto receipt = zvm::Receipt::from_bytes(item.value());
+  if (!receipt.ok()) return fail(receipt.error());
+  ++read_;
+  return std::optional<zvm::Receipt>{std::move(receipt.value())};
+}
+
+Status for_each_receipt(
+    const std::string& path,
+    const std::function<Status(zvm::Receipt&&)>& visit) {
+  auto source = ReceiptFileSource::open(path);
+  if (!source.ok()) return source.error();
+  for (;;) {
+    auto receipt = source.value().next();
+    if (!receipt.ok()) return receipt.error();
+    if (!receipt.value().has_value()) return {};
+    ZKT_TRY(visit(std::move(*receipt.value())));
+  }
+}
 
 Status write_file(const std::string& path, BytesView data) {
   std::FILE* f = std::fopen(path.c_str(), "wb");

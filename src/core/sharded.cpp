@@ -287,8 +287,30 @@ ShardedAuditor::ShardedAuditor(const CommitmentBoard& board, u32 shard_count)
 
 Status ShardedAuditor::accept_round(
     const ShardedAggregationService::Round& round) {
-  // 1. Split receipts: verify, anchor to the real board, and index the
-  //    per-shard sub-commitments they attest to.
+  // 0. Verify every receipt in the round in one pooled pass. Split proofs
+  //    and per-shard aggregation receipts are independent, so they fan out
+  //    over the shared pool (and each lane still hashes through the batched
+  //    SHA-256 backends); their outcomes are consumed below at exactly the
+  //    points the sequential walk checked them, so the first error reported
+  //    is identical.
+  std::vector<Status> split_outcomes(round.split_receipts.size());
+  common::ThreadPool::shared().parallel_for(
+      round.split_receipts.size(), 1, [&](size_t first, size_t last) {
+        for (size_t i = first; i < last; ++i) {
+          split_outcomes[i] =
+              verifier_.verify(round.split_receipts[i], shard_split_image());
+        }
+      });
+  std::vector<const zvm::Receipt*> shard_receipts;
+  shard_receipts.reserve(round.shard_rounds.size());
+  for (const auto& shard_round : round.shard_rounds) {
+    shard_receipts.push_back(&shard_round.receipt);
+  }
+  const std::vector<Status> shard_outcomes =
+      batch_.verify_aggregation(shard_receipts);
+
+  // 1. Split receipts: anchor to the real board and index the per-shard
+  //    sub-commitments they attest to.
   struct SubKey {
     u32 router;
     u64 window;
@@ -296,8 +318,9 @@ Status ShardedAuditor::accept_round(
     auto operator<=>(const SubKey&) const = default;
   };
   std::map<SubKey, ShardRef> expected;
-  for (const auto& receipt : round.split_receipts) {
-    ZKT_TRY(verifier_.verify(receipt, shard_split_image()));
+  for (size_t i = 0; i < round.split_receipts.size(); ++i) {
+    const auto& receipt = round.split_receipts[i];
+    ZKT_TRY(split_outcomes[i]);
     auto journal = SplitJournal::parse(receipt.journal);
     if (!journal.ok()) return journal.error();
     const SplitJournal& j = journal.value();
@@ -323,7 +346,7 @@ Status ShardedAuditor::accept_round(
   }
   for (u32 s = 0; s < shard_count_; ++s) {
     const auto& shard_round = round.shard_rounds[s];
-    ZKT_TRY(verify_aggregation_receipt(verifier_, shard_round.receipt));
+    ZKT_TRY(shard_outcomes[s]);
     auto journal = AggJournal::parse(shard_round.receipt.journal);
     if (!journal.ok()) return journal.error();
     const AggJournal& j = journal.value();

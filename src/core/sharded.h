@@ -121,6 +121,9 @@ class ShardedAuditor {
   const CommitmentBoard* board_;
   u32 shard_count_;
   zvm::Verifier verifier_;
+  /// Pooled fan-out for the round's independent receipts (split proofs and
+  /// per-shard aggregation receipts); decisions match the sequential walk.
+  BatchVerifier batch_;
   u64 rounds_ = 0;
   /// Chain state per shard.
   std::vector<Digest32> last_claims_;

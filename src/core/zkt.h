@@ -11,14 +11,21 @@
 //
 // Typical verifier-side flow:
 //   Auditor auditor(board);
-//   auditor.accept_round(round.receipt);         // verify + chain
-//   auditor.verify_query(resp->receipt, &query); // verify + extract result
+//   auditor.accept_round(round.receipt);         // verify + chain one round
+//   auditor.verify_query(resp->receipt,
+//                        {.expected_query = &query});  // verify + extract
+//
+// Catching up on a long chain (receipts saved with save_receipts):
+//   auto source = ReceiptFileSource::open("chain.rcpt");
+//   auditor.audit(source.value());               // O(1)-memory batch audit
 #pragma once
 
 #include "core/auditor.h"
+#include "core/batch_verifier.h"
 #include "core/clog.h"
 #include "core/commitment.h"
 #include "core/guests.h"
+#include "core/io.h"
 #include "core/query.h"
 #include "core/service.h"
 #include "crypto/merkle.h"

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cassert>
 #include <cstring>
+#include <map>
 
 #include "common/thread_pool.h"
 #include "crypto/ct.h"
@@ -264,6 +265,81 @@ Status MerkleTree::verify(const Digest32& root, const Digest32& leaf,
   }
   if (!ct_equal(acc, root)) {
     return Error{Errc::merkle_mismatch, "recomputed root does not match"};
+  }
+  return {};
+}
+
+Status MerkleTree::verify_batch(const Digest32& root,
+                                std::span<const LeafProof> items,
+                                PathBatchStats* stats) {
+  // Shape checks for every item first (all cheap, no hashing); the walk
+  // below may then assume per-item sibling vectors are exactly path-deep.
+  struct Lane {
+    u64 idx = 0;
+    u32 depth = 0;
+    Digest32 acc;
+  };
+  std::vector<Lane> lanes(items.size());
+  u32 max_depth = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const MerkleProof& proof = *items[i].proof;
+    const u64 padded = next_pow2(std::max<u64>(proof.leaf_count, 1));
+    const u32 expect_depth = static_cast<u32>(std::countr_zero(padded));
+    if (proof.siblings.size() != expect_depth) {
+      return Error{Errc::merkle_mismatch, "proof depth mismatch"};
+    }
+    if (proof.leaf_index >= padded) {
+      return Error{Errc::merkle_mismatch, "leaf index out of range"};
+    }
+    lanes[i] = {proof.leaf_index, expect_depth, *items[i].leaf};
+    max_depth = std::max(max_depth, expect_depth);
+  }
+
+  // Level-synchronous walk. At each level, collect every active lane's
+  // (left, right) input, deduplicate identical inputs (identical inputs
+  // yield identical digests, so sharing cannot change any decision), batch
+  // the unique ones through hash_pairs, and scatter the parents back.
+  std::vector<Digest32> nodes;                  // unique pairs, interleaved
+  std::vector<Digest32> parents;
+  std::vector<size_t> slot_of_lane(lanes.size());
+  std::map<std::array<u8, 64>, size_t> unique;  // pair bytes -> slot
+  for (u32 level = 0; level < max_depth; ++level) {
+    nodes.clear();
+    unique.clear();
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      Lane& lane = lanes[i];
+      if (level >= lane.depth) continue;
+      const Digest32& sibling = items[i].proof->siblings[level];
+      const Digest32& left = (lane.idx & 1) ? sibling : lane.acc;
+      const Digest32& right = (lane.idx & 1) ? lane.acc : sibling;
+      std::array<u8, 64> pair_bytes;
+      std::memcpy(pair_bytes.data(), left.bytes.data(), 32);
+      std::memcpy(pair_bytes.data() + 32, right.bytes.data(), 32);
+      const auto [it, inserted] =
+          unique.try_emplace(pair_bytes, unique.size());
+      if (inserted) {
+        nodes.push_back(left);
+        nodes.push_back(right);
+      } else if (stats != nullptr) {
+        ++stats->node_hashes_shared;
+      }
+      slot_of_lane[i] = it->second;
+    }
+    parents.assign(nodes.size() / 2, Digest32{});
+    hash_pairs(nodes, parents);
+    if (stats != nullptr) stats->node_hashes += parents.size();
+    for (size_t i = 0; i < lanes.size(); ++i) {
+      Lane& lane = lanes[i];
+      if (level >= lane.depth) continue;
+      lane.acc = parents[slot_of_lane[i]];
+      lane.idx >>= 1;
+    }
+  }
+
+  for (const Lane& lane : lanes) {
+    if (!ct_equal(lane.acc, root)) {
+      return Error{Errc::merkle_mismatch, "recomputed root does not match"};
+    }
   }
   return {};
 }

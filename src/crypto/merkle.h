@@ -33,6 +33,23 @@ struct MerkleProof {
   size_t byte_size() const { return 16 + 2 + siblings.size() * 32; }
 };
 
+/// Accounting for batched path verification (verify_batch): how many
+/// hash_node applications ran, and how many were avoided because converging
+/// paths produced an identical (left, right) input that was computed once
+/// and shared. Callers (the zvm verifier, the auditor) publish these into
+/// obs themselves — crypto stays obs-free per the module DAG.
+struct PathBatchStats {
+  u64 node_hashes = 0;         ///< hash_node applications computed
+  u64 node_hashes_shared = 0;  ///< applications deduplicated away
+};
+
+/// One (leaf digest, inclusion proof) item for MerkleTree::verify_batch.
+/// Non-owning: both pointers must outlive the call.
+struct LeafProof {
+  const Digest32* leaf = nullptr;
+  const MerkleProof* proof = nullptr;
+};
+
 /// Batch inclusion proof for several leaves at once: stores only the
 /// sibling digests not derivable from the opened leaves themselves, so
 /// proving k leaves costs far less than k single proofs (shared path
@@ -108,6 +125,18 @@ class MerkleTree {
   /// Verify an inclusion proof against a root.
   static Status verify(const Digest32& root, const Digest32& leaf,
                        const MerkleProof& proof);
+
+  /// Verify many inclusion proofs against ONE root, level-synchronously:
+  /// every level's hash_node applications across all proofs go through one
+  /// hash_pairs call (full SIMD lanes), and identical (left, right) inputs —
+  /// paths converging toward the root, or sibling openings hashing the same
+  /// pair from both sides — are computed once and shared. Accepts exactly
+  /// when verify() accepts every item; on rejection the error is one of the
+  /// failing items' (the reported item may differ from the sequential
+  /// first-failure under multi-item tampering, the decision never does).
+  static Status verify_batch(const Digest32& root,
+                             std::span<const LeafProof> items,
+                             PathBatchStats* stats = nullptr);
 
   /// Batch inclusion proof for `indices` (each < leaf_count(); duplicates
   /// ignored).

@@ -8,8 +8,21 @@
 
 namespace zkt::zvm {
 
+void VerifiedCache::add(const Receipt& receipt) {
+  by_claim_[receipt.claim.digest().bytes] = receipt.to_bytes();
+}
+
+bool VerifiedCache::contains(const Receipt& receipt) const {
+  const auto it = by_claim_.find(receipt.claim.digest().bytes);
+  if (it == by_claim_.end()) return false;
+  // Same claim is not enough: only the byte-identical receipt was verified.
+  return receipt.to_bytes() == it->second;
+}
+
 Status Verifier::verify(const Receipt& receipt,
-                        const ImageID& expected_image_id) const {
+                        const ImageID& expected_image_id,
+                        const VerifyContext& context) const {
+  if (context.stats != nullptr) ++context.stats->receipts;
   if (receipt.claim.image_id != expected_image_id) {
     return Error{Errc::proof_invalid, "receipt is for a different image"};
   }
@@ -19,7 +32,7 @@ Status Verifier::verify(const Receipt& receipt,
     return Error{Errc::proof_invalid, "journal digest mismatch"};
   }
   switch (receipt.seal_kind) {
-    case SealKind::composite: return verify_composite(receipt);
+    case SealKind::composite: return verify_composite(receipt, context);
     case SealKind::succinct: return verify_succinct(receipt);
   }
   return Error{Errc::proof_invalid, "unknown seal kind"};
@@ -29,7 +42,8 @@ Status Verifier::verify_succinct(const Receipt& receipt) const {
   return receipt.succinct.check(receipt.claim.digest());
 }
 
-Status Verifier::verify_composite(const Receipt& receipt) const {
+Status Verifier::verify_composite(const Receipt& receipt,
+                                  const VerifyContext& context) const {
   const auto& seal = receipt.composite;
   if (seal.segments.empty()) {
     return Error{Errc::proof_invalid, "seal has no segments"};
@@ -64,21 +78,42 @@ Status Verifier::verify_composite(const Receipt& receipt) const {
       return Error{Errc::proof_invalid, "wrong number of openings"};
     }
 
+    // Index and proof-shape checks for every opening first...
     for (size_t i = 0; i < segment.openings.size(); ++i) {
       const auto& opening = segment.openings[i];
       if (opening.row_index != expect_indices[i]) {
         return Error{Errc::proof_invalid, "opening index mismatch"};
       }
-      // Inclusion in the committed segment.
       if (opening.proof.leaf_index != opening.row_index ||
           opening.proof.leaf_count != segment.row_count) {
         return Error{Errc::proof_invalid, "opening proof shape mismatch"};
       }
-      const Digest32 leaf = crypto::MerkleTree::hash_leaf(opening.row_bytes);
-      ZKT_TRY(
-          crypto::MerkleTree::verify(segment.trace_root, leaf, opening.proof));
+    }
 
-      // Row semantics.
+    // ...then one batched leaf hash (sha256_many lanes) and one batched
+    // Merkle-path pass (hash_pairs + converging-path dedup) over the whole
+    // segment, instead of per-opening hashing.
+    std::vector<BytesView> row_views(segment.openings.size());
+    for (size_t i = 0; i < segment.openings.size(); ++i) {
+      row_views[i] = BytesView(segment.openings[i].row_bytes);
+    }
+    const std::vector<Digest32> leaves =
+        crypto::MerkleTree::hash_leaves(row_views);
+    std::vector<crypto::LeafProof> path_items(segment.openings.size());
+    for (size_t i = 0; i < segment.openings.size(); ++i) {
+      path_items[i] = {&leaves[i], &segment.openings[i].proof};
+    }
+    crypto::PathBatchStats path_stats;
+    ZKT_TRY(crypto::MerkleTree::verify_batch(segment.trace_root, path_items,
+                                             &path_stats));
+    if (context.stats != nullptr) {
+      context.stats->openings += segment.openings.size();
+      context.stats->node_hashes += path_stats.node_hashes;
+      context.stats->node_hashes_shared += path_stats.node_hashes_shared;
+    }
+
+    // Row semantics, in opening order.
+    for (const auto& opening : segment.openings) {
       Reader r(opening.row_bytes);
       auto row = TraceRow::deserialize(r);
       if (!row.ok()) return row.error();
@@ -108,13 +143,19 @@ Status Verifier::verify_composite(const Receipt& receipt) const {
   }
 
   // Every claimed assumption must be backed by an embedded receipt that
-  // itself verifies.
+  // itself verifies — or that the batch context already verified (a cache
+  // hit requires byte-identical receipt content, so skipping is exactly
+  // equivalent to re-verifying).
   for (const auto& assumption : receipt.claim.assumptions) {
     bool matched = false;
     for (const auto& inner : receipt.assumption_receipts) {
       if (inner.claim.image_id == assumption.image_id &&
           inner.claim.digest() == assumption.claim_digest) {
-        ZKT_TRY(verify(inner, assumption.image_id));
+        if (context.cache != nullptr && context.cache->contains(inner)) {
+          if (context.stats != nullptr) ++context.stats->assumptions_skipped;
+        } else {
+          ZKT_TRY(verify(inner, assumption.image_id, context));
+        }
         matched = true;
         break;
       }

@@ -164,8 +164,8 @@ TEST(Auditor, ExpectedQueryMismatchRejected) {
   const Query other = Query::sum(QField::bytes);
   auto resp = queries.run(asked);
   ASSERT_TRUE(resp.ok());
-  EXPECT_TRUE(auditor.verify_query(resp.value().receipt, &asked).ok());
-  auto mismatch = auditor.verify_query(resp.value().receipt, &other);
+  EXPECT_TRUE(auditor.verify_query(resp.value().receipt, {.expected_query = &asked}).ok());
+  auto mismatch = auditor.verify_query(resp.value().receipt, {.expected_query = &other});
   ASSERT_FALSE(mismatch.ok());
   EXPECT_EQ(mismatch.error().code, Errc::proof_invalid);
 }
@@ -189,7 +189,7 @@ TEST(Auditor, ModeConfusionRejected) {
   Writer w;
   j.write(w);
   confused.journal = std::move(w).take();
-  EXPECT_FALSE(auditor.verify_query(confused, &q).ok());
+  EXPECT_FALSE(auditor.verify_query(confused, {.expected_query = &q}).ok());
 }
 
 }  // namespace

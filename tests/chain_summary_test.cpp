@@ -61,10 +61,7 @@ TEST(ChainSummary, SummarizesAndFastSyncs) {
   // A fresh auditor adopts the head, then continues the live chain.
   Auditor auditor(fx.board);
   ASSERT_TRUE(auditor
-                  .adopt_summary(verified.value().rounds,
-                                 verified.value().final_claim_digest,
-                                 verified.value().final_root,
-                                 verified.value().final_entry_count)
+                  .adopt_summary(verified.value().head())
                   .ok());
   EXPECT_EQ(auditor.rounds_accepted(), 3u);
   EXPECT_EQ(auditor.current_root(), fx.service.state().root());
@@ -147,9 +144,9 @@ TEST(ChainSummary, AdoptGuards) {
   Auditor auditor(fx.board);
   ASSERT_TRUE(auditor.accept_round(fx.rounds[0]).ok());
   // Cannot adopt after accepting rounds.
-  EXPECT_FALSE(auditor.adopt_summary(1, {}, {}, 0).ok());
+  EXPECT_FALSE(auditor.adopt_summary(ChainHead{.rounds = 1, .claim_digest = {}, .root = {}, .entry_count = 0}).ok());
   Auditor fresh(fx.board);
-  EXPECT_FALSE(fresh.adopt_summary(0, {}, {}, 0).ok());
+  EXPECT_FALSE(fresh.adopt_summary(ChainHead{}).ok());
 }
 
 }  // namespace

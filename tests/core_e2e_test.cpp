@@ -91,7 +91,7 @@ TEST(CoreE2E, SingleRoundAggregateAndQuery) {
   Auditor auditor(fx.board);
   auto accepted = auditor.accept_round(round.value().receipt);
   ASSERT_TRUE(accepted.ok()) << accepted.error().to_string();
-  auto verified = auditor.verify_query(resp.value().receipt, &q);
+  auto verified = auditor.verify_query(resp.value().receipt, {.expected_query = &q});
   ASSERT_TRUE(verified.ok()) << verified.error().to_string();
   EXPECT_EQ(verified.value().result.sum, 35u);
 }
@@ -129,7 +129,7 @@ TEST(CoreE2E, ChainedRoundsMergeFlows) {
   auto resp = queries.run(q);
   ASSERT_TRUE(resp.ok()) << resp.error().to_string();
   EXPECT_EQ(resp.value().value, 15u);
-  auto verified = auditor.verify_query(resp.value().receipt, &q);
+  auto verified = auditor.verify_query(resp.value().receipt, {.expected_query = &q});
   ASSERT_TRUE(verified.ok()) << verified.error().to_string();
 }
 
@@ -184,7 +184,7 @@ TEST(CoreE2E, ForgedQueryResultFailsVerification) {
   Writer w;
   j.write(w);
   forged.journal = std::move(w).take();
-  auto verified = auditor.verify_query(forged, &q);
+  auto verified = auditor.verify_query(forged, {.expected_query = &q});
   ASSERT_FALSE(verified.ok());
   EXPECT_EQ(verified.error().code, Errc::proof_invalid);
 }

@@ -230,10 +230,10 @@ TEST_P(QueryModes, SelectiveMatchesCompleteAndReference) {
     }
 
     // Both verify, with the right modes.
-    auto vc = auditor.verify_query(complete.value().receipt, &q);
+    auto vc = auditor.verify_query(complete.value().receipt, {.expected_query = &q});
     ASSERT_TRUE(vc.ok()) << vc.error().to_string();
     EXPECT_EQ(vc.value().mode, QueryMode::complete);
-    auto vs = auditor.verify_query(selective.value().receipt, &q);
+    auto vs = auditor.verify_query(selective.value().receipt, {.expected_query = &q});
     ASSERT_TRUE(vs.ok()) << vs.error().to_string();
     EXPECT_EQ(vs.value().mode, QueryMode::selective);
   }

@@ -299,6 +299,99 @@ TEST(MerkleMultiEdge, MismatchedLeafSetRejected) {
       MerkleTree::verify_multi(tree.root(), wrong_index, proof).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Batched path verification (verify_batch)
+
+TEST(MerkleBatch, AcceptsExactlyWhatVerifyAccepts) {
+  MerkleTree tree(make_leaves(16));
+  std::vector<MerkleProof> proofs;
+  for (u64 i : {0ULL, 1ULL, 7ULL, 15ULL}) proofs.push_back(tree.prove(i));
+  std::vector<Digest32> opened = {tree.leaf(0), tree.leaf(1), tree.leaf(7),
+                                  tree.leaf(15)};
+  std::vector<LeafProof> items;
+  for (size_t i = 0; i < proofs.size(); ++i) {
+    items.push_back(LeafProof{&opened[i], &proofs[i]});
+  }
+  PathBatchStats stats;
+  EXPECT_TRUE(MerkleTree::verify_batch(tree.root(), items, &stats).ok());
+  EXPECT_GT(stats.node_hashes, 0u);
+}
+
+TEST(MerkleBatch, AdjacentLeavesShareConvergingPaths) {
+  // Leaves 0 and 1 share every path node above the first level; the batch
+  // must compute those once.
+  MerkleTree tree(make_leaves(32));
+  const auto p0 = tree.prove(0);
+  const auto p1 = tree.prove(1);
+  const Digest32 l0 = tree.leaf(0);
+  const Digest32 l1 = tree.leaf(1);
+  const std::vector<LeafProof> items = {{&l0, &p0}, {&l1, &p1}};
+  PathBatchStats stats;
+  ASSERT_TRUE(MerkleTree::verify_batch(tree.root(), items, &stats).ok());
+  EXPECT_GT(stats.node_hashes_shared, 0u);
+  // Sequential cost would be 2 * depth hash_node applications.
+  EXPECT_LT(stats.node_hashes, 2 * p0.siblings.size());
+}
+
+TEST(MerkleBatch, WrongRootOrTamperedItemRejected) {
+  MerkleTree tree(make_leaves(8));
+  const auto p2 = tree.prove(2);
+  const auto p5 = tree.prove(5);
+  const Digest32 l2 = tree.leaf(2);
+  Digest32 l5 = tree.leaf(5);
+  const std::vector<LeafProof> items = {{&l2, &p2}, {&l5, &p5}};
+  Digest32 wrong = tree.root();
+  wrong.bytes[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify_batch(wrong, items, nullptr).ok());
+  // One bad leaf fails the batch even though the other item is intact.
+  l5.bytes[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify_batch(tree.root(), items, nullptr).ok());
+}
+
+TEST(MerkleBatch, ShapeErrorsMatchSingleVerify) {
+  MerkleTree tree(make_leaves(8));
+  const Digest32 l0 = tree.leaf(0);
+
+  auto too_shallow = tree.prove(0);
+  too_shallow.siblings.pop_back();
+  auto out_of_range = tree.prove(0);
+  out_of_range.leaf_index = 8;
+
+  for (const auto* bad : {&too_shallow, &out_of_range}) {
+    const Status single = MerkleTree::verify(tree.root(), l0, *bad);
+    const std::vector<LeafProof> items = {{&l0, bad}};
+    const Status batched = MerkleTree::verify_batch(tree.root(), items);
+    ASSERT_FALSE(single.ok());
+    ASSERT_FALSE(batched.ok());
+    EXPECT_EQ(batched.error().code, single.error().code);
+  }
+}
+
+TEST(MerkleBatch, EmptyBatchIsOk) {
+  MerkleTree tree(make_leaves(4));
+  PathBatchStats stats;
+  EXPECT_TRUE(
+      MerkleTree::verify_batch(tree.root(), {}, &stats).ok());
+  EXPECT_EQ(stats.node_hashes, 0u);
+}
+
+TEST(MerkleBatch, MatchesSingleVerifyOverManyShapes) {
+  for (u64 n : {2ULL, 5ULL, 16ULL, 33ULL}) {
+    MerkleTree tree(make_leaves(n));
+    std::vector<MerkleProof> proofs;
+    std::vector<Digest32> opened;
+    for (u64 i = 0; i < n; i += 2) {
+      proofs.push_back(tree.prove(i));
+      opened.push_back(tree.leaf(i));
+    }
+    std::vector<LeafProof> items;
+    for (size_t i = 0; i < proofs.size(); ++i) {
+      items.push_back(LeafProof{&opened[i], &proofs[i]});
+    }
+    EXPECT_TRUE(MerkleTree::verify_batch(tree.root(), items).ok()) << n;
+  }
+}
+
 TEST(Merkle, DepthGrowsLogarithmically) {
   EXPECT_EQ(MerkleTree(make_leaves(1)).depth(), 0u);
   EXPECT_EQ(MerkleTree(make_leaves(2)).depth(), 1u);

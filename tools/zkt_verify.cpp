@@ -5,65 +5,189 @@
 //
 // Usage:
 //   zkt-verify --data-dir DIR [--query "sum(hop_sum) where ..."]
+//              [--stream] [--batch N] [--sequential]
+//              [--pool-threads N] [--backend scalar|shani|avx2]
+//              [--metrics] [--metrics-json [PATH]]
+//
+// Chain-verification modes (identical accept/reject decisions):
+//   default      — load all receipts, verify them in one batched pass
+//                  (pool fan-out + chain-continuity dedup);
+//   --stream     — pull receipts straight off the file in --batch windows
+//                  (default 64): O(1) memory however long the chain is;
+//   --sequential — the pre-batching one-receipt-at-a-time walk, with
+//                  per-round output.
+//
+// --pool-threads sizes a private verification pool (default: the shared
+// pool, ZKT_POOL_THREADS). --backend pins the SHA-256 implementation.
+// --metrics / --metrics-json dump the obs registry (core.auditor.* counters
+// included; schema in docs/OBSERVABILITY.md), matching zkt-prove's flags.
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 
 #include "common/flags.h"
-#include "core/auditor.h"
+#include "common/thread_pool.h"
 #include "core/grouped_query.h"
 #include "core/io.h"
 #include "core/query_parser.h"
+#include "core/zkt.h"
+#include "crypto/sha256_backend.h"
+#include "obs/metrics.h"
 
 using namespace zkt;
+
+namespace {
+
+/// Final act of every exit path: dump the process-wide metrics as requested
+/// (same surface as zkt-prove).
+int finish(const Flags& flags, const std::string& data_dir, int exit_code) {
+  const auto snapshot = obs::Registry::instance().snapshot();
+  if (flags.has("metrics")) {
+    std::fprintf(stderr, "%s", snapshot.to_table().c_str());
+  }
+  if (flags.has("metrics-json")) {
+    std::string path = flags.get("metrics-json");
+    if (path.empty()) path = data_dir + "/metrics.json";
+    if (path == "-") {
+      std::printf("%s", snapshot.to_json().c_str());
+    } else {
+      std::ofstream out(path);
+      out << snapshot.to_json();
+      if (!out) {
+        std::fprintf(stderr, "metrics-json: cannot write %s\n", path.c_str());
+        return exit_code == 0 ? 1 : exit_code;
+      }
+      std::printf("  metrics -> %s\n", path.c_str());
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::string data_dir = flags.get("data-dir", "zkt-data");
 
+  if (flags.has("backend")) {
+    const std::string name = flags.get("backend");
+    auto backend = crypto::sha256_backend_from_name(name);
+    if (!backend.has_value() ||
+        !crypto::sha256_force_backend(*backend)) {
+      std::fprintf(stderr, "backend: '%s' unknown or unavailable here\n",
+                   name.c_str());
+      return finish(flags, data_dir, 1);
+    }
+  }
+
+  // A private pool when --pool-threads is given; otherwise BatchVerifier
+  // falls back to the shared pool (ZKT_POOL_THREADS).
+  std::unique_ptr<common::ThreadPool> own_pool;
+  if (flags.has("pool-threads")) {
+    own_pool = std::make_unique<common::ThreadPool>(common::ThreadPool::Options{
+        .threads = static_cast<size_t>(flags.get_u64("pool-threads", 0))});
+  }
+
   core::CommitmentBoard board;
   if (auto s = core::load_commitments(data_dir + "/commitments.bin", board);
       !s.ok()) {
     std::fprintf(stderr, "commitments: %s\n", s.to_string().c_str());
-    return 1;
+    return finish(flags, data_dir, 1);
   }
-  auto receipts = core::load_receipts(data_dir + "/aggregation_receipts.bin");
-  if (!receipts.ok()) {
-    std::fprintf(stderr, "receipts: %s\n",
-                 receipts.error().to_string().c_str());
-    return 1;
-  }
-  std::printf("zkt-verify: %zu commitments, %zu aggregation receipts\n",
-              board.size(), receipts.value().size());
 
-  core::Auditor auditor(board);
-  for (size_t i = 0; i < receipts.value().size(); ++i) {
-    auto accepted = auditor.accept_round(receipts.value()[i]);
-    if (!accepted.ok()) {
-      std::printf("round %zu: REJECTED — %s\n", i,
-                  accepted.error().to_string().c_str());
-      return 2;
+  core::AuditorOptions auditor_options;
+  auditor_options.batch.pool = own_pool.get();
+  core::Auditor auditor(board, auditor_options);
+  const std::string receipts_path = data_dir + "/aggregation_receipts.bin";
+  const u64 batch_size = flags.get_u64("batch", 64);
+  zvm::VerifyStats stats;
+
+  if (flags.has("stream")) {
+    // O(1)-memory audit: receipts never materialize beyond one window.
+    auto source = core::ReceiptFileSource::open(receipts_path);
+    if (!source.ok()) {
+      std::fprintf(stderr, "receipts: %s\n",
+                   source.error().to_string().c_str());
+      return finish(flags, data_dir, 1);
     }
-    std::printf("round %zu: OK (%zu batches, %llu entries, root %s...)\n", i,
-                accepted.value().commitments.size(),
-                (unsigned long long)accepted.value().new_entry_count,
-                accepted.value().new_root.hex().substr(0, 12).c_str());
+    std::printf("zkt-verify: %zu commitments, %llu receipts (streaming)\n",
+                board.size(),
+                (unsigned long long)source.value().declared_count());
+    auto report = auditor.audit(
+        source.value(), core::AuditOptions{batch_size, &stats});
+    if (!report.ok()) {
+      std::printf("round %llu: REJECTED — %s\n",
+                  (unsigned long long)auditor.rounds_accepted(),
+                  report.error().to_string().c_str());
+      return finish(flags, data_dir, 2);
+    }
+  } else {
+    auto receipts = core::load_receipts(receipts_path);
+    if (!receipts.ok()) {
+      std::fprintf(stderr, "receipts: %s\n",
+                   receipts.error().to_string().c_str());
+      return finish(flags, data_dir, 1);
+    }
+    std::printf("zkt-verify: %zu commitments, %zu aggregation receipts\n",
+                board.size(), receipts.value().size());
+
+    if (flags.has("sequential")) {
+      // The pre-batching walk, one verified round per line.
+      for (size_t i = 0; i < receipts.value().size(); ++i) {
+        auto accepted = auditor.accept_round(receipts.value()[i]);
+        if (!accepted.ok()) {
+          std::printf("round %zu: REJECTED — %s\n", i,
+                      accepted.error().to_string().c_str());
+          return finish(flags, data_dir, 2);
+        }
+        std::printf("round %zu: OK (%zu batches, %llu entries, root %s...)\n",
+                    i, accepted.value().commitments.size(),
+                    (unsigned long long)accepted.value().new_entry_count,
+                    accepted.value().new_root.hex().substr(0, 12).c_str());
+      }
+    } else {
+      // Batched pass: N receipts per round-trip over the pool, decisions
+      // identical to the sequential walk.
+      std::span<const zvm::Receipt> pending(receipts.value());
+      while (!pending.empty()) {
+        const size_t n = std::min<size_t>(pending.size(), batch_size);
+        auto accepted = auditor.accept_rounds(pending.first(n), &stats);
+        if (!accepted.ok()) {
+          std::printf("round %llu: REJECTED — %s\n",
+                      (unsigned long long)auditor.rounds_accepted(),
+                      accepted.error().to_string().c_str());
+          return finish(flags, data_dir, 2);
+        }
+        pending = pending.subspan(n);
+      }
+    }
   }
   std::printf("aggregation chain VERIFIED: %llu rounds, final state root %s"
               "...\n",
               (unsigned long long)auditor.rounds_accepted(),
               auditor.current_root().hex().substr(0, 16).c_str());
+  if (stats.receipts != 0) {
+    std::printf("  verified %llu receipts, %llu openings, shared %llu path "
+                "hashes, skipped %llu assumption re-verifications\n",
+                (unsigned long long)stats.receipts,
+                (unsigned long long)stats.openings,
+                (unsigned long long)stats.node_hashes_shared,
+                (unsigned long long)stats.assumptions_skipped);
+  }
 
   if (flags.has("query")) {
     auto expected = core::parse_query(flags.get("query"));
     if (!expected.ok()) {
       std::fprintf(stderr, "query parse: %s\n",
                    expected.error().to_string().c_str());
-      return 1;
+      return finish(flags, data_dir, 1);
     }
     auto query_receipts =
         core::load_receipts(data_dir + "/query_receipt.bin");
     if (!query_receipts.ok() || query_receipts.value().size() != 1) {
       std::fprintf(stderr, "query receipt missing or malformed\n");
-      return 1;
+      return finish(flags, data_dir, 1);
     }
     const zvm::Receipt& query_receipt = query_receipts.value()[0];
 
@@ -74,7 +198,7 @@ int main(int argc, char** argv) {
       if (!grouped.ok()) {
         std::printf("grouped query proof: REJECTED — %s\n",
                     grouped.error().to_string().c_str());
-        return 2;
+        return finish(flags, data_dir, 2);
       }
       std::printf("grouped query proof: OK\n  %s GROUP BY %s\n",
                   grouped.value().query.to_string().c_str(),
@@ -87,14 +211,15 @@ int main(int argc, char** argv) {
                         grouped.value().query.agg),
                     (unsigned long long)group.stats.matched);
       }
-      return 0;
+      return finish(flags, data_dir, 0);
     }
 
-    auto verified = auditor.verify_query(query_receipt, &expected.value());
+    auto verified = auditor.verify_query(
+        query_receipt, {.expected_query = &expected.value()});
     if (!verified.ok()) {
       std::printf("query proof: REJECTED — %s\n",
                   verified.error().to_string().c_str());
-      return 2;
+      return finish(flags, data_dir, 2);
     }
     const auto& j = verified.value();
     std::printf("query proof: OK (%s mode)\n",
@@ -110,5 +235,5 @@ int main(int argc, char** argv) {
                   " (see docs)\n");
     }
   }
-  return 0;
+  return finish(flags, data_dir, 0);
 }
