@@ -25,7 +25,8 @@ int main() {
   double baseline_ms = 0;
   for (u32 shard_count : {1u, 2u, 4u, 8u, 16u}) {
     auto workload = bench::make_committed_workload(kRecords);
-    core::ShardedAggregationService service(*workload.board, shard_count);
+    core::ShardedAggregationService service(
+        *workload.board, core::ShardedOptions{.shard_count = shard_count});
     auto round = service.aggregate(workload.batches);
     if (!round.ok()) {
       std::printf("sharded aggregation failed: %s\n",

@@ -1,0 +1,207 @@
+// Proof-tree aggregation bench -> BENCH_tree.json.
+//
+// Two sweeps over the redesigned sharded-proving surface (core/sharded.h,
+// core/fold.h, core/pipeline.h):
+//
+//   shard sweep    — one 2000-record window proven at 1/2/4/8 shards with
+//                    the round folded into a single tree seal (join fanout
+//                    2). The headline is per-round wall-clock staying ~flat
+//                    as shards grow: the K shard chains prove in parallel
+//                    and the K-1 joins fold at log depth on the shared
+//                    pool, so added shards buy parallelism instead of
+//                    adding latency. The "seal verify" column is the
+//                    auditor's whole cost for the round — one succinct
+//                    receipt regardless of K.
+//   depth sweep    — 4 windows through ProviderPipeline at 4 shards with
+//                    pipeline_depth 1/2/3. Depth 1 is the sequential loop;
+//                    deeper pipelines stage window i+1 and fold window i-1
+//                    while window i proves. Receipts are byte-identical at
+//                    every depth (tree_pipeline_test asserts it); the bench
+//                    reports what the overlap buys in windows/sec.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+
+using namespace zkt;
+
+namespace {
+
+constexpr u64 kRecords = 2000;
+constexpr u64 kPipelineWindows = 4;
+constexpr u64 kPipelineRecords = 600;
+
+struct ShardCell {
+  u32 shards = 0;
+  double wall_ms = 0;
+  u64 total_cycles = 0;
+  u64 joins = 0;
+  u64 seal_bytes = 0;
+  double seal_verify_ms = 0;
+};
+
+struct DepthCell {
+  u32 depth = 0;
+  double total_ms = 0;
+  double windows_per_sec = 0;
+};
+
+double now_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== proof-tree aggregation: %llu records, join fanout 2 "
+              "(%u hardware threads) ===\n",
+              (unsigned long long)kRecords,
+              std::thread::hardware_concurrency());
+  std::printf("%7s | %12s | %12s | %6s | %10s | %14s\n", "shards", "wall ms",
+              "sum cycles", "joins", "seal B", "seal verify ms");
+  std::printf("--------+--------------+--------------+--------+------------+"
+              "---------------\n");
+
+  std::vector<ShardCell> shard_cells;
+  double baseline_ms = 0;
+  for (u32 shard_count : {1u, 2u, 4u, 8u}) {
+    auto workload = bench::make_committed_workload(kRecords);
+    core::ShardedAggregationService service(
+        *workload.board, core::ShardedOptions{.shard_count = shard_count,
+                                              .join_fanout = 2});
+    auto round = service.aggregate(workload.batches);
+    if (!round.ok()) {
+      std::printf("sharded aggregation failed: %s\n",
+                  round.error().to_string().c_str());
+      return 1;
+    }
+
+    ShardCell cell;
+    cell.shards = shard_count;
+    cell.wall_ms = round.value().wall_ms;
+    cell.total_cycles = round.value().total_cycles;
+    if (round.value().tree_seal.has_value()) {
+      cell.joins = shard_count - 1;  // fanout-2 fold: K leaves, K-1 joins
+      cell.seal_bytes = round.value().tree_seal->to_bytes().size();
+      zvm::Verifier verifier;
+      const auto start = std::chrono::steady_clock::now();
+      if (auto ok = core::verify_join_receipt(verifier,
+                                              *round.value().tree_seal);
+          !ok.ok()) {
+        std::printf("seal verification failed: %s\n", ok.to_string().c_str());
+        return 1;
+      }
+      cell.seal_verify_ms = now_ms_since(start);
+    }
+    if (shard_count == 1) baseline_ms = cell.wall_ms;
+    shard_cells.push_back(cell);
+    std::printf("%7u | %12.1f | %12llu | %6llu | %10llu | %14.2f\n",
+                shard_count, cell.wall_ms,
+                (unsigned long long)cell.total_cycles,
+                (unsigned long long)cell.joins,
+                (unsigned long long)cell.seal_bytes, cell.seal_verify_ms);
+  }
+
+  std::printf("\n=== window pipelining: %llu windows x %llu records, "
+              "4 shards ===\n",
+              (unsigned long long)kPipelineWindows,
+              (unsigned long long)kPipelineRecords);
+  std::printf("%7s | %12s | %13s\n", "depth", "total ms", "windows/sec");
+  std::printf("--------+--------------+--------------\n");
+
+  std::vector<DepthCell> depth_cells;
+  for (u32 depth : {1u, 2u, 3u}) {
+    auto workload = bench::make_committed_workload(kPipelineRecords);
+    store::LogStore store;
+    for (u64 w = 2; w <= kPipelineWindows; ++w) {
+      bench::add_window(workload, kPipelineRecords, w);
+    }
+    // Persist every window's raw logs the way a provider would; the
+    // batches are deterministic, so rebuilding per window matches what
+    // add_window committed to the board.
+    for (u64 w = 1; w <= kPipelineWindows; ++w) {
+      auto batches = bench::make_committed_workload(kPipelineRecords, 4, w)
+                         .batches;
+      for (const auto& batch : batches) {
+        if (!store
+                 .append(store::kTableRlogs, batch.window_id, batch.router_id,
+                         batch.canonical_bytes())
+                 .ok()) {
+          std::printf("rlog append failed\n");
+          return 1;
+        }
+      }
+    }
+
+    core::PipelineOptions options;
+    options.sharded.shard_count = 4;
+    options.sharded.join_fanout = 2;
+    options.sharded.pipeline_depth = depth;
+    core::ProviderPipeline pipeline(store, *workload.board, options);
+    const auto start = std::chrono::steady_clock::now();
+    auto rounds = pipeline.aggregate_pending();
+    const double total_ms = now_ms_since(start);
+    if (!rounds.ok() || rounds.value().size() != kPipelineWindows ||
+        pipeline.tree_seals().size() != kPipelineWindows) {
+      std::printf("pipelined aggregation failed: %s\n",
+                  rounds.ok() ? "wrong round count"
+                              : rounds.error().to_string().c_str());
+      return 1;
+    }
+    depth_cells.push_back(
+        {depth, total_ms, kPipelineWindows / (total_ms / 1000.0)});
+    std::printf("%7u | %12.1f | %13.2f\n", depth, total_ms,
+                depth_cells.back().windows_per_sec);
+  }
+
+  std::printf("\nshape: the shard sweep's wall-clock column stays ~flat as "
+              "shards grow 1->8 on a multicore host (chains prove in "
+              "parallel; the fold adds K-1 joins at log depth), while the "
+              "auditor's cost is one seal verification regardless of K. On "
+              "a single-core machine wall-clock degrades by the split+join "
+              "overhead instead — the sum-cycles column shows the "
+              "parallelizable work. Deeper pipelines help when staging "
+              "(witness I/O) or folding would otherwise idle the prover.\n");
+
+  std::ofstream out("BENCH_tree.json");
+  out << "{\n  \"records\": " << kRecords
+      << ",\n  \"join_fanout\": 2,\n  \"pool_threads\": "
+      << common::ThreadPool::shared().thread_count()
+      << ",\n  \"baseline_wall_ms\": " << baseline_ms
+      << ",\n  \"shard_sweep\": [\n";
+  for (size_t i = 0; i < shard_cells.size(); ++i) {
+    const auto& c = shard_cells[i];
+    out << "    {\"shards\": " << c.shards << ", \"wall_ms\": " << c.wall_ms
+        << ", \"wall_vs_baseline\": "
+        << (baseline_ms > 0 ? c.wall_ms / baseline_ms : 0)
+        << ", \"total_cycles\": " << c.total_cycles
+        << ", \"joins\": " << c.joins << ", \"seal_bytes\": " << c.seal_bytes
+        << ", \"seal_verify_ms\": " << c.seal_verify_ms << "}"
+        << (i + 1 < shard_cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"pipeline_windows\": " << kPipelineWindows
+      << ",\n  \"pipeline_records_per_window\": " << kPipelineRecords
+      << ",\n  \"depth_sweep\": [\n";
+  for (size_t i = 0; i < depth_cells.size(); ++i) {
+    const auto& c = depth_cells[i];
+    out << "    {\"pipeline_depth\": " << c.depth
+        << ", \"total_ms\": " << c.total_ms
+        << ", \"windows_per_sec\": " << c.windows_per_sec << "}"
+        << (i + 1 < depth_cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (out) {
+    std::printf("\nsweep -> BENCH_tree.json\n");
+  } else {
+    std::fprintf(stderr, "could not write BENCH_tree.json\n");
+    return 1;
+  }
+  bench::write_metrics_snapshot("tree");
+  return 0;
+}

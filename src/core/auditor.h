@@ -144,14 +144,6 @@ class Auditor {
   /// auditor (no rounds accepted yet).
   Status adopt_summary(const ChainHead& head);
 
-  /// Deprecated positional form; migrate to adopt_summary(ChainHead).
-  [[deprecated("pass a ChainHead (see ChainSummaryJournal::head())")]]
-  Status adopt_summary(u64 rounds, const Digest32& final_claim_digest,
-                       const Digest32& final_root, u64 final_entry_count) {
-    return adopt_summary(
-        ChainHead{rounds, final_claim_digest, final_root, final_entry_count});
-  }
-
   /// Verify a query receipt (complete-scan or selective). It must target an
   /// accepted aggregation round (within the accepted-claim window), carry
   /// the seal of the mode it claims, and (if options.expected_query is set)
@@ -159,15 +151,6 @@ class Auditor {
   /// before treating COUNT-style results as complete.
   Result<QueryJournal> verify_query(const zvm::Receipt& receipt,
                                     const VerifyOptions& options = {});
-
-  /// Deprecated pointer form; migrate to VerifyOptions{.expected_query}.
-  /// (No default argument on purpose: plain verify_query(r) resolves to the
-  /// options overload above.)
-  [[deprecated("pass VerifyOptions{.expected_query = q}")]]
-  Result<QueryJournal> verify_query(const zvm::Receipt& receipt,
-                                    const Query* expected_query) {
-    return verify_query(receipt, VerifyOptions{expected_query, nullptr});
-  }
 
   u64 rounds_accepted() const { return rounds_; }
   const Digest32& current_root() const { return current_root_; }

@@ -5,8 +5,11 @@
 namespace zkt::core {
 
 namespace {
-constexpr u32 kSnapshotMagic = 0x5A4B4353;  // "ZKCS"
+constexpr u32 kSnapshotMagic = 0x5A4B4353;         // "ZKCS"
 constexpr u32 kSnapshotVersion = 1;
+constexpr u32 kShardedSnapshotMagic = 0x5A4B5353;  // "ZKSS"
+constexpr u32 kShardedSnapshotVersion = 1;
+constexpr u32 kMaxSnapshotShards = 4096;
 }  // namespace
 
 ChainSnapshot ChainSnapshot::capture(u64 round_id, u64 window_id,
@@ -86,6 +89,61 @@ Result<ChainSnapshot> ChainSnapshot::from_bytes(BytesView data) {
   }
   if (!r.done()) {
     return Error{Errc::parse_error, "trailing bytes in chain snapshot"};
+  }
+  return snap;
+}
+
+Bytes ShardedChainSnapshot::to_bytes() const {
+  Writer w;
+  w.u32v(kShardedSnapshotMagic);
+  w.u32v(kShardedSnapshotVersion);
+  w.u64v(round_id);
+  w.u64v(window_id);
+  w.u32v(shard_count);
+  w.varint(shards.size());
+  // Each inner snapshot keeps its own CRC, so the bundle needs no second
+  // integrity layer.
+  for (const auto& shard : shards) w.blob(shard.to_bytes());
+  return std::move(w).take();
+}
+
+Result<ShardedChainSnapshot> ShardedChainSnapshot::from_bytes(BytesView data) {
+  Reader r(data);
+  auto magic = r.u32v();
+  if (!magic.ok() || magic.value() != kShardedSnapshotMagic) {
+    return Error{Errc::parse_error, "bad sharded chain snapshot magic"};
+  }
+  auto version = r.u32v();
+  if (!version.ok()) return version.error();
+  if (version.value() != kShardedSnapshotVersion) {
+    return Error{Errc::unsupported, "unknown sharded chain snapshot version"};
+  }
+  ShardedChainSnapshot snap;
+  auto round = r.u64v();
+  if (!round.ok()) return round.error();
+  snap.round_id = round.value();
+  auto window = r.u64v();
+  if (!window.ok()) return window.error();
+  snap.window_id = window.value();
+  auto count = r.u32v();
+  if (!count.ok()) return count.error();
+  snap.shard_count = count.value();
+  auto n = r.varint();
+  if (!n.ok()) return n.error();
+  if (n.value() != snap.shard_count || n.value() == 0 ||
+      n.value() > kMaxSnapshotShards) {
+    return Error{Errc::parse_error, "sharded snapshot shard count mismatch"};
+  }
+  snap.shards.reserve(n.value());
+  for (u64 i = 0; i < n.value(); ++i) {
+    auto blob = r.blob();
+    if (!blob.ok()) return blob.error();
+    auto inner = ChainSnapshot::from_bytes(blob.value());
+    if (!inner.ok()) return inner.error();
+    snap.shards.push_back(std::move(inner.value()));
+  }
+  if (!r.done()) {
+    return Error{Errc::parse_error, "trailing bytes in sharded snapshot"};
   }
   return snap;
 }

@@ -44,4 +44,24 @@ struct ChainSnapshot {
   static Result<ChainSnapshot> from_bytes(BytesView data);
 };
 
+/// One durable record of a SHARDED round's chain position: the per-shard
+/// chain snapshots of one round, bundled so recovery adopts all K shard
+/// chains (or none) atomically. ProviderPipeline appends one to
+/// store::kTableShardState (k1 = window id, k2 = round id) per checkpoint
+/// interval, before the round's shard receipts — the same
+/// snapshot-before-receipt ordering the single-chain path uses, so a crash
+/// between the appends orphans the snapshot instead of stranding receipts
+/// ahead of any usable snapshot.
+struct ShardedChainSnapshot {
+  u64 round_id = 0;
+  u64 window_id = 0;
+  u32 shard_count = 0;
+  /// Per-shard snapshots, in shard order. Each inner claim_digest names the
+  /// shard's own receipt for this round.
+  std::vector<ChainSnapshot> shards;
+
+  Bytes to_bytes() const;
+  static Result<ShardedChainSnapshot> from_bytes(BytesView data);
+};
+
 }  // namespace zkt::core

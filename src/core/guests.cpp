@@ -616,20 +616,23 @@ u64 eval_condition_traced(Env& env, const Condition& c, const FlowRecord& e) {
   return 0;
 }
 
-Result<AggBinding> bind_aggregation(Env& env) {
-  zvm::Claim agg_claim;
+Result<ReceiptBinding> bind_receipt(Env& env,
+                                    bool (*image_ok)(const zvm::ImageID&),
+                                    std::string_view context) {
+  ReceiptBinding binding;
+  zvm::Claim& claim = binding.claim;
   auto img = env.read_digest();
   if (!img.ok()) return img.error();
-  agg_claim.image_id = img.value();
+  claim.image_id = img.value();
   auto input_digest = env.read_digest();
   if (!input_digest.ok()) return input_digest.error();
-  agg_claim.input_digest = input_digest.value();
+  claim.input_digest = input_digest.value();
   auto journal_digest = env.read_digest();
   if (!journal_digest.ok()) return journal_digest.error();
-  agg_claim.journal_digest = journal_digest.value();
+  claim.journal_digest = journal_digest.value();
   auto cycles = env.read_u64();
   if (!cycles.ok()) return cycles.error();
-  agg_claim.cycle_count = cycles.value();
+  claim.cycle_count = cycles.value();
   // The claim arrives in its canonical serialization (varint-counted
   // assumption list), exactly as Claim::serialize produces it.
   auto n_assumptions = env.read_varint();
@@ -637,8 +640,8 @@ Result<AggBinding> bind_aggregation(Env& env) {
   if (n_assumptions.value() > 4096) {
     return Error{Errc::guest_abort, "too many claim assumptions"};
   }
-  agg_claim.assumptions.resize(n_assumptions.value());
-  for (auto& a : agg_claim.assumptions) {
+  claim.assumptions.resize(n_assumptions.value());
+  for (auto& a : claim.assumptions) {
     auto aid = env.read_digest();
     if (!aid.ok()) return aid.error();
     a.image_id = aid.value();
@@ -646,25 +649,32 @@ Result<AggBinding> bind_aggregation(Env& env) {
     if (!acd.ok()) return acd.error();
     a.claim_digest = acd.value();
   }
-  // Either aggregation flavour is a valid binding target: full and
-  // incremental rounds chain interchangeably and publish the same journal
-  // schema.
-  ZKT_TRY(env.assert_true(is_aggregation_image(agg_claim.image_id),
-                          "query must target an aggregation receipt"));
+  ZKT_TRY(env.assert_true(image_ok(claim.image_id), context));
 
   Writer cw;
   cw.str("zkt.claim.v1");
-  agg_claim.serialize(cw);
-  AggBinding binding;
+  claim.serialize(cw);
   binding.claim_digest = env.sha256(cw.bytes());
-  ZKT_TRY(env.verify_assumption(agg_claim.image_id, binding.claim_digest));
+  ZKT_TRY(env.verify_assumption(claim.image_id, binding.claim_digest));
 
-  auto agg_journal_bytes = env.read_blob();
-  if (!agg_journal_bytes.ok()) return agg_journal_bytes.error();
-  const Digest32 jd = env.sha256(agg_journal_bytes.value());
-  ZKT_TRY(env.assert_eq(jd, agg_claim.journal_digest,
-                        "aggregation journal vs claim"));
-  auto agg_journal = AggJournal::parse(agg_journal_bytes.value());
+  auto journal_bytes = env.read_blob();
+  if (!journal_bytes.ok()) return journal_bytes.error();
+  const Digest32 jd = env.sha256(journal_bytes.value());
+  ZKT_TRY(env.assert_eq(jd, claim.journal_digest, "child journal vs claim"));
+  binding.journal = std::move(journal_bytes.value());
+  return binding;
+}
+
+Result<AggBinding> bind_aggregation(Env& env) {
+  // Either aggregation flavour is a valid binding target: full and
+  // incremental rounds chain interchangeably and publish the same journal
+  // schema.
+  auto bound = bind_receipt(env, is_aggregation_image,
+                            "query must target an aggregation receipt");
+  if (!bound.ok()) return bound.error();
+  AggBinding binding;
+  binding.claim_digest = bound.value().claim_digest;
+  auto agg_journal = AggJournal::parse(bound.value().journal);
   if (!agg_journal.ok()) return agg_journal.error();
   binding.journal = std::move(agg_journal.value());
   return binding;

@@ -210,11 +210,27 @@ struct SelectiveQueryInput {
 Digest32 merkle_root_traced(zvm::Env& env, std::vector<Digest32> leaves);
 
 namespace detail {
-/// Shared head of every query-flavoured guest: read the aggregation
-/// receipt's claim + journal from the input stream, recompute the claim
-/// digest with traced hashing, require a verified receipt for it, and
-/// authenticate the journal. Accepts either aggregation image (full or
-/// incremental). Returns the claim digest and parsed journal.
+/// One child receipt bound inside a recursive guest: its claim (read from
+/// the input stream in Claim::serialize framing), the traced claim digest,
+/// and the authenticated journal bytes.
+struct ReceiptBinding {
+  zvm::Claim claim;
+  Digest32 claim_digest;
+  Bytes journal;
+};
+
+/// Shared head of every receipt-consuming guest (queries, chain summaries,
+/// join folds): read one (claim, journal) pair from the input stream,
+/// assert `image_ok(claim.image_id)` (aborting with `context`), recompute
+/// the claim digest with traced hashing, require a verified receipt for it
+/// (assumption), and authenticate the journal bytes against the claim —
+/// i.e. everything a round verifier does, inside the trace.
+Result<ReceiptBinding> bind_receipt(zvm::Env& env,
+                                    bool (*image_ok)(const zvm::ImageID&),
+                                    std::string_view context);
+
+/// bind_receipt specialized to aggregation receipts (either kind), with the
+/// journal parsed. Shared head of every query-flavoured guest.
 struct AggBinding {
   Digest32 claim_digest;
   AggJournal journal;

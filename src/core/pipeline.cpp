@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/log.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,7 +21,30 @@ double ms(std::chrono::milliseconds d) {
   return static_cast<double>(d.count());
 }
 
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
 }  // namespace
+
+ProviderPipeline::ProviderPipeline(store::LogStore& store,
+                                   const CommitmentBoard& board,
+                                   PipelineOptions options)
+    : store_(&store),
+      options_(std::move(options)),
+      aggregation_(board,
+                   AggregationOptions{.prove_options = options_.prove_options,
+                                      .mode = options_.agg_mode}) {
+  if (options_.sharded.shard_count >= 2) {
+    ShardedOptions sharded = options_.sharded;
+    sharded.prove_options = options_.prove_options;
+    sharded.agg_mode = options_.agg_mode;
+    sharded_ =
+        std::make_unique<ShardedAggregationService>(board, std::move(sharded));
+  }
+}
 
 Status ProviderPipeline::with_retry(
     const char* what, const std::function<Status()>& op) const {
@@ -117,6 +141,58 @@ Status ProviderPipeline::persist_round(u64 window,
   return {};
 }
 
+Status ProviderPipeline::persist_sharded_round(u64 window,
+                                               const RoundResult& round) {
+  obs::Registry& metrics = obs::Registry::instance();
+  // Same snapshot-before-receipt ordering as the single-chain path, per
+  // window: sharded snapshot, then the K shard receipts. The tree seal is
+  // appended later by persist_seal (its fold may still be running); a
+  // crash before it is repaired at recover() by re-folding.
+  const bool snapshot_due =
+      options_.checkpoint_every_n_rounds > 0 &&
+      rounds_since_snapshot_ + 1 >= options_.checkpoint_every_n_rounds;
+  if (snapshot_due) {
+    ShardedChainSnapshot snap;
+    snap.round_id = round.round_id;
+    snap.window_id = window;
+    snap.shard_count = sharded_->shard_count();
+    for (u32 s = 0; s < sharded_->shard_count(); ++s) {
+      snap.shards.push_back(ChainSnapshot::capture(
+          round.round_id, window,
+          round.shard_rounds[s].receipt.claim.digest(),
+          sharded_->shard_state(s)));
+    }
+    const Bytes payload = snap.to_bytes();
+    ZKT_TRY(with_retry("sharded snapshot append", [&]() -> Status {
+      auto id = store_->append(store::kTableShardState, window,
+                               round.round_id, payload);
+      return id.ok() ? Status{} : Status(id.error());
+    }));
+    metrics.counter("core.pipeline.snapshots").add(1);
+  }
+  for (u32 s = 0; s < sharded_->shard_count(); ++s) {
+    const Bytes payload = round.shard_rounds[s].receipt.to_bytes();
+    ZKT_TRY(with_retry("shard receipt append", [&]() -> Status {
+      auto id = store_->append(store::kTableShardReceipts, window, s, payload);
+      return id.ok() ? Status{} : Status(id.error());
+    }));
+  }
+  rounds_since_snapshot_ = snapshot_due ? 0 : rounds_since_snapshot_ + 1;
+  return {};
+}
+
+Status ProviderPipeline::persist_seal(u64 window, const RoundResult& round) {
+  if (!round.tree_seal.has_value()) return {};
+  const Bytes payload = round.tree_seal->to_bytes();
+  ZKT_TRY(with_retry("tree seal append", [&]() -> Status {
+    auto id = store_->append(store::kTableTreeSeals, window, round.round_id,
+                             payload);
+    return id.ok() ? Status{} : Status(id.error());
+  }));
+  obs::Registry::instance().counter("core.pipeline.seals").add(1);
+  return {};
+}
+
 u64 ProviderPipeline::prune_aggregated() {
   if (!last_window_.has_value()) return 0;
   const u64 dropped = store_->drop_rows(store::kTableRlogs, *last_window_);
@@ -124,7 +200,7 @@ u64 ProviderPipeline::prune_aggregated() {
   return dropped;
 }
 
-Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
+Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending() {
   obs::Registry& metrics = obs::Registry::instance();
   obs::ScopedSpan span("pipeline_aggregate_pending");
 
@@ -135,8 +211,15 @@ Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
   metrics.gauge("core.pipeline.pending_windows")
       .set(static_cast<double>(pending.value().size()));
 
-  std::vector<AggregationRound> rounds;
-  for (u64 window : pending.value()) {
+  return sharded_ ? aggregate_pending_sharded(std::move(pending.value()))
+                  : aggregate_pending_plain(std::move(pending.value()));
+}
+
+Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending_plain(
+    std::vector<u64> windows) {
+  obs::Registry& metrics = obs::Registry::instance();
+  std::vector<RoundResult> rounds;
+  for (u64 window : windows) {
     const auto round_start = std::chrono::steady_clock::now();
     std::vector<netflow::RLogBatch> batches;
     if (Status loaded = load_batches(window, batches); !loaded.ok()) {
@@ -151,17 +234,167 @@ Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
     }
     receipts_.push_back(round.value().receipt);
     last_window_ = window;
-    rounds.push_back(std::move(round.value()));
 
-    metrics.histogram("core.pipeline.round_ms")
-        .record(std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - round_start)
-                    .count());
+    RoundResult result;
+    result.round_id = round.value().round_id;
+    result.total_cycles = round.value().prove_info.cycles;
+    result.wall_ms = elapsed_ms(round_start);
+    result.shard_rounds.push_back(std::move(round.value()));
+    rounds.push_back(std::move(result));
+
+    metrics.histogram("core.pipeline.round_ms").record(rounds.back().wall_ms);
     metrics.histogram("core.pipeline.batches_per_round")
         .record(static_cast<double>(batches.size()));
     metrics.counter("core.pipeline.windows_aggregated").add(1);
     metrics.gauge("core.pipeline.pending_windows")
-        .set(static_cast<double>(pending.value().size() - rounds.size()));
+        .set(static_cast<double>(windows.size() - rounds.size()));
+  }
+  if (options_.prune_aggregated && !rounds.empty()) {
+    prune_aggregated();
+  }
+  return rounds;
+}
+
+Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending_sharded(
+    std::vector<u64> windows) {
+  obs::Registry& metrics = obs::Registry::instance();
+  common::ThreadPool& pool = common::ThreadPool::shared();
+  const u32 depth = std::max<u32>(options_.sharded.pipeline_depth, 1);
+
+  // Window i+1 loads + split-proves on a pool worker while window i's
+  // shards prove on this thread, and window i's tree folds on a worker
+  // while window i+1 proves. Chain LINKING stays here, in window order
+  // (commit_staged / prove_shards / persist), so every depth produces
+  // byte-identical receipts; results are drained from `sealing` in window
+  // order.
+  struct StagedEntry {
+    u64 window = 0;
+    std::shared_ptr<std::vector<netflow::RLogBatch>> batches;
+    std::future<Result<ShardedAggregationService::StagedRound>> staged;
+  };
+  struct SealEntry {
+    u64 window = 0;
+    std::shared_ptr<RoundResult> round;
+    std::future<Status> folded;
+  };
+  std::deque<StagedEntry> staging;
+  std::deque<SealEntry> sealing;
+  std::vector<RoundResult> rounds;
+  size_t next_window = 0;
+
+  // On a terminal error every in-flight future must finish before the
+  // deques (and the service) can be torn down.
+  auto settle_inflight = [&] {
+    for (auto& entry : staging) {
+      if (entry.staged.valid()) entry.staged.wait();
+    }
+    for (auto& entry : sealing) {
+      if (entry.folded.valid()) entry.folded.wait();
+    }
+  };
+  auto set_inflight = [&] {
+    metrics.gauge("core.pipeline.inflight")
+        .set(static_cast<double>(staging.size() + sealing.size()));
+  };
+
+  auto top_up_staging = [&]() -> Status {
+    while (next_window < windows.size() && staging.size() < depth) {
+      StagedEntry entry;
+      entry.window = windows[next_window];
+      entry.batches = std::make_shared<std::vector<netflow::RLogBatch>>();
+      ZKT_TRY(load_batches(entry.window, *entry.batches));
+      entry.staged = pool.submit(
+          [service = sharded_.get(), batches = entry.batches] {
+            return service->stage(*batches);
+          });
+      staging.push_back(std::move(entry));
+      ++next_window;
+    }
+    set_inflight();
+    return {};
+  };
+
+  auto drain_one_seal = [&]() -> Status {
+    SealEntry entry = std::move(sealing.front());
+    sealing.pop_front();
+    const auto wait_start = std::chrono::steady_clock::now();
+    Status folded = entry.folded.get();
+    metrics.histogram("core.pipeline.fold_wait_ms")
+        .record(elapsed_ms(wait_start));
+    ZKT_TRY(folded);
+    ZKT_TRY(persist_seal(entry.window, *entry.round));
+    if (entry.round->tree_seal.has_value()) {
+      tree_seals_.push_back(*entry.round->tree_seal);
+    }
+    rounds.push_back(std::move(*entry.round));
+    set_inflight();
+    return {};
+  };
+
+  for (;;) {
+    if (Status topped = top_up_staging(); !topped.ok()) {
+      settle_inflight();
+      return topped.error();
+    }
+    if (staging.empty()) break;
+
+    const auto round_start = std::chrono::steady_clock::now();
+    StagedEntry entry = std::move(staging.front());
+    staging.pop_front();
+    auto staged = entry.staged.get();
+    if (!staged.ok()) {
+      settle_inflight();
+      return staged.error();
+    }
+    metrics.histogram("core.pipeline.stage_ms")
+        .record(staged.value().split_ms);
+
+    if (Status committed = sharded_->commit_staged(staged.value());
+        !committed.ok()) {
+      settle_inflight();
+      return committed.error();
+    }
+    auto round = sharded_->prove_shards(std::move(staged.value()));
+    if (!round.ok()) {
+      settle_inflight();
+      return round.error();
+    }
+    if (Status persisted = persist_sharded_round(entry.window, round.value());
+        !persisted.ok()) {
+      settle_inflight();
+      return persisted.error();
+    }
+    last_window_ = entry.window;
+
+    SealEntry seal;
+    seal.window = entry.window;
+    seal.round = std::make_shared<RoundResult>(std::move(round.value()));
+    seal.folded = pool.submit([service = sharded_.get(), r = seal.round] {
+      return service->fold_round(*r);
+    });
+    sealing.push_back(std::move(seal));
+    set_inflight();
+
+    metrics.histogram("core.pipeline.round_ms").record(elapsed_ms(round_start));
+    metrics.histogram("core.pipeline.batches_per_round")
+        .record(static_cast<double>(entry.batches->size()));
+    metrics.counter("core.pipeline.windows_aggregated").add(1);
+    metrics.gauge("core.pipeline.pending_windows")
+        .set(static_cast<double>(windows.size() - next_window +
+                                 staging.size()));
+
+    while (sealing.size() >= depth) {
+      if (Status drained = drain_one_seal(); !drained.ok()) {
+        settle_inflight();
+        return drained.error();
+      }
+    }
+  }
+  while (!sealing.empty()) {
+    if (Status drained = drain_one_seal(); !drained.ok()) {
+      settle_inflight();
+      return drained.error();
+    }
   }
   if (options_.prune_aggregated && !rounds.empty()) {
     prune_aggregated();
@@ -170,11 +403,21 @@ Result<std::vector<AggregationRound>> ProviderPipeline::aggregate_pending() {
 }
 
 Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover() {
-  obs::Registry& metrics = obs::Registry::instance();
   obs::ScopedSpan span("pipeline_recover");
-  if (aggregation_.has_rounds() || last_window_.has_value()) {
+  if (has_rounds() || last_window_.has_value()) {
     return Error{Errc::invalid_argument,
                  "recover() must run before any aggregation"};
+  }
+  return sharded_ ? recover_sharded() : recover_plain();
+}
+
+Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_plain() {
+  obs::Registry& metrics = obs::Registry::instance();
+  if (store_->row_count(store::kTableShardState) > 0 ||
+      store_->row_count(store::kTableShardReceipts) > 0) {
+    return Error{Errc::invalid_argument,
+                 "store holds sharded chain rows; a single-chain pipeline "
+                 "cannot recover it (configure matching shards)"};
   }
 
   RecoveryInfo info;
@@ -282,6 +525,207 @@ Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover() {
     ZKT_LOG(info) << "pipeline recovered: " << info.rounds_restored
                   << " rounds from snapshot, " << info.rounds_replayed
                   << " replayed, resuming after window "
+                  << (last_window_.has_value() ? std::to_string(*last_window_)
+                                               : std::string("none"));
+  }
+  return info;
+}
+
+Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_sharded() {
+  obs::Registry& metrics = obs::Registry::instance();
+  if (store_->row_count(store::kTableChainState) > 0 ||
+      store_->row_count(store::kTableReceipts) > 0) {
+    return Error{Errc::invalid_argument,
+                 "store holds single-chain rows; a sharded pipeline cannot "
+                 "recover it (drop --shards to recover)"};
+  }
+
+  RecoveryInfo info;
+  const u32 shard_count = sharded_->shard_count();
+
+  // The latest stored receipt per (window, shard); nullopt when any shard's
+  // receipt is missing (a crash mid-persist left the window incomplete).
+  auto load_shard_receipts =
+      [&](u64 window) -> Result<std::optional<std::vector<zvm::Receipt>>> {
+    std::vector<zvm::Receipt> receipts;
+    for (u32 s = 0; s < shard_count; ++s) {
+      std::vector<store::StoredRow> rows;
+      Status scanned = with_retry("shard receipt scan", [&]() -> Status {
+        rows = store_->scan_exact(store::kTableShardReceipts, window, s);
+        return {};
+      });
+      if (!scanned.ok()) return scanned.error();
+      if (rows.empty()) return std::optional<std::vector<zvm::Receipt>>{};
+      auto receipt = zvm::Receipt::from_bytes(rows.back().payload);
+      if (!receipt.ok()) return receipt.error();
+      receipts.push_back(std::move(receipt.value()));
+    }
+    return std::optional<std::vector<zvm::Receipt>>{std::move(receipts)};
+  };
+
+  std::vector<store::StoredRow> snapshot_rows;
+  Status scanned = with_retry("shard-state scan", [&]() -> Status {
+    snapshot_rows.clear();
+    return store_->for_each(store::kTableShardState, 0, ~0ULL,
+                            [&](const store::StoredRow& row) {
+                              snapshot_rows.push_back(row);
+                            });
+  });
+  if (!scanned.ok()) return scanned.error();
+
+  // Adopt the newest sharded snapshot whose K shard receipts all exist and
+  // match its claim digests; orphans and unreadable rows are skipped. A
+  // shard-count mismatch is terminal — recovering a 4-shard store with
+  // --shards 8 must not silently fork the chains.
+  std::optional<ShardedChainSnapshot> adopted;
+  for (auto it = snapshot_rows.rbegin();
+       it != snapshot_rows.rend() && !adopted.has_value(); ++it) {
+    auto snap = ShardedChainSnapshot::from_bytes(it->payload);
+    if (!snap.ok()) {
+      ZKT_LOG(warn) << "skipping unreadable sharded snapshot (row " << it->id
+                    << "): " << snap.error().to_string();
+      ++info.snapshots_skipped;
+      continue;
+    }
+    if (snap.value().shard_count != shard_count) {
+      return Error{Errc::invalid_argument,
+                   "store was written with " +
+                       std::to_string(snap.value().shard_count) +
+                       " shards but the pipeline is configured with " +
+                       std::to_string(shard_count) +
+                       " (the shard count cannot change across restarts)"};
+    }
+    auto receipts = load_shard_receipts(snap.value().window_id);
+    if (!receipts.ok()) return receipts.error();
+    if (!receipts.value().has_value()) {
+      // Crash between snapshot append and the shard receipts.
+      ++info.snapshots_skipped;
+      continue;
+    }
+    bool digests_match = snap.value().shards.size() == shard_count;
+    for (u32 s = 0; digests_match && s < shard_count; ++s) {
+      digests_match = snap.value().shards[s].claim_digest ==
+                      (*receipts.value())[s].claim.digest();
+    }
+    if (!digests_match) {
+      ZKT_LOG(warn) << "skipping sharded snapshot for window "
+                    << snap.value().window_id
+                    << ": stored shard receipts have different claim digests";
+      ++info.snapshots_skipped;
+      continue;
+    }
+    ZKT_TRY(sharded_->restore(snap.value(), std::move(*receipts.value())));
+    adopted = std::move(snap.value());
+  }
+  if (adopted.has_value()) {
+    info.resumed = true;
+    info.rounds_restored = adopted->round_id;
+    last_window_ = adopted->window_id;
+  }
+
+  // Windows with stored shard receipts, ascending. A receipt row for a
+  // shard id past the configured count is the no-snapshot face of the
+  // shard-count mismatch above — also terminal.
+  std::vector<u64> receipt_windows;
+  u64 max_shard_seen = 0;
+  scanned = with_retry("shard receipt window scan", [&]() -> Status {
+    receipt_windows.clear();
+    max_shard_seen = 0;
+    return store_->for_each(store::kTableShardReceipts, 0, ~0ULL,
+                            [&](const store::StoredRow& row) {
+                              receipt_windows.push_back(row.k1);
+                              max_shard_seen =
+                                  std::max(max_shard_seen, row.k2);
+                            });
+  });
+  if (!scanned.ok()) return scanned.error();
+  if (!receipt_windows.empty() && max_shard_seen >= shard_count) {
+    return Error{Errc::invalid_argument,
+                 "store holds receipts for shard " +
+                     std::to_string(max_shard_seen) +
+                     " but the pipeline is configured with " +
+                     std::to_string(shard_count) +
+                     " shards (the shard count cannot change across "
+                     "restarts)"};
+  }
+  std::sort(receipt_windows.begin(), receipt_windows.end());
+  receipt_windows.erase(
+      std::unique(receipt_windows.begin(), receipt_windows.end()),
+      receipt_windows.end());
+
+  for (size_t i = 0; i < receipt_windows.size(); ++i) {
+    const u64 window = receipt_windows[i];
+    auto receipts = load_shard_receipts(window);
+    if (!receipts.ok()) return receipts.error();
+    if (!receipts.value().has_value()) {
+      // Incomplete persist. Only tolerable at the chain tip, where the
+      // window simply counts as unproven (aggregate_pending re-proves it);
+      // a gap in the middle means the chain cannot be rebuilt.
+      if (i + 1 == receipt_windows.size() &&
+          (!last_window_.has_value() || window > *last_window_)) {
+        break;
+      }
+      return Error{Errc::chain_broken,
+                   "window " + std::to_string(window) +
+                       " is missing shard receipts mid-chain"};
+    }
+
+    const bool covered =
+        adopted.has_value() && window <= adopted->window_id;
+    if (!covered) {
+      // Roll forward: replay the window's raw batches against the stored
+      // receipts — verified against each shard's journal, never re-proven.
+      std::vector<netflow::RLogBatch> batches;
+      if (Status loaded = load_batches(window, batches); !loaded.ok()) {
+        return loaded.error();
+      }
+      if (batches.empty()) {
+        return Error{Errc::chain_broken,
+                     "shard receipts for window " + std::to_string(window) +
+                         " have no raw logs to replay (pruned before a "
+                         "snapshot covered them?)"};
+      }
+      ZKT_TRY(sharded_->replay_round(batches, *receipts.value()));
+      last_window_ = window;
+      ++info.rounds_replayed;
+      info.resumed = true;
+    }
+
+    if (sharded_->fold_enabled()) {
+      auto seal_row = store_->latest(store::kTableTreeSeals, window);
+      if (seal_row.has_value()) {
+        auto seal = zvm::Receipt::from_bytes(seal_row->payload);
+        if (!seal.ok()) return seal.error();
+        tree_seals_.push_back(std::move(seal.value()));
+      } else {
+        // Crash after the shard receipts, before the seal: re-fold from the
+        // verified receipts (proof work is O(K) joins, not a re-prove of
+        // the round) and persist what the crashed process could not.
+        FoldOptions fold_options;
+        fold_options.fanout = sharded_->options().join_fanout;
+        fold_options.prove_options = sharded_->options().prove_options;
+        fold_options.prove_options.assumptions.clear();
+        auto folded = fold_receipts(*receipts.value(), fold_options);
+        if (!folded.ok()) return folded.error();
+        RoundResult refold;
+        refold.round_id = info.rounds_restored + info.rounds_replayed;
+        refold.tree_seal = std::move(folded.value().root);
+        ZKT_TRY(persist_seal(window, refold));
+        tree_seals_.push_back(*refold.tree_seal);
+        ++info.seals_refolded;
+      }
+    }
+  }
+
+  info.last_window = last_window_;
+  if (info.resumed) {
+    metrics.counter("core.pipeline.recoveries").add(1);
+    metrics.gauge("core.pipeline.recovered_rounds")
+        .set(static_cast<double>(info.rounds_restored + info.rounds_replayed));
+    ZKT_LOG(info) << "sharded pipeline recovered: " << info.rounds_restored
+                  << " rounds from snapshot, " << info.rounds_replayed
+                  << " replayed, " << info.seals_refolded
+                  << " seals re-folded, resuming after window "
                   << (last_window_.has_value() ? std::to_string(*last_window_)
                                                : std::string("none"));
   }

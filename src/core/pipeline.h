@@ -5,11 +5,27 @@
 // packaged as a library component (the zkt-prove tool and the simulator
 // integration tests drive it).
 //
+// Sharded mode (options.sharded.shard_count >= 2) routes every window
+// through ShardedAggregationService instead: split proofs, K parallel shard
+// chains, and (with a join fanout) ONE tree seal per round. With
+// options.sharded.pipeline_depth > 1 the pipeline overlaps windows —
+// window i+1 loads and split-proves on a pool worker while window i's
+// shards prove, and window i's tree folds while window i+1 proves. Chain
+// LINKING stays strictly serial (prove_shards runs in window order on the
+// caller's thread), so receipts and auditor decisions are byte-identical
+// at every depth; depth 1 is exactly the sequential loop.
+//
 // Crash safety: every checkpoint interval the pipeline appends a
 // core::ChainSnapshot (serialized CLog state + round identifiers) to
-// store::kTableChainState, and recover() resumes a restarted process from
-// the newest snapshot whose receipt checks out — rolling forward over any
-// receipts proven after it without re-proving (see docs/RECOVERY.md).
+// store::kTableChainState — sharded rounds append a ShardedChainSnapshot
+// to store::kTableShardState instead — and recover() resumes a restarted
+// process from the newest snapshot whose receipt(s) check out, rolling
+// forward over receipts proven after it without re-proving (see
+// docs/RECOVERY.md). Per window the persist order is snapshot, then
+// receipt(s), then (sharded) the tree seal: a crash leaves an orphan
+// snapshot or a missing seal — never a receipt ahead of a usable
+// snapshot — and missing seals are re-folded from the stored shard
+// receipts at recovery.
 //
 // Failure policy: transient store errors (io_error) are retried with
 // exponential backoff per RetryPolicy; integrity failures (tampered or
@@ -17,9 +33,11 @@
 #pragma once
 
 #include <chrono>
+#include <deque>
 
 #include "core/chain_snapshot.h"
 #include "core/service.h"
+#include "core/sharded.h"
 #include "store/logstore.h"
 
 namespace zkt::core {
@@ -48,27 +66,18 @@ struct PipelineOptions {
   /// windows (the paper's retention model). Leave off when recover() must
   /// be able to roll forward past the last snapshot.
   bool prune_aggregated = false;
+  /// Sharded-proving shape: shard_count >= 2 enables sharded mode,
+  /// join_fanout >= 2 folds each round into a tree seal, pipeline_depth > 1
+  /// overlaps windows (see the header comment). prove_options/agg_mode in
+  /// here are IGNORED — the pipeline copies its own prove_options/agg_mode
+  /// in, so one knob configures both modes.
+  ShardedOptions sharded;
 };
 
 class ProviderPipeline {
  public:
   ProviderPipeline(store::LogStore& store, const CommitmentBoard& board,
-                   PipelineOptions options = {})
-      : store_(&store),
-        options_(std::move(options)),
-        aggregation_(board,
-                     AggregationOptions{.prove_options = options_.prove_options,
-                                        .mode = options_.agg_mode}) {}
-
-  /// Deprecated shim (one PR): pass PipelineOptions instead.
-  [[deprecated("use ProviderPipeline(store, board, {.prove_options = ...})")]]
-  ProviderPipeline(store::LogStore& store, const CommitmentBoard& board,
-                   zvm::ProveOptions prove_options)
-      : ProviderPipeline(store, board, [&prove_options] {
-          PipelineOptions options;
-          options.prove_options = std::move(prove_options);
-          return options;
-        }()) {}
+                   PipelineOptions options = {});
 
   /// What recover() found and did.
   struct RecoveryInfo {
@@ -81,6 +90,10 @@ class ProviderPipeline {
     /// Snapshots that were skipped (orphaned by a crash before their
     /// receipt was appended, or unreadable).
     u64 snapshots_skipped = 0;
+    /// Sharded rounds whose tree seal was missing from the store (crash
+    /// after the shard receipts, before the seal) and was re-folded from
+    /// the verified shard receipts during recovery.
+    u64 seals_refolded = 0;
     /// Last aggregated window after recovery, if any.
     std::optional<u64> last_window;
   };
@@ -92,29 +105,47 @@ class ProviderPipeline {
   /// before the first aggregate_pending(). Integrity violations (snapshot/
   /// receipt mismatch, missing raw logs for a later receipt) are terminal
   /// typed errors; a store with no chain state recovers to a fresh start.
+  /// The store must match the pipeline's mode: single-chain rows in a
+  /// sharded pipeline (or vice versa) are a terminal error, not a fresh
+  /// start.
   Result<RecoveryInfo> recover();
 
   /// Aggregate every committed window newer than the last one processed,
   /// in ascending window order. Each round persists a chain snapshot (per
-  /// options.checkpoint_every_n_rounds) and then the round's receipt
-  /// (k1 = window id). Returns the rounds proven in this call (possibly
-  /// empty). Stops at — and returns — the first terminal failure (a
-  /// tampered window blocks the chain, by design); transient store errors
-  /// are retried per options.retry first.
-  Result<std::vector<AggregationRound>> aggregate_pending();
+  /// options.checkpoint_every_n_rounds), then the round's receipt(s), then
+  /// (sharded+fold) its tree seal. Returns the rounds proven in this call
+  /// (possibly empty). Stops at — and returns — the first terminal failure
+  /// (a tampered window blocks the chain, by design); transient store
+  /// errors are retried per options.retry first.
+  Result<std::vector<RoundResult>> aggregate_pending();
 
   /// Windows present in the store's rlogs table that have not been
   /// aggregated yet. Store read failures surface as errors (after
   /// retries) — an unreadable store is not "no pending work".
   Result<std::vector<u64>> pending_windows() const;
 
-  bool has_rounds() const { return aggregation_.has_rounds(); }
+  bool sharded() const { return sharded_ != nullptr; }
+  bool has_rounds() const {
+    return sharded_ ? sharded_->has_rounds() : aggregation_.has_rounds();
+  }
+  /// The single-chain service (plain mode only).
   const AggregationService& aggregation() const { return aggregation_; }
+  /// The sharded service; null in plain mode.
+  const ShardedAggregationService* sharded_service() const {
+    return sharded_.get();
+  }
   const PipelineOptions& options() const { return options_; }
 
   /// All receipts in the chain, in round order — including rounds recovered
-  /// from the store by recover().
+  /// from the store by recover(). Plain mode: the aggregation chain.
+  /// Sharded mode: empty (per-shard chains live in the store; the seals
+  /// below are the round-level proof objects).
   const std::vector<zvm::Receipt>& receipts() const { return receipts_; }
+
+  /// Tree seals of folded sharded rounds, in window order — including seals
+  /// recovered (or re-folded) by recover(). Empty unless sharded mode with
+  /// a join fanout.
+  const std::vector<zvm::Receipt>& tree_seals() const { return tree_seals_; }
 
   /// Drop raw logs whose windows have been aggregated under proof — the
   /// paper's retention model (§2.2: "raw logs are often discarded after a
@@ -128,13 +159,24 @@ class ProviderPipeline {
   Status with_retry(const char* what,
                     const std::function<Status()>& op) const;
   Status persist_round(u64 window, const AggregationRound& round);
+  Status persist_sharded_round(u64 window, const RoundResult& round);
+  Status persist_seal(u64 window, const RoundResult& round);
   Status load_batches(u64 window,
                       std::vector<netflow::RLogBatch>& batches) const;
+  Result<std::vector<RoundResult>> aggregate_pending_plain(
+      std::vector<u64> windows);
+  Result<std::vector<RoundResult>> aggregate_pending_sharded(
+      std::vector<u64> windows);
+  Result<RecoveryInfo> recover_plain();
+  Result<RecoveryInfo> recover_sharded();
 
   store::LogStore* store_;
   PipelineOptions options_;
   AggregationService aggregation_;
+  /// Non-null iff options.sharded.shard_count >= 2.
+  std::unique_ptr<ShardedAggregationService> sharded_;
   std::vector<zvm::Receipt> receipts_;
+  std::vector<zvm::Receipt> tree_seals_;
   std::optional<u64> last_window_;
   u64 rounds_since_snapshot_ = 0;
 };

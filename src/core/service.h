@@ -30,6 +30,35 @@ struct AggregationRound {
   zvm::ProveInfo prove_info;
 };
 
+/// The unified result of one proving round — one shape whether the round
+/// ran on the single-chain path, the sharded path, or the sharded path with
+/// a join-tree fold (each fills the parts it produced):
+///
+///   single chain:  shard_rounds = {the round}; no splits, no seal.
+///   sharded:       one shard_round per shard + the round's split receipts.
+///   sharded+fold:  additionally tree_seal — ONE receipt that transitively
+///                  verifies every shard round (see core/join.h).
+///
+/// Replaces the former ShardedAggregationService::Round and the bare
+/// AggregationRound rounds ProviderPipeline used to return.
+struct RoundResult {
+  u64 round_id = 0;
+  /// Split receipts, one per source batch (sharded path only).
+  std::vector<zvm::Receipt> split_receipts;
+  /// Per-shard aggregation rounds in shard order; exactly one element on
+  /// the single-chain path.
+  std::vector<AggregationRound> shard_rounds;
+  /// The round's join-tree seal, when folding ran (sharded, >= 2 shards).
+  std::optional<zvm::Receipt> tree_seal;
+  double wall_ms = 0;
+  u64 total_cycles = 0;
+
+  /// The single-chain round. Only meaningful when shard_rounds has exactly
+  /// one element (the unsharded pipeline).
+  const AggregationRound& primary() const { return shard_rounds.front(); }
+  AggregationRound& primary() { return shard_rounds.front(); }
+};
+
 /// How aggregation rounds pick between the full-rebuild guest (O(N) traced
 /// hashing) and the incremental delta guest (O(k log N)).
 enum class AggMode : u8 {
@@ -66,12 +95,6 @@ class AggregationService {
         prove_options_(std::move(options.prove_options)),
         mode_(options.mode),
         incremental_threshold_(options.incremental_threshold) {}
-
-  /// Deprecated shim (one PR): pass AggregationOptions instead.
-  [[deprecated("use AggregationService(board, {.prove_options = ...})")]]
-  AggregationService(const CommitmentBoard& board,
-                     zvm::ProveOptions prove_options)
-      : board_(&board), prove_options_(std::move(prove_options)) {}
 
   /// Run one aggregation round over the given batches. Batches are processed
   /// in (window, router) order — via a locally sorted index, so the caller's
@@ -196,13 +219,6 @@ class QueryService {
                         QueryServiceOptions options = {})
       : aggregation_(&aggregation),
         prove_options_(std::move(options.prove_options)) {}
-
-  /// Deprecated shim (one PR): pass QueryServiceOptions instead.
-  [[deprecated("use QueryService(aggregation, {.prove_options = ...})")]]
-  QueryService(const AggregationService& aggregation,
-               zvm::ProveOptions prove_options)
-      : aggregation_(&aggregation),
-        prove_options_(std::move(prove_options)) {}
 
   /// Prove a query against the latest aggregated state. options.mode picks
   /// complete-scan vs. selective proving; see QueryOptions.

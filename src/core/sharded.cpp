@@ -158,16 +158,16 @@ netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
 }
 
 ShardedAggregationService::ShardedAggregationService(
-    const CommitmentBoard& board, u32 shard_count,
-    AggregationOptions options)
+    const CommitmentBoard& board, ShardedOptions options)
     : board_(&board),
-      shard_count_(std::max<u32>(shard_count, 1)),
-      prove_options_(std::move(options.prove_options)) {
+      options_(std::move(options)),
+      shard_count_(std::max<u32>(options_.shard_count, 1)) {
   for (u32 s = 0; s < shard_count_; ++s) {
     shard_boards_.push_back(std::make_unique<CommitmentBoard>());
     shards_.push_back(std::make_unique<AggregationService>(
         *shard_boards_.back(),
-        AggregationOptions{.prove_options = prove_options_}));
+        AggregationOptions{.prove_options = options_.prove_options,
+                           .mode = options_.agg_mode}));
     // Prover-internal keys for the shard boards' plumbing; external trust
     // rests on the split receipts, not these signatures.
     shard_keys_.push_back(crypto::schnorr_keygen_from_seed(
@@ -175,16 +175,16 @@ ShardedAggregationService::ShardedAggregationService(
   }
 }
 
-Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
-    std::span<const netflow::RLogBatch> batches) {
+Result<ShardedAggregationService::StagedRound> ShardedAggregationService::
+    stage(std::span<const netflow::RLogBatch> batches) const {
   const auto start = std::chrono::steady_clock::now();
   obs::Registry& metrics = obs::Registry::instance();
-  obs::ScopedSpan span("sharded_round");
+  obs::ScopedSpan span("sharded_stage");
   obs::Histogram& split_ms = metrics.histogram("core.sharded.split_ms");
-  Round round;
 
-  // Phase 1: split-prove every batch and derive per-shard sub-batches.
-  std::vector<std::vector<netflow::RLogBatch>> shard_batches(shard_count_);
+  StagedRound staged;
+  staged.shard_batches.resize(shard_count_);
+  staged.sub_commitments.resize(shard_count_);
   zvm::Prover prover;
   for (const auto& batch : batches) {
     const auto split_start = std::chrono::steady_clock::now();
@@ -203,10 +203,10 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
     input.blob(batch.canonical_bytes());
 
     zvm::ProveInfo info;
-    auto receipt =
-        prover.prove(shard_split_image(), input.bytes(), prove_options_, &info);
+    auto receipt = prover.prove(shard_split_image(), input.bytes(),
+                                options_.prove_options, &info);
     if (!receipt.ok()) return receipt.error();
-    round.total_cycles += info.cycles;
+    staged.split_cycles += info.cycles;
 
     auto journal = SplitJournal::parse(receipt.value().journal);
     if (!journal.ok()) return journal.error();
@@ -219,19 +219,47 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
       auto sub_commitment = make_commitment(sub, shard_keys_[s],
                                             commitment->published_at_ms);
       if (!sub_commitment.ok()) return sub_commitment.error();
-      ZKT_TRY(shard_boards_[s]->publish(sub_commitment.value()));
-      shard_batches[s].push_back(std::move(sub));
+      staged.sub_commitments[s].push_back(std::move(sub_commitment.value()));
+      staged.shard_batches[s].push_back(std::move(sub));
     }
-    round.split_receipts.push_back(std::move(receipt.value()));
+    staged.split_receipts.push_back(std::move(receipt.value()));
     split_ms.record(std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - split_start)
                         .count());
   }
+  staged.split_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return staged;
+}
 
-  // Phase 2: aggregate shards in parallel on the shared bounded pool (§7's
-  // parallel proof generation; partial proofs are presented together in the
-  // Round). The pool caps concurrency at its worker count instead of
-  // spawning one kernel thread per shard.
+Status ShardedAggregationService::commit_staged(const StagedRound& staged) {
+  if (staged.sub_commitments.size() != shard_count_) {
+    return Error{Errc::invalid_argument,
+                 "staged round has the wrong shard count"};
+  }
+  for (u32 s = 0; s < shard_count_; ++s) {
+    for (const auto& commitment : staged.sub_commitments[s]) {
+      ZKT_TRY(shard_boards_[s]->publish(commitment));
+    }
+  }
+  return {};
+}
+
+Result<RoundResult> ShardedAggregationService::prove_shards(
+    StagedRound staged) {
+  const auto start = std::chrono::steady_clock::now();
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan span("sharded_prove");
+
+  RoundResult round;
+  round.round_id = rounds_ + 1;
+  round.split_receipts = std::move(staged.split_receipts);
+  round.total_cycles = staged.split_cycles;
+
+  // Aggregate shards in parallel on the shared bounded pool (§7's parallel
+  // proof generation). The pool caps concurrency at its worker count
+  // instead of spawning one kernel thread per shard.
   std::vector<Result<AggregationRound>> results(
       shard_count_, Result<AggregationRound>(Errc::unsupported));
   std::vector<double> shard_wall_ms(shard_count_, 0);
@@ -241,7 +269,7 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
   pool.parallel_for(shard_count_, 1, [&](size_t first, size_t last) {
     for (size_t s = first; s < last; ++s) {
       const auto shard_start = std::chrono::steady_clock::now();
-      results[s] = shards_[s]->aggregate(shard_batches[s]);
+      results[s] = shards_[s]->aggregate(staged.shard_batches[s]);
       shard_wall_ms[s] = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - shard_start)
                              .count();
@@ -258,9 +286,11 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
     round.total_cycles += results[s].value().prove_info.cycles;
     round.shard_rounds.push_back(std::move(results[s].value()));
   }
-  round.wall_ms = std::chrono::duration<double, std::milli>(
+  round.wall_ms = staged.split_ms +
+                  std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+  rounds_ = round.round_id;
 
   // Shard imbalance: slowest shard over the mean — 1.0 means a perfectly
   // balanced round, larger means stragglers dominate the §7 speedup.
@@ -277,6 +307,95 @@ Result<ShardedAggregationService::Round> ShardedAggregationService::aggregate(
   return round;
 }
 
+Status ShardedAggregationService::fold_round(RoundResult& round) const {
+  if (!fold_enabled() || round.shard_rounds.size() < 2) return {};
+  std::vector<zvm::Receipt> leaves;
+  leaves.reserve(round.shard_rounds.size());
+  for (const auto& shard_round : round.shard_rounds) {
+    leaves.push_back(shard_round.receipt);
+  }
+  FoldOptions fold_options;
+  fold_options.fanout = options_.join_fanout;
+  fold_options.prove_options = options_.prove_options;
+  fold_options.prove_options.assumptions.clear();
+  auto folded = fold_receipts(leaves, fold_options);
+  if (!folded.ok()) return folded.error();
+  round.total_cycles += folded.value().total_cycles;
+  round.wall_ms += folded.value().wall_ms;
+  round.tree_seal = std::move(folded.value().root);
+  return {};
+}
+
+Result<RoundResult> ShardedAggregationService::aggregate(
+    std::span<const netflow::RLogBatch> batches) {
+  obs::ScopedSpan span("sharded_round");
+  auto staged = stage(batches);
+  if (!staged.ok()) return staged.error();
+  ZKT_TRY(commit_staged(staged.value()));
+  auto round = prove_shards(std::move(staged.value()));
+  if (!round.ok()) return round.error();
+  ZKT_TRY(fold_round(round.value()));
+  return round;
+}
+
+Status ShardedAggregationService::restore(
+    const ShardedChainSnapshot& snap,
+    std::vector<zvm::Receipt> shard_receipts) {
+  if (rounds_ != 0) {
+    return Error{Errc::invalid_argument,
+                 "restore() requires a fresh sharded service"};
+  }
+  if (snap.shard_count != shard_count_ ||
+      snap.shards.size() != shard_count_) {
+    return Error{Errc::invalid_argument,
+                 "sharded snapshot shard count does not match the service "
+                 "(recovering with a different --shards value?)"};
+  }
+  if (shard_receipts.size() != shard_count_) {
+    return Error{Errc::invalid_argument,
+                 "restore() needs one receipt per shard"};
+  }
+  for (u32 s = 0; s < shard_count_; ++s) {
+    if (snap.shards[s].claim_digest != shard_receipts[s].claim.digest()) {
+      return Error{Errc::chain_broken,
+                   "sharded snapshot does not match shard " +
+                       std::to_string(s) + "'s stored receipt"};
+    }
+    auto state = snap.shards[s].restore_state();
+    if (!state.ok()) return state.error();
+    ZKT_TRY(shards_[s]->restore(std::move(state.value()),
+                                std::move(shard_receipts[s]),
+                                snap.round_id));
+  }
+  rounds_ = snap.round_id;
+  return {};
+}
+
+Status ShardedAggregationService::replay_round(
+    std::span<const netflow::RLogBatch> batches,
+    std::span<const zvm::Receipt> shard_receipts) {
+  if (shard_receipts.size() != shard_count_) {
+    return Error{Errc::invalid_argument,
+                 "replay_round() needs one receipt per shard"};
+  }
+  for (u32 s = 0; s < shard_count_; ++s) {
+    std::vector<netflow::RLogBatch> subs;
+    subs.reserve(batches.size());
+    for (const auto& batch : batches) {
+      subs.push_back(sub_batch_for(batch, s, shard_count_));
+    }
+    ZKT_TRY(shards_[s]->replay_round(subs, shard_receipts[s]));
+  }
+  ++rounds_;
+  return {};
+}
+
+u64 ShardedAggregationService::total_entries() const {
+  u64 total = 0;
+  for (u32 s = 0; s < shard_count_; ++s) total += shards_[s]->state().entry_count();
+  return total;
+}
+
 ShardedAuditor::ShardedAuditor(const CommitmentBoard& board, u32 shard_count)
     : board_(&board),
       shard_count_(std::max<u32>(shard_count, 1)),
@@ -285,14 +404,26 @@ ShardedAuditor::ShardedAuditor(const CommitmentBoard& board, u32 shard_count)
       entry_counts_(shard_count_, 0),
       genesis_done_(shard_count_, false) {}
 
-Status ShardedAuditor::accept_round(
-    const ShardedAggregationService::Round& round) {
-  // 0. Verify every receipt in the round in one pooled pass. Split proofs
-  //    and per-shard aggregation receipts are independent, so they fan out
-  //    over the shared pool (and each lane still hashes through the batched
-  //    SHA-256 backends); their outcomes are consumed below at exactly the
-  //    points the sequential walk checked them, so the first error reported
-  //    is identical.
+/// Chain-link fields of one shard's round, whichever proof object carried
+/// them (a per-shard AggJournal or a tree seal's leaf ShardLink).
+struct ShardedAuditor::ShardChainFields {
+  Digest32 claim_digest;
+  bool has_prev = false;
+  Digest32 prev_claim_digest;
+  Digest32 prev_root;
+  Digest32 new_root;
+  u64 prev_entry_count = 0;
+  u64 new_entry_count = 0;
+  const std::vector<CommitmentRef>* commitments = nullptr;
+};
+
+Status ShardedAuditor::verify_splits(
+    const RoundResult& round,
+    std::map<std::tuple<u32, u64, u32>, ShardRef>& expected) {
+  // Split proofs are independent of each other, so they fan out over the
+  // shared pool (each lane still hashes through the batched SHA-256
+  // backends); outcomes are consumed in input order, so the first error
+  // reported matches the sequential walk.
   std::vector<Status> split_outcomes(round.split_receipts.size());
   common::ThreadPool::shared().parallel_for(
       round.split_receipts.size(), 1, [&](size_t first, size_t last) {
@@ -301,23 +432,9 @@ Status ShardedAuditor::accept_round(
               verifier_.verify(round.split_receipts[i], shard_split_image());
         }
       });
-  std::vector<const zvm::Receipt*> shard_receipts;
-  shard_receipts.reserve(round.shard_rounds.size());
-  for (const auto& shard_round : round.shard_rounds) {
-    shard_receipts.push_back(&shard_round.receipt);
-  }
-  const std::vector<Status> shard_outcomes =
-      batch_.verify_aggregation(shard_receipts);
 
-  // 1. Split receipts: anchor to the real board and index the per-shard
-  //    sub-commitments they attest to.
-  struct SubKey {
-    u32 router;
-    u64 window;
-    u32 shard;
-    auto operator<=>(const SubKey&) const = default;
-  };
-  std::map<SubKey, ShardRef> expected;
+  // Anchor every split to the real board and index the per-shard
+  // sub-commitments it attests to.
   for (size_t i = 0; i < round.split_receipts.size(); ++i) {
     const auto& receipt = round.split_receipts[i];
     ZKT_TRY(split_outcomes[i]);
@@ -339,46 +456,125 @@ Status ShardedAuditor::accept_round(
           shard;
     }
   }
+  return {};
+}
 
-  // 2. Shard chains: every consumed commitment must be a split output.
+Status ShardedAuditor::accept_shard_link(
+    u32 shard, const ShardChainFields& fields, size_t source_batches,
+    const std::map<std::tuple<u32, u64, u32>, ShardRef>& expected) {
+  if (!genesis_done_[shard]) {
+    if (fields.has_prev || fields.prev_entry_count != 0) {
+      return Error{Errc::chain_broken, "shard genesis mismatch"};
+    }
+  } else {
+    if (!fields.has_prev || fields.prev_claim_digest != last_claims_[shard] ||
+        fields.prev_root != roots_[shard] ||
+        fields.prev_entry_count != entry_counts_[shard]) {
+      return Error{Errc::chain_broken, "shard chain mismatch"};
+    }
+  }
+  if (fields.commitments->size() != source_batches) {
+    return Error{Errc::proof_invalid,
+                 "shard must consume one sub-batch per source batch"};
+  }
+  // Every consumed commitment must be the split output for THIS shard —
+  // the position check is what catches swapped shard receipts/links.
+  for (const auto& ref : *fields.commitments) {
+    auto it = expected.find({ref.router_id, ref.window_id, shard});
+    if (it == expected.end() ||
+        it->second.sub_batch_hash != ref.rlog_hash ||
+        it->second.record_count != ref.record_count) {
+      return Error{Errc::hash_mismatch,
+                   "shard consumed data not attested by a split proof"};
+    }
+  }
+  last_claims_[shard] = fields.claim_digest;
+  roots_[shard] = fields.new_root;
+  entry_counts_[shard] = fields.new_entry_count;
+  genesis_done_[shard] = true;
+  return {};
+}
+
+Status ShardedAuditor::accept_round(const RoundResult& round) {
+  std::map<std::tuple<u32, u64, u32>, ShardRef> expected;
+
+  if (round.tree_seal.has_value()) {
+    // Tree path: ONE join receipt transitively verifies every shard chain
+    // round (composite seals recurse down to the shard receipts; succinct
+    // seals are the constant-cost client check). The journal's leaf links
+    // carry each shard's chain fields in shard order.
+    ZKT_TRY(verify_join_receipt(verifier_, *round.tree_seal));
+    auto journal = JoinJournal::parse(round.tree_seal->journal);
+    if (!journal.ok()) return journal.error();
+    const JoinJournal& j = journal.value();
+    if (j.leaf_count != shard_count_ || j.links.size() != shard_count_) {
+      return Error{Errc::proof_invalid, "tree seal has wrong shard count"};
+    }
+    // When the round also carries the shard receipts, they must be the
+    // ones the seal folded — a mismatched assembly is rejected rather than
+    // silently trusting either side.
+    if (!round.shard_rounds.empty()) {
+      if (round.shard_rounds.size() != shard_count_) {
+        return Error{Errc::proof_invalid, "wrong number of shard rounds"};
+      }
+      for (u32 s = 0; s < shard_count_; ++s) {
+        if (round.shard_rounds[s].receipt.claim.digest() !=
+            j.links[s].claim_digest) {
+          return Error{Errc::proof_invalid,
+                       "shard receipt does not match the tree seal's leaf"};
+        }
+      }
+    }
+    ZKT_TRY(verify_splits(round, expected));
+    for (u32 s = 0; s < shard_count_; ++s) {
+      const ShardLink& link = j.links[s];
+      ShardChainFields fields;
+      fields.claim_digest = link.claim_digest;
+      fields.has_prev = link.has_prev;
+      fields.prev_claim_digest = link.prev_claim_digest;
+      fields.prev_root = link.prev_root;
+      fields.new_root = link.new_root;
+      fields.prev_entry_count = link.prev_entry_count;
+      fields.new_entry_count = link.new_entry_count;
+      fields.commitments = &link.commitments;
+      ZKT_TRY(accept_shard_link(s, fields, round.split_receipts.size(),
+                                expected));
+    }
+    ++rounds_;
+    return {};
+  }
+
+  // Per-shard path (no fold): verify every shard receipt in one pooled
+  // batch pass, then chain each on.
   if (round.shard_rounds.size() != shard_count_) {
     return Error{Errc::proof_invalid, "wrong number of shard rounds"};
   }
+  std::vector<const zvm::Receipt*> shard_receipts;
+  shard_receipts.reserve(round.shard_rounds.size());
+  for (const auto& shard_round : round.shard_rounds) {
+    shard_receipts.push_back(&shard_round.receipt);
+  }
+  const std::vector<Status> shard_outcomes =
+      batch_.verify_aggregation(shard_receipts);
+  ZKT_TRY(verify_splits(round, expected));
+
   for (u32 s = 0; s < shard_count_; ++s) {
     const auto& shard_round = round.shard_rounds[s];
     ZKT_TRY(shard_outcomes[s]);
     auto journal = AggJournal::parse(shard_round.receipt.journal);
     if (!journal.ok()) return journal.error();
     const AggJournal& j = journal.value();
-
-    if (!genesis_done_[s]) {
-      if (j.has_prev || j.prev_entry_count != 0) {
-        return Error{Errc::chain_broken, "shard genesis mismatch"};
-      }
-    } else {
-      if (!j.has_prev || j.prev_claim_digest != last_claims_[s] ||
-          j.prev_root != roots_[s] ||
-          j.prev_entry_count != entry_counts_[s]) {
-        return Error{Errc::chain_broken, "shard chain mismatch"};
-      }
-    }
-    if (j.commitments.size() != round.split_receipts.size()) {
-      return Error{Errc::proof_invalid,
-                   "shard must consume one sub-batch per source batch"};
-    }
-    for (const auto& ref : j.commitments) {
-      auto it = expected.find({ref.router_id, ref.window_id, s});
-      if (it == expected.end() ||
-          it->second.sub_batch_hash != ref.rlog_hash ||
-          it->second.record_count != ref.record_count) {
-        return Error{Errc::hash_mismatch,
-                     "shard consumed data not attested by a split proof"};
-      }
-    }
-    last_claims_[s] = shard_round.receipt.claim.digest();
-    roots_[s] = j.new_root;
-    entry_counts_[s] = j.new_entry_count;
-    genesis_done_[s] = true;
+    ShardChainFields fields;
+    fields.claim_digest = shard_round.receipt.claim.digest();
+    fields.has_prev = j.has_prev;
+    fields.prev_claim_digest = j.prev_claim_digest;
+    fields.prev_root = j.prev_root;
+    fields.new_root = j.new_root;
+    fields.prev_entry_count = j.prev_entry_count;
+    fields.new_entry_count = j.new_entry_count;
+    fields.commitments = &j.commitments;
+    ZKT_TRY(accept_shard_link(s, fields, round.split_receipts.size(),
+                              expected));
   }
   ++rounds_;
   return {};

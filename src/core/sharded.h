@@ -10,15 +10,27 @@
 //   3. publishes the K sub-batch hashes (+ counts) in its journal.
 //
 // Each shard then runs the ordinary Algorithm-1 aggregation chain over its
-// sub-batches, treating the split journal's hashes as its commitments. The
-// verifier checks: split receipts (against the board) + each shard chain
-// (against the split outputs). Shards prove independently — on a multicore
-// prover they run on dedicated threads, which is exactly the §7 speedup.
+// sub-batches, treating the split journal's hashes as its commitments, and
+// the round's K shard receipts fold through a tree of join guests into ONE
+// seal (see core/join.h) — so the verifier checks split receipts (against
+// the board) plus one tree seal per round instead of O(K) receipts. Shards
+// prove in parallel on common::ThreadPool, which is exactly the §7 speedup;
+// the fold is log-depth and pool-parallel too.
+//
+// A round decomposes into stage -> commit_staged -> prove_shards ->
+// fold_round so ProviderPipeline can overlap windows: stage() is const and
+// thread-safe (window i+1 stages on a worker while window i proves), and
+// fold_round() only reads the round's receipts (window i folds while window
+// i+1 proves). aggregate() runs all four for callers that don't pipeline.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "core/auditor.h"
+#include "core/chain_snapshot.h"
+#include "core/fold.h"
 #include "core/service.h"
 
 namespace zkt::core {
@@ -53,71 +65,171 @@ u32 shard_of(const netflow::FlowKey& key, u32 shard_count);
 netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
                                  u32 shard_id, u32 shard_count);
 
+/// Construction-time knobs for the sharded proving path, per the repo's
+/// options-struct convention (PipelineOptions / AggregationOptions /
+/// AuditorOptions). One struct configures the whole path: the service's
+/// shard fan-out and fold shape here, and — via PipelineOptions — how many
+/// windows ProviderPipeline keeps in flight.
+struct ShardedOptions {
+  /// Parallel proof chains per round (clamped to >= 1).
+  u32 shard_count = 1;
+  /// Children per join node when folding a round's shard receipts into one
+  /// tree seal; < 2 disables the fold (per-shard receipts are then the
+  /// round's proof objects — the pre-tree behavior). Ignored when
+  /// shard_count == 1: a single chain has nothing to fold.
+  u32 join_fanout = 2;
+  /// Windows kept in flight by ProviderPipeline when it drives this
+  /// service: stage window i+1 (load + split-prove) and fold window i's
+  /// tree while the current window's shards prove. 1 = fully sequential.
+  /// The service itself is per-round; the knob lives here so one struct
+  /// carries the sharded configuration end to end.
+  u32 pipeline_depth = 1;
+  /// Full-rebuild vs incremental-delta proving per shard chain.
+  AggMode agg_mode = AggMode::auto_select;
+  zvm::ProveOptions prove_options = {};
+};
+
 /// Prover-side sharded pipeline.
 class ShardedAggregationService {
  public:
-  ShardedAggregationService(const CommitmentBoard& board, u32 shard_count,
-                            AggregationOptions options = {});
+  explicit ShardedAggregationService(const CommitmentBoard& board,
+                                     ShardedOptions options = {});
 
-  /// Deprecated shim (one PR): pass AggregationOptions instead.
+  /// Deprecated shim (one release): pass ShardedOptions instead.
   [[deprecated(
-      "use ShardedAggregationService(board, n, {.prove_options = ...})")]]
+      "use ShardedAggregationService(board, ShardedOptions{.shard_count = "
+      "...})")]]
   ShardedAggregationService(const CommitmentBoard& board, u32 shard_count,
-                            zvm::ProveOptions prove_options)
+                            AggregationOptions options = {})
       : ShardedAggregationService(
-            board, shard_count,
-            AggregationOptions{.prove_options = std::move(prove_options)}) {}
+            board,
+            ShardedOptions{.shard_count = shard_count,
+                           .join_fanout = 0,
+                           .agg_mode = options.mode,
+                           .prove_options = std::move(options.prove_options)}) {
+  }
 
-  struct Round {
-    std::vector<zvm::Receipt> split_receipts;       ///< one per input batch
-    std::vector<AggregationRound> shard_rounds;     ///< one per shard
-    double wall_ms = 0;
-    u64 total_cycles = 0;
+  /// Deprecated alias (one release): the round shape is now the unified
+  /// core::RoundResult (see service.h).
+  using Round [[deprecated("use core::RoundResult")]] = RoundResult;
+
+  /// A staged-but-unpublished round: the split proofs for one window's
+  /// batches plus the per-shard sub-batches and sub-commitments they
+  /// attest. Produced by stage(), consumed by commit_staged() +
+  /// prove_shards().
+  struct StagedRound {
+    std::vector<zvm::Receipt> split_receipts;  ///< one per source batch
+    /// Sub-batches per shard: shard_batches[s][b] pairs with
+    /// sub_commitments[s][b] (split output order = source batch order).
+    std::vector<std::vector<netflow::RLogBatch>> shard_batches;
+    std::vector<std::vector<Commitment>> sub_commitments;
+    u64 split_cycles = 0;
+    double split_ms = 0;
   };
 
-  /// Run one round: split-prove every batch, then aggregate all shards in
-  /// parallel threads. Batches are borrowed, matching
+  /// Split-prove every batch and derive the per-shard sub-batches and
+  /// sub-commitments WITHOUT publishing them. Reads only construction-time
+  /// state (the main board, the shard keys) — thread-safe against
+  /// commit_staged/prove_shards/fold_round of OTHER windows, which is what
+  /// lets the pipeline stage window i+1 on a pool worker.
+  Result<StagedRound> stage(std::span<const netflow::RLogBatch> batches) const;
+
+  /// Publish a staged round's sub-commitments to the shard boards. Serial
+  /// (call from one thread, in window order).
+  Status commit_staged(const StagedRound& staged);
+
+  /// Prove one round over a committed stage: every shard chain advances one
+  /// round, in parallel on the shared pool. Serial across windows (shard
+  /// chains link round i+1 onto round i). Does NOT fold; the returned
+  /// round's tree_seal is empty until fold_round().
+  Result<RoundResult> prove_shards(StagedRound staged);
+
+  /// Fold the round's shard receipts into round.tree_seal (no-op unless
+  /// fold_enabled()). Reads only the receipts already in `round`, so the
+  /// pipeline runs it on a worker while later windows stage and prove.
+  Status fold_round(RoundResult& round) const;
+
+  /// stage + commit_staged + prove_shards + fold_round, for callers that
+  /// don't pipeline. Batches are borrowed, matching
   /// AggregationService::aggregate.
-  Result<Round> aggregate(std::span<const netflow::RLogBatch> batches);
+  Result<RoundResult> aggregate(std::span<const netflow::RLogBatch> batches);
 
   /// Convenience for literal batch lists: aggregate({a, b}).
-  Result<Round> aggregate(std::initializer_list<netflow::RLogBatch> batches) {
+  Result<RoundResult> aggregate(
+      std::initializer_list<netflow::RLogBatch> batches) {
     return aggregate(
         std::span<const netflow::RLogBatch>(batches.begin(), batches.size()));
   }
 
+  /// Adopt a recovered chain position: restore every shard chain from the
+  /// bundle's per-shard snapshots and receipts. Only valid on a fresh
+  /// service; snap.shard_count must match this service's.
+  Status restore(const ShardedChainSnapshot& snap,
+                 std::vector<zvm::Receipt> shard_receipts);
+
+  /// Roll every shard chain forward over an ALREADY-PROVEN round recovered
+  /// from storage: recompute each shard's sub-batches from the window's raw
+  /// batches (sub_batch_for is deterministic) and replay them against the
+  /// shard's stored receipt — verified, never re-proven (see
+  /// AggregationService::replay_round).
+  Status replay_round(std::span<const netflow::RLogBatch> batches,
+                      std::span<const zvm::Receipt> shard_receipts);
+
+  /// Whether rounds fold into a tree seal (>= 2 shards and a fanout).
+  bool fold_enabled() const {
+    return shard_count_ >= 2 && options_.join_fanout >= 2;
+  }
+
   u32 shard_count() const { return shard_count_; }
+  u64 rounds_completed() const { return rounds_; }
+  bool has_rounds() const { return rounds_ > 0; }
+  const ShardedOptions& options() const { return options_; }
   const CLogState& shard_state(u32 shard) const {
     return shards_[shard]->state();
   }
   const AggregationService& shard_service(u32 shard) const {
     return *shards_[shard];
   }
+  /// Total entries across all shard states.
+  u64 total_entries() const;
 
  private:
   const CommitmentBoard* board_;
+  ShardedOptions options_;
   u32 shard_count_;
-  zvm::ProveOptions prove_options_;
   /// Per-shard boards holding the split-derived sub-commitments, and the
   /// per-shard aggregation chains on top of them.
   std::vector<std::unique_ptr<CommitmentBoard>> shard_boards_;
   std::vector<std::unique_ptr<AggregationService>> shards_;
   std::vector<crypto::SchnorrKeyPair> shard_keys_;
+  u64 rounds_ = 0;
 };
 
-/// Verifier-side: checks split receipts against the real board and each
-/// shard chain against the split outputs.
+/// Verifier-side: checks split receipts against the real board and the
+/// round's shard chains against the split outputs — through the round's
+/// tree seal when present (one join receipt transitively verifies all K
+/// shard chains; the journal's leaf links carry each shard's chain fields
+/// in shard order), or per-shard receipts otherwise.
 class ShardedAuditor {
  public:
   ShardedAuditor(const CommitmentBoard& board, u32 shard_count);
 
-  Status accept_round(const ShardedAggregationService::Round& round);
+  Status accept_round(const RoundResult& round);
 
   u64 rounds_accepted() const { return rounds_; }
   /// Total entries across shard states after the last accepted round.
   u64 total_entries() const;
 
  private:
+  struct ShardChainFields;
+  Status verify_splits(
+      const RoundResult& round,
+      std::map<std::tuple<u32, u64, u32>, ShardRef>& expected);
+  Status accept_shard_link(u32 shard, const ShardChainFields& fields,
+                           size_t source_batches,
+                           const std::map<std::tuple<u32, u64, u32>, ShardRef>&
+                               expected);
+
   const CommitmentBoard* board_;
   u32 shard_count_;
   zvm::Verifier verifier_;

@@ -146,5 +146,17 @@ inline constexpr const char* kTableReceipts = "receipts";
 /// k1 = window id, k2 = round id) — what ProviderPipeline::recover() resumes
 /// from.
 inline constexpr const char* kTableChainState = "chain_state";
+/// Sharded-mode counterpart of kTableChainState: serialized
+/// core::ShardedChainSnapshot rows (k1 = window id, k2 = round id). A store
+/// holds chain_state rows or shard_state rows, never both — mixing the
+/// single-chain and sharded pipelines over one store is a recovery error.
+inline constexpr const char* kTableShardState = "shard_state";
+/// Per-shard aggregation receipts of sharded rounds (k1 = window id,
+/// k2 = shard id; latest row per (window, shard) wins on recovery).
+inline constexpr const char* kTableShardReceipts = "shard_receipts";
+/// Join-tree seals of folded sharded rounds (k1 = window id, k2 = round
+/// id) — one receipt per round that transitively verifies every shard
+/// receipt of that round (see core/join.h).
+inline constexpr const char* kTableTreeSeals = "tree_seals";
 
 }  // namespace zkt::store

@@ -54,8 +54,8 @@ TEST(Pipeline, AggregatesAllStoredWindowsInOrder) {
   auto rounds = pipeline.aggregate_pending();
   ASSERT_TRUE(rounds.ok()) << rounds.error().to_string();
   ASSERT_EQ(rounds.value().size(), 3u);
-  EXPECT_EQ(rounds.value()[0].journal.commitments[0].window_id, 1u);
-  EXPECT_EQ(rounds.value()[2].journal.commitments[0].window_id, 3u);
+  EXPECT_EQ(rounds.value()[0].primary().journal.commitments[0].window_id, 1u);
+  EXPECT_EQ(rounds.value()[2].primary().journal.commitments[0].window_id, 3u);
   EXPECT_TRUE(pipeline.pending_windows().value().empty());
   EXPECT_EQ(fx.store.row_count(store::kTableReceipts), 3u);
 

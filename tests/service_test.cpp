@@ -7,6 +7,7 @@
 
 #include "core/auditor.h"
 #include "core/service.h"
+#include "core/sharded.h"
 
 namespace zkt::core {
 namespace {
@@ -172,28 +173,35 @@ TEST(Service, SelectiveQueryOnEmptyStateWorks) {
   EXPECT_EQ(resp.value().journal.result.matched, 0u);
 }
 
-TEST(Service, DeprecatedProveOptionsCtorsMatchOptionsStructs) {
-  // The positional ProveOptions constructors are one-release shims for the
-  // options-struct constructors; both must configure the service the same.
+TEST(Service, DeprecatedShardedCtorMatchesOptionsStruct) {
+  // The positional (board, shard_count, AggregationOptions) constructor is
+  // a one-release shim for ShardedOptions; both must configure the service
+  // the same — except the shim disables the fold (pre-tree behavior).
   Fixture fx;
-  auto batch = fx.committed(0, 1, {1, 2});
+  auto batch = fx.committed(0, 1, {1, 2, 3, 4});
   zvm::ProveOptions prove;
   prove.seal_kind = zvm::SealKind::composite;
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  AggregationService shimmed(fx.board, prove);
+  ShardedAggregationService shimmed(fx.board, 2, AggregationOptions{prove});
+  // The Round alias is the other one-release shim: it must BE RoundResult.
+  static_assert(
+      std::is_same_v<ShardedAggregationService::Round, RoundResult>);
 #pragma GCC diagnostic pop
-  AggregationService direct(fx.board, AggregationOptions{prove});
+  ShardedAggregationService direct(
+      fx.board, ShardedOptions{.shard_count = 2,
+                               .join_fanout = 0,
+                               .prove_options = prove});
   auto shimmed_round = shimmed.aggregate({batch});
   auto direct_round = direct.aggregate({batch});
-  ASSERT_TRUE(shimmed_round.ok());
+  ASSERT_TRUE(shimmed_round.ok()) << shimmed_round.error().to_string();
   ASSERT_TRUE(direct_round.ok());
-  EXPECT_EQ(shimmed_round.value().receipt.seal_kind,
-            zvm::SealKind::composite);
-  EXPECT_EQ(shimmed_round.value().receipt.seal_kind,
-            direct_round.value().receipt.seal_kind);
-  EXPECT_EQ(shimmed_round.value().receipt.claim.digest(),
-            direct_round.value().receipt.claim.digest());
+  EXPECT_FALSE(shimmed_round.value().tree_seal.has_value());
+  ASSERT_EQ(shimmed_round.value().shard_rounds.size(), 2u);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(shimmed_round.value().shard_rounds[s].receipt.claim.digest(),
+              direct_round.value().shard_rounds[s].receipt.claim.digest());
+  }
 }
 
 TEST(Service, QueryOptionsProveOverrideTakesEffect) {

@@ -90,7 +90,8 @@ class ShardedE2E : public ::testing::TestWithParam<u32> {};
 TEST_P(ShardedE2E, RoundsAggregateAndAudit) {
   const u32 shard_count = GetParam();
   Fixture fx;
-  ShardedAggregationService service(fx.board, shard_count);
+  ShardedAggregationService service(fx.board,
+                                    ShardedOptions{.shard_count = shard_count});
   ShardedAuditor auditor(fx.board, shard_count);
 
   // Two rounds, two routers each, overlapping flows.
@@ -101,6 +102,9 @@ TEST_P(ShardedE2E, RoundsAggregateAndAudit) {
     ASSERT_TRUE(round.ok()) << round.error().to_string();
     EXPECT_EQ(round.value().split_receipts.size(), 2u);
     EXPECT_EQ(round.value().shard_rounds.size(), shard_count);
+    // >= 2 shards fold into one tree seal; a single chain has nothing to
+    // fold.
+    EXPECT_EQ(round.value().tree_seal.has_value(), shard_count >= 2);
     auto accepted = auditor.accept_round(round.value());
     ASSERT_TRUE(accepted.ok()) << accepted.to_string();
   }
@@ -143,7 +147,7 @@ TEST(Sharded, ShardedTotalsMatchUnsharded) {
 
   Fixture fx2;
   auto batch2 = fx2.committed(0, 1, 30);
-  ShardedAggregationService sharded(fx2.board, 4);
+  ShardedAggregationService sharded(fx2.board, ShardedOptions{.shard_count = 4});
   ASSERT_TRUE(sharded.aggregate({batch2}).ok());
   u64 sharded_sum = 0;
   for (u32 s = 0; s < 4; ++s) {
@@ -159,7 +163,7 @@ TEST(Sharded, TamperedBatchFailsSplitProof) {
   Fixture fx;
   auto batch = fx.committed(0, 1, 10);
   batch.records[2].bytes += 1;  // post-commitment edit
-  ShardedAggregationService service(fx.board, 2);
+  ShardedAggregationService service(fx.board, ShardedOptions{.shard_count = 2});
   auto round = service.aggregate({batch});
   ASSERT_FALSE(round.ok());
   EXPECT_EQ(round.error().code, Errc::guest_abort);
@@ -167,7 +171,7 @@ TEST(Sharded, TamperedBatchFailsSplitProof) {
 
 TEST(Sharded, UncommittedBatchRejected) {
   Fixture fx;
-  ShardedAggregationService service(fx.board, 2);
+  ShardedAggregationService service(fx.board, ShardedOptions{.shard_count = 2});
   auto round = service.aggregate({build_batch(9, 9, 5)});
   ASSERT_FALSE(round.ok());
   EXPECT_EQ(round.error().code, Errc::commitment_missing);
@@ -178,7 +182,7 @@ TEST(Sharded, AuditorRejectsForeignSplit) {
   Fixture trusted;
   Fixture rogue;
   auto batch = rogue.committed(0, 1, 10);
-  ShardedAggregationService service(rogue.board, 2);
+  ShardedAggregationService service(rogue.board, ShardedOptions{.shard_count = 2});
   auto round = service.aggregate({batch});
   ASSERT_TRUE(round.ok());
   ShardedAuditor auditor(trusted.board, 2);
@@ -190,7 +194,7 @@ TEST(Sharded, AuditorRejectsForeignSplit) {
 TEST(Sharded, AuditorRejectsWrongShardCount) {
   Fixture fx;
   auto batch = fx.committed(0, 1, 10);
-  ShardedAggregationService service(fx.board, 2);
+  ShardedAggregationService service(fx.board, ShardedOptions{.shard_count = 2});
   auto round = service.aggregate({batch});
   ASSERT_TRUE(round.ok());
   ShardedAuditor auditor(fx.board, 4);
@@ -200,7 +204,8 @@ TEST(Sharded, AuditorRejectsWrongShardCount) {
 TEST(Sharded, AuditorRejectsDroppedShardRound) {
   Fixture fx;
   auto batch = fx.committed(0, 1, 10);
-  ShardedAggregationService service(fx.board, 2);
+  ShardedAggregationService service(
+      fx.board, ShardedOptions{.shard_count = 2, .join_fanout = 0});
   auto round = service.aggregate({batch});
   ASSERT_TRUE(round.ok());
   auto truncated = round.value();
@@ -214,7 +219,8 @@ TEST(Sharded, AuditorRejectsCrossShardSwap) {
   // shard's consumed hashes are shard-specific).
   Fixture fx;
   auto batch = fx.committed(0, 1, 20);
-  ShardedAggregationService service(fx.board, 2);
+  ShardedAggregationService service(
+      fx.board, ShardedOptions{.shard_count = 2, .join_fanout = 0});
   auto round = service.aggregate({batch});
   ASSERT_TRUE(round.ok());
   auto swapped = round.value();

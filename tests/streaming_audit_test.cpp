@@ -494,37 +494,32 @@ TEST_F(StreamingAuditTest, QueryBeyondClaimWindowRejected) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated shims (migration complete; one release of compatibility).
+// Modern surface equivalences (the deprecated positional shims these once
+// compared against are gone; the struct-based calls are the only spelling).
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST_F(StreamingAuditTest, DeprecatedShimsMatchNewSurface) {
+TEST_F(StreamingAuditTest, HeadAdoptionAndOptionsVerifyAgree) {
   Pipeline p;
   const auto receipts = p.chain(2);
   Auditor modern(p.board);
   ASSERT_TRUE(modern.accept_rounds(receipts).ok());
   const ChainHead head = modern.head();
 
-  Auditor positional(p.board);
-  ASSERT_TRUE(positional
-                  .adopt_summary(head.rounds, head.claim_digest, head.root,
-                                 head.entry_count)
-                  .ok());
-  expect_same_head(positional.head(), head);
+  Auditor adopted(p.board);
+  ASSERT_TRUE(adopted.adopt_summary(head).ok());
+  expect_same_head(adopted.head(), head);
 
   QueryService queries(p.service);
   const Query q = Query::count();
   auto resp = queries.run(q);
   ASSERT_TRUE(resp.ok());
-  auto via_pointer = modern.verify_query(resp.value().receipt, &q);
   auto via_options =
       modern.verify_query(resp.value().receipt, {.expected_query = &q});
-  ASSERT_TRUE(via_pointer.ok());
   ASSERT_TRUE(via_options.ok());
-  EXPECT_EQ(via_pointer.value().result.matched,
-            via_options.value().result.matched);
+  auto via_default = modern.verify_query(resp.value().receipt, {});
+  ASSERT_TRUE(via_default.ok());
+  EXPECT_EQ(via_options.value().result.matched,
+            via_default.value().result.matched);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace zkt::core

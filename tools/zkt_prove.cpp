@@ -6,8 +6,17 @@
 //   zkt-prove --data-dir DIR [--query "sum(hop_sum) where src_ip = 1.1.1.1"]
 //             [--group-by FIELD] [--selective] [--composite]
 //             [--agg-mode auto|full|incremental]
+//             [--shards N] [--join-fanout F] [--pipeline-depth D]
 //             [--recover] [--checkpoint-every N] [--retry-attempts N]
 //             [--prune] [--metrics] [--metrics-json [PATH]]
+//
+// --shards N (>= 2) proves each window as N parallel shard chains behind
+// split proofs; --join-fanout (default 2; 0/1 disables) folds each round's
+// shard receipts into one tree seal (saved to DIR/tree_seals.bin);
+// --pipeline-depth D overlaps up to D windows (stage/prove/fold). Sharded
+// mode is incompatible with --query (query proofs run over the
+// single-chain state). The core.sharded.* / core.tree.* /
+// core.pipeline.inflight metrics show what the sharded pipeline did.
 //
 // --agg-mode picks the aggregation guest per round: "full" always rebuilds
 // the whole CLog state in-guest (Algorithm 1), "incremental" proves only
@@ -107,6 +116,19 @@ int main(int argc, char** argv) {
   pipeline_options.retry.max_attempts =
       static_cast<u32>(flags.get_u64("retry-attempts", 3));
   pipeline_options.prune_aggregated = flags.has("prune");
+  pipeline_options.sharded.shard_count =
+      static_cast<u32>(flags.get_u64("shards", 1));
+  pipeline_options.sharded.join_fanout =
+      static_cast<u32>(flags.get_u64("join-fanout", 2));
+  pipeline_options.sharded.pipeline_depth =
+      static_cast<u32>(flags.get_u64("pipeline-depth", 1));
+  const bool sharded = pipeline_options.sharded.shard_count >= 2;
+  if (sharded && flags.has("query")) {
+    std::fprintf(stderr,
+                 "--query is incompatible with --shards (query proofs run "
+                 "over the single-chain state)\n");
+    return finish(flags, data_dir, 1);
+  }
 
   // The pipeline aggregates every committed window, in order, and persists
   // round receipts (plus chain snapshots) back into the store.
@@ -121,9 +143,10 @@ int main(int argc, char** argv) {
     if (recovery.value().resumed) {
       std::printf(
           "  recovered chain: %llu rounds from snapshot, %llu replayed, "
-          "resuming after window %llu\n",
+          "%llu seals re-folded, resuming after window %llu\n",
           (unsigned long long)recovery.value().rounds_restored,
           (unsigned long long)recovery.value().rounds_replayed,
+          (unsigned long long)recovery.value().seals_refolded,
           (unsigned long long)recovery.value().last_window.value_or(0));
     } else {
       std::printf("  no chain state to recover; starting fresh\n");
@@ -138,13 +161,40 @@ int main(int argc, char** argv) {
     return finish(flags, data_dir, 2);
   }
   for (const auto& round : rounds.value()) {
-    std::printf("  window %llu: %llu entries, %llu cycles, %.1f ms\n",
-                (unsigned long long)round.journal.commitments.empty()
-                    ? 0ULL
-                    : round.journal.commitments[0].window_id,
-                (unsigned long long)round.journal.new_entry_count,
-                (unsigned long long)round.prove_info.cycles,
-                round.prove_info.total_ms);
+    if (sharded) {
+      u64 entries = 0;
+      for (const auto& shard : round.shard_rounds) {
+        entries += shard.journal.new_entry_count;
+      }
+      std::printf(
+          "  round %llu: %zu shards, %llu entries, %llu cycles, %.1f ms%s\n",
+          (unsigned long long)round.round_id, round.shard_rounds.size(),
+          (unsigned long long)entries, (unsigned long long)round.total_cycles,
+          round.wall_ms, round.tree_seal.has_value() ? ", sealed" : "");
+    } else {
+      const core::AggJournal& journal = round.primary().journal;
+      std::printf("  window %llu: %llu entries, %llu cycles, %.1f ms\n",
+                  (unsigned long long)(journal.commitments.empty()
+                                           ? 0ULL
+                                           : journal.commitments[0].window_id),
+                  (unsigned long long)journal.new_entry_count,
+                  (unsigned long long)round.primary().prove_info.cycles,
+                  round.primary().prove_info.total_ms);
+    }
+  }
+  if (sharded) {
+    // Sharded chains persist through the store (shard_receipts /
+    // tree_seals tables); the seals are additionally saved as the round
+    // proof objects a verifier consumes.
+    const std::string seals_path = data_dir + "/tree_seals.bin";
+    if (auto s = core::save_receipts(pipeline.tree_seals(), seals_path);
+        !s.ok()) {
+      std::fprintf(stderr, "save tree seals: %s\n", s.to_string().c_str());
+      return finish(flags, data_dir, 1);
+    }
+    std::printf("  tree seals -> %s (%zu rounds)\n", seals_path.c_str(),
+                pipeline.tree_seals().size());
+    return finish(flags, data_dir, 0);
   }
   const core::AggregationService& aggregation = pipeline.aggregation();
   const std::string receipts_path = data_dir + "/aggregation_receipts.bin";
