@@ -150,6 +150,16 @@ bool Config::flag(const std::string& section, const std::string& key,
   return fallback;
 }
 
+long Config::num(const std::string& section, const std::string& key,
+                 long fallback) const {
+  auto it = sections_.find(section);
+  if (it == sections_.end()) return fallback;
+  auto v = it->second.values.find(key);
+  if (v == it->second.values.end()) return fallback;
+  if (const auto* n = std::get_if<long>(&v->second)) return *n;
+  return fallback;
+}
+
 std::vector<std::string> Config::strs(const std::string& section,
                                       const std::string& key) const {
   auto it = sections_.find(section);

@@ -30,6 +30,9 @@ class Config {
   /// Boolean value, or `fallback` when absent.
   bool flag(const std::string& section, const std::string& key,
             bool fallback) const;
+  /// Integer value, or `fallback` when absent.
+  long num(const std::string& section, const std::string& key,
+           long fallback) const;
   /// String-array value; empty when absent.
   std::vector<std::string> strs(const std::string& section,
                                 const std::string& key) const;

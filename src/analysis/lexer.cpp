@@ -52,8 +52,8 @@ class Lexer {
         continue;
       }
       at_line_start_ = false;
-      if (c == 'R' && peek(1) == '"') {
-        raw_string();
+      if (const size_t prefix = raw_prefix_len(); prefix != 0) {
+        raw_string(prefix);
         continue;
       }
       if (c == '"') {
@@ -75,7 +75,7 @@ class Lexer {
       }
       punctuator();
     }
-    out_.tokens.push_back(Token{Tok::eof, "", line_});
+    out_.tokens.push_back(Token{Tok::eof, "", "", line_});
     return std::move(out_);
   }
 
@@ -85,7 +85,11 @@ class Lexer {
   }
 
   void emit(Tok kind, std::string text, int line) {
-    out_.tokens.push_back(Token{kind, std::move(text), line});
+    out_.tokens.push_back(Token{kind, std::move(text), "", line});
+  }
+
+  void emit_literal(Tok kind, std::string value, int line) {
+    out_.tokens.push_back(Token{kind, "", std::move(value), line});
   }
 
   void line_comment() {
@@ -107,8 +111,9 @@ class Lexer {
     scan_suppression(src_.substr(start, pos_ - start), start_line);
   }
 
-  /// Parse `zkt-lint: allow(rule, ...)` / `allow-file(rule, ...)` inside a
-  /// comment.
+  /// Parse `zkt-lint:` markers inside a comment: `allow(rule, ...)` /
+  /// `allow-file(rule, ...)` suppressions, or one of the flow annotations
+  /// (`shared`, `guarded_by`, `remove-after`).
   void scan_suppression(std::string_view comment, int line) {
     const size_t tag = comment.find("zkt-lint:");
     if (tag == std::string_view::npos) return;
@@ -121,6 +126,7 @@ class Lexer {
     } else if (rest.rfind("allow(", 0) == 0) {
       rest.remove_prefix(6);
     } else {
+      scan_annotation(rest, line);
       return;
     }
     const size_t close = rest.find(')');
@@ -141,6 +147,29 @@ class Lexer {
         }
       }
       i = comma + 1;
+    }
+  }
+
+  /// Parse a flow annotation after the `zkt-lint:` tag. The argument runs to
+  /// the comment's *last* `)` so a justification may itself contain parens,
+  /// e.g. `// zkt-lint: shared(merged under join (indices never overlap))`.
+  void scan_annotation(std::string_view rest, int line) {
+    constexpr std::array<std::string_view, 3> kKinds = {"shared", "guarded_by",
+                                                        "remove-after"};
+    for (std::string_view kind : kKinds) {
+      if (rest.size() <= kind.size() || rest[kind.size()] != '(' ||
+          rest.compare(0, kind.size(), kind) != 0) {
+        continue;
+      }
+      rest.remove_prefix(kind.size() + 1);
+      const size_t close = rest.rfind(')');
+      if (close == std::string_view::npos) return;
+      std::string_view arg = rest.substr(0, close);
+      while (!arg.empty() && arg.front() == ' ') arg.remove_prefix(1);
+      while (!arg.empty() && arg.back() == ' ') arg.remove_suffix(1);
+      out_.annotations[line].push_back(
+          Annotation{std::string(kind), std::string(arg), line});
+      return;
     }
   }
 
@@ -178,32 +207,57 @@ class Lexer {
     // `// zkt-lint: allow(...)` comment still registers as a suppression.
   }
 
-  void raw_string() {
+  /// Length of a raw-string encoding prefix (`R`, `LR`, `uR`, `UR`, `u8R`)
+  /// starting at pos_ and followed by `"`, or 0 when the next token is not a
+  /// raw string. Recognising the prefixed forms matters for line accuracy:
+  /// lexed as identifier-plus-ordinary-string, a multi-line `u8R"(...)"`
+  /// would stop at the first newline and desync every later line number.
+  size_t raw_prefix_len() const {
+    size_t i = pos_;
+    if (src_[i] == 'u' && peek(1) == '8') {
+      i += 2;
+    } else if (src_[i] == 'L' || src_[i] == 'u' || src_[i] == 'U') {
+      i += 1;
+    }
+    const bool is_raw = i < src_.size() && src_[i] == 'R' &&
+                        i + 1 < src_.size() && src_[i + 1] == '"';
+    return is_raw ? i - pos_ + 1 : 0;
+  }
+
+  void raw_string(size_t prefix_len) {
     const int start_line = line_;
-    pos_ += 2;  // R"
+    pos_ += prefix_len + 1;  // prefix through the opening quote
     std::string delim;
     while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
     const std::string terminator = ")" + delim + "\"";
     const size_t end = src_.find(terminator, pos_);
-    if (end == std::string_view::npos) {
-      pos_ = src_.size();
-    } else {
-      for (size_t i = pos_; i < end; ++i) {
-        if (src_[i] == '\n') ++line_;
-      }
-      pos_ = end + terminator.size();
+    const size_t body_end = end == std::string_view::npos ? src_.size() : end;
+    for (size_t i = pos_; i < body_end; ++i) {
+      if (src_[i] == '\n') ++line_;
     }
-    emit(Tok::str, "", start_line);
+    std::string value(src_.substr(pos_, body_end - pos_));
+    pos_ = end == std::string_view::npos ? src_.size()
+                                         : end + terminator.size();
+    emit_literal(Tok::str, std::move(value), start_line);
   }
 
   void string_literal(char quote, Tok kind) {
+    const int start_line = line_;
     ++pos_;
+    const size_t start = pos_;
     while (pos_ < src_.size() && src_[pos_] != quote && src_[pos_] != '\n') {
-      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        ++pos_;
+        // A line-continuation inside the literal still advances the file's
+        // line count, or every later suppression attaches one line short.
+        if (src_[pos_] == '\n') ++line_;
+      }
       ++pos_;
     }
+    std::string value(src_.substr(start, pos_ - start));
     if (pos_ < src_.size() && src_[pos_] == quote) ++pos_;
-    emit(kind, "", line_);
+    emit_literal(kind, std::move(value), start_line);
   }
 
   void identifier() {

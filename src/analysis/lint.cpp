@@ -31,7 +31,7 @@ void json_escape_into(std::string& out, std::string_view s) {
 size_t LintResult::unsuppressed() const {
   size_t n = 0;
   for (const Finding& f : findings) {
-    if (!f.suppressed) ++n;
+    if (!f.suppressed && !f.baselined && f.severity != "warn") ++n;
   }
   return n;
 }
@@ -45,9 +45,11 @@ std::string LintResult::to_text(bool include_suppressed) const {
     out += std::to_string(f.line);
     out += ": [";
     out += f.rule;
+    if (f.severity == "warn") out += ":warn";
     out += "] ";
     out += f.message;
     if (f.suppressed) out += " (suppressed)";
+    if (f.baselined) out += " (baseline)";
     out += '\n';
   }
   return out;
@@ -61,11 +63,15 @@ std::string LintResult::to_json() const {
     first = false;
     out += "{\"rule\": \"";
     json_escape_into(out, f.rule);
+    out += "\", \"severity\": \"";
+    json_escape_into(out, f.severity);
     out += "\", \"file\": \"";
     json_escape_into(out, f.path);
     out += "\", \"line\": " + std::to_string(f.line);
     out += ", \"suppressed\": ";
     out += f.suppressed ? "true" : "false";
+    out += ", \"baselined\": ";
+    out += f.baselined ? "true" : "false";
     out += ", \"message\": \"";
     json_escape_into(out, f.message);
     out += "\"}";
@@ -92,8 +98,66 @@ int LintContext::resolve_include(const std::string& inc) const {
 }
 
 std::vector<std::string> rule_names() {
-  return {"guest-determinism", "result-discipline", "secret-hygiene",
-          "layer-dag"};
+  return {"guest-determinism",  "result-discipline",
+          "secret-hygiene",     "layer-dag",
+          "untrusted-taint",    "concurrency-capture",
+          "deprecation-lifecycle", "obs-catalog"};
+}
+
+std::vector<BaselineEntry> parse_baseline(std::string_view text) {
+  std::vector<BaselineEntry> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (line.empty() || line.front() == '#') {
+      if (pos > text.size()) break;
+      continue;
+    }
+    const size_t p1 = line.find('|');
+    const size_t p2 = p1 == std::string_view::npos
+                          ? std::string_view::npos
+                          : line.find('|', p1 + 1);
+    if (p2 == std::string_view::npos) continue;  // malformed line: skip
+    out.push_back(BaselineEntry{std::string(line.substr(0, p1)),
+                                std::string(line.substr(p1 + 1, p2 - p1 - 1)),
+                                std::string(line.substr(p2 + 1))});
+    if (pos > text.size()) break;
+  }
+  return out;
+}
+
+void apply_baseline(const std::vector<BaselineEntry>& baseline,
+                    LintResult* result) {
+  for (Finding& f : result->findings) {
+    for (const BaselineEntry& b : baseline) {
+      if (b.path == f.path && b.rule == f.rule && b.message == f.message) {
+        f.baselined = true;
+        break;
+      }
+    }
+  }
+}
+
+std::string to_baseline(const LintResult& result) {
+  std::string out =
+      "# zkt-lint baseline: pre-existing findings exempted from the gate.\n"
+      "# Format: path|rule|message. Regenerate with --write-baseline.\n";
+  for (const Finding& f : result.findings) {
+    if (f.suppressed || f.severity == "warn") continue;
+    out += f.path;
+    out += '|';
+    out += f.rule;
+    out += '|';
+    out += f.message;
+    out += '\n';
+  }
+  return out;
 }
 
 LintResult run_lint(const Config& config,
@@ -102,7 +166,7 @@ LintResult run_lint(const Config& config,
   ctx.config = &config;
   ctx.files.reserve(files.size());
   for (const SourceFile& f : files) {
-    ctx.files.push_back(AnalyzedFile{f.path, lex(f.content)});
+    ctx.files.push_back(AnalyzedFile{f.path, lex(f.content), f.content});
   }
 
   struct RuleEntry {
@@ -114,6 +178,10 @@ LintResult run_lint(const Config& config,
       {"result-discipline", check_result_discipline},
       {"secret-hygiene", check_secret_hygiene},
       {"layer-dag", check_layer_dag},
+      {"untrusted-taint", check_untrusted_taint},
+      {"concurrency-capture", check_concurrency_capture},
+      {"deprecation-lifecycle", check_deprecation_lifecycle},
+      {"obs-catalog", check_obs_catalog},
   };
 
   LintResult result;
@@ -124,12 +192,14 @@ LintResult run_lint(const Config& config,
     rule.fn(ctx, result.findings);
   }
 
-  // Apply suppressions and order diagnostics for stable output.
+  // Apply suppressions, per-rule severity, and order diagnostics for stable
+  // output.
   for (Finding& f : result.findings) {
     const int idx = ctx.find(f.path);
     if (idx >= 0 && ctx.files[idx].lexed.suppressed(f.rule, f.line)) {
       f.suppressed = true;
     }
+    f.severity = config.str("rule." + f.rule, "severity", "error");
   }
   std::sort(result.findings.begin(), result.findings.end(),
             [](const Finding& a, const Finding& b) {

@@ -11,14 +11,29 @@
 //
 // Rules (all configured via .zkt-lint.toml, suppressed per finding with
 // `// zkt-lint: allow(<rule>)`):
-//   guest-determinism  — no clocks, randomness, floats, threads, ambient I/O
-//                        or unordered-container iteration in translation
-//                        units reachable from the guest roots.
-//   result-discipline  — no discarded Result/Status calls; no .value()
-//                        that is not dominated by an ok()/has_value() check.
-//   secret-hygiene     — no memcmp/==/!= on digest or key material inside
-//                        src/crypto; use crypto::ct_equal.
-//   layer-dag          — #include edges must respect the module DAG.
+//   guest-determinism    — no clocks, randomness, floats, threads, ambient
+//                          I/O or unordered-container iteration in
+//                          translation units reachable from the guest roots.
+//   result-discipline    — no discarded Result/Status calls; no .value()
+//                          that is not dominated by an ok()/has_value()
+//                          check.
+//   secret-hygiene       — no memcmp/==/!= on digest or key material inside
+//                          src/crypto; use crypto::ct_equal.
+//   layer-dag            — #include edges must respect the module DAG.
+//   untrusted-taint      — adversarial bytes (socket/file/store reads) may
+//                          only be cast, copied or indexed inside the
+//                          sanctioned parse TUs, which must themselves be
+//                          bounds-check dominated.
+//   concurrency-capture  — lambdas handed to common::ThreadPool may not
+//                          capture mutable state by reference without a
+//                          `shared(<why>)` annotation; `guarded_by(mu)`
+//                          fields may only be touched under their mutex.
+//   deprecation-lifecycle — every [[deprecated]] symbol carries
+//                          `remove-after(PR <n>)`; expired shims are
+//                          findings.
+//   obs-catalog          — metric names passed to obs::Registry and the
+//                          docs/OBSERVABILITY.md catalog must agree, both
+//                          directions.
 #pragma once
 
 #include <string>
@@ -42,17 +57,39 @@ struct Finding {
   int line = 0;
   std::string message;
   bool suppressed = false;
+  /// "error" (default) or "warn" — from `severity` in the rule's config
+  /// section. Warnings print but never fail the run.
+  std::string severity = "error";
+  /// Matched an entry of the `--baseline` file: reported, not counted.
+  bool baselined = false;
 };
 
 struct LintResult {
   std::vector<Finding> findings;  ///< sorted by (path, line)
 
+  /// Findings that gate a run: unsuppressed, unbaselined, error-severity.
   size_t unsuppressed() const;
   /// `file:line: [rule] message` diagnostics, one per line.
   std::string to_text(bool include_suppressed = false) const;
   /// Machine-readable report: {"findings": [...], "unsuppressed": N}.
   std::string to_json() const;
 };
+
+/// Baseline files let a new rule land warn-first: `zkt-lint
+/// --write-baseline` records today's findings, `--baseline` then exempts
+/// exactly those. Entries are `path|rule|message` (no line numbers, so a
+/// baseline survives unrelated edits); '#' starts a comment.
+struct BaselineEntry {
+  std::string path;
+  std::string rule;
+  std::string message;
+};
+std::vector<BaselineEntry> parse_baseline(std::string_view text);
+/// Mark findings matching a baseline entry as baselined (idempotent).
+void apply_baseline(const std::vector<BaselineEntry>& baseline,
+                    LintResult* result);
+/// Serialize the unsuppressed error findings of `result` as a baseline.
+std::string to_baseline(const LintResult& result);
 
 /// Names of all registered rules.
 std::vector<std::string> rule_names();
@@ -70,6 +107,9 @@ LintResult run_lint(const Config& config, const std::vector<SourceFile>& files);
 struct AnalyzedFile {
   std::string path;
   LexedFile lexed;
+  /// Raw file content; the obs-catalog rule reads the markdown catalog from
+  /// here (lexing markdown as C++ would be garbage).
+  std::string content;
 };
 
 struct LintContext {
@@ -91,5 +131,13 @@ void check_result_discipline(const LintContext& ctx,
 void check_secret_hygiene(const LintContext& ctx,
                           std::vector<Finding>& findings);
 void check_layer_dag(const LintContext& ctx, std::vector<Finding>& findings);
+void check_untrusted_taint(const LintContext& ctx,
+                           std::vector<Finding>& findings);
+void check_concurrency_capture(const LintContext& ctx,
+                               std::vector<Finding>& findings);
+void check_deprecation_lifecycle(const LintContext& ctx,
+                                 std::vector<Finding>& findings);
+void check_obs_catalog(const LintContext& ctx,
+                       std::vector<Finding>& findings);
 
 }  // namespace zkt::analysis

@@ -1,0 +1,334 @@
+// concurrency-capture: two complementary checks on shared-state discipline
+// around common::ThreadPool, catching races on paths the TSan job's tests
+// never schedule.
+//
+// (a) Capture discipline. A lambda submitted to `submit` / `try_submit` /
+//     `parallel_for` runs on another thread, so capturing a mutable local
+//     or a member by reference is a data-sharing decision that must be
+//     visible in the source: the captured declaration needs a
+//     `// zkt-lint: shared(<why>)` annotation explaining the protocol
+//     (disjoint index writes, join-before-read, ...). Const locals and
+//     by-value / init captures are always fine.
+//
+// (b) guarded_by. A field annotated `// zkt-lint: guarded_by(mu_)` may only
+//     be touched in scopes dominated by a lock of that mutex (lock_guard /
+//     unique_lock / scoped_lock / explicit .lock()). Checked across files
+//     in the declaring file's directory, which is where a class's method
+//     bodies live in this tree.
+//
+// Config ([rule.concurrency-capture]):
+//   submit_calls — member-call names treated as pool submission points.
+//   paths        — path prefixes the rule applies to (default "src").
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/symbols.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::punct && t.text == s;
+}
+
+bool under_any(const std::string& path,
+               const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (path.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::string dir_of(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Names blessed for cross-thread sharing: every identifier on a line
+/// holding a `shared(...)` annotation (or the line below it, which the
+/// annotation also covers). Collected globally so a member annotated in a
+/// header blesses captures in the .cpp.
+std::set<std::string> collect_shared_names(const LintContext& ctx) {
+  std::set<std::string> out;
+  for (const AnalyzedFile& file : ctx.files) {
+    std::set<int> lines;
+    for (const auto& [line, anns] : file.lexed.annotations) {
+      for (const Annotation& a : anns) {
+        if (a.kind == "shared") {
+          lines.insert(line);
+          lines.insert(line + 1);
+        }
+      }
+    }
+    if (lines.empty()) continue;
+    for (const Token& t : file.lexed.tokens) {
+      if (t.kind == Tok::ident && lines.count(t.line)) out.insert(t.text);
+    }
+  }
+  return out;
+}
+
+/// A guarded_by-annotated field: name, its mutex, and the directory whose
+/// files are checked for unlocked touches.
+struct GuardedField {
+  std::string name;
+  std::string mutex;
+  std::string dir;
+  std::string decl_path;
+  int decl_line = 0;
+};
+
+std::vector<GuardedField> collect_guarded_fields(const LintContext& ctx) {
+  std::vector<GuardedField> out;
+  for (const AnalyzedFile& file : ctx.files) {
+    for (const auto& [line, anns] : file.lexed.annotations) {
+      for (const Annotation& a : anns) {
+        if (a.kind != "guarded_by") continue;
+        // The declared field is the last identifier before `;` / `=` / `{`
+        // on the annotated line (or the next one).
+        for (int l : {line, line + 1}) {
+          std::string name;
+          for (const Token& t : file.lexed.tokens) {
+            if (t.line != l) continue;
+            if (is_punct(t, ";") || is_punct(t, "=") || is_punct(t, "{")) {
+              break;
+            }
+            if (t.kind == Tok::ident) name = t.text;
+          }
+          if (!name.empty()) {
+            out.push_back(
+                GuardedField{name, a.arg, dir_of(file.path), file.path, l});
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// A `const auto f = [&](...){...}` local is const-qualified but NOT
+/// immutable state: invoking it from another thread touches everything the
+/// closure captured by reference. Treat ref-closure locals as mutable.
+bool is_ref_closure_decl(const std::vector<Token>& toks, const LocalDecl& d) {
+  const size_t j = d.tok + 1;
+  if (j + 2 >= toks.size() || !is_punct(toks[j], "=")) return false;
+  if (!is_punct(toks[j + 1], "[")) return false;
+  const Token& c = toks[j + 2];
+  return is_punct(c, "&") || (c.kind == Tok::ident && c.text == "this");
+}
+
+/// Latest declaration of `name` in `fn` whose name token sits before token
+/// index `before`; nullptr when none (or when a declaration *inside* the
+/// range [inner_begin, inner_end) shadows it — i.e. the lambda has its own).
+const LocalDecl* resolve_local(const FunctionScope& fn,
+                               const std::string& name, size_t before,
+                               size_t inner_begin, size_t inner_end) {
+  const LocalDecl* best = nullptr;
+  for (const LocalDecl& d : fn.locals) {
+    if (d.name != name) continue;
+    if (d.tok > inner_begin && d.tok < inner_end) return nullptr;  // shadowed
+    if (d.tok < before && (best == nullptr || d.tok > best->tok)) best = &d;
+  }
+  return best;
+}
+
+/// True when a lock of `mutex` dominates token `use` within the enclosing
+/// body: scanning backward at relative brace depth <= 0, the mutex name
+/// appears in the vicinity of a lock construct.
+bool lock_dominates(const std::vector<Token>& toks, size_t use,
+                    size_t body_begin, const std::string& mutex) {
+  int rel = 0;
+  for (size_t j = use; j > body_begin; --j) {
+    const Token& t = toks[j - 1];
+    if (is_punct(t, "}")) ++rel;
+    if (is_punct(t, "{")) --rel;
+    if (rel > 0) continue;
+    if (t.kind != Tok::ident || t.text != mutex) continue;
+    // `std::lock_guard<std::mutex> lk(mu_)`, `ul.lock()`, `cv.wait(lk)`
+    // style evidence within a few tokens back from the mutex name.
+    const size_t lo = j >= 12 ? j - 12 : 0;
+    for (size_t k = j; k > lo; --k) {
+      const Token& w = toks[k - 1];
+      if (w.kind == Tok::ident &&
+          (w.text == "lock_guard" || w.text == "unique_lock" ||
+           w.text == "scoped_lock" || w.text == "lock")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_concurrency_capture(const LintContext& ctx,
+                               std::vector<Finding>& findings) {
+  const std::string section = "rule.concurrency-capture";
+  std::vector<std::string> submits = ctx.config->strs(section, "submit_calls");
+  if (submits.empty()) submits = {"submit", "try_submit", "parallel_for"};
+  std::vector<std::string> paths = ctx.config->strs(section, "paths");
+  if (paths.empty()) paths = {"src"};
+  const std::set<std::string> submit_set(submits.begin(), submits.end());
+
+  const std::set<std::string> shared_names = collect_shared_names(ctx);
+  const std::vector<GuardedField> guarded = collect_guarded_fields(ctx);
+
+  for (const AnalyzedFile& file : ctx.files) {
+    if (!under_any(file.path, paths)) continue;
+    const auto& toks = file.lexed.tokens;
+    const std::vector<FunctionScope> fns = find_functions(toks);
+
+    // ---- (a) capture discipline at pool submission sites.
+    for (const FunctionScope& fn : fns) {
+      for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+        if (toks[i].kind != Tok::ident || !submit_set.count(toks[i].text)) {
+          continue;
+        }
+        if (i == 0 ||
+            !(is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+          continue;
+        }
+        if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+        const size_t args_end = match_forward(toks, i + 1);
+        for (size_t j = i + 2; j < args_end; ++j) {
+          LambdaInfo lam;
+          if (!lambda_intro_at(toks, j) || !parse_lambda(toks, j, &lam)) {
+            continue;
+          }
+          j = lam.body_end;  // do not re-parse nested lambdas twice
+
+          std::set<std::string> flagged;  // one finding per name per lambda
+
+          // Explicit `&x` / `&x = expr` captures.
+          for (const Capture& cap : lam.captures) {
+            if (cap.kind != Capture::Kind::ref &&
+                cap.kind != Capture::Kind::init_ref) {
+              continue;
+            }
+            const LocalDecl* d = resolve_local(fn, cap.name, lam.intro,
+                                               lam.body_begin, lam.body_end);
+            if (d == nullptr ||
+                (d->is_const && !is_ref_closure_decl(toks, *d))) {
+              continue;
+            }
+            if (shared_names.count(cap.name)) continue;
+            if (flagged.insert(cap.name).second) {
+              findings.push_back(Finding{
+                  "concurrency-capture", file.path, cap.line,
+                  "lambda passed to pool " + toks[i].text +
+                      "() captures mutable local '" + cap.name +
+                      "' by reference; annotate its declaration with `// "
+                      "zkt-lint: shared(<why>)` or capture by value"});
+            }
+          }
+
+          // `[&]` default: every enclosing-scope mutable local used in the
+          // body is captured by reference.
+          if (lam.ref_default) {
+            for (size_t k = lam.body_begin + 1; k < lam.body_end; ++k) {
+              if (toks[k].kind != Tok::ident) continue;
+              if (k > 0 && (is_punct(toks[k - 1], ".") ||
+                            is_punct(toks[k - 1], "->") ||
+                            is_punct(toks[k - 1], "::"))) {
+                continue;  // member of some other value
+              }
+              const LocalDecl* d = resolve_local(fn, toks[k].text, lam.intro,
+                                                 lam.body_begin, lam.body_end);
+              if (d == nullptr ||
+                  (d->is_const && !is_ref_closure_decl(toks, *d))) {
+                continue;
+              }
+              if (shared_names.count(toks[k].text)) continue;
+              if (flagged.insert(toks[k].text).second) {
+                findings.push_back(Finding{
+                    "concurrency-capture", file.path, toks[k].line,
+                    "lambda passed to pool " + toks[i].text +
+                        "() uses mutable local '" + toks[k].text +
+                        "' via [&]; annotate its declaration with `// "
+                        "zkt-lint: shared(<why>)`, or capture it by value"});
+              }
+            }
+          }
+
+          // Members reached through a captured `this` (or [&], which
+          // implies it). Convention: members end in '_'. A member is
+          // blessed by a shared(...) annotation at its declaration or by
+          // being guarded_by a mutex (the lock check below owns safety).
+          if (lam.captures_this) {
+            for (size_t k = lam.body_begin + 1; k < lam.body_end; ++k) {
+              const Token& t = toks[k];
+              if (t.kind != Tok::ident || t.text.size() < 2 ||
+                  t.text.back() != '_') {
+                continue;
+              }
+              if (k > 0 && (is_punct(toks[k - 1], ".") ||
+                            is_punct(toks[k - 1], "->") ||
+                            is_punct(toks[k - 1], "::")) &&
+                  !(k > 1 && toks[k - 2].kind == Tok::ident &&
+                    toks[k - 2].text == "this")) {
+                continue;  // other object's member
+              }
+              if (resolve_local(fn, t.text, lam.intro, lam.body_begin,
+                                lam.body_end) != nullptr) {
+                continue;  // actually a local, handled above
+              }
+              if (shared_names.count(t.text)) continue;
+              bool is_guarded = false;
+              for (const GuardedField& g : guarded) {
+                if (g.name == t.text && g.dir == dir_of(file.path)) {
+                  is_guarded = true;
+                  break;
+                }
+              }
+              if (is_guarded) continue;
+              if (flagged.insert(t.text).second) {
+                findings.push_back(Finding{
+                    "concurrency-capture", file.path, t.line,
+                    "lambda passed to pool " + toks[i].text +
+                        "() touches member '" + t.text +
+                        "' through a captured this; annotate the member's "
+                        "declaration with `// zkt-lint: shared(<why>)` or "
+                        "`guarded_by(<mutex>)`"});
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // ---- (b) guarded_by lock discipline.
+    const std::string dir = dir_of(file.path);
+    for (const GuardedField& g : guarded) {
+      if (g.dir != dir) continue;
+      for (const FunctionScope& fn : fns) {
+        std::set<int> flagged_lines;
+        for (size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+          const Token& t = toks[k];
+          if (t.kind != Tok::ident || t.text != g.name) continue;
+          if (file.path == g.decl_path && t.line == g.decl_line) continue;
+          if (k > 0 && (is_punct(toks[k - 1], ".") ||
+                        is_punct(toks[k - 1], "->") ||
+                        is_punct(toks[k - 1], "::")) &&
+              !(k > 1 && toks[k - 2].kind == Tok::ident &&
+                toks[k - 2].text == "this")) {
+            continue;  // a different object's field of the same name
+          }
+          if (lock_dominates(toks, k, fn.body_begin, g.mutex)) continue;
+          if (flagged_lines.insert(t.line).second) {
+            findings.push_back(Finding{
+                "concurrency-capture", file.path, t.line,
+                "'" + g.name + "' is guarded_by(" + g.mutex +
+                    ") but this scope does not lock it; take the lock or "
+                    "suppress with a justification"});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zkt::analysis

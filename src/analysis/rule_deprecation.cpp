@@ -1,0 +1,91 @@
+// deprecation-lifecycle: every [[deprecated]] symbol must carry a
+// `// zkt-lint: remove-after(PR <n>)` annotation, and once the repo's
+// current PR number reaches <n> the shim is a finding. This mechanizes the
+// one-release shim policy that used to live in reviewer memory: a
+// compatibility alias lands together with its expiry date, and the linter —
+// not a human — notices when the date passes.
+//
+// Config ([rule.deprecation-lifecycle]):
+//   current_pr — this repo's PR sequence number, bumped each PR
+//                (falls back to [lint] current_pr).
+#include <string>
+
+#include "analysis/lint.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::punct && t.text == s;
+}
+
+/// Parse "PR <n>" (case-sensitive, whitespace-tolerant); -1 on mismatch.
+long parse_pr_arg(const std::string& arg) {
+  size_t i = 0;
+  if (arg.rfind("PR", 0) != 0) return -1;
+  i = 2;
+  while (i < arg.size() && arg[i] == ' ') ++i;
+  if (i >= arg.size()) return -1;
+  long n = 0;
+  bool any = false;
+  for (; i < arg.size(); ++i) {
+    if (arg[i] < '0' || arg[i] > '9') return -1;
+    n = n * 10 + (arg[i] - '0');
+    any = true;
+  }
+  return any ? n : -1;
+}
+
+}  // namespace
+
+void check_deprecation_lifecycle(const LintContext& ctx,
+                                 std::vector<Finding>& findings) {
+  const std::string section = "rule.deprecation-lifecycle";
+  long current_pr = ctx.config->num(section, "current_pr", -1);
+  if (current_pr < 0) current_pr = ctx.config->num("lint", "current_pr", -1);
+
+  for (const AnalyzedFile& file : ctx.files) {
+    const auto& toks = file.lexed.tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      // `[[` lexes as two single brackets.
+      if (!(is_punct(toks[i], "[") && is_punct(toks[i + 1], "[") &&
+            toks[i + 2].kind == Tok::ident &&
+            toks[i + 2].text == "deprecated")) {
+        continue;
+      }
+      const int line = toks[i].line;
+      // The annotation may sit on the attribute's line, the line above, or
+      // the declaration line below a standalone attribute line.
+      const Annotation* ann =
+          file.lexed.annotation("remove-after", line);
+      if (ann == nullptr) {
+        ann = file.lexed.annotation("remove-after", line + 1);
+      }
+      if (ann == nullptr) {
+        findings.push_back(Finding{
+            "deprecation-lifecycle", file.path, line,
+            "[[deprecated]] symbol has no `// zkt-lint: remove-after(PR "
+            "<n>)` annotation; every shim must declare its expiry"});
+        continue;
+      }
+      const long expiry = parse_pr_arg(ann->arg);
+      if (expiry < 0) {
+        findings.push_back(Finding{
+            "deprecation-lifecycle", file.path, ann->line,
+            "malformed remove-after argument '" + ann->arg +
+                "' (expected `PR <n>`)"});
+        continue;
+      }
+      if (current_pr >= 0 && current_pr >= expiry) {
+        findings.push_back(Finding{
+            "deprecation-lifecycle", file.path, line,
+            "expired shim: marked remove-after(PR " + std::to_string(expiry) +
+                ") and the current PR is " + std::to_string(current_pr) +
+                "; delete the deprecated symbol and migrate call sites"});
+      }
+    }
+  }
+}
+
+}  // namespace zkt::analysis

@@ -1,0 +1,229 @@
+// obs-catalog: the metric catalog in docs/OBSERVABILITY.md is checked like
+// code, both directions. Every metric-name string literal passed to an
+// obs::Registry factory (`.counter("...")`, `.gauge("...")`,
+// `.histogram("...")`) must appear in the catalog's markdown tables, and
+// every exact catalog entry must correspond to a name the code actually
+// registers — so the document operators page against cannot silently drift
+// from the binaries.
+//
+// Catalog entries are backticked names inside `|`-delimited table rows.
+// An entry containing `<...>`, `{...}` or `*` is a wildcard (e.g.
+// `crypto.sha256.blocks.<backend>`): it matches dynamically-built names in
+// the forward direction and is exempt from the reverse (unused-entry)
+// check, since the code side only ever shows a string prefix.
+//
+// Config ([rule.obs-catalog]):
+//   catalog        — repo-relative path of the catalog markdown (the CLI
+//                    loads it automatically; tests pass it explicitly).
+//   registry_calls — method names treated as metric factories
+//                    (default counter/gauge/histogram).
+//   paths          — path prefixes whose registrations are checked
+//                    (default "src").
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/symbols.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::punct && t.text == s;
+}
+
+bool under_any(const std::string& path,
+               const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (path.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+struct CatalogEntry {
+  std::string name;
+  int line = 0;
+  bool wildcard = false;
+};
+
+bool metric_name_char(char c, bool wildcard_ok) {
+  if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+      c == '_') {
+    return true;
+  }
+  return wildcard_ok &&
+         (c == '<' || c == '>' || c == '{' || c == '}' || c == '*');
+}
+
+/// Extract backticked metric names from `|`-rows of the catalog markdown.
+std::vector<CatalogEntry> parse_catalog(const std::string& content) {
+  std::vector<CatalogEntry> out;
+  int line_no = 1;
+  size_t pos = 0;
+  while (pos < content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    std::string_view line(content.data() + pos, eol - pos);
+    pos = eol + 1;
+    const int this_line = line_no++;
+    size_t b = line.find_first_not_of(" \t");
+    if (b == std::string_view::npos || line[b] != '|') continue;
+    // Backtick spans within the row.
+    size_t i = 0;
+    while ((i = line.find('`', i)) != std::string_view::npos) {
+      const size_t close = line.find('`', i + 1);
+      if (close == std::string_view::npos) break;
+      std::string_view span = line.substr(i + 1, close - i - 1);
+      i = close + 1;
+      bool ok = !span.empty();
+      bool wildcard = false;
+      bool has_dot = false;
+      for (char c : span) {
+        if (!metric_name_char(c, true)) {
+          ok = false;
+          break;
+        }
+        if (c == '.') has_dot = true;
+        if (c == '<' || c == '{' || c == '*') wildcard = true;
+      }
+      // Only dotted names are metrics; other backticked spans in tables
+      // (units, types, code refs) are ignored.
+      if (!ok || !has_dot) continue;
+      out.push_back(CatalogEntry{std::string(span), this_line, wildcard});
+    }
+  }
+  return out;
+}
+
+/// Glob match where '*' (the normalized wildcard) matches any non-empty
+/// sequence. `<...>` / `{...}` placeholder segments are normalized to '*'.
+std::string normalize_pattern(const std::string& entry) {
+  std::string out;
+  size_t i = 0;
+  while (i < entry.size()) {
+    const char c = entry[i];
+    if (c == '<' || c == '{') {
+      const char close = c == '<' ? '>' : '}';
+      const size_t end = entry.find(close, i);
+      out += '*';
+      i = end == std::string::npos ? entry.size() : end + 1;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+bool glob_match(std::string_view pat, std::string_view s) {
+  if (pat.empty()) return s.empty();
+  if (pat.front() == '*') {
+    for (size_t skip = 1; skip <= s.size(); ++skip) {
+      if (glob_match(pat.substr(1), s.substr(skip))) return true;
+    }
+    return false;
+  }
+  if (s.empty() || pat.front() != s.front()) return false;
+  return glob_match(pat.substr(1), s.substr(1));
+}
+
+}  // namespace
+
+void check_obs_catalog(const LintContext& ctx,
+                       std::vector<Finding>& findings) {
+  const std::string section = "rule.obs-catalog";
+  const std::string catalog_path =
+      ctx.config->str(section, "catalog", "docs/OBSERVABILITY.md");
+  std::vector<std::string> calls = ctx.config->strs(section, "registry_calls");
+  if (calls.empty()) calls = {"counter", "gauge", "histogram"};
+  std::vector<std::string> paths = ctx.config->strs(section, "paths");
+  if (paths.empty()) paths = {"src"};
+
+  const int cat_idx = ctx.find(catalog_path);
+  if (cat_idx < 0) return;  // no catalog among the inputs: rule is inert
+  const std::vector<CatalogEntry> entries =
+      parse_catalog(ctx.files[cat_idx].content);
+
+  const std::set<std::string> call_set(calls.begin(), calls.end());
+
+  // Forward: every literal name registered in code must be catalogued.
+  struct Use {
+    std::string name;
+    const AnalyzedFile* file;
+    int line;
+  };
+  std::vector<Use> uses;
+  for (const AnalyzedFile& file : ctx.files) {
+    if (!under_any(file.path, paths) || file.path == catalog_path) continue;
+    const auto& toks = file.lexed.tokens;
+    for (size_t i = 1; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind != Tok::ident || !call_set.count(toks[i].text)) {
+        continue;
+      }
+      if (!(is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
+        continue;
+      }
+      if (!is_punct(toks[i + 1], "(")) continue;
+      // Collect every string literal in the first argument — this covers
+      // both `counter("x")` and the `counter(cond ? "a" : "b")` form.
+      // Literals adjacent to '+' are only fragments of a dynamically-built
+      // name (`"span." + path`) and are not checkable.
+      const size_t close = match_forward(toks, i + 1);
+      int depth = 0;
+      for (size_t k = i + 2; k < close; ++k) {
+        const Token& t = toks[k];
+        if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+        if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) --depth;
+        if (depth == 0 && is_punct(t, ",")) break;  // first argument only
+        if (t.kind != Tok::str) continue;
+        if (k + 1 < close && is_punct(toks[k + 1], "+")) continue;
+        if (k > 0 && is_punct(toks[k - 1], "+")) continue;
+        uses.push_back(Use{t.value, &file, t.line});
+      }
+    }
+  }
+
+  for (const Use& use : uses) {
+    bool found = false;
+    for (const CatalogEntry& e : entries) {
+      if (e.wildcard ? glob_match(normalize_pattern(e.name), use.name)
+                     : e.name == use.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      findings.push_back(Finding{
+          "obs-catalog", use.file->path, use.line,
+          "metric '" + use.name + "' is not in the " + catalog_path +
+              " catalog; document it (or fix the name)"});
+    }
+  }
+
+  // Reverse: every exact catalog entry must match a registered name.
+  // Wildcard entries are exempt (their names are built at runtime), and the
+  // reverse check only runs when the lint inputs actually contained
+  // registrations — linting a subtree must not condemn the whole catalog.
+  if (uses.empty()) return;
+  for (const CatalogEntry& e : entries) {
+    if (e.wildcard) continue;
+    bool found = false;
+    for (const Use& use : uses) {
+      if (use.name == e.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      findings.push_back(Finding{
+          "obs-catalog", catalog_path, e.line,
+          "catalog entry '" + e.name +
+              "' matches no metric registered in code; delete the row or "
+              "fix the name"});
+    }
+  }
+}
+
+}  // namespace zkt::analysis

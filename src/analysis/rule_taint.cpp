@@ -1,0 +1,292 @@
+// untrusted-taint: adversarial bytes must pass through bounds-checked
+// parsing before anything re-interprets them. The verifier/auditor side of
+// the system parses the most hostile input in the deployment (NetFlow
+// packets off the wire, ZKTRCPT1 receipt files, WAL frames, store tables),
+// so this rule tracks "tainted" buffers intraprocedurally and flags the
+// dangerous operations on them — `reinterpret_cast`, raw memcpy/memmove,
+// pointer arithmetic, container indexing — anywhere outside the sanctioned
+// parse TUs. Inside a sanctioned TU the same operations are legal only when
+// dominated by a visible bounds check (need()/remaining()/size() or a
+// relational guard), which is what makes the sanctioned parsers auditable:
+// the check is in the same function as the access.
+//
+// Taint seeds, per function:
+//   - parameters whose name contains a `tainted_params` substring
+//     (packet, payload, frame, ... — the tree's naming convention for
+//     wire-origin bytes);
+//   - locals initialized from a `sources` call (socket/file reads);
+//   - in sanctioned TUs, members named in `tainted_members` (a parser
+//     cursor's underlying buffer).
+// Taint propagates through initialization and assignment.
+//
+// Config ([rule.untrusted-taint]):
+//   paths           — prefixes the rule applies to (default "src").
+//   sources         — call names whose result is tainted.
+//   tainted_params  — parameter-name substrings seeding taint.
+//   tainted_members — member names treated as tainted inside sink TUs.
+//   sinks           — repo-relative files sanctioned to parse raw bytes.
+#include <set>
+#include <string>
+
+#include "analysis/lint.h"
+#include "analysis/symbols.h"
+
+namespace zkt::analysis {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::punct && t.text == s;
+}
+
+bool under_any(const std::string& path,
+               const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (path.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool contains_any(const std::string& name,
+                  const std::vector<std::string>& subs) {
+  for (const std::string& s : subs) {
+    if (name.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Relational tokens that actually guard something: those inside the
+/// parenthesized condition of an if/while/for. A bare `<` elsewhere is more
+/// often a template argument list (`static_cast<uint16_t>`) than a bound.
+std::set<size_t> guard_relationals(const std::vector<Token>& toks,
+                                   size_t body_begin, size_t body_end) {
+  std::set<size_t> out;
+  for (size_t i = body_begin; i < body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::ident ||
+        (t.text != "if" && t.text != "while" && t.text != "for")) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+    const size_t close = match_forward(toks, i + 1);
+    for (size_t j = i + 2; j < close && j < body_end; ++j) {
+      if (toks[j].kind == Tok::punct &&
+          (toks[j].text == "<" || toks[j].text == "<=" ||
+           toks[j].text == ">" || toks[j].text == ">=")) {
+        out.insert(j);
+      }
+    }
+  }
+  return out;
+}
+
+/// True when a bounds check dominates token `use`: scanning backward at
+/// relative brace depth <= 0 within the enclosing body, a size/remaining
+/// style call or a guarding comparison appears. (A for-loop bound `i < n`
+/// counts — that is exactly the guard indexed access rides on.)
+bool bounds_check_dominates(const std::vector<Token>& toks, size_t use,
+                            size_t body_begin,
+                            const std::set<size_t>& guards) {
+  static const std::set<std::string> kChecks = {
+      "need",  "remaining", "size",   "empty", "length",
+      "check", "ok",        "bounds", "ensure"};
+  int rel = 0;
+  for (size_t j = use; j > body_begin; --j) {
+    const Token& t = toks[j - 1];
+    if (is_punct(t, "}")) ++rel;
+    if (is_punct(t, "{")) --rel;
+    if (rel > 0) continue;
+    if (t.kind == Tok::ident && kChecks.count(t.text)) return true;
+    if (guards.count(j - 1)) return true;
+  }
+  return false;
+}
+
+struct TaintScan {
+  const AnalyzedFile* file = nullptr;
+  const FunctionScope* fn = nullptr;
+  bool is_sink = false;
+  std::set<std::string> tainted;
+};
+
+/// Does the token span [b, e) mention a tainted name or a source call?
+bool span_tainted(const std::vector<Token>& toks, size_t b, size_t e,
+                  const std::set<std::string>& tainted,
+                  const std::vector<std::string>& sources) {
+  for (size_t k = b; k < e && k < toks.size(); ++k) {
+    if (toks[k].kind != Tok::ident) continue;
+    if (tainted.count(toks[k].text)) return true;
+    for (const std::string& s : sources) {
+      if (toks[k].text == s && k + 1 < toks.size() &&
+          is_punct(toks[k + 1], "(")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// End of the statement containing `i` (index of its ';' at depth 0).
+size_t stmt_end(const std::vector<Token>& toks, size_t i, size_t limit) {
+  int depth = 0;
+  for (size_t j = i; j < limit; ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) {
+      if (--depth < 0) return j;
+    }
+    if (depth == 0 && is_punct(t, ";")) return j;
+  }
+  return limit;
+}
+
+}  // namespace
+
+void check_untrusted_taint(const LintContext& ctx,
+                           std::vector<Finding>& findings) {
+  const std::string section = "rule.untrusted-taint";
+  std::vector<std::string> paths = ctx.config->strs(section, "paths");
+  if (paths.empty()) paths = {"src"};
+  const std::vector<std::string> sources = ctx.config->strs(section, "sources");
+  const std::vector<std::string> tainted_params =
+      ctx.config->strs(section, "tainted_params");
+  const std::vector<std::string> tainted_members =
+      ctx.config->strs(section, "tainted_members");
+  const std::vector<std::string> sinks = ctx.config->strs(section, "sinks");
+
+  for (const AnalyzedFile& file : ctx.files) {
+    if (!under_any(file.path, paths)) continue;
+    bool is_sink = false;
+    for (const std::string& s : sinks) {
+      if (file.path == s) {
+        is_sink = true;
+        break;
+      }
+    }
+    const auto& toks = file.lexed.tokens;
+    for (const FunctionScope& fn : find_functions(toks)) {
+      std::set<std::string> tainted;
+      std::set<std::string> tainted_ptrs;  // subset declared as pointers
+      for (const LocalDecl& d : fn.locals) {
+        if (d.is_param && contains_any(d.name, tainted_params)) {
+          tainted.insert(d.name);
+          if (d.is_pointer) tainted_ptrs.insert(d.name);
+        }
+      }
+      if (is_sink) {
+        for (const std::string& m : tainted_members) {
+          tainted.insert(m);
+          tainted_ptrs.insert(m);
+        }
+      }
+
+      // Propagate through initializations and assignments. Two passes give
+      // simple chains (a = b; c = a;) a chance to converge regardless of
+      // collection order quirks; loops beyond that are out of scope.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const LocalDecl& d : fn.locals) {
+          if (tainted.count(d.name) || d.is_param) continue;
+          const size_t e = stmt_end(toks, d.tok, fn.body_end);
+          if (span_tainted(toks, d.tok + 1, e, tainted, sources)) {
+            tainted.insert(d.name);
+            if (d.is_pointer) tainted_ptrs.insert(d.name);
+          }
+        }
+        for (size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+          if (toks[i].kind != Tok::ident || !is_punct(toks[i + 1], "=")) {
+            continue;
+          }
+          if (tainted.count(toks[i].text)) continue;
+          const size_t e = stmt_end(toks, i + 1, fn.body_end);
+          if (span_tainted(toks, i + 2, e, tainted, sources)) {
+            tainted.insert(toks[i].text);
+          }
+        }
+      }
+      if (tainted.empty()) continue;
+
+      // Flag the dangerous operations.
+      const std::set<size_t> guards =
+          is_sink ? guard_relationals(toks, fn.body_begin, fn.body_end)
+                  : std::set<size_t>{};
+      std::set<std::pair<int, std::string>> seen;  // one per line and op
+      auto flag = [&](size_t at, const std::string& what,
+                      const std::string& name) {
+        if (is_sink &&
+            bounds_check_dominates(toks, at, fn.body_begin, guards)) {
+          return;
+        }
+        if (!seen.insert({toks[at].line, what + name}).second) return;
+        std::string msg = what + " on tainted '" + name + "'";
+        msg += is_sink
+                   ? " without a dominating bounds check; guard it with "
+                     "need()/remaining()/size() before touching the bytes"
+                   : " outside the sanctioned parse TUs; route the bytes "
+                     "through zkt::Reader or a declared sink";
+        findings.push_back(
+            Finding{"untrusted-taint", file.path, toks[at].line, msg});
+      };
+
+      for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        const Token& t = toks[i];
+        // reinterpret_cast<T>(expr-with-taint)
+        if (t.kind == Tok::ident && t.text == "reinterpret_cast") {
+          size_t j = i + 1;
+          int angle = 0;
+          while (j < fn.body_end) {
+            if (is_punct(toks[j], "<")) ++angle;
+            if (is_punct(toks[j], ">") && --angle == 0) break;
+            ++j;
+          }
+          if (j + 1 < fn.body_end && is_punct(toks[j + 1], "(")) {
+            const size_t close = match_forward(toks, j + 1);
+            if (span_tainted(toks, j + 2, close, tainted, {})) {
+              flag(i, "reinterpret_cast", "buffer");
+            }
+          }
+          continue;
+        }
+        // memcpy / memmove with a tainted argument
+        if (t.kind == Tok::ident &&
+            (t.text == "memcpy" || t.text == "memmove") &&
+            i + 1 < fn.body_end && is_punct(toks[i + 1], "(")) {
+          const size_t close = match_forward(toks, i + 1);
+          if (span_tainted(toks, i + 2, close, tainted, {})) {
+            flag(i, "raw " + t.text, "buffer");
+          }
+          continue;
+        }
+        if (t.kind != Tok::ident || !tainted.count(t.text)) continue;
+        // skip `other.name` member accesses (same-named field elsewhere);
+        // the scan tracks this function's names only
+        if (i > 0 && (is_punct(toks[i - 1], ".") ||
+                      is_punct(toks[i - 1], "->") ||
+                      is_punct(toks[i - 1], "::"))) {
+          continue;
+        }
+        // tainted[expr] — container/pointer indexing
+        if (i + 1 < fn.body_end && is_punct(toks[i + 1], "[")) {
+          flag(i, "indexing", t.text);
+          continue;
+        }
+        // tainted.data() + n  /  tainted_ptr + n — pointer arithmetic
+        if (i + 4 < fn.body_end && is_punct(toks[i + 1], ".") &&
+            toks[i + 2].kind == Tok::ident && toks[i + 2].text == "data" &&
+            is_punct(toks[i + 3], "(") && is_punct(toks[i + 4], ")") &&
+            i + 5 < fn.body_end &&
+            (is_punct(toks[i + 5], "+") || is_punct(toks[i + 5], "-"))) {
+          flag(i, "pointer arithmetic", t.text);
+          continue;
+        }
+        if (tainted_ptrs.count(t.text) && i + 1 < fn.body_end &&
+            (is_punct(toks[i + 1], "+") || is_punct(toks[i + 1], "-") ||
+             is_punct(toks[i + 1], "+=") || is_punct(toks[i + 1], "++"))) {
+          flag(i, "pointer arithmetic", t.text);
+          continue;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zkt::analysis

@@ -1,0 +1,433 @@
+#include "analysis/symbols.h"
+
+#include <set>
+
+namespace zkt::analysis {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view s) {
+  return t.kind == Tok::punct && t.text == s;
+}
+bool is_ident(const Token& t) { return t.kind == Tok::ident; }
+bool is_ident(const Token& t, std::string_view s) {
+  return t.kind == Tok::ident && t.text == s;
+}
+
+/// Keywords that can never start a declaration's type.
+const std::set<std::string>& non_type_keywords() {
+  static const std::set<std::string> kw = {
+      "return",   "if",       "else",    "for",      "while",    "do",
+      "switch",   "case",     "default", "break",    "continue", "goto",
+      "delete",   "throw",    "new",     "using",    "typedef",  "namespace",
+      "struct",   "class",    "enum",    "union",    "try",      "catch",
+      "public",   "private",  "protected", "template", "sizeof", "operator",
+      "co_return", "co_await", "co_yield", "friend",  "extern",  "export",
+  };
+  return kw;
+}
+
+bool is_decl_specifier(const Token& t) {
+  return is_ident(t) &&
+         (t.text == "static" || t.text == "constexpr" || t.text == "const" ||
+          t.text == "thread_local" || t.text == "inline" ||
+          t.text == "mutable" || t.text == "register" ||
+          t.text == "volatile");
+}
+
+/// Skip a balanced `<...>` starting at `i` (pointing at '<'); returns the
+/// index just past the matching '>', or `i` when it does not look like a
+/// template argument list (bails on ';' and '{').
+size_t skip_angles(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "<")) ++depth;
+    if (is_punct(t, ">")) {
+      if (--depth == 0) return j + 1;
+    }
+    if (is_punct(t, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    }
+    if (is_punct(t, ";") || is_punct(t, "{")) break;
+  }
+  return i;
+}
+
+/// Parse one declaration starting at token `s` (a statement start). On
+/// success appends the declared name(s) and returns the index just past the
+/// statement's ';' (or the last token examined); returns `s` when the
+/// tokens do not form a declaration.
+size_t parse_decl(const std::vector<Token>& toks, size_t s, size_t limit,
+                  std::vector<LocalDecl>* out) {
+  size_t i = s;
+  bool is_const = false;
+  bool is_pointer = false;
+  while (i < limit && is_decl_specifier(toks[i])) {
+    if (toks[i].text == "const" || toks[i].text == "constexpr") {
+      is_const = true;
+    }
+    ++i;
+  }
+  if (i >= limit || !is_ident(toks[i]) ||
+      non_type_keywords().count(toks[i].text)) {
+    return s;
+  }
+
+  // Structured binding: auto [a, b] = ...
+  if (is_ident(toks[i], "auto")) {
+    size_t j = i + 1;
+    while (j < limit && (is_punct(toks[j], "&") || is_punct(toks[j], "&&"))) {
+      ++j;
+    }
+    if (j < limit && is_punct(toks[j], "[")) {
+      const size_t close = match_forward(toks, j);
+      for (size_t k = j + 1; k < close && k < limit; ++k) {
+        if (is_ident(toks[k])) {
+          out->push_back(LocalDecl{toks[k].text, toks[k].line, k, is_const,
+                                   false, false});
+        }
+      }
+      return close < limit ? close : s;
+    }
+  }
+
+  // Consume the type-and-name chain; the declared name is the last ident,
+  // provided something type-ish precedes it and it is not `::`-qualified
+  // (which would make this a qualified call, not a declaration).
+  size_t idents = 0;
+  size_t last_ident = 0;
+  while (i < limit) {
+    const Token& t = toks[i];
+    if (is_ident(t)) {
+      if (non_type_keywords().count(t.text)) return s;
+      if (t.text == "const" || t.text == "constexpr") {
+        is_const = true;
+        ++i;
+        continue;
+      }
+      ++idents;
+      last_ident = i;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "::")) {
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "<")) {
+      const size_t past = skip_angles(toks, i);
+      if (past == i) return s;
+      i = past;
+      continue;
+    }
+    if (is_punct(t, "*")) {
+      is_pointer = true;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "&") || is_punct(t, "&&")) {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= limit || idents < 2 || last_ident + 1 != i) return s;
+  if (last_ident > 0 && is_punct(toks[last_ident - 1], "::")) return s;
+  const Token& after = toks[i];
+  if (!(is_punct(after, "=") || is_punct(after, ";") ||
+        is_punct(after, "(") || is_punct(after, "{") ||
+        is_punct(after, "[") || is_punct(after, ",") ||
+        is_punct(after, ":"))) {
+    return s;
+  }
+
+  out->push_back(LocalDecl{toks[last_ident].text, toks[last_ident].line,
+                           last_ident, is_const, is_pointer, false});
+
+  // Further declarators of the same type: `int a = 1, b = 2;`.
+  int depth = 0;
+  for (size_t j = i; j < limit; ++j) {
+    const Token& t = toks[j];
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) --depth;
+    if (depth < 0 || is_punct(t, ";")) return j;
+    if (depth == 0 && is_punct(t, ",") && j + 1 < limit &&
+        is_ident(toks[j + 1]) && j + 2 < limit &&
+        (is_punct(toks[j + 2], "=") || is_punct(toks[j + 2], ";") ||
+         is_punct(toks[j + 2], ","))) {
+      out->push_back(LocalDecl{toks[j + 1].text, toks[j + 1].line, j + 1,
+                               is_const, is_pointer, false});
+    }
+  }
+  return limit;
+}
+
+/// Parse the parameter list between `open` ('(') and its matching ')'.
+void collect_params(const std::vector<Token>& toks, size_t open,
+                    std::vector<LocalDecl>* out) {
+  const size_t close = match_forward(toks, open);
+  size_t seg_begin = open + 1;
+  int depth = 0;
+  for (size_t i = open + 1; i <= close && i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    const bool seg_end =
+        i == close || (depth == 0 && is_punct(t, ","));
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{") ||
+        is_punct(t, "<")) {
+      ++depth;
+    }
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}") ||
+        is_punct(t, ">")) {
+      --depth;
+    }
+    if (!seg_end) continue;
+    // The parameter name is the last ident before '=' (default argument)
+    // or the segment end; `void` / unnamed parameters yield nothing.
+    size_t name = 0;
+    bool has_name = false;
+    bool is_const = false;
+    bool is_pointer = false;
+    for (size_t j = seg_begin; j < i; ++j) {
+      if (is_punct(toks[j], "=")) break;
+      if (is_ident(toks[j], "const")) is_const = true;
+      if (is_punct(toks[j], "*")) is_pointer = true;
+      if (is_ident(toks[j]) && toks[j].text != "const" &&
+          toks[j].text != "void") {
+        name = j;
+        has_name = true;
+      }
+    }
+    // A single bare ident is a type, not a name (e.g. `(BytesView)`).
+    if (has_name && name > seg_begin) {
+      out->push_back(LocalDecl{toks[name].text, toks[name].line, name,
+                               is_const, is_pointer, true});
+    }
+    seg_begin = i + 1;
+  }
+}
+
+/// Collect block-scoped declarations between body_begin and body_end.
+void collect_body_locals(const std::vector<Token>& toks, size_t body_begin,
+                         size_t body_end, std::vector<LocalDecl>* out) {
+  bool at_stmt_start = true;
+  for (size_t i = body_begin + 1; i < body_end; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, ";") || is_punct(t, "{") || is_punct(t, "}")) {
+      at_stmt_start = true;
+      continue;
+    }
+    // The init clause of for/if/while/switch is also a declaration site.
+    if (is_punct(t, "(") && i > 0 &&
+        (is_ident(toks[i - 1], "for") || is_ident(toks[i - 1], "if") ||
+         is_ident(toks[i - 1], "while") || is_ident(toks[i - 1], "switch"))) {
+      at_stmt_start = true;
+      continue;
+    }
+    if (!at_stmt_start) continue;
+    at_stmt_start = false;
+    const size_t past = parse_decl(toks, i, body_end, out);
+    if (past > i) i = past - 1;  // loop ++ lands on the terminator
+  }
+}
+
+}  // namespace
+
+size_t match_forward(const std::vector<Token>& toks, size_t open) {
+  if (open >= toks.size() || toks[open].kind != Tok::punct) {
+    return toks.size();
+  }
+  const std::string& o = toks[open].text;
+  std::string c;
+  if (o == "(") {
+    c = ")";
+  } else if (o == "[") {
+    c = "]";
+  } else if (o == "{") {
+    c = "}";
+  } else {
+    return toks.size();
+  }
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (is_punct(toks[i], o)) ++depth;
+    if (is_punct(toks[i], c)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+bool lambda_intro_at(const std::vector<Token>& toks, size_t i) {
+  if (i >= toks.size() || !is_punct(toks[i], "[")) return false;
+  // [[attribute]] — either bracket.
+  if (i + 1 < toks.size() && is_punct(toks[i + 1], "[")) return false;
+  if (i > 0 && is_punct(toks[i - 1], "[")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  // After a value (ident, literal, ')' or ']') a '[' is a subscript or an
+  // array declarator — except after keywords that end an expression slot.
+  if (prev.kind == Tok::number || prev.kind == Tok::str ||
+      prev.kind == Tok::chr) {
+    return false;
+  }
+  if (prev.kind == Tok::ident) {
+    return prev.text == "return" || prev.text == "co_return" ||
+           prev.text == "co_yield" || prev.text == "case";
+  }
+  if (is_punct(prev, ")") || is_punct(prev, "]")) return false;
+  return true;
+}
+
+bool parse_lambda(const std::vector<Token>& toks, size_t intro,
+                  LambdaInfo* out) {
+  if (!lambda_intro_at(toks, intro)) return false;
+  const size_t close = match_forward(toks, intro);
+  if (close >= toks.size()) return false;
+
+  LambdaInfo info;
+  info.intro = intro;
+
+  // Capture list: split on top-level commas.
+  size_t seg_begin = intro + 1;
+  int depth = 0;
+  for (size_t i = intro + 1; i <= close; ++i) {
+    const Token& t = toks[i];
+    if (is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{")) ++depth;
+    if (is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}")) --depth;
+    const bool seg_end = i == close || (depth == 0 && is_punct(t, ","));
+    if (!seg_end) continue;
+    const size_t b = seg_begin;
+    const size_t e = i;  // [b, e)
+    seg_begin = i + 1;
+    if (b >= e) continue;
+    Capture cap;
+    cap.line = toks[b].line;
+    if (e == b + 1 && is_punct(toks[b], "&")) {
+      cap.kind = Capture::Kind::ref_default;
+      info.ref_default = true;
+      info.captures_this = true;
+    } else if (e == b + 1 && is_punct(toks[b], "=")) {
+      cap.kind = Capture::Kind::value_default;
+      info.value_default = true;
+    } else if (is_ident(toks[b], "this")) {
+      cap.kind = Capture::Kind::this_ptr;
+      info.captures_this = true;
+    } else if (is_punct(toks[b], "*") && b + 1 < e &&
+               is_ident(toks[b + 1], "this")) {
+      cap.kind = Capture::Kind::star_this;
+    } else if (is_punct(toks[b], "&") && b + 1 < e && is_ident(toks[b + 1])) {
+      cap.name = toks[b + 1].text;
+      cap.kind = (b + 2 < e && is_punct(toks[b + 2], "="))
+                     ? Capture::Kind::init_ref
+                     : Capture::Kind::ref;
+    } else if (is_ident(toks[b])) {
+      cap.name = toks[b].text;
+      cap.kind = (b + 1 < e && (is_punct(toks[b + 1], "=") ||
+                                is_punct(toks[b + 1], "{")))
+                     ? Capture::Kind::init_value
+                     : Capture::Kind::value;
+    } else {
+      continue;  // parameter packs and other exotica
+    }
+    info.captures.push_back(std::move(cap));
+  }
+
+  // After ']': optional template intro, parameter list, specifiers,
+  // trailing return type — then the '{' body.
+  size_t j = close + 1;
+  if (j < toks.size() && is_punct(toks[j], "<")) {
+    const size_t past = skip_angles(toks, j);
+    if (past == j) return false;
+    j = past;
+  }
+  int scan_depth = 0;
+  size_t guard = 0;
+  while (j < toks.size() && guard++ < 4096) {
+    const Token& t = toks[j];
+    if (scan_depth == 0 && is_punct(t, "{")) break;
+    if (is_punct(t, "(") || is_punct(t, "<")) ++scan_depth;
+    if (is_punct(t, ")") || is_punct(t, ">")) {
+      if (scan_depth == 0) return false;  // e.g. `[x]` inside a call
+      --scan_depth;
+    }
+    if (scan_depth == 0 &&
+        (is_punct(t, ";") || is_punct(t, ",") || is_punct(t, "]") ||
+         is_punct(t, "}") || is_punct(t, "="))) {
+      return false;  // array declarator / subscript, not a lambda
+    }
+    ++j;
+  }
+  if (j >= toks.size() || !is_punct(toks[j], "{")) return false;
+  info.body_begin = j;
+  info.body_end = match_forward(toks, j);
+  if (info.body_end >= toks.size()) return false;
+  *out = info;
+  return true;
+}
+
+std::vector<FunctionScope> find_functions(const std::vector<Token>& toks) {
+  std::vector<FunctionScope> out;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!is_punct(toks[i], "{") || i == 0) continue;
+
+    // Header: tokens since the last statement/body boundary.
+    size_t h = i;
+    while (h > 0 && !is_punct(toks[h - 1], ";") &&
+           !is_punct(toks[h - 1], "{") && !is_punct(toks[h - 1], "}")) {
+      --h;
+    }
+
+    // A function body's '{' follows ')' or a function specifier / trailing
+    // return type, and its header contains a parameter list. Everything
+    // else (class/namespace/enum bodies, initializer lists) is descended
+    // into so methods inside class bodies are still found.
+    bool has_parens = false;
+    for (size_t j = h; j < i; ++j) {
+      if (is_punct(toks[j], "(")) {
+        has_parens = true;
+        break;
+      }
+    }
+    if (!has_parens) continue;
+    const Token& prev = toks[i - 1];
+    const bool fn_tail =
+        is_punct(prev, ")") || is_ident(prev, "const") ||
+        is_ident(prev, "noexcept") || is_ident(prev, "override") ||
+        is_ident(prev, "final") || is_ident(prev, "mutable") ||
+        // trailing return type: `) -> Foo {`, `) -> std::pair<A, B> {`
+        prev.kind == Tok::ident || is_punct(prev, ">") ||
+        is_punct(prev, "*") || is_punct(prev, "&");
+    if (!fn_tail) continue;
+    if (h < i && (is_ident(toks[h], "class") || is_ident(toks[h], "struct") ||
+                  is_ident(toks[h], "enum") || is_ident(toks[h], "union") ||
+                  is_ident(toks[h], "namespace") ||
+                  is_ident(toks[h], "using"))) {
+      continue;
+    }
+
+    FunctionScope fn;
+    fn.header_begin = h;
+    fn.body_begin = i;
+    fn.body_end = match_forward(toks, i);
+    fn.line = toks[i].line;
+    if (fn.body_end >= toks.size()) continue;
+    for (size_t j = h; j < i; ++j) {
+      if (is_punct(toks[j], "(")) {
+        fn.params_begin = j;
+        if (j > 0 && is_ident(toks[j - 1])) fn.name = toks[j - 1].text;
+        break;
+      }
+    }
+    if (fn.params_begin != 0) {
+      collect_params(toks, fn.params_begin, &fn.locals);
+    }
+    collect_body_locals(toks, fn.body_begin, fn.body_end, &fn.locals);
+    out.push_back(std::move(fn));
+    i = fn.body_end;  // outermost bodies only
+  }
+  return out;
+}
+
+}  // namespace zkt::analysis

@@ -1,0 +1,88 @@
+// Lightweight symbol layer for zkt-lint's flow-aware rules.
+//
+// Still no AST: this layer recovers just enough structure from the token
+// stream for intraprocedural reasoning — function/method body extents,
+// parameter and local-variable declarations (with constness, so the
+// concurrency rule can tell a read-only reference capture from a mutable
+// one), and lambda capture lists. Everything here is heuristic in the way
+// token-level linting always is; the rules built on top pair it with
+// explicit annotations (`// zkt-lint: shared(...)`, `guarded_by(...)`) and
+// per-finding suppressions as the escape hatch.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace zkt::analysis {
+
+/// A parameter or block-scoped variable declaration inside one function.
+struct LocalDecl {
+  std::string name;
+  int line = 0;
+  size_t tok = 0;          ///< index of the name token in the file's stream
+  bool is_const = false;   ///< declaration spells `const` (or `constexpr`)
+  bool is_pointer = false; ///< declaration spells `*`
+  bool is_param = false;
+};
+
+/// One function, method, or constructor body (outermost only: a lambda body
+/// belongs to its enclosing function's scope).
+struct FunctionScope {
+  std::string name;         ///< ident before the parameter list, best-effort
+  int line = 0;             ///< line of the opening brace
+  size_t header_begin = 0;  ///< first token of the declaration header
+  size_t params_begin = 0;  ///< '(' of the parameter list; 0 when absent
+  size_t body_begin = 0;    ///< index of '{'
+  size_t body_end = 0;      ///< index of the matching '}'
+  std::vector<LocalDecl> locals;  ///< parameters, then body declarations
+};
+
+/// One entry of a lambda capture list.
+struct Capture {
+  enum class Kind {
+    value_default,  ///< [=]
+    ref_default,    ///< [&]
+    value,          ///< [x]
+    ref,            ///< [&x]
+    init_value,     ///< [x = expr]
+    init_ref,       ///< [&x = expr]
+    this_ptr,       ///< [this]
+    star_this,      ///< [*this]
+  };
+  Kind kind = Kind::value;
+  std::string name;  ///< captured or introduced name; "" for defaults/this
+  int line = 0;
+};
+
+/// A parsed lambda expression.
+struct LambdaInfo {
+  std::vector<Capture> captures;
+  bool ref_default = false;
+  bool value_default = false;
+  bool captures_this = false;  ///< [this] or [&] (which implies this)
+  size_t intro = 0;            ///< index of '['
+  size_t body_begin = 0;       ///< index of '{'
+  size_t body_end = 0;         ///< index of the matching '}'
+};
+
+/// Index of the punctuator matching the opener at `open` ('(', '[' or '{'),
+/// or toks.size() when unbalanced.
+size_t match_forward(const std::vector<Token>& toks, size_t open);
+
+/// True when the '[' at `i` introduces a lambda rather than a subscript,
+/// array declarator, or attribute.
+bool lambda_intro_at(const std::vector<Token>& toks, size_t i);
+
+/// Parse the lambda whose introducer '[' sits at `intro`. Returns false when
+/// the tokens do not actually form a lambda with a braced body.
+bool parse_lambda(const std::vector<Token>& toks, size_t intro,
+                  LambdaInfo* out);
+
+/// Find every function body in the file (free functions, methods inside
+/// class bodies, TEST(...) macros), outermost only, with parameters and
+/// local declarations collected.
+std::vector<FunctionScope> find_functions(const std::vector<Token>& toks);
+
+}  // namespace zkt::analysis

@@ -5,8 +5,11 @@
 // invariants it checks, which are all expressible over tokens, preprocessor
 // directives and the include graph. The lexer therefore recognises exactly
 // what the rules need: identifiers, punctuators (maximal munch over the C++
-// operator set), literals (including raw strings), include directives, and
-// `// zkt-lint: allow(...)` suppression comments.
+// operator set), literals (including raw strings, whose content is preserved
+// so the obs-catalog rule can read metric names), include directives, and
+// `// zkt-lint: ...` marker comments — `allow(...)` / `allow-file(...)`
+// suppressions plus the flow-rule annotations `shared(...)`,
+// `guarded_by(...)` and `remove-after(...)`.
 #pragma once
 
 #include <map>
@@ -19,7 +22,7 @@ namespace zkt::analysis {
 enum class Tok {
   ident,    ///< identifiers and keywords
   number,   ///< pp-number (integers, floats, user-suffixed)
-  str,      ///< string literal (cooked text not preserved)
+  str,      ///< string literal (value = uncooked content between the quotes)
   chr,      ///< character literal
   punct,    ///< operator / punctuator
   eof,
@@ -27,7 +30,14 @@ enum class Tok {
 
 struct Token {
   Tok kind = Tok::eof;
+  /// Spelling for ident/number/punct tokens. Deliberately EMPTY for str/chr:
+  /// rules match code shape with `text == "{"`-style comparisons, and a
+  /// literal containing "{" must never count toward brace depth.
   std::string text;
+  /// Uncooked literal content (between the quotes, escapes unprocessed) for
+  /// str/chr tokens; empty otherwise. The obs-catalog rule reads metric
+  /// names from here.
+  std::string value;
   int line = 0;
 };
 
@@ -35,6 +45,18 @@ struct Token {
 struct IncludeDirective {
   std::string path;    ///< the spelled target, e.g. "core/guests.h" or "chrono"
   bool angled = false; ///< <...> (system) vs "..." (project)
+  int line = 0;
+};
+
+/// A non-suppression `// zkt-lint: <kind>(<arg>)` marker. Kinds the rules
+/// understand today: `shared` (declaration may be captured by reference into
+/// pool lambdas; arg = why that is safe), `guarded_by` (field may only be
+/// touched under the named mutex; arg = the mutex member) and
+/// `remove-after` (deprecation deadline; arg = `PR <n>`). Like suppressions,
+/// an annotation covers its own line and the next one.
+struct Annotation {
+  std::string kind;
+  std::string arg;  ///< raw text between the parentheses, trimmed
   int line = 0;
 };
 
@@ -48,6 +70,8 @@ struct LexedFile {
   std::map<int, std::set<std::string>> allow_lines;
   /// rules suppressed for the whole file (`// zkt-lint: allow-file(rule)`).
   std::set<std::string> allow_file;
+  /// line -> non-suppression annotations attached to that line.
+  std::map<int, std::vector<Annotation>> annotations;
 
   bool suppressed(const std::string& rule, int line) const {
     if (allow_file.count(rule) || allow_file.count("*")) return true;
@@ -59,6 +83,19 @@ struct LexedFile {
       }
     }
     return false;
+  }
+
+  /// The first `kind` annotation attached to `line` (the annotation may sit
+  /// on the line itself or the line above), or nullptr.
+  const Annotation* annotation(const std::string& kind, int line) const {
+    for (int l : {line, line - 1}) {
+      auto it = annotations.find(l);
+      if (it == annotations.end()) continue;
+      for (const Annotation& a : it->second) {
+        if (a.kind == kind) return &a;
+      }
+    }
+    return nullptr;
   }
 };
 

@@ -113,9 +113,11 @@ class ThreadPool {
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
+  // zkt-lint: guarded_by(mu_) workers and submitters pop/push concurrently
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   size_t max_queue_;
+  // zkt-lint: guarded_by(mu_) checked by every wait predicate
   bool stop_ = false;
   std::atomic<u64> executed_{0};
   std::atomic<u64> inlined_{0};

@@ -41,6 +41,7 @@ std::vector<Status> BatchVerifier::verify_aggregation(
   }
 
   std::vector<zvm::VerifyStats> local(receipts.size());
+  // zkt-lint: shared(each call writes only index i of out/caches/local; workers cover disjoint i)
   const auto verify_one = [&](size_t i) {
     out[i] = verify_aggregation_receipt(
         verifier_, *receipts[i],

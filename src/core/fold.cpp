@@ -24,11 +24,14 @@ Result<FoldResult> fold_receipts(std::span<const zvm::Receipt> leaves,
       options.pool != nullptr ? *options.pool : common::ThreadPool::shared();
 
   FoldResult result;
+  // zkt-lint: shared(atomic join-cycle counter; workers only fetch_add)
   std::atomic<u64> cycles{0};
+  // zkt-lint: shared(read-only inside workers; rebuilt between levels, after parallel_for joins)
   std::vector<zvm::Receipt> level(leaves.begin(), leaves.end());
   while (level.size() > 1) {
     const size_t groups = (level.size() + fanout - 1) / fanout;
     const bool is_root = groups == 1;
+    // zkt-lint: shared(one slot per join group; workers write disjoint indices, read after join)
     std::vector<Result<zvm::Receipt>> joined(
         groups, Result<zvm::Receipt>(Errc::unsupported));
     pool.parallel_for(groups, 1, [&](size_t first, size_t last) {

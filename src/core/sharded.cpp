@@ -247,6 +247,7 @@ Status ShardedAggregationService::commit_staged(const StagedRound& staged) {
 }
 
 Result<RoundResult> ShardedAggregationService::prove_shards(
+    // zkt-lint: shared(workers only read their own shard's sub-batches; not mutated during the parallel_for)
     StagedRound staged) {
   const auto start = std::chrono::steady_clock::now();
   obs::Registry& metrics = obs::Registry::instance();
@@ -260,9 +261,12 @@ Result<RoundResult> ShardedAggregationService::prove_shards(
   // Aggregate shards in parallel on the shared bounded pool (§7's parallel
   // proof generation). The pool caps concurrency at its worker count
   // instead of spawning one kernel thread per shard.
+  // zkt-lint: shared(one slot per shard; workers write disjoint indices, read after join)
   std::vector<Result<AggregationRound>> results(
       shard_count_, Result<AggregationRound>(Errc::unsupported));
+  // zkt-lint: shared(one slot per shard; disjoint writes, reduced after join)
   std::vector<double> shard_wall_ms(shard_count_, 0);
+  // zkt-lint: shared(Histogram::record is atomic; concurrent records are safe)
   obs::Histogram& shard_wall_hist =
       metrics.histogram("core.sharded.shard_wall_ms");
   common::ThreadPool& pool = common::ThreadPool::shared();
@@ -424,6 +428,7 @@ Status ShardedAuditor::verify_splits(
   // shared pool (each lane still hashes through the batched SHA-256
   // backends); outcomes are consumed in input order, so the first error
   // reported matches the sequential walk.
+  // zkt-lint: shared(one slot per split receipt; workers write disjoint indices, read after join)
   std::vector<Status> split_outcomes(round.split_receipts.size());
   common::ThreadPool::shared().parallel_for(
       round.split_receipts.size(), 1, [&](size_t first, size_t last) {

@@ -95,24 +95,6 @@ class ShardedAggregationService {
   explicit ShardedAggregationService(const CommitmentBoard& board,
                                      ShardedOptions options = {});
 
-  /// Deprecated shim (one release): pass ShardedOptions instead.
-  [[deprecated(
-      "use ShardedAggregationService(board, ShardedOptions{.shard_count = "
-      "...})")]]
-  ShardedAggregationService(const CommitmentBoard& board, u32 shard_count,
-                            AggregationOptions options = {})
-      : ShardedAggregationService(
-            board,
-            ShardedOptions{.shard_count = shard_count,
-                           .join_fanout = 0,
-                           .agg_mode = options.mode,
-                           .prove_options = std::move(options.prove_options)}) {
-  }
-
-  /// Deprecated alias (one release): the round shape is now the unified
-  /// core::RoundResult (see service.h).
-  using Round [[deprecated("use core::RoundResult")]] = RoundResult;
-
   /// A staged-but-unpublished round: the split proofs for one window's
   /// batches plus the per-shard sub-batches and sub-commitments they
   /// attest. Produced by stage(), consumed by commit_staged() +
@@ -200,6 +182,7 @@ class ShardedAggregationService {
   /// Per-shard boards holding the split-derived sub-commitments, and the
   /// per-shard aggregation chains on top of them.
   std::vector<std::unique_ptr<CommitmentBoard>> shard_boards_;
+  // zkt-lint: shared(one chain per shard; parallel_for workers touch disjoint entries only)
   std::vector<std::unique_ptr<AggregationService>> shards_;
   std::vector<crypto::SchnorrKeyPair> shard_keys_;
   u64 rounds_ = 0;
@@ -232,6 +215,7 @@ class ShardedAuditor {
 
   const CommitmentBoard* board_;
   u32 shard_count_;
+  // zkt-lint: shared(Verifier::verify is const and stateless; concurrent calls race nothing)
   zvm::Verifier verifier_;
   /// Pooled fan-out for the round's independent receipts (split proofs and
   /// per-shard aggregation receipts); decisions match the sequential walk.

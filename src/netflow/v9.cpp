@@ -29,6 +29,7 @@ class BeReader {
   size_t position() const { return pos_; }
 
   u16 be16() {
+    // zkt-lint: allow(untrusted-taint) every caller gates be16() behind need(2)/remaining(); the check lives one frame up by design
     const u16 v = (static_cast<u16>(data_[pos_]) << 8) | data_[pos_ + 1];
     pos_ += 2;
     return v;

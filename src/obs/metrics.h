@@ -155,8 +155,11 @@ class Registry {
 
  private:
   mutable std::mutex mu_;
+  // zkt-lint: guarded_by(mu_) name lookup and snapshot mutate/walk the maps from any thread
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  // zkt-lint: guarded_by(mu_) same registration/snapshot races as counters_
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  // zkt-lint: guarded_by(mu_) same registration/snapshot races as counters_
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

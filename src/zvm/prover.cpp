@@ -150,6 +150,7 @@ Result<Receipt> Prover::prove(const ImageID& image_id, BytesView input,
         metrics.histogram("zvm.prover.segment_commit_ms");
     obs::Histogram& leaf_batch_rows =
         metrics.histogram("zvm.prover.leaf_batch_rows");
+    // zkt-lint: shared(writes only segment seg's disjoint slots of trees/seg_start/seg_rows; histogram records are atomic)
     auto build_segment = [&](u64 seg) {
       const auto seg_begin_time = std::chrono::steady_clock::now();
       const u64 begin = seg * options.max_segment_rows;

@@ -1,6 +1,7 @@
 // zkt-lint engine tests: per-rule fixtures (a violation, the same violation
-// suppressed, and a clean file), config parsing, and a self-check that this
-// repository lints clean under its own .zkt-lint.toml.
+// suppressed, and a clean file), config parsing, lexer line-accuracy
+// regressions, baseline handling, and a self-check that this repository
+// lints clean under its own .zkt-lint.toml — all eight rules active.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -8,6 +9,7 @@
 #include "analysis/config.h"
 #include "analysis/lint.h"
 #include "analysis/load.h"
+#include "analysis/token.h"
 
 namespace zkt::analysis {
 namespace {
@@ -69,10 +71,12 @@ TEST(LintConfig, RejectsMalformedInput) {
   EXPECT_FALSE(Config::parse("[s]\nkey = \"unterminated").ok());
 }
 
-TEST(Lint, RegistersAllFourRules) {
+TEST(Lint, RegistersAllEightRules) {
   const auto names = rule_names();
-  for (const char* rule : {"guest-determinism", "result-discipline",
-                           "secret-hygiene", "layer-dag"}) {
+  for (const char* rule :
+       {"guest-determinism", "result-discipline", "secret-hygiene",
+        "layer-dag", "untrusted-taint", "concurrency-capture",
+        "deprecation-lifecycle", "obs-catalog"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), rule), names.end())
         << rule;
   }
@@ -304,6 +308,486 @@ TEST(LayerDag, SuppressionOnIncludeLineWorks) {
 }
 
 // ---------------------------------------------------------------------------
+// untrusted-taint
+
+constexpr std::string_view kTaintConfig = R"(
+[rule.untrusted-taint]
+paths = ["src"]
+sources = ["recv"]
+tainted_params = ["packet", "payload"]
+tainted_members = ["data_"]
+sinks = ["src/net/parse.cpp"]
+)";
+
+TEST(UntrustedTaint, FlagsDangerousOpsOutsideSinks) {
+  auto result = lint(
+      kTaintConfig,
+      {{"src/core/handler.cpp",
+        "void handle(const unsigned char* packet, unsigned long n) {\n"
+        "  const Header* h = reinterpret_cast<const Header*>(packet);\n"
+        "  unsigned char first = packet[0];\n"
+        "  memcpy(scratch, packet, n);\n"
+        "  use(h, first);\n"
+        "}\n"}});
+  auto found = findings_for(result, "untrusted-taint");
+  ASSERT_EQ(found.size(), 3u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 2);  // reinterpret_cast
+  EXPECT_EQ(found[1].line, 3);  // indexing
+  EXPECT_EQ(found[2].line, 4);  // memcpy
+}
+
+TEST(UntrustedTaint, PropagatesThroughLocalsAndSourceCalls) {
+  auto result = lint(kTaintConfig,
+                     {{"src/core/handler.cpp",
+                       "void walk(const unsigned char* payload) {\n"
+                       "  const unsigned char* cursor = payload;\n"
+                       "  consume(cursor[3]);\n"
+                       "}\n"
+                       "void pull(int fd) {\n"
+                       "  auto buf = recv(fd);\n"
+                       "  consume(buf[0]);\n"
+                       "}\n"}});
+  auto found = findings_for(result, "untrusted-taint");
+  ASSERT_EQ(found.size(), 2u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 3);  // cursor inherits payload's taint
+  EXPECT_EQ(found[1].line, 7);  // buf comes from recv()
+}
+
+TEST(UntrustedTaint, SinkRequiresDominatingBoundsCheck) {
+  // Inside a sanctioned parse TU the tainted cursor buffer may be indexed —
+  // but only after a visible need()/size-style check in the same function.
+  auto result = lint(kTaintConfig,
+                     {{"src/net/parse.cpp",
+                       "unsigned checked(unsigned long pos) {\n"
+                       "  if (!need(2)) return 0;\n"
+                       "  return data_[pos];\n"
+                       "}\n"
+                       "unsigned unchecked(unsigned long pos) {\n"
+                       "  return data_[pos];\n"
+                       "}\n"}});
+  auto found = findings_for(result, "untrusted-taint");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 6);
+}
+
+TEST(UntrustedTaint, RelationalGuardInLoopConditionCounts) {
+  // A for-loop bound over the buffer is exactly the guard indexed access
+  // rides on; a bare template '<' elsewhere must not count as one.
+  auto result = lint(kTaintConfig,
+                     {{"src/net/parse.cpp",
+                       "unsigned sum(unsigned long n) {\n"
+                       "  unsigned v = 0;\n"
+                       "  for (unsigned long i = 0; i < n; ++i) {\n"
+                       "    v += data_[i];\n"
+                       "  }\n"
+                       "  return v;\n"
+                       "}\n"}});
+  EXPECT_TRUE(findings_for(result, "untrusted-taint").empty())
+      << result.to_text(true);
+}
+
+TEST(UntrustedTaint, SuppressionAndCleanNames) {
+  auto suppressed = lint(
+      kTaintConfig,
+      {{"src/core/handler.cpp",
+        "void handle(const unsigned char* packet) {\n"
+        "  use(packet[0]);  // zkt-lint: allow(untrusted-taint) caller checked\n"
+        "}\n"}});
+  ASSERT_EQ(suppressed.findings.size(), 1u);
+  EXPECT_TRUE(suppressed.findings[0].suppressed);
+  EXPECT_EQ(suppressed.unsuppressed(), 0u);
+
+  // Buffers with trusted names are not tracked.
+  auto clean = lint(kTaintConfig,
+                    {{"src/core/handler.cpp",
+                      "void local_only(const unsigned char* table) {\n"
+                      "  use(table[0]);\n"
+                      "}\n"}});
+  EXPECT_TRUE(clean.findings.empty()) << clean.to_text(true);
+}
+
+// ---------------------------------------------------------------------------
+// concurrency-capture
+
+constexpr std::string_view kConcConfig = R"(
+[rule.concurrency-capture]
+paths = ["src"]
+submit_calls = ["submit", "parallel_for"]
+)";
+
+TEST(ConcurrencyCapture, FlagsRefCaptureOfMutableLocal) {
+  auto result = lint(kConcConfig,
+                     {{"src/core/work.cpp",
+                       "void run(Pool& pool) {\n"
+                       "  int count = 0;\n"
+                       "  pool.submit([&] { count += 1; });\n"
+                       "}\n"}});
+  auto found = findings_for(result, "concurrency-capture");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].line, 3);
+  EXPECT_NE(found[0].message.find("'count'"), std::string::npos)
+      << found[0].message;
+}
+
+TEST(ConcurrencyCapture, AcceptsConstAndValueCaptures) {
+  auto result = lint(kConcConfig,
+                     {{"src/core/work.cpp",
+                       "void run(Pool& pool) {\n"
+                       "  const int base = 3;\n"
+                       "  int count = 0;\n"
+                       "  pool.submit([&] { use(base); });\n"
+                       "  pool.submit([count] { use(count); });\n"
+                       "}\n"}});
+  EXPECT_TRUE(findings_for(result, "concurrency-capture").empty())
+      << result.to_text(true);
+}
+
+TEST(ConcurrencyCapture, SharedAnnotationBlessesTheCapture) {
+  auto result = lint(
+      kConcConfig,
+      {{"src/core/work.cpp",
+        "void run(Pool& pool) {\n"
+        "  // zkt-lint: shared(one slot per task; writes are disjoint)\n"
+        "  int slots[4] = {};\n"
+        "  pool.parallel_for(4, 1, [&](unsigned long i) { slots[i] = 1; });\n"
+        "}\n"}});
+  EXPECT_TRUE(findings_for(result, "concurrency-capture").empty())
+      << result.to_text(true);
+}
+
+TEST(ConcurrencyCapture, FlagsMemberTouchedThroughCapturedThis) {
+  auto result = lint(kConcConfig,
+                     {{"src/core/work.cpp",
+                       "void Worker::go() {\n"
+                       "  pool_.submit([this] { items_.push_back(1); });\n"
+                       "}\n"}});
+  auto found = findings_for(result, "concurrency-capture");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_NE(found[0].message.find("'items_'"), std::string::npos)
+      << found[0].message;
+}
+
+TEST(ConcurrencyCapture, GuardedByRequiresTheLock) {
+  const char* header =
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "class Q {\n"
+      "  std::mutex mu_;\n"
+      "  // zkt-lint: guarded_by(mu_) popped by workers concurrently\n"
+      "  int depth_ = 0;\n"
+      " public:\n"
+      "  void bump();\n"
+      "  int peek() const { return depth_; }\n"
+      "};\n";
+  const char* source =
+      "#include \"core/q.h\"\n"
+      "void Q::bump() {\n"
+      "  std::lock_guard<std::mutex> lock(mu_);\n"
+      "  depth_ += 1;\n"
+      "}\n";
+  auto result = lint(kConcConfig, {{"src/core/q.h", header},
+                                   {"src/core/q.cpp", source}});
+  auto found = findings_for(result, "concurrency-capture");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_EQ(found[0].path, "src/core/q.h");
+  EXPECT_EQ(found[0].line, 9);  // peek() reads depth_ without mu_
+  EXPECT_NE(found[0].message.find("guarded_by(mu_)"), std::string::npos)
+      << found[0].message;
+}
+
+TEST(ConcurrencyCapture, SuppressionWorks) {
+  auto result = lint(
+      kConcConfig,
+      {{"src/core/work.cpp",
+        "void run(Pool& pool) {\n"
+        "  int count = 0;\n"
+        "  // zkt-lint: allow(concurrency-capture) single worker, join below\n"
+        "  pool.submit([&] { count += 1; });\n"
+        "}\n"}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_TRUE(result.findings[0].suppressed);
+  EXPECT_EQ(result.unsuppressed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// deprecation-lifecycle
+
+constexpr std::string_view kDepConfig = R"(
+[lint]
+current_pr = 8
+)";
+
+TEST(DeprecationLifecycle, FlagsShimWithoutRemoveAfter) {
+  auto result = lint(kDepConfig,
+                     {{"src/core/api.h",
+                       "[[deprecated(\"use next()\")]] void old();\n"}});
+  auto found = findings_for(result, "deprecation-lifecycle");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_NE(found[0].message.find("remove-after"), std::string::npos)
+      << found[0].message;
+}
+
+TEST(DeprecationLifecycle, FlagsExpiredShim) {
+  auto result =
+      lint(kDepConfig,
+           {{"src/core/api.h",
+             "// zkt-lint: remove-after(PR 7)\n"
+             "[[deprecated(\"use next()\")]] void old();\n"}});
+  auto found = findings_for(result, "deprecation-lifecycle");
+  ASSERT_EQ(found.size(), 1u) << result.to_text(true);
+  EXPECT_NE(found[0].message.find("expired"), std::string::npos)
+      << found[0].message;
+}
+
+TEST(DeprecationLifecycle, AcceptsUnexpiredAndSuppressed) {
+  auto clean = lint(kDepConfig,
+                    {{"src/core/api.h",
+                      "// zkt-lint: remove-after(PR 9)\n"
+                      "[[deprecated(\"use next()\")]] void old();\n"}});
+  EXPECT_TRUE(findings_for(clean, "deprecation-lifecycle").empty())
+      << clean.to_text(true);
+
+  auto suppressed = lint(
+      kDepConfig,
+      {{"src/core/api.h",
+        "// zkt-lint: allow(deprecation-lifecycle) removal tracked in #42\n"
+        "[[deprecated(\"use next()\")]] void old();\n"}});
+  ASSERT_EQ(suppressed.findings.size(), 1u);
+  EXPECT_TRUE(suppressed.findings[0].suppressed);
+  EXPECT_EQ(suppressed.unsuppressed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// obs-catalog
+
+constexpr std::string_view kObsConfig = R"(
+[rule.obs-catalog]
+catalog = "docs/OBSERVABILITY.md"
+paths = ["src"]
+)";
+
+constexpr std::string_view kCatalog =
+    "| name | kind |\n"
+    "|---|---|\n"
+    "| `core.work.rounds` | counter |\n"
+    "| `core.work.stale_rows` | counter |\n"
+    "| `span.<path>.ms` | histogram |\n";
+
+TEST(ObsCatalog, FlagsUndocumentedMetric) {
+  auto result = lint(
+      kObsConfig,
+      {{"docs/OBSERVABILITY.md", std::string(kCatalog)},
+       {"src/core/work.cpp",
+        "void tick(Registry& m) {\n"
+        "  m.counter(\"core.work.rounds\").add(1);\n"
+        "  m.counter(\"core.work.unknown\").add(1);\n"
+        "}\n"}});
+  auto found = findings_for(result, "obs-catalog");
+  // core.work.unknown is undocumented; core.work.stale_rows is stale.
+  // Findings come back path-sorted, so the catalog row sorts first.
+  ASSERT_EQ(found.size(), 2u) << result.to_text(true);
+  EXPECT_EQ(found[0].path, "docs/OBSERVABILITY.md");
+  EXPECT_EQ(found[0].line, 4);
+  EXPECT_NE(found[0].message.find("core.work.stale_rows"), std::string::npos);
+  EXPECT_EQ(found[1].path, "src/core/work.cpp");
+  EXPECT_EQ(found[1].line, 3);
+  EXPECT_NE(found[1].message.find("core.work.unknown"), std::string::npos);
+}
+
+TEST(ObsCatalog, TernaryNamesCheckedAndConcatFragmentsSkipped) {
+  auto result = lint(
+      kObsConfig,
+      {{"docs/OBSERVABILITY.md", std::string(kCatalog)},
+       {"src/core/work.cpp",
+        "void tick(Registry& m, bool stale, const std::string& path) {\n"
+        "  m.counter(stale ? \"core.work.stale_rows\" : \"core.work.rounds\")"
+        ".add(1);\n"
+        "  m.histogram(\"span.\" + path + \".ms\").record(1.0);\n"
+        "}\n"}});
+  EXPECT_TRUE(findings_for(result, "obs-catalog").empty())
+      << result.to_text(true);
+}
+
+TEST(ObsCatalog, WildcardMatchesForwardAndIsExemptFromReverse) {
+  auto result = lint(kObsConfig,
+                     {{"docs/OBSERVABILITY.md", std::string(kCatalog)},
+                      {"src/core/work.cpp",
+                       "void tick(Registry& m) {\n"
+                       "  m.counter(\"core.work.rounds\").add(1);\n"
+                       "  m.counter(\"core.work.stale_rows\").add(1);\n"
+                       "  m.histogram(\"span.prove.ms\").record(1.0);\n"
+                       "}\n"}});
+  EXPECT_TRUE(findings_for(result, "obs-catalog").empty())
+      << result.to_text(true);
+}
+
+TEST(ObsCatalog, InertWithoutCatalogAndSuppressible) {
+  // No catalog among the inputs: the rule cannot judge either direction.
+  auto inert = lint(kObsConfig,
+                    {{"src/core/work.cpp",
+                      "void tick(Registry& m) {\n"
+                      "  m.counter(\"core.work.unknown\").add(1);\n"
+                      "}\n"}});
+  EXPECT_TRUE(findings_for(inert, "obs-catalog").empty())
+      << inert.to_text(true);
+
+  auto suppressed = lint(
+      kObsConfig,
+      {{"docs/OBSERVABILITY.md", std::string(kCatalog)},
+       {"src/core/work.cpp",
+        "void tick(Registry& m) {\n"
+        "  m.counter(\"core.work.rounds\").add(1);\n"
+        "  m.counter(\"core.work.stale_rows\").add(1);\n"
+        "  // zkt-lint: allow(obs-catalog) staging name, documented on launch\n"
+        "  m.counter(\"core.work.unknown\").add(1);\n"
+        "}\n"}});
+  ASSERT_EQ(suppressed.findings.size(), 1u) << suppressed.to_text(true);
+  EXPECT_TRUE(suppressed.findings[0].suppressed);
+  EXPECT_EQ(suppressed.unsuppressed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lexer line accuracy (suppressions live and die by token line numbers)
+
+int line_of_ident(const LexedFile& lf, std::string_view ident) {
+  for (const Token& t : lf.tokens) {
+    if (t.kind == Tok::ident && t.text == ident) return t.line;
+  }
+  return -1;
+}
+
+TEST(LintLexer, RawStringBodyKeepsLineNumbersInSync) {
+  auto lf = lex(
+      "const char* s = R\"(line1\n"
+      "line2\n"
+      "line3)\";\n"
+      "int after = 1;\n");
+  EXPECT_EQ(line_of_ident(lf, "after"), 4);
+  // The literal's content is captured in value; text stays empty so
+  // punctuator comparisons in rules never match string bodies.
+  bool saw = false;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == Tok::str) {
+      saw = true;
+      EXPECT_EQ(t.text, "");
+      EXPECT_EQ(t.value, "line1\nline2\nline3");
+      EXPECT_EQ(t.line, 1);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(LintLexer, PrefixedRawStringsLexAsOneLiteral) {
+  auto lf = lex(
+      "const char* a = u8R\"(x\n"
+      "y)\";\n"
+      "const char* b = LR\"sep(p)\"q)sep\";\n"
+      "int after = 1;\n");
+  EXPECT_EQ(line_of_ident(lf, "after"), 4);
+  // A delimited raw string swallows the embedded )" without terminating.
+  bool saw_delimited = false;
+  for (const Token& t : lf.tokens) {
+    if (t.kind == Tok::str && t.value == "p)\"q") saw_delimited = true;
+  }
+  EXPECT_TRUE(saw_delimited);
+}
+
+TEST(LintLexer, BackslashContinuationInStringKeepsLineNumbers) {
+  auto lf = lex(
+      "const char* s = \"abc\\\n"
+      "def\";\n"
+      "int after = 1;\n");
+  EXPECT_EQ(line_of_ident(lf, "after"), 3);
+}
+
+TEST(LintLexer, SuppressionAfterMultilineRawStringStillMatches) {
+  // Before the raw-string fix the desynced line numbers made this
+  // suppression miss its finding.
+  auto result = lint("", {{"src/a.cpp",
+                           "const char* kDoc = R\"(usage:\n"
+                           "  tool FILE\n"
+                           ")\";\n"
+                           "zkt::Status persist();\n"
+                           "void run() {\n"
+                           "  persist();  // zkt-lint: allow(result-discipline)\n"
+                           "}\n"}});
+  ASSERT_EQ(result.findings.size(), 1u) << result.to_text(true);
+  EXPECT_TRUE(result.findings[0].suppressed);
+}
+
+TEST(LintLexer, ParsesFlowAnnotations) {
+  auto lf = lex(
+      "// zkt-lint: shared(one slot per task; writes are disjoint)\n"
+      "int slots = 0;\n"
+      "// zkt-lint: guarded_by(mu_) drained concurrently\n"
+      "int queue_depth_ = 0;\n"
+      "// zkt-lint: remove-after(PR 9)\n"
+      "int shim = 0;\n");
+  const Annotation* shared = lf.annotation("shared", 2);
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->arg, "one slot per task; writes are disjoint");
+  const Annotation* guarded = lf.annotation("guarded_by", 4);
+  ASSERT_NE(guarded, nullptr);
+  EXPECT_EQ(guarded->arg, "mu_");
+  const Annotation* expiry = lf.annotation("remove-after", 6);
+  ASSERT_NE(expiry, nullptr);
+  EXPECT_EQ(expiry->arg, "PR 9");
+  EXPECT_EQ(lf.annotation("shared", 5), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines and severity
+
+TEST(LintBaseline, RoundTripExemptsExactlyTheRecordedFindings) {
+  const SourceFile bad{"src/a.cpp",
+                       "zkt::Status persist();\n"
+                       "void run() { persist(); }\n"};
+  auto first = lint("", {bad});
+  ASSERT_EQ(first.unsuppressed(), 1u);
+
+  const std::string serialized = to_baseline(first);
+  auto entries = parse_baseline(serialized);
+  ASSERT_EQ(entries.size(), 1u);
+
+  auto second = lint("", {bad});
+  apply_baseline(entries, &second);
+  ASSERT_EQ(second.findings.size(), 1u);
+  EXPECT_TRUE(second.findings[0].baselined);
+  EXPECT_EQ(second.unsuppressed(), 0u);
+
+  // A different finding is NOT exempted by the stale baseline.
+  auto third = lint("", {{"src/b.cpp",
+                          "zkt::Status persist();\n"
+                          "void run() { persist(); }\n"}});
+  apply_baseline(entries, &third);
+  EXPECT_EQ(third.unsuppressed(), 1u);
+}
+
+TEST(LintBaseline, ParserSkipsCommentsAndMalformedLines) {
+  auto entries = parse_baseline(
+      "# header comment\n"
+      "\n"
+      "src/a.cpp|result-discipline|call result dropped\n"
+      "not-a-baseline-line\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].path, "src/a.cpp");
+  EXPECT_EQ(entries[0].rule, "result-discipline");
+}
+
+TEST(LintSeverity, WarnFindingsDoNotCountAsUnsuppressed) {
+  auto result = lint(
+      "[rule.result-discipline]\nseverity = \"warn\"\n",
+      {{"src/a.cpp",
+        "zkt::Status persist();\n"
+        "void run() { persist(); }\n"}});
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].severity, "warn");
+  EXPECT_EQ(result.unsuppressed(), 0u);
+  const std::string json = result.to_json();
+  EXPECT_NE(json.find("\"severity\": \"warn\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
 // Output formats
 
 TEST(LintOutput, TextAndJsonIncludeRuleFileAndLine) {
@@ -330,7 +814,10 @@ TEST(LintSelfCheck, RepositoryIsClean) {
   auto cfg = Config::parse(config_text.value());
   ASSERT_TRUE(cfg.ok()) << cfg.error().to_string();
 
-  auto files = load_tree(root, {"src", "tools", "tests"});
+  // The catalog markdown rides along so the obs-catalog rule is active —
+  // the self-check covers all eight rules, not just the source scanners.
+  auto files =
+      load_tree(root, {"src", "tools", "tests", "docs/OBSERVABILITY.md"});
   ASSERT_TRUE(files.ok()) << files.error().to_string();
   ASSERT_GT(files.value().size(), 100u);  // sanity: the tree actually loaded
 

@@ -173,34 +173,29 @@ TEST(Service, SelectiveQueryOnEmptyStateWorks) {
   EXPECT_EQ(resp.value().journal.result.matched, 0u);
 }
 
-TEST(Service, DeprecatedShardedCtorMatchesOptionsStruct) {
-  // The positional (board, shard_count, AggregationOptions) constructor is
-  // a one-release shim for ShardedOptions; both must configure the service
-  // the same — except the shim disables the fold (pre-tree behavior).
+TEST(Service, ShardedOptionsConfigureDeterministically) {
+  // Two services built from the same ShardedOptions must prove identical
+  // shard rounds, and join_fanout = 0 disables the fold (pre-tree
+  // behavior: per-shard receipts are the round's proof objects). This
+  // replaces the PR-7 deprecated-shim equivalence test — the positional
+  // ctor and the Round alias are gone.
   Fixture fx;
   auto batch = fx.committed(0, 1, {1, 2, 3, 4});
   zvm::ProveOptions prove;
   prove.seal_kind = zvm::SealKind::composite;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ShardedAggregationService shimmed(fx.board, 2, AggregationOptions{prove});
-  // The Round alias is the other one-release shim: it must BE RoundResult.
-  static_assert(
-      std::is_same_v<ShardedAggregationService::Round, RoundResult>);
-#pragma GCC diagnostic pop
-  ShardedAggregationService direct(
-      fx.board, ShardedOptions{.shard_count = 2,
-                               .join_fanout = 0,
-                               .prove_options = prove});
-  auto shimmed_round = shimmed.aggregate({batch});
-  auto direct_round = direct.aggregate({batch});
-  ASSERT_TRUE(shimmed_round.ok()) << shimmed_round.error().to_string();
-  ASSERT_TRUE(direct_round.ok());
-  EXPECT_FALSE(shimmed_round.value().tree_seal.has_value());
-  ASSERT_EQ(shimmed_round.value().shard_rounds.size(), 2u);
+  const ShardedOptions options{
+      .shard_count = 2, .join_fanout = 0, .prove_options = prove};
+  ShardedAggregationService first(fx.board, options);
+  ShardedAggregationService second(fx.board, options);
+  auto first_round = first.aggregate({batch});
+  auto second_round = second.aggregate({batch});
+  ASSERT_TRUE(first_round.ok()) << first_round.error().to_string();
+  ASSERT_TRUE(second_round.ok());
+  EXPECT_FALSE(first_round.value().tree_seal.has_value());
+  ASSERT_EQ(first_round.value().shard_rounds.size(), 2u);
   for (size_t s = 0; s < 2; ++s) {
-    EXPECT_EQ(shimmed_round.value().shard_rounds[s].receipt.claim.digest(),
-              direct_round.value().shard_rounds[s].receipt.claim.digest());
+    EXPECT_EQ(first_round.value().shard_rounds[s].receipt.claim.digest(),
+              second_round.value().shard_rounds[s].receipt.claim.digest());
   }
 }
 

@@ -1,14 +1,21 @@
 // zkt-lint — project-invariant static analysis for the zktel tree.
 //
 //   zkt-lint [--json] [--config FILE] [--list-rules] [--show-suppressed]
-//            PATH...
+//            [--baseline FILE] [--write-baseline FILE] PATH...
 //
 // Lints the C++ sources under each PATH against the project rules
-// (guest-determinism, result-discipline, secret-hygiene, layer-dag; see
-// docs/ANALYSIS.md). Exits 1 when any unsuppressed finding remains, 2 on
-// usage or I/O errors. The config is .zkt-lint.toml, found next to --config,
-// in the current directory, or in any parent of the first PATH; paths in
-// diagnostics are relative to the config's directory (the repo root).
+// (guest-determinism, result-discipline, secret-hygiene, layer-dag,
+// untrusted-taint, concurrency-capture, deprecation-lifecycle, obs-catalog;
+// see docs/ANALYSIS.md). Exits 1 when any unsuppressed error-severity
+// finding remains, 2 on usage or I/O errors. The config is .zkt-lint.toml,
+// found next to --config, in the current directory, or in any parent of the
+// first PATH; paths in diagnostics are relative to the config's directory
+// (the repo root).
+//
+// `--write-baseline FILE` records the current findings; `--baseline FILE`
+// then exempts exactly those, so a new rule can land warn-first and the
+// baseline can be burned down over subsequent PRs. The obs-catalog rule's
+// markdown catalog is loaded automatically when it exists.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -26,7 +33,8 @@ using namespace zkt::analysis;
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json] [--config FILE] [--list-rules] "
-               "[--show-suppressed] PATH...\n",
+               "[--show-suppressed] [--baseline FILE] "
+               "[--write-baseline FILE] PATH...\n",
                argv0);
   return 2;
 }
@@ -51,6 +59,8 @@ int main(int argc, char** argv) {
   bool json = false;
   bool show_suppressed = false;
   std::string config_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +72,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--config") {
       if (++i >= argc) return usage(argv[0]);
       config_path = argv[i];
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return usage(argv[0]);
+      baseline_path = argv[i];
+    } else if (arg == "--write-baseline") {
+      if (++i >= argc) return usage(argv[0]);
+      write_baseline_path = argv[i];
     } else if (arg == "--list-rules") {
       for (const std::string& r : rule_names()) std::printf("%s\n", r.c_str());
       return 0;
@@ -101,13 +117,47 @@ int main(int argc, char** argv) {
 
   const std::string repo_root =
       fs::absolute(fs::path(config_path)).parent_path().string();
+
+  // The obs-catalog rule cross-checks a markdown file the PATH arguments
+  // will not normally cover; load it alongside the sources when it exists.
+  const std::string catalog = config.value().str(
+      "rule.obs-catalog", "catalog", "docs/OBSERVABILITY.md");
+  {
+    std::error_code ec;
+    if (fs::is_regular_file(fs::path(repo_root) / catalog, ec)) {
+      paths.push_back(catalog);
+    }
+  }
+
   auto files = load_tree(repo_root, paths);
   if (!files.ok()) {
     std::fprintf(stderr, "zkt-lint: %s\n", files.error().to_string().c_str());
     return 2;
   }
 
-  const LintResult result = run_lint(config.value(), files.value());
+  LintResult result = run_lint(config.value(), files.value());
+
+  if (!baseline_path.empty()) {
+    auto text = read_file(baseline_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "zkt-lint: %s\n",
+                   text.error().to_string().c_str());
+      return 2;
+    }
+    apply_baseline(parse_baseline(text.value()), &result);
+  }
+  if (!write_baseline_path.empty()) {
+    const std::string serialized = to_baseline(result);
+    std::FILE* f = std::fopen(write_baseline_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "zkt-lint: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::fwrite(serialized.data(), 1, serialized.size(), f);
+    std::fclose(f);
+  }
+
   if (json) {
     std::printf("%s\n", result.to_json().c_str());
   } else {
