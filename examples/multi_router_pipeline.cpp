@@ -76,7 +76,7 @@ int main() {
                 "%llu cycles, prove %.1f ms, receipt %zu B (proof %zu B)\n",
                 (unsigned long long)r.round_id, (unsigned long long)window,
                 (unsigned long long)r.journal.new_entry_count,
-                (unsigned long long)r.journal.updates.size(),
+                (unsigned long long)r.journal.update_count,
                 (unsigned long long)r.prove_info.cycles,
                 r.prove_info.total_ms, r.receipt.receipt_size_bytes(),
                 r.receipt.proof_size_bytes());

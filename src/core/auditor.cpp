@@ -91,6 +91,37 @@ Result<AggJournal> Auditor::adopt_verified(const zvm::Receipt& receipt) {
     }
   }
 
+  // Sketch continuity: chained exactly like the Merkle root. Once a chain
+  // carries a sketch every round must keep carrying it with the same
+  // params, each round's prev digest must equal the digest we accepted
+  // last round, and at genesis it must be the EMPTY sketch's hash — a
+  // chain cannot start from seeded counters.
+  if (sketch_known_) {
+    if (rounds_ == 0) {
+      if (j.has_sketch) {
+        const netflow::RoundSketch empty{j.sketch_params};
+        if (j.prev_sketch_digest != empty.hash()) {
+          return Error{Errc::chain_broken,
+                       "genesis round does not start from the empty sketch"};
+        }
+      }
+    } else {
+      if (j.has_sketch != sketch_present_) {
+        return Error{Errc::chain_broken,
+                     "round disagrees with the chain about sketch carriage"};
+      }
+      if (j.has_sketch) {
+        if (!(j.sketch_params == sketch_params_)) {
+          return Error{Errc::chain_broken, "sketch params changed mid-chain"};
+        }
+        if (j.prev_sketch_digest != sketch_digest_) {
+          return Error{Errc::chain_broken,
+                       "round does not chain onto the accepted sketch"};
+        }
+      }
+    }
+  }
+
   // Every commitment consumed must have been published (and thus signed).
   for (const auto& ref : j.commitments) {
     auto published = board_->get(ref.router_id, ref.window_id);
@@ -111,6 +142,14 @@ Result<AggJournal> Auditor::adopt_verified(const zvm::Receipt& receipt) {
   claims_.insert(last_claim_digest_);
   current_root_ = j.new_root;
   current_entry_count_ = j.new_entry_count;
+  // The first round after a summary re-establishes the sketch position
+  // (its in-guest chaining covers the gap the summary skipped).
+  sketch_known_ = true;
+  sketch_present_ = j.has_sketch;
+  if (j.has_sketch) {
+    sketch_params_ = j.sketch_params;
+    sketch_digest_ = j.sketch_digest;
+  }
   ++rounds_;
   obs::Registry::instance().counter("core.auditor.rounds_accepted").add(1);
   return journal;
@@ -185,6 +224,9 @@ Status Auditor::adopt_summary(const ChainHead& head) {
   current_root_ = head.root;
   current_entry_count_ = head.entry_count;
   rounds_ = head.rounds;
+  // Summaries carry no sketch state; the next accepted round re-anchors it.
+  sketch_known_ = false;
+  sketch_present_ = false;
   return {};
 }
 
@@ -220,6 +262,81 @@ Result<QueryJournal> Auditor::verify_query(const zvm::Receipt& receipt,
                  "complete query did not scan the full state"};
   }
   obs::Registry::instance().counter("core.auditor.queries_verified").add(1);
+  return journal;
+}
+
+Status Auditor::check_sketch_query_binding(
+    const Digest32& agg_claim_digest, const Digest32& queried_sketch_digest,
+    const netflow::SketchParams& params) {
+  if (!claims_.contains(agg_claim_digest)) {
+    return Error{Errc::chain_broken,
+                 "sketch query targets a round we never accepted"};
+  }
+  // When the query targets the current head and we track the sketch there,
+  // pin it: a receipt answering against a stale or forged sketch digest is
+  // rejected even though its seal verifies. (Older in-window rounds keep
+  // only their claim digests; the in-guest chaining still binds the sketch
+  // to that round's journal.)
+  if (agg_claim_digest == last_claim_digest_ && sketch_known_) {
+    if (!sketch_present_) {
+      return Error{Errc::chain_broken,
+                   "sketch query against a chain that carries no sketch"};
+    }
+    if (!(params == sketch_params_)) {
+      return Error{Errc::proof_invalid,
+                   "sketch query used different parameters than the chain"};
+    }
+    if (queried_sketch_digest != sketch_digest_) {
+      return Error{Errc::proof_invalid,
+                   "sketch query answered against a stale sketch digest"};
+    }
+  }
+  return {};
+}
+
+Result<SketchHeavyJournal> Auditor::verify_heavy_hitters(
+    const zvm::Receipt& receipt, const VerifyOptions& options) {
+  zvm::VerifyStats stats;
+  const Status verified = verifier_.verify(
+      receipt, sketch_heavy_image(), zvm::VerifyContext{nullptr, &stats});
+  publish_verify_metrics(stats);
+  if (options.stats != nullptr) options.stats->merge(stats);
+  ZKT_TRY(verified);
+
+  auto journal = SketchHeavyJournal::parse(receipt.journal);
+  if (!journal.ok()) return journal.error();
+  const SketchHeavyJournal& j = journal.value();
+  ZKT_TRY(check_sketch_query_binding(j.agg_claim_digest, j.sketch_digest,
+                                     j.params));
+  // Re-check the completeness floor the guest proved — belt and braces
+  // against a parse/journal bug, and the error clients should understand.
+  if (!sketch_heavy_bound_ok(j.threshold, j.params.heavy_capacity, j.total)) {
+    return Error{Errc::proof_invalid,
+                 "heavy-hitter threshold below the sketch's provable floor"};
+  }
+  obs::Registry::instance().counter("core.sketch.queries_verified").add(1);
+  return journal;
+}
+
+Result<SketchCardinalityJournal> Auditor::verify_cardinality(
+    const zvm::Receipt& receipt, const VerifyOptions& options) {
+  zvm::VerifyStats stats;
+  const Status verified = verifier_.verify(
+      receipt, sketch_card_image(), zvm::VerifyContext{nullptr, &stats});
+  publish_verify_metrics(stats);
+  if (options.stats != nullptr) options.stats->merge(stats);
+  ZKT_TRY(verified);
+
+  auto journal = SketchCardinalityJournal::parse(receipt.journal);
+  if (!journal.ok()) return journal.error();
+  const SketchCardinalityJournal& j = journal.value();
+  ZKT_TRY(check_sketch_query_binding(j.agg_claim_digest, j.sketch_digest,
+                                     j.params));
+  if (j.cms_lower_bound > j.distinct_flows) {
+    return Error{Errc::proof_invalid,
+                 "cardinality journal's lower bound exceeds its exact count"};
+  }
+  obs::Registry::instance().counter("core.sketch.queries_verified").add(1);
   return journal;
 }
 

@@ -26,6 +26,7 @@
 #include "core/batch_verifier.h"
 #include "core/commitment.h"
 #include "core/guests.h"
+#include "core/sketch_query.h"
 #include "crypto/sha256_backend.h"
 #include "zvm/verifier.h"
 
@@ -152,6 +153,17 @@ class Auditor {
   Result<QueryJournal> verify_query(const zvm::Receipt& receipt,
                                     const VerifyOptions& options = {});
 
+  /// Verify a sketch heavy-hitters receipt: it must target an accepted
+  /// round, and when it targets the current head, answer against exactly
+  /// the sketch digest this chain carried there (a stale or forged sketch
+  /// digest is rejected even though the receipt itself verifies).
+  Result<SketchHeavyJournal> verify_heavy_hitters(
+      const zvm::Receipt& receipt, const VerifyOptions& options = {});
+
+  /// Verify a sketch cardinality receipt, with the same binding rules.
+  Result<SketchCardinalityJournal> verify_cardinality(
+      const zvm::Receipt& receipt, const VerifyOptions& options = {});
+
   u64 rounds_accepted() const { return rounds_; }
   const Digest32& current_root() const { return current_root_; }
   u64 current_entry_count() const { return current_entry_count_; }
@@ -167,12 +179,27 @@ class Auditor {
   }
   const AuditorOptions& options() const { return options_; }
 
+  /// Whether the auditor knows the chain's sketch position. True from
+  /// genesis on; false after adopt_summary until the next accepted round
+  /// re-establishes it (chain summaries do not carry sketch state).
+  bool sketch_known() const { return sketch_known_; }
+  /// Whether accepted rounds carry the proof-carrying sketch (meaningful
+  /// when sketch_known()).
+  bool has_sketch() const { return sketch_present_; }
+  /// The sketch digest after the last accepted round.
+  const Digest32& sketch_digest() const { return sketch_digest_; }
+  const netflow::SketchParams& sketch_params() const { return sketch_params_; }
+
  private:
   /// Chain-continuity + board cross-checks and state update for a receipt
   /// whose SEAL already verified. Shared by the single and batch paths.
   Result<AggJournal> adopt_verified(const zvm::Receipt& receipt);
   Result<u64> accept_rounds_impl(std::span<const zvm::Receipt> receipts,
                                  zvm::VerifyStats* stats);
+  /// Shared binding checks for the round-sketch query verifiers.
+  Status check_sketch_query_binding(const Digest32& agg_claim_digest,
+                                    const Digest32& queried_sketch_digest,
+                                    const netflow::SketchParams& params);
 
   const CommitmentBoard* board_;
   AuditorOptions options_;
@@ -183,6 +210,12 @@ class Auditor {
   Digest32 current_root_ = crypto::MerkleTree::empty_leaf();
   u64 current_entry_count_ = 0;
   AcceptedClaimWindow claims_;
+  // Sketch continuity (DESIGN.md §10): chained host-side exactly like
+  // prev_root. Unknown after adopting a summary (which omits sketch state).
+  bool sketch_known_ = true;
+  bool sketch_present_ = false;
+  netflow::SketchParams sketch_params_;
+  Digest32 sketch_digest_;
 };
 
 }  // namespace zkt::core

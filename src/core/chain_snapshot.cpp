@@ -5,8 +5,10 @@
 namespace zkt::core {
 
 namespace {
-constexpr u32 kSnapshotMagic = 0x5A4B4353;         // "ZKCS"
-constexpr u32 kSnapshotVersion = 1;
+constexpr u32 kSnapshotMagic = 0x5A4B4353;  // "ZKCS"
+// Version 2 appends the round-sketch section (u8 has_sketch [+ blob +
+// CRC]); version-1 snapshots still parse, with has_sketch = false.
+constexpr u32 kSnapshotVersion = 2;
 constexpr u32 kShardedSnapshotMagic = 0x5A4B5353;  // "ZKSS"
 constexpr u32 kShardedSnapshotVersion = 1;
 constexpr u32 kMaxSnapshotShards = 4096;
@@ -14,7 +16,8 @@ constexpr u32 kMaxSnapshotShards = 4096;
 
 ChainSnapshot ChainSnapshot::capture(u64 round_id, u64 window_id,
                                      const Digest32& claim_digest,
-                                     const CLogState& state) {
+                                     const CLogState& state,
+                                     const netflow::RoundSketch* sketch) {
   ChainSnapshot snap;
   snap.round_id = round_id;
   snap.window_id = window_id;
@@ -24,6 +27,10 @@ ChainSnapshot ChainSnapshot::capture(u64 round_id, u64 window_id,
   Writer w;
   state.serialize(w);
   snap.state_bytes = std::move(w).take();
+  if (sketch != nullptr) {
+    snap.has_sketch = true;
+    snap.sketch_bytes = sketch->canonical_bytes();
+  }
   return snap;
 }
 
@@ -42,6 +49,19 @@ Result<CLogState> ChainSnapshot::restore_state() const {
   return state;
 }
 
+Result<std::optional<netflow::RoundSketch>> ChainSnapshot::restore_sketch()
+    const {
+  if (!has_sketch) return std::optional<netflow::RoundSketch>{};
+  Reader r(sketch_bytes);
+  auto sketch = netflow::RoundSketch::deserialize(r);
+  if (!sketch.ok()) return sketch.error();
+  if (!r.done()) {
+    return Error{Errc::parse_error,
+                 "trailing bytes in chain snapshot sketch"};
+  }
+  return std::optional<netflow::RoundSketch>{std::move(sketch.value())};
+}
+
 Bytes ChainSnapshot::to_bytes() const {
   Writer w;
   w.u32v(kSnapshotMagic);
@@ -53,6 +73,11 @@ Bytes ChainSnapshot::to_bytes() const {
   w.u64v(entry_count);
   w.blob(state_bytes);
   w.u32v(store::crc32(state_bytes));
+  w.u8v(has_sketch ? 1 : 0);
+  if (has_sketch) {
+    w.blob(sketch_bytes);
+    w.u32v(store::crc32(sketch_bytes));
+  }
   return std::move(w).take();
 }
 
@@ -64,7 +89,7 @@ Result<ChainSnapshot> ChainSnapshot::from_bytes(BytesView data) {
   }
   auto version = r.u32v();
   if (!version.ok()) return version.error();
-  if (version.value() != kSnapshotVersion) {
+  if (version.value() != 1 && version.value() != kSnapshotVersion) {
     return Error{Errc::unsupported, "unknown chain snapshot version"};
   }
   ChainSnapshot snap;
@@ -86,6 +111,24 @@ Result<ChainSnapshot> ChainSnapshot::from_bytes(BytesView data) {
   if (!crc.ok()) return crc.error();
   if (store::crc32(snap.state_bytes) != crc.value()) {
     return Error{Errc::parse_error, "chain snapshot state failed CRC"};
+  }
+  if (version.value() >= 2) {
+    auto has = r.u8v();
+    if (!has.ok()) return has.error();
+    if (has.value() > 1) {
+      return Error{Errc::parse_error, "bad chain snapshot sketch flag"};
+    }
+    snap.has_sketch = has.value() == 1;
+    if (snap.has_sketch) {
+      auto sketch = r.blob();
+      if (!sketch.ok()) return sketch.error();
+      snap.sketch_bytes = std::move(sketch.value());
+      auto scrc = r.u32v();
+      if (!scrc.ok()) return scrc.error();
+      if (store::crc32(snap.sketch_bytes) != scrc.value()) {
+        return Error{Errc::parse_error, "chain snapshot sketch failed CRC"};
+      }
+    }
   }
   if (!r.done()) {
     return Error{Errc::parse_error, "trailing bytes in chain snapshot"};

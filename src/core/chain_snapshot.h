@@ -16,10 +16,13 @@
 // fork the chain — it fails recovery with a typed error instead.
 #pragma once
 
+#include <optional>
+
 #include "common/bytes.h"
 #include "common/result.h"
 #include "common/serial.h"
 #include "core/clog.h"
+#include "netflow/sketch.h"
 
 namespace zkt::core {
 
@@ -30,15 +33,26 @@ struct ChainSnapshot {
   Digest32 root;          ///< CLog Merkle root after the round
   u64 entry_count = 0;    ///< CLog entries after the round
   Bytes state_bytes;      ///< CLogState::serialize output
+  /// Proof-carrying round sketch after the round (DESIGN.md §10), CRC'd
+  /// like state_bytes. Version-1 snapshots (pre-sketch) parse with
+  /// has_sketch = false; recovery then rejects them for sketched chains,
+  /// the same way a claim-digest mismatch is rejected.
+  bool has_sketch = false;
+  Bytes sketch_bytes;  ///< RoundSketch canonical bytes when has_sketch
 
-  /// Build from live chain state (serializes `state`).
+  /// Build from live chain state (serializes `state`, and `sketch` when the
+  /// chain carries one).
   static ChainSnapshot capture(u64 round_id, u64 window_id,
                                const Digest32& claim_digest,
-                               const CLogState& state);
+                               const CLogState& state,
+                               const netflow::RoundSketch* sketch = nullptr);
 
   /// Rebuild the CLog state and verify it against the snapshot's own root
   /// and entry count.
   Result<CLogState> restore_state() const;
+
+  /// Rebuild the round sketch (nullopt when the snapshot carries none).
+  Result<std::optional<netflow::RoundSketch>> restore_sketch() const;
 
   Bytes to_bytes() const;
   static Result<ChainSnapshot> from_bytes(BytesView data);

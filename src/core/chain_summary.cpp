@@ -75,12 +75,7 @@ void ChainSummaryJournal::write(Writer& w) const {
   w.fixed(final_root.bytes);
   w.u64v(final_entry_count);
   w.varint(commitments.size());
-  for (const auto& c : commitments) {
-    w.u32v(c.router_id);
-    w.u64v(c.window_id);
-    w.fixed(c.rlog_hash.bytes);
-    w.u64v(c.record_count);
-  }
+  for (const auto& c : commitments) write_commitment_ref(w, c);
 }
 
 Result<ChainSummaryJournal> ChainSummaryJournal::parse(BytesView journal) {
@@ -106,16 +101,9 @@ Result<ChainSummaryJournal> ChainSummaryJournal::parse(BytesView journal) {
   }
   j.commitments.resize(n.value());
   for (auto& c : j.commitments) {
-    auto rid = r.u32v();
-    if (!rid.ok()) return rid.error();
-    c.router_id = rid.value();
-    auto wid = r.u64v();
-    if (!wid.ok()) return wid.error();
-    c.window_id = wid.value();
-    ZKT_TRY(r.fixed(c.rlog_hash.bytes));
-    auto rc = r.u64v();
-    if (!rc.ok()) return rc.error();
-    c.record_count = rc.value();
+    auto parsed = parse_commitment_ref(r, CommitmentKind::rlog);
+    if (!parsed.ok()) return parsed.error();
+    c = std::move(parsed.value());
   }
   if (!r.done()) {
     return Error{Errc::parse_error, "trailing summary journal bytes"};

@@ -25,26 +25,106 @@ std::optional<u64> CLogState::find(const netflow::FlowKey& key) const {
 
 std::vector<CLogUpdate> CLogState::apply_records(
     std::span<const netflow::FlowRecord> records) {
+  // Batched application. The naive per-record form (vector::insert plus
+  // MerkleTree::insert_leaf) re-hashes the whole tree suffix for every
+  // inserted key — O(n) per record, quadratic over an insert-heavy round,
+  // which is exactly the genesis / full-rebuild shape. Instead: merge in
+  // place, park created entries on the side, and splice + rebuild the tree
+  // once at the end — O((n + k) + k log k) total. The returned updates are
+  // bit-identical to sequential application: each index is the entry's
+  // position at the moment its record was applied, which is its fixed
+  // position among the original entries plus the number of earlier-created
+  // batch keys that sort below it (a Fenwick tree over the batch's
+  // key-compressed ranks).
   std::vector<CLogUpdate> updates;
   updates.reserve(records.size());
+  if (records.empty()) return updates;
+
+  std::vector<netflow::FlowKey> keys;
+  keys.reserve(records.size());
+  for (const auto& record : records) keys.push_back(record.key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const size_t unique_count = keys.size();
+  auto rank_of = [&](const netflow::FlowKey& key) {
+    return static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+  };
+
+  // Original positions never move during the batch: merges edit in place
+  // and created entries are spliced in afterwards.
+  std::vector<u64> orig_pos(unique_count);
+  std::vector<bool> orig_match(unique_count);
+  for (size_t r = 0; r < unique_count; ++r) {
+    orig_pos[r] = lower_bound(keys[r]);
+    orig_match[r] =
+        orig_pos[r] < entries_.size() && entries_[orig_pos[r]].key == keys[r];
+  }
+
+  // Fenwick tree counting created keys by rank (1-based internally).
+  std::vector<u64> fen(unique_count + 1, 0);
+  auto fen_add = [&](size_t rank) {
+    for (size_t i = rank + 1; i <= unique_count; i += i & (0 - i)) ++fen[i];
+  };
+  auto fen_count_below = [&](size_t rank) {
+    u64 sum = 0;
+    for (size_t i = rank; i > 0; i -= i & (0 - i)) sum += fen[i];
+    return sum;
+  };
+
+  std::vector<std::optional<CLogEntry>> created(unique_count);
+  u64 created_count = 0;
   for (const auto& record : records) {
+    const size_t r = rank_of(record.key);
     CLogUpdate update;
-    const u64 pos = lower_bound(record.key);
-    if (pos < entries_.size() && entries_[pos].key == record.key) {
-      update.index = pos;
+    update.index = orig_pos[r] + fen_count_below(r);
+    if (orig_match[r]) {
       update.created = false;
-      entries_[pos].merge(record);
-      update.new_leaf = clog_leaf_digest(entries_[pos]);
-      tree_.update_leaf(pos, update.new_leaf);
+      entries_[orig_pos[r]].merge(record);
+      update.new_leaf = clog_leaf_digest(entries_[orig_pos[r]]);
+    } else if (created[r].has_value()) {
+      update.created = false;
+      created[r]->merge(record);
+      update.new_leaf = clog_leaf_digest(*created[r]);
     } else {
-      update.index = pos;
       update.created = true;
-      entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(pos), record);
+      created[r] = record;
+      fen_add(r);
+      ++created_count;
       update.new_leaf = clog_leaf_digest(record);
-      tree_.insert_leaf(pos, update.new_leaf);
     }
     updates.push_back(update);
   }
+
+  if (created_count == 0) {
+    // Merge-only round: per-leaf path refresh is O(k log n), far cheaper
+    // than a rebuild when the round touches a sliver of a large state.
+    for (const auto& update : updates) {
+      tree_.update_leaf(update.index, update.new_leaf);
+    }
+    return updates;
+  }
+
+  std::vector<CLogEntry> merged;
+  merged.reserve(entries_.size() + created_count);
+  size_t next_original = 0;
+  for (size_t r = 0; r < unique_count; ++r) {
+    if (!created[r].has_value()) continue;
+    while (next_original < entries_.size() &&
+           entries_[next_original].key < keys[r]) {
+      merged.push_back(std::move(entries_[next_original++]));
+    }
+    merged.push_back(std::move(*created[r]));
+  }
+  while (next_original < entries_.size()) {
+    merged.push_back(std::move(entries_[next_original++]));
+  }
+  entries_ = std::move(merged);
+
+  std::vector<Digest32> leaves;
+  leaves.reserve(entries_.size());
+  for (const auto& entry : entries_) leaves.push_back(clog_leaf_digest(entry));
+  tree_ = crypto::MerkleTree(std::move(leaves));
   return updates;
 }
 

@@ -29,7 +29,10 @@ const char* image_name(const zvm::ImageID& id) {
   if (id == images.query_selective) return "zkt.guest.query_selective";
   if (id == grouped_query_image()) return "zkt.guest.query_grouped";
   if (id == shard_split_image()) return "zkt.guest.shard_split";
+  if (id == join_image()) return "zkt.guest.join";
   if (id == sketch_query_image()) return "zkt.guest.sketch_query";
+  if (id == sketch_heavy_image()) return "zkt.guest.sketch_heavy";
+  if (id == sketch_card_image()) return "zkt.guest.sketch_card";
   if (id == chain_summary_image()) return "zkt.guest.chain_summary";
   if (id == histogram_query_image()) return "zkt.guest.histogram_query";
   return nullptr;
@@ -68,13 +71,22 @@ void describe_journal(std::ostringstream& os, const zvm::Receipt& receipt) {
       os << "\n      router " << c.router_id << " window " << c.window_id
          << ": " << c.record_count << " records, H=" << short_hex(c.rlog_hash);
     }
-    os << "\n    updates      " << j.value().updates.size() << " entr"
-       << (j.value().updates.size() == 1 ? "y" : "ies") << "\n";
+    os << "\n    updates      " << j.value().update_count << " entr"
+       << (j.value().update_count == 1 ? "y" : "ies") << " (digest "
+       << short_hex(j.value().updates_digest) << ")\n";
     if (j.value().kind == RoundKind::incremental) {
       os << "    delta shape  " << j.value().touched_entries
          << " opened entr"
          << (j.value().touched_entries == 1 ? "y" : "ies") << ", "
          << j.value().multiproof_siblings << " multiproof sibling(s)\n";
+    }
+    if (j.value().has_sketch) {
+      os << "    sketch       " << short_hex(j.value().prev_sketch_digest)
+         << " -> " << short_hex(j.value().sketch_digest) << " ("
+         << j.value().sketch_params.cm.width << "x"
+         << j.value().sketch_params.cm.depth << ", heavy cap "
+         << j.value().sketch_params.heavy_capacity << ", "
+         << j.value().sketch_total << " updates)\n";
     }
   } else if (kind == "zkt.guest.query" ||
              kind == "zkt.guest.query_selective") {
@@ -139,6 +151,49 @@ void describe_journal(std::ostringstream& os, const zvm::Receipt& receipt) {
        << "\n    estimate " << j.value().estimate << " (sketch H="
        << short_hex(j.value().commitment.rlog_hash) << ", "
        << j.value().commitment.record_count << " updates)\n";
+  } else if (kind == "zkt.guest.join") {
+    auto j = JoinJournal::parse(receipt.journal);
+    if (!j.ok()) {
+      os << "  journal: MALFORMED (" << j.error().to_string() << ")\n";
+      return;
+    }
+    os << "  join tree: height " << j.value().height << ", "
+       << j.value().leaf_count << " leaf (shard) chain(s), "
+       << j.value().total_entries << " entries\n"
+       << "    fold digest  " << short_hex(j.value().fold_digest) << "\n";
+    if (j.value().has_sketch) {
+      os << "    round sketch " << short_hex(j.value().sketch_digest) << " ("
+         << j.value().sketch_params.cm.width << "x"
+         << j.value().sketch_params.cm.depth << ", heavy cap "
+         << j.value().sketch_params.heavy_capacity << ", "
+         << j.value().sketch_total << " updates)\n";
+    }
+  } else if (kind == "zkt.guest.sketch_heavy") {
+    auto j = SketchHeavyJournal::parse(receipt.journal);
+    if (!j.ok()) {
+      os << "  journal: MALFORMED (" << j.error().to_string() << ")\n";
+      return;
+    }
+    os << "  sketch heavy hitters: threshold " << j.value().threshold
+       << " over " << j.value().total << " updates (sketch "
+       << short_hex(j.value().sketch_digest) << ", round claim "
+       << short_hex(j.value().agg_claim_digest) << ")\n"
+       << "    " << j.value().hits.size() << " hit(s):\n";
+    for (const auto& hit : j.value().hits) {
+      os << "      " << hit.key.to_string() << " count " << hit.count
+         << " (err<=" << hit.error << ", cms " << hit.cms_estimate << ")\n";
+    }
+  } else if (kind == "zkt.guest.sketch_card") {
+    auto j = SketchCardinalityJournal::parse(receipt.journal);
+    if (!j.ok()) {
+      os << "  journal: MALFORMED (" << j.error().to_string() << ")\n";
+      return;
+    }
+    os << "  sketch cardinality: " << j.value().distinct_flows
+       << " distinct flow(s), CMS lower bound "
+       << j.value().cms_lower_bound << " (sketch "
+       << short_hex(j.value().sketch_digest) << ", round claim "
+       << short_hex(j.value().agg_claim_digest) << ")\n";
   } else if (kind == "zkt.guest.histogram_query") {
     auto j = HistogramQueryJournal::parse(receipt.journal);
     if (!j.ok()) {

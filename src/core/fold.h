@@ -7,6 +7,7 @@
 // include closure (join.h holds everything guests reach).
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "core/join.h"
@@ -32,6 +33,12 @@ struct FoldOptions {
   /// Worker pool for the per-level parallel joins; nullptr uses
   /// common::ThreadPool::shared().
   common::ThreadPool* pool = nullptr;
+  /// Per-shard round sketches, one per leaf in shard order, when the shard
+  /// chains carry the proof-carrying sketch (DESIGN.md §10); empty when they
+  /// don't. The fold feeds each child's sketch bytes to its join guest and
+  /// mirrors the guests' left-to-right merges host-side, so the root journal
+  /// binds the sum of all shard sketches.
+  std::span<const netflow::RoundSketch> leaf_sketches;
 };
 
 /// What a fold produced.
@@ -41,6 +48,10 @@ struct FoldResult {
   u64 joins = 0;         ///< join proofs generated across all levels
   u64 total_cycles = 0;  ///< guest cycles across those joins
   double wall_ms = 0;
+  /// Host-merged round sketch matching journal.sketch_digest (set iff
+  /// FoldOptions::leaf_sketches was supplied). This is the state the next
+  /// round's shards chain from and the sketch query guests open.
+  std::optional<netflow::RoundSketch> sketch;
 };
 
 /// Fold `leaves` — aggregation receipts in shard order — into one join

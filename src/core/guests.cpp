@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 
+#include "core/sketch_fold.h"
 #include "crypto/merkle.h"
 
 namespace zkt::core {
@@ -94,6 +96,68 @@ Result<std::pair<CommitmentRef, RLogBatch>> read_verified_batch(Env& env) {
   ZKT_TRY(assert_eq_u64(env, batch.value().records.size(), ref.record_count,
                         "batch record count vs commitment"));
   return std::make_pair(ref, std::move(batch.value()));
+}
+
+Result<SketchFold> read_sketch_state(Env& env, bool genesis) {
+  SketchFold fold;
+  auto has = env.read_u8();
+  if (!has.ok()) return has.error();
+  if (has.value() > 1) {
+    return Error{Errc::guest_abort, "bad sketch flag in aggregation input"};
+  }
+  if (has.value() == 0) return fold;
+  fold.enabled = true;
+
+  auto bytes = env.read_blob();
+  if (!bytes.ok()) return bytes.error();
+  // One traced hash binds the ENTIRE previous sketch; the per-record fold
+  // below is the only way its counters legitimately change.
+  env.begin_region("sketch_fold");
+  fold.prev_digest = env.sha256(bytes.value());
+  Reader sr(bytes.value());
+  auto sketch = netflow::RoundSketch::deserialize(sr);
+  if (!sketch.ok()) return sketch.error();
+  if (!sr.done()) {
+    return Error{Errc::guest_abort, "trailing bytes in sketch state"};
+  }
+  fold.sketch = std::move(sketch.value());
+
+  if (genesis) {
+    // A chain cannot start from seeded counts: the genesis sketch must be
+    // all-zero (the auditor independently pins prev_sketch_digest to the
+    // empty sketch's hash, but the in-trace check makes the receipt itself
+    // unforgeable on this point).
+    bool zero = fold.sketch.total() == 0 &&
+                fold.sketch.heavy().size() == 0 &&
+                fold.sketch.heavy().total() == 0;
+    const auto& cm = fold.sketch.cm();
+    for (u32 row = 0; zero && row < cm.params().depth; ++row) {
+      zero = cm.nonzero_in_row(row) == 0;
+    }
+    ZKT_TRY(env.assert_true(zero, "genesis sketch must be empty"));
+  }
+  return fold;
+}
+
+void publish_sketch(Env& env, const SketchFold& fold, AggJournal& journal) {
+  if (!fold.enabled) return;
+  journal.has_sketch = true;
+  journal.sketch_params = fold.sketch.params();
+  journal.prev_sketch_digest = fold.prev_digest;
+  journal.sketch_digest = sketch_digest_traced(env, fold.sketch);
+  journal.sketch_total = fold.sketch.total();
+}
+
+Digest32 hash_update_refs(Env& env, const std::vector<UpdateRef>& updates) {
+  Writer w;
+  w.str("zkt.agg.updates.v1");
+  w.varint(updates.size());
+  for (const auto& u : updates) {
+    w.u64v(u.index);
+    w.u8v(u.created ? 1 : 0);
+    w.fixed(u.new_leaf.bytes);
+  }
+  return env.sha256(w.bytes());
 }
 
 }  // namespace detail
@@ -208,6 +272,42 @@ Digest32 merkle_root_traced(zvm::Env& env, std::vector<Digest32> leaves) {
 // ---------------------------------------------------------------------------
 // Journal schemas
 
+void write_commitment_ref(Writer& w, const CommitmentRef& ref) {
+  w.u8v(static_cast<u8>(ref.kind));
+  w.u32v(ref.router_id);
+  w.u64v(ref.window_id);
+  w.fixed(ref.rlog_hash.bytes);
+  w.u64v(ref.record_count);
+}
+
+Result<CommitmentRef> parse_commitment_ref(Reader& r,
+                                           CommitmentKind expected) {
+  CommitmentRef ref;
+  auto kind = r.u8v();
+  if (!kind.ok()) return kind.error();
+  if (kind.value() > static_cast<u8>(CommitmentKind::sketch)) {
+    return Error{Errc::parse_error, "unknown commitment kind"};
+  }
+  ref.kind = static_cast<CommitmentKind>(kind.value());
+  if (ref.kind != expected) {
+    return Error{Errc::parse_error,
+                 expected == CommitmentKind::rlog
+                     ? "sketch commitment where an rlog commitment belongs"
+                     : "rlog commitment where a sketch commitment belongs"};
+  }
+  auto rid = r.u32v();
+  if (!rid.ok()) return rid.error();
+  ref.router_id = rid.value();
+  auto wid = r.u64v();
+  if (!wid.ok()) return wid.error();
+  ref.window_id = wid.value();
+  ZKT_TRY(r.fixed(ref.rlog_hash.bytes));
+  auto rc = r.u64v();
+  if (!rc.ok()) return rc.error();
+  ref.record_count = rc.value();
+  return ref;
+}
+
 void AggJournal::write(Writer& w) const {
   w.str(kind == RoundKind::incremental ? "AGGI" : "AGG1");
   w.u8v(has_prev ? 1 : 0);
@@ -218,20 +318,23 @@ void AggJournal::write(Writer& w) const {
   w.u64v(new_entry_count);
   w.varint(commitments.size());
   for (const auto& c : commitments) {
-    w.u32v(c.router_id);
-    w.u64v(c.window_id);
-    w.fixed(c.rlog_hash.bytes);
-    w.u64v(c.record_count);
+    write_commitment_ref(w, c);
   }
-  w.varint(updates.size());
-  for (const auto& u : updates) {
-    w.u64v(u.index);
-    w.u8v(u.created ? 1 : 0);
-    w.fixed(u.new_leaf.bytes);
-  }
+  w.u64v(update_count);
+  w.fixed(updates_digest.bytes);
   if (kind == RoundKind::incremental) {
     w.u64v(touched_entries);
     w.u64v(multiproof_siblings);
+  }
+  w.u8v(has_sketch ? 1 : 0);
+  if (has_sketch) {
+    w.u32v(sketch_params.cm.width);
+    w.u32v(sketch_params.cm.depth);
+    w.u64v(sketch_params.cm.seed);
+    w.u32v(sketch_params.heavy_capacity);
+    w.fixed(prev_sketch_digest.bytes);
+    w.fixed(sketch_digest.bytes);
+    w.u64v(sketch_total);
   }
 }
 
@@ -263,32 +366,14 @@ Result<AggJournal> AggJournal::parse(BytesView journal) {
   }
   j.commitments.resize(nc.value());
   for (auto& c : j.commitments) {
-    auto rid = r.u32v();
-    if (!rid.ok()) return rid.error();
-    c.router_id = rid.value();
-    auto wid = r.u64v();
-    if (!wid.ok()) return wid.error();
-    c.window_id = wid.value();
-    ZKT_TRY(r.fixed(c.rlog_hash.bytes));
-    auto rc = r.u64v();
-    if (!rc.ok()) return rc.error();
-    c.record_count = rc.value();
+    auto ref = parse_commitment_ref(r, CommitmentKind::rlog);
+    if (!ref.ok()) return ref.error();
+    c = ref.value();
   }
-  auto nu = r.varint();
+  auto nu = r.u64v();
   if (!nu.ok()) return nu.error();
-  if (nu.value() > (1u << 26)) {
-    return Error{Errc::parse_error, "too many updates"};
-  }
-  j.updates.resize(nu.value());
-  for (auto& u : j.updates) {
-    auto idx = r.u64v();
-    if (!idx.ok()) return idx.error();
-    u.index = idx.value();
-    auto created = r.u8v();
-    if (!created.ok()) return created.error();
-    u.created = created.value() != 0;
-    ZKT_TRY(r.fixed(u.new_leaf.bytes));
-  }
+  j.update_count = nu.value();
+  ZKT_TRY(r.fixed(j.updates_digest.bytes));
   if (j.kind == RoundKind::incremental) {
     auto te = r.u64v();
     if (!te.ok()) return te.error();
@@ -296,6 +381,35 @@ Result<AggJournal> AggJournal::parse(BytesView journal) {
     auto ms = r.u64v();
     if (!ms.ok()) return ms.error();
     j.multiproof_siblings = ms.value();
+  }
+  auto hs = r.u8v();
+  if (!hs.ok()) return hs.error();
+  if (hs.value() > 1) {
+    return Error{Errc::parse_error, "bad sketch flag"};
+  }
+  j.has_sketch = hs.value() != 0;
+  if (j.has_sketch) {
+    auto width = r.u32v();
+    if (!width.ok()) return width.error();
+    j.sketch_params.cm.width = width.value();
+    auto depth = r.u32v();
+    if (!depth.ok()) return depth.error();
+    j.sketch_params.cm.depth = depth.value();
+    auto seed = r.u64v();
+    if (!seed.ok()) return seed.error();
+    j.sketch_params.cm.seed = seed.value();
+    auto cap = r.u32v();
+    if (!cap.ok()) return cap.error();
+    j.sketch_params.heavy_capacity = cap.value();
+    if (j.sketch_params.cm.width == 0 || j.sketch_params.cm.depth == 0 ||
+        j.sketch_params.heavy_capacity == 0) {
+      return Error{Errc::parse_error, "degenerate sketch params"};
+    }
+    ZKT_TRY(r.fixed(j.prev_sketch_digest.bytes));
+    ZKT_TRY(r.fixed(j.sketch_digest.bytes));
+    auto st = r.u64v();
+    if (!st.ok()) return st.error();
+    j.sketch_total = st.value();
   }
   if (!r.done()) {
     return Error{Errc::parse_error, "trailing aggregation journal bytes"};
@@ -362,6 +476,8 @@ Bytes AggregateInput::to_bytes() const {
   w.fixed(prev_claim_digest.bytes);
   w.u8v(static_cast<u8>(prev_image_kind));
   w.fixed(prev_root.bytes);
+  w.u8v(has_sketch ? 1 : 0);
+  if (has_sketch) w.blob(prev_sketch);
   w.u64v(prev_entries.size());
   for (const auto& e : prev_entries) w.blob(e);
   w.u64v(batches.size());
@@ -380,6 +496,8 @@ Bytes DeltaAggregateInput::to_bytes() const {
   w.fixed(prev_claim_digest.bytes);
   w.u8v(static_cast<u8>(prev_image_kind));
   w.fixed(prev_root.bytes);
+  w.u8v(has_sketch ? 1 : 0);
+  if (has_sketch) w.blob(prev_sketch);
   w.u64v(prev_entry_count);
   w.u64v(opened.size());
   for (const auto& o : opened) {
@@ -479,6 +597,10 @@ Status aggregate_guest(Env& env) {
                           "genesis round must carry a zero prev claim"));
   }
 
+  // ---- Authenticate the proof-carrying sketch state (when enabled).
+  auto sketch_fold = detail::read_sketch_state(env, !journal.has_prev);
+  if (!sketch_fold.ok()) return sketch_fold.error();
+
   // ---- Load and authenticate the previous CLog state.
   auto prev_count = env.read_u64();
   if (!prev_count.ok()) return prev_count.error();
@@ -518,6 +640,14 @@ Status aggregate_guest(Env& env) {
   auto n_batches = env.read_u64();
   if (!n_batches.ok()) return n_batches.error();
 
+  // Flows created this round live in a side map instead of being spliced
+  // into `work` per record — a sorted-vector insert there re-shuffles O(n)
+  // entries per new flow, which turns genesis-shaped rounds quadratic in
+  // untraced host time. The traced op sequence is unchanged: prev-state
+  // flows verify their path and merge exactly as before, created flows
+  // merge with no path, and the side map joins `work` in key order for the
+  // rebuild pass below.
+  std::map<FlowKey, WorkEntry> created_flows;
   for (u64 b = 0; b < n_batches.value(); ++b) {
     auto batch = detail::read_verified_batch(env);
     if (!batch.ok()) return batch.error();
@@ -529,37 +659,60 @@ Status aggregate_guest(Env& env) {
           [](const WorkEntry& w, const FlowKey& k) { return w.entry.key < k; });
       if (it != work.end() && it->entry.key == record.key) {
         // Algorithm 1, lines 15-18: the flow exists in C_prev — verify its
-        // Merkle path against T_prev before aggregating into it. Flows only
-        // created this round have no prev path.
-        if (!it->created) {
-          env.begin_region("per_record_merkle_verify");
-          ZKT_TRY(verify_path_traced(env, prev_levels, it->old_index,
-                                     journal.prev_root));
-        }
+        // Merkle path against T_prev before aggregating into it.
+        env.begin_region("per_record_merkle_verify");
+        ZKT_TRY(verify_path_traced(env, prev_levels, it->old_index,
+                                   journal.prev_root));
         env.begin_region("aggregate_records");
         merge_traced(env, it->entry, record);
         it->merged = true;
+      } else if (auto created = created_flows.find(record.key);
+                 created != created_flows.end()) {
+        // Re-observed flow created earlier this round: no prev path.
+        env.begin_region("aggregate_records");
+        merge_traced(env, created->second.entry, record);
       } else {
-        // New flow: insert at its key-sorted position.
-        work.insert(it, WorkEntry{record, 0, true, true});
+        // New flow, first sighting this round.
+        created_flows.emplace(record.key, WorkEntry{record, 0, true, true});
+      }
+      if (sketch_fold.value().enabled) {
+        // Fold the record into the round sketch: depth traced index hashes
+        // + saturating counter adds, weighted by the record's packets so
+        // estimates cross-check against the exact CLog entry.
+        env.begin_region("sketch_fold");
+        sketch_fold_record_traced(env, sketch_fold.value().sketch, record.key,
+                                  record.packets);
       }
     }
   }
 
   // ---- Recompute leaves for touched entries and derive the new root,
   // reusing the prev-state subtrees whose leaves did not change or move
-  // instead of re-hashing the whole tree a second time.
+  // instead of re-hashing the whole tree a second time. Walk the original
+  // entries and this round's created flows as one key-sorted sequence — the
+  // same order a direct sorted insert would have produced.
   env.begin_region("rebuild_merkle_tree");
-  const u64 new_count = work.size();
+  const u64 new_count = work.size() + created_flows.size();
   std::vector<Digest32> new_leaves(new_count);
+  std::vector<UpdateRef> updates;
   std::vector<u64> changed_in_place;
   u64 stable_limit = new_count;  // first index whose position shifted
+  auto original = work.begin();
+  auto fresh = created_flows.begin();
   for (u64 j = 0; j < new_count; ++j) {
-    const WorkEntry& item = work[j];
+    const bool take_fresh =
+        fresh != created_flows.end() &&
+        (original == work.end() || fresh->first < original->entry.key);
+    const WorkEntry& item = take_fresh ? fresh->second : *original;
+    if (take_fresh) {
+      ++fresh;
+    } else {
+      ++original;
+    }
     if (item.created && j < stable_limit) stable_limit = j;
     if (item.created || item.merged) {
       new_leaves[j] = env.hash_leaf(item.entry.canonical_bytes());
-      journal.updates.push_back(UpdateRef{j, item.created, new_leaves[j]});
+      updates.push_back(UpdateRef{j, item.created, new_leaves[j]});
       if (!item.created) changed_in_place.push_back(j);
     } else {
       new_leaves[j] = prev_levels[0][item.old_index];
@@ -569,10 +722,14 @@ Status aggregate_guest(Env& env) {
       env, std::move(new_leaves), prev_levels, changed_in_place, stable_limit);
   env.end_region();
   journal.new_entry_count = new_count;
+  journal.update_count = updates.size();
+  journal.updates_digest = detail::hash_update_refs(env, updates);
 
   if (env.input_remaining() != 0) {
     return Error{Errc::guest_abort, "trailing bytes in aggregation input"};
   }
+
+  detail::publish_sketch(env, sketch_fold.value(), journal);
 
   Writer jw;
   journal.write(jw);

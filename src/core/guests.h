@@ -29,6 +29,7 @@
 
 #include "core/clog.h"
 #include "core/query.h"
+#include "netflow/sketch.h"
 #include "zvm/env.h"
 #include "zvm/image.h"
 
@@ -60,15 +61,35 @@ const zvm::ImageID& aggregation_image(RoundKind kind);
 // ---------------------------------------------------------------------------
 // Aggregation
 
-/// Reference to one committed RLog batch consumed by a round.
+/// What a serialized CommitmentRef commits to. RLog-batch references and
+/// sketch references share the struct but live in separate commitment
+/// spaces; the serialized form carries this tag so one can never be parsed
+/// as the other (a sketch hash is not an RLog hash).
+enum class CommitmentKind : u8 {
+  rlog = 0,    ///< hash of a router's canonical RLogBatch bytes
+  sketch = 1,  ///< hash of committed sketch bytes
+};
+
+/// Reference to one committed batch (or sketch) consumed by a round. The
+/// `kind` field defaults to rlog and sits last so positional initializers
+/// predating the tag keep working.
 struct CommitmentRef {
   u32 router_id = 0;
   u64 window_id = 0;
-  Digest32 rlog_hash;
+  Digest32 rlog_hash;  ///< batch hash (kind=rlog) or sketch hash (kind=sketch)
   u64 record_count = 0;
+  CommitmentKind kind = CommitmentKind::rlog;
 
   friend bool operator==(const CommitmentRef&, const CommitmentRef&) = default;
 };
+
+/// Canonical serialized form of a CommitmentRef, kind tag included. Every
+/// journal that embeds commitment references uses these (AGG1/AGGI,
+/// SPLIT1, JOIN1, CHAIN1 expect rlog; SKQ1 expects sketch); parse rejects
+/// a reference whose tag differs from `expected`, separating the two
+/// commitment spaces at the wire level.
+void write_commitment_ref(Writer& w, const CommitmentRef& ref);
+Result<CommitmentRef> parse_commitment_ref(Reader& r, CommitmentKind expected);
 
 /// One CLog entry touched by a round (public part: index + new leaf digest).
 struct UpdateRef {
@@ -93,10 +114,27 @@ struct AggJournal {
   u64 prev_entry_count = 0;
   u64 new_entry_count = 0;
   std::vector<CommitmentRef> commitments;
-  std::vector<UpdateRef> updates;
+  // The touched-entry list is committed by digest, not carried inline: a
+  // round touches O(N) entries, and every downstream guest that binds to
+  // this journal re-hashes its bytes in-trace. Inlining the list made that
+  // binding — and therefore every sketch/exact query proof — grow with N.
+  // The digest keeps the journal constant-size while still committing to
+  // the full ordered list (hash_update_refs), so an auditor holding the
+  // list out-of-band can check it against the claim.
+  u64 update_count = 0;     ///< entries touched this round
+  Digest32 updates_digest;  ///< hash_update_refs over the ordered list
   // Delta-shape stats, only serialized for incremental rounds.
   u64 touched_entries = 0;      ///< opened prev entries (k)
   u64 multiproof_siblings = 0;  ///< deduplicated sibling digests shipped
+  // Proof-carrying sketch state (DESIGN.md §10): when the round folds its
+  // records into a committed RoundSketch, the journal chains its digest
+  // exactly like the Merkle root (prev digest -> new digest) and publishes
+  // the parameters so verifiers can check continuity without the bytes.
+  bool has_sketch = false;
+  netflow::SketchParams sketch_params;
+  Digest32 prev_sketch_digest;  ///< hash of the empty sketch at genesis
+  Digest32 sketch_digest;       ///< hash of the round's folded sketch bytes
+  u64 sketch_total = 0;         ///< folded sketch total after this round
 
   void write(Writer& w) const;
   static Result<AggJournal> parse(BytesView journal);
@@ -112,6 +150,12 @@ struct AggregateInput {
   Digest32 prev_root;  ///< empty-tree root when has_prev is false
   /// Canonical CLog entry bytes, in key-sorted index order.
   std::vector<Bytes> prev_entries;
+  /// Proof-carrying sketch state: when set, `prev_sketch` holds the
+  /// previous round's canonical RoundSketch bytes (the empty sketch at
+  /// genesis); the guest hashes them, folds every record in, and publishes
+  /// prev/new sketch digests in the journal.
+  bool has_sketch = false;
+  Bytes prev_sketch;
   /// (commitment metadata, serialized RLogBatch bytes), in aggregation order.
   std::vector<std::pair<CommitmentRef, Bytes>> batches;
 
@@ -140,6 +184,9 @@ struct DeltaAggregateInput {
   /// grows tree capacity, the proof is generated against a grown copy
   /// (MerkleTree::grow_capacity) but leaf_count stays prev_entry_count.
   crypto::MerkleMultiProof proof;
+  /// Previous round's sketch bytes (same contract as AggregateInput).
+  bool has_sketch = false;
+  Bytes prev_sketch;
   /// (commitment metadata, serialized RLogBatch bytes), in aggregation order.
   std::vector<std::pair<CommitmentRef, Bytes>> batches;
 
@@ -255,6 +302,33 @@ void merge_traced(zvm::Env& env, netflow::FlowRecord& into,
 /// check of Figure 3) — shared by both aggregation guests.
 Result<std::pair<CommitmentRef, netflow::RLogBatch>> read_verified_batch(
     zvm::Env& env);
+
+/// The proof-carrying sketch state both aggregation guests thread through
+/// a round: the previous sketch (authenticated by its traced digest) and
+/// the fold target the per-record updates mutate.
+struct SketchFold {
+  bool enabled = false;
+  Digest32 prev_digest;
+  netflow::RoundSketch sketch;
+};
+
+/// Read the round's sketch section from the input stream (u8 has_sketch
+/// [+ blob prev_sketch_bytes]): traced-hash the previous bytes into
+/// prev_digest and deserialize the fold target. At genesis the previous
+/// sketch must be empty (zero total, zero counters, no tracked keys) —
+/// asserted in-trace so a chain cannot start from seeded counts.
+Result<SketchFold> read_sketch_state(zvm::Env& env, bool genesis);
+
+/// Publish the folded sketch into the journal: traced digest over the new
+/// canonical bytes plus params/total/prev-digest fields.
+void publish_sketch(zvm::Env& env, const SketchFold& fold,
+                    AggJournal& journal);
+
+/// Traced commitment to a round's ordered touched-entry list (domain
+/// "zkt.agg.updates.v1" || count || per-entry index/created/leaf). Both
+/// aggregation guests call this once per round; the journal carries only
+/// the digest so downstream journal bindings stay O(1) in N.
+Digest32 hash_update_refs(zvm::Env& env, const std::vector<UpdateRef>& updates);
 
 /// Traced condition evaluation (0/1) and field extraction used by the query
 /// guests.

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/guests.h"
+#include "core/sketch_fold.h"
 #include "crypto/merkle.h"
 
 namespace zkt::core {
@@ -98,6 +99,11 @@ Status aggregate_incremental_guest(Env& env) {
   ZKT_TRY(env.verify_assumption(
       aggregation_image(static_cast<RoundKind>(prev_kind.value())),
       journal.prev_claim_digest));
+
+  // ---- Authenticate the proof-carrying sketch state (when enabled). A
+  // delta round never sits at genesis, so no emptiness check here.
+  auto sketch_fold = detail::read_sketch_state(env, /*genesis=*/false);
+  if (!sketch_fold.ok()) return sketch_fold.error();
 
   auto prev_count = env.read_u64();
   if (!prev_count.ok()) return prev_count.error();
@@ -176,17 +182,25 @@ Status aggregate_incremental_guest(Env& env) {
       if (it != opened.end() && it->entry.key == record.key) {
         merge_traced(env, it->entry, record);
         it->merged = true;
-        continue;
-      }
-      auto fit = std::lower_bound(
-          fresh.begin(), fresh.end(), record.key,
-          [](const FreshItem& f, const FlowKey& k) {
-            return f.entry.key < k;
-          });
-      if (fit != fresh.end() && fit->entry.key == record.key) {
-        merge_traced(env, fit->entry, record);
       } else {
-        fresh.insert(fit, FreshItem{record});
+        auto fit = std::lower_bound(
+            fresh.begin(), fresh.end(), record.key,
+            [](const FreshItem& f, const FlowKey& k) {
+              return f.entry.key < k;
+            });
+        if (fit != fresh.end() && fit->entry.key == record.key) {
+          merge_traced(env, fit->entry, record);
+        } else {
+          fresh.insert(fit, FreshItem{record});
+        }
+      }
+      if (sketch_fold.value().enabled) {
+        // Same fold, same order as the full guest: host mirrors must replay
+        // records in batch order for the Space-Saving state to match.
+        env.begin_region("sketch_fold");
+        sketch_fold_record_traced(env, sketch_fold.value().sketch, record.key,
+                                  record.packets);
+        env.begin_region("aggregate_records");
       }
     }
   }
@@ -399,17 +413,22 @@ Status aggregate_incremental_guest(Env& env) {
   journal.new_root = known[0].new_d;
   env.end_region();
 
+  std::vector<UpdateRef> updates;
   for (const auto& s : slots) {
     if (s.record_update) {
-      journal.updates.push_back(UpdateRef{s.index, s.created, s.new_digest});
+      updates.push_back(UpdateRef{s.index, s.created, s.new_digest});
     }
   }
+  journal.update_count = updates.size();
+  journal.updates_digest = detail::hash_update_refs(env, updates);
   journal.touched_entries = n_opened;
   journal.multiproof_siblings = proof.siblings.size();
 
   if (env.input_remaining() != 0) {
     return Error{Errc::guest_abort, "trailing bytes in delta input"};
   }
+
+  detail::publish_sketch(env, sketch_fold.value(), journal);
 
   Writer jw;
   journal.write(jw);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/sketch_fold.h"
 #include "zvm/env.h"
 #include "zvm/image.h"
 
@@ -18,6 +19,41 @@ using zvm::Env;
 constexpr u32 kMaxJoinChildren = 64;
 constexpr u32 kMaxJoinHeight = 40;
 
+/// Read one child's sketch section (u8 has + blob bytes), authenticate the
+/// bytes against the digest the child's journal chained (ONE traced hash),
+/// and fold them into the running merged sketch with traced saturating
+/// adds. `child_has`/`child_digest` come from the child's parsed journal.
+Status merge_child_sketch(Env& env, bool child_has,
+                          const Digest32& child_digest,
+                          std::optional<netflow::RoundSketch>& merged) {
+  auto has = env.read_u8();
+  if (!has.ok()) return has.error();
+  if (has.value() > 1) {
+    return Error{Errc::guest_abort, "bad child sketch flag in join input"};
+  }
+  ZKT_TRY(env.assert_true((has.value() == 1) == child_has,
+                          "child sketch bytes vs its journal"));
+  if (!child_has) return {};
+
+  auto bytes = env.read_blob();
+  if (!bytes.ok()) return bytes.error();
+  env.begin_region("sketch_merge");
+  const Digest32 h = env.sha256(bytes.value());
+  ZKT_TRY(env.assert_eq(h, child_digest,
+                        "child sketch bytes vs chained digest"));
+  Reader sr(bytes.value());
+  auto sketch = netflow::RoundSketch::deserialize(sr);
+  if (!sketch.ok()) return sketch.error();
+  if (!sr.done()) {
+    return Error{Errc::guest_abort, "trailing bytes in child sketch"};
+  }
+  if (!merged.has_value()) {
+    merged = std::move(sketch.value());
+    return {};
+  }
+  return sketch_merge_traced(env, *merged, sketch.value());
+}
+
 Status join_guest(Env& env) {
   auto n_children = env.read_u32();
   if (!n_children.ok()) return n_children.error();
@@ -32,6 +68,10 @@ Status join_guest(Env& env) {
   // is what makes the tree's shape and child order part of the claim.
   Writer fold_input;
   fold_input.str("zkt.join.fold.v1");
+  // Children must agree about sketch carriage (all or none); their round
+  // sketches merge left to right so the seal binds one round sketch.
+  std::optional<netflow::RoundSketch> merged_sketch;
+  bool sketched = false;
 
   for (u32 i = 0; i < n_children.value(); ++i) {
     auto kind = env.read_u8();
@@ -39,6 +79,8 @@ Status join_guest(Env& env) {
     ZKT_TRY(env.assert_true(kind.value() == kJoinChildAggregation ||
                                 kind.value() == kJoinChildJoin,
                             "join child kind"));
+    bool child_has = false;
+    Digest32 child_sketch_digest;
     if (kind.value() == kJoinChildAggregation) {
       // A per-shard aggregation round: verify it (claim digest recomputed
       // with traced hashing, receipt required via assumption, journal
@@ -58,6 +100,16 @@ Status join_guest(Env& env) {
       link.prev_entry_count = j.value().prev_entry_count;
       link.new_entry_count = j.value().new_entry_count;
       link.commitments = std::move(j.value().commitments);
+      link.has_sketch = j.value().has_sketch;
+      link.prev_sketch_digest = j.value().prev_sketch_digest;
+      link.sketch_digest = j.value().sketch_digest;
+      child_has = j.value().has_sketch;
+      child_sketch_digest = j.value().sketch_digest;
+      if (child_has && sketched) {
+        ZKT_TRY(env.assert_true(
+            j.value().sketch_params == merged_sketch->params(),
+            "leaf sketch params vs siblings"));
+      }
       out.leaf_count = env.alu(AluOp::add, out.leaf_count, 1);
       out.total_entries =
           env.alu(AluOp::add, out.total_entries, link.new_entry_count);
@@ -80,8 +132,20 @@ Status join_guest(Env& env) {
       out.total_entries =
           env.alu(AluOp::add, out.total_entries, j.value().total_entries);
       fold_input.fixed(j.value().fold_digest.bytes);
+      child_has = j.value().has_sketch;
+      child_sketch_digest = j.value().sketch_digest;
       for (auto& link : j.value().links) out.links.push_back(std::move(link));
     }
+
+    // All-or-none: the first child decides whether this round is sketched.
+    if (i == 0) {
+      sketched = child_has;
+    } else {
+      ZKT_TRY(env.assert_true(child_has == sketched,
+                              "children disagree about sketch carriage"));
+    }
+    ZKT_TRY(merge_child_sketch(env, child_has, child_sketch_digest,
+                               merged_sketch));
   }
   if (env.input_remaining() != 0) {
     return Error{Errc::guest_abort, "trailing bytes in join input"};
@@ -93,6 +157,12 @@ Status join_guest(Env& env) {
       env.alu(AluOp::eq, out.leaf_count, out.links.size());
   ZKT_TRY(env.assert_true(links_match == 1, "join links vs leaf count"));
   out.fold_digest = env.sha256(fold_input.bytes());
+  if (sketched) {
+    out.has_sketch = true;
+    out.sketch_params = merged_sketch->params();
+    out.sketch_digest = sketch_digest_traced(env, *merged_sketch);
+    out.sketch_total = merged_sketch->total();
+  }
 
   Writer jw;
   out.write(jw);
@@ -118,12 +188,21 @@ void JoinJournal::write(Writer& w) const {
     w.u64v(link.prev_entry_count);
     w.u64v(link.new_entry_count);
     w.varint(link.commitments.size());
-    for (const auto& c : link.commitments) {
-      w.u32v(c.router_id);
-      w.u64v(c.window_id);
-      w.fixed(c.rlog_hash.bytes);
-      w.u64v(c.record_count);
+    for (const auto& c : link.commitments) write_commitment_ref(w, c);
+    w.u8v(link.has_sketch ? 1 : 0);
+    if (link.has_sketch) {
+      w.fixed(link.prev_sketch_digest.bytes);
+      w.fixed(link.sketch_digest.bytes);
     }
+  }
+  w.u8v(has_sketch ? 1 : 0);
+  if (has_sketch) {
+    w.u32v(sketch_params.cm.width);
+    w.u32v(sketch_params.cm.depth);
+    w.u64v(sketch_params.cm.seed);
+    w.u32v(sketch_params.heavy_capacity);
+    w.fixed(sketch_digest.bytes);
+    w.u64v(sketch_total);
   }
 }
 
@@ -175,17 +254,48 @@ Result<JoinJournal> JoinJournal::parse(BytesView journal) {
     }
     link.commitments.resize(nc.value());
     for (auto& c : link.commitments) {
-      auto rid = r.u32v();
-      if (!rid.ok()) return rid.error();
-      c.router_id = rid.value();
-      auto wid = r.u64v();
-      if (!wid.ok()) return wid.error();
-      c.window_id = wid.value();
-      ZKT_TRY(r.fixed(c.rlog_hash.bytes));
-      auto rc = r.u64v();
-      if (!rc.ok()) return rc.error();
-      c.record_count = rc.value();
+      auto parsed = parse_commitment_ref(r, CommitmentKind::rlog);
+      if (!parsed.ok()) return parsed.error();
+      c = std::move(parsed.value());
     }
+    auto link_sketch = r.u8v();
+    if (!link_sketch.ok()) return link_sketch.error();
+    if (link_sketch.value() > 1) {
+      return Error{Errc::parse_error, "bad join link sketch flag"};
+    }
+    link.has_sketch = link_sketch.value() == 1;
+    if (link.has_sketch) {
+      ZKT_TRY(r.fixed(link.prev_sketch_digest.bytes));
+      ZKT_TRY(r.fixed(link.sketch_digest.bytes));
+    }
+  }
+  auto has_sketch = r.u8v();
+  if (!has_sketch.ok()) return has_sketch.error();
+  if (has_sketch.value() > 1) {
+    return Error{Errc::parse_error, "bad join journal sketch flag"};
+  }
+  j.has_sketch = has_sketch.value() == 1;
+  if (j.has_sketch) {
+    auto width = r.u32v();
+    if (!width.ok()) return width.error();
+    j.sketch_params.cm.width = width.value();
+    auto depth = r.u32v();
+    if (!depth.ok()) return depth.error();
+    j.sketch_params.cm.depth = depth.value();
+    auto seed = r.u64v();
+    if (!seed.ok()) return seed.error();
+    j.sketch_params.cm.seed = seed.value();
+    auto cap = r.u32v();
+    if (!cap.ok()) return cap.error();
+    j.sketch_params.heavy_capacity = cap.value();
+    if (j.sketch_params.cm.width == 0 || j.sketch_params.cm.depth == 0 ||
+        j.sketch_params.heavy_capacity == 0) {
+      return Error{Errc::parse_error, "degenerate sketch params"};
+    }
+    ZKT_TRY(r.fixed(j.sketch_digest.bytes));
+    auto total = r.u64v();
+    if (!total.ok()) return total.error();
+    j.sketch_total = total.value();
   }
   if (!r.done()) {
     return Error{Errc::parse_error, "trailing join journal bytes"};
@@ -201,11 +311,14 @@ zvm::ImageID join_image() {
 
 bool is_join_image(const zvm::ImageID& image) { return image == join_image(); }
 
-void write_join_child(Writer& input, const zvm::Receipt& child) {
+void write_join_child(Writer& input, const zvm::Receipt& child,
+                      const Bytes* sketch_bytes) {
   input.u8v(is_join_image(child.claim.image_id) ? kJoinChildJoin
                                                 : kJoinChildAggregation);
   child.claim.serialize(input);
   input.blob(child.journal);
+  input.u8v(sketch_bytes != nullptr ? 1 : 0);
+  if (sketch_bytes != nullptr) input.blob(*sketch_bytes);
 }
 
 }  // namespace zkt::core

@@ -38,6 +38,12 @@ struct ShardLink {
   u64 new_entry_count = 0;
   /// Sub-batch commitments the leaf round consumed (AggJournal order).
   std::vector<CommitmentRef> commitments;
+  /// Per-shard sketch chaining (DESIGN.md §10), lifted from the leaf's
+  /// AggJournal so the sharded auditor can check each shard's sketch
+  /// continuity from the seal alone.
+  bool has_sketch = false;
+  Digest32 prev_sketch_digest;
+  Digest32 sketch_digest;
 
   friend bool operator==(const ShardLink&, const ShardLink&) = default;
 };
@@ -54,6 +60,14 @@ struct JoinJournal {
   Digest32 fold_digest;
   /// Every leaf's chain links, left to right (= shard order).
   std::vector<ShardLink> links;
+  /// Round-sketch summation: when the children carry sketches (all or
+  /// none), the join merges them with traced saturating adds and publishes
+  /// the merged digest — so the tree seal binds ONE round sketch covering
+  /// every shard.
+  bool has_sketch = false;
+  netflow::SketchParams sketch_params;
+  Digest32 sketch_digest;  ///< hash of the merged round sketch bytes
+  u64 sketch_total = 0;
 
   void write(Writer& w) const;
   static Result<JoinJournal> parse(BytesView journal);
@@ -70,8 +84,12 @@ zvm::ImageID join_image();
 bool is_join_image(const zvm::ImageID& image);
 
 /// Append one child — kind tag (see kJoinChild*), canonical claim
-/// serialization, journal blob — to a join guest input. fold_receipts uses
-/// this; exposed so soundness tests can craft malformed inputs around it.
-void write_join_child(Writer& input, const zvm::Receipt& child);
+/// serialization, journal blob, then the sketch section (u8 has_sketch
+/// [+ blob sketch_bytes]) — to a join guest input. `sketch_bytes` must be
+/// the child's round-sketch canonical bytes when its journal chains a
+/// sketch digest, nullptr otherwise. fold_receipts uses this; exposed so
+/// soundness tests can craft malformed inputs around it.
+void write_join_child(Writer& input, const zvm::Receipt& child,
+                      const Bytes* sketch_bytes = nullptr);
 
 }  // namespace zkt::core

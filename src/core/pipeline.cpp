@@ -36,11 +36,13 @@ ProviderPipeline::ProviderPipeline(store::LogStore& store,
       options_(std::move(options)),
       aggregation_(board,
                    AggregationOptions{.prove_options = options_.prove_options,
-                                      .mode = options_.agg_mode}) {
+                                      .mode = options_.agg_mode,
+                                      .sketch = options_.sketch}) {
   if (options_.sharded.shard_count >= 2) {
     ShardedOptions sharded = options_.sharded;
     sharded.prove_options = options_.prove_options;
     sharded.agg_mode = options_.agg_mode;
+    sharded.sketch = options_.sketch;
     sharded_ =
         std::make_unique<ShardedAggregationService>(board, std::move(sharded));
   }
@@ -120,10 +122,10 @@ Status ProviderPipeline::persist_round(u64 window,
       options_.checkpoint_every_n_rounds > 0 &&
       rounds_since_snapshot_ + 1 >= options_.checkpoint_every_n_rounds;
   if (snapshot_due) {
-    const ChainSnapshot snap =
-        ChainSnapshot::capture(round.round_id + 1, window,
-                               round.receipt.claim.digest(),
-                               aggregation_.state());
+    const ChainSnapshot snap = ChainSnapshot::capture(
+        round.round_id + 1, window, round.receipt.claim.digest(),
+        aggregation_.state(),
+        aggregation_.sketch_enabled() ? &aggregation_.sketch() : nullptr);
     const Bytes payload = snap.to_bytes();
     ZKT_TRY(with_retry("chain snapshot append", [&]() -> Status {
       auto id = store_->append(store::kTableChainState, window,
@@ -157,10 +159,12 @@ Status ProviderPipeline::persist_sharded_round(u64 window,
     snap.window_id = window;
     snap.shard_count = sharded_->shard_count();
     for (u32 s = 0; s < sharded_->shard_count(); ++s) {
+      const AggregationService& shard = sharded_->shard_service(s);
       snap.shards.push_back(ChainSnapshot::capture(
           round.round_id, window,
           round.shard_rounds[s].receipt.claim.digest(),
-          sharded_->shard_state(s)));
+          sharded_->shard_state(s),
+          shard.sketch_enabled() ? &shard.sketch() : nullptr));
     }
     const Bytes payload = snap.to_bytes();
     ZKT_TRY(with_retry("sharded snapshot append", [&]() -> Status {
@@ -464,9 +468,12 @@ Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_plain() {
     }
     auto state = snap.value().restore_state();
     if (!state.ok()) return state.error();
+    auto sketch = snap.value().restore_sketch();
+    if (!sketch.ok()) return sketch.error();
     ZKT_TRY(aggregation_.restore(std::move(state.value()),
                                  std::move(receipt.value()),
-                                 snap.value().round_id));
+                                 snap.value().round_id,
+                                 std::move(sketch.value())));
     adopted = std::move(snap.value());
   }
   if (adopted.has_value()) {
@@ -705,6 +712,73 @@ Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_sharded() {
         fold_options.fanout = sharded_->options().join_fanout;
         fold_options.prove_options = sharded_->options().prove_options;
         fold_options.prove_options.assumptions.clear();
+        std::vector<netflow::RoundSketch> leaf_sketches;
+        auto leaf_journal =
+            AggJournal::parse((*receipts.value())[0].journal);
+        if (!leaf_journal.ok()) return leaf_journal.error();
+        if (leaf_journal.value().has_sketch) {
+          // Sketched leaves need this window's round-sketch bytes fed back
+          // to the join guests. The live shard services hold them only when
+          // the chain position matches (the window we just replayed, or the
+          // adopted snapshot's own window); an older window rebuilds them by
+          // replaying every stored window's raw batches through the same
+          // shard split and (window, router) fold order the guests used —
+          // and the rebuild is only trusted after it reproduces each
+          // shard's proven sketch digest.
+          const bool state_matches =
+              !covered ||
+              (adopted.has_value() && window == adopted->window_id);
+          if (state_matches) {
+            for (u32 s = 0; s < shard_count; ++s) {
+              leaf_sketches.push_back(sharded_->shard_service(s).sketch());
+            }
+          } else {
+            leaf_sketches.assign(
+                shard_count,
+                netflow::RoundSketch{leaf_journal.value().sketch_params});
+            for (u64 w : receipt_windows) {
+              if (w > window) break;
+              std::vector<netflow::RLogBatch> replay;
+              if (Status loaded = load_batches(w, replay); !loaded.ok()) {
+                return loaded.error();
+              }
+              if (replay.empty()) {
+                return Error{Errc::chain_broken,
+                             "window " + std::to_string(window) +
+                                 " is missing its tree seal and its shard "
+                                 "sketches cannot be rebuilt (raw logs "
+                                 "pruned before a seal covered them?)"};
+              }
+              std::sort(
+                  replay.begin(), replay.end(),
+                  [](const netflow::RLogBatch& a,
+                     const netflow::RLogBatch& b) {
+                    return std::tie(a.window_id, a.router_id) <
+                           std::tie(b.window_id, b.router_id);
+                  });
+              for (const auto& batch : replay) {
+                for (const auto& record : batch.records) {
+                  leaf_sketches[shard_of(record.key, shard_count)].update(
+                      record.key, record.packets);
+                }
+              }
+            }
+            for (u32 s = 0; s < shard_count; ++s) {
+              auto shard_journal =
+                  AggJournal::parse((*receipts.value())[s].journal);
+              if (!shard_journal.ok()) return shard_journal.error();
+              if (!shard_journal.value().has_sketch ||
+                  shard_journal.value().sketch_digest !=
+                      leaf_sketches[s].hash()) {
+                return Error{Errc::hash_mismatch,
+                             "rebuilt shard sketches disagree with the "
+                             "proven digests for window " +
+                                 std::to_string(window)};
+              }
+            }
+          }
+          fold_options.leaf_sketches = leaf_sketches;
+        }
         auto folded = fold_receipts(*receipts.value(), fold_options);
         if (!folded.ok()) return folded.error();
         RoundResult refold;

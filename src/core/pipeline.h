@@ -72,6 +72,10 @@ struct PipelineOptions {
   /// here are IGNORED — the pipeline copies its own prove_options/agg_mode
   /// in, so one knob configures both modes.
   ShardedOptions sharded;
+  /// Proof-carrying round sketch (DESIGN.md §10), applied to whichever mode
+  /// runs (single chain, or every shard chain). Copied over
+  /// sharded.sketch, like prove_options/agg_mode. nullopt disables it.
+  std::optional<netflow::SketchParams> sketch = netflow::SketchParams{};
 };
 
 class ProviderPipeline {

@@ -82,6 +82,14 @@ Result<AggregationRound> AggregationService::aggregate(
   if (round.ok()) {
     metrics.counter("core.agg.rounds").add(1);
     metrics.counter("core.agg.batches").add(batches.size());
+    if (round.value().journal.has_sketch) {
+      u64 records = 0;
+      for (const auto& b : batches) records += b.records.size();
+      metrics.counter("core.sketch.rounds").add(1);
+      metrics.counter("core.sketch.fold_records").add(records);
+      metrics.gauge("core.sketch.total")
+          .set(static_cast<double>(round.value().journal.sketch_total));
+    }
     metrics.gauge("core.agg.entries")
         .set(static_cast<double>(state_.entry_count()));
     // Delta-shape telemetry: how much of the state a round actually touched
@@ -96,7 +104,7 @@ Result<AggregationRound> AggregationService::aggregate(
         .set(static_cast<double>(j.new_entry_count));
     metrics.histogram("core.agg.touched_entries")
         .record(static_cast<double>(inc ? j.touched_entries
-                                        : j.updates.size()));
+                                        : j.update_count));
     metrics.histogram("core.agg.multiproof_siblings")
         .record(static_cast<double>(j.multiproof_siblings));
   } else {
@@ -192,6 +200,10 @@ Result<DeltaAggregateInput> AggregationService::build_delta_input_ordered(
   input.prev_claim_digest = last_receipt_->claim.digest();
   input.prev_image_kind = last_kind_;
   input.prev_root = state_.root();
+  if (sketch_params_.has_value()) {
+    input.has_sketch = true;
+    input.prev_sketch = sketch_.canonical_bytes();
+  }
   input.prev_entry_count = n;
   input.opened.reserve(shape.opened.size());
   for (u64 i : shape.opened) {
@@ -251,6 +263,10 @@ Result<AggregationRound> AggregationService::aggregate_impl(
         last_receipt_.has_value() ? last_receipt_->claim.digest() : Digest32{};
     input.prev_image_kind = last_kind_;
     input.prev_root = state_.root();
+    if (sketch_params_.has_value()) {
+      input.has_sketch = true;
+      input.prev_sketch = sketch_.canonical_bytes();
+    }
     input.prev_entries = state_.entry_bytes();
     auto committed = committed_batches(*board_, batches, order);
     if (!committed.ok()) return committed.error();
@@ -282,6 +298,25 @@ Result<AggregationRound> AggregationService::aggregate_impl(
                  "host state diverged from proven aggregation"};
   }
 
+  // Mirror the sketch fold and cross-check the chained digests — host and
+  // guest must agree bit for bit on the folded sketch bytes.
+  if (journal.value().has_sketch != sketch_params_.has_value()) {
+    return Error{Errc::proof_invalid,
+                 "journal sketch flag disagrees with service options"};
+  }
+  if (sketch_params_.has_value()) {
+    if (journal.value().prev_sketch_digest != sketch_.hash()) {
+      return Error{Errc::hash_mismatch,
+                   "proven round chained onto a different sketch"};
+    }
+    netflow::RoundSketch next_sketch = folded_sketch(batches, order);
+    if (journal.value().sketch_digest != next_sketch.hash()) {
+      return Error{Errc::hash_mismatch,
+                   "host sketch diverged from the proven fold"};
+    }
+    sketch_ = std::move(next_sketch);
+  }
+
   last_receipt_ = receipt.value();
   last_kind_ = journal.value().kind;
   AggregationRound round;
@@ -297,8 +332,21 @@ Result<AggregationRound> AggregationService::aggregate_impl(
   return round;
 }
 
+netflow::RoundSketch AggregationService::folded_sketch(
+    std::span<const netflow::RLogBatch> batches,
+    std::span<const size_t> order) const {
+  netflow::RoundSketch next = sketch_;
+  for (size_t idx : order) {
+    for (const auto& record : batches[idx].records) {
+      next.update(record.key, record.packets);
+    }
+  }
+  return next;
+}
+
 Status AggregationService::restore(CLogState state, zvm::Receipt last_receipt,
-                                   u64 rounds_completed) {
+                                   u64 rounds_completed,
+                                   std::optional<netflow::RoundSketch> sketch) {
   if (rounds_ != 0 || last_receipt_.has_value()) {
     return Error{Errc::invalid_argument,
                  "restore() requires a fresh aggregation service"};
@@ -322,6 +370,32 @@ Status AggregationService::restore(CLogState state, zvm::Receipt last_receipt,
       journal.value().new_entry_count != state.entry_count()) {
     return Error{Errc::merkle_mismatch,
                  "recovered CLog state does not match the receipt's journal"};
+  }
+  // The sketch enablement follows the recovered chain: a sketch-carrying
+  // receipt needs the matching recovered sketch bytes; a sketch-free chain
+  // resets the mirror.
+  if (journal.value().has_sketch) {
+    if (!sketch.has_value()) {
+      return Error{Errc::invalid_argument,
+                   "receipt chains a sketch but none was recovered"};
+    }
+    if (!(sketch->params() == journal.value().sketch_params)) {
+      return Error{Errc::invalid_argument,
+                   "recovered sketch params mismatch the receipt's journal"};
+    }
+    if (sketch->hash() != journal.value().sketch_digest) {
+      return Error{Errc::hash_mismatch,
+                   "recovered sketch does not match the receipt's digest"};
+    }
+    sketch_params_ = journal.value().sketch_params;
+    sketch_ = std::move(*sketch);
+  } else {
+    if (sketch.has_value()) {
+      return Error{Errc::invalid_argument,
+                   "recovered sketch for a chain that carries none"};
+    }
+    sketch_params_.reset();
+    sketch_ = netflow::RoundSketch{};
   }
   state_ = std::move(state);
   last_receipt_ = std::move(last_receipt);
@@ -389,7 +463,27 @@ Status AggregationService::replay_round(
                  "replayed batches do not reproduce the proven root"};
   }
 
+  // Replay the sketch fold the same way: the stored batches must reproduce
+  // the exact sketch digest the round proved.
+  if (journal.has_sketch != sketch_params_.has_value()) {
+    return Error{Errc::chain_broken,
+                 "replayed receipt disagrees about sketch carriage"};
+  }
+  netflow::RoundSketch next_sketch = sketch_;
+  if (journal.has_sketch) {
+    if (journal.prev_sketch_digest != sketch_.hash()) {
+      return Error{Errc::hash_mismatch,
+                   "replayed receipt chained onto a different sketch"};
+    }
+    next_sketch = folded_sketch(batches, order);
+    if (journal.sketch_digest != next_sketch.hash()) {
+      return Error{Errc::hash_mismatch,
+                   "replayed batches do not reproduce the proven sketch"};
+    }
+  }
+
   state_ = std::move(next);
+  sketch_ = std::move(next_sketch);
   last_receipt_ = receipt;
   last_kind_ = journal.kind;
   ++rounds_;
@@ -466,6 +560,103 @@ Result<QueryResponse> QueryService::run_complete(
   auto receipt = prover.prove(guest_images().query, input.to_bytes(), options,
                               &info);
   return finish(std::move(receipt), info);
+}
+
+bool QueryService::pick_sketch() const {
+  if (!aggregation_->sketch_enabled() || !aggregation_->has_rounds()) {
+    return false;
+  }
+  const netflow::SketchParams& p = aggregation_->sketch().params();
+  // Traced-hash estimates, pick_incremental's twin on the query side.
+  // Sketch guest: one hash over the sketch bytes (width*depth counters at
+  // 8 bytes each, 64 bytes per compression) plus up to capacity reported
+  // hits at depth index hashes each. Exact complete scan: leaf-hash every
+  // entry, then evaluate it. The sketch cost is FLAT in N — past a few
+  // thousand entries it always wins.
+  const u64 est_sketch =
+      (static_cast<u64>(p.cm.width) * p.cm.depth * 8) / 64 +
+      static_cast<u64>(p.heavy_capacity) * p.cm.depth;
+  const u64 est_exact = 2 * aggregation_->state().entry_count();
+  return static_cast<double>(est_sketch) <
+         sketch_threshold_ * static_cast<double>(est_exact);
+}
+
+Result<HeavyHittersResponse> QueryService::heavy_hitters(
+    u64 threshold, const QueryOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan span("query_heavy_hitters");
+  if (!aggregation_->has_rounds()) {
+    return Error{Errc::chain_broken, "no aggregation round to query against"};
+  }
+
+  // Route to the sketch only when its error bound can satisfy the query:
+  // the Space-Saving floor must prove completeness at this threshold.
+  const bool bound_ok =
+      aggregation_->sketch_enabled() &&
+      sketch_heavy_bound_ok(threshold,
+                            aggregation_->sketch().heavy().capacity(),
+                            aggregation_->sketch().heavy().total());
+  HeavyHittersResponse out;
+  if (bound_ok && pick_sketch()) {
+    const zvm::ProveOptions& prove = options.prove_options_override.has_value()
+                                         ? *options.prove_options_override
+                                         : prove_options_;
+    auto response = prove_sketch_heavy(aggregation_->last_receipt(),
+                                       aggregation_->sketch(), threshold,
+                                       prove);
+    if (!response.ok()) {
+      metrics.counter("core.sketch.query_failures").add(1);
+      return response.error();
+    }
+    out.used_sketch = true;
+    out.sketch = std::move(response.value());
+    metrics.counter("core.sketch.query_heavy_runs").add(1);
+  } else {
+    auto response =
+        run(Query::count().and_where(QField::packets, CmpOp::ge, threshold),
+            options);
+    if (!response.ok()) return response.error();
+    out.exact = std::move(response.value());
+    metrics.counter("core.sketch.exact_fallbacks").add(1);
+  }
+  metrics.histogram("core.sketch.query_ms").record(ms_since(start));
+  return out;
+}
+
+Result<CardinalityResponse> QueryService::cardinality(
+    const QueryOptions& options) const {
+  const auto start = std::chrono::steady_clock::now();
+  obs::Registry& metrics = obs::Registry::instance();
+  obs::ScopedSpan span("query_cardinality");
+  if (!aggregation_->has_rounds()) {
+    return Error{Errc::chain_broken, "no aggregation round to query against"};
+  }
+
+  // The exact distinct count rides in the bound journal, so no error-bound
+  // gate here — only the cost estimator.
+  CardinalityResponse out;
+  if (pick_sketch()) {
+    const zvm::ProveOptions& prove = options.prove_options_override.has_value()
+                                         ? *options.prove_options_override
+                                         : prove_options_;
+    auto response = prove_sketch_cardinality(aggregation_->last_receipt(),
+                                             aggregation_->sketch(), prove);
+    if (!response.ok()) {
+      metrics.counter("core.sketch.query_failures").add(1);
+      return response.error();
+    }
+    out.used_sketch = true;
+    out.sketch = std::move(response.value());
+    metrics.counter("core.sketch.query_card_runs").add(1);
+  } else {
+    auto response = run(Query::count(), options);
+    if (!response.ok()) return response.error();
+    out.exact = std::move(response.value());
+    metrics.counter("core.sketch.exact_fallbacks").add(1);
+  }
+  metrics.histogram("core.sketch.query_ms").record(ms_since(start));
+  return out;
 }
 
 Result<QueryResponse> QueryService::run_selective_impl(

@@ -19,6 +19,8 @@
 #include "core/clog.h"
 #include "core/commitment.h"
 #include "core/guests.h"
+#include "core/sketch_query.h"
+#include "netflow/sketch.h"
 #include "zvm/prover.h"
 
 namespace zkt::core {
@@ -50,6 +52,15 @@ struct RoundResult {
   std::vector<AggregationRound> shard_rounds;
   /// The round's join-tree seal, when folding ran (sharded, >= 2 shards).
   std::optional<zvm::Receipt> tree_seal;
+  /// Per-shard round sketches in shard order, captured when the shard
+  /// chains carry the proof-carrying sketch (empty otherwise). Snapshotted
+  /// at prove time so a pipelined fold of window i is immune to window i+1
+  /// advancing the shard services underneath it.
+  std::vector<netflow::RoundSketch> shard_sketches;
+  /// The whole-round sketch the tree seal binds (fold path only): the
+  /// host-merged sum of shard_sketches, matching the root JoinJournal's
+  /// sketch_digest.
+  std::optional<netflow::RoundSketch> round_sketch;
   double wall_ms = 0;
   u64 total_cycles = 0;
 
@@ -85,6 +96,12 @@ struct AggregationOptions {
   /// past it (e.g. an insertion cascade opening most of the state) the full
   /// guest is the better deal.
   double incremental_threshold = 0.75;
+  /// Proof-carrying round sketch (DESIGN.md §10): when set, every round
+  /// folds its records into a committed RoundSketch whose digest chains
+  /// through the journals, and QueryService can answer heavy-hitter /
+  /// cardinality queries against it in time flat in the CLog size. nullopt
+  /// disables sketches (journals then omit the sketch section entirely).
+  std::optional<netflow::SketchParams> sketch = netflow::SketchParams{};
 };
 
 class AggregationService {
@@ -94,7 +111,9 @@ class AggregationService {
       : board_(&board),
         prove_options_(std::move(options.prove_options)),
         mode_(options.mode),
-        incremental_threshold_(options.incremental_threshold) {}
+        incremental_threshold_(options.incremental_threshold),
+        sketch_params_(options.sketch),
+        sketch_(options.sketch.value_or(netflow::SketchParams{})) {}
 
   /// Run one aggregation round over the given batches. Batches are processed
   /// in (window, router) order — via a locally sorted index, so the caller's
@@ -129,9 +148,13 @@ class AggregationService {
   /// round and the number of rounds completed. Only valid on a fresh service
   /// (no rounds run). Fails with merkle_mismatch unless the state's root and
   /// entry count match the receipt's journal — a snapshot that disagrees
-  /// with its receipt cannot be resumed from.
+  /// with its receipt cannot be resumed from. When the receipt's journal
+  /// chains a sketch, `sketch` must hold the round's recovered RoundSketch
+  /// (hash-checked against the journal's sketch digest); the service's
+  /// sketch enablement follows the recovered chain either way.
   Status restore(CLogState state, zvm::Receipt last_receipt,
-                 u64 rounds_completed);
+                 u64 rounds_completed,
+                 std::optional<netflow::RoundSketch> sketch = std::nullopt);
 
   /// Roll the chain forward over an ALREADY-PROVEN round whose receipt was
   /// recovered from storage: check the receipt chains onto the current head
@@ -145,6 +168,12 @@ class AggregationService {
   /// Which guest proved the last completed round (full until a delta round
   /// runs). Feeds the next round's prev_image_kind.
   RoundKind last_kind() const { return last_kind_; }
+
+  /// Whether rounds carry the proof-carrying sketch.
+  bool sketch_enabled() const { return sketch_params_.has_value(); }
+  /// The service's host mirror of the round sketch (hash-checked against
+  /// every journal's sketch digest). Meaningful only when sketch_enabled().
+  const netflow::RoundSketch& sketch() const { return sketch_; }
 
   /// Build the incremental-guest input for running `batches` against the
   /// CURRENT state: the opened-entry set (merge targets, adjacency
@@ -173,6 +202,12 @@ class AggregationService {
   Result<AggregationRound> aggregate_impl(
       std::span<const netflow::RLogBatch> batches);
 
+  /// Fold the round's records into a copy of the sketch mirror, in the
+  /// guest's exact order (Space-Saving is order-sensitive).
+  netflow::RoundSketch folded_sketch(
+      std::span<const netflow::RLogBatch> batches,
+      std::span<const size_t> order) const;
+
   const CommitmentBoard* board_;
   zvm::ProveOptions prove_options_;
   AggMode mode_ = AggMode::auto_select;
@@ -181,6 +216,9 @@ class AggregationService {
   std::optional<zvm::Receipt> last_receipt_;
   RoundKind last_kind_ = RoundKind::full;
   u64 rounds_ = 0;
+  /// nullopt = sketches disabled; may be adopted from a recovered chain.
+  std::optional<netflow::SketchParams> sketch_params_;
+  netflow::RoundSketch sketch_;  ///< host mirror of the chained sketch
 };
 
 struct QueryResponse {
@@ -211,6 +249,34 @@ struct QueryServiceOptions {
   /// Default ProveOptions for every run(); QueryOptions::
   /// prove_options_override still wins per call.
   zvm::ProveOptions prove_options;
+  /// heavy_hitters()/cardinality() answer from the round sketch only while
+  /// the sketch path's estimated traced-hash count stays below this
+  /// fraction of the exact complete-scan's — mirroring
+  /// AggregationOptions::incremental_threshold. Past it (tiny states where
+  /// hashing the sketch costs more than scanning the CLog) the exact query
+  /// is the better deal.
+  double sketch_threshold = 0.75;
+};
+
+/// Answer to a heavy-hitters query: exactly one of the two proof shapes,
+/// depending on how QueryService routed it.
+///
+///   used_sketch: a SketchHeavyResponse against the round sketch — flat in
+///       the CLog size, complete above the proven Space-Saving floor, each
+///       hit bracketed by [count - error, cms_estimate].
+///   otherwise: an exact complete-scan QueryResponse counting the flows
+///       with packets >= threshold — O(state), no error bound.
+struct HeavyHittersResponse {
+  bool used_sketch = false;
+  std::optional<SketchHeavyResponse> sketch;
+  std::optional<QueryResponse> exact;
+};
+
+/// Answer to a distinct-flow cardinality query, same routing shape.
+struct CardinalityResponse {
+  bool used_sketch = false;
+  std::optional<SketchCardinalityResponse> sketch;
+  std::optional<QueryResponse> exact;  ///< complete-scan match-all count
 };
 
 class QueryService {
@@ -218,12 +284,25 @@ class QueryService {
   explicit QueryService(const AggregationService& aggregation,
                         QueryServiceOptions options = {})
       : aggregation_(&aggregation),
-        prove_options_(std::move(options.prove_options)) {}
+        prove_options_(std::move(options.prove_options)),
+        sketch_threshold_(options.sketch_threshold) {}
 
   /// Prove a query against the latest aggregated state. options.mode picks
   /// complete-scan vs. selective proving; see QueryOptions.
   Result<QueryResponse> run(const Query& query,
                             const QueryOptions& options = {}) const;
+
+  /// Prove the flows with total packets >= threshold. Routes to the round
+  /// sketch when the chain carries one, the Space-Saving error bound
+  /// satisfies the query (threshold above the provable floor), and the
+  /// cost estimator favours it; otherwise falls back to an exact
+  /// complete-scan proof.
+  Result<HeavyHittersResponse> heavy_hitters(
+      u64 threshold, const QueryOptions& options = {}) const;
+
+  /// Prove the number of distinct flows, with the same routing.
+  Result<CardinalityResponse> cardinality(
+      const QueryOptions& options = {}) const;
 
  private:
   Result<QueryResponse> run_complete(const Query& query,
@@ -232,9 +311,13 @@ class QueryService {
       const Query& query, const zvm::ProveOptions& prove) const;
   Result<QueryResponse> finish(Result<zvm::Receipt> receipt,
                                const zvm::ProveInfo& info) const;
+  /// Traced-hash cost estimate: route to the sketch guest? Shared by both
+  /// sketch-backed queries (pick_incremental's twin on the query side).
+  bool pick_sketch() const;
 
   const AggregationService* aggregation_;
   zvm::ProveOptions prove_options_;
+  double sketch_threshold_ = 0.75;
 };
 
 }  // namespace zkt::core

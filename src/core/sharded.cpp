@@ -167,7 +167,8 @@ ShardedAggregationService::ShardedAggregationService(
     shards_.push_back(std::make_unique<AggregationService>(
         *shard_boards_.back(),
         AggregationOptions{.prove_options = options_.prove_options,
-                           .mode = options_.agg_mode}));
+                           .mode = options_.agg_mode,
+                           .sketch = options_.sketch}));
     // Prover-internal keys for the shard boards' plumbing; external trust
     // rests on the split receipts, not these signatures.
     shard_keys_.push_back(crypto::schnorr_keygen_from_seed(
@@ -289,6 +290,11 @@ Result<RoundResult> ShardedAggregationService::prove_shards(
     if (!results[s].ok()) return results[s].error();
     round.total_cycles += results[s].value().prove_info.cycles;
     round.shard_rounds.push_back(std::move(results[s].value()));
+    // Snapshot the shard's post-round sketch now: a pipelined fold_round of
+    // this window must not read shard state window i+1 already advanced.
+    if (options_.sketch.has_value()) {
+      round.shard_sketches.push_back(shards_[s]->sketch());
+    }
   }
   round.wall_ms = staged.split_ms +
                   std::chrono::duration<double, std::milli>(
@@ -322,11 +328,13 @@ Status ShardedAggregationService::fold_round(RoundResult& round) const {
   fold_options.fanout = options_.join_fanout;
   fold_options.prove_options = options_.prove_options;
   fold_options.prove_options.assumptions.clear();
+  fold_options.leaf_sketches = round.shard_sketches;
   auto folded = fold_receipts(leaves, fold_options);
   if (!folded.ok()) return folded.error();
   round.total_cycles += folded.value().total_cycles;
   round.wall_ms += folded.value().wall_ms;
   round.tree_seal = std::move(folded.value().root);
+  round.round_sketch = std::move(folded.value().sketch);
   return {};
 }
 
@@ -367,9 +375,12 @@ Status ShardedAggregationService::restore(
     }
     auto state = snap.shards[s].restore_state();
     if (!state.ok()) return state.error();
+    auto sketch = snap.shards[s].restore_sketch();
+    if (!sketch.ok()) return sketch.error();
     ZKT_TRY(shards_[s]->restore(std::move(state.value()),
                                 std::move(shard_receipts[s]),
-                                snap.round_id));
+                                snap.round_id,
+                                std::move(sketch.value())));
   }
   rounds_ = snap.round_id;
   return {};
@@ -406,7 +417,8 @@ ShardedAuditor::ShardedAuditor(const CommitmentBoard& board, u32 shard_count)
       last_claims_(shard_count_),
       roots_(shard_count_, crypto::MerkleTree::empty_leaf()),
       entry_counts_(shard_count_, 0),
-      genesis_done_(shard_count_, false) {}
+      genesis_done_(shard_count_, false),
+      shard_sketch_digests_(shard_count_) {}
 
 /// Chain-link fields of one shard's round, whichever proof object carried
 /// them (a per-shard AggJournal or a tree seal's leaf ShardLink).
@@ -419,6 +431,12 @@ struct ShardedAuditor::ShardChainFields {
   u64 prev_entry_count = 0;
   u64 new_entry_count = 0;
   const std::vector<CommitmentRef>* commitments = nullptr;
+  /// Sketch chaining fields; params come from the carrying journal (the
+  /// tree seal's JoinJournal, or the shard's own AggJournal).
+  bool has_sketch = false;
+  Digest32 prev_sketch_digest;
+  Digest32 sketch_digest;
+  netflow::SketchParams sketch_params;
 };
 
 Status ShardedAuditor::verify_splits(
@@ -478,6 +496,31 @@ Status ShardedAuditor::accept_shard_link(
       return Error{Errc::chain_broken, "shard chain mismatch"};
     }
   }
+  // Sketch continuity, chained per shard exactly like prev_root.
+  if (!genesis_done_[shard]) {
+    if (fields.has_sketch) {
+      const netflow::RoundSketch empty{fields.sketch_params};
+      if (fields.prev_sketch_digest != empty.hash()) {
+        return Error{Errc::chain_broken,
+                     "shard genesis does not start from the empty sketch"};
+      }
+    }
+  } else {
+    if (fields.has_sketch != sketch_present_) {
+      return Error{Errc::chain_broken,
+                   "shard disagrees with its chain about sketch carriage"};
+    }
+    if (fields.has_sketch) {
+      if (fields.sketch_params != sketch_params_) {
+        return Error{Errc::chain_broken,
+                     "shard sketch params changed mid-chain"};
+      }
+      if (fields.prev_sketch_digest != shard_sketch_digests_[shard]) {
+        return Error{Errc::chain_broken,
+                     "shard does not chain onto its accepted sketch"};
+      }
+    }
+  }
   if (fields.commitments->size() != source_batches) {
     return Error{Errc::proof_invalid,
                  "shard must consume one sub-batch per source batch"};
@@ -497,6 +540,9 @@ Status ShardedAuditor::accept_shard_link(
   roots_[shard] = fields.new_root;
   entry_counts_[shard] = fields.new_entry_count;
   genesis_done_[shard] = true;
+  sketch_present_ = fields.has_sketch;
+  shard_sketch_digests_[shard] = fields.sketch_digest;
+  if (fields.has_sketch) sketch_params_ = fields.sketch_params;
   return {};
 }
 
@@ -542,9 +588,17 @@ Status ShardedAuditor::accept_round(const RoundResult& round) {
       fields.prev_entry_count = link.prev_entry_count;
       fields.new_entry_count = link.new_entry_count;
       fields.commitments = &link.commitments;
+      fields.has_sketch = link.has_sketch;
+      fields.prev_sketch_digest = link.prev_sketch_digest;
+      fields.sketch_digest = link.sketch_digest;
+      fields.sketch_params = j.sketch_params;
       ZKT_TRY(accept_shard_link(s, fields, round.split_receipts.size(),
                                 expected));
     }
+    // The seal binds the merged round sketch (the join guest summed the
+    // shard sketches in trace); remember its digest for query verification.
+    round_sketch_known_ = j.has_sketch;
+    round_sketch_digest_ = j.sketch_digest;
     ++rounds_;
     return {};
   }
@@ -578,9 +632,15 @@ Status ShardedAuditor::accept_round(const RoundResult& round) {
     fields.prev_entry_count = j.prev_entry_count;
     fields.new_entry_count = j.new_entry_count;
     fields.commitments = &j.commitments;
+    fields.has_sketch = j.has_sketch;
+    fields.prev_sketch_digest = j.prev_sketch_digest;
+    fields.sketch_digest = j.sketch_digest;
+    fields.sketch_params = j.sketch_params;
     ZKT_TRY(accept_shard_link(s, fields, round.split_receipts.size(),
                               expected));
   }
+  // No tree seal, so no proven merged round sketch this round.
+  round_sketch_known_ = false;
   ++rounds_;
   return {};
 }

@@ -87,6 +87,10 @@ struct ShardedOptions {
   /// Full-rebuild vs incremental-delta proving per shard chain.
   AggMode agg_mode = AggMode::auto_select;
   zvm::ProveOptions prove_options = {};
+  /// Proof-carrying round sketch per shard chain (DESIGN.md §10); the fold
+  /// then sums the shard sketches so the tree seal binds ONE round sketch.
+  /// nullopt disables sketches on every shard.
+  std::optional<netflow::SketchParams> sketch = netflow::SketchParams{};
 };
 
 /// Prover-side sharded pipeline.
@@ -202,6 +206,18 @@ class ShardedAuditor {
   u64 rounds_accepted() const { return rounds_; }
   /// Total entries across shard states after the last accepted round.
   u64 total_entries() const;
+  /// Whether accepted rounds carry the proof-carrying sketch (meaningful
+  /// once a round was accepted).
+  bool has_sketch() const { return sketch_present_; }
+  /// Shard `s`'s sketch digest after the last accepted round.
+  const Digest32& shard_sketch_digest(u32 s) const {
+    return shard_sketch_digests_[s];
+  }
+  /// Whether the last accepted round came with a tree seal binding a merged
+  /// round sketch, and that sketch's digest.
+  bool round_sketch_known() const { return round_sketch_known_; }
+  const Digest32& round_sketch_digest() const { return round_sketch_digest_; }
+  const netflow::SketchParams& sketch_params() const { return sketch_params_; }
 
  private:
   struct ShardChainFields;
@@ -226,6 +242,13 @@ class ShardedAuditor {
   std::vector<Digest32> roots_;
   std::vector<u64> entry_counts_;
   std::vector<bool> genesis_done_;
+  /// Sketch continuity per shard (chained like prev_root) plus the merged
+  /// round-sketch digest bound by the last tree seal.
+  bool sketch_present_ = false;
+  netflow::SketchParams sketch_params_;
+  std::vector<Digest32> shard_sketch_digests_;
+  bool round_sketch_known_ = false;
+  Digest32 round_sketch_digest_;
 };
 
 }  // namespace zkt::core

@@ -1,0 +1,82 @@
+#include "core/sketch_fold.h"
+
+namespace zkt::core {
+
+using crypto::Digest32;
+using netflow::CountMinParams;
+using netflow::CountMinSketch;
+using netflow::FlowKey;
+using netflow::RoundSketch;
+using zvm::AluOp;
+using zvm::Env;
+
+u64 sat_add_traced(Env& env, u64 a, u64 b) {
+  const u64 sum = env.alu(AluOp::add, a, b);
+  const u64 overflow = env.alu(AluOp::ltu, sum, a);
+  // On overflow, lift the wrapped sum to 2^64-1: sum + overflow*(~0 - sum).
+  const u64 gap = env.alu(AluOp::sub, ~0ULL, sum);
+  return env.alu(AluOp::add, sum, env.alu(AluOp::mul, overflow, gap));
+}
+
+u32 cms_index_traced(Env& env, const CountMinParams& params, u32 row,
+                     const FlowKey& key) {
+  Writer w;
+  w.u64v(params.seed);
+  w.u32v(row);
+  key.serialize(w);
+  const Digest32 d = env.sha256(w.bytes());
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(d.bytes[i]) << (8 * i);
+  return static_cast<u32>(env.alu(AluOp::remu, v, params.width));
+}
+
+void sketch_fold_record_traced(Env& env, RoundSketch& sketch,
+                               const FlowKey& key, u64 count) {
+  CountMinSketch& cm = sketch.cm_mut();
+  const CountMinParams& params = cm.params();
+  for (u32 row = 0; row < params.depth; ++row) {
+    const u32 index = cms_index_traced(env, params, row, key);
+    cm.set_counter(row, index,
+                   sat_add_traced(env, cm.counter(row, index), count));
+  }
+  cm.set_total_updates(sat_add_traced(env, cm.total_updates(), count));
+  sketch.heavy_mut().update(key, count);
+}
+
+Status sketch_merge_traced(Env& env, RoundSketch& sketch,
+                           const RoundSketch& other) {
+  ZKT_TRY(env.assert_true(sketch.params() == other.params(),
+                          "round sketch parameter mismatch in merge"));
+  CountMinSketch& cm = sketch.cm_mut();
+  const CountMinSketch& rhs = other.cm();
+  const CountMinParams& params = cm.params();
+  for (u32 row = 0; row < params.depth; ++row) {
+    for (u32 i = 0; i < params.width; ++i) {
+      cm.set_counter(
+          row, i, sat_add_traced(env, cm.counter(row, i), rhs.counter(row, i)));
+    }
+  }
+  cm.set_total_updates(
+      sat_add_traced(env, cm.total_updates(), rhs.total_updates()));
+  return sketch.heavy_mut().merge(other.heavy());
+}
+
+u64 cms_point_estimate_traced(Env& env, const CountMinSketch& cm,
+                              const FlowKey& key) {
+  const CountMinParams& params = cm.params();
+  u64 best = ~0ULL;
+  for (u32 row = 0; row < params.depth; ++row) {
+    const u32 index = cms_index_traced(env, params, row, key);
+    const u64 c = cm.counter(row, index);
+    const u64 lt = env.alu(AluOp::ltu, c, best);
+    const u64 diff = env.alu(AluOp::sub, c, best);
+    best = env.alu(AluOp::add, best, env.alu(AluOp::mul, lt, diff));
+  }
+  return best;
+}
+
+Digest32 sketch_digest_traced(Env& env, const RoundSketch& sketch) {
+  return env.sha256(sketch.canonical_bytes());
+}
+
+}  // namespace zkt::core

@@ -1,0 +1,52 @@
+// Traced sketch arithmetic shared by the aggregation guests (per-record
+// fold into the proof-carrying RoundSketch), the join guest (shard-sketch
+// merge) and the sketch query guests (index recomputation).
+//
+// Every helper is the guest-side twin of a host operation in
+// netflow/sketch.{h,cpp}: same bytes, same saturation, but the hashing and
+// the counter arithmetic are trace rows. Host and guest must agree bit for
+// bit — the aggregation service cross-checks its mirrored sketch hash
+// against the journal digest every round.
+//
+// Lives in core (not netflow) because the module DAG keeps netflow below
+// zvm; this is the only place sketch state meets the Env.
+#pragma once
+
+#include "netflow/sketch.h"
+#include "zvm/env.h"
+
+namespace zkt::core {
+
+/// Traced saturating add: add + ltu + select, matching netflow::sat_add.
+u64 sat_add_traced(zvm::Env& env, u64 a, u64 b);
+
+/// Traced equivalent of CountMinSketch::index_for: same bytes, same hash,
+/// but the hashing and the modulo are trace rows.
+u32 cms_index_traced(zvm::Env& env, const netflow::CountMinParams& params,
+                     u32 row, const netflow::FlowKey& key);
+
+/// Fold one record into the round sketch: depth traced index hashes +
+/// saturating counter adds, a traced total update, and the (plain, but
+/// digest-bound) Space-Saving update.
+void sketch_fold_record_traced(zvm::Env& env, netflow::RoundSketch& sketch,
+                               const netflow::FlowKey& key, u64 count);
+
+/// Merge `other` into `sketch` with traced counter adds; asserts parameter
+/// equality in-trace. The Space-Saving combine is plain (deterministic and
+/// bound by the output digest).
+Status sketch_merge_traced(zvm::Env& env, netflow::RoundSketch& sketch,
+                           const netflow::RoundSketch& other);
+
+/// Traced Count-Min point estimate: min over rows of the counter at the
+/// key's traced index (select-based min, no branches in the trace). Twin of
+/// CountMinSketch::estimate.
+u64 cms_point_estimate_traced(zvm::Env& env,
+                              const netflow::CountMinSketch& cm,
+                              const netflow::FlowKey& key);
+
+/// Traced SHA-256 over the sketch's canonical bytes — the digest the round
+/// journal carries.
+crypto::Digest32 sketch_digest_traced(zvm::Env& env,
+                                      const netflow::RoundSketch& sketch);
+
+}  // namespace zkt::core

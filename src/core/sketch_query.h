@@ -1,13 +1,29 @@
-// Verifiable sketch queries: prove a Count-Min point estimate against a
-// committed sketch without revealing the sketch.
+// Verifiable sketch queries: prove answers against a committed sketch
+// without revealing the sketch, in time flat in the CLog size.
 //
-// Routers may publish hash commitments over per-window Count-Min sketches
-// exactly as they do over RLogs (the paper's design is logging-algorithm
-// agnostic). The sketch-query guest then proves, for a client-chosen flow:
-//   1. the sketch bytes hash to the published commitment,
-//   2. the estimate is min over rows of counter[row][H(seed,row,key) mod w],
-//      recomputed with traced hashing and arithmetic.
-// The client learns only (key, estimate, commitment) — not the sketch.
+// Three guests share the module:
+//
+//   sketch_query — point estimate against a standalone published Count-Min
+//       commitment (routers may publish sketch commitments exactly as they
+//       do RLog hashes; the paper's design is logging-algorithm agnostic).
+//       Proves the sketch bytes hash to the commitment and the estimate is
+//       min over rows of counter[row][H(seed,row,key) mod w].
+//
+//   sketch_heavy — heavy hitters above threshold T against the ROUND
+//       sketch an aggregation receipt carries (DESIGN.md §10): binds the
+//       receipt, authenticates the sketch bytes against the journal's
+//       sketch digest, proves in-trace that T clears the Space-Saving
+//       completeness floor (T * capacity > total, so no qualifying flow can
+//       be missing), and publishes every tracked flow with count >= T plus
+//       its Count-Min cross-estimate. Cost O(width * depth + capacity) —
+//       flat in the number of flows N.
+//
+//   sketch_card — distinct-flow cardinality against the round sketch: the
+//       exact count is the bound journal's new_entry_count (the CLog holds
+//       one entry per flow); the guest additionally derives the Count-Min
+//       nonzero-counter lower bound and proves the two consistent.
+//
+// The client learns only the journal — never the sketch bytes.
 #pragma once
 
 #include "core/commitment.h"
@@ -18,10 +34,12 @@
 
 namespace zkt::core {
 
-/// Public journal of a sketch query proof.
+/// Public journal of a sketch point-query proof.
 struct SketchQueryJournal {
-  /// The published sketch commitment: rlog_hash holds the sketch hash and
-  /// record_count the sketch's total update count.
+  /// The published sketch commitment (kind == CommitmentKind::sketch):
+  /// rlog_hash holds the sketch hash and record_count the sketch's total
+  /// update count. The serialized form carries the kind tag, so a sketch
+  /// journal can never be parsed as an RLog reference or vice versa.
   CommitmentRef commitment;
   netflow::FlowKey key;
   u64 estimate = 0;
@@ -51,5 +69,98 @@ Result<SketchQueryResponse> prove_sketch_query(
 Result<SketchQueryJournal> verify_sketch_query(
     const zvm::Receipt& receipt, const CommitmentBoard& board,
     const netflow::FlowKey* expected_key = nullptr);
+
+// ---------------------------------------------------------------------------
+// Round-sketch queries (against the sketch digest an aggregation round
+// carries in its journal).
+
+/// One reported heavy hitter: the Space-Saving entry plus the Count-Min
+/// cross-estimate at the same key. The proven bracket is
+///   count - error <= true count <= cms_estimate.
+struct SketchHeavyHit {
+  netflow::FlowKey key;
+  u64 count = 0;         ///< Space-Saving counter (overestimate)
+  u64 error = 0;         ///< Space-Saving overestimate bound
+  u64 cms_estimate = 0;  ///< Count-Min point estimate (overestimate)
+
+  friend bool operator==(const SketchHeavyHit&,
+                         const SketchHeavyHit&) = default;
+};
+
+/// Public journal of a heavy-hitters proof ("SKHH").
+struct SketchHeavyJournal {
+  Digest32 agg_claim_digest;  ///< aggregation receipt the query bound
+  Digest32 sketch_digest;     ///< the round sketch digest it queried
+  netflow::SketchParams params;
+  u64 total = 0;      ///< sketch's total folded weight
+  u64 threshold = 0;  ///< the query's T
+  /// Every flow with Space-Saving count >= threshold, (count desc, key asc).
+  /// Complete by the in-trace floor check threshold * capacity > total.
+  std::vector<SketchHeavyHit> hits;
+
+  void write(Writer& w) const;
+  static Result<SketchHeavyJournal> parse(BytesView journal);
+};
+
+/// Public journal of a distinct-flow cardinality proof ("SKCD").
+struct SketchCardinalityJournal {
+  Digest32 agg_claim_digest;
+  Digest32 sketch_digest;
+  netflow::SketchParams params;
+  u64 total = 0;            ///< sketch's total folded weight
+  u64 distinct_flows = 0;   ///< exact: the bound round's CLog entry count
+  u64 cms_lower_bound = 0;  ///< max over rows of nonzero counters (<= exact)
+
+  void write(Writer& w) const;
+  static Result<SketchCardinalityJournal> parse(BytesView journal);
+};
+
+zvm::ImageID sketch_heavy_image();
+zvm::ImageID sketch_card_image();
+
+struct SketchHeavyResponse {
+  zvm::Receipt receipt;
+  SketchHeavyJournal journal;
+  zvm::ProveInfo prove_info;
+};
+
+struct SketchCardinalityResponse {
+  zvm::Receipt receipt;
+  SketchCardinalityJournal journal;
+  zvm::ProveInfo prove_info;
+};
+
+/// True iff the Space-Saving completeness floor holds for `threshold`
+/// against a sketch with the given capacity and total weight — the
+/// error-bound gate QueryService's router and the in-guest assert share.
+bool sketch_heavy_bound_ok(u64 threshold, u64 capacity, u64 total);
+
+/// Prove the heavy hitters above `threshold` against the round sketch the
+/// aggregation receipt committed. `sketch` must be the prover's copy of
+/// that round's sketch (its hash must equal the journal's sketch_digest —
+/// anything else fails in-guest). Fails fast with invalid_argument when the
+/// receipt carries no sketch or `threshold` does not clear the provable
+/// floor (callers should fall back to an exact query).
+Result<SketchHeavyResponse> prove_sketch_heavy(
+    const zvm::Receipt& agg_receipt, const netflow::RoundSketch& sketch,
+    u64 threshold, const zvm::ProveOptions& options = {});
+
+/// Prove the distinct-flow cardinality of the round the aggregation receipt
+/// committed, against its round sketch.
+Result<SketchCardinalityResponse> prove_sketch_cardinality(
+    const zvm::Receipt& agg_receipt, const netflow::RoundSketch& sketch,
+    const zvm::ProveOptions& options = {});
+
+/// Verifier side: check the receipt against the heavy-hitters image and
+/// (optionally) that it bound the expected aggregation claim / sketch
+/// digest — pass the chain head the verifier tracks to pin the query to a
+/// specific round.
+Result<SketchHeavyJournal> verify_sketch_heavy(
+    const zvm::Receipt& receipt, const Digest32* expected_agg_claim = nullptr,
+    const Digest32* expected_sketch_digest = nullptr);
+
+Result<SketchCardinalityJournal> verify_sketch_cardinality(
+    const zvm::Receipt& receipt, const Digest32* expected_agg_claim = nullptr,
+    const Digest32* expected_sketch_digest = nullptr);
 
 }  // namespace zkt::core

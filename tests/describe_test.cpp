@@ -61,8 +61,9 @@ TEST(Describe, IncrementalAggregationReceipt) {
 
   AggregationService inc(fx.board,
                          {.prove_options = {}, .mode = AggMode::incremental});
-  ASSERT_TRUE(
-      inc.restore(fx.service.state(), fx.service.last_receipt(), 1).ok());
+  ASSERT_TRUE(inc.restore(fx.service.state(), fx.service.last_receipt(), 1,
+                          fx.service.sketch())
+                  .ok());
   ASSERT_TRUE(inc.aggregate({batch}).ok());
   ASSERT_EQ(inc.last_kind(), RoundKind::incremental);
 

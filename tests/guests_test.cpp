@@ -26,8 +26,8 @@ TEST(AggJournal, RoundTrip) {
   j.new_entry_count = 12;
   j.commitments = {{1, 2, crypto::sha256(std::string_view("c1")), 3},
                    {4, 5, crypto::sha256(std::string_view("c2")), 6}};
-  j.updates = {{0, false, crypto::sha256(std::string_view("u0"))},
-               {11, true, crypto::sha256(std::string_view("u11"))}};
+  j.update_count = 2;
+  j.updates_digest = crypto::sha256(std::string_view("updates"));
 
   Writer w;
   j.write(w);
@@ -40,7 +40,54 @@ TEST(AggJournal, RoundTrip) {
   EXPECT_EQ(parsed.value().prev_entry_count, 10u);
   EXPECT_EQ(parsed.value().new_entry_count, 12u);
   EXPECT_EQ(parsed.value().commitments, j.commitments);
-  EXPECT_EQ(parsed.value().updates, j.updates);
+  EXPECT_EQ(parsed.value().update_count, 2u);
+  EXPECT_EQ(parsed.value().updates_digest, j.updates_digest);
+}
+
+TEST(CommitmentRefSchema, KindTagRoundTripAndRejection) {
+  CommitmentRef ref{7, 42, crypto::sha256(std::string_view("batch")), 100};
+  ASSERT_EQ(ref.kind, CommitmentKind::rlog);
+  Writer w;
+  write_commitment_ref(w, ref);
+  {
+    Reader r(w.bytes());
+    auto parsed = parse_commitment_ref(r, CommitmentKind::rlog);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+    EXPECT_EQ(parsed.value(), ref);
+    EXPECT_TRUE(r.done());
+  }
+  // An rlog ref where a sketch commitment belongs — and vice versa — is a
+  // parse error, not a silent reinterpretation.
+  {
+    Reader r(w.bytes());
+    EXPECT_FALSE(parse_commitment_ref(r, CommitmentKind::sketch).ok());
+  }
+  CommitmentRef sketch_ref = ref;
+  sketch_ref.kind = CommitmentKind::sketch;
+  Writer sw;
+  write_commitment_ref(sw, sketch_ref);
+  {
+    Reader r(sw.bytes());
+    EXPECT_FALSE(parse_commitment_ref(r, CommitmentKind::rlog).ok());
+    Reader r2(sw.bytes());
+    auto parsed = parse_commitment_ref(r2, CommitmentKind::sketch);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().kind, CommitmentKind::sketch);
+  }
+  // A kind byte past the known range is rejected for either expectation.
+  Writer bad;
+  bad.u8v(2);
+  bad.u32v(ref.router_id);
+  bad.u64v(ref.window_id);
+  bad.fixed(ref.rlog_hash.bytes);
+  bad.u64v(ref.record_count);
+  for (CommitmentKind expected :
+       {CommitmentKind::rlog, CommitmentKind::sketch}) {
+    Reader r(bad.bytes());
+    auto parsed = parse_commitment_ref(r, expected);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.error().code, Errc::parse_error);
+  }
 }
 
 TEST(AggJournal, RejectsTrailingBytes) {
@@ -292,8 +339,8 @@ TEST(AggJournal, IncrementalRoundTripCarriesDeltaStats) {
   j.new_root = crypto::sha256(std::string_view("new"));
   j.prev_entry_count = 100;
   j.new_entry_count = 102;
-  j.updates = {{7, false, crypto::sha256(std::string_view("u7"))},
-               {100, true, crypto::sha256(std::string_view("u100"))}};
+  j.update_count = 2;
+  j.updates_digest = crypto::sha256(std::string_view("updates"));
   j.touched_entries = 5;
   j.multiproof_siblings = 11;
 
@@ -302,7 +349,8 @@ TEST(AggJournal, IncrementalRoundTripCarriesDeltaStats) {
   auto parsed = AggJournal::parse(w.bytes());
   ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
   EXPECT_EQ(parsed.value().kind, RoundKind::incremental);
-  EXPECT_EQ(parsed.value().updates, j.updates);
+  EXPECT_EQ(parsed.value().update_count, 2u);
+  EXPECT_EQ(parsed.value().updates_digest, j.updates_digest);
   EXPECT_EQ(parsed.value().touched_entries, 5u);
   EXPECT_EQ(parsed.value().multiproof_siblings, 11u);
 

@@ -110,7 +110,9 @@ TEST(JoinJournalSchema, RoundTrip) {
 TEST(Fold, TwoLeavesBindChainFields) {
   Fixture fx;
   const RoundResult round = fx.unfolded_round(2);
-  auto folded = fold_receipts(Fixture::leaves_of(round));
+  FoldOptions options;
+  options.leaf_sketches = round.shard_sketches;
+  auto folded = fold_receipts(Fixture::leaves_of(round), options);
   ASSERT_TRUE(folded.ok()) << folded.error().to_string();
   EXPECT_EQ(folded.value().joins, 1u);
 
@@ -137,6 +139,7 @@ TEST(Fold, FanoutShapesTree) {
 
   FoldOptions binary;
   binary.fanout = 2;
+  binary.leaf_sketches = round.shard_sketches;
   auto b = fold_receipts(leaves, binary);
   ASSERT_TRUE(b.ok()) << b.error().to_string();
   // 5 -> (2,2,1-passthrough) -> (2,1-passthrough) -> 2: heights 1,2,3.
@@ -145,6 +148,7 @@ TEST(Fold, FanoutShapesTree) {
 
   FoldOptions wide;
   wide.fanout = 4;
+  wide.leaf_sketches = round.shard_sketches;
   auto w = fold_receipts(leaves, wide);
   ASSERT_TRUE(w.ok()) << w.error().to_string();
   // 5 -> (4,1-passthrough) -> 2.
@@ -166,16 +170,19 @@ TEST(Fold, FanoutShapesTree) {
 
 TEST(Fold, RootTakesCallerSealKindInteriorComposite) {
   Fixture fx;
-  const auto leaves = Fixture::leaves_of(fx.unfolded_round(4));
+  const RoundResult round = fx.unfolded_round(4);
+  const auto leaves = Fixture::leaves_of(round);
 
   FoldOptions succinct;
   succinct.prove_options.seal_kind = zvm::SealKind::succinct;
+  succinct.leaf_sketches = round.shard_sketches;
   auto s = fold_receipts(leaves, succinct);
   ASSERT_TRUE(s.ok()) << s.error().to_string();
   EXPECT_EQ(s.value().root.seal_kind, zvm::SealKind::succinct);
 
   FoldOptions composite;
   composite.prove_options.seal_kind = zvm::SealKind::composite;
+  composite.leaf_sketches = round.shard_sketches;
   auto c = fold_receipts(leaves, composite);
   ASSERT_TRUE(c.ok()) << c.error().to_string();
   EXPECT_EQ(c.value().root.seal_kind, zvm::SealKind::composite);
@@ -189,23 +196,25 @@ TEST(Fold, RootTakesCallerSealKindInteriorComposite) {
 
 TEST(Fold, DeterministicAcrossBackendsAndPoolWidths) {
   Fixture fx;
-  const auto leaves = Fixture::leaves_of(fx.unfolded_round(4));
+  const RoundResult round = fx.unfolded_round(4);
+  const auto leaves = Fixture::leaves_of(round);
+  FoldOptions options;
+  options.leaf_sketches = round.shard_sketches;
 
-  auto reference = fold_receipts(leaves);
+  auto reference = fold_receipts(leaves, options);
   ASSERT_TRUE(reference.ok()) << reference.error().to_string();
   const Bytes reference_bytes = reference.value().root.to_bytes();
 
   // Scalar-pinned SHA-256 backend: byte-identical seal.
   ASSERT_TRUE(
       crypto::sha256_force_backend(crypto::Sha256Backend::scalar));
-  auto scalar = fold_receipts(leaves);
+  auto scalar = fold_receipts(leaves, options);
   crypto::sha256_force_backend(std::nullopt);
   ASSERT_TRUE(scalar.ok()) << scalar.error().to_string();
   EXPECT_EQ(scalar.value().root.to_bytes(), reference_bytes);
 
   // Single-worker pool: byte-identical seal.
   common::ThreadPool narrow(common::ThreadPool::Options{.threads = 1});
-  FoldOptions options;
   options.pool = &narrow;
   auto pooled = fold_receipts(leaves, options);
   ASSERT_TRUE(pooled.ok()) << pooled.error().to_string();
@@ -279,8 +288,11 @@ TEST(JoinSoundness, WrongChildKindTagFails) {
 
 TEST(JoinSoundness, TamperedSealRejected) {
   Fixture fx;
-  const auto leaves = Fixture::leaves_of(fx.unfolded_round(2));
-  auto folded = fold_receipts(leaves);
+  const RoundResult round = fx.unfolded_round(2);
+  const auto leaves = Fixture::leaves_of(round);
+  FoldOptions options;
+  options.leaf_sketches = round.shard_sketches;
+  auto folded = fold_receipts(leaves, options);
   ASSERT_TRUE(folded.ok());
   zvm::Verifier verifier;
 
@@ -305,11 +317,17 @@ TEST(JoinSoundness, SwappedChildrenChangeFoldDigestAndFailAudit) {
   auto round = service.aggregate({fx.committed(0, 1, 24)});
   ASSERT_TRUE(round.ok()) << round.error().to_string();
   auto leaves = Fixture::leaves_of(round.value());
+  std::vector<netflow::RoundSketch> sketches = round.value().shard_sketches;
 
-  auto in_order = fold_receipts(leaves);
+  FoldOptions options;
+  options.leaf_sketches = sketches;
+  auto in_order = fold_receipts(leaves, options);
   ASSERT_TRUE(in_order.ok());
+  // Swapping children must swap their sketches too — each child's sketch
+  // bytes are authenticated against the digest its own journal chained.
   std::swap(leaves[0], leaves[1]);
-  auto swapped = fold_receipts(leaves);
+  std::swap(sketches[0], sketches[1]);
+  auto swapped = fold_receipts(leaves, options);
   ASSERT_TRUE(swapped.ok());
   // The fold digest (and thus the claim) binds child order.
   EXPECT_NE(in_order.value().journal.fold_digest,

@@ -114,6 +114,48 @@ TEST(CountMin, DeserializeRejectsHugeDimensions) {
   EXPECT_FALSE(CountMinSketch::deserialize(r).ok());
 }
 
+TEST(CountMin, CounterOverflowSaturates) {
+  EXPECT_EQ(sat_add(~0ULL, 1), ~0ULL);
+  EXPECT_EQ(sat_add(~0ULL - 3, 10), ~0ULL);
+  EXPECT_EQ(sat_add(5, 7), 12u);
+
+  // Repeated near-max updates pin the counters (and the total) at the
+  // ceiling instead of wrapping — host and guest must agree on this.
+  CountMinSketch sketch(CountMinParams{.width = 32, .depth = 2, .seed = 8});
+  sketch.update(key_of(1), ~0ULL - 1);
+  sketch.update(key_of(1), ~0ULL - 1);
+  EXPECT_EQ(sketch.estimate(key_of(1)), ~0ULL);
+  EXPECT_EQ(sketch.total_updates(), ~0ULL);
+
+  // Merging two saturated sketches stays saturated.
+  CountMinSketch other(CountMinParams{.width = 32, .depth = 2, .seed = 8});
+  other.update(key_of(1), ~0ULL);
+  ASSERT_TRUE(sketch.merge(other).ok());
+  EXPECT_EQ(sketch.estimate(key_of(1)), ~0ULL);
+  EXPECT_EQ(sketch.total_updates(), ~0ULL);
+}
+
+TEST(CountMin, MergeOfEmptySketchesIsIdentity) {
+  const CountMinParams params{.width = 128, .depth = 4, .seed = 12};
+  CountMinSketch empty_a(params), empty_b(params);
+  const auto empty_hash = empty_a.hash();
+  ASSERT_TRUE(empty_a.merge(empty_b).ok());
+  EXPECT_EQ(empty_a.hash(), empty_hash);
+  EXPECT_EQ(empty_a.total_updates(), 0u);
+
+  // Empty is the merge identity on a populated sketch, in either order.
+  CountMinSketch populated(params);
+  for (u64 f = 0; f < 20; ++f) populated.update(key_of(f), f + 1);
+  const auto populated_hash = populated.hash();
+  ASSERT_TRUE(populated.merge(empty_b).ok());
+  EXPECT_EQ(populated.hash(), populated_hash);
+  CountMinSketch from_empty(params);
+  for (u64 f = 0; f < 20; ++f) from_empty.update(key_of(f), f + 1);
+  CountMinSketch lhs(params);
+  ASSERT_TRUE(lhs.merge(from_empty).ok());
+  EXPECT_EQ(lhs.hash(), populated_hash);
+}
+
 TEST(SpaceSaving, TracksExactWhenUnderCapacity) {
   SpaceSaving tracker(16);
   for (u64 f = 0; f < 10; ++f) tracker.update(key_of(f), f + 1);
@@ -159,6 +201,70 @@ TEST(SpaceSaving, HeavyHittersSortedDescending) {
   for (size_t i = 1; i < hitters.size(); ++i) {
     EXPECT_GE(hitters[i - 1].count, hitters[i].count);
   }
+}
+
+TEST(SpaceSaving, MergeRejectsCapacityMismatch) {
+  SpaceSaving a(16), b(32);
+  a.update(key_of(1), 5);
+  b.update(key_of(2), 7);
+  EXPECT_FALSE(a.merge(b).ok());
+  // And the reject left `a` untouched.
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.find(key_of(1))->count, 5u);
+}
+
+TEST(SpaceSaving, MergeOfEmptyTrackersAndSaturation) {
+  SpaceSaving empty_a(8), empty_b(8);
+  ASSERT_TRUE(empty_a.merge(empty_b).ok());
+  EXPECT_EQ(empty_a.size(), 0u);
+  EXPECT_EQ(empty_a.total(), 0u);
+
+  // Empty is the merge identity on a populated tracker.
+  SpaceSaving populated(8);
+  populated.update(key_of(1), 10);
+  populated.update(key_of(2), 3);
+  ASSERT_TRUE(populated.merge(empty_b).ok());
+  EXPECT_EQ(populated.size(), 2u);
+  EXPECT_EQ(populated.find(key_of(1))->count, 10u);
+
+  // Counts saturate instead of wrapping when two huge trackers combine.
+  SpaceSaving big_a(8), big_b(8);
+  big_a.update(key_of(1), ~0ULL - 1);
+  big_b.update(key_of(1), ~0ULL - 1);
+  ASSERT_TRUE(big_a.merge(big_b).ok());
+  EXPECT_EQ(big_a.find(key_of(1))->count, ~0ULL);
+  EXPECT_EQ(big_a.total(), ~0ULL);
+}
+
+TEST(SpaceSaving, HeavyHittersZeroThresholdReturnsAllTracked) {
+  SpaceSaving tracker(16);
+  tracker.update(key_of(1), 9);
+  tracker.update(key_of(2), 4);
+  tracker.update(key_of(3), 4);
+  const auto hits = tracker.heavy_hitters(0);
+  ASSERT_EQ(hits.size(), 3u);
+  // Canonical order: count descending, key ascending as the tiebreak.
+  EXPECT_EQ(hits[0].count, 9u);
+  EXPECT_EQ(hits[1].count, 4u);
+  EXPECT_EQ(hits[2].count, 4u);
+  EXPECT_LT(hits[1].key, hits[2].key);
+}
+
+TEST(RoundSketch, MergeRejectsParamsSwap) {
+  SketchParams base;
+  base.cm = {.width = 128, .depth = 4, .seed = 1};
+  base.heavy_capacity = 16;
+  SketchParams wrong_cm = base;
+  wrong_cm.cm.seed = 2;
+  SketchParams wrong_cap = base;
+  wrong_cap.heavy_capacity = 32;
+
+  RoundSketch a(base);
+  a.update(key_of(1), 3);
+  EXPECT_FALSE(a.merge(RoundSketch(wrong_cm)).ok());
+  EXPECT_FALSE(a.merge(RoundSketch(wrong_cap)).ok());
+  ASSERT_TRUE(a.merge(RoundSketch(base)).ok());
+  EXPECT_EQ(a.total(), 3u);
 }
 
 }  // namespace

@@ -5,7 +5,8 @@
 // Usage:
 //   zkt-prove --data-dir DIR [--query "sum(hop_sum) where src_ip = 1.1.1.1"]
 //             [--group-by FIELD] [--selective] [--composite]
-//             [--agg-mode auto|full|incremental]
+//             [--agg-mode auto|full|incremental] [--no-sketch]
+//             [--heavy-hitters T] [--cardinality]
 //             [--shards N] [--join-fanout F] [--pipeline-depth D]
 //             [--recover] [--checkpoint-every N] [--retry-attempts N]
 //             [--prune] [--metrics] [--metrics-json [PATH]]
@@ -17,6 +18,13 @@
 // mode is incompatible with --query (query proofs run over the
 // single-chain state). The core.sharded.* / core.tree.* /
 // core.pipeline.inflight metrics show what the sharded pipeline did.
+//
+// By default every round folds its records into the proof-carrying round
+// sketch (DESIGN.md §10); --no-sketch disables it. --heavy-hitters T proves
+// the flows with count >= T and --cardinality proves the distinct-flow
+// count, both answered against the committed sketch when its error bound
+// satisfies the query (flat in the CLog size) and by an exact complete
+// scan otherwise; the receipt lands in DIR/sketch_query_receipt.bin.
 //
 // --agg-mode picks the aggregation guest per round: "full" always rebuilds
 // the whole CLog state in-guest (Algorithm 1), "incremental" proves only
@@ -122,7 +130,16 @@ int main(int argc, char** argv) {
       static_cast<u32>(flags.get_u64("join-fanout", 2));
   pipeline_options.sharded.pipeline_depth =
       static_cast<u32>(flags.get_u64("pipeline-depth", 1));
+  if (flags.has("no-sketch")) pipeline_options.sketch = std::nullopt;
   const bool sharded = pipeline_options.sharded.shard_count >= 2;
+  if (sharded &&
+      (flags.has("heavy-hitters") || flags.has("cardinality"))) {
+    std::fprintf(stderr,
+                 "--heavy-hitters/--cardinality are incompatible with "
+                 "--shards (sketch queries run over the single-chain "
+                 "state)\n");
+    return finish(flags, data_dir, 1);
+  }
   if (sharded && flags.has("query")) {
     std::fprintf(stderr,
                  "--query is incompatible with --shards (query proofs run "
@@ -205,6 +222,68 @@ int main(int argc, char** argv) {
   }
   std::printf("  receipts -> %s (%zu rounds)\n", receipts_path.c_str(),
               pipeline.receipts().size());
+
+  // Optional sketch-routed queries (heavy hitters / cardinality).
+  if (flags.has("heavy-hitters") || flags.has("cardinality")) {
+    core::QueryService queries(aggregation,
+                               core::QueryServiceOptions{options});
+    const std::string sketch_query_path =
+        data_dir + "/sketch_query_receipt.bin";
+    if (flags.has("heavy-hitters")) {
+      const u64 threshold = flags.get_u64("heavy-hitters", 1);
+      auto response = queries.heavy_hitters(threshold);
+      if (!response.ok()) {
+        std::fprintf(stderr, "heavy-hitters proof: %s\n",
+                     response.error().to_string().c_str());
+        return finish(flags, data_dir, 2);
+      }
+      const zvm::Receipt& receipt = response.value().used_sketch
+                                        ? response.value().sketch->receipt
+                                        : response.value().exact->receipt;
+      if (auto s = core::save_receipts({receipt}, sketch_query_path);
+          !s.ok()) {
+        std::fprintf(stderr, "save sketch query receipt: %s\n",
+                     s.to_string().c_str());
+        return finish(flags, data_dir, 1);
+      }
+      if (response.value().used_sketch) {
+        std::printf("  heavy hitters >= %llu: %zu flow(s) via sketch -> %s\n",
+                    (unsigned long long)threshold,
+                    response.value().sketch->journal.hits.size(),
+                    sketch_query_path.c_str());
+      } else {
+        std::printf(
+            "  heavy hitters >= %llu: %llu flow(s) via exact scan -> %s\n",
+            (unsigned long long)threshold,
+            (unsigned long long)response.value().exact->value,
+            sketch_query_path.c_str());
+      }
+    } else {
+      auto response = queries.cardinality();
+      if (!response.ok()) {
+        std::fprintf(stderr, "cardinality proof: %s\n",
+                     response.error().to_string().c_str());
+        return finish(flags, data_dir, 2);
+      }
+      const zvm::Receipt& receipt = response.value().used_sketch
+                                        ? response.value().sketch->receipt
+                                        : response.value().exact->receipt;
+      if (auto s = core::save_receipts({receipt}, sketch_query_path);
+          !s.ok()) {
+        std::fprintf(stderr, "save sketch query receipt: %s\n",
+                     s.to_string().c_str());
+        return finish(flags, data_dir, 1);
+      }
+      const u64 distinct =
+          response.value().used_sketch
+              ? response.value().sketch->journal.distinct_flows
+              : response.value().exact->value;
+      std::printf("  cardinality: %llu distinct flow(s) via %s -> %s\n",
+                  (unsigned long long)distinct,
+                  response.value().used_sketch ? "sketch" : "exact scan",
+                  sketch_query_path.c_str());
+    }
+  }
 
   // Optional query proof.
   if (flags.has("query")) {

@@ -5,9 +5,14 @@
 //
 // Usage:
 //   zkt-verify --data-dir DIR [--query "sum(hop_sum) where ..."]
-//              [--stream] [--batch N] [--sequential]
+//              [--sketch-query] [--stream] [--batch N] [--sequential]
 //              [--pool-threads N] [--backend scalar|shani|avx2]
 //              [--metrics] [--metrics-json [PATH]]
+//
+// --sketch-query verifies DIR/sketch_query_receipt.bin (written by
+// zkt-prove --heavy-hitters/--cardinality), dispatching on the guest image:
+// sketch-routed receipts bind the accepted chain head's sketch digest,
+// exact-fallback receipts verify as ordinary complete-scan query proofs.
 //
 // Chain-verification modes (identical accept/reject decisions):
 //   default      — load all receipts, verify them in one batched pass
@@ -174,6 +179,57 @@ int main(int argc, char** argv) {
                 (unsigned long long)stats.openings,
                 (unsigned long long)stats.node_hashes_shared,
                 (unsigned long long)stats.assumptions_skipped);
+  }
+
+  if (flags.has("sketch-query")) {
+    auto sketch_receipts =
+        core::load_receipts(data_dir + "/sketch_query_receipt.bin");
+    if (!sketch_receipts.ok() || sketch_receipts.value().size() != 1) {
+      std::fprintf(stderr, "sketch query receipt missing or malformed\n");
+      return finish(flags, data_dir, 1);
+    }
+    const zvm::Receipt& receipt = sketch_receipts.value()[0];
+    if (receipt.claim.image_id == core::sketch_heavy_image()) {
+      auto verified = auditor.verify_heavy_hitters(receipt);
+      if (!verified.ok()) {
+        std::printf("sketch heavy-hitters proof: REJECTED — %s\n",
+                    verified.error().to_string().c_str());
+        return finish(flags, data_dir, 2);
+      }
+      std::printf("sketch heavy-hitters proof: OK (threshold %llu, %zu "
+                  "flow(s), flat in chain size)\n",
+                  (unsigned long long)verified.value().threshold,
+                  verified.value().hits.size());
+      for (const auto& hit : verified.value().hits) {
+        std::printf("    %s -> %llu (err<=%llu)\n",
+                    hit.key.to_string().c_str(),
+                    (unsigned long long)hit.count,
+                    (unsigned long long)hit.error);
+      }
+    } else if (receipt.claim.image_id == core::sketch_card_image()) {
+      auto verified = auditor.verify_cardinality(receipt);
+      if (!verified.ok()) {
+        std::printf("sketch cardinality proof: REJECTED — %s\n",
+                    verified.error().to_string().c_str());
+        return finish(flags, data_dir, 2);
+      }
+      std::printf("sketch cardinality proof: OK — %llu distinct flow(s) "
+                  "(CMS lower bound %llu)\n",
+                  (unsigned long long)verified.value().distinct_flows,
+                  (unsigned long long)verified.value().cms_lower_bound);
+    } else {
+      // Exact fallback: the prover's cost estimator chose a complete scan.
+      auto verified = auditor.verify_query(receipt);
+      if (!verified.ok()) {
+        std::printf("sketch query (exact fallback): REJECTED — %s\n",
+                    verified.error().to_string().c_str());
+        return finish(flags, data_dir, 2);
+      }
+      std::printf("sketch query (exact fallback): OK — %s => %llu\n",
+                  verified.value().query.to_string().c_str(),
+                  (unsigned long long)verified.value().result.value(
+                      verified.value().query.agg));
+    }
   }
 
   if (flags.has("query")) {
