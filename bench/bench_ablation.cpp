@@ -163,7 +163,8 @@ int main() {
     {
       auto verified =
           core::verify_chain_summary(summary.value().receipt,
-                                     *workload.board);
+                                     *workload.board,
+                                     summary.value().commitments);
       if (!verified.ok()) return 1;
       core::Auditor auditor(*workload.board);
       if (!auditor

@@ -1,0 +1,201 @@
+// Epoch-seal catch-up bench -> BENCH_epoch.json.
+//
+// One growing aggregation chain (1 router, 2 records per round) with an
+// epoch ladder (epoch_every = 16) maintained alongside it, sampled at
+// T = 16 .. 4096 rounds. At each checkpoint a cold verifier syncs twice:
+//
+//   replay    — fresh Auditor::accept_rounds over all T receipts (the
+//               pre-epoch cost: linear in T).
+//   catch-up  — fresh Auditor::catch_up over the live ladder (the binary
+//               decomposition of T/16, so popcount <= log2(T/16)+1 seals)
+//               plus the unsealed suffix (< 16 rounds).
+//
+// The headline is the catch-up column staying ~flat while replay grows
+// linearly, with seal receipts constant-size at every level (DESIGN.md
+// §11). The binary exits nonzero if the two paths disagree on the final
+// head — the bench doubles as an end-to-end equivalence check.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.h"
+#include "core/epoch.h"
+
+using namespace zkt;
+
+namespace {
+
+constexpr u64 kEpochEvery = 16;
+
+struct Cell {
+  u64 rounds = 0;
+  u64 seals = 0;          // live ladder size = popcount(T / epoch)
+  u64 seal_rounds = 0;    // rounds covered by seals
+  u64 suffix_rounds = 0;  // rounds replayed after the seals
+  u64 seal_bytes_max = 0;
+  double ladder_settle_ms = 0;  // prover-side wait for async seals
+  double replay_ms = 0;
+  double catchup_ms = 0;
+};
+
+double now_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // 2730 rounds = 170 completed units = 0b10101010: a 4-seal ladder with a
+  // 10-round suffix, so the sweep exercises multi-seal splicing and suffix
+  // replay, not just the single-seal power-of-two points.
+  const std::vector<u64> checkpoints = {16, 64, 256, 1024, 2730, 4096};
+
+  core::CommitmentBoard board;
+  core::AggregationService service(board);
+  const auto key = crypto::schnorr_keygen_from_seed("bench-epoch");
+  core::EpochLadderOptions ladder_options;
+  ladder_options.epoch_every = kEpochEvery;
+  core::EpochLadder ladder(ladder_options);
+  std::vector<zvm::Receipt> rounds;
+
+  std::printf("=== epoch catch-up: epoch_every %llu, 2 records/round ===\n",
+              (unsigned long long)kEpochEvery);
+  std::printf("%7s | %5s | %6s | %10s | %12s | %12s | %8s\n", "rounds",
+              "seals", "suffix", "seal B max", "replay ms", "catchup ms",
+              "speedup");
+  std::printf("--------+-------+--------+------------+--------------+"
+              "--------------+---------\n");
+
+  std::vector<Cell> cells;
+  for (u64 target : checkpoints) {
+    // Extend the chain to `target` rounds, feeding the ladder as we go —
+    // the provider's steady-state shape (seals prove asynchronously).
+    while (rounds.size() < target) {
+      const u64 window = rounds.size() + 1;
+      netflow::RLogBatch batch;
+      batch.router_id = 0;
+      batch.window_id = window;
+      for (u32 i = 0; i < 2; ++i) {
+        netflow::FlowRecord record;
+        netflow::PacketObservation pkt;
+        pkt.key = sim::synth_flow_key(window * 10 + i, 7);
+        pkt.timestamp_ms = window * 5000;
+        pkt.bytes = 500 + static_cast<u32>(window % 900);
+        record.observe(pkt);
+        batch.records.push_back(std::move(record));
+      }
+      auto commitment = core::make_commitment(batch, key, window * 5000);
+      if (!commitment.ok() || !board.publish(commitment.value()).ok()) {
+        std::printf("commitment failed at window %llu\n",
+                    (unsigned long long)window);
+        return 1;
+      }
+      auto round = service.aggregate({batch});
+      if (!round.ok()) {
+        std::printf("aggregation failed: %s\n",
+                    round.error().to_string().c_str());
+        return 1;
+      }
+      rounds.push_back(std::move(round.value().receipt));
+      if (auto fed = ladder.feed(rounds.back(), window); !fed.ok()) {
+        std::printf("ladder feed failed: %s\n", fed.to_string().c_str());
+        return 1;
+      }
+    }
+    const auto settle_start = std::chrono::steady_clock::now();
+    if (auto settled = ladder.settle(); !settled.ok()) {
+      std::printf("ladder settle failed: %s\n", settled.to_string().c_str());
+      return 1;
+    }
+    (void)ladder.take_completed();  // drop what a provider would persist
+
+    Cell cell;
+    cell.rounds = target;
+    cell.ladder_settle_ms = now_ms_since(settle_start);
+    const auto live = ladder.ladder();
+    cell.seals = live.size();
+    for (const auto& seal : live) {
+      cell.seal_rounds += seal.rounds;
+      cell.seal_bytes_max =
+          std::max<u64>(cell.seal_bytes_max, seal.receipt.seal_size_bytes());
+    }
+    cell.suffix_rounds = target - cell.seal_rounds;
+
+    // Cold verifier, path 1: full replay.
+    core::Auditor replayed(board);
+    const auto replay_start = std::chrono::steady_clock::now();
+    if (auto r = replayed.accept_rounds(rounds); !r.ok()) {
+      std::printf("replay failed: %s\n", r.error().to_string().c_str());
+      return 1;
+    }
+    cell.replay_ms = now_ms_since(replay_start);
+
+    // Cold verifier, path 2: O(log T) seals + suffix.
+    core::Auditor cold(board);
+    const auto catchup_start = std::chrono::steady_clock::now();
+    auto report = cold.catch_up(
+        live, std::span<const zvm::Receipt>(rounds).subspan(cell.seal_rounds));
+    if (!report.ok()) {
+      std::printf("catch-up failed: %s\n", report.error().to_string().c_str());
+      return 1;
+    }
+    cell.catchup_ms = now_ms_since(catchup_start);
+
+    // Equivalence gate: both paths must land on the same head.
+    if (cold.rounds_accepted() != replayed.rounds_accepted() ||
+        cold.current_root() != replayed.current_root() ||
+        cold.head().claim_digest != replayed.head().claim_digest ||
+        cold.head().entry_count != replayed.head().entry_count) {
+      std::printf("HEAD MISMATCH at %llu rounds: catch-up disagrees with "
+                  "replay\n",
+                  (unsigned long long)target);
+      return 1;
+    }
+
+    cells.push_back(cell);
+    std::printf("%7llu | %5llu | %6llu | %10llu | %12.1f | %12.2f | %7.1fx\n",
+                (unsigned long long)cell.rounds,
+                (unsigned long long)cell.seals,
+                (unsigned long long)cell.suffix_rounds,
+                (unsigned long long)cell.seal_bytes_max, cell.replay_ms,
+                cell.catchup_ms,
+                cell.catchup_ms > 0 ? cell.replay_ms / cell.catchup_ms : 0);
+  }
+
+  std::printf("\nshape: replay verifies T receipts — linear in T. Catch-up "
+              "verifies popcount(T/%llu) constant-size seals plus a "
+              "<%llu-round suffix; its residual growth is the out-of-band "
+              "commitment-ref replay (one hash fold + board lookup per "
+              "commitment — anchoring T commitments is inherently O(T) "
+              "hashing, ~10x cheaper than receipt verification), while the "
+              "receipt-verification count is O(log T). Identical heads at "
+              "every checkpoint.\n",
+              (unsigned long long)kEpochEvery,
+              (unsigned long long)kEpochEvery);
+
+  std::ofstream out("BENCH_epoch.json");
+  out << "{\n  \"epoch_every\": " << kEpochEvery
+      << ",\n  \"records_per_round\": 2,\n  \"sweep\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    out << "    {\"rounds\": " << c.rounds << ", \"seals\": " << c.seals
+        << ", \"seal_rounds\": " << c.seal_rounds
+        << ", \"suffix_rounds\": " << c.suffix_rounds
+        << ", \"seal_bytes_max\": " << c.seal_bytes_max
+        << ", \"ladder_settle_ms\": " << c.ladder_settle_ms
+        << ", \"replay_ms\": " << c.replay_ms
+        << ", \"catchup_ms\": " << c.catchup_ms << ", \"speedup\": "
+        << (c.catchup_ms > 0 ? c.replay_ms / c.catchup_ms : 0) << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::fprintf(stderr, "could not write BENCH_epoch.json\n");
+    return 1;
+  }
+  std::printf("\nsweep -> BENCH_epoch.json\n");
+  bench::write_metrics_snapshot("epoch");
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "bench_util.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 
 using namespace zkt;
 
@@ -48,7 +49,25 @@ struct DepthCell {
   u32 depth = 0;
   double total_ms = 0;
   double windows_per_sec = 0;
+  // Per-window means of the pipeline's span timings across this run:
+  // stage (overlappable split-prove), prove (the serial chain-linking
+  // segment on the caller thread), fold wait (blocking on the seal future).
+  double stage_ms = 0;
+  double prove_ms = 0;
+  double fold_wait_ms = 0;
 };
+
+/// Per-window mean of histogram `name` accumulated between two registry
+/// snapshots (0 when the run recorded nothing).
+double span_mean(const obs::Snapshot& before, const obs::Snapshot& after,
+                 std::string_view name) {
+  const obs::HistogramSnapshot* b = before.find_histogram(name);
+  const obs::HistogramSnapshot* a = after.find_histogram(name);
+  if (a == nullptr) return 0;
+  const double sum = a->sum - (b != nullptr ? b->sum : 0);
+  const u64 count = a->count - (b != nullptr ? b->count : 0);
+  return count == 0 ? 0 : sum / static_cast<double>(count);
+}
 
 double now_ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -112,8 +131,10 @@ int main() {
               "4 shards ===\n",
               (unsigned long long)kPipelineWindows,
               (unsigned long long)kPipelineRecords);
-  std::printf("%7s | %12s | %13s\n", "depth", "total ms", "windows/sec");
-  std::printf("--------+--------------+--------------\n");
+  std::printf("%7s | %12s | %13s | %10s %10s %13s\n", "depth", "total ms",
+              "windows/sec", "stage ms", "prove ms", "fold wait ms");
+  std::printf("--------+--------------+---------------+--------------------"
+              "-----------------\n");
 
   std::vector<DepthCell> depth_cells;
   for (u32 depth : {1u, 2u, 3u}) {
@@ -144,9 +165,11 @@ int main() {
     options.sharded.join_fanout = 2;
     options.sharded.pipeline_depth = depth;
     core::ProviderPipeline pipeline(store, *workload.board, options);
+    const auto before = obs::Registry::instance().snapshot();
     const auto start = std::chrono::steady_clock::now();
     auto rounds = pipeline.aggregate_pending();
     const double total_ms = now_ms_since(start);
+    const auto after = obs::Registry::instance().snapshot();
     if (!rounds.ok() || rounds.value().size() != kPipelineWindows ||
         pipeline.tree_seals().size() != kPipelineWindows) {
       std::printf("pipelined aggregation failed: %s\n",
@@ -154,10 +177,18 @@ int main() {
                               : rounds.error().to_string().c_str());
       return 1;
     }
-    depth_cells.push_back(
-        {depth, total_ms, kPipelineWindows / (total_ms / 1000.0)});
-    std::printf("%7u | %12.1f | %13.2f\n", depth, total_ms,
-                depth_cells.back().windows_per_sec);
+    DepthCell cell;
+    cell.depth = depth;
+    cell.total_ms = total_ms;
+    cell.windows_per_sec = kPipelineWindows / (total_ms / 1000.0);
+    cell.stage_ms = span_mean(before, after, "core.pipeline.stage_ms");
+    cell.prove_ms = span_mean(before, after, "core.pipeline.prove_ms");
+    cell.fold_wait_ms =
+        span_mean(before, after, "core.pipeline.fold_wait_ms");
+    depth_cells.push_back(cell);
+    std::printf("%7u | %12.1f | %13.2f | %10.1f %10.1f %13.2f\n", depth,
+                total_ms, cell.windows_per_sec, cell.stage_ms, cell.prove_ms,
+                cell.fold_wait_ms);
   }
 
   std::printf("\nshape: the shard sweep's wall-clock column stays ~flat as "
@@ -192,7 +223,10 @@ int main() {
     const auto& c = depth_cells[i];
     out << "    {\"pipeline_depth\": " << c.depth
         << ", \"total_ms\": " << c.total_ms
-        << ", \"windows_per_sec\": " << c.windows_per_sec << "}"
+        << ", \"windows_per_sec\": " << c.windows_per_sec
+        << ", \"stage_ms_mean\": " << c.stage_ms
+        << ", \"prove_ms_mean\": " << c.prove_ms
+        << ", \"fold_wait_ms_mean\": " << c.fold_wait_ms << "}"
         << (i + 1 < depth_cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -33,6 +33,7 @@
 namespace zkt::core {
 
 class ReceiptSource;  // core/io.h (host-side streaming input)
+struct EpochSeal;     // core/epoch.h (ladder seal record)
 
 /// A verified chain head: what a summary hands to an auditor, and what an
 /// auditor reports after an audit. Replaces the positional
@@ -87,6 +88,14 @@ struct AuditOptions {
 struct AuditReport {
   u64 rounds = 0;   ///< rounds accepted by THIS audit call
   ChainHead head;   ///< chain head after the audit
+};
+
+/// What a catch_up() established (see Auditor::catch_up).
+struct CatchUpReport {
+  u64 seals_adopted = 0;    ///< epoch seals verified and adopted
+  u64 seal_rounds = 0;      ///< rounds covered by those seals
+  u64 rounds_replayed = 0;  ///< suffix rounds verified individually
+  ChainHead head;           ///< chain head after catch-up
 };
 
 /// Bounded, insertion-ordered set of accepted aggregation claim digests.
@@ -144,6 +153,20 @@ class Auditor {
   /// queries targeting its final round verify. Only allowed on a fresh
   /// auditor (no rounds accepted yet).
   Status adopt_summary(const ChainHead& head);
+
+  /// Cold-verifier catch-up: verify a ladder of epoch seals (chain order,
+  /// first one genesis-anchored, consecutive seals spliced host-side on
+  /// claim digest / root / entry count / commitment-chain digest / sketch
+  /// digest), adopt the resulting head, then accept the unsealed suffix
+  /// rounds through the normal batch path. Accept/reject decisions are
+  /// byte-identical to a full sequential audit of the same chain; the cost
+  /// is O(log T) seal verifications + O(epoch) suffix instead of O(T).
+  /// Unlike adopt_summary, the seal journal carries the sketch position, so
+  /// sketch queries work immediately after catch-up. Only allowed on a
+  /// fresh auditor. Implemented in core/epoch.cpp.
+  Result<CatchUpReport> catch_up(std::span<const EpochSeal> seals,
+                                 std::span<const zvm::Receipt> suffix,
+                                 zvm::VerifyStats* stats = nullptr);
 
   /// Verify a query receipt (complete-scan or selective). It must target an
   /// accepted aggregation round (within the accepted-claim window), carry

@@ -136,11 +136,21 @@ void describe_journal(std::ostringstream& os, const zvm::Receipt& receipt) {
       os << "  journal: MALFORMED (" << j.error().to_string() << ")\n";
       return;
     }
-    os << "  chain summary: " << j.value().rounds << " round(s), "
-       << j.value().commitments.size() << " commitment(s)\n"
+    os << "  epoch seal: " << j.value().rounds << " round(s)"
+       << (j.value().genesis ? " from genesis" : " mid-chain") << ", "
+       << j.value().commitment_count << " commitment(s)\n"
+       << "    span  " << short_hex(j.value().first_claim_digest) << " -> "
+       << short_hex(j.value().final_claim_digest) << "\n"
        << "    final root " << short_hex(j.value().final_root) << " ("
-       << j.value().final_entry_count << " entries), final claim "
-       << short_hex(j.value().final_claim_digest) << "\n";
+       << j.value().final_entry_count << " entries)\n"
+       << "    commitment chain "
+       << short_hex(j.value().first_commitments_digest) << " -> "
+       << short_hex(j.value().final_commitments_digest) << "\n";
+    if (j.value().has_sketch) {
+      os << "    sketch chain " << short_hex(j.value().first_sketch_digest)
+         << " -> " << short_hex(j.value().final_sketch_digest) << " ("
+         << j.value().final_sketch_total << " updates)\n";
+    }
   } else if (kind == "zkt.guest.sketch_query") {
     auto j = SketchQueryJournal::parse(receipt.journal);
     if (!j.ok()) {

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <map>
 #include <thread>
 
 #include "common/log.h"
@@ -45,6 +46,11 @@ ProviderPipeline::ProviderPipeline(store::LogStore& store,
     sharded.sketch = options_.sketch;
     sharded_ =
         std::make_unique<ShardedAggregationService>(board, std::move(sharded));
+  } else if (options_.epoch_every > 0) {
+    EpochLadderOptions ladder;
+    ladder.epoch_every = options_.epoch_every;
+    ladder.prove_options = options_.prove_options;
+    epoch_ = std::make_unique<EpochLadder>(std::move(ladder));
   }
 }
 
@@ -197,6 +203,111 @@ Status ProviderPipeline::persist_seal(u64 window, const RoundResult& round) {
   return {};
 }
 
+Status ProviderPipeline::persist_epoch_seals() {
+  if (!epoch_) return {};
+  for (const EpochSeal& seal : epoch_->take_completed()) {
+    const Bytes payload = seal.to_bytes();
+    ZKT_TRY(with_retry("epoch seal append", [&]() -> Status {
+      auto id = store_->append(store::kTableEpochSeals, seal.level,
+                               seal.start_round, payload);
+      return id.ok() ? Status{} : Status(id.error());
+    }));
+    obs::Registry::instance().counter("core.pipeline.epoch_seals").add(1);
+  }
+  return {};
+}
+
+Result<std::vector<EpochSeal>> ProviderPipeline::epoch_seals() {
+  if (!epoch_) return std::vector<EpochSeal>{};
+  ZKT_TRY(epoch_->settle());
+  ZKT_TRY(persist_epoch_seals());
+  return epoch_->ladder();
+}
+
+Status ProviderPipeline::recover_epoch_ladder(
+    const std::vector<u64>& round_windows, RecoveryInfo& info) {
+  obs::Registry& metrics = obs::Registry::instance();
+  // Latest stored seal per (level, start_round).
+  std::map<std::pair<u64, u64>, Bytes> stored;
+  ZKT_TRY(with_retry("epoch seal scan", [&]() -> Status {
+    stored.clear();
+    return store_->for_each(store::kTableEpochSeals, 0, ~0ULL,
+                            [&](const store::StoredRow& row) {
+                              stored[{row.k1, row.k2}] = row.payload;
+                            });
+  }));
+
+  // The expected ladder is a pure function of the recovered chain length;
+  // walk it in chain order, adopting stored seals that validate against the
+  // restored receipts and re-folding anything missing or damaged.
+  const u64 epoch_every = epoch_->epoch_every();
+  Digest32 commitments_digest = epoch_commitments_init();
+  for (const EpochSpanSpec& spec :
+       epoch_ladder_plan(receipts_.size(), epoch_every)) {
+    bool adopted = false;
+    auto it = stored.find({spec.level, spec.start_round});
+    if (it != stored.end()) {
+      auto seal = EpochSeal::from_bytes(it->second);
+      if (!seal.ok()) {
+        ZKT_LOG(warn) << "unreadable epoch seal (level " << spec.level
+                      << ", start " << spec.start_round
+                      << "): " << seal.error().to_string() << "; re-folding";
+      } else if (Status valid = validate_recovered_seal(
+                     seal.value(), receipts_, epoch_every);
+                 !valid.ok()) {
+        ZKT_LOG(warn) << "stored epoch seal (level " << spec.level
+                      << ", start " << spec.start_round
+                      << ") failed validation: " << valid.to_string()
+                      << "; re-folding";
+      } else {
+        commitments_digest = seal.value().journal.final_commitments_digest;
+        ZKT_TRY(epoch_->adopt(std::move(seal.value())));
+        ++info.epoch_seals_adopted;
+        adopted = true;
+      }
+    }
+    if (adopted) continue;
+
+    // Crash before this level was persisted (or it failed validation):
+    // re-fold the span from the restored receipts. O(span) prover work, but
+    // only on the damaged level — the healthy ladder re-adopts for free.
+    EpochSpanOptions span_options;
+    span_options.prove_options = epoch_->options().prove_options;
+    span_options.first_commitments_digest = commitments_digest;
+    auto response = prove_epoch_span(
+        std::span<const zvm::Receipt>(receipts_.data() + spec.start_round,
+                                      spec.rounds),
+        span_options);
+    if (!response.ok()) return response.error();
+    EpochSeal seal;
+    seal.level = spec.level;
+    seal.start_round = spec.start_round;
+    seal.rounds = spec.rounds;
+    seal.first_window = round_windows[spec.start_round];
+    seal.last_window = round_windows[spec.start_round + spec.rounds - 1];
+    seal.receipt = std::move(response.value().receipt);
+    seal.journal = response.value().journal;
+    seal.commitments = std::move(response.value().commitments);
+    commitments_digest = seal.journal.final_commitments_digest;
+    const Bytes payload = seal.to_bytes();
+    ZKT_TRY(with_retry("epoch seal append", [&]() -> Status {
+      auto id = store_->append(store::kTableEpochSeals, seal.level,
+                               seal.start_round, payload);
+      return id.ok() ? Status{} : Status(id.error());
+    }));
+    ZKT_TRY(epoch_->adopt(std::move(seal)));
+    ++info.epoch_levels_refolded;
+    metrics.counter("core.pipeline.epoch_seals").add(1);
+  }
+
+  // Re-feed the unsealed tail so the next full epoch builds on schedule.
+  const u64 sealed = (receipts_.size() / epoch_every) * epoch_every;
+  for (u64 round = sealed; round < receipts_.size(); ++round) {
+    ZKT_TRY(epoch_->feed(receipts_[round], round_windows[round]));
+  }
+  return {};
+}
+
 u64 ProviderPipeline::prune_aggregated() {
   if (!last_window_.has_value()) return 0;
   const u64 dropped = store_->drop_rows(store::kTableRlogs, *last_window_);
@@ -238,6 +349,17 @@ Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending_plain(
     }
     receipts_.push_back(round.value().receipt);
     last_window_ = window;
+    if (epoch_) {
+      // The ladder proves asynchronously — feed() only buffers/dispatches.
+      // Finished seals are drained and persisted here, between rounds.
+      if (Status fed = epoch_->feed(round.value().receipt, window);
+          !fed.ok()) {
+        return fed.error();
+      }
+      if (Status persisted = persist_epoch_seals(); !persisted.ok()) {
+        return persisted.error();
+      }
+    }
 
     RoundResult result;
     result.round_id = round.value().round_id;
@@ -253,6 +375,16 @@ Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending_plain(
     metrics.gauge("core.pipeline.pending_windows")
         .set(static_cast<double>(windows.size() - rounds.size()));
   }
+  if (epoch_) {
+    // Quiesce the ladder so this call's seals are durable before returning
+    // (a caller that exits right after aggregate_pending loses nothing).
+    if (Status settled = epoch_->settle(); !settled.ok()) {
+      return settled.error();
+    }
+    if (Status persisted = persist_epoch_seals(); !persisted.ok()) {
+      return persisted.error();
+    }
+  }
   if (options_.prune_aggregated && !rounds.empty()) {
     prune_aggregated();
   }
@@ -261,6 +393,11 @@ Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending_plain(
 
 Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending_sharded(
     std::vector<u64> windows) {
+  if (options_.epoch_every > 0) {
+    return Error{Errc::invalid_argument,
+                 "epoch seals require single-chain mode (shard chains have "
+                 "no single round chain to seal)"};
+  }
   obs::Registry& metrics = obs::Registry::instance();
   common::ThreadPool& pool = common::ThreadPool::shared();
   const u32 depth = std::max<u32>(options_.sharded.pipeline_depth, 1);
@@ -358,11 +495,16 @@ Result<std::vector<RoundResult>> ProviderPipeline::aggregate_pending_sharded(
       settle_inflight();
       return committed.error();
     }
+    const auto prove_start = std::chrono::steady_clock::now();
     auto round = sharded_->prove_shards(std::move(staged.value()));
     if (!round.ok()) {
       settle_inflight();
       return round.error();
     }
+    // The serial segment: shard proving runs on this thread, in window
+    // order, because chains link round i+1 onto round i. Pipelining can
+    // only hide stage_ms and fold_wait_ms around it.
+    metrics.histogram("core.pipeline.prove_ms").record(elapsed_ms(prove_start));
     if (Status persisted = persist_sharded_round(entry.window, round.value());
         !persisted.ok()) {
       settle_inflight();
@@ -499,12 +641,14 @@ Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_plain() {
               return std::tie(a.k1, a.id) < std::tie(b.k1, b.id);
             });
 
+  std::vector<u64> round_windows;  // round index -> window id
   for (const auto& row : receipt_rows) {
     auto receipt = zvm::Receipt::from_bytes(row.payload);
     if (!receipt.ok()) return receipt.error();
     if (adopted.has_value() && row.k1 <= adopted->window_id) {
       // Part of the chain the snapshot already vouches for.
       receipts_.push_back(std::move(receipt.value()));
+      round_windows.push_back(row.k1);
       continue;
     }
     std::vector<netflow::RLogBatch> batches;
@@ -519,9 +663,14 @@ Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_plain() {
     }
     ZKT_TRY(aggregation_.replay_round(batches, receipt.value()));
     receipts_.push_back(std::move(receipt.value()));
+    round_windows.push_back(row.k1);
     last_window_ = row.k1;
     ++info.rounds_replayed;
     info.resumed = true;
+  }
+
+  if (epoch_) {
+    ZKT_TRY(recover_epoch_ladder(round_windows, info));
   }
 
   info.last_window = last_window_;
@@ -540,6 +689,11 @@ Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_plain() {
 
 Result<ProviderPipeline::RecoveryInfo> ProviderPipeline::recover_sharded() {
   obs::Registry& metrics = obs::Registry::instance();
+  if (options_.epoch_every > 0) {
+    return Error{Errc::invalid_argument,
+                 "epoch seals require single-chain mode (shard chains have "
+                 "no single round chain to seal)"};
+  }
   if (store_->row_count(store::kTableChainState) > 0 ||
       store_->row_count(store::kTableReceipts) > 0) {
     return Error{Errc::invalid_argument,

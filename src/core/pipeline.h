@@ -36,6 +36,7 @@
 #include <deque>
 
 #include "core/chain_snapshot.h"
+#include "core/epoch.h"
 #include "core/service.h"
 #include "core/sharded.h"
 #include "store/logstore.h"
@@ -76,6 +77,13 @@ struct PipelineOptions {
   /// runs (single chain, or every shard chain). Copied over
   /// sharded.sketch, like prove_options/agg_mode. nullopt disables it.
   std::optional<netflow::SketchParams> sketch = netflow::SketchParams{};
+  /// Epoch-seal ladder (DESIGN.md §11): every N rounds a chain-summary seal
+  /// is proven asynchronously and merged into a binary-counter ladder, so a
+  /// cold verifier catches up via Auditor::catch_up in O(log T) seal
+  /// verifications instead of O(T) replay. 0 disables the ladder. Single-
+  /// chain mode only — combining it with sharded mode is a terminal error
+  /// (shard chains have no single round chain to seal).
+  u64 epoch_every = 0;
 };
 
 class ProviderPipeline {
@@ -98,6 +106,12 @@ class ProviderPipeline {
     /// after the shard receipts, before the seal) and was re-folded from
     /// the verified shard receipts during recovery.
     u64 seals_refolded = 0;
+    /// Epoch seals adopted from the store after validating against the
+    /// recovered receipt chain.
+    u64 epoch_seals_adopted = 0;
+    /// Ladder levels the store was missing (crash mid-ladder-persist, or
+    /// validation failure) that were re-folded from the recovered receipts.
+    u64 epoch_levels_refolded = 0;
     /// Last aggregated window after recovery, if any.
     std::optional<u64> last_window;
   };
@@ -151,6 +165,14 @@ class ProviderPipeline {
   /// a join fanout.
   const std::vector<zvm::Receipt>& tree_seals() const { return tree_seals_; }
 
+  /// The live epoch-seal ladder, settled (waits for in-flight seal proving
+  /// and surfaces its first error). Chain order, tallest first — exactly
+  /// what Auditor::catch_up and save_epoch_seals take. Empty vector when
+  /// options.epoch_every is 0.
+  Result<std::vector<EpochSeal>> epoch_seals();
+  /// The ladder builder; null unless options.epoch_every > 0 (plain mode).
+  const EpochLadder* epoch_ladder() const { return epoch_.get(); }
+
   /// Drop raw logs whose windows have been aggregated under proof — the
   /// paper's retention model (§2.2: "raw logs are often discarded after a
   /// period of time"; the commitments and receipts keep the history
@@ -173,6 +195,14 @@ class ProviderPipeline {
       std::vector<u64> windows);
   Result<RecoveryInfo> recover_plain();
   Result<RecoveryInfo> recover_sharded();
+  /// Drain finished ladder seals into kTableEpochSeals (append-only).
+  Status persist_epoch_seals();
+  /// Rebuild the ladder after recover_plain restored the receipt chain:
+  /// adopt every stored seal that validates, re-fold missing levels, then
+  /// re-feed the unsealed tail into the ladder buffer. `round_windows` maps
+  /// round index -> window id (parallel to receipts_).
+  Status recover_epoch_ladder(const std::vector<u64>& round_windows,
+                              RecoveryInfo& info);
 
   store::LogStore* store_;
   PipelineOptions options_;
@@ -181,6 +211,8 @@ class ProviderPipeline {
   std::unique_ptr<ShardedAggregationService> sharded_;
   std::vector<zvm::Receipt> receipts_;
   std::vector<zvm::Receipt> tree_seals_;
+  /// Non-null iff options.epoch_every > 0 (plain mode).
+  std::unique_ptr<EpochLadder> epoch_;
   std::optional<u64> last_window_;
   u64 rounds_since_snapshot_ = 0;
 };

@@ -45,6 +45,11 @@ struct AggregationRound {
 /// AggregationRound rounds ProviderPipeline used to return.
 struct RoundResult {
   u64 round_id = 0;
+  /// Shard fan-out this window was proven with, pinned at stage time (1 on
+  /// the single-chain path). Split journals bind the same value in-trace,
+  /// so adaptive resharding can only take effect where a chain starts —
+  /// never mid-window (see ShardedOptions::adaptive_shards).
+  u32 shard_count = 1;
   /// Split receipts, one per source batch (sharded path only).
   std::vector<zvm::Receipt> split_receipts;
   /// Per-shard aggregation rounds in shard order; exactly one element on

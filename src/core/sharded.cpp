@@ -157,11 +157,45 @@ netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
   return sub;
 }
 
+AdaptiveShardController::AdaptiveShardController(u32 current,
+                                                 AdaptiveShardOptions options)
+    : options_(options), recommended_(current) {
+  options_.min_shards = std::max<u32>(options_.min_shards, 1);
+  options_.max_shards = std::max(options_.max_shards, options_.min_shards);
+  options_.patience = std::max<u32>(options_.patience, 1);
+  recommended_ =
+      std::clamp(recommended_, options_.min_shards, options_.max_shards);
+}
+
+void AdaptiveShardController::observe(double imbalance) {
+  ++observations_;
+  if (imbalance >= options_.split_above) {
+    ++high_streak_;
+    low_streak_ = 0;
+  } else if (imbalance <= options_.merge_below) {
+    ++low_streak_;
+    high_streak_ = 0;
+  } else {
+    high_streak_ = 0;
+    low_streak_ = 0;
+  }
+  if (high_streak_ >= options_.patience) {
+    recommended_ = std::min<u32>(options_.max_shards, recommended_ * 2);
+    high_streak_ = 0;
+  } else if (low_streak_ >= options_.patience) {
+    recommended_ = std::max<u32>(options_.min_shards, recommended_ / 2);
+    low_streak_ = 0;
+  }
+}
+
 ShardedAggregationService::ShardedAggregationService(
     const CommitmentBoard& board, ShardedOptions options)
     : board_(&board),
       options_(std::move(options)),
       shard_count_(std::max<u32>(options_.shard_count, 1)) {
+  if (options_.adaptive_shards.has_value()) {
+    adaptive_.emplace(shard_count_, *options_.adaptive_shards);
+  }
   for (u32 s = 0; s < shard_count_; ++s) {
     shard_boards_.push_back(std::make_unique<CommitmentBoard>());
     shards_.push_back(std::make_unique<AggregationService>(
@@ -256,6 +290,7 @@ Result<RoundResult> ShardedAggregationService::prove_shards(
 
   RoundResult round;
   round.round_id = rounds_ + 1;
+  round.shard_count = shard_count_;
   round.split_receipts = std::move(staged.split_receipts);
   round.total_cycles = staged.split_cycles;
 
@@ -310,7 +345,13 @@ Result<RoundResult> ShardedAggregationService::prove_shards(
   for (double w : shard_wall_ms) sum_wall += w;
   const double mean_wall = sum_wall / static_cast<double>(shard_count_);
   if (mean_wall > 0) {
-    metrics.gauge("core.sharded.imbalance").set(max_wall / mean_wall);
+    const double imbalance = max_wall / mean_wall;
+    metrics.gauge("core.sharded.imbalance").set(imbalance);
+    if (adaptive_.has_value()) {
+      adaptive_->observe(imbalance);
+      metrics.gauge("core.sharded.recommended_shards")
+          .set(static_cast<double>(adaptive_->recommended()));
+    }
   }
   metrics.histogram("core.sharded.round_wall_ms").record(round.wall_ms);
   metrics.counter("core.sharded.rounds").add(1);

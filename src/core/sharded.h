@@ -70,9 +70,67 @@ netflow::RLogBatch sub_batch_for(const netflow::RLogBatch& batch,
 /// AuditorOptions). One struct configures the whole path: the service's
 /// shard fan-out and fold shape here, and — via PipelineOptions — how many
 /// windows ProviderPipeline keeps in flight.
+/// Clamp + watermarks for adaptive shard-count advice (ROADMAP item 3
+/// headroom: feed the imbalance gauge back into the fan-out choice).
+struct AdaptiveShardOptions {
+  u32 min_shards = 1;
+  u32 max_shards = 16;
+  /// Double the recommendation when imbalance (max shard wall / mean) sits
+  /// at or above this for `patience` consecutive rounds — hash % K
+  /// re-partitions, so a hot bucket under K usually splits under 2K.
+  double split_above = 1.5;
+  /// Halve it when imbalance sits at or below this for `patience` rounds:
+  /// the round is already balanced, and fewer, fatter shards shrink the
+  /// split + join-fold overhead per record.
+  double merge_below = 1.05;
+  /// Consecutive rounds beyond a watermark before the advice moves
+  /// (hysteresis against one-off stragglers). Clamped to >= 1.
+  u32 patience = 2;
+};
+
+/// Halve/double recommendation machine over per-round imbalance readings.
+/// Deterministic: the recommendation is a pure function of the observation
+/// sequence (clamped to [min_shards, max_shards], watermarked, with
+/// `patience` hysteresis), so replaying the same rounds yields the same
+/// advice. It only ever *advises* — the live fan-out is pinned per window
+/// and applied where a chain legitimately starts (see
+/// ShardedOptions::adaptive_shards for why mid-chain resharding is unsound).
+class AdaptiveShardController {
+ public:
+  AdaptiveShardController(u32 current, AdaptiveShardOptions options);
+
+  /// Feed one round's imbalance reading (max shard wall / mean shard wall).
+  void observe(double imbalance);
+
+  u32 recommended() const { return recommended_; }
+  u64 observations() const { return observations_; }
+
+ private:
+  AdaptiveShardOptions options_;
+  u32 recommended_;
+  u32 high_streak_ = 0;
+  u32 low_streak_ = 0;
+  u64 observations_ = 0;
+};
+
 struct ShardedOptions {
   /// Parallel proof chains per round (clamped to >= 1).
   u32 shard_count = 1;
+  /// Adaptive shard counts: when set, every proven round feeds its
+  /// `core.sharded.imbalance` reading into an AdaptiveShardController and
+  /// the result is published as `core.sharded.recommended_shards` (also
+  /// visible via recommended_shard_count()).
+  ///
+  /// Determinism note — receipts stay valid: the fan-out a window is proven
+  /// with is pinned per window (recorded in RoundResult::shard_count and
+  /// bound in-trace by every split journal's shard_count field) and NEVER
+  /// changes on a live service. Shard chains link round i+1 onto round i
+  /// and flows partition by FlowKeyHasher(key) % K, so resharding mid-chain
+  /// would scatter one flow's history across shard states and double-count
+  /// it in the merged view. The recommendation instead applies where a
+  /// chain starts: a fresh service, the next deployment epoch, or recovery
+  /// onto an empty store.
+  std::optional<AdaptiveShardOptions> adaptive_shards;
   /// Children per join node when folding a round's shard receipts into one
   /// tree seal; < 2 disables the fold (per-shard receipts are then the
   /// round's proof objects — the pre-tree behavior). Ignored when
@@ -167,6 +225,12 @@ class ShardedAggregationService {
   }
 
   u32 shard_count() const { return shard_count_; }
+  /// The adaptive controller's current advice; == shard_count() when
+  /// adaptive mode is off. Advice only — applied at the next chain start,
+  /// never mid-chain (see ShardedOptions::adaptive_shards).
+  u32 recommended_shard_count() const {
+    return adaptive_.has_value() ? adaptive_->recommended() : shard_count_;
+  }
   u64 rounds_completed() const { return rounds_; }
   bool has_rounds() const { return rounds_ > 0; }
   const ShardedOptions& options() const { return options_; }
@@ -189,6 +253,7 @@ class ShardedAggregationService {
   // zkt-lint: shared(one chain per shard; parallel_for workers touch disjoint entries only)
   std::vector<std::unique_ptr<AggregationService>> shards_;
   std::vector<crypto::SchnorrKeyPair> shard_keys_;
+  std::optional<AdaptiveShardController> adaptive_;
   u64 rounds_ = 0;
 };
 

@@ -158,5 +158,11 @@ inline constexpr const char* kTableShardReceipts = "shard_receipts";
 /// id) — one receipt per round that transitively verifies every shard
 /// receipt of that round (see core/join.h).
 inline constexpr const char* kTableTreeSeals = "tree_seals";
+/// Epoch-ladder seals of the single-chain pipeline (serialized
+/// core::EpochSeal rows, k1 = ladder level, k2 = start round; latest row per
+/// key wins on recovery). Append-only — superseded levels keep their rows;
+/// recover() re-validates each seal it adopts and re-folds any level the
+/// store is missing, so a crash mid-ladder-persist loses no soundness.
+inline constexpr const char* kTableEpochSeals = "epoch_seals";
 
 }  // namespace zkt::store

@@ -52,10 +52,14 @@ TEST(ChainSummary, SummarizesAndFastSyncs) {
   EXPECT_EQ(summary.value().journal.final_entry_count, 4u);
   EXPECT_EQ(summary.value().journal.final_claim_digest,
             fx.service.last_claim_digest().value());
-  EXPECT_EQ(summary.value().journal.commitments.size(), 3u);
+  EXPECT_EQ(summary.value().journal.commitment_count, 3u);
+  EXPECT_EQ(summary.value().commitments.size(), 3u);
+  EXPECT_TRUE(summary.value().journal.genesis);
 
-  // One verification replaces replaying all three rounds.
-  auto verified = verify_chain_summary(summary.value().receipt, fx.board);
+  // One verification replaces replaying all three rounds. The out-of-band
+  // ref list must reproduce the journal's commitment-chain digest.
+  auto verified = verify_chain_summary(summary.value().receipt, fx.board,
+                                       summary.value().commitments);
   ASSERT_TRUE(verified.ok()) << verified.error().to_string();
 
   // A fresh auditor adopts the head, then continues the live chain.
@@ -82,7 +86,9 @@ TEST(ChainSummary, SingleRoundChain) {
   fx.run_round(1, {1});
   auto summary = prove_chain_summary(fx.rounds);
   ASSERT_TRUE(summary.ok());
-  EXPECT_TRUE(verify_chain_summary(summary.value().receipt, fx.board).ok());
+  EXPECT_TRUE(verify_chain_summary(summary.value().receipt, fx.board,
+                                   summary.value().commitments)
+                  .ok());
 }
 
 TEST(ChainSummary, RejectsGappedChain) {
@@ -119,7 +125,8 @@ TEST(ChainSummary, ForeignBoardRejectedAtVerification) {
   auto summary = prove_chain_summary(fx.rounds);
   ASSERT_TRUE(summary.ok());
   CommitmentBoard other_board;
-  auto verified = verify_chain_summary(summary.value().receipt, other_board);
+  auto verified = verify_chain_summary(summary.value().receipt, other_board,
+                                       summary.value().commitments);
   ASSERT_FALSE(verified.ok());
   EXPECT_EQ(verified.error().code, Errc::commitment_missing);
 }
@@ -135,7 +142,9 @@ TEST(ChainSummary, DoctoredJournalRejected) {
   Writer w;
   j.write(w);
   forged.journal = std::move(w).take();
-  EXPECT_FALSE(verify_chain_summary(forged, fx.board).ok());
+  EXPECT_FALSE(
+      verify_chain_summary(forged, fx.board, summary.value().commitments)
+          .ok());
 }
 
 TEST(ChainSummary, AdoptGuards) {

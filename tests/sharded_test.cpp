@@ -159,6 +159,84 @@ TEST(Sharded, ShardedTotalsMatchUnsharded) {
   EXPECT_EQ(sharded_sum, reference.sum);
 }
 
+TEST(AdaptiveShards, ControllerDoublesHalvesAndClamps) {
+  AdaptiveShardController ctl(
+      4, AdaptiveShardOptions{.min_shards = 2,
+                              .max_shards = 8,
+                              .split_above = 1.5,
+                              .merge_below = 1.05,
+                              .patience = 2});
+  EXPECT_EQ(ctl.recommended(), 4u);
+
+  // One hot round is not enough (hysteresis)...
+  ctl.observe(2.0);
+  EXPECT_EQ(ctl.recommended(), 4u);
+  // ...two consecutive hot rounds double the advice.
+  ctl.observe(2.0);
+  EXPECT_EQ(ctl.recommended(), 8u);
+  // Clamped at max_shards even if the imbalance persists.
+  ctl.observe(3.0);
+  ctl.observe(3.0);
+  EXPECT_EQ(ctl.recommended(), 8u);
+
+  // A middling round resets both streaks.
+  ctl.observe(1.2);
+  ctl.observe(1.0);
+  EXPECT_EQ(ctl.recommended(), 8u);
+  // Balanced rounds halve, repeatedly, down to min_shards.
+  ctl.observe(1.0);
+  EXPECT_EQ(ctl.recommended(), 4u);
+  ctl.observe(1.0);
+  ctl.observe(1.0);
+  EXPECT_EQ(ctl.recommended(), 2u);
+  ctl.observe(1.0);
+  ctl.observe(1.0);
+  EXPECT_EQ(ctl.recommended(), 2u);
+  EXPECT_EQ(ctl.observations(), 11u);
+}
+
+TEST(AdaptiveShards, ControllerClampsInitialAndDegenerateOptions) {
+  // Initial fan-out outside the clamp is pulled inside; patience=0 behaves
+  // like 1 (every round can move the advice).
+  AdaptiveShardController ctl(32, AdaptiveShardOptions{.min_shards = 1,
+                                                       .max_shards = 4,
+                                                       .patience = 0});
+  EXPECT_EQ(ctl.recommended(), 4u);
+  ctl.observe(1.0);
+  EXPECT_EQ(ctl.recommended(), 2u);
+}
+
+TEST(AdaptiveShards, ServicePinsFanOutPerWindowAndOnlyAdvises) {
+  Fixture fx;
+  ShardedAggregationService service(
+      fx.board,
+      ShardedOptions{.shard_count = 2,
+                     .adaptive_shards = AdaptiveShardOptions{
+                         .min_shards = 1, .max_shards = 4, .patience = 1}});
+  EXPECT_EQ(service.recommended_shard_count(), 2u);
+
+  auto round = service.aggregate({fx.committed(0, 1, 12)});
+  ASSERT_TRUE(round.ok()) << round.error().to_string();
+  // The round records the fan-out it was actually proven with, and the live
+  // service never reshards mid-chain regardless of the advice.
+  EXPECT_EQ(round.value().shard_count, 2u);
+  EXPECT_EQ(service.shard_count(), 2u);
+  const u32 advised = service.recommended_shard_count();
+  EXPECT_GE(advised, 1u);
+  EXPECT_LE(advised, 4u);
+
+  auto round2 = service.aggregate({fx.committed(0, 2, 12)});
+  ASSERT_TRUE(round2.ok());
+  EXPECT_EQ(round2.value().shard_count, 2u);
+  EXPECT_EQ(service.shard_count(), 2u);
+
+  // Without adaptive mode the accessor just mirrors the fixed fan-out.
+  Fixture fx2;
+  ShardedAggregationService fixed(fx2.board,
+                                  ShardedOptions{.shard_count = 3});
+  EXPECT_EQ(fixed.recommended_shard_count(), 3u);
+}
+
 TEST(Sharded, TamperedBatchFailsSplitProof) {
   Fixture fx;
   auto batch = fx.committed(0, 1, 10);

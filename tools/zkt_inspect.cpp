@@ -1,13 +1,17 @@
 // zkt-inspect: dump the contents of zktel artifact files — receipts (with
-// journals decoded per guest type) and commitment boards.
+// journals decoded per guest type), epoch-seal ladders, and commitment
+// boards. Receipt bundles (ZKTRCPT1) and epoch-seal files (ZKTEPCH1) are
+// told apart by their magic.
 //
 // Usage:
-//   zkt-inspect receipts.bin [more files...]
+//   zkt-inspect receipts.bin epoch_seals.bin [more files...]
 //   zkt-inspect --commitments commitments.bin
 #include <cstdio>
 
 #include "common/flags.h"
+#include "common/serial.h"
 #include "core/describe.h"
+#include "core/epoch.h"
 #include "core/io.h"
 
 using namespace zkt;
@@ -27,6 +31,43 @@ int inspect_receipts(const std::string& path) {
                 core::describe_receipt(receipts.value()[i]).c_str());
   }
   return 0;
+}
+
+int inspect_epoch_seals(const std::string& path) {
+  auto seals = core::load_epoch_seals(path);
+  if (!seals.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 seals.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu epoch seal(s)\n", path.c_str(), seals.value().size());
+  for (size_t i = 0; i < seals.value().size(); ++i) {
+    const auto& seal = seals.value()[i];
+    std::printf("[%zu] level %u, rounds [%llu, %llu), windows %llu..%llu, "
+                "%zu commitment ref(s)\n     %s\n",
+                i, seal.level, (unsigned long long)seal.start_round,
+                (unsigned long long)(seal.start_round + seal.rounds),
+                (unsigned long long)seal.first_window,
+                (unsigned long long)seal.last_window, seal.commitments.size(),
+                core::describe_receipt(seal.receipt).c_str());
+  }
+  return 0;
+}
+
+/// Dispatch on the file's leading magic string.
+int inspect_file(const std::string& path) {
+  auto data = core::read_file(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 data.error().to_string().c_str());
+    return 1;
+  }
+  Reader r(data.value());
+  auto magic = r.str();
+  if (magic.ok() && magic.value() == "ZKTEPCH1") {
+    return inspect_epoch_seals(path);
+  }
+  return inspect_receipts(path);
 }
 
 int inspect_commitments(const std::string& path) {
@@ -57,11 +98,12 @@ int main(int argc, char** argv) {
     rc |= inspect_commitments(flags.get("commitments"));
   }
   for (const auto& path : flags.positional()) {
-    rc |= inspect_receipts(path);
+    rc |= inspect_file(path);
   }
   if (!flags.has("commitments") && flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: zkt-inspect [--commitments FILE] [receipts.bin...]\n");
+                 "usage: zkt-inspect [--commitments FILE] "
+                 "[receipts.bin|epoch_seals.bin...]\n");
     return 1;
   }
   return rc;

@@ -8,6 +8,7 @@
 //             [--agg-mode auto|full|incremental] [--no-sketch]
 //             [--heavy-hitters T] [--cardinality]
 //             [--shards N] [--join-fanout F] [--pipeline-depth D]
+//             [--epoch-every N]
 //             [--recover] [--checkpoint-every N] [--retry-attempts N]
 //             [--prune] [--metrics] [--metrics-json [PATH]]
 //
@@ -31,6 +32,12 @@
 // the touched entries against a Merkle multiproof (O(k log N)), and "auto"
 // (default) compares estimated costs per round. The core.agg.mode /
 // core.agg.touched_entries metrics show what each round did.
+//
+// --epoch-every N maintains the binary-counter ladder of epoch seals
+// (DESIGN.md §11): every N rounds a chain-summary seal is proven
+// asynchronously and merged, the live ladder lands in DIR/epoch_seals.bin,
+// and zkt-verify --catch-up syncs from it in O(log T) instead of replaying
+// the whole receipt chain. Incompatible with --shards.
 //
 // --recover resumes a previous zkt-prove run's proof chain from the chain
 // snapshots persisted in the store (see docs/RECOVERY.md) instead of
@@ -131,7 +138,14 @@ int main(int argc, char** argv) {
   pipeline_options.sharded.pipeline_depth =
       static_cast<u32>(flags.get_u64("pipeline-depth", 1));
   if (flags.has("no-sketch")) pipeline_options.sketch = std::nullopt;
+  pipeline_options.epoch_every = flags.get_u64("epoch-every", 0);
   const bool sharded = pipeline_options.sharded.shard_count >= 2;
+  if (sharded && pipeline_options.epoch_every > 0) {
+    std::fprintf(stderr,
+                 "--epoch-every is incompatible with --shards (epoch seals "
+                 "fold the single round chain)\n");
+    return finish(flags, data_dir, 1);
+  }
   if (sharded &&
       (flags.has("heavy-hitters") || flags.has("cardinality"))) {
     std::fprintf(stderr,
@@ -222,6 +236,26 @@ int main(int argc, char** argv) {
   }
   std::printf("  receipts -> %s (%zu rounds)\n", receipts_path.c_str(),
               pipeline.receipts().size());
+
+  if (pipeline_options.epoch_every > 0) {
+    auto seals = pipeline.epoch_seals();
+    if (!seals.ok()) {
+      std::fprintf(stderr, "epoch seals: %s\n",
+                   seals.error().to_string().c_str());
+      return finish(flags, data_dir, 2);
+    }
+    const std::string seals_path = data_dir + "/epoch_seals.bin";
+    if (auto s = core::save_epoch_seals(seals.value(), seals_path); !s.ok()) {
+      std::fprintf(stderr, "save epoch seals: %s\n", s.to_string().c_str());
+      return finish(flags, data_dir, 1);
+    }
+    u64 sealed_rounds = 0;
+    for (const auto& seal : seals.value()) sealed_rounds += seal.rounds;
+    std::printf(
+        "  epoch ladder -> %s (%zu seal(s) covering %llu of %zu rounds)\n",
+        seals_path.c_str(), seals.value().size(),
+        (unsigned long long)sealed_rounds, pipeline.receipts().size());
+  }
 
   // Optional sketch-routed queries (heavy hitters / cardinality).
   if (flags.has("heavy-hitters") || flags.has("cardinality")) {

@@ -6,6 +6,7 @@
 // Usage:
 //   zkt-verify --data-dir DIR [--query "sum(hop_sum) where ..."]
 //              [--sketch-query] [--stream] [--batch N] [--sequential]
+//              [--catch-up]
 //              [--pool-threads N] [--backend scalar|shani|avx2]
 //              [--metrics] [--metrics-json [PATH]]
 //
@@ -20,7 +21,11 @@
 //   --stream     — pull receipts straight off the file in --batch windows
 //                  (default 64): O(1) memory however long the chain is;
 //   --sequential — the pre-batching one-receipt-at-a-time walk, with
-//                  per-round output.
+//                  per-round output;
+//   --catch-up   — cold-verifier sync off DIR/epoch_seals.bin (written by
+//                  zkt-prove --epoch-every): verify the O(log T) ladder
+//                  seals, adopt the sealed head, and replay only the
+//                  unsealed suffix receipts.
 //
 // --pool-threads sizes a private verification pool (default: the shared
 // pool, ZKT_POOL_THREADS). --backend pins the SHA-256 implementation.
@@ -33,6 +38,7 @@
 
 #include "common/flags.h"
 #include "common/thread_pool.h"
+#include "core/epoch.h"
 #include "core/grouped_query.h"
 #include "core/io.h"
 #include "core/query_parser.h"
@@ -108,7 +114,48 @@ int main(int argc, char** argv) {
   const u64 batch_size = flags.get_u64("batch", 64);
   zvm::VerifyStats stats;
 
-  if (flags.has("stream")) {
+  if (flags.has("catch-up")) {
+    // Cold-verifier sync: O(log T) ladder seals + the unsealed suffix.
+    auto seals = core::load_epoch_seals(data_dir + "/epoch_seals.bin");
+    if (!seals.ok()) {
+      std::fprintf(stderr, "epoch seals: %s\n",
+                   seals.error().to_string().c_str());
+      return finish(flags, data_dir, 1);
+    }
+    auto receipts = core::load_receipts(receipts_path);
+    if (!receipts.ok()) {
+      std::fprintf(stderr, "receipts: %s\n",
+                   receipts.error().to_string().c_str());
+      return finish(flags, data_dir, 1);
+    }
+    u64 sealed = 0;
+    for (const auto& seal : seals.value()) sealed += seal.rounds;
+    if (sealed > receipts.value().size()) {
+      std::fprintf(stderr,
+                   "epoch seals cover %llu rounds but only %zu receipts are "
+                   "present\n",
+                   (unsigned long long)sealed, receipts.value().size());
+      return finish(flags, data_dir, 1);
+    }
+    std::printf(
+        "zkt-verify: %zu commitments, %zu epoch seal(s) + %llu suffix "
+        "receipts (catch-up)\n",
+        board.size(), seals.value().size(),
+        (unsigned long long)(receipts.value().size() - sealed));
+    std::span<const zvm::Receipt> suffix(receipts.value());
+    auto report =
+        auditor.catch_up(seals.value(), suffix.subspan(sealed), &stats);
+    if (!report.ok()) {
+      std::printf("catch-up: REJECTED — %s\n",
+                  report.error().to_string().c_str());
+      return finish(flags, data_dir, 2);
+    }
+    std::printf("  caught up: %llu seal(s) covering %llu rounds, %llu "
+                "suffix round(s) replayed\n",
+                (unsigned long long)report.value().seals_adopted,
+                (unsigned long long)report.value().seal_rounds,
+                (unsigned long long)report.value().rounds_replayed);
+  } else if (flags.has("stream")) {
     // O(1)-memory audit: receipts never materialize beyond one window.
     auto source = core::ReceiptFileSource::open(receipts_path);
     if (!source.ok()) {
